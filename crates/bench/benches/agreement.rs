@@ -1,0 +1,55 @@
+//! Criterion benches for the agreement algorithms: wall-clock cost of
+//! complete WTS / SbS instances and GWTS rounds across system sizes
+//! (complements the message-count experiments E3/E5/E7 with CPU cost).
+
+use bgla_bench::{gwts_sim, measure_sbs, measure_wts};
+use bgla_simnet::FifoScheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_wts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wts_full_instance");
+    for n in [4usize, 7, 10, 16] {
+        let f = (n - 1) / 3;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let m = measure_wts(n, f, Box::new(FifoScheduler));
+                assert!(m.all_decided);
+                m.total_msgs
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sbs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbs_full_instance");
+    g.sample_size(10); // each iteration performs real Ed25519 work
+    for n in [4usize, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let m = measure_sbs(n, 1, Box::new(FifoScheduler));
+                assert!(m.all_decided);
+                m.total_msgs
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gwts_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gwts_stream_3_rounds");
+    for n in [4usize, 7] {
+        let f = (n - 1) / 3;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = gwts_sim(n, f, 3, 1, Box::new(FifoScheduler));
+                sim.run(u64::MAX / 2);
+                sim.metrics().total_sent()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wts, bench_sbs, bench_gwts_rounds);
+criterion_main!(benches);

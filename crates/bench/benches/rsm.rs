@@ -1,0 +1,37 @@
+//! Criterion bench for RSM operations: wall-clock cost of a full
+//! update+read client session against a 4-replica BFT deployment.
+
+use bgla_core::SystemConfig;
+use bgla_rsm::{ClientOp, Op, Replica, WorkloadClient};
+use bgla_simnet::{FifoScheduler, SimulationBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_rsm_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsm_update_read_session");
+    g.sample_size(10);
+    g.bench_function("n4_f1", |b| {
+        b.iter(|| {
+            let (n, f) = (4usize, 1usize);
+            let config = SystemConfig::new(n, f);
+            let mut builder = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+            for i in 0..n {
+                builder = builder.add(Box::new(Replica::new(i, config, 20)));
+            }
+            builder = builder.add(Box::new(WorkloadClient::new(
+                1,
+                n,
+                f,
+                vec![ClientOp::Update(Op::Add(1)), ClientOp::Read],
+            )));
+            let mut sim = builder.build();
+            sim.run(u64::MAX / 2);
+            let client = sim.process_as::<WorkloadClient>(n).unwrap();
+            assert!(client.finished());
+            sim.metrics().total_sent()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rsm_session);
+criterion_main!(benches);

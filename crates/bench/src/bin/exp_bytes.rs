@@ -1,0 +1,50 @@
+//! E8 (Section 8 intro): SbS trades message *count* for message *size* —
+//! its messages can reach `O(n²)` bytes (attached proofs of safety),
+//! which WTS never does. Measures bytes on the wire and the largest
+//! single message for both.
+
+use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row};
+use bgla_simnet::FifoScheduler;
+
+fn main() {
+    println!("E8: bytes on the wire — WTS vs SbS at f = 1\n");
+    println!(
+        "{}",
+        row(&[
+            "n".into(),
+            "WTS bytes".into(),
+            "SbS bytes".into(),
+            "WTS max msg".into(),
+            "SbS max msg".into(),
+            "ratio".into(),
+        ])
+    );
+    let ns = [4usize, 7, 10, 13, 16];
+    let (mut xs, mut wts_big, mut sbs_big) = (Vec::new(), Vec::new(), Vec::new());
+    for &n in &ns {
+        let w = measure_wts(n, 1, Box::new(FifoScheduler));
+        let s = measure_sbs(n, 1, Box::new(FifoScheduler));
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                w.total_bytes.to_string(),
+                s.total_bytes.to_string(),
+                w.max_message_bytes.to_string(),
+                s.max_message_bytes.to_string(),
+                format!("{:.1}x", s.total_bytes as f64 / w.total_bytes as f64),
+            ])
+        );
+        xs.push(n as f64);
+        wts_big.push(w.max_message_bytes as f64);
+        sbs_big.push(s.max_message_bytes as f64);
+    }
+    let kw = growth_exponent(&xs, &wts_big);
+    let ks = growth_exponent(&xs, &sbs_big);
+    println!("\nLargest-message growth exponents: WTS {kw:.2} (≈1: a set of n values),");
+    println!("SbS {ks:.2} (≈2: proofs are quorum×set = O(n²)).");
+    assert!(ks > kw, "SbS messages must grow faster than WTS messages");
+    assert!(ks > 1.5, "SbS max message should be ~quadratic, got {ks:.2}");
+    println!("\nShape ✓: the signature algorithm's messages are asymptotically larger —");
+    println!("the exact trade Section 8 announces.");
+}

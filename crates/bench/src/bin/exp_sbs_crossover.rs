@@ -1,0 +1,84 @@
+//! E7 (Theorem 8, Section 8.1): SbS decides within `5 + 4f` message
+//! delays and, for `f = O(1)`, costs `O(n)` messages per proposer —
+//! versus WTS's `O(n²)`. Finds the crossover.
+
+use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row};
+use bgla_simnet::FifoScheduler;
+
+fn main() {
+    println!("E7: SbS vs WTS — delays and per-proposer message crossover\n");
+
+    // ---- Delay bound sweep (f grows) ----
+    println!("SbS decision delays vs the 5+4f bound:");
+    println!(
+        "{}",
+        row(&["f".into(), "n".into(), "depth".into(), "bound".into(), "ok".into()])
+    );
+    for f in 1..=4usize {
+        let n = 3 * f + 1;
+        let m = measure_sbs(n, f, Box::new(FifoScheduler));
+        assert!(m.all_decided);
+        let bound = 5 + 4 * f as u64;
+        println!(
+            "{}",
+            row(&[
+                f.to_string(),
+                n.to_string(),
+                m.max_depth.to_string(),
+                bound.to_string(),
+                if m.max_depth <= bound { "✓" } else { "✗" }.into(),
+            ])
+        );
+        assert!(m.max_depth <= bound, "Theorem 8 bound exceeded");
+    }
+
+    // ---- Message crossover at fixed f = 1 ----
+    println!("\nPer-proposer messages at f = 1 (claim: WTS ~n², SbS ~n):");
+    println!(
+        "{}",
+        row(&[
+            "n".into(),
+            "WTS msg/proc".into(),
+            "SbS msg/proc".into(),
+            "winner".into(),
+        ])
+    );
+    let ns = [4usize, 7, 10, 13, 16, 19];
+    let (mut wts_ys, mut sbs_ys, mut xs) = (Vec::new(), Vec::new(), Vec::new());
+    let mut crossover = None;
+    for &n in &ns {
+        let w = measure_wts(n, 1, Box::new(FifoScheduler));
+        let s = measure_sbs(n, 1, Box::new(FifoScheduler));
+        assert!(w.all_decided && s.all_decided);
+        let winner = if s.max_msgs_per_process < w.max_msgs_per_process {
+            if crossover.is_none() {
+                crossover = Some(n);
+            }
+            "SbS"
+        } else {
+            "WTS"
+        };
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                w.max_msgs_per_process.to_string(),
+                s.max_msgs_per_process.to_string(),
+                winner.into(),
+            ])
+        );
+        xs.push(n as f64);
+        wts_ys.push(w.max_msgs_per_process as f64);
+        sbs_ys.push(s.max_msgs_per_process as f64);
+    }
+    let kw = growth_exponent(&xs, &wts_ys);
+    let ks = growth_exponent(&xs, &sbs_ys);
+    println!("\nGrowth exponents: WTS {kw:.2} (theory 2), SbS {ks:.2} (theory 1)");
+    assert!(kw > 1.6, "WTS should be ~quadratic, got {kw:.2}");
+    assert!(ks < 1.4, "SbS should be ~linear, got {ks:.2}");
+    match crossover {
+        Some(n) => println!("SbS overtakes WTS in message count from n = {n} on."),
+        None => println!("No crossover in this range (SbS already ahead or behind everywhere)."),
+    }
+    println!("\nShape ✓: quadratic vs linear, exactly the paper's Section 8 trade.");
+}

@@ -1,0 +1,50 @@
+//! E3 (Section 5.1.3): WTS costs `O(n²)` messages per process — the
+//! reliable broadcast dominates. Sweeps `n` at `f = ⌊(n−1)/3⌋` and fits
+//! the growth exponent.
+
+use bgla_bench::{growth_exponent, measure_wts, row};
+use bgla_core::SystemConfig;
+use bgla_simnet::FifoScheduler;
+
+fn main() {
+    println!("E3: WTS message complexity per process (claim: O(n²))\n");
+    println!(
+        "{}",
+        row(&[
+            "n".into(),
+            "f".into(),
+            "msgs/process".into(),
+            "total msgs".into(),
+            "msgs/n²".into(),
+        ])
+    );
+
+    let ns = [4usize, 7, 10, 16, 22, 31, 43];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &ns {
+        let f = SystemConfig::max_f(n);
+        let m = measure_wts(n, f, Box::new(FifoScheduler));
+        assert!(m.all_decided);
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                f.to_string(),
+                m.max_msgs_per_process.to_string(),
+                m.total_msgs.to_string(),
+                format!("{:.2}", m.max_msgs_per_process as f64 / (n * n) as f64),
+            ])
+        );
+        xs.push(n as f64);
+        ys.push(m.max_msgs_per_process as f64);
+    }
+
+    let k = growth_exponent(&xs, &ys);
+    println!("\nEmpirical growth exponent of msgs/process in n: {k:.2} (theory: 2.0)");
+    assert!(
+        (1.6..=2.4).contains(&k),
+        "per-process message growth {k:.2} is not quadratic-shaped"
+    );
+    println!("Shape ✓: quadratic, as the O(n²) reliable-broadcast cost predicts.");
+}

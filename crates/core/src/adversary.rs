@@ -1,0 +1,825 @@
+//! A library of Byzantine behaviors.
+//!
+//! The Byzantine LA specification quantifies over *arbitrary* adversary
+//! code; testing therefore needs a structured family of worst-case
+//! behaviors, each aimed at one proof obligation of the paper:
+//!
+//! | Adversary | Targets |
+//! |---|---|
+//! | [`Silent`] | liveness thresholds (`n−f` disclosures, quorum size) |
+//! | [`Equivocator`] | Observation 1 (one safe value per process) |
+//! | [`NackSpammer`] | Lemma 3 (refinement bound) / liveness |
+//! | [`AckForger`] | quorum soundness (Lemma 1) |
+//! | [`SplitBrain`] | Theorem 1 (the `3f+1` necessity construction) |
+//! | [`LateDiscloser`] | refinement maximization (E4) |
+//!
+//! All of them implement `Process<WtsMsg<V>>`; the harness guarantees
+//! they cannot forge sender identities, matching the authenticated-
+//! channels model.
+
+use crate::value::Value;
+use crate::wts::WtsMsg;
+use bgla_rbcast::RbMsg;
+use bgla_simnet::{Context, Process, ProcessId};
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Sends nothing, ever: the crash-from-the-start adversary. Forces the
+/// protocol to live with `n − f` participants.
+pub struct Silent<V> {
+    _marker: PhantomData<V>,
+}
+
+impl<V> Default for Silent<V> {
+    fn default() -> Self {
+        Silent {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V: Value> Process<WtsMsg<V>> for Silent<V> {
+    fn on_message(&mut self, _f: ProcessId, _m: WtsMsg<V>, _c: &mut Context<WtsMsg<V>>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Discloses value `a` to the first half of the system and `b` to the
+/// second half, then echoes/acks nothing. The reliable broadcast must
+/// ensure at most one of `a`, `b` ever becomes safe anywhere.
+pub struct Equivocator<V: Value> {
+    /// Value shown to the low half.
+    pub a: V,
+    /// Value shown to the high half.
+    pub b: V,
+}
+
+impl<V: Value> Process<WtsMsg<V>> for Equivocator<V> {
+    fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        let n = ctx.n;
+        for to in 0..n {
+            let value = if to < n / 2 { self.a.clone() } else { self.b.clone() };
+            ctx.send(to, WtsMsg::Rb(RbMsg::Init { tag: 0, value }));
+        }
+    }
+    fn on_message(&mut self, _f: ProcessId, _m: WtsMsg<V>, _c: &mut Context<WtsMsg<V>>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// As an acceptor, nacks every ack request with a growing set drawn from
+/// values it has legitimately seen disclosed — trying to force endless
+/// refinements. (Lemma 3: it can force at most `f` of them, because nacks
+/// must be *safe* for the proposer to act on them.)
+pub struct NackSpammer<V: Value> {
+    seen: BTreeSet<V>,
+    /// Values this adversary discloses itself (at most one becomes safe).
+    pub own_value: V,
+}
+
+impl<V: Value> NackSpammer<V> {
+    /// Creates the adversary with its own disclosed value.
+    pub fn new(own_value: V) -> Self {
+        NackSpammer {
+            seen: BTreeSet::new(),
+            own_value,
+        }
+    }
+}
+
+impl<V: Value> Process<WtsMsg<V>> for NackSpammer<V> {
+    fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        // Disclose honestly so its value is usable in nacks.
+        ctx.broadcast(WtsMsg::Rb(RbMsg::Init {
+            tag: 0,
+            value: self.own_value.clone(),
+        }));
+    }
+    fn on_message(&mut self, from: ProcessId, msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
+        match msg {
+            WtsMsg::Rb(RbMsg::Init { value, .. })
+            | WtsMsg::Rb(RbMsg::Echo { value, .. })
+            | WtsMsg::Rb(RbMsg::Ready { value, .. }) => {
+                self.seen.insert(value);
+            }
+            WtsMsg::AckReq { ts, .. } => {
+                // Always nack, with everything we have ever seen.
+                ctx.send(
+                    from,
+                    WtsMsg::Nack {
+                        accepted: self.seen.clone(),
+                        ts,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Acks *everything* immediately (without safety checks), trying to make
+/// proposers decide prematurely on under-replicated proposals.
+pub struct AckForger<V> {
+    _marker: PhantomData<V>,
+}
+
+impl<V> Default for AckForger<V> {
+    fn default() -> Self {
+        AckForger {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V: Value> Process<WtsMsg<V>> for AckForger<V> {
+    fn on_message(&mut self, from: ProcessId, msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
+        if let WtsMsg::AckReq { proposed, ts } = msg {
+            ctx.send(
+                from,
+                WtsMsg::Ack {
+                    accepted: proposed,
+                    ts,
+                },
+            );
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The Theorem-1 adversary for `n = 3f` systems: equivocates its
+/// disclosure *and* acks both sides' proposals independently, so that
+/// with the victims partitioned by the scheduler each side reaches its
+/// quorum with incompatible sets. Only effective when `n < 3f + 1`; at
+/// `n = 3f + 1` the echo quorums overlap in a correct process and the
+/// attack collapses.
+pub struct SplitBrain<V: Value> {
+    /// Value disclosed to the low half.
+    pub a: V,
+    /// Value disclosed to the high half.
+    pub b: V,
+}
+
+impl<V: Value> Process<WtsMsg<V>> for SplitBrain<V> {
+    fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        let n = ctx.n;
+        for to in 0..n {
+            if to == ctx.me {
+                continue;
+            }
+            let value = if to < n / 2 { self.a.clone() } else { self.b.clone() };
+            ctx.send(to, WtsMsg::Rb(RbMsg::Init { tag: 0, value }));
+        }
+    }
+    fn on_message(&mut self, from: ProcessId, msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
+        if from == ctx.me {
+            return; // never converse with ourselves (avoids self-loops)
+        }
+        match msg {
+            // Echo whatever each victim believes, back to that victim
+            // only — sustaining both world views.
+            WtsMsg::Rb(RbMsg::Init { tag, value }) => {
+                ctx.send(
+                    from,
+                    WtsMsg::Rb(RbMsg::Echo {
+                        origin: from,
+                        tag,
+                        value: value.clone(),
+                    }),
+                );
+                ctx.send(
+                    from,
+                    WtsMsg::Rb(RbMsg::Ready {
+                        origin: from,
+                        tag,
+                        value,
+                    }),
+                );
+            }
+            WtsMsg::Rb(RbMsg::Echo { origin, tag, value }) => {
+                ctx.send(
+                    from,
+                    WtsMsg::Rb(RbMsg::Echo {
+                        origin,
+                        tag,
+                        value: value.clone(),
+                    }),
+                );
+                ctx.send(from, WtsMsg::Rb(RbMsg::Ready { origin, tag, value }));
+            }
+            WtsMsg::AckReq { proposed, ts } => {
+                ctx.send(
+                    from,
+                    WtsMsg::Ack {
+                        accepted: proposed,
+                        ts,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Correct-but-slow discloser: withholds its `Init` until it has seen
+/// `trigger` deliveries, so its value reaches acceptors after proposers
+/// have started proposing — the refinement-maximizing schedule of E4.
+pub struct LateDiscloser<V: Value> {
+    /// The value eventually disclosed.
+    pub value: V,
+    /// How many local deliveries to wait for before disclosing.
+    pub trigger: u64,
+    sent: bool,
+}
+
+impl<V: Value> LateDiscloser<V> {
+    /// New late discloser.
+    pub fn new(value: V, trigger: u64) -> Self {
+        LateDiscloser {
+            value,
+            trigger,
+            sent: false,
+        }
+    }
+}
+
+impl<V: Value> Process<WtsMsg<V>> for LateDiscloser<V> {
+    fn on_message(&mut self, _from: ProcessId, _msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
+        if !self.sent && ctx.local_events >= self.trigger {
+            self.sent = true;
+            ctx.broadcast(WtsMsg::Rb(RbMsg::Init {
+                tag: 0,
+                value: self.value.clone(),
+            }));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{assert_la_spec, wts_report, wts_system_with_adversaries};
+    use bgla_simnet::RandomScheduler;
+
+    fn correct_ids(n: usize, byz: &[usize]) -> Vec<usize> {
+        (0..n).filter(|i| !byz.contains(i)).collect()
+    }
+
+    #[test]
+    fn silent_adversary_cannot_block_progress() {
+        for seed in 0..10 {
+            let (mut sim, config, byz) = wts_system_with_adversaries(
+                4,
+                1,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+                |i, _| {
+                    (i == 3).then(|| Box::new(Silent::default()) as _)
+                },
+            );
+            let out = sim.run(1_000_000);
+            assert!(out.quiescent);
+            let correct = correct_ids(config.n, &byz);
+            let report = wts_report(&sim, &correct);
+            let inputs = correct.iter().map(|&i| i as u64).collect();
+            assert_la_spec(&report, &inputs, config.f);
+        }
+    }
+
+    #[test]
+    fn equivocator_injects_at_most_one_value() {
+        for seed in 0..20 {
+            let (mut sim, config, byz) = wts_system_with_adversaries(
+                4,
+                1,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+                |i, _| {
+                    (i == 3).then(|| {
+                        Box::new(Equivocator {
+                            a: 666u64,
+                            b: 777u64,
+                        }) as _
+                    })
+                },
+            );
+            let out = sim.run(1_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            let correct = correct_ids(config.n, &byz);
+            let report = wts_report(&sim, &correct);
+            let inputs: std::collections::BTreeSet<u64> =
+                correct.iter().map(|&i| i as u64).collect();
+            assert_la_spec(&report, &inputs, config.f);
+            // Specifically: never both 666 and 777 in any decision.
+            for d in &report.decisions {
+                assert!(
+                    !(d.contains(&666) && d.contains(&777)),
+                    "equivocated values coexist (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nack_spammer_cannot_force_more_than_f_refinements() {
+        for seed in 0..20 {
+            let (mut sim, config, byz) = wts_system_with_adversaries(
+                7,
+                2,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+                |i, _| match i {
+                    5 => Some(Box::new(NackSpammer::new(500u64)) as _),
+                    6 => Some(Box::new(NackSpammer::new(600u64)) as _),
+                    _ => None,
+                },
+            );
+            let out = sim.run(10_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            let correct = correct_ids(config.n, &byz);
+            let report = wts_report(&sim, &correct);
+            let inputs = correct.iter().map(|&i| i as u64).collect();
+            assert_la_spec(&report, &inputs, config.f);
+            assert!(
+                report.max_refinements <= config.f as u64,
+                "seed {seed}: {} refinements",
+                report.max_refinements
+            );
+        }
+    }
+
+    #[test]
+    fn ack_forger_cannot_break_comparability() {
+        for seed in 0..20 {
+            let (mut sim, config, byz) = wts_system_with_adversaries(
+                4,
+                1,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+                |i, _| (i == 0).then(|| Box::new(AckForger::default()) as _),
+            );
+            let out = sim.run(1_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            let correct = correct_ids(config.n, &byz);
+            let report = wts_report(&sim, &correct);
+            let inputs = correct.iter().map(|&i| i as u64).collect();
+            assert_la_spec(&report, &inputs, config.f);
+        }
+    }
+
+    #[test]
+    fn late_discloser_causes_refinements_but_not_divergence() {
+        for seed in 0..10 {
+            let (mut sim, config, byz) = wts_system_with_adversaries(
+                4,
+                1,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+                |i, _| (i == 3).then(|| Box::new(LateDiscloser::new(333u64, 8)) as _),
+            );
+            let out = sim.run(1_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            let correct = correct_ids(config.n, &byz);
+            let report = wts_report(&sim, &correct);
+            let inputs = correct.iter().map(|&i| i as u64).collect();
+            assert_la_spec(&report, &inputs, config.f);
+        }
+    }
+}
+
+/// A seeded "chaos" adversary: on every event it replays mutated
+/// fragments of protocol traffic it has observed — acks/nacks with
+/// random timestamps, re-sent disclosures, echoes with swapped origins —
+/// at random destinations. It cannot forge senders (the harness
+/// authenticates), but everything else goes.
+///
+/// This is the property-test workhorse: safety must survive *any*
+/// behavior, so we sample behaviors randomly.
+pub struct ChaosMonkey<V: Value> {
+    rng_state: u64,
+    seen_values: Vec<V>,
+    seen_msgs: Vec<WtsMsg<V>>,
+    /// Messages injected per delivery (kept small to bound runs).
+    pub burst: usize,
+}
+
+impl<V: Value> ChaosMonkey<V> {
+    /// Creates a chaos adversary with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        ChaosMonkey {
+            rng_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            seen_values: Vec::new(),
+            seen_msgs: Vec::new(),
+            burst: 2,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn observe(&mut self, msg: &WtsMsg<V>) {
+        match msg {
+            WtsMsg::Rb(RbMsg::Init { value, .. })
+            | WtsMsg::Rb(RbMsg::Echo { value, .. })
+            | WtsMsg::Rb(RbMsg::Ready { value, .. }) => {
+                if self.seen_values.len() < 64 {
+                    self.seen_values.push(value.clone());
+                }
+            }
+            other => {
+                if self.seen_msgs.len() < 64 {
+                    self.seen_msgs.push(other.clone());
+                }
+            }
+        }
+    }
+
+    fn random_set(&mut self) -> BTreeSet<V> {
+        let mut set = BTreeSet::new();
+        if self.seen_values.is_empty() {
+            return set;
+        }
+        let k = (self.next_u64() as usize) % (self.seen_values.len().min(4) + 1);
+        for _ in 0..k {
+            let idx = (self.next_u64() as usize) % self.seen_values.len();
+            set.insert(self.seen_values[idx].clone());
+        }
+        set
+    }
+
+    fn emit(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        for _ in 0..self.burst {
+            let to = (self.next_u64() as usize) % ctx.n;
+            if to == ctx.me {
+                continue;
+            }
+            let roll = self.next_u64() % 6;
+            let msg = match roll {
+                0 => WtsMsg::AckReq {
+                    proposed: self.random_set(),
+                    ts: self.next_u64() % 4,
+                },
+                1 => WtsMsg::Ack {
+                    accepted: self.random_set(),
+                    ts: self.next_u64() % 4,
+                },
+                2 => WtsMsg::Nack {
+                    accepted: self.random_set(),
+                    ts: self.next_u64() % 4,
+                },
+                3 => {
+                    // Replay a previously observed protocol message.
+                    if self.seen_msgs.is_empty() {
+                        continue;
+                    }
+                    let idx = (self.next_u64() as usize) % self.seen_msgs.len();
+                    self.seen_msgs[idx].clone()
+                }
+                4 => {
+                    // Re-disclose someone's value as our own.
+                    if self.seen_values.is_empty() {
+                        continue;
+                    }
+                    let idx = (self.next_u64() as usize) % self.seen_values.len();
+                    WtsMsg::Rb(RbMsg::Init {
+                        tag: 0,
+                        value: self.seen_values[idx].clone(),
+                    })
+                }
+                _ => {
+                    // Fake a ready for a random origin.
+                    if self.seen_values.is_empty() {
+                        continue;
+                    }
+                    let idx = (self.next_u64() as usize) % self.seen_values.len();
+                    WtsMsg::Rb(RbMsg::Ready {
+                        origin: (self.next_u64() as usize) % ctx.n,
+                        tag: 0,
+                        value: self.seen_values[idx].clone(),
+                    })
+                }
+            };
+            ctx.send(to, msg);
+        }
+    }
+}
+
+impl<V: Value> Process<WtsMsg<V>> for ChaosMonkey<V> {
+    fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        self.emit(ctx);
+    }
+    fn on_message(&mut self, from: ProcessId, msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
+        if from == ctx.me {
+            return;
+        }
+        self.observe(&msg);
+        // Throttle: inject on a third of deliveries so runs terminate.
+        if self.next_u64().is_multiple_of(3) {
+            self.emit(ctx);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// GWTS-specific adversaries.
+pub mod gwts {
+    use crate::gwts::GwtsMsg;
+    use crate::value::Value;
+    use bgla_simnet::{Context, Process, ProcessId};
+    use std::any::Any;
+    use std::collections::BTreeSet;
+    use std::marker::PhantomData;
+
+    /// Pretends to be many rounds ahead, flooding ack requests for
+    /// future rounds — the "round clogging" attack `Safe_r` exists to
+    /// stop (Section 6.2).
+    pub struct RoundJumper<V> {
+        /// Highest round to fake.
+        pub upto: u64,
+        _marker: PhantomData<V>,
+    }
+
+    impl<V> RoundJumper<V> {
+        /// Jumps up to round `upto`.
+        pub fn new(upto: u64) -> Self {
+            RoundJumper {
+                upto,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<V: Value> Process<GwtsMsg<V>> for RoundJumper<V> {
+        fn on_start(&mut self, ctx: &mut Context<GwtsMsg<V>>) {
+            for round in 0..self.upto {
+                ctx.broadcast(GwtsMsg::AckReq {
+                    proposed: BTreeSet::new(),
+                    ts: 1_000 + round,
+                    round,
+                });
+            }
+        }
+        fn on_message(
+            &mut self,
+            _f: ProcessId,
+            _m: GwtsMsg<V>,
+            _c: &mut Context<GwtsMsg<V>>,
+        ) {
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Silent GWTS participant (crash from the start).
+    pub struct SilentG<V> {
+        _marker: PhantomData<V>,
+    }
+
+    impl<V> Default for SilentG<V> {
+        fn default() -> Self {
+            SilentG {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<V: Value> Process<GwtsMsg<V>> for SilentG<V> {
+        fn on_message(
+            &mut self,
+            _f: ProcessId,
+            _m: GwtsMsg<V>,
+            _c: &mut Context<GwtsMsg<V>>,
+        ) {
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Equivocating discloser for GWTS: different round-0 batches to the
+    /// two halves of the system (stopped by the disclosure rbcast).
+    pub struct BatchEquivocator<V: Value> {
+        /// Batch shown to the low half.
+        pub a: BTreeSet<V>,
+        /// Batch shown to the high half.
+        pub b: BTreeSet<V>,
+    }
+
+    impl<V: Value> Process<GwtsMsg<V>> for BatchEquivocator<V> {
+        fn on_start(&mut self, ctx: &mut Context<GwtsMsg<V>>) {
+            for to in 0..ctx.n {
+                if to == ctx.me {
+                    continue;
+                }
+                let batch = if to < ctx.n / 2 { self.a.clone() } else { self.b.clone() };
+                ctx.send(
+                    to,
+                    GwtsMsg::Disc(bgla_rbcast::RbMsg::Init {
+                        tag: 0,
+                        value: batch,
+                    }),
+                );
+            }
+        }
+        fn on_message(
+            &mut self,
+            _f: ProcessId,
+            _m: GwtsMsg<V>,
+            _c: &mut Context<GwtsMsg<V>>,
+        ) {
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+}
+
+/// SbS-specific adversaries (Section 8).
+pub mod sbs {
+    use crate::sbs::{ProvenValue, SafeAckBody, SbsMsg, SignedSafeAck, SignedValue};
+    use crate::value::SignableValue;
+    use bgla_crypto::Keypair;
+    use bgla_simnet::{Context, Process, ProcessId};
+    use std::any::Any;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    /// Signs two different values and shows one to each half of the
+    /// system — Lemma 13's threat: at most one may ever become safe.
+    pub struct ConflictSigner<V: SignableValue> {
+        /// This adversary's process id (it signs with its real key —
+        /// it cannot forge anyone else's).
+        pub me: ProcessId,
+        /// Value shown to the low half.
+        pub a: V,
+        /// Value shown to the high half.
+        pub b: V,
+    }
+
+    impl<V: SignableValue> Process<SbsMsg<V>> for ConflictSigner<V> {
+        fn on_start(&mut self, ctx: &mut Context<SbsMsg<V>>) {
+            let kp = Keypair::for_process(self.me);
+            let sva = SignedValue::sign(self.a.clone(), self.me, &kp);
+            let svb = SignedValue::sign(self.b.clone(), self.me, &kp);
+            for to in 0..ctx.n {
+                if to == ctx.me {
+                    continue;
+                }
+                let sv = if to < ctx.n / 2 { sva.clone() } else { svb.clone() };
+                ctx.send(to, SbsMsg::Init(sv));
+            }
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: SbsMsg<V>, _c: &mut Context<SbsMsg<V>>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Tries to push proposals carrying *forged* proofs of safety:
+    /// undersized quorums, self-duplicated acks, and acks that never
+    /// covered the value. `AllSafe` must reject every one.
+    pub struct ProofForger<V: SignableValue> {
+        /// The adversary's id.
+        pub me: ProcessId,
+        /// The value it tries to sneak in.
+        pub value: V,
+    }
+
+    impl<V: SignableValue> Process<SbsMsg<V>> for ProofForger<V> {
+        fn on_start(&mut self, ctx: &mut Context<SbsMsg<V>>) {
+            let kp = Keypair::for_process(self.me);
+            let sv = SignedValue::sign(self.value.clone(), self.me, &kp);
+            // A "proof" of one self-signed ack, repeated.
+            let body = SafeAckBody {
+                rcvd: [sv.clone()].into_iter().collect(),
+                conflicts: vec![],
+            };
+            let ack = SignedSafeAck::sign(body, self.me, &kp);
+            let proof = Arc::new(vec![ack.clone(), ack.clone(), ack]);
+            let proposed: BTreeSet<ProvenValue<V>> = [ProvenValue { sv, proof }]
+                .into_iter()
+                .collect();
+            for ts in 0..3 {
+                ctx.broadcast(SbsMsg::AckReq {
+                    proposed: proposed.clone(),
+                    ts,
+                });
+            }
+        }
+        fn on_message(&mut self, from: ProcessId, msg: SbsMsg<V>, ctx: &mut Context<SbsMsg<V>>) {
+            if from == ctx.me {
+                return;
+            }
+            // Also nack every legitimate request with the forged set.
+            if let SbsMsg::AckReq { ts, .. } = msg {
+                let kp = Keypair::for_process(self.me);
+                let sv = SignedValue::sign(self.value.clone(), self.me, &kp);
+                let body = SafeAckBody {
+                    rcvd: [sv.clone()].into_iter().collect(),
+                    conflicts: vec![],
+                };
+                let ack = SignedSafeAck::sign(body, self.me, &kp);
+                let accepted: BTreeSet<ProvenValue<V>> = [ProvenValue {
+                    sv,
+                    proof: Arc::new(vec![ack]),
+                }]
+                .into_iter()
+                .collect();
+                ctx.send(from, SbsMsg::Nack { accepted, ts });
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Silent SbS participant.
+    pub struct SilentS<V> {
+        _marker: std::marker::PhantomData<V>,
+    }
+
+    impl<V> Default for SilentS<V> {
+        fn default() -> Self {
+            SilentS {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<V: SignableValue> Process<SbsMsg<V>> for SilentS<V> {
+        fn on_message(&mut self, _f: ProcessId, _m: SbsMsg<V>, _c: &mut Context<SbsMsg<V>>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+}
+
+/// Wraps an *honest* process and crashes it after `k` deliveries: the
+/// classic mid-protocol crash fault (a special case of Byzantine
+/// behavior the spec must tolerate). Before the crash it behaves
+/// exactly like the wrapped process — including possibly having
+/// half-participated in quorums.
+pub struct MidCrash<M, P: Process<M>> {
+    inner: P,
+    /// Deliveries after which the process goes silent.
+    pub crash_after: u64,
+    seen: u64,
+    _marker: PhantomData<M>,
+}
+
+impl<M, P: Process<M>> MidCrash<M, P> {
+    /// Wraps `inner`, crashing it after `crash_after` deliveries.
+    pub fn new(inner: P, crash_after: u64) -> Self {
+        MidCrash {
+            inner,
+            crash_after,
+            seen: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.seen >= self.crash_after
+    }
+}
+
+impl<M: Send + 'static, P: Process<M> + 'static> Process<M> for MidCrash<M, P> {
+    fn on_start(&mut self, ctx: &mut Context<M>) {
+        if self.crash_after > 0 {
+            self.inner.on_start(ctx);
+        }
+    }
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Context<M>) {
+        self.seen += 1;
+        if self.seen <= self.crash_after {
+            self.inner.on_message(from, msg, ctx);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

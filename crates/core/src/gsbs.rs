@@ -1,0 +1,1022 @@
+//! **Generalized Safety by Signature** (GSbS) — the Section 8.2 sketch
+//! made concrete.
+//!
+//! GWTS achieves round discipline by *reliably broadcasting* every
+//! acceptor ack (`O(n²)` messages each). Section 8.2 replaces that with
+//! signatures; the two functions of the ack broadcast are recovered as:
+//!
+//! 1. **Publicity of acceptance** → acceptors *sign* their point-to-point
+//!    acks. A proposer holding `⌊(n+f)/2⌋+1` signed acks for the same
+//!    `(digest, ts, round)` possesses a transferable *decided
+//!    certificate*.
+//! 2. **Public round termination** → before deciding, a proposer
+//!    broadcasts a `decided` message carrying that certificate. A correct
+//!    acceptor trusts round `r` only after trusting `r−1` **and** seeing
+//!    a well-formed `decided` certificate for `r−1`. Certificates are
+//!    re-forwarded once per process (the paper piggybacks them on ack
+//!    replies; a one-shot forward has the same asymptotic cost and
+//!    simpler structure), so termination knowledge spreads like the
+//!    paper's piggybacking does.
+//!
+//! Per-round value safety uses the same init/safetying machinery as
+//! [`crate::sbs`], applied to *round batches*: each proposer signs its
+//! `(round, batch)`; a batch is safe with a quorum of signed safe-acks
+//! none of which reports a conflict (two different batches signed by the
+//! same proposer for the same round).
+//!
+//! Message complexity: `O(f·n)` per proposer per decision (Section 8.2).
+
+use crate::config::SystemConfig;
+use crate::value::{set_wire_size, SignableValue};
+use bgla_crypto::{sha512, Keypair, Keyring, Signature, ToBytes};
+use bgla_simnet::{Context, Process, ProcessId, WireMessage};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+const BATCH_DOMAIN: &[u8] = b"bgla-gsbs-batch:";
+const SAFEACK_DOMAIN: &[u8] = b"bgla-gsbs-safeack:";
+const ACK_DOMAIN: &[u8] = b"bgla-gsbs-ack:";
+
+/// Digest of a proposal's value set (binds signed acks to contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 64]);
+
+/// Digest of a set of values under the canonical encoding.
+pub fn digest_values<V: SignableValue>(values: &BTreeSet<V>) -> Digest {
+    let mut bytes = Vec::new();
+    (values.len() as u64).write_bytes(&mut bytes);
+    for v in values {
+        v.write_bytes(&mut bytes);
+    }
+    Digest(sha512(&bytes))
+}
+
+/// A proposer-signed round batch.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SignedBatch<V: SignableValue> {
+    /// Round the batch belongs to.
+    pub round: u64,
+    /// The batched input values.
+    pub batch: BTreeSet<V>,
+    /// Signing proposer.
+    pub signer: ProcessId,
+    /// Signature over (round, batch).
+    pub sig: Signature,
+}
+
+impl<V: SignableValue> SignedBatch<V> {
+    fn signable_bytes(round: u64, batch: &BTreeSet<V>, signer: ProcessId) -> Vec<u8> {
+        let mut out = BATCH_DOMAIN.to_vec();
+        round.write_bytes(&mut out);
+        (signer as u64).write_bytes(&mut out);
+        (batch.len() as u64).write_bytes(&mut out);
+        for v in batch {
+            v.write_bytes(&mut out);
+        }
+        out
+    }
+
+    /// Signs a round batch.
+    pub fn sign(round: u64, batch: BTreeSet<V>, signer: ProcessId, kp: &Keypair) -> Self {
+        let sig = kp.sign(&Self::signable_bytes(round, &batch, signer));
+        SignedBatch {
+            round,
+            batch,
+            signer,
+            sig,
+        }
+    }
+
+    /// Verifies the proposer's signature.
+    pub fn verify(&self, ring: &Keyring) -> bool {
+        ring.verify(
+            self.signer,
+            &Self::signable_bytes(self.round, &self.batch, self.signer),
+            &self.sig,
+        )
+    }
+
+    /// Same signer + round but different batch contents.
+    pub fn conflicts_with(&self, other: &Self) -> bool {
+        self.signer == other.signer && self.round == other.round && self.batch != other.batch
+    }
+}
+
+/// Signed safetying reply for a round.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GSafeAck<V: SignableValue> {
+    /// Round being safetied.
+    pub round: u64,
+    /// Echo of the request set.
+    pub rcvd: BTreeSet<SignedBatch<V>>,
+    /// Conflicts known to the acceptor.
+    pub conflicts: Vec<(SignedBatch<V>, SignedBatch<V>)>,
+    /// Acceptor id.
+    pub signer: ProcessId,
+    /// Signature over all of the above.
+    pub sig: Signature,
+}
+
+impl<V: SignableValue> GSafeAck<V> {
+    fn signable_bytes(
+        round: u64,
+        rcvd: &BTreeSet<SignedBatch<V>>,
+        conflicts: &[(SignedBatch<V>, SignedBatch<V>)],
+        signer: ProcessId,
+    ) -> Vec<u8> {
+        let mut out = SAFEACK_DOMAIN.to_vec();
+        round.write_bytes(&mut out);
+        (signer as u64).write_bytes(&mut out);
+        (rcvd.len() as u64).write_bytes(&mut out);
+        for sb in rcvd {
+            out.extend_from_slice(&sb.sig.to_bytes());
+        }
+        (conflicts.len() as u64).write_bytes(&mut out);
+        for (a, b) in conflicts {
+            out.extend_from_slice(&a.sig.to_bytes());
+            out.extend_from_slice(&b.sig.to_bytes());
+        }
+        out
+    }
+
+    /// Builds and signs a safe-ack.
+    pub fn sign(
+        round: u64,
+        rcvd: BTreeSet<SignedBatch<V>>,
+        conflicts: Vec<(SignedBatch<V>, SignedBatch<V>)>,
+        signer: ProcessId,
+        kp: &Keypair,
+    ) -> Self {
+        let sig = kp.sign(&Self::signable_bytes(round, &rcvd, &conflicts, signer));
+        GSafeAck {
+            round,
+            rcvd,
+            conflicts,
+            signer,
+            sig,
+        }
+    }
+
+    /// Verifies the acceptor's signature.
+    pub fn verify(&self, ring: &Keyring) -> bool {
+        ring.verify(
+            self.signer,
+            &Self::signable_bytes(self.round, &self.rcvd, &self.conflicts, self.signer),
+            &self.sig,
+        )
+    }
+
+    /// Whether `sb` appears in a conflict pair.
+    pub fn conflicted(&self, sb: &SignedBatch<V>) -> bool {
+        self.conflicts.iter().any(|(a, b)| a == sb || b == sb)
+    }
+}
+
+/// A batch with its quorum proof of safety.
+#[derive(Debug, Clone)]
+pub struct ProvenBatch<V: SignableValue> {
+    /// The signed batch.
+    pub sb: SignedBatch<V>,
+    /// Quorum of safe-acks covering it.
+    pub proof: Arc<Vec<GSafeAck<V>>>,
+}
+
+impl<V: SignableValue> PartialEq for ProvenBatch<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.sb == other.sb
+    }
+}
+impl<V: SignableValue> Eq for ProvenBatch<V> {}
+impl<V: SignableValue> PartialOrd for ProvenBatch<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V: SignableValue> Ord for ProvenBatch<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sb.cmp(&other.sb)
+    }
+}
+
+/// An acceptor-signed point-to-point ack (replaces GWTS's reliably
+/// broadcast ack).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SignedAck {
+    /// Proposer the ack answers.
+    pub destination: ProcessId,
+    /// Proposer's timestamp.
+    pub ts: u64,
+    /// Round.
+    pub round: u64,
+    /// Digest of the accepted value set.
+    pub digest: Digest,
+    /// Acceptor id.
+    pub signer: ProcessId,
+    /// Signature.
+    pub sig: Signature,
+}
+
+impl SignedAck {
+    fn signable_bytes(
+        destination: ProcessId,
+        ts: u64,
+        round: u64,
+        digest: &Digest,
+        signer: ProcessId,
+    ) -> Vec<u8> {
+        let mut out = ACK_DOMAIN.to_vec();
+        (destination as u64).write_bytes(&mut out);
+        ts.write_bytes(&mut out);
+        round.write_bytes(&mut out);
+        out.extend_from_slice(&digest.0);
+        (signer as u64).write_bytes(&mut out);
+        out
+    }
+
+    /// Builds and signs an ack.
+    pub fn sign(
+        destination: ProcessId,
+        ts: u64,
+        round: u64,
+        digest: Digest,
+        signer: ProcessId,
+        kp: &Keypair,
+    ) -> Self {
+        let sig = kp.sign(&Self::signable_bytes(destination, ts, round, &digest, signer));
+        SignedAck {
+            destination,
+            ts,
+            round,
+            digest,
+            signer,
+            sig,
+        }
+    }
+
+    /// Verifies the acceptor's signature.
+    pub fn verify(&self, ring: &Keyring) -> bool {
+        ring.verify(
+            self.signer,
+            &Self::signable_bytes(self.destination, self.ts, self.round, &self.digest, self.signer),
+            &self.sig,
+        )
+    }
+}
+
+/// A transferable proof that round `round` legitimately ended with the
+/// given value set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecidedCert<V: SignableValue> {
+    /// The round that ended.
+    pub round: u64,
+    /// The committed value set.
+    pub values: BTreeSet<V>,
+    /// Quorum of signed acks over `digest(values)`.
+    pub acks: Vec<SignedAck>,
+}
+
+impl<V: SignableValue> DecidedCert<V> {
+    /// Validates the certificate: quorum of valid acks from distinct
+    /// acceptors over this round and the values' digest.
+    pub fn well_formed(&self, config: &SystemConfig, ring: &Keyring) -> bool {
+        if self.acks.len() < config.quorum() {
+            return false;
+        }
+        let digest = digest_values(&self.values);
+        let mut signers = BTreeSet::new();
+        self.acks.iter().all(|a| {
+            a.round == self.round
+                && a.digest == digest
+                && signers.insert(a.signer)
+                && a.verify(ring)
+        })
+    }
+}
+
+/// GSbS wire messages.
+#[derive(Debug, Clone)]
+pub enum GsbsMsg<V: SignableValue> {
+    /// Signed round batch, proposer → proposers.
+    Init(SignedBatch<V>),
+    /// Safetying request for one round.
+    SafeReq {
+        /// Round being safetied.
+        round: u64,
+        /// The proposer's collected signed batches for that round.
+        set: BTreeSet<SignedBatch<V>>,
+    },
+    /// Signed safetying reply.
+    SafeAck(GSafeAck<V>),
+    /// Proposal with proofs.
+    AckReq {
+        /// Cumulative proven proposal.
+        proposed: BTreeSet<ProvenBatch<V>>,
+        /// Refinement timestamp.
+        ts: u64,
+        /// Round.
+        round: u64,
+    },
+    /// Signed point-to-point ack.
+    Ack(SignedAck),
+    /// Refusal with the acceptor's proven set.
+    Nack {
+        /// Acceptor's accepted proven set.
+        accepted: BTreeSet<ProvenBatch<V>>,
+        /// Echoed timestamp.
+        ts: u64,
+        /// Echoed round.
+        round: u64,
+    },
+    /// Round-termination certificate (broadcast before deciding,
+    /// re-forwarded once by every correct process).
+    Decided(DecidedCert<V>),
+}
+
+impl<V: SignableValue> WireMessage for GsbsMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            GsbsMsg::Init(_) => "init",
+            GsbsMsg::SafeReq { .. } => "safe_req",
+            GsbsMsg::SafeAck(_) => "safe_ack",
+            GsbsMsg::AckReq { .. } => "ack_req",
+            GsbsMsg::Ack(_) => "ack",
+            GsbsMsg::Nack { .. } => "nack",
+            GsbsMsg::Decided(_) => "decided",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        fn batch_size<V: SignableValue>(sb: &SignedBatch<V>) -> usize {
+            80 + set_wire_size(&sb.batch)
+        }
+        fn proven_size<V: SignableValue>(set: &BTreeSet<ProvenBatch<V>>) -> usize {
+            let mut total = 8;
+            let mut seen: Vec<*const Vec<GSafeAck<V>>> = Vec::new();
+            for pb in set {
+                total += batch_size(&pb.sb);
+                let ptr = Arc::as_ptr(&pb.proof);
+                if !seen.contains(&ptr) {
+                    seen.push(ptr);
+                    for ack in pb.proof.iter() {
+                        total += 80
+                            + ack.rcvd.iter().map(batch_size).sum::<usize>()
+                            + ack
+                                .conflicts
+                                .iter()
+                                .map(|(a, b)| batch_size(a) + batch_size(b))
+                                .sum::<usize>();
+                    }
+                }
+            }
+            total
+        }
+        match self {
+            GsbsMsg::Init(sb) => batch_size(sb),
+            GsbsMsg::SafeReq { set, .. } => {
+                16 + set.iter().map(batch_size).sum::<usize>()
+            }
+            GsbsMsg::SafeAck(a) => {
+                80 + a.rcvd.iter().map(batch_size).sum::<usize>()
+                    + a.conflicts
+                        .iter()
+                        .map(|(x, y)| batch_size(x) + batch_size(y))
+                        .sum::<usize>()
+            }
+            GsbsMsg::AckReq { proposed, .. } => 24 + proven_size(proposed),
+            GsbsMsg::Ack(_) => 8 + 8 + 8 + 64 + 8 + 64,
+            GsbsMsg::Nack { accepted, .. } => 24 + proven_size(accepted),
+            GsbsMsg::Decided(c) => {
+                16 + set_wire_size(&c.values) + c.acks.len() * 160
+            }
+        }
+    }
+}
+
+/// Proposer phase within the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsbsState {
+    /// Collecting signed round batches.
+    Init,
+    /// Waiting on safe-acks for this round.
+    Safetying,
+    /// Proposing / refining.
+    Proposing,
+    /// Ran all `max_rounds` rounds.
+    Done,
+}
+
+/// A correct GSbS participant.
+pub struct GsbsProcess<V: SignableValue> {
+    /// System parameters.
+    pub config: SystemConfig,
+    me: ProcessId,
+    /// Per-round input schedule (like GWTS).
+    pub input_schedule: BTreeMap<u64, Vec<V>>,
+    /// Simulation horizon.
+    pub max_rounds: u64,
+    keypair: Keypair,
+    ring: Keyring,
+
+    state: GsbsState,
+    /// Current round.
+    pub round: u64,
+    ts: u64,
+    /// Pending batches.
+    batches: BTreeMap<u64, Vec<V>>,
+    /// Collected signed batches per round (conflict-pruned).
+    safety_sets: BTreeMap<u64, BTreeSet<SignedBatch<V>>>,
+    /// Collected safe-acks for our current safe_req.
+    safe_acks: Vec<GSafeAck<V>>,
+    safe_ack_senders: BTreeSet<ProcessId>,
+    /// The exact set sent in the outstanding safe_req (safe-acks must
+    /// echo it verbatim; `safety_sets` keeps growing in the meantime).
+    current_safe_req: BTreeSet<SignedBatch<V>>,
+    /// Cumulative proven proposal.
+    proposed_set: BTreeSet<ProvenBatch<V>>,
+    /// Signed acks gathered for the current (ts, round, digest).
+    ack_certs: Vec<SignedAck>,
+    /// Acceptor: safety candidates per round.
+    safe_candidates: BTreeMap<u64, BTreeSet<SignedBatch<V>>>,
+    /// Acceptor: cumulative accepted proven set.
+    accepted_set: BTreeSet<ProvenBatch<V>>,
+    /// Acceptor: highest trusted round.
+    pub safe_r: u64,
+    /// Valid decided certificates seen, by round.
+    decided_certs: BTreeMap<u64, DecidedCert<V>>,
+    /// Rounds whose certificate we already re-forwarded.
+    forwarded: BTreeSet<u64>,
+    /// Buffered messages awaiting guards.
+    waiting: Vec<(ProcessId, GsbsMsg<V>)>,
+    /// Cumulative decision floor.
+    decided_set: BTreeSet<V>,
+    /// Signature memo cache.
+    sig_cache: BTreeMap<(ProcessId, Signature), bool>,
+
+    /// Decision sequence.
+    pub decisions: Vec<BTreeSet<V>>,
+    /// Causal depth per decision.
+    pub decision_depths: Vec<u64>,
+    /// All inputs this process proposed.
+    pub all_inputs: Vec<V>,
+}
+
+impl<V: SignableValue> GsbsProcess<V> {
+    /// Creates a participant with a per-round input schedule.
+    pub fn new(
+        me: ProcessId,
+        config: SystemConfig,
+        input_schedule: BTreeMap<u64, Vec<V>>,
+        max_rounds: u64,
+    ) -> Self {
+        GsbsProcess {
+            config,
+            me,
+            input_schedule,
+            max_rounds,
+            keypair: Keypair::for_process(me),
+            ring: Keyring::for_system(config.n),
+            state: GsbsState::Init,
+            round: 0,
+            ts: 0,
+            batches: BTreeMap::new(),
+            safety_sets: BTreeMap::new(),
+            safe_acks: Vec::new(),
+            safe_ack_senders: BTreeSet::new(),
+            current_safe_req: BTreeSet::new(),
+            proposed_set: BTreeSet::new(),
+            ack_certs: Vec::new(),
+            safe_candidates: BTreeMap::new(),
+            accepted_set: BTreeSet::new(),
+            safe_r: 0,
+            decided_certs: BTreeMap::new(),
+            forwarded: BTreeSet::new(),
+            waiting: Vec::new(),
+            decided_set: BTreeSet::new(),
+            sig_cache: BTreeMap::new(),
+            decisions: Vec::new(),
+            decision_depths: Vec::new(),
+            all_inputs: Vec::new(),
+        }
+    }
+
+    /// Process id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Current phase.
+    pub fn state(&self) -> GsbsState {
+        self.state
+    }
+
+    fn verify_batch(&mut self, sb: &SignedBatch<V>) -> bool {
+        let key = (sb.signer, sb.sig);
+        if let Some(&ok) = self.sig_cache.get(&key) {
+            return ok;
+        }
+        let ok = sb.verify(&self.ring);
+        self.sig_cache.insert(key, ok);
+        ok
+    }
+
+    fn verify_safe_ack(&mut self, a: &GSafeAck<V>) -> bool {
+        let key = (a.signer, a.sig);
+        if let Some(&ok) = self.sig_cache.get(&key) {
+            return ok;
+        }
+        let ok = a.verify(&self.ring);
+        self.sig_cache.insert(key, ok);
+        ok
+    }
+
+    fn verify_signed_ack(&mut self, a: &SignedAck) -> bool {
+        let key = (a.signer, a.sig);
+        if let Some(&ok) = self.sig_cache.get(&key) {
+            return ok;
+        }
+        let ok = a.verify(&self.ring);
+        self.sig_cache.insert(key, ok);
+        ok
+    }
+
+    fn all_safe(&mut self, set: &BTreeSet<ProvenBatch<V>>) -> bool {
+        let quorum = self.config.quorum();
+        for pb in set {
+            if !self.verify_batch(&pb.sb) || pb.proof.len() < quorum {
+                return false;
+            }
+            let mut signers = BTreeSet::new();
+            for ack in pb.proof.iter() {
+                if ack.round != pb.sb.round
+                    || !self.verify_safe_ack(ack)
+                    || !signers.insert(ack.signer)
+                    || !ack.rcvd.contains(&pb.sb)
+                    || ack.conflicted(&pb.sb)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn values_of(set: &BTreeSet<ProvenBatch<V>>) -> BTreeSet<V> {
+        set.iter()
+            .flat_map(|pb| pb.sb.batch.iter().cloned())
+            .collect()
+    }
+
+    fn start_round(&mut self, round: u64, ctx: &mut Context<GsbsMsg<V>>) {
+        self.round = round;
+        self.state = GsbsState::Init;
+        self.safe_acks.clear();
+        self.safe_ack_senders.clear();
+        if let Some(vals) = self.input_schedule.remove(&round) {
+            for v in vals {
+                self.all_inputs.push(v.clone());
+                self.batches.entry(round).or_default().push(v);
+            }
+        }
+        let batch: BTreeSet<V> = self
+            .batches
+            .remove(&round)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        let sb = SignedBatch::sign(round, batch, self.me, &self.keypair);
+        self.safety_sets.entry(round).or_default().insert(sb.clone());
+        ctx.broadcast(GsbsMsg::Init(sb));
+        self.maybe_start_safetying(ctx);
+    }
+
+    fn maybe_start_safetying(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        if self.state != GsbsState::Init {
+            return;
+        }
+        let set = self.safety_sets.entry(self.round).or_default().clone();
+        if set.len() >= self.config.disclosure_threshold() {
+            self.state = GsbsState::Safetying;
+            self.current_safe_req = set.clone();
+            ctx.broadcast(GsbsMsg::SafeReq {
+                round: self.round,
+                set,
+            });
+        }
+    }
+
+    fn maybe_start_proposing(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        if self.state != GsbsState::Safetying
+            || self.safe_acks.len() < self.config.quorum()
+        {
+            return;
+        }
+        let proof = Arc::new(self.safe_acks.clone());
+        let set = self.current_safe_req.clone();
+        for sb in set {
+            let conflicted = proof.iter().any(|a| a.conflicted(&sb));
+            if !conflicted {
+                self.proposed_set.insert(ProvenBatch {
+                    sb,
+                    proof: Arc::clone(&proof),
+                });
+            }
+        }
+        self.state = GsbsState::Proposing;
+        self.ts += 1;
+        self.ack_certs.clear();
+        self.broadcast_proposal(ctx);
+        self.try_adopt_certificate(ctx);
+    }
+
+    fn broadcast_proposal(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        ctx.broadcast(GsbsMsg::AckReq {
+            proposed: self.proposed_set.clone(),
+            ts: self.ts,
+            round: self.round,
+        });
+    }
+
+    fn decide(&mut self, values: BTreeSet<V>, ctx: &mut Context<GsbsMsg<V>>) {
+        self.decisions.push(values.clone());
+        self.decision_depths.push(ctx.depth);
+        self.decided_set = values;
+        let next = self.round + 1;
+        if next < self.max_rounds {
+            self.start_round(next, ctx);
+        } else {
+            self.state = GsbsState::Done;
+        }
+    }
+
+    /// Adopts a seen certificate for the current round if it preserves
+    /// Local Stability.
+    fn try_adopt_certificate(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        while self.state == GsbsState::Proposing {
+            let Some(cert) = self.decided_certs.get(&self.round) else {
+                return;
+            };
+            if self.decided_set.is_subset(&cert.values) {
+                let values = cert.values.clone();
+                self.decide(values, ctx);
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn advance_safe_r(&mut self) {
+        while self.decided_certs.contains_key(&self.safe_r) {
+            self.safe_r += 1;
+        }
+    }
+
+    /// Registers a certificate (assumed well-formed), forwards it once,
+    /// and updates trust.
+    fn absorb_certificate(&mut self, cert: DecidedCert<V>, ctx: &mut Context<GsbsMsg<V>>) {
+        let round = cert.round;
+        if let std::collections::btree_map::Entry::Vacant(e) = self.decided_certs.entry(round) {
+            e.insert(cert.clone());
+            if self.forwarded.insert(round) {
+                ctx.broadcast(GsbsMsg::Decided(cert));
+            }
+            self.advance_safe_r();
+        }
+    }
+
+    fn try_handle(
+        &mut self,
+        from: ProcessId,
+        msg: &GsbsMsg<V>,
+        ctx: &mut Context<GsbsMsg<V>>,
+    ) -> bool {
+        match msg {
+            GsbsMsg::AckReq { proposed, ts, round } => {
+                if *round > self.safe_r {
+                    return false;
+                }
+                if !self.all_safe(proposed) {
+                    return true; // forged proof: drop outright
+                }
+                let acc_vals = Self::values_of(&self.accepted_set);
+                let prop_vals = Self::values_of(proposed);
+                if acc_vals.is_subset(&prop_vals) {
+                    self.accepted_set = proposed.clone();
+                    let digest = digest_values(&prop_vals);
+                    let ack =
+                        SignedAck::sign(from, *ts, *round, digest, self.me, &self.keypair);
+                    ctx.send(from, GsbsMsg::Ack(ack));
+                } else {
+                    ctx.send(
+                        from,
+                        GsbsMsg::Nack {
+                            accepted: self.accepted_set.clone(),
+                            ts: *ts,
+                            round: *round,
+                        },
+                    );
+                    self.accepted_set.extend(proposed.iter().cloned());
+                }
+                true
+            }
+            GsbsMsg::Nack { accepted, ts, round } => {
+                if *round < self.round
+                    || (*round == self.round && *ts < self.ts)
+                    || self.state == GsbsState::Done
+                {
+                    return true; // stale
+                }
+                if self.state != GsbsState::Proposing
+                    || *round != self.round
+                    || *ts != self.ts
+                {
+                    return false;
+                }
+                let acc_vals = Self::values_of(accepted);
+                let prop_vals = Self::values_of(&self.proposed_set);
+                if !acc_vals.is_subset(&prop_vals) && self.all_safe(accepted) {
+                    self.proposed_set.extend(accepted.iter().cloned());
+                    self.ts += 1;
+                    self.ack_certs.clear();
+                    self.broadcast_proposal(ctx);
+                }
+                true
+            }
+            _ => unreachable!("only ack_req / nack are buffered"),
+        }
+    }
+
+    fn drain_waiting(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.waiting.len() {
+                let (from, msg) = self.waiting[i].clone();
+                if self.try_handle(from, &msg, ctx) {
+                    self.waiting.remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
+    fn on_start(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        self.start_round(0, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: GsbsMsg<V>, ctx: &mut Context<GsbsMsg<V>>) {
+        match msg {
+            GsbsMsg::Init(sb) => {
+                if self.verify_batch(&sb) {
+                    let round = sb.round;
+                    let entry = self.safety_sets.entry(round).or_default();
+                    entry.insert(sb);
+                    remove_batch_conflicts(entry);
+                    self.maybe_start_safetying(ctx);
+                }
+            }
+            GsbsMsg::SafeReq { round, set } => {
+                let all_ok = set.iter().all(|sb| sb.round == round)
+                    && set
+                        .iter().cloned()
+                        .collect::<Vec<_>>()
+                        .iter()
+                        .all(|sb| self.verify_batch(sb));
+                if all_ok {
+                    let cands = self.safe_candidates.entry(round).or_default();
+                    let mut union = cands.clone();
+                    union.extend(set.iter().cloned());
+                    let conflicts = return_batch_conflicts(&union);
+                    *cands = {
+                        let mut pruned = union.clone();
+                        remove_batch_conflicts(&mut pruned);
+                        pruned
+                    };
+                    let ack =
+                        GSafeAck::sign(round, set, conflicts, self.me, &self.keypair);
+                    ctx.send(from, GsbsMsg::SafeAck(ack));
+                }
+            }
+            GsbsMsg::SafeAck(ack) => {
+                if self.state != GsbsState::Safetying || ack.round != self.round {
+                    return;
+                }
+                let expected = self.current_safe_req.clone();
+                let pairs_ok = ack
+                    .conflicts
+                    .clone()
+                    .iter()
+                    .all(|(a, b)| {
+                        self.verify_batch(a) && self.verify_batch(b) && a.conflicts_with(b)
+                    });
+                if ack.signer == from
+                    && ack.rcvd == expected
+                    && pairs_ok
+                    && self.verify_safe_ack(&ack)
+                    && !self.safe_ack_senders.contains(&from)
+                {
+                    self.safe_ack_senders.insert(from);
+                    self.safe_acks.push(ack);
+                    self.maybe_start_proposing(ctx);
+                }
+            }
+            GsbsMsg::Ack(ack) => {
+                if self.state != GsbsState::Proposing
+                    || ack.destination != self.me
+                    || ack.ts != self.ts
+                    || ack.round != self.round
+                {
+                    return;
+                }
+                let digest = digest_values(&Self::values_of(&self.proposed_set));
+                if ack.digest != digest || !self.verify_signed_ack(&ack) {
+                    return;
+                }
+                if ack.signer == from
+                    && !self.ack_certs.iter().any(|a| a.signer == from)
+                {
+                    self.ack_certs.push(ack);
+                    if self.ack_certs.len() >= self.config.quorum() {
+                        let values = Self::values_of(&self.proposed_set);
+                        let cert = DecidedCert {
+                            round: self.round,
+                            values: values.clone(),
+                            acks: self.ack_certs.clone(),
+                        };
+                        self.absorb_certificate(cert, ctx);
+                        self.decide(values, ctx);
+                        self.drain_waiting(ctx);
+                    }
+                }
+            }
+            GsbsMsg::Decided(cert) => {
+                if self.decided_certs.contains_key(&cert.round) {
+                    return;
+                }
+                if cert.well_formed(&self.config, &self.ring) {
+                    self.absorb_certificate(cert, ctx);
+                    self.try_adopt_certificate(ctx);
+                    self.drain_waiting(ctx);
+                }
+            }
+            other @ (GsbsMsg::AckReq { .. } | GsbsMsg::Nack { .. }) => {
+                if self.try_handle(from, &other, ctx) {
+                    self.drain_waiting(ctx);
+                } else {
+                    self.waiting.push((from, other));
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Removes conflicting batch pairs in place.
+fn remove_batch_conflicts<V: SignableValue>(set: &mut BTreeSet<SignedBatch<V>>) {
+    let conflicts = return_batch_conflicts(set);
+    for (a, b) in conflicts {
+        set.remove(&a);
+        set.remove(&b);
+    }
+}
+
+/// Lists conflicting batch pairs.
+fn return_batch_conflicts<V: SignableValue>(
+    set: &BTreeSet<SignedBatch<V>>,
+) -> Vec<(SignedBatch<V>, SignedBatch<V>)> {
+    let items: Vec<&SignedBatch<V>> = set.iter().collect();
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            if items[i].conflicts_with(items[j]) {
+                out.push((items[i].clone(), items[j].clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use bgla_simnet::{FifoScheduler, RandomScheduler, Scheduler, Simulation, SimulationBuilder};
+
+    fn gsbs_system(
+        n: usize,
+        f: usize,
+        rounds: u64,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Simulation<GsbsMsg<u64>> {
+        let config = SystemConfig::new(n, f);
+        let mut b = SimulationBuilder::new().scheduler(scheduler);
+        for i in 0..n {
+            let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            for r in 0..rounds.saturating_sub(2) {
+                schedule.insert(r, vec![(i as u64) * 1_000 + r]);
+            }
+            b = b.add(Box::new(GsbsProcess::new(i, config, schedule, rounds)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn honest_rounds_decide_in_order() {
+        let (n, rounds) = (4, 3u64);
+        let mut sim = gsbs_system(n, 1, rounds, Box::new(FifoScheduler));
+        let out = sim.run(10_000_000);
+        assert!(out.quiescent);
+        let mut seqs = Vec::new();
+        let mut inputs = Vec::new();
+        for i in 0..n {
+            let p = sim.process_as::<GsbsProcess<u64>>(i).unwrap();
+            assert_eq!(p.decisions.len(), rounds as usize, "p{i}");
+            seqs.push(p.decisions.clone());
+            inputs.push(p.all_inputs.clone());
+        }
+        spec::check_local_stability(&seqs).unwrap();
+        spec::check_global_comparability(&seqs).unwrap();
+        spec::check_generalized_inclusivity(&inputs, &seqs).unwrap();
+    }
+
+    #[test]
+    fn random_schedules_preserve_spec() {
+        for seed in 0..5 {
+            let (n, rounds) = (4, 3u64);
+            let mut sim = gsbs_system(n, 1, rounds, Box::new(RandomScheduler::new(seed)));
+            let out = sim.run(10_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            let mut seqs = Vec::new();
+            for i in 0..n {
+                let p = sim.process_as::<GsbsProcess<u64>>(i).unwrap();
+                assert_eq!(p.decisions.len(), rounds as usize, "seed {seed} p{i}");
+                seqs.push(p.decisions.clone());
+            }
+            spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec::check_global_comparability(&seqs)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn certificates_validate_and_reject() {
+        let config = SystemConfig::new(4, 1);
+        let ring = Keyring::for_system(4);
+        let values: BTreeSet<u64> = [1, 2].into_iter().collect();
+        let digest = digest_values(&values);
+        let acks: Vec<SignedAck> = (0..3)
+            .map(|i| SignedAck::sign(0, 1, 0, digest, i, &Keypair::for_process(i)))
+            .collect();
+        let cert = DecidedCert {
+            round: 0,
+            values: values.clone(),
+            acks,
+        };
+        assert!(cert.well_formed(&config, &ring));
+        // Wrong round in acks.
+        let bad = DecidedCert {
+            round: 1,
+            values,
+            acks: cert.acks.clone(),
+        };
+        assert!(!bad.well_formed(&config, &ring));
+        // Too few acks.
+        let small = DecidedCert {
+            round: 0,
+            values: cert.values.clone(),
+            acks: cert.acks[..2].to_vec(),
+        };
+        assert!(!small.well_formed(&config, &ring));
+        // Tampered values (digest mismatch).
+        let mut tampered_values = cert.values.clone();
+        tampered_values.insert(99);
+        let tampered = DecidedCert {
+            round: 0,
+            values: tampered_values,
+            acks: cert.acks.clone(),
+        };
+        assert!(!tampered.well_formed(&config, &ring));
+    }
+
+    #[test]
+    fn per_proposer_messages_linear_in_n() {
+        let mut counts = Vec::new();
+        for n in [4usize, 7] {
+            let mut sim = gsbs_system(n, 1, 3, Box::new(FifoScheduler));
+            sim.run(50_000_000);
+            counts.push(sim.metrics().max_sent_per_process() as f64);
+        }
+        let growth = counts[1] / counts[0];
+        // n grew 1.75x; quadratic would be ~3x.
+        assert!(growth < 2.6, "growth {growth:.2}: {counts:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Scenario builders shared by tests, examples, and benches.
+
+use crate::config::SystemConfig;
+use crate::value::Value;
+use crate::wts::{WtsMsg, WtsProcess};
+use bgla_simnet::{Process, Scheduler, Simulation, SimulationBuilder};
+use std::collections::BTreeSet;
+
+/// Builds an all-correct WTS system of `n` processes (`f` is the *bound*
+/// the algorithm is configured with; no process actually misbehaves).
+/// `input(i)` supplies process `i`'s initial value.
+pub fn wts_system<V: Value>(
+    n: usize,
+    f: usize,
+    input: impl Fn(usize) -> V,
+    scheduler: Box<dyn Scheduler>,
+) -> (Simulation<WtsMsg<V>>, SystemConfig) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(scheduler);
+    for i in 0..n {
+        b = b.add(Box::new(WtsProcess::new(i, config, input(i))));
+    }
+    (b.build(), config)
+}
+
+/// Builds a WTS system where processes in `byzantine` are replaced by the
+/// supplied adversarial implementations. The adversary map is a function
+/// from process id to an optional Byzantine process; `None` means the
+/// process is correct.
+pub fn wts_system_with_adversaries<V: Value>(
+    n: usize,
+    f: usize,
+    input: impl Fn(usize) -> V,
+    scheduler: Box<dyn Scheduler>,
+    mut adversary: impl FnMut(usize, SystemConfig) -> Option<Box<dyn Process<WtsMsg<V>>>>,
+) -> (Simulation<WtsMsg<V>>, SystemConfig, Vec<usize>) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(scheduler);
+    let mut byz = Vec::new();
+    for i in 0..n {
+        match adversary(i, config) {
+            Some(p) => {
+                byz.push(i);
+                b = b.add(p);
+            }
+            None => {
+                b = b.add(Box::new(WtsProcess::new(i, config, input(i))));
+            }
+        }
+    }
+    assert!(byz.len() <= f, "more adversaries than the configured f");
+    (b.build(), config, byz)
+}
+
+/// Collects the artifacts of a finished WTS run over the *correct*
+/// processes.
+pub struct WtsRunReport<V: Value> {
+    /// `(input, decision)` pairs of correct processes that decided.
+    pub pairs: Vec<(V, BTreeSet<V>)>,
+    /// Decisions only (same order).
+    pub decisions: Vec<BTreeSet<V>>,
+    /// Whether each correct process decided.
+    pub decided: Vec<bool>,
+    /// Decision depths (message delays) for those that decided.
+    pub depths: Vec<u64>,
+    /// Max refinements across correct processes.
+    pub max_refinements: u64,
+}
+
+/// Extracts a [`WtsRunReport`] from a finished simulation. `correct`
+/// lists the ids of correct processes.
+pub fn wts_report<V: Value>(
+    sim: &Simulation<WtsMsg<V>>,
+    correct: &[usize],
+) -> WtsRunReport<V> {
+    let mut pairs = Vec::new();
+    let mut decisions = Vec::new();
+    let mut decided = Vec::new();
+    let mut depths = Vec::new();
+    let mut max_refinements = 0;
+    for &i in correct {
+        let p = sim
+            .process_as::<WtsProcess<V>>(i)
+            .expect("correct process is a WtsProcess");
+        decided.push(p.decision.is_some());
+        if let Some(d) = &p.decision {
+            pairs.push((p.proposal.clone(), d.clone()));
+            decisions.push(d.clone());
+        }
+        if let Some(depth) = p.decision_depth {
+            depths.push(depth);
+        }
+        max_refinements = max_refinements.max(p.refinements);
+    }
+    WtsRunReport {
+        pairs,
+        decisions,
+        decided,
+        depths,
+        max_refinements,
+    }
+}
+
+/// Runs the full LA specification battery on a report; panics with the
+/// violation on failure. `correct_inputs` is `X` in the paper.
+pub fn assert_la_spec<V: Value>(report: &WtsRunReport<V>, correct_inputs: &BTreeSet<V>, f: usize) {
+    crate::spec::check_liveness(&report.decided).expect("liveness");
+    crate::spec::check_comparability(&report.decisions).expect("comparability");
+    crate::spec::check_inclusivity(&report.pairs).expect("inclusivity");
+    crate::spec::check_nontriviality(correct_inputs, &report.decisions, f)
+        .expect("non-triviality");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgla_simnet::FifoScheduler;
+
+    #[test]
+    fn report_collects_everything() {
+        let (mut sim, config) = wts_system(4, 1, |i| i as u64, Box::new(FifoScheduler));
+        sim.run(1_000_000);
+        let correct: Vec<usize> = (0..config.n).collect();
+        let report = wts_report(&sim, &correct);
+        assert_eq!(report.decided.len(), 4);
+        let inputs: BTreeSet<u64> = (0..4).map(|i| i as u64).collect();
+        assert_la_spec(&report, &inputs, config.f);
+        assert!(report.depths.iter().all(|&d| d <= 7));
+    }
+}

@@ -1,0 +1,47 @@
+//! Byzantine (Generalized) Lattice Agreement — the algorithms of
+//! Di Luna, Anceaume, Querzoni (2019).
+//!
+//! * [`wts`] — **Wait Till Safe** (Algorithms 1–2): one-shot Byzantine
+//!   Lattice Agreement, optimal resilience `f ≤ (n−1)/3`, decision within
+//!   `2f + 5` message delays, `O(n²)` messages per process.
+//! * [`gwts`] — **Generalized WTS** (Algorithms 3–4): round-based
+//!   agreement over infinite input streams; `O(f·n²)` messages per
+//!   decision.
+//! * [`sbs`] — **Safety by Signature** (Algorithms 8–10): one-shot LA
+//!   with signatures, `O(n)` messages per proposer when `f = O(1)`,
+//!   `5 + 4f` message delays.
+//! * [`gsbs`] — the generalized signature-based variant sketched in
+//!   Section 8.2, made concrete.
+//! * [`spec`] — executable specification checkers for every property in
+//!   the paper (Comparability, Inclusivity, Non-Triviality, Stability,
+//!   Liveness, and their generalized forms).
+//! * [`adversary`] — a library of Byzantine behaviors aimed at each proof
+//!   obligation.
+//! * [`harness`] — scenario builders shared by tests, examples, and the
+//!   benchmark suite.
+//!
+//! The algorithms are written against the paper's canonical semilattice:
+//! sets of opaque *values* under union (every join semilattice embeds into
+//! one of these — Section 3.1 of the paper). A decision is therefore a
+//! `BTreeSet<V>`; applications map it into their own lattice by joining
+//! per-value contributions (see `bgla-rsm` for the RSM doing exactly
+//! that).
+#![warn(missing_docs)]
+
+
+// Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
+// `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
+#![allow(clippy::int_plus_one)]
+
+pub mod adversary;
+pub mod config;
+pub mod gsbs;
+pub mod gwts;
+pub mod harness;
+pub mod sbs;
+pub mod spec;
+pub mod value;
+pub mod wts;
+
+pub use config::SystemConfig;
+pub use value::Value;

@@ -1,0 +1,254 @@
+//! Executable specification checkers.
+//!
+//! Each property from Sections 3.1 (LA) and 6.1 (Generalized LA) of the
+//! paper becomes a function over recorded run artifacts. Tests, examples
+//! and benches call these instead of re-implementing ad-hoc assertions.
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A specification violation, with enough context to debug the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// Two decisions are incomparable (indices into the supplied slice).
+    Incomparable(usize, usize),
+    /// A process's own input is missing from its decision.
+    NotInclusive(usize),
+    /// A decision contains more than `f` values from outside the correct
+    /// processes' inputs.
+    NonTrivial {
+        /// Offending decision index.
+        decision: usize,
+        /// Number of foreign values found.
+        foreign: usize,
+        /// The bound that was exceeded (`f`).
+        bound: usize,
+    },
+    /// A correct process failed to decide (liveness).
+    NoDecision(usize),
+    /// A generalized-LA decision sequence decreased.
+    NotMonotone {
+        /// Process index.
+        process: usize,
+        /// Index within its decision sequence.
+        step: usize,
+    },
+    /// An input value never appeared in any later decision of its
+    /// proposer (generalized Inclusivity).
+    NeverIncluded {
+        /// Process index.
+        process: usize,
+    },
+}
+
+impl fmt::Display for SpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecViolation::Incomparable(i, j) => {
+                write!(f, "decisions {i} and {j} are incomparable")
+            }
+            SpecViolation::NotInclusive(i) => {
+                write!(f, "decision {i} does not include the process's own input")
+            }
+            SpecViolation::NonTrivial {
+                decision,
+                foreign,
+                bound,
+            } => write!(
+                f,
+                "decision {decision} contains {foreign} foreign values (> f = {bound})"
+            ),
+            SpecViolation::NoDecision(i) => write!(f, "correct process {i} never decided"),
+            SpecViolation::NotMonotone { process, step } => {
+                write!(f, "process {process} decision sequence decreased at step {step}")
+            }
+            SpecViolation::NeverIncluded { process } => {
+                write!(f, "an input of process {process} was never decided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecViolation {}
+
+/// **Comparability**: every pair of decisions is `⊆`-comparable
+/// (set inclusion is the lattice order for set lattices).
+pub fn check_comparability<V: Value>(decisions: &[BTreeSet<V>]) -> Result<(), SpecViolation> {
+    for i in 0..decisions.len() {
+        for j in (i + 1)..decisions.len() {
+            let (a, b) = (&decisions[i], &decisions[j]);
+            if !a.is_subset(b) && !b.is_subset(a) {
+                return Err(SpecViolation::Incomparable(i, j));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Inclusivity**: each correct process's input appears in its decision
+/// (`pro_i ≤ dec_i`). `pairs` holds `(input, decision)` per correct
+/// process.
+pub fn check_inclusivity<V: Value>(pairs: &[(V, BTreeSet<V>)]) -> Result<(), SpecViolation> {
+    for (i, (input, decision)) in pairs.iter().enumerate() {
+        if !decision.contains(input) {
+            return Err(SpecViolation::NotInclusive(i));
+        }
+    }
+    Ok(())
+}
+
+/// **Non-Triviality**: every decision is below `⊕(X ∪ B)` with
+/// `|B| ≤ f`, where `X` is the set of correct inputs. For set lattices
+/// this means: at most `f` *distinct* decided values fall outside `X`.
+///
+/// This checker enforces the (stronger) global form: across **all**
+/// supplied decisions, the union of foreign values has size ≤ `f` —
+/// which WTS guarantees because each Byzantine process can disclose at
+/// most one value past the reliable broadcast (Observation 1).
+pub fn check_nontriviality<V: Value>(
+    correct_inputs: &BTreeSet<V>,
+    decisions: &[BTreeSet<V>],
+    f: usize,
+) -> Result<(), SpecViolation> {
+    let mut foreign: BTreeSet<&V> = BTreeSet::new();
+    for (i, d) in decisions.iter().enumerate() {
+        for v in d {
+            if !correct_inputs.contains(v) {
+                foreign.insert(v);
+            }
+        }
+        if foreign.len() > f {
+            return Err(SpecViolation::NonTrivial {
+                decision: i,
+                foreign: foreign.len(),
+                bound: f,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// **Liveness**: every correct process decided. `decided[i]` is whether
+/// correct process `i` produced a decision.
+pub fn check_liveness(decided: &[bool]) -> Result<(), SpecViolation> {
+    match decided.iter().position(|d| !d) {
+        Some(i) => Err(SpecViolation::NoDecision(i)),
+        None => Ok(()),
+    }
+}
+
+/// **Local Stability** (generalized LA): each process's decision sequence
+/// is non-decreasing under `⊆`.
+pub fn check_local_stability<V: Value>(
+    sequences: &[Vec<BTreeSet<V>>],
+) -> Result<(), SpecViolation> {
+    for (p, seq) in sequences.iter().enumerate() {
+        for i in 1..seq.len() {
+            if !seq[i - 1].is_subset(&seq[i]) {
+                return Err(SpecViolation::NotMonotone { process: p, step: i });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Generalized **Comparability**: all decisions of all processes, across
+/// all rounds, are pairwise comparable.
+pub fn check_global_comparability<V: Value>(
+    sequences: &[Vec<BTreeSet<V>>],
+) -> Result<(), SpecViolation> {
+    let flat: Vec<BTreeSet<V>> = sequences.iter().flatten().cloned().collect();
+    check_comparability(&flat)
+}
+
+/// Generalized **Inclusivity**: every input a correct process received
+/// appears in some decision of *that* process.
+pub fn check_generalized_inclusivity<V: Value>(
+    inputs: &[Vec<V>],
+    sequences: &[Vec<BTreeSet<V>>],
+) -> Result<(), SpecViolation> {
+    for (p, ins) in inputs.iter().enumerate() {
+        for v in ins {
+            let included = sequences[p].iter().any(|d| d.contains(v));
+            if !included {
+                return Err(SpecViolation::NeverIncluded { process: p });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[u64]) -> BTreeSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn comparability_accepts_chains_rejects_antichains() {
+        assert!(check_comparability(&[s(&[1]), s(&[1, 2]), s(&[1, 2, 3])]).is_ok());
+        assert_eq!(
+            check_comparability(&[s(&[1]), s(&[2])]),
+            Err(SpecViolation::Incomparable(0, 1))
+        );
+    }
+
+    #[test]
+    fn inclusivity() {
+        assert!(check_inclusivity(&[(1u64, s(&[1, 2]))]).is_ok());
+        assert_eq!(
+            check_inclusivity(&[(3u64, s(&[1, 2]))]),
+            Err(SpecViolation::NotInclusive(0))
+        );
+    }
+
+    #[test]
+    fn nontriviality_bounds_foreign_values() {
+        let x = s(&[1, 2, 3]);
+        assert!(check_nontriviality(&x, &[s(&[1, 2, 99])], 1).is_ok());
+        assert!(matches!(
+            check_nontriviality(&x, &[s(&[1, 98, 99])], 1),
+            Err(SpecViolation::NonTrivial { .. })
+        ));
+        // Foreign values accumulate across decisions.
+        assert!(matches!(
+            check_nontriviality(&x, &[s(&[1, 98]), s(&[1, 98, 99])], 1),
+            Err(SpecViolation::NonTrivial { .. })
+        ));
+    }
+
+    #[test]
+    fn liveness() {
+        assert!(check_liveness(&[true, true]).is_ok());
+        assert_eq!(check_liveness(&[true, false]), Err(SpecViolation::NoDecision(1)));
+    }
+
+    #[test]
+    fn local_stability() {
+        assert!(check_local_stability(&[vec![s(&[1]), s(&[1, 2])]]).is_ok());
+        assert_eq!(
+            check_local_stability(&[vec![s(&[1, 2]), s(&[1])]]),
+            Err(SpecViolation::NotMonotone { process: 0, step: 1 })
+        );
+    }
+
+    #[test]
+    fn global_comparability_spans_processes() {
+        let ok = [vec![s(&[1])], vec![s(&[1, 2])]];
+        assert!(check_global_comparability(&ok).is_ok());
+        let bad = [vec![s(&[1])], vec![s(&[2])]];
+        assert!(check_global_comparability(&bad).is_err());
+    }
+
+    #[test]
+    fn generalized_inclusivity() {
+        let inputs = vec![vec![1u64, 2]];
+        let seqs_ok = vec![vec![s(&[1]), s(&[1, 2])]];
+        assert!(check_generalized_inclusivity(&inputs, &seqs_ok).is_ok());
+        let seqs_bad = vec![vec![s(&[1])]];
+        assert!(check_generalized_inclusivity(&inputs, &seqs_bad).is_err());
+    }
+}

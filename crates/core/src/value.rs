@@ -1,0 +1,58 @@
+//! The opaque *value* type the agreement algorithms operate on.
+//!
+//! WLOG (paper §3.1) the lattice is a lattice of sets of values under
+//! union; algorithm messages carry `BTreeSet<V>` and decisions are such
+//! sets. Applications choose `V` (commands for the RSM, integers in the
+//! examples).
+
+use bgla_crypto::ToBytes;
+
+/// A proposable value. `Ord` keeps all collections deterministic,
+/// `wire_size` feeds the byte-complexity experiments.
+pub trait Value: Clone + Ord + std::fmt::Debug + Send + Sync + 'static {
+    /// Estimated serialized size in bytes.
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Value for u64 {}
+impl Value for u32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+impl Value for String {
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+impl<A: Value, B: Value> Value for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+/// Values usable with the signature-based algorithms: they additionally
+/// need a canonical byte encoding to sign.
+pub trait SignableValue: Value + ToBytes {}
+impl<T: Value + ToBytes> SignableValue for T {}
+
+/// Estimated wire size of a set of values (8-byte length prefix).
+pub fn set_wire_size<V: Value>(set: &std::collections::BTreeSet<V>) -> usize {
+    8 + set.iter().map(Value::wire_size).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(7u64.wire_size(), 8);
+        assert_eq!("abc".to_string().wire_size(), 11);
+        let set: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+        assert_eq!(set_wire_size(&set), 8 + 24);
+    }
+}

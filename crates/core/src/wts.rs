@@ -1,0 +1,465 @@
+//! **Wait Till Safe** (WTS) — Algorithms 1 and 2 of the paper.
+//!
+//! One-shot Byzantine Lattice Agreement in two phases:
+//!
+//! 1. **Values Disclosure**: every proposer reliably-broadcasts its input.
+//!    Delivered values accumulate in the *Safe-values Set* (`SvS`); the
+//!    reliable broadcast prevents a Byzantine proposer from disclosing
+//!    different values to different processes. A process moves on once it
+//!    has seen `n − f` disclosures (not strictly necessary, but it yields
+//!    the `O(f)` delay bound — an ablation bench measures the difference).
+//! 2. **Deciding**: a proposer repeatedly asks acceptors to ack its
+//!    `Proposed_set`; acceptors ack supersets of what they previously
+//!    accepted and nack (with their accepted set) otherwise. A proposal
+//!    acked by the Byzantine quorum `⌊(n+f)/2⌋ + 1` is decided. During
+//!    this phase correct processes only *handle* messages whose values all
+//!    lie in `SvS` (the `SAFE` predicate); others wait in a buffer.
+//!
+//! One [`WtsProcess`] plays both the proposer and acceptor roles, as the
+//! paper's deployment note allows.
+
+use crate::config::SystemConfig;
+use crate::value::{set_wire_size, Value};
+use bgla_rbcast::{RbMsg, RbcastEngine};
+use bgla_simnet::{Context, Process, ProcessId, WireMessage};
+use std::any::Any;
+use std::collections::BTreeSet;
+
+/// Wire messages of WTS.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WtsMsg<V: Value> {
+    /// Disclosure-phase traffic: reliable broadcast of initial values.
+    Rb(RbMsg<V>),
+    /// Proposer → acceptors: request acks for `proposed` (tagged with the
+    /// proposer's refinement timestamp).
+    AckReq {
+        /// Current `Proposed_set`.
+        proposed: BTreeSet<V>,
+        /// Refinement timestamp `ts`.
+        ts: u64,
+    },
+    /// Acceptor → proposer: the proposal (echoed back) was accepted.
+    Ack {
+        /// The accepted set (equal to the request's `proposed`).
+        accepted: BTreeSet<V>,
+        /// Timestamp copied from the request.
+        ts: u64,
+    },
+    /// Acceptor → proposer: refused; here is what I had accepted.
+    Nack {
+        /// The acceptor's `Accepted_set` at refusal time.
+        accepted: BTreeSet<V>,
+        /// Timestamp copied from the request.
+        ts: u64,
+    },
+}
+
+impl<V: Value> WireMessage for WtsMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            WtsMsg::Rb(m) => m.kind(),
+            WtsMsg::AckReq { .. } => "ack_req",
+            WtsMsg::Ack { .. } => "ack",
+            WtsMsg::Nack { .. } => "nack",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        match self {
+            WtsMsg::Rb(RbMsg::Init { value, .. }) => 16 + value.wire_size(),
+            WtsMsg::Rb(RbMsg::Echo { value, .. }) | WtsMsg::Rb(RbMsg::Ready { value, .. }) => {
+                24 + value.wire_size()
+            }
+            WtsMsg::AckReq { proposed, .. } => 16 + set_wire_size(proposed),
+            WtsMsg::Ack { accepted, .. } | WtsMsg::Nack { accepted, .. } => {
+                16 + set_wire_size(accepted)
+            }
+        }
+    }
+}
+
+/// Proposer phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WtsState {
+    /// Still collecting disclosures.
+    Disclosing,
+    /// Proposing / refining.
+    Proposing,
+    /// Decided (terminal).
+    Decided,
+}
+
+/// A correct WTS participant (proposer + acceptor).
+pub struct WtsProcess<V: Value> {
+    /// System parameters.
+    pub config: SystemConfig,
+    me: ProcessId,
+    /// This process's initial value (`pro_i`).
+    pub proposal: V,
+    /// Application-level validity predicate ("is an element of the
+    /// lattice", Alg. 1 line 10). Defaults to accepting everything.
+    validator: fn(&V) -> bool,
+    /// Ablation switch: propose after the *own* disclosure only instead
+    /// of waiting for `n − f` (the paper notes the wait "is not strictly
+    /// necessary, but allows us to show a bound of O(f) on the message
+    /// delays"). Measured by `exp_ablation`.
+    eager: bool,
+
+    state: WtsState,
+    rb: RbcastEngine<V>,
+    /// Safe-values set: everything reliably delivered in the disclosure
+    /// phase (keyed by origin — Observation 1: at most one per process).
+    svs: BTreeSet<V>,
+    /// How many distinct origins have disclosed.
+    init_counter: usize,
+    /// Current proposal (grows monotonically).
+    proposed_set: BTreeSet<V>,
+    /// Who acked the current timestamp.
+    ack_set: BTreeSet<ProcessId>,
+    ts: u64,
+    /// Acceptor role: greatest set accepted so far.
+    accepted_set: BTreeSet<V>,
+    /// Messages waiting to become safe / relevant.
+    waiting: Vec<(ProcessId, WtsMsg<V>)>,
+
+    /// The decision, once made (`Stability`: write-once).
+    pub decision: Option<BTreeSet<V>>,
+    /// Causal depth (message delays) at decision time.
+    pub decision_depth: Option<u64>,
+    /// Number of proposal refinements performed (Lemma 3 bounds this by
+    /// `f`).
+    pub refinements: u64,
+}
+
+impl<V: Value> WtsProcess<V> {
+    /// Creates a correct participant with initial value `proposal`.
+    pub fn new(me: ProcessId, config: SystemConfig, proposal: V) -> Self {
+        WtsProcess {
+            config,
+            me,
+            proposal,
+            validator: |_| true,
+            eager: false,
+            state: WtsState::Disclosing,
+            rb: RbcastEngine::new_unchecked(config.n, config.f),
+            svs: BTreeSet::new(),
+            init_counter: 0,
+            proposed_set: BTreeSet::new(),
+            ack_set: BTreeSet::new(),
+            ts: 0,
+            accepted_set: BTreeSet::new(),
+            waiting: Vec::new(),
+            decision: None,
+            decision_depth: None,
+            refinements: 0,
+        }
+    }
+
+    /// Installs a validity predicate for disclosed values.
+    pub fn with_validator(mut self, v: fn(&V) -> bool) -> Self {
+        self.validator = v;
+        self
+    }
+
+    /// Ablation: skip the `n − f` disclosure wait (start proposing after
+    /// the first disclosure lands). Correct but loses the O(f) delay
+    /// bound — the proposal starts smaller, so more nack-refinements
+    /// happen.
+    pub fn with_eager_proposing(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
+    /// The `SAFE` predicate: every value in `set` has been disclosed.
+    fn safe(&self, set: &BTreeSet<V>) -> bool {
+        set.is_subset(&self.svs)
+    }
+
+    /// Process id (for diagnostics).
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Current state.
+    pub fn state(&self) -> WtsState {
+        self.state
+    }
+
+    /// Current safe-values set size (diagnostics / tests).
+    pub fn svs_len(&self) -> usize {
+        self.svs.len()
+    }
+
+    fn send_ack_req(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        ctx.broadcast(WtsMsg::AckReq {
+            proposed: self.proposed_set.clone(),
+            ts: self.ts,
+        });
+    }
+
+    /// Handles one buffered or fresh message if its guard holds.
+    /// Returns `true` when consumed.
+    fn try_handle(
+        &mut self,
+        from: ProcessId,
+        msg: &WtsMsg<V>,
+        ctx: &mut Context<WtsMsg<V>>,
+    ) -> bool {
+        match msg {
+            WtsMsg::Rb(_) => unreachable!("rb messages are handled eagerly"),
+            // ----- Acceptor role (Algorithm 2) -----
+            WtsMsg::AckReq { proposed, ts } => {
+                if !self.safe(proposed) {
+                    return false;
+                }
+                if self.accepted_set.is_subset(proposed) {
+                    self.accepted_set = proposed.clone();
+                    ctx.send(
+                        from,
+                        WtsMsg::Ack {
+                            accepted: self.accepted_set.clone(),
+                            ts: *ts,
+                        },
+                    );
+                } else {
+                    ctx.send(
+                        from,
+                        WtsMsg::Nack {
+                            accepted: self.accepted_set.clone(),
+                            ts: *ts,
+                        },
+                    );
+                    self.accepted_set.extend(proposed.iter().cloned());
+                }
+                true
+            }
+            // ----- Proposer role (Algorithm 1) -----
+            WtsMsg::Ack { accepted, ts } => {
+                if *ts < self.ts || self.state == WtsState::Decided {
+                    return true; // stale: drop
+                }
+                if self.state != WtsState::Proposing || *ts != self.ts || !self.safe(accepted)
+                {
+                    return false;
+                }
+                self.ack_set.insert(from);
+                if self.ack_set.len() >= self.config.quorum() {
+                    self.state = WtsState::Decided;
+                    self.decision = Some(self.proposed_set.clone());
+                    self.decision_depth = Some(ctx.depth);
+                }
+                true
+            }
+            WtsMsg::Nack { accepted, ts } => {
+                if *ts < self.ts || self.state == WtsState::Decided {
+                    return true; // stale: drop
+                }
+                if self.state != WtsState::Proposing || *ts != self.ts || !self.safe(accepted)
+                {
+                    return false;
+                }
+                let grows = !accepted.is_subset(&self.proposed_set);
+                if grows {
+                    self.proposed_set.extend(accepted.iter().cloned());
+                    self.ack_set.clear();
+                    self.ts += 1;
+                    self.refinements += 1;
+                    self.send_ack_req(ctx);
+                }
+                true
+            }
+        }
+    }
+
+    /// Re-scans the waiting buffer until no more progress is possible.
+    fn drain_waiting(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.waiting.len() {
+                let (from, msg) = self.waiting[i].clone();
+                if self.try_handle(from, &msg, ctx) {
+                    self.waiting.remove(i);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl<V: Value> Process<WtsMsg<V>> for WtsProcess<V> {
+    fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        // Values Disclosure Phase: commit to the initial value.
+        self.proposed_set.insert(self.proposal.clone());
+        for m in self.rb.broadcast(0, self.proposal.clone()) {
+            ctx.broadcast(WtsMsg::Rb(m));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
+        match msg {
+            WtsMsg::Rb(rb) => {
+                let (out, deliveries) = self.rb.on_message(from, rb);
+                for m in out {
+                    ctx.broadcast(WtsMsg::Rb(m));
+                }
+                for d in deliveries {
+                    if !(self.validator)(&d.value) {
+                        continue; // not an element of the lattice
+                    }
+                    // SvS keeps growing even after we leave the
+                    // disclosure phase ("operations of Phase 1 could run
+                    // in parallel with Phase 2"); only Proposed_set stops
+                    // absorbing disclosures.
+                    self.svs.insert(d.value.clone());
+                    self.init_counter += 1;
+                    if self.state == WtsState::Disclosing {
+                        self.proposed_set.insert(d.value);
+                    }
+                }
+                // Enough disclosures? Start proposing.
+                let threshold = if self.eager {
+                    1
+                } else {
+                    self.config.disclosure_threshold()
+                };
+                if self.state == WtsState::Disclosing && self.init_counter >= threshold {
+                    self.state = WtsState::Proposing;
+                    self.send_ack_req(ctx);
+                }
+                self.drain_waiting(ctx);
+            }
+            other => {
+                if !self.try_handle(from, &other, ctx) {
+                    self.waiting.push((from, other));
+                } else {
+                    self.drain_waiting(ctx);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::wts_system;
+    use crate::spec;
+    use bgla_simnet::{RandomScheduler, SimulationBuilder};
+
+    #[test]
+    fn four_honest_processes_agree() {
+        let config = SystemConfig::new(4, 1);
+        let mut b = SimulationBuilder::new();
+        for i in 0..4 {
+            b = b.add(Box::new(WtsProcess::new(i, config, 100 + i as u64)));
+        }
+        let mut sim = b.build();
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        let mut decisions = Vec::new();
+        for i in 0..4 {
+            let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+            let d = p.decision.as_ref().expect("every correct process decides");
+            // Inclusivity: own value present.
+            assert!(d.contains(&(100 + i as u64)));
+            decisions.push(d.clone());
+        }
+        spec::check_comparability(&decisions).unwrap();
+    }
+
+    #[test]
+    fn decisions_comparable_under_random_schedules() {
+        for seed in 0..30 {
+            let (mut sim, config) = wts_system(
+                7,
+                2,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+            );
+            let out = sim.run(5_000_000);
+            assert!(out.quiescent, "seed {seed}");
+            let mut decisions = Vec::new();
+            for i in 0..config.n {
+                let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+                let d = p.decision.clone().expect("liveness");
+                assert!(d.contains(&(i as u64)), "inclusivity @ {i} (seed {seed})");
+                decisions.push(d);
+            }
+            spec::check_comparability(&decisions)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn decision_depth_within_theorem_3_bound() {
+        for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+            let (mut sim, _) = wts_system(
+                n,
+                f,
+                |i| i as u64,
+                Box::new(bgla_simnet::FifoScheduler),
+            );
+            sim.run(10_000_000);
+            for i in 0..n {
+                let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+                let depth = p.decision_depth.expect("decided");
+                assert!(
+                    depth <= (2 * f as u64) + 5,
+                    "n={n} f={f} p{i}: depth {depth} > 2f+5"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refinements_bounded_by_f() {
+        for seed in 0..20 {
+            let (mut sim, config) = wts_system(
+                7,
+                2,
+                |i| i as u64,
+                Box::new(RandomScheduler::new(seed)),
+            );
+            sim.run(5_000_000);
+            for i in 0..config.n {
+                let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+                assert!(
+                    p.refinements <= config.f as u64,
+                    "seed {seed} p{i}: {} refinements > f={}",
+                    p.refinements,
+                    config.f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validator_filters_garbage() {
+        // Values >= 1000 are "not elements of the lattice".
+        let config = SystemConfig::new(4, 1);
+        let mut b = SimulationBuilder::new();
+        for i in 0..4 {
+            let value = if i == 3 { 5000u64 } else { i as u64 };
+            b = b.add(Box::new(
+                WtsProcess::new(i, config, value).with_validator(|v| *v < 1000),
+            ));
+        }
+        let mut sim = b.build();
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        for i in 0..3 {
+            let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+            let d = p.decision.as_ref().expect("correct processes decide");
+            assert!(!d.contains(&5000), "garbage value decided at p{i}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based testing of SbS across sampled schedulers, adversaries
+//! and seeds (smaller case count than WTS — every run performs real
+//! Ed25519 work).
+
+use bgla_core::adversary::sbs::{ConflictSigner, SilentS};
+use bgla_core::sbs::{SbsMsg, SbsProcess};
+use bgla_core::{spec, SystemConfig};
+use bgla_simnet::{
+    DelayScheduler, FifoScheduler, LifoScheduler, Process, RandomScheduler, Scheduler,
+    SimulationBuilder,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone, Copy)]
+enum SchedulerKind {
+    Fifo,
+    Lifo,
+    Random,
+    Skewed,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AdversaryKind {
+    None,
+    Silent,
+    ConflictSigner,
+}
+
+fn make_scheduler(kind: SchedulerKind, seed: u64) -> Box<dyn Scheduler> {
+    match kind {
+        SchedulerKind::Fifo => Box::new(FifoScheduler),
+        SchedulerKind::Lifo => Box::new(LifoScheduler),
+        SchedulerKind::Random => Box::new(RandomScheduler::new(seed)),
+        SchedulerKind::Skewed => Box::new(DelayScheduler::new(seed, 16)),
+    }
+}
+
+fn arb_scheduler() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Fifo),
+        Just(SchedulerKind::Lifo),
+        Just(SchedulerKind::Random),
+        Just(SchedulerKind::Skewed),
+    ]
+}
+
+fn arb_adversary() -> impl Strategy<Value = AdversaryKind> {
+    prop_oneof![
+        Just(AdversaryKind::None),
+        Just(AdversaryKind::Silent),
+        Just(AdversaryKind::ConflictSigner),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn sbs_spec_holds_everywhere(
+        sched in arb_scheduler(),
+        adv in arb_adversary(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (n, f) = (4usize, 1usize);
+        let config = SystemConfig::new(n, f);
+        let byz = !matches!(adv, AdversaryKind::None);
+        let correct = if byz { n - 1 } else { n };
+        let mut b = SimulationBuilder::new().scheduler(make_scheduler(sched, seed));
+        for i in 0..correct {
+            b = b.add(Box::new(SbsProcess::new(i, config, 10 + i as u64)));
+        }
+        let adversary: Option<Box<dyn Process<SbsMsg<u64>>>> = match adv {
+            AdversaryKind::None => None,
+            AdversaryKind::Silent => Some(Box::new(SilentS::default())),
+            AdversaryKind::ConflictSigner => Some(Box::new(ConflictSigner {
+                me: n - 1,
+                a: 666u64,
+                b: 777u64,
+            })),
+        };
+        if let Some(a) = adversary {
+            b = b.add(a);
+        }
+        let mut sim = b.build();
+        let out = sim.run(10_000_000);
+        prop_assert!(out.quiescent);
+        let mut decisions = Vec::new();
+        let mut pairs = Vec::new();
+        for i in 0..correct {
+            let p = sim.process_as::<SbsProcess<u64>>(i).unwrap();
+            let d = p.decision.clone().expect("liveness");
+            prop_assert!(p.refinements <= 2 * f as u64, "Lemma 16");
+            pairs.push((p.proposal, d.clone()));
+            decisions.push(d);
+        }
+        spec::check_comparability(&decisions).expect("comparability");
+        spec::check_inclusivity(&pairs).expect("inclusivity");
+        let inputs: BTreeSet<u64> = (0..correct).map(|i| 10 + i as u64).collect();
+        spec::check_nontriviality(&inputs, &decisions, f).expect("non-triviality");
+        for d in &decisions {
+            prop_assert!(!(d.contains(&666) && d.contains(&777)), "Lemma 13");
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Ed25519 signatures (RFC 8032, "PureEdDSA" variant).
+
+use crate::edwards::Point;
+use crate::scalar::Scalar;
+use crate::sha512::Sha512;
+
+/// A 32-byte secret seed.
+#[derive(Clone)]
+pub struct SecretKey(pub [u8; 32]);
+
+/// A compressed public key point `A = s·B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// A 64-byte signature `R ‖ S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature {
+    /// Compressed commitment point.
+    pub r: [u8; 32],
+    /// Response scalar (canonical).
+    pub s: [u8; 32],
+}
+
+impl Signature {
+    /// Serializes to the standard 64-byte form.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r);
+        out[32..].copy_from_slice(&self.s);
+        out
+    }
+
+    /// Parses the standard 64-byte form (no validity check yet — that
+    /// happens in [`PublicKey::verify`]).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Signature { r, s }
+    }
+}
+
+/// A key pair with the expanded secret scalar cached.
+#[derive(Clone)]
+pub struct Keypair {
+    /// The seed.
+    pub secret: SecretKey,
+    /// The public point.
+    pub public: PublicKey,
+    /// Clamped secret scalar `s`.
+    scalar: Scalar,
+    /// The prefix used to derive deterministic nonces.
+    prefix: [u8; 32],
+}
+
+fn clamp(mut b: [u8; 32]) -> [u8; 32] {
+    b[0] &= 248;
+    b[31] &= 127;
+    b[31] |= 64;
+    b
+}
+
+impl Keypair {
+    /// Derives a key pair from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: [u8; 32]) -> Keypair {
+        let mut h = Sha512::new();
+        h.update(&seed);
+        let digest = h.finalize();
+        let mut lo = [0u8; 32];
+        let mut hi = [0u8; 32];
+        lo.copy_from_slice(&digest[..32]);
+        hi.copy_from_slice(&digest[32..]);
+        let scalar_bytes = clamp(lo);
+        // Reducing mod ℓ is safe: B has order ℓ, so s·B = (s mod ℓ)·B.
+        let scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let public = PublicKey(Point::mul_base(&scalar).compress());
+        Keypair {
+            secret: SecretKey(seed),
+            public,
+            scalar,
+            prefix: hi,
+        }
+    }
+
+    /// Deterministic keypair for process `id` — the simulator's PKI
+    /// (every run derives the same keys, keeping traces reproducible).
+    pub fn for_process(id: usize) -> Keypair {
+        let mut h = Sha512::new();
+        h.update(b"bgla-process-key");
+        h.update(&(id as u64).to_le_bytes());
+        let d = h.finalize();
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(&d[..32]);
+        Keypair::from_seed(seed)
+    }
+
+    /// Signs `msg` (RFC 8032 §5.1.6).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = Sha512::new();
+        h.update(&self.prefix).update(msg);
+        let r = Scalar::from_bytes_mod_order_wide(&h.finalize());
+        let r_point = Point::mul_base(&r).compress();
+        let mut h2 = Sha512::new();
+        h2.update(&r_point).update(&self.public.0).update(msg);
+        let k = Scalar::from_bytes_mod_order_wide(&h2.finalize());
+        let s = r.add(k.mul(self.scalar));
+        Signature {
+            r: r_point,
+            s: s.to_bytes(),
+        }
+    }
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `msg` (RFC 8032 §5.1.7): checks
+    /// `S·B = R + k·A` with `k = H(R ‖ A ‖ msg)`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let a = match Point::decompress(&self.0) {
+            Some(p) => p,
+            None => return false,
+        };
+        let r = match Point::decompress(&sig.r) {
+            Some(p) => p,
+            None => return false,
+        };
+        let s = match Scalar::from_canonical_bytes(&sig.s) {
+            Some(s) => s,
+            None => return false, // non-canonical S: malleable, reject
+        };
+        let mut h = Sha512::new();
+        h.update(&sig.r).update(&self.0).update(msg);
+        let k = Scalar::from_bytes_mod_order_wide(&h.finalize());
+        let lhs = Point::mul_base(&s);
+        let rhs = r.add(&a.mul(&k));
+        lhs == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test_1() {
+        let seed: [u8; 32] =
+            from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+                .try_into()
+                .unwrap();
+        let kp = Keypair::from_seed(seed);
+        assert_eq!(
+            kp.public.0.to_vec(),
+            from_hex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = kp.sign(b"");
+        assert_eq!(
+            sig.to_bytes().to_vec(),
+            from_hex(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                 5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+        );
+        assert!(kp.public.verify(b"", &sig));
+    }
+
+    /// RFC 8032 §7.1 TEST 2 (one-byte message).
+    #[test]
+    fn rfc8032_test_2() {
+        let seed: [u8; 32] =
+            from_hex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+                .try_into()
+                .unwrap();
+        let kp = Keypair::from_seed(seed);
+        assert_eq!(
+            kp.public.0.to_vec(),
+            from_hex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        );
+        let msg = [0x72u8];
+        let sig = kp.sign(&msg);
+        assert_eq!(
+            sig.to_bytes().to_vec(),
+            from_hex(
+                "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                 085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+            )
+        );
+        assert!(kp.public.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::for_process(0);
+        let sig = kp.sign(b"hello");
+        assert!(kp.public.verify(b"hello", &sig));
+        assert!(!kp.public.verify(b"hellp", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp0 = Keypair::for_process(0);
+        let kp1 = Keypair::for_process(1);
+        let sig = kp0.sign(b"msg");
+        assert!(!kp1.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::for_process(2);
+        let mut sig = kp.sign(b"msg");
+        sig.s[0] ^= 1;
+        assert!(!kp.public.verify(b"msg", &sig));
+        let mut sig2 = kp.sign(b"msg");
+        sig2.r[0] ^= 1;
+        assert!(!kp.public.verify(b"msg", &sig2));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        // S + ℓ encodes the same residue but must be rejected
+        // (signature malleability defense).
+        let kp = Keypair::for_process(3);
+        let sig = kp.sign(b"m");
+        let s = Scalar::from_canonical_bytes(&sig.s).unwrap();
+        // Add ℓ with schoolbook byte arithmetic.
+        let mut carry = 0u16;
+        let mut s_plus_l = [0u8; 32];
+        let l_bytes = {
+            let mut b = [0u8; 32];
+            for (i, limb) in crate::scalar::L.iter().enumerate() {
+                b[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+            }
+            b
+        };
+        for i in 0..32 {
+            let t = s.to_bytes()[i] as u16 + l_bytes[i] as u16 + carry;
+            s_plus_l[i] = t as u8;
+            carry = t >> 8;
+        }
+        let forged = Signature {
+            r: sig.r,
+            s: s_plus_l,
+        };
+        assert!(!kp.public.verify(b"m", &forged));
+    }
+
+    #[test]
+    fn process_keys_are_distinct_and_stable() {
+        let a1 = Keypair::for_process(7);
+        let a2 = Keypair::for_process(7);
+        let b = Keypair::for_process(8);
+        assert_eq!(a1.public, a2.public);
+        assert_ne!(a1.public, b.public);
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let kp = Keypair::for_process(9);
+        assert_eq!(kp.sign(b"x").to_bytes(), kp.sign(b"x").to_bytes());
+        assert_ne!(kp.sign(b"x").to_bytes(), kp.sign(b"y").to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod more_vectors {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8032 §7.1 TEST 3 (two-byte message).
+    #[test]
+    fn rfc8032_test_3() {
+        let seed: [u8; 32] =
+            from_hex("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7")
+                .try_into()
+                .unwrap();
+        let kp = Keypair::from_seed(seed);
+        assert_eq!(
+            kp.public.0.to_vec(),
+            from_hex("fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025")
+        );
+        let msg = from_hex("af82");
+        let sig = kp.sign(&msg);
+        assert_eq!(
+            sig.to_bytes().to_vec(),
+            from_hex(
+                "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                 18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+            )
+        );
+        assert!(kp.public.verify(&msg, &sig));
+    }
+
+    /// Cross-message/cross-key rejection matrix over several keys.
+    #[test]
+    fn rejection_matrix() {
+        let keys: Vec<Keypair> = (0..4).map(Keypair::for_process).collect();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16]).collect();
+        for (ki, kp) in keys.iter().enumerate() {
+            for (mi, msg) in msgs.iter().enumerate() {
+                let sig = kp.sign(msg);
+                for (kj, other) in keys.iter().enumerate() {
+                    for (mj, msg2) in msgs.iter().enumerate() {
+                        let expect = ki == kj && mi == mj;
+                        assert_eq!(
+                            other.public.verify(msg2, &sig),
+                            expect,
+                            "key {ki}->{kj} msg {mi}->{mj}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Batch verification (RFC 8032 §8.2 style): checks many signatures at
+/// once with random linear combination —
+/// `8·(Σ zᵢSᵢ)·B = 8·Σ zᵢ·Rᵢ + 8·Σ zᵢkᵢ·Aᵢ`
+/// via one multi-scalar multiplication. Roughly halves the doubling work
+/// versus verifying individually; used by SbS when checking whole proofs
+/// of safety.
+///
+/// `entropy` seeds the blinding coefficients; any run-specific value
+/// works (the coefficients only need to be unpredictable to whoever
+/// crafted the signatures).
+pub fn verify_batch(items: &[(PublicKey, &[u8], Signature)], entropy: u64) -> bool {
+    use crate::edwards::multiscalar_mul;
+    if items.is_empty() {
+        return true;
+    }
+    let mut terms: Vec<(Scalar, Point)> = Vec::with_capacity(2 * items.len() + 1);
+    let mut b_coeff = Scalar::ZERO;
+    for (i, (pk, msg, sig)) in items.iter().enumerate() {
+        let a = match Point::decompress(&pk.0) {
+            Some(p) => p,
+            None => return false,
+        };
+        let r = match Point::decompress(&sig.r) {
+            Some(p) => p,
+            None => return false,
+        };
+        let s = match Scalar::from_canonical_bytes(&sig.s) {
+            Some(s) => s,
+            None => return false,
+        };
+        // Blinding coefficient z_i from a domain-separated hash.
+        let mut h = Sha512::new();
+        h.update(b"bgla-batch-blinding");
+        h.update(&entropy.to_le_bytes());
+        h.update(&(i as u64).to_le_bytes());
+        h.update(&sig.r);
+        let z = Scalar::from_bytes_mod_order_wide(&h.finalize());
+        // k_i = H(R ‖ A ‖ msg)
+        let mut h2 = Sha512::new();
+        h2.update(&sig.r).update(&pk.0).update(msg);
+        let k = Scalar::from_bytes_mod_order_wide(&h2.finalize());
+        b_coeff = b_coeff.add(z.mul(s));
+        terms.push((z, r));
+        terms.push((z.mul(k), a));
+    }
+    // Check Σ z_i·R_i + Σ z_i·k_i·A_i − (Σ z_i·S_i)·B = 0, times the
+    // cofactor 8 to neutralize small-order components.
+    terms.push((b_coeff.neg(), Point::basepoint()));
+    let sum = multiscalar_mul(&terms);
+    sum.double().double().double().is_identity()
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    fn batch(n: usize) -> Vec<(PublicKey, Vec<u8>, Signature)> {
+        (0..n)
+            .map(|i| {
+                let kp = Keypair::for_process(i);
+                let msg = format!("message {i}").into_bytes();
+                let sig = kp.sign(&msg);
+                (kp.public, msg, sig)
+            })
+            .collect()
+    }
+
+    fn refs(b: &[(PublicKey, Vec<u8>, Signature)]) -> Vec<(PublicKey, &[u8], Signature)> {
+        b.iter().map(|(p, m, s)| (*p, m.as_slice(), *s)).collect()
+    }
+
+    #[test]
+    fn valid_batch_verifies() {
+        let b = batch(8);
+        assert!(verify_batch(&refs(&b), 42));
+        assert!(verify_batch(&[], 42));
+    }
+
+    #[test]
+    fn single_bad_signature_fails_the_batch() {
+        for corrupt in 0..4 {
+            let mut b = batch(4);
+            b[corrupt].2.s[1] ^= 0x40;
+            assert!(!verify_batch(&refs(&b), 42), "corrupt index {corrupt}");
+        }
+    }
+
+    #[test]
+    fn swapped_messages_fail_the_batch() {
+        let mut b = batch(3);
+        let tmp = b[0].1.clone();
+        b[0].1 = b[1].1.clone();
+        b[1].1 = tmp;
+        assert!(!verify_batch(&refs(&b), 42));
+    }
+
+    #[test]
+    fn batch_agrees_with_individual_verification() {
+        let b = batch(6);
+        let individually = b.iter().all(|(p, m, s)| p.verify(m, s));
+        assert_eq!(verify_batch(&refs(&b), 7), individually);
+    }
+}

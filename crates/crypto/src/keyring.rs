@@ -1,0 +1,76 @@
+//! A process-indexed public-key infrastructure.
+//!
+//! Section 3 of the paper: "we assume that there exists a public-key
+//! infrastructure, and that each process is able to sign a message, in
+//! such a way that each other process is able to unambiguously verify
+//! such signature." A [`Keyring`] is that assumption made concrete: it
+//! holds everyone's *public* keys; each process additionally holds its own
+//! [`crate::Keypair`]. Byzantine processes cannot forge because they are
+//! only ever given their own secrets.
+
+use crate::ed25519::{Keypair, PublicKey, Signature};
+
+/// Public keys of all `n` processes, indexed by process id.
+#[derive(Clone)]
+pub struct Keyring {
+    keys: Vec<PublicKey>,
+}
+
+impl Keyring {
+    /// Builds the ring for `n` processes using the deterministic
+    /// per-process keys (reproducible simulations).
+    pub fn for_system(n: usize) -> Keyring {
+        Keyring {
+            keys: (0..n).map(|i| Keypair::for_process(i).public).collect(),
+        }
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when empty (clippy convention).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Public key of process `id`, if registered.
+    pub fn key_of(&self, id: usize) -> Option<&PublicKey> {
+        self.keys.get(id)
+    }
+
+    /// Verifies that `sig` over `msg` was produced by process `signer`.
+    pub fn verify(&self, signer: usize, msg: &[u8], sig: &Signature) -> bool {
+        match self.keys.get(signer) {
+            Some(pk) => pk.verify(msg, sig),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_verifies_each_member() {
+        let ring = Keyring::for_system(4);
+        assert_eq!(ring.len(), 4);
+        for i in 0..4 {
+            let kp = Keypair::for_process(i);
+            let sig = kp.sign(b"payload");
+            assert!(ring.verify(i, b"payload", &sig));
+            // Signature attributed to the wrong process fails.
+            assert!(!ring.verify((i + 1) % 4, b"payload", &sig));
+        }
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let ring = Keyring::for_system(2);
+        let kp = Keypair::for_process(5);
+        let sig = kp.sign(b"m");
+        assert!(!ring.verify(5, b"m", &sig));
+    }
+}

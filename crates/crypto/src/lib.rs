@@ -1,0 +1,46 @@
+//! From-scratch cryptography for the signature-based algorithms (Section 8
+//! of Di Luna et al., 2019).
+//!
+//! The paper's SbS algorithm assumes a public-key infrastructure with
+//! unforgeable signatures; the reproduction plan calls for Ed25519. No
+//! third-party crypto crates are on the approved dependency list, so this
+//! crate implements the whole stack:
+//!
+//! * [`mod@sha512`] — FIPS 180-4 SHA-512. Round constants and initial state
+//!   are *derived at first use* from the fractional parts of cube/square
+//!   roots of primes (via exact integer n-th roots), eliminating the
+//!   possibility of a mistyped constant table.
+//! * [`hmac`] — HMAC-SHA-512, used to model authenticated channels.
+//! * [`field`] — arithmetic in GF(2^255 − 19), radix-2^51 limbs.
+//! * [`scalar`] — arithmetic modulo the group order ℓ.
+//! * [`edwards`] — twisted-Edwards points in extended coordinates.
+//! * [`ed25519`] — RFC 8032 keygen / sign / verify (tested against the
+//!   RFC's vectors).
+//! * [`keyring`] — a process-id-indexed PKI as assumed by the paper.
+//!
+//! **Scope note**: this is an *algorithmic* implementation for a research
+//! reproduction. It is not hardened (no constant-time guarantees, no
+//! zeroization) and must not be used to protect real data.
+#![warn(missing_docs)]
+
+
+// The field/scalar/point APIs intentionally mirror mathematical notation
+// (`add`, `mul`, `neg`, ...) without implementing the operator traits —
+// operator overloading on copy-heavy bignums invites accidental clones.
+#![allow(clippy::should_implement_trait)]
+
+pub mod ed25519;
+pub mod edwards;
+pub mod field;
+pub mod hmac;
+pub mod keyring;
+pub mod nroot;
+pub mod scalar;
+pub mod sha512;
+pub mod tobytes;
+
+pub use ed25519::{Keypair, PublicKey, SecretKey, Signature};
+pub use hmac::hmac_sha512;
+pub use keyring::Keyring;
+pub use sha512::{sha512, Sha512};
+pub use tobytes::ToBytes;

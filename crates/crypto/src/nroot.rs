@@ -1,0 +1,197 @@
+//! Exact integer square/cube roots on 256-bit integers.
+//!
+//! Used to *derive* the SHA-512 round constants and initial hash values:
+//! FIPS 180-4 defines them as the first 64 bits of the fractional parts of
+//! the square (resp. cube) roots of the first primes. Deriving them from
+//! that definition — instead of copying an 80-entry hex table — makes the
+//! constants impossible to mistype and self-documenting.
+
+/// Minimal unsigned 256-bit integer, just enough for root extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct U256 {
+    /// High 128 bits.
+    pub hi: u128,
+    /// Low 128 bits.
+    pub lo: u128,
+}
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256 { hi: 0, lo: 0 };
+
+    /// Builds from a u128.
+    pub fn from_u128(v: u128) -> Self {
+        U256 { hi: 0, lo: v }
+    }
+
+    /// `self + other`, panicking on overflow (our inputs never overflow).
+    pub fn checked_add(self, other: U256) -> U256 {
+        let (lo, c) = self.lo.overflowing_add(other.lo);
+        let hi = self
+            .hi
+            .checked_add(other.hi)
+            .and_then(|h| h.checked_add(c as u128))
+            .expect("U256 add overflow");
+        U256 { hi, lo }
+    }
+
+    /// Full 128x128 -> 256 multiplication.
+    pub fn mul_u128(a: u128, b: u128) -> U256 {
+        const MASK: u128 = (1u128 << 64) - 1;
+        let (a0, a1) = (a & MASK, a >> 64);
+        let (b0, b1) = (b & MASK, b >> 64);
+        let ll = a0 * b0;
+        let lh = a0 * b1;
+        let hl = a1 * b0;
+        let hh = a1 * b1;
+        // lo = ll + ((lh + hl) << 64); carries feed hi.
+        let mid = lh.wrapping_add(hl);
+        let mid_carry = (lh.checked_add(hl).is_none() as u128) << 64;
+        let (lo, c1) = ll.overflowing_add(mid << 64);
+        let hi = hh + (mid >> 64) + mid_carry + c1 as u128;
+        U256 { hi, lo }
+    }
+
+    /// `self * small`, panicking on overflow.
+    pub fn mul_small(self, small: u128) -> U256 {
+        let lo_prod = U256::mul_u128(self.lo, small);
+        let hi_prod = self.hi.checked_mul(small).expect("U256 mul overflow");
+        U256 {
+            hi: lo_prod.hi.checked_add(hi_prod).expect("U256 mul overflow"),
+            lo: lo_prod.lo,
+        }
+    }
+}
+
+/// `floor(sqrt(n * 2^128))` for small `n` — i.e. the integer whose low 64
+/// bits are the first 64 fractional bits of `sqrt(n)` (when `n` is not a
+/// perfect square).
+pub fn sqrt_frac64(n: u64) -> u64 {
+    // Binary search r in [0, 2^70): r^2 <= n << 128 (sqrt(n) < 64).
+    let target = U256 {
+        hi: n as u128,
+        lo: 0,
+    };
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1 << 70;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if U256::mul_u128(mid, mid) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// `floor(cbrt(n * 2^192)) mod 2^64` for small `n` — the first 64
+/// fractional bits of `cbrt(n)`.
+pub fn cbrt_frac64(n: u64) -> u64 {
+    // Binary search r in [0, 2^67): r^3 <= n << 192.
+    let target = U256 {
+        hi: (n as u128) << 64,
+        lo: 0,
+    };
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1 << 67;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        let sq = U256::mul_u128(mid, mid); // < 2^134
+        // cube = sq * mid < 2^201: compute via (hi,lo) * mid.
+        let cube = U256 {
+            hi: 0,
+            lo: sq.lo,
+        }
+        .mul_small(mid)
+        .checked_add(U256 {
+            hi: sq.hi.checked_mul(mid).expect("cube overflow"),
+            lo: 0,
+        });
+        if cube <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// First `k` primes, by trial division (k is tiny: 80).
+pub fn first_primes(k: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(k);
+    let mut cand = 2u64;
+    while primes.len() < k {
+        if primes.iter().all(|p| !cand.is_multiple_of(*p)) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_start_correctly() {
+        assert_eq!(first_primes(10), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        let p80 = first_primes(80);
+        assert_eq!(p80[79], 409);
+    }
+
+    #[test]
+    fn sqrt2_fractional_bits() {
+        // First 64 fractional bits of sqrt(2): 0x6a09e667f3bcc908
+        // (this is SHA-512's H0 — FIPS 180-4 §5.3.5).
+        assert_eq!(sqrt_frac64(2), 0x6a09e667f3bcc908);
+    }
+
+    #[test]
+    fn cbrt2_fractional_bits() {
+        // First 64 fractional bits of cbrt(2): 0x428a2f98d728ae22
+        // (SHA-512's K[0] — FIPS 180-4 §4.2.3).
+        assert_eq!(cbrt_frac64(2), 0x428a2f98d728ae22);
+    }
+
+    #[test]
+    fn perfect_square_has_zero_fraction() {
+        assert_eq!(sqrt_frac64(4), 0); // sqrt(4) = 2 exactly -> low 64 bits 0
+    }
+
+    #[test]
+    fn mul_u128_matches_small_cases() {
+        let r = U256::mul_u128(u128::MAX, 2);
+        assert_eq!(r.hi, 1);
+        assert_eq!(r.lo, u128::MAX - 1);
+        let r2 = U256::mul_u128(1 << 100, 1 << 100);
+        assert_eq!(r2.hi, 1 << 72);
+        assert_eq!(r2.lo, 0);
+    }
+
+    #[test]
+    fn roots_are_exact_floors() {
+        for n in [2u64, 3, 5, 7, 11, 409] {
+            let r = {
+                // Recompute sqrt root in full 128-bit form to check
+                // floor property: r^2 <= n<<128 < (r+1)^2.
+                let target = U256 { hi: n as u128, lo: 0 };
+                let mut lo: u128 = 0;
+                let mut hi: u128 = 1 << 70;
+                while lo + 1 < hi {
+                    let mid = (lo + hi) / 2;
+                    if U256::mul_u128(mid, mid) <= target {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            };
+            let target = U256 { hi: n as u128, lo: 0 };
+            assert!(U256::mul_u128(r, r) <= target);
+            assert!(U256::mul_u128(r + 1, r + 1) > target);
+        }
+    }
+}

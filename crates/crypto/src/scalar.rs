@@ -1,0 +1,291 @@
+//! Arithmetic modulo the prime group order
+//! `ℓ = 2^252 + 27742317777372353535851937790883648493`.
+//!
+//! Scalars are four 64-bit little-endian limbs, always fully reduced.
+//! Wide (512-bit) reduction is done by binary long division against
+//! shifted copies of ℓ — slow but simple and obviously correct; scalar
+//! ops are a negligible fraction of signing time next to the point
+//! multiplications.
+
+/// ℓ as little-endian 64-bit limbs.
+pub const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0,
+    0x1000_0000_0000_0000,
+];
+
+/// A scalar modulo ℓ, fully reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar(pub [u64; 4]);
+
+/// Compares two little-endian limb slices of equal length.
+fn geq(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` (little-endian limbs, a >= b).
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d, b1) = a[i].overflowing_sub(b[i]);
+        let (d, b2) = d.overflowing_sub(borrow);
+        a[i] = d;
+        borrow = (b1 || b2) as u64;
+    }
+    debug_assert_eq!(borrow, 0, "subtraction underflowed");
+}
+
+/// Reduces a 512-bit value (8 LE limbs) modulo ℓ by long division.
+fn mod_l_wide(mut w: [u64; 8]) -> [u64; 4] {
+    // ℓ has 253 bits; shifts up to 512-253 = 259 are enough.
+    for shift in (0..=259u32).rev() {
+        // shifted = L << shift, as 8 (+guard) limbs.
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut shifted = [0u64; 9];
+        for i in 0..4 {
+            shifted[i + limb_shift] |= L[i] << bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 9 {
+                shifted[i + limb_shift + 1] |= L[i] >> (64 - bit_shift);
+            }
+        }
+        if shifted[8] != 0 {
+            continue; // doesn't fit in 512 bits; can't subtract
+        }
+        let shifted8: [u64; 8] = shifted[..8].try_into().unwrap();
+        if geq(&w, &shifted8) {
+            sub_in_place(&mut w, &shifted8);
+        }
+    }
+    debug_assert!(w[4..].iter().all(|&x| x == 0));
+    [w[0], w[1], w[2], w[3]]
+}
+
+impl Scalar {
+    /// Zero.
+    pub const ZERO: Scalar = Scalar([0; 4]);
+    /// One.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// From a u64.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Reduces 32 bytes (little-endian) modulo ℓ.
+    pub fn from_bytes_mod_order(bytes: &[u8; 32]) -> Scalar {
+        let mut w = [0u64; 8];
+        for (i, c) in bytes.chunks_exact(8).enumerate() {
+            w[i] = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        Scalar(mod_l_wide(w))
+    }
+
+    /// Reduces 64 bytes (little-endian) modulo ℓ — the form produced by
+    /// SHA-512 in RFC 8032.
+    pub fn from_bytes_mod_order_wide(bytes: &[u8; 64]) -> Scalar {
+        let mut w = [0u64; 8];
+        for (i, c) in bytes.chunks_exact(8).enumerate() {
+            w[i] = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        Scalar(mod_l_wide(w))
+    }
+
+    /// Parses 32 bytes, accepting only canonical scalars (`< ℓ`), as
+    /// RFC 8032 requires when verifying the `S` half of a signature.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for (i, c) in bytes.chunks_exact(8).enumerate() {
+            limbs[i] = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        if geq(&limbs, &L) {
+            None
+        } else {
+            Some(Scalar(limbs))
+        }
+    }
+
+    /// Little-endian canonical encoding.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    /// `self + rhs (mod ℓ)`.
+    pub fn add(self, rhs: Scalar) -> Scalar {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        #[allow(clippy::needless_range_loop)] // lockstep over two arrays
+        for i in 0..4 {
+            let (s, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s, c2) = s.overflowing_add(carry);
+            out[i] = s;
+            carry = (c1 || c2) as u64;
+        }
+        // Both inputs < ℓ < 2^253, so no 256-bit overflow; subtract ℓ if
+        // needed.
+        debug_assert_eq!(carry, 0);
+        if geq(&out, &L) {
+            sub_in_place(&mut out, &L);
+        }
+        Scalar(out)
+    }
+
+    /// `self * rhs (mod ℓ)`.
+    pub fn mul(self, rhs: Scalar) -> Scalar {
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let t = wide[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                wide[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        Scalar(mod_l_wide(wide))
+    }
+
+    /// True iff the scalar is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0; 4]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn l_reduces_to_zero() {
+        let mut bytes = [0u8; 32];
+        for (i, limb) in L.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert_eq!(Scalar::from_bytes_mod_order(&bytes), Scalar::ZERO);
+        assert!(Scalar::from_canonical_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn l_minus_one_is_canonical() {
+        let mut limbs = L;
+        limbs[0] -= 1;
+        let mut bytes = [0u8; 32];
+        for (i, limb) in limbs.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        let s = Scalar::from_canonical_bytes(&bytes).unwrap();
+        // (ℓ-1) + 1 = 0 mod ℓ.
+        assert_eq!(s.add(Scalar::ONE), Scalar::ZERO);
+        // (ℓ-1) * (ℓ-1) = 1 mod ℓ  (it is -1).
+        assert_eq!(s.mul(s), Scalar::ONE);
+    }
+
+    #[test]
+    fn small_products() {
+        assert_eq!(
+            Scalar::from_u64(6).mul(Scalar::from_u64(7)),
+            Scalar::from_u64(42)
+        );
+        assert_eq!(
+            Scalar::from_u64(5).add(Scalar::from_u64(9)),
+            Scalar::from_u64(14)
+        );
+    }
+
+    #[test]
+    fn wide_reduction_matches_iterated_add() {
+        // 2^256 mod ℓ: compute via from_bytes_mod_order_wide of
+        // 0x1 || 32 zero bytes, and via repeated doubling of 1.
+        let mut wide = [0u8; 64];
+        wide[32] = 1;
+        let direct = Scalar::from_bytes_mod_order_wide(&wide);
+        let mut doubled = Scalar::ONE;
+        for _ in 0..256 {
+            doubled = doubled.add(doubled);
+        }
+        assert_eq!(direct, doubled);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn add_commutes(a: [u8; 32], b: [u8; 32]) {
+            let (a, b) = (
+                Scalar::from_bytes_mod_order(&a),
+                Scalar::from_bytes_mod_order(&b),
+            );
+            prop_assert_eq!(a.add(b), b.add(a));
+        }
+
+        #[test]
+        fn mul_distributes(a: [u8; 32], b: [u8; 32], c: [u8; 32]) {
+            let (a, b, c) = (
+                Scalar::from_bytes_mod_order(&a),
+                Scalar::from_bytes_mod_order(&b),
+                Scalar::from_bytes_mod_order(&c),
+            );
+            prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        }
+
+        #[test]
+        fn reduction_is_canonical(a: [u8; 32]) {
+            let s = Scalar::from_bytes_mod_order(&a);
+            prop_assert!(Scalar::from_canonical_bytes(&s.to_bytes()).is_some());
+        }
+
+        #[test]
+        fn roundtrip(a: [u8; 32]) {
+            let s = Scalar::from_bytes_mod_order(&a);
+            prop_assert_eq!(Scalar::from_bytes_mod_order(&s.to_bytes()), s);
+        }
+    }
+}
+
+impl Scalar {
+    /// `-self (mod ℓ)`.
+    pub fn neg(self) -> Scalar {
+        if self.is_zero() {
+            return self;
+        }
+        let mut out = L;
+        sub_in_place(&mut out, &self.0);
+        Scalar(out)
+    }
+
+    /// `self - rhs (mod ℓ)`.
+    pub fn sub(self, rhs: Scalar) -> Scalar {
+        self.add(rhs.neg())
+    }
+}
+
+#[cfg(test)]
+mod neg_tests {
+    use super::*;
+
+    #[test]
+    fn neg_cancels() {
+        let s = Scalar::from_u64(12345);
+        assert_eq!(s.add(s.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn sub_matches_add_neg() {
+        let a = Scalar::from_u64(100);
+        let b = Scalar::from_u64(30);
+        assert_eq!(a.sub(b), Scalar::from_u64(70));
+        assert_eq!(b.sub(a), Scalar::from_u64(70).neg());
+    }
+}

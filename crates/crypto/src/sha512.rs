@@ -1,0 +1,245 @@
+//! SHA-512 (FIPS 180-4), with constants derived from their definition.
+
+use crate::nroot::{cbrt_frac64, first_primes, sqrt_frac64};
+use std::sync::OnceLock;
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 64;
+/// Block size in bytes.
+pub const BLOCK_LEN: usize = 128;
+
+struct Constants {
+    /// Initial hash values: first 64 fractional bits of sqrt of the first
+    /// 8 primes.
+    h0: [u64; 8],
+    /// Round constants: first 64 fractional bits of cbrt of the first 80
+    /// primes.
+    k: [u64; 80],
+}
+
+fn constants() -> &'static Constants {
+    static CONSTS: OnceLock<Constants> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        let primes = first_primes(80);
+        let mut h0 = [0u64; 8];
+        for (i, p) in primes.iter().take(8).enumerate() {
+            h0[i] = sqrt_frac64(*p);
+        }
+        let mut k = [0u64; 80];
+        for (i, p) in primes.iter().enumerate() {
+            k[i] = cbrt_frac64(*p);
+        }
+        Constants { h0, k }
+    })
+}
+
+/// Incremental SHA-512 hasher.
+#[derive(Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    /// Total message length in bytes (FIPS allows 2^128 bits; u128 bytes
+    /// is more than enough).
+    total: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Sha512 {
+            state: constants().h0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.total += data.len() as u128;
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(BLOCK_LEN - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= BLOCK_LEN {
+            let (block, tail) = rest.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+        self
+    }
+
+    /// Finishes and returns the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total * 8;
+        // Padding: 0x80, zeros, 128-bit big-endian bit length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        let pad_len = {
+            let rem = (self.total as usize + 1) % BLOCK_LEN;
+            let zeros = if rem <= BLOCK_LEN - 16 {
+                BLOCK_LEN - 16 - rem
+            } else {
+                2 * BLOCK_LEN - 16 - rem
+            };
+            1 + zeros + 16
+        };
+        pad[pad_len - 16..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        // Feed padding without recounting length.
+        let mut rest = &pad[..pad_len];
+        while !rest.is_empty() {
+            let take = rest.len().min(BLOCK_LEN - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let k = &constants().k;
+        let mut w = [0u64; 80];
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            w[i] = u64::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let big_s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-512.
+pub fn sha512(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn nist_vector_empty() {
+        assert_eq!(
+            hex(&sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+        );
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_eq!(
+            hex(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+        );
+    }
+
+    #[test]
+    fn nist_vector_two_blocks() {
+        // FIPS 180-4 example: 896-bit message.
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&sha512(msg)),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018\
+             501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 127, 128, 129, 500, 999, 1000] {
+            let mut h = Sha512::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha512(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_paddings() {
+        // Exercise every padding branch around the 112-byte boundary.
+        for len in 100..=140usize {
+            let data = vec![0xabu8; len];
+            let d = sha512(&data);
+            // Just check determinism + sensitivity.
+            let mut data2 = data.clone();
+            data2[len / 2] ^= 1;
+            assert_ne!(d, sha512(&data2), "len {len}");
+            assert_eq!(d, sha512(&data), "len {len}");
+        }
+    }
+}

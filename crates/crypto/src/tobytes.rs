@@ -1,0 +1,127 @@
+//! Canonical byte encoding for signable values.
+//!
+//! SbS signs *lattice values* and structured ack bodies; signatures need a
+//! deterministic byte representation. [`ToBytes`] is a minimal,
+//! injective-by-construction encoding: every composite value is length-
+//! or tag-prefixed so distinct values never encode identically.
+
+/// Deterministic, injective serialization for signing/hashing.
+pub trait ToBytes {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_bytes(&mut out);
+        out
+    }
+}
+
+impl ToBytes for u8 {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl ToBytes for u32 {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl ToBytes for u64 {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl ToBytes for usize {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (*self as u64).write_bytes(out);
+    }
+}
+
+impl ToBytes for String {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl ToBytes for &str {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: ToBytes> ToBytes for Vec<T> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        for item in self {
+            item.write_bytes(out);
+        }
+    }
+}
+
+impl<T: ToBytes> ToBytes for std::collections::BTreeSet<T> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        for item in self {
+            item.write_bytes(out);
+        }
+    }
+}
+
+impl<A: ToBytes, B: ToBytes> ToBytes for (A, B) {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.0.write_bytes(out);
+        self.1.write_bytes(out);
+    }
+}
+
+impl<A: ToBytes, B: ToBytes, C: ToBytes> ToBytes for (A, B, C) {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.0.write_bytes(out);
+        self.1.write_bytes(out);
+        self.2.write_bytes(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn primitive_encodings() {
+        assert_eq!(7u64.to_bytes_vec(), vec![7, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!("ab".to_bytes_vec(), {
+            let mut v = vec![2, 0, 0, 0, 0, 0, 0, 0];
+            v.extend_from_slice(b"ab");
+            v
+        });
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        // ["a","b"] vs ["ab"] must encode differently.
+        let v1 = vec!["a".to_string(), "b".to_string()].to_bytes_vec();
+        let v2 = vec!["ab".to_string()].to_bytes_vec();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn set_encoding_is_order_canonical() {
+        let s1: BTreeSet<u64> = [3, 1, 2].into_iter().collect();
+        let s2: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+        assert_eq!(s1.to_bytes_vec(), s2.to_bytes_vec());
+    }
+
+    #[test]
+    fn tuple_encoding_concatenates() {
+        let t = (1u64, 2u64);
+        assert_eq!(t.to_bytes_vec().len(), 16);
+    }
+}

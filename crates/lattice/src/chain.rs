@@ -1,0 +1,150 @@
+//! Chain and comparability utilities.
+//!
+//! The Comparability property of (Generalized) Lattice Agreement says all
+//! decisions lie on a single chain of the lattice (the red edges of
+//! Figure 1). These helpers let the specification checkers in `bgla-core`
+//! verify that claim on recorded decisions.
+
+use crate::JoinSemiLattice;
+
+/// Why a sequence of values is not a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Two values at the given indices are incomparable.
+    Incomparable(usize, usize),
+    /// A later value was strictly below an earlier one (for
+    /// non-decreasing-sequence checks).
+    Decreasing(usize),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Incomparable(i, j) => {
+                write!(f, "values at indices {i} and {j} are incomparable")
+            }
+            ChainError::Decreasing(i) => write!(f, "value at index {i} decreased"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// `a ≤ b ∨ b ≤ a`.
+pub fn comparable<L: JoinSemiLattice>(a: &L, b: &L) -> bool {
+    a.leq(b) || b.leq(a)
+}
+
+/// Checks that every pair of values is comparable, i.e. the multiset forms
+/// a chain. Quadratic, intended for test-time verification.
+pub fn is_chain<L: JoinSemiLattice>(values: &[L]) -> Result<(), ChainError> {
+    for i in 0..values.len() {
+        for j in (i + 1)..values.len() {
+            if !comparable(&values[i], &values[j]) {
+                return Err(ChainError::Incomparable(i, j));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a *sequence* is non-decreasing in lattice order (the Local
+/// Stability property of Generalized Lattice Agreement).
+pub fn is_nondecreasing<L: JoinSemiLattice>(seq: &[L]) -> Result<(), ChainError> {
+    for i in 1..seq.len() {
+        if !seq[i - 1].leq(&seq[i]) {
+            return Err(ChainError::Decreasing(i));
+        }
+    }
+    Ok(())
+}
+
+/// Sorts a slice that is known to be a chain into ascending lattice order.
+/// Returns `Err` if some pair turns out to be incomparable.
+pub fn sort_chain<L: JoinSemiLattice>(values: &mut [L]) -> Result<(), ChainError> {
+    is_chain(values)?;
+    // All pairs comparable => leq is a total order on this slice; a simple
+    // insertion sort keeps things dependency-free and stable.
+    for i in 1..values.len() {
+        let mut j = i;
+        while j > 0 && !values[j - 1].leq(&values[j]) {
+            values.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SetLattice;
+    use proptest::prelude::*;
+
+    fn s(v: &[u8]) -> SetLattice<u8> {
+        SetLattice::from_iter(v.iter().copied())
+    }
+
+    #[test]
+    fn chain_detection() {
+        let chain = vec![s(&[]), s(&[1]), s(&[1, 2]), s(&[1, 2, 3])];
+        assert!(is_chain(&chain).is_ok());
+        let broken = vec![s(&[1]), s(&[2])];
+        assert_eq!(is_chain(&broken), Err(ChainError::Incomparable(0, 1)));
+    }
+
+    #[test]
+    fn nondecreasing_detection() {
+        let good = vec![s(&[1]), s(&[1]), s(&[1, 2])];
+        assert!(is_nondecreasing(&good).is_ok());
+        let bad = vec![s(&[1, 2]), s(&[1])];
+        assert_eq!(is_nondecreasing(&bad), Err(ChainError::Decreasing(1)));
+    }
+
+    #[test]
+    fn sort_chain_orders_by_inclusion() {
+        let mut values = vec![s(&[1, 2, 3]), s(&[1]), s(&[1, 2])];
+        sort_chain(&mut values).unwrap();
+        assert_eq!(values, vec![s(&[1]), s(&[1, 2]), s(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn sort_chain_rejects_antichain() {
+        let mut values = vec![s(&[1]), s(&[2])];
+        assert!(sort_chain(&mut values).is_err());
+    }
+
+    proptest! {
+        /// Random prefixes of a growing set always form a chain.
+        #[test]
+        fn growing_prefixes_are_chains(elems: Vec<u8>) {
+            let mut acc = SetLattice::new();
+            let mut chain = vec![acc.clone()];
+            for e in elems {
+                acc.insert(e);
+                chain.push(acc.clone());
+            }
+            prop_assert!(is_chain(&chain).is_ok());
+            prop_assert!(is_nondecreasing(&chain).is_ok());
+        }
+
+        /// After sorting a shuffled chain, the sequence is non-decreasing.
+        #[test]
+        fn sorted_chain_is_nondecreasing(elems: Vec<u8>, seed: u64) {
+            let mut acc = SetLattice::new();
+            let mut chain = vec![acc.clone()];
+            for e in elems {
+                acc.insert(e);
+                chain.push(acc.clone());
+            }
+            // Poor-man's shuffle with the seed.
+            let n = chain.len();
+            for i in 0..n {
+                let j = ((seed as usize).wrapping_mul(i + 7)) % n;
+                chain.swap(i, j);
+            }
+            sort_chain(&mut chain).unwrap();
+            prop_assert!(is_nondecreasing(&chain).is_ok());
+        }
+    }
+}

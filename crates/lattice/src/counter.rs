@@ -1,0 +1,126 @@
+//! Grow-only counter (G-Counter) — the classic state-based CRDT whose merge
+//! is a join. The paper's motivating example (Section 1) is "a dependable
+//! counter with add and read operations, where updates (adds) are
+//! commutative"; this type realizes its per-replica-contribution form.
+
+use crate::JoinSemiLattice;
+use std::collections::BTreeMap;
+
+/// A map from replica id to that replica's monotonically increasing
+/// contribution; join is the pointwise max, the counter value is the sum.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GCounter(pub BTreeMap<u64, u64>);
+
+impl GCounter {
+    /// An all-zero counter.
+    pub fn new() -> Self {
+        GCounter(BTreeMap::new())
+    }
+
+    /// Adds `amount` to replica `id`'s contribution.
+    pub fn add(&mut self, id: u64, amount: u64) {
+        *self.0.entry(id).or_insert(0) += amount;
+    }
+
+    /// Total counter value (sum of all contributions).
+    pub fn value(&self) -> u64 {
+        self.0.values().sum()
+    }
+
+    /// One replica's contribution.
+    pub fn contribution(&self, id: u64) -> u64 {
+        self.0.get(&id).copied().unwrap_or(0)
+    }
+}
+
+impl JoinSemiLattice for GCounter {
+    fn bottom() -> Self {
+        GCounter::new()
+    }
+
+    fn join(&mut self, other: &Self) {
+        for (id, v) in &other.0 {
+            let e = self.0.entry(*id).or_insert(0);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0
+            .iter()
+            .all(|(id, v)| other.0.get(id).copied().unwrap_or(0) >= *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn adds_accumulate() {
+        let mut c = GCounter::new();
+        c.add(0, 3);
+        c.add(1, 4);
+        c.add(0, 1);
+        assert_eq!(c.value(), 8);
+        assert_eq!(c.contribution(0), 4);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = GCounter::new();
+        a.add(0, 5);
+        let mut b = GCounter::new();
+        b.add(0, 3);
+        b.add(1, 2);
+        a.join(&b);
+        assert_eq!(a.contribution(0), 5);
+        assert_eq!(a.contribution(1), 2);
+        assert_eq!(a.value(), 7);
+    }
+
+    #[test]
+    fn leq_is_pointwise() {
+        let mut a = GCounter::new();
+        a.add(0, 1);
+        let mut b = GCounter::new();
+        b.add(0, 2);
+        b.add(1, 1);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    fn arb_counter(entries: Vec<(u8, u32)>) -> GCounter {
+        let mut c = GCounter::new();
+        for (id, v) in entries {
+            c.add(id as u64, v as u64);
+        }
+        c
+    }
+
+    proptest! {
+        #[test]
+        fn gcounter_laws(a: Vec<(u8, u32)>, b: Vec<(u8, u32)>, c: Vec<(u8, u32)>) {
+            let (a, b, c) = (arb_counter(a), arb_counter(b), arb_counter(c));
+            prop_assert!(laws::check_laws(&a, &b, &c).is_ok());
+        }
+
+        #[test]
+        fn value_monotone_under_join(a: Vec<(u8, u32)>, b: Vec<(u8, u32)>) {
+            let (a, b) = (arb_counter(a), arb_counter(b));
+            let j = a.joined(&b);
+            prop_assert!(j.value() >= a.value().max(b.value()));
+        }
+
+        #[test]
+        fn explicit_leq_matches_default(a: Vec<(u8, u32)>, b: Vec<(u8, u32)>) {
+            let (a, b) = (arb_counter(a), arb_counter(b));
+            // The overridden leq must agree with the induced order.
+            prop_assert_eq!(a.leq(&b), b.joined(&a) == b);
+        }
+    }
+}

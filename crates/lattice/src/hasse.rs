@@ -1,0 +1,94 @@
+//! Tiny Hasse-diagram renderer for small power-set lattices.
+//!
+//! Reproduces Figure 1 of the paper: the power set of `{1,2,3,4}` under
+//! union, with a chain (the "red edges") highlighted. Used by the
+//! `quickstart` example to visualize the chain selected by a Lattice
+//! Agreement run.
+
+#[allow(unused_imports)]
+use crate::JoinSemiLattice;
+use crate::SetLattice;
+use std::fmt::Write as _;
+
+/// Renders the Hasse diagram of the power set of `universe` as ASCII rows
+/// (one row per rank, bottom row last), marking elements of `chain` with
+/// `*`. Intended for universes of at most ~5 elements.
+pub fn render_power_set<T: Ord + Clone + std::fmt::Debug>(
+    universe: &[T],
+    chain: &[SetLattice<T>],
+) -> String {
+    let n = universe.len();
+    assert!(n <= 6, "Hasse rendering is only sensible for tiny universes");
+    let mut by_rank: Vec<Vec<SetLattice<T>>> = vec![Vec::new(); n + 1];
+    for mask in 0..(1u32 << n) {
+        let s: SetLattice<T> = SetLattice::from_iter(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| universe[i].clone()),
+        );
+        by_rank[s.len()].push(s);
+    }
+    let mut out = String::new();
+    for rank in (0..=n).rev() {
+        let row: Vec<String> = by_rank[rank]
+            .iter()
+            .map(|s| {
+                let mark = if chain.contains(s) { "*" } else { " " };
+                format!("{mark}{s:?}")
+            })
+            .collect();
+        let _ = writeln!(out, "rank {rank}: {}", row.join("  "));
+    }
+    out
+}
+
+/// All covering edges (x, y) of the power-set Hasse diagram, i.e. `x < y`
+/// with `|y| = |x| + 1`. Useful for structural tests and visualization.
+pub fn cover_edges<T: Ord + Clone>(universe: &[T]) -> Vec<(SetLattice<T>, SetLattice<T>)> {
+    let n = universe.len();
+    let subset = |mask: u32| -> SetLattice<T> {
+        SetLattice::from_iter(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| universe[i].clone()),
+        )
+    };
+    let mut edges = Vec::new();
+    for mask in 0..(1u32 << n) {
+        for bit in 0..n {
+            if mask & (1 << bit) == 0 {
+                edges.push((subset(mask), subset(mask | (1 << bit))));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_one_has_sixteen_nodes() {
+        let edges = cover_edges(&[1u8, 2, 3, 4]);
+        // Each of the 16 subsets has (4 - |s|) upward covers: sum = 32.
+        assert_eq!(edges.len(), 32);
+        for (lo, hi) in &edges {
+            assert!(lo.strictly_below(hi));
+            assert_eq!(hi.len(), lo.len() + 1);
+        }
+    }
+
+    #[test]
+    fn render_marks_chain_members() {
+        let chain = vec![
+            SetLattice::from_iter([1u8]),
+            SetLattice::from_iter([1u8, 2]),
+        ];
+        let art = render_power_set(&[1u8, 2], &chain);
+        assert!(art.contains("*{1}"));
+        assert!(art.contains("*{1, 2}"));
+        // Bottom not in chain => unmarked.
+        assert!(art.contains(" {}"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Join-semilattice abstractions for Byzantine (Generalized) Lattice Agreement.
+//!
+//! The paper (Di Luna, Anceaume, Querzoni, 2019) defines Lattice Agreement
+//! over an arbitrary join semilattice `L = (V, ⊕)` and then — without loss
+//! of generality, by the classical representation theorem for join
+//! semilattices — works with semilattices of *sets* under union. This crate
+//! provides:
+//!
+//! * the [`JoinSemiLattice`] trait and algebraic-law test helpers,
+//! * concrete lattices used by the examples, tests and the RSM crate
+//!   ([`SetLattice`], [`MaxLattice`], [`GCounter`], [`VersionVector`],
+//!   [`PairLattice`]),
+//! * chain / comparability utilities used by the specification checkers
+//!   ([`comparable`], [`is_chain`], [`sort_chain`]),
+//! * a tiny Hasse-diagram renderer ([`hasse`]) reproducing Figure 1 of the
+//!   paper.
+//!
+//! # Example
+//!
+//! ```
+//! use bgla_lattice::{JoinSemiLattice, SetLattice};
+//!
+//! let mut a = SetLattice::from_iter([1u32, 2]);
+//! let b = SetLattice::from_iter([2u32, 3]);
+//! a.join(&b);
+//! assert_eq!(a, SetLattice::from_iter([1, 2, 3]));
+//! assert!(b.leq(&a));
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod chain;
+pub mod counter;
+pub mod hasse;
+pub mod map;
+pub mod max;
+pub mod product;
+pub mod set;
+pub mod vclock;
+
+pub use chain::{comparable, is_chain, is_nondecreasing, sort_chain, ChainError};
+pub use counter::GCounter;
+pub use map::MapLattice;
+pub use max::MaxLattice;
+pub use product::PairLattice;
+pub use set::SetLattice;
+pub use vclock::VersionVector;
+
+/// A join semilattice: a partially ordered set in which every finite subset
+/// has a least upper bound (*join*, written `⊕` in the paper).
+///
+/// Laws (checked by [`laws::check_laws`] and by property tests):
+///
+/// * **idempotence**: `a ⊕ a = a`
+/// * **commutativity**: `a ⊕ b = b ⊕ a`
+/// * **associativity**: `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`
+///
+/// The induced partial order is `a ≤ b  ⇔  a ⊕ b = b`.
+pub trait JoinSemiLattice: Clone + Eq {
+    /// The bottom element (`⊥`), i.e. the join of the empty set.
+    fn bottom() -> Self;
+
+    /// In-place join: `self = self ⊕ other`.
+    fn join(&mut self, other: &Self);
+
+    /// Returns `self ⊕ other` without mutating either operand.
+    fn joined(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// The induced partial order: `self ≤ other  ⇔  self ⊕ other = other`.
+    fn leq(&self, other: &Self) -> bool {
+        other.joined(self) == *other
+    }
+
+    /// Strict order: `self ≤ other` and `self ≠ other`. (Named to avoid
+    /// colliding with `PartialOrd::lt` on types that also derive `Ord`.)
+    fn strictly_below(&self, other: &Self) -> bool {
+        self.leq(other) && self != other
+    }
+
+    /// Join of an iterator of elements (`⊕ V'` in the paper).
+    fn join_all<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut acc = Self::bottom();
+        for v in iter {
+            acc.join(v);
+        }
+        acc
+    }
+}
+
+/// Helpers to verify the semilattice laws on concrete values. Property tests
+/// in every lattice module call these with randomly generated elements.
+pub mod laws {
+    use super::JoinSemiLattice;
+
+    /// `a ⊕ a = a`
+    pub fn idempotent<L: JoinSemiLattice>(a: &L) -> bool {
+        a.joined(a) == *a
+    }
+
+    /// `a ⊕ b = b ⊕ a`
+    pub fn commutative<L: JoinSemiLattice>(a: &L, b: &L) -> bool {
+        a.joined(b) == b.joined(a)
+    }
+
+    /// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)`
+    pub fn associative<L: JoinSemiLattice>(a: &L, b: &L, c: &L) -> bool {
+        a.joined(b).joined(c) == a.joined(&b.joined(c))
+    }
+
+    /// `⊥ ⊕ a = a`
+    pub fn bottom_is_identity<L: JoinSemiLattice>(a: &L) -> bool {
+        L::bottom().joined(a) == *a
+    }
+
+    /// `a ≤ a ⊕ b` and `b ≤ a ⊕ b` (the join is an upper bound).
+    pub fn join_is_upper_bound<L: JoinSemiLattice>(a: &L, b: &L) -> bool {
+        let j = a.joined(b);
+        a.leq(&j) && b.leq(&j)
+    }
+
+    /// Runs every law; returns `Err` naming the first law violated.
+    pub fn check_laws<L: JoinSemiLattice>(a: &L, b: &L, c: &L) -> Result<(), &'static str> {
+        if !idempotent(a) {
+            return Err("idempotence");
+        }
+        if !commutative(a, b) {
+            return Err("commutativity");
+        }
+        if !associative(a, b, c) {
+            return Err("associativity");
+        }
+        if !bottom_is_identity(a) {
+            return Err("bottom identity");
+        }
+        if !join_is_upper_bound(a, b) {
+            return Err("join upper bound");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_all_of_empty_is_bottom() {
+        let vals: Vec<SetLattice<u8>> = vec![];
+        assert_eq!(SetLattice::<u8>::join_all(vals.iter()), SetLattice::bottom());
+    }
+
+    #[test]
+    fn join_all_accumulates() {
+        let vals = [SetLattice::from_iter([1u8]),
+            SetLattice::from_iter([2u8]),
+            SetLattice::from_iter([3u8])];
+        assert_eq!(
+            SetLattice::join_all(vals.iter()),
+            SetLattice::from_iter([1u8, 2, 3])
+        );
+    }
+
+    #[test]
+    fn strictly_below_is_strict() {
+        let a = SetLattice::from_iter([1u8]);
+        let b = SetLattice::from_iter([1u8, 2]);
+        assert!(a.strictly_below(&b));
+        assert!(!b.strictly_below(&a));
+        assert!(!a.strictly_below(&a));
+    }
+}

@@ -1,0 +1,157 @@
+//! The pointwise lift: a map from keys to an arbitrary join semilattice
+//! is itself a join semilattice (absent keys read as bottom). This
+//! generalizes [`crate::GCounter`] and [`crate::VersionVector`] (both are
+//! `MapLattice<u64, MaxLattice<u64>>` in disguise) and lets applications
+//! assemble richer replicated states, e.g. per-key grow-only sets.
+
+use crate::JoinSemiLattice;
+use std::collections::BTreeMap;
+
+/// A map whose values come from a join semilattice, joined pointwise.
+///
+/// Invariant: no key maps to `L::bottom()` — bottom entries are pruned
+/// so that equality coincides with extensional equality of the
+/// represented function.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MapLattice<K: Ord + Clone, L: JoinSemiLattice>(BTreeMap<K, L>);
+
+impl<K: Ord + Clone, L: JoinSemiLattice> Default for MapLattice<K, L> {
+    fn default() -> Self {
+        MapLattice(BTreeMap::new())
+    }
+}
+
+impl<K: Ord + Clone, L: JoinSemiLattice> MapLattice<K, L> {
+    /// The empty map (bottom).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins `value` into the entry at `key`.
+    pub fn join_at(&mut self, key: K, value: &L) {
+        if *value == L::bottom() {
+            return; // preserve the no-bottom-entries invariant
+        }
+        match self.0.get_mut(&key) {
+            Some(existing) => existing.join(value),
+            None => {
+                self.0.insert(key, value.clone());
+            }
+        }
+    }
+
+    /// Reads the entry at `key` (bottom when absent).
+    pub fn get(&self, key: &K) -> L {
+        self.0.get(key).cloned().unwrap_or_else(L::bottom)
+    }
+
+    /// Number of non-bottom entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the non-bottom entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &L)> {
+        self.0.iter()
+    }
+}
+
+impl<K: Ord + Clone, L: JoinSemiLattice> JoinSemiLattice for MapLattice<K, L> {
+    fn bottom() -> Self {
+        Self::default()
+    }
+
+    fn join(&mut self, other: &Self) {
+        for (k, v) in &other.0 {
+            self.join_at(k.clone(), v);
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.iter().all(|(k, v)| v.leq(&other.get(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, MaxLattice, SetLattice};
+    use proptest::prelude::*;
+
+    type Counters = MapLattice<String, MaxLattice<u32>>;
+    type Tags = MapLattice<u8, SetLattice<u16>>;
+
+    #[test]
+    fn pointwise_join_and_get() {
+        let mut a = Counters::new();
+        a.join_at("x".into(), &MaxLattice::of(3));
+        let mut b = Counters::new();
+        b.join_at("x".into(), &MaxLattice::of(5));
+        b.join_at("y".into(), &MaxLattice::of(1));
+        a.join(&b);
+        assert_eq!(a.get(&"x".into()), MaxLattice::of(5));
+        assert_eq!(a.get(&"y".into()), MaxLattice::of(1));
+        assert_eq!(a.get(&"z".into()), MaxLattice::bottom());
+    }
+
+    #[test]
+    fn bottom_entries_are_pruned() {
+        let mut a = Tags::new();
+        a.join_at(1, &SetLattice::bottom());
+        assert!(a.is_empty());
+        assert_eq!(a, Tags::bottom());
+    }
+
+    #[test]
+    fn leq_reads_absent_as_bottom() {
+        let mut a = Tags::new();
+        a.join_at(1, &SetLattice::from_iter([7u16]));
+        let b = Tags::new();
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+    }
+
+    #[test]
+    fn gcounter_is_a_map_lattice() {
+        // Same semantics as GCounter: pointwise max of contributions.
+        let mut m: MapLattice<u64, MaxLattice<u64>> = MapLattice::new();
+        m.join_at(0, &MaxLattice::of(5));
+        m.join_at(1, &MaxLattice::of(2));
+        let total: u64 = m.iter().map(|(_, v)| *v.get().unwrap()).sum();
+        assert_eq!(total, 7);
+    }
+
+    fn arb_tags(entries: Vec<(u8, Vec<u16>)>) -> Tags {
+        let mut m = Tags::new();
+        for (k, vals) in entries {
+            m.join_at(k, &SetLattice::from_iter(vals));
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn map_lattice_laws(
+            a: Vec<(u8, Vec<u16>)>,
+            b: Vec<(u8, Vec<u16>)>,
+            c: Vec<(u8, Vec<u16>)>,
+        ) {
+            let (a, b, c) = (arb_tags(a), arb_tags(b), arb_tags(c));
+            prop_assert!(laws::check_laws(&a, &b, &c).is_ok());
+        }
+
+        #[test]
+        fn join_dominates_pointwise(a: Vec<(u8, Vec<u16>)>, b: Vec<(u8, Vec<u16>)>) {
+            let (a, b) = (arb_tags(a), arb_tags(b));
+            let j = a.joined(&b);
+            for k in 0..=255u8 {
+                prop_assert_eq!(j.get(&k), a.get(&k).joined(&b.get(&k)));
+            }
+        }
+    }
+}

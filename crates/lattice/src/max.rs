@@ -1,0 +1,75 @@
+//! The max lattice over a totally ordered type: join is `max`, bottom is the
+//! absence of a value. A minimal example of a lattice whose chains are the
+//! whole order — useful in tests because *every* pair is comparable.
+
+use crate::JoinSemiLattice;
+
+/// `Option<T>` with `None` as bottom and `max` as join.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MaxLattice<T: Ord + Clone>(pub Option<T>);
+
+impl<T: Ord + Clone> MaxLattice<T> {
+    /// Wraps a value.
+    pub fn of(v: T) -> Self {
+        MaxLattice(Some(v))
+    }
+
+    /// Current maximum, if any value has been joined in.
+    pub fn get(&self) -> Option<&T> {
+        self.0.as_ref()
+    }
+}
+
+impl<T: Ord + Clone> JoinSemiLattice for MaxLattice<T> {
+    fn bottom() -> Self {
+        MaxLattice(None)
+    }
+
+    fn join(&mut self, other: &Self) {
+        match (&mut self.0, &other.0) {
+            (_, None) => {}
+            (slot @ None, Some(o)) => *slot = Some(o.clone()),
+            (Some(s), Some(o)) => {
+                if *o > *s {
+                    *s = o.clone();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_of_two() {
+        let mut a = MaxLattice::of(3u32);
+        a.join(&MaxLattice::of(7));
+        assert_eq!(a.get(), Some(&7));
+    }
+
+    #[test]
+    fn bottom_identity() {
+        let mut a = MaxLattice::<u32>::bottom();
+        a.join(&MaxLattice::of(5));
+        assert_eq!(a, MaxLattice::of(5));
+    }
+
+    #[test]
+    fn total_order_means_everything_comparable() {
+        let a = MaxLattice::of(1u8);
+        let b = MaxLattice::of(200u8);
+        assert!(a.leq(&b) || b.leq(&a));
+    }
+
+    proptest! {
+        #[test]
+        fn max_lattice_laws(a: Option<i64>, b: Option<i64>, c: Option<i64>) {
+            let (a, b, c) = (MaxLattice(a), MaxLattice(b), MaxLattice(c));
+            prop_assert!(laws::check_laws(&a, &b, &c).is_ok());
+        }
+    }
+}

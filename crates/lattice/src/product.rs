@@ -1,0 +1,72 @@
+//! Product lattices: the componentwise join of two lattices is a lattice.
+//! Lets applications agree on several facets at once (e.g. a set of
+//! commands *and* a version vector).
+
+use crate::JoinSemiLattice;
+
+/// The product of two join semilattices with componentwise join and order.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PairLattice<A, B>(pub A, pub B);
+
+impl<A: JoinSemiLattice, B: JoinSemiLattice> PairLattice<A, B> {
+    /// Wraps two components.
+    pub fn new(a: A, b: B) -> Self {
+        PairLattice(a, b)
+    }
+}
+
+impl<A: JoinSemiLattice, B: JoinSemiLattice> JoinSemiLattice for PairLattice<A, B> {
+    fn bottom() -> Self {
+        PairLattice(A::bottom(), B::bottom())
+    }
+
+    fn join(&mut self, other: &Self) {
+        self.0.join(&other.0);
+        self.1.join(&other.1);
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{laws, MaxLattice, SetLattice};
+    use proptest::prelude::*;
+
+    type P = PairLattice<SetLattice<u8>, MaxLattice<u32>>;
+
+    fn mk(s: Vec<u8>, m: Option<u32>) -> P {
+        PairLattice(SetLattice::from_iter(s), MaxLattice(m))
+    }
+
+    #[test]
+    fn componentwise_join() {
+        let a = mk(vec![1], Some(5));
+        let b = mk(vec![2], Some(3));
+        let j = a.joined(&b);
+        assert_eq!(j, mk(vec![1, 2], Some(5)));
+    }
+
+    #[test]
+    fn order_requires_both_components() {
+        let a = mk(vec![1], Some(9));
+        let b = mk(vec![1, 2], Some(3));
+        // a's set is below b's but a's max is above: incomparable.
+        assert!(!a.leq(&b) && !b.leq(&a));
+    }
+
+    proptest! {
+        #[test]
+        fn pair_laws(
+            a: (Vec<u8>, Option<u32>),
+            b: (Vec<u8>, Option<u32>),
+            c: (Vec<u8>, Option<u32>),
+        ) {
+            let (a, b, c) = (mk(a.0, a.1), mk(b.0, b.1), mk(c.0, c.1));
+            prop_assert!(laws::check_laws(&a, &b, &c).is_ok());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The power-set lattice with union as join — the paper's canonical lattice
+//! (Figure 1) and the one used by the RSM construction of Section 7.
+
+use crate::JoinSemiLattice;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of values ordered by inclusion, joined by union.
+///
+/// `BTreeSet` is used (rather than `HashSet`) so that iteration order — and
+/// therefore everything derived from it, including simulation traces and
+/// wire encodings — is deterministic.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SetLattice<T: Ord + Clone>(pub BTreeSet<T>);
+
+#[allow(clippy::should_implement_trait)] // `from_iter` also exists as FromIterator
+impl<T: Ord + Clone> SetLattice<T> {
+    /// The empty set (bottom).
+    pub fn new() -> Self {
+        SetLattice(BTreeSet::new())
+    }
+
+    /// Singleton set `{v}`.
+    pub fn singleton(v: T) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(v);
+        SetLattice(s)
+    }
+
+    /// Builds a set from an iterator of values.
+    pub fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        SetLattice(iter.into_iter().collect())
+    }
+
+    /// Inserts one value; returns whether it was new.
+    pub fn insert(&mut self, v: T) -> bool {
+        self.0.insert(v)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty (i.e. bottom).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &T) -> bool {
+        self.0.contains(v)
+    }
+
+    /// Iterates the elements in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.0.iter()
+    }
+
+    /// Inclusion test (same as `leq` but named for readability at call
+    /// sites that think in terms of sets).
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Elements of `self` not present in `other` (used by the
+    /// Non-Triviality checker to isolate Byzantine-injected values).
+    pub fn difference(&self, other: &Self) -> Self {
+        SetLattice(self.0.difference(&other.0).cloned().collect())
+    }
+}
+
+impl<T: Ord + Clone> JoinSemiLattice for SetLattice<T> {
+    fn bottom() -> Self {
+        SetLattice::new()
+    }
+
+    fn join(&mut self, other: &Self) {
+        // Union; extend only when other has something to add so the common
+        // `join` with bottom stays allocation-free.
+        if !other.0.is_empty() {
+            self.0.extend(other.0.iter().cloned());
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.is_subset(&other.0)
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> fmt::Debug for SetLattice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for SetLattice<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        SetLattice(iter.into_iter().collect())
+    }
+}
+
+impl<T: Ord + Clone> IntoIterator for SetLattice<T> {
+    type Item = T;
+    type IntoIter = std::collections::btree_set::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_is_join() {
+        let a = SetLattice::from_iter([1, 2]);
+        let b = SetLattice::from_iter([2, 3]);
+        assert_eq!(a.joined(&b), SetLattice::from_iter([1, 2, 3]));
+    }
+
+    #[test]
+    fn subset_is_leq() {
+        let a = SetLattice::from_iter([1]);
+        let b = SetLattice::from_iter([1, 2]);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn incomparable_elements_exist() {
+        // {2} and {3} from Figure 1: neither contains the other.
+        let a = SetLattice::from_iter([2]);
+        let b = SetLattice::from_iter([3]);
+        assert!(!a.leq(&b) && !b.leq(&a));
+    }
+
+    #[test]
+    fn difference_isolates_foreign_values() {
+        let dec = SetLattice::from_iter([1, 2, 99]);
+        let honest = SetLattice::from_iter([1, 2, 3]);
+        assert_eq!(dec.difference(&honest), SetLattice::from_iter([99]));
+    }
+
+    proptest! {
+        #[test]
+        fn set_lattice_laws(a: Vec<u8>, b: Vec<u8>, c: Vec<u8>) {
+            let (a, b, c) = (
+                SetLattice::from_iter(a),
+                SetLattice::from_iter(b),
+                SetLattice::from_iter(c),
+            );
+            prop_assert!(laws::check_laws(&a, &b, &c).is_ok());
+        }
+
+        #[test]
+        fn join_len_bounds(a: Vec<u8>, b: Vec<u8>) {
+            let (a, b) = (SetLattice::from_iter(a), SetLattice::from_iter(b));
+            let j = a.joined(&b);
+            prop_assert!(j.len() <= a.len() + b.len());
+            prop_assert!(j.len() >= a.len().max(b.len()));
+        }
+    }
+}

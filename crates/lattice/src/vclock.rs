@@ -1,0 +1,106 @@
+//! Version vectors — the lattice underlying snapshot objects, which is how
+//! Lattice Agreement first arose (Attiya, Herlihy, Rachman 1995).
+
+use crate::JoinSemiLattice;
+use std::collections::BTreeMap;
+
+/// A version vector: map from process id to event count, joined pointwise.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VersionVector(pub BTreeMap<u64, u64>);
+
+impl VersionVector {
+    /// The empty (all-zero) vector.
+    pub fn new() -> Self {
+        VersionVector(BTreeMap::new())
+    }
+
+    /// Records one more event at `id`.
+    pub fn tick(&mut self, id: u64) {
+        *self.0.entry(id).or_insert(0) += 1;
+    }
+
+    /// Component for `id` (0 when absent).
+    pub fn get(&self, id: u64) -> u64 {
+        self.0.get(&id).copied().unwrap_or(0)
+    }
+
+    /// True when the two vectors are concurrent (incomparable).
+    pub fn concurrent(&self, other: &Self) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl JoinSemiLattice for VersionVector {
+    fn bottom() -> Self {
+        VersionVector::new()
+    }
+
+    fn join(&mut self, other: &Self) {
+        for (id, v) in &other.0 {
+            let e = self.0.entry(*id).or_insert(0);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.iter().all(|(id, v)| other.get(*id) >= *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ticks_and_gets() {
+        let mut v = VersionVector::new();
+        v.tick(3);
+        v.tick(3);
+        v.tick(5);
+        assert_eq!(v.get(3), 2);
+        assert_eq!(v.get(5), 1);
+        assert_eq!(v.get(7), 0);
+    }
+
+    #[test]
+    fn concurrent_vectors_detected() {
+        let mut a = VersionVector::new();
+        a.tick(0);
+        let mut b = VersionVector::new();
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        let j = a.joined(&b);
+        assert!(!a.concurrent(&j));
+    }
+
+    fn arb_vv(entries: Vec<(u8, u8)>) -> VersionVector {
+        let mut v = VersionVector::new();
+        for (id, n) in entries {
+            for _ in 0..(n % 4) {
+                v.tick(id as u64);
+            }
+        }
+        v
+    }
+
+    proptest! {
+        #[test]
+        fn vv_laws(a: Vec<(u8, u8)>, b: Vec<(u8, u8)>, c: Vec<(u8, u8)>) {
+            let (a, b, c) = (arb_vv(a), arb_vv(b), arb_vv(c));
+            prop_assert!(laws::check_laws(&a, &b, &c).is_ok());
+        }
+
+        #[test]
+        fn join_dominates_both(a: Vec<(u8, u8)>, b: Vec<(u8, u8)>) {
+            let (a, b) = (arb_vv(a), arb_vv(b));
+            let j = a.joined(&b);
+            for id in 0..=255u64 {
+                prop_assert_eq!(j.get(id), a.get(id).max(b.get(id)));
+            }
+        }
+    }
+}

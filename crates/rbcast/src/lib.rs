@@ -1,0 +1,534 @@
+//! Byzantine reliable broadcast (Bracha 1987), the primitive WTS/GWTS use
+//! for the value-disclosure phase and (in GWTS) for acceptor acks.
+//!
+//! Guarantees with `n ≥ 3f + 1`:
+//!
+//! * **Validity**: if a correct process broadcasts `(tag, v)`, every
+//!   correct process eventually delivers `(origin, tag, v)`.
+//! * **Agreement / no equivocation**: no two correct processes deliver
+//!   different values for the same `(origin, tag)` — this is exactly what
+//!   stops a Byzantine proposer from disclosing different initial values
+//!   to different processes (Observation 1 of the paper).
+//! * **Integrity**: at most one delivery per `(origin, tag)`.
+//! * **Totality**: if any correct process delivers, all eventually do.
+//!
+//! The engine is *embeddable*: algorithm processes own an
+//! [`RbcastEngine`] per message space and feed network events through it,
+//! so one simulated process can run several protocols at once (as the
+//! paper's proposer+acceptor co-location requires). The fast path is 3
+//! message delays (`init → echo → ready → deliver`), which is where the
+//! `2f + 5 = 3 + (2f + 2)` accounting of Theorem 3 comes from.
+//!
+//! Tags isolate *instances*: GWTS tags disclosures with the round number,
+//! which is the "round based" disambiguation footnote 2 of the paper
+//! attributes to Mendes et al.
+#![warn(missing_docs)]
+
+
+// Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
+// `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
+#![allow(clippy::int_plus_one)]
+
+use bgla_simnet::ProcessId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Wire messages of the broadcast protocol, carried inside the host
+/// algorithm's message enum.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RbMsg<T> {
+    /// First round: the origin sends its value to everyone.
+    Init {
+        /// Instance tag chosen by the origin (e.g. GWTS round).
+        tag: u64,
+        /// Broadcast payload.
+        value: T,
+    },
+    /// Second round: witnesses echo the value they saw from the origin.
+    Echo {
+        /// Claimed origin.
+        origin: ProcessId,
+        /// Instance tag.
+        tag: u64,
+        /// Echoed payload.
+        value: T,
+    },
+    /// Third round: processes commit to delivering the value.
+    Ready {
+        /// Claimed origin.
+        origin: ProcessId,
+        /// Instance tag.
+        tag: u64,
+        /// Payload to deliver.
+        value: T,
+    },
+}
+
+impl<T> RbMsg<T> {
+    /// Short label for metrics bucketing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RbMsg::Init { .. } => "rb_init",
+            RbMsg::Echo { .. } => "rb_echo",
+            RbMsg::Ready { .. } => "rb_ready",
+        }
+    }
+}
+
+/// A delivered broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// The authenticated origin of the broadcast.
+    pub origin: ProcessId,
+    /// The instance tag.
+    pub tag: u64,
+    /// The agreed value.
+    pub value: T,
+}
+
+/// Messages the engine wants broadcast to **all** processes.
+pub type Outgoing<T> = Vec<RbMsg<T>>;
+
+/// Per-process state of all reliable-broadcast instances.
+///
+/// `T` must be `Ord` so value classes can be counted without hashing.
+pub struct RbcastEngine<T: Clone + Ord> {
+    n: usize,
+    f: usize,
+    /// Sent-echo guard: one echo per (origin, tag).
+    echoed: BTreeSet<(ProcessId, u64)>,
+    /// Sent-ready guard.
+    readied: BTreeSet<(ProcessId, u64)>,
+    /// Delivered guard.
+    delivered: BTreeSet<(ProcessId, u64)>,
+    /// Echo counts: (origin, tag) -> value -> set of echoers.
+    echoes: BTreeMap<(ProcessId, u64), BTreeMap<T, BTreeSet<ProcessId>>>,
+    /// Ready counts: (origin, tag) -> value -> set of senders.
+    readies: BTreeMap<(ProcessId, u64), BTreeMap<T, BTreeSet<ProcessId>>>,
+    /// Init-seen guard: first init per (origin, tag) wins locally.
+    init_seen: BTreeSet<(ProcessId, u64)>,
+}
+
+impl<T: Clone + Ord> RbcastEngine<T> {
+    /// Engine for a system of `n` processes tolerating `f` Byzantine.
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n >= 3 * f + 1, "reliable broadcast requires n >= 3f+1");
+        Self::new_unchecked(n, f)
+    }
+
+    /// Engine **without** the resilience check — only for the
+    /// `3f+1`-necessity experiment (E1), which runs under-provisioned
+    /// systems on purpose to exhibit the failure.
+    pub fn new_unchecked(n: usize, f: usize) -> Self {
+        RbcastEngine {
+            n,
+            f,
+            echoed: BTreeSet::new(),
+            readied: BTreeSet::new(),
+            delivered: BTreeSet::new(),
+            echoes: BTreeMap::new(),
+            readies: BTreeMap::new(),
+            init_seen: BTreeSet::new(),
+        }
+    }
+
+    /// Echo quorum: `⌈(n + f + 1) / 2⌉`.
+    fn echo_threshold(&self) -> usize {
+        (self.n + self.f + 1).div_ceil(2)
+    }
+
+    /// Starts broadcasting `value` under `tag`. Returns messages that must
+    /// be sent to **all** processes (including self).
+    pub fn broadcast(&mut self, tag: u64, value: T) -> Outgoing<T> {
+        vec![RbMsg::Init { tag, value }]
+    }
+
+    /// Feeds one received protocol message. Returns `(to_broadcast,
+    /// deliveries)`: messages to send to all processes, and zero or more
+    /// deliveries that became final.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: RbMsg<T>,
+    ) -> (Outgoing<T>, Vec<Delivery<T>>) {
+        let mut out = Vec::new();
+        let mut dels = Vec::new();
+        match msg {
+            RbMsg::Init { tag, value } => {
+                // The *authenticated* sender is the origin; a Byzantine
+                // process cannot spoof someone else's init.
+                let key = (from, tag);
+                if self.init_seen.insert(key) && !self.echoed.contains(&key) {
+                    self.echoed.insert(key);
+                    out.push(RbMsg::Echo {
+                        origin: from,
+                        tag,
+                        value,
+                    });
+                }
+            }
+            RbMsg::Echo { origin, tag, value } => {
+                let key = (origin, tag);
+                let set = self
+                    .echoes
+                    .entry(key)
+                    .or_default()
+                    .entry(value.clone())
+                    .or_default();
+                set.insert(from);
+                if set.len() >= self.echo_threshold() && self.readied.insert(key) {
+                    out.push(RbMsg::Ready { origin, tag, value });
+                }
+            }
+            RbMsg::Ready { origin, tag, value } => {
+                let key = (origin, tag);
+                let set = self
+                    .readies
+                    .entry(key)
+                    .or_default()
+                    .entry(value.clone())
+                    .or_default();
+                set.insert(from);
+                let count = set.len();
+                // Amplification: f+1 readies prove a correct process is
+                // ready; join in (guards totality).
+                if count >= self.f + 1 && self.readied.insert(key) {
+                    out.push(RbMsg::Ready {
+                        origin,
+                        tag,
+                        value: value.clone(),
+                    });
+                }
+                // Delivery at 2f+1 readies.
+                if count >= 2 * self.f + 1 && self.delivered.insert(key) {
+                    dels.push(Delivery { origin, tag, value });
+                }
+            }
+        }
+        (out, dels)
+    }
+
+    /// Whether `(origin, tag)` has been delivered here.
+    pub fn has_delivered(&self, origin: ProcessId, tag: u64) -> bool {
+        self.delivered.contains(&(origin, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgla_simnet::{
+        Context, Process, ProcessId as Pid, RandomScheduler, SimulationBuilder, WireMessage,
+    };
+    use std::any::Any;
+
+    impl WireMessage for RbMsg<u64> {
+        fn kind(&self) -> &'static str {
+            RbMsg::kind(self)
+        }
+        fn wire_size(&self) -> usize {
+            24
+        }
+    }
+
+    /// Honest node: broadcasts its id as value (if `sender`), records
+    /// deliveries.
+    struct Node {
+        engine: RbcastEngine<u64>,
+        sender: bool,
+        me: Pid,
+        delivered: Vec<Delivery<u64>>,
+    }
+
+    impl Process<RbMsg<u64>> for Node {
+        fn on_start(&mut self, ctx: &mut Context<RbMsg<u64>>) {
+            if self.sender {
+                let msgs = self.engine.broadcast(0, 100 + self.me as u64);
+                for m in msgs {
+                    ctx.broadcast(m);
+                }
+            }
+        }
+        fn on_message(&mut self, from: Pid, msg: RbMsg<u64>, ctx: &mut Context<RbMsg<u64>>) {
+            let (out, dels) = self.engine.on_message(from, msg);
+            for m in out {
+                ctx.broadcast(m);
+            }
+            self.delivered.extend(dels);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Equivocator: sends different `Init` values to different halves.
+    struct Equivocator;
+    impl Process<RbMsg<u64>> for Equivocator {
+        fn on_start(&mut self, ctx: &mut Context<RbMsg<u64>>) {
+            let n = ctx.n;
+            for to in 0..n {
+                let value = if to < n / 2 { 666 } else { 777 };
+                ctx.send(to, RbMsg::Init { tag: 0, value });
+            }
+        }
+        fn on_message(&mut self, _f: Pid, _m: RbMsg<u64>, _c: &mut Context<RbMsg<u64>>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn honest(me: Pid, n: usize, f: usize, sender: bool) -> Box<dyn Process<RbMsg<u64>>> {
+        Box::new(Node {
+            engine: RbcastEngine::new(n, f),
+            sender,
+            me,
+            delivered: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn all_correct_deliver_sender_value() {
+        let (n, f) = (4, 1);
+        let mut b = SimulationBuilder::new();
+        for i in 0..n {
+            b = b.add(honest(i, n, f, i == 0));
+        }
+        let mut sim = b.build();
+        let out = sim.run(100_000);
+        assert!(out.quiescent);
+        for i in 0..n {
+            let node = sim.process_as::<Node>(i).unwrap();
+            assert_eq!(node.delivered.len(), 1, "process {i}");
+            assert_eq!(node.delivered[0].value, 100);
+            assert_eq!(node.delivered[0].origin, 0);
+        }
+    }
+
+    #[test]
+    fn no_two_correct_deliver_different_values_under_equivocation() {
+        for seed in 0..20 {
+            let (n, f) = (4, 1);
+            let mut b =
+                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            for i in 0..n - 1 {
+                b = b.add(honest(i, n, f, false));
+            }
+            b = b.add(Box::new(Equivocator));
+            let mut sim = b.build();
+            sim.run(100_000);
+            let mut seen: Option<u64> = None;
+            for i in 0..n - 1 {
+                let node = sim.process_as::<Node>(i).unwrap();
+                assert!(node.delivered.len() <= 1);
+                for d in &node.delivered {
+                    match seen {
+                        None => seen = Some(d.value),
+                        Some(v) => {
+                            assert_eq!(v, d.value, "equivocation leaked (seed {seed})")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totality_if_one_delivers_all_deliver() {
+        for seed in 0..20 {
+            let (n, f) = (7, 2);
+            let mut b =
+                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            for i in 0..n {
+                b = b.add(honest(i, n, f, i < 3));
+            }
+            let mut sim = b.build();
+            let out = sim.run(1_000_000);
+            assert!(out.quiescent);
+            let counts: Vec<usize> = (0..n)
+                .map(|i| sim.process_as::<Node>(i).unwrap().delivered.len())
+                .collect();
+            // All three broadcasts from correct senders must reach all.
+            assert!(
+                counts.iter().all(|&c| c == 3),
+                "counts {counts:?} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_is_three_message_delays() {
+        let (n, f) = (4, 1);
+        let mut b = SimulationBuilder::new();
+        for i in 0..n {
+            b = b.add(honest(i, n, f, i == 0));
+        }
+        let mut sim = b.build();
+        sim.run(100_000);
+        // Delivery happens upon receiving the (2f+1)-th ready: depth 3.
+        for i in 0..n {
+            assert!(sim.depth_of(i) >= 3);
+            assert!(sim.depth_of(i) <= 4, "fast path exceeded: {}", sim.depth_of(i));
+        }
+    }
+
+    #[test]
+    fn distinct_tags_are_independent_instances() {
+        let mut e: RbcastEngine<u64> = RbcastEngine::new(4, 1);
+        for tag in [0u64, 1] {
+            for p in 0..3 {
+                let (_, d) = e.on_message(
+                    p,
+                    RbMsg::Ready {
+                        origin: 0,
+                        tag,
+                        value: 5,
+                    },
+                );
+                if p == 2 {
+                    assert_eq!(d.len(), 1, "tag {tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_ready_from_same_sender_does_not_count_twice() {
+        let mut e: RbcastEngine<u64> = RbcastEngine::new(4, 1);
+        for _ in 0..10 {
+            let (_, d) = e.on_message(
+                1,
+                RbMsg::Ready {
+                    origin: 0,
+                    tag: 0,
+                    value: 5,
+                },
+            );
+            assert!(d.is_empty(), "one sender must never reach the quorum alone");
+        }
+    }
+
+    #[test]
+    fn delivery_happens_once() {
+        let mut e: RbcastEngine<u64> = RbcastEngine::new(4, 1);
+        let mut total = 0;
+        for p in 0..4 {
+            let (_, d) = e.on_message(
+                p,
+                RbMsg::Ready {
+                    origin: 0,
+                    tag: 0,
+                    value: 5,
+                },
+            );
+            total += d.len();
+        }
+        assert_eq!(total, 1);
+        assert!(e.has_delivered(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f+1")]
+    fn rejects_insufficient_resilience() {
+        let _ = RbcastEngine::<u64>::new(3, 1);
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use bgla_simnet::{Context, Process, ProcessId as Pid, RandomScheduler, SimulationBuilder};
+    use std::any::Any;
+
+    struct Node {
+        engine: RbcastEngine<u64>,
+        sender: bool,
+        me: Pid,
+        delivered: Vec<Delivery<u64>>,
+    }
+
+    impl Process<RbMsg<u64>> for Node {
+        fn on_start(&mut self, ctx: &mut Context<RbMsg<u64>>) {
+            if self.sender {
+                for m in self.engine.broadcast(0, 100 + self.me as u64) {
+                    ctx.broadcast(m);
+                }
+            }
+        }
+        fn on_message(&mut self, from: Pid, msg: RbMsg<u64>, ctx: &mut Context<RbMsg<u64>>) {
+            let (out, dels) = self.engine.on_message(from, msg);
+            for m in out {
+                ctx.broadcast(m);
+            }
+            self.delivered.extend(dels);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    struct Crashed;
+    impl Process<RbMsg<u64>> for Crashed {
+        fn on_message(&mut self, _f: Pid, _m: RbMsg<u64>, _c: &mut Context<RbMsg<u64>>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// With f processes crash-silent, correct senders' broadcasts still
+    /// deliver at all correct processes (validity + totality under the
+    /// crash special-case of Byzantine behavior).
+    #[test]
+    fn delivers_despite_f_crashes() {
+        for seed in 0..10 {
+            let (n, f) = (7usize, 2usize);
+            let mut b =
+                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            for i in 0..n - f {
+                b = b.add(Box::new(Node {
+                    engine: RbcastEngine::new(n, f),
+                    sender: i == 0,
+                    me: i,
+                    delivered: Vec::new(),
+                }));
+            }
+            for _ in 0..f {
+                b = b.add(Box::new(Crashed));
+            }
+            let mut sim = b.build();
+            let out = sim.run(1_000_000);
+            assert!(out.quiescent);
+            for i in 0..n - f {
+                let node = sim.process_as::<Node>(i).unwrap();
+                assert_eq!(node.delivered.len(), 1, "seed {seed} p{i}");
+                assert_eq!(node.delivered[0].value, 100);
+            }
+        }
+    }
+
+    /// One crash short of the threshold: with f+1 crashes (more failures
+    /// than the configured tolerance) delivery can stall — the bound is
+    /// tight for this engine.
+    #[test]
+    fn too_many_crashes_stall_delivery() {
+        let (n, f) = (4usize, 1usize);
+        let mut b = SimulationBuilder::new();
+        // Only 2 live processes; 2 crashed (f+1 failures).
+        for i in 0..2 {
+            b = b.add(Box::new(Node {
+                engine: RbcastEngine::new(n, f),
+                sender: i == 0,
+                me: i,
+                delivered: Vec::new(),
+            }));
+        }
+        b = b.add(Box::new(Crashed));
+        b = b.add(Box::new(Crashed));
+        let mut sim = b.build();
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        // Echo threshold ⌈(n+f+1)/2⌉ = 3 > 2 live: nobody delivers.
+        for i in 0..2 {
+            let node = sim.process_as::<Node>(i).unwrap();
+            assert!(node.delivered.is_empty(), "p{i} delivered impossibly");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Engine-level fuzzing: feed arbitrary message streams (any sender, any
+//! content) into an RbcastEngine and check its invariants never break —
+//! no panics, one delivery per (origin, tag), delivered values backed by
+//! a plausible quorum of distinct ready-senders.
+
+use bgla_rbcast::{RbMsg, RbcastEngine};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Action {
+    Init { from: usize, tag: u8, value: u8 },
+    Echo { from: usize, origin: usize, tag: u8, value: u8 },
+    Ready { from: usize, origin: usize, tag: u8, value: u8 },
+}
+
+fn arb_action(n: usize) -> impl Strategy<Value = Action> {
+
+    prop_oneof![
+        (0..n, any::<u8>(), any::<u8>())
+            .prop_map(|(from, tag, value)| Action::Init { from, tag: tag % 3, value: value % 4 }),
+        (0..n, 0..n, any::<u8>(), any::<u8>()).prop_map(|(from, origin, tag, value)| {
+            Action::Echo { from, origin, tag: tag % 3, value: value % 4 }
+        }),
+        (0..n, 0..n, any::<u8>(), any::<u8>()).prop_map(|(from, origin, tag, value)| {
+            Action::Ready { from, origin, tag: tag % 3, value: value % 4 }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_invariants_under_arbitrary_streams(
+        actions in proptest::collection::vec(arb_action(7), 1..200)
+    ) {
+        let (n, f) = (7usize, 2usize);
+        let mut engine: RbcastEngine<u8> = RbcastEngine::new(n, f);
+        let mut delivered: BTreeMap<(usize, u64), u8> = BTreeMap::new();
+        // Track which distinct senders sent a ready for (origin,tag,val).
+        let mut ready_senders: BTreeMap<(usize, u64, u8), BTreeSet<usize>> = BTreeMap::new();
+
+        for a in actions {
+            let (from, msg) = match a {
+                Action::Init { from, tag, value } => {
+                    (from, RbMsg::Init { tag: tag as u64, value })
+                }
+                Action::Echo { from, origin, tag, value } => (
+                    from,
+                    RbMsg::Echo { origin, tag: tag as u64, value },
+                ),
+                Action::Ready { from, origin, tag, value } => {
+                    ready_senders
+                        .entry((origin, tag as u64, value))
+                        .or_default()
+                        .insert(from);
+                    (from, RbMsg::Ready { origin, tag: tag as u64, value })
+                }
+            };
+            let (_out, dels) = engine.on_message(from, msg);
+            for d in dels {
+                // Integrity: at most one delivery per (origin, tag).
+                let prev = delivered.insert((d.origin, d.tag), d.value);
+                prop_assert!(prev.is_none(), "double delivery for {:?}", (d.origin, d.tag));
+                // A delivery needs 2f+1 distinct ready-senders for this
+                // exact value (our own engine's readies included — at
+                // most 1).
+                let externals = ready_senders
+                    .get(&(d.origin, d.tag, d.value))
+                    .map(|s| s.len())
+                    .unwrap_or(0);
+                prop_assert!(
+                    externals + 1 > 2 * f,
+                    "delivered with only {externals} external readies"
+                );
+                prop_assert!(engine.has_delivered(d.origin, d.tag));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Executable forms of the six RSM properties (Section 7.1).
+
+use crate::client::{OpResult, WorkloadClient};
+use crate::cmd::Cmd;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An RSM property violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsmViolation {
+    /// A client never finished its script.
+    NotLive {
+        /// The unfinished client's id.
+        client: u64,
+    },
+    /// Two reads (possibly on different clients) returned incomparable
+    /// values.
+    ReadInconsistent,
+    /// A later read of one client returned less than an earlier one.
+    ReadNotMonotone {
+        /// The client that observed the shrink.
+        client: u64,
+    },
+    /// An update that completed before a read is missing from the read's
+    /// value.
+    UpdateInvisible {
+        /// The client whose update went missing.
+        client: u64,
+    },
+    /// Update Stability broken: a read contains `u2` but not `u1` even
+    /// though `u1` completed before `u2` was triggered.
+    UpdateUnstable,
+}
+
+impl fmt::Display for RsmViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsmViolation::NotLive { client } => write!(f, "client {client} did not finish"),
+            RsmViolation::ReadInconsistent => write!(f, "two reads are incomparable"),
+            RsmViolation::ReadNotMonotone { client } => {
+                write!(f, "client {client} observed a shrinking read")
+            }
+            RsmViolation::UpdateInvisible { client } => {
+                write!(f, "client {client}: completed update missing from later read")
+            }
+            RsmViolation::UpdateUnstable => write!(f, "update stability violated"),
+        }
+    }
+}
+
+impl std::error::Error for RsmViolation {}
+
+/// **Liveness**: every client finished its script.
+pub fn check_liveness(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
+    for c in clients {
+        if !c.finished() {
+            return Err(RsmViolation::NotLive {
+                client: c.client_id,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// **Read Consistency**: any two read values (across all clients) are
+/// comparable.
+pub fn check_read_consistency(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
+    let reads: Vec<BTreeSet<Cmd>> = clients.iter().flat_map(|c| c.reads()).collect();
+    for i in 0..reads.len() {
+        for j in (i + 1)..reads.len() {
+            if !reads[i].is_subset(&reads[j]) && !reads[j].is_subset(&reads[i]) {
+                return Err(RsmViolation::ReadInconsistent);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Read Monotonicity**: per client, later reads contain earlier reads
+/// (sequential clients: completion precedes the next trigger).
+pub fn check_read_monotonicity(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
+    for c in clients {
+        let reads = c.reads();
+        for w in reads.windows(2) {
+            if !w[0].is_subset(&w[1]) {
+                return Err(RsmViolation::ReadNotMonotone {
+                    client: c.client_id,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Update Visibility**: within one sequential client, every update
+/// completed before a read appears in that read's value.
+pub fn check_update_visibility(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
+    for c in clients {
+        let mut completed: Vec<Cmd> = Vec::new();
+        for r in &c.results {
+            match r {
+                OpResult::Updated(cmd) => completed.push(cmd.clone()),
+                OpResult::ReadValue(v) => {
+                    if completed.iter().any(|u| !v.contains(u)) {
+                        return Err(RsmViolation::UpdateInvisible {
+                            client: c.client_id,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Update Stability**: if `u1` completed before `u2` was triggered
+/// (sequential client ⇒ earlier in `results`), then any read containing
+/// `u2` also contains `u1`. Checked across all clients' reads.
+pub fn check_update_stability(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
+    // Per client, the completion order of its own updates.
+    for c in clients {
+        let updates: Vec<Cmd> = c
+            .results
+            .iter()
+            .filter_map(|r| match r {
+                OpResult::Updated(u) => Some(u.clone()),
+                _ => None,
+            })
+            .collect();
+        for reader in clients {
+            for read in reader.reads() {
+                for k in 1..updates.len() {
+                    if read.contains(&updates[k]) && !read.contains(&updates[k - 1]) {
+                        return Err(RsmViolation::UpdateUnstable);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the whole battery (Read Validity is enforced structurally: a
+/// read value comes from a confirmed, quorum-committed decision — see
+/// `Replica`'s confirmation plug-in).
+pub fn check_all(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
+    check_liveness(clients)?;
+    check_read_consistency(clients)?;
+    check_read_monotonicity(clients)?;
+    check_update_visibility(clients)?;
+    check_update_stability(clients)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientOp;
+    use crate::cmd::Op;
+
+    fn mk_client(id: u64, results: Vec<OpResult>) -> WorkloadClient {
+        let mut c = WorkloadClient::new(id, 4, 1, vec![]);
+        c.results = results;
+        c
+    }
+
+    #[test]
+    fn monotonicity_detects_shrink() {
+        let r1: BTreeSet<Cmd> = [Cmd::new(1, 0, Op::Add(1))].into_iter().collect();
+        let r0 = BTreeSet::new();
+        let good = mk_client(1, vec![
+            OpResult::ReadValue(r0.clone()),
+            OpResult::ReadValue(r1.clone()),
+        ]);
+        assert!(check_read_monotonicity(&[&good]).is_ok());
+        let bad = mk_client(1, vec![OpResult::ReadValue(r1), OpResult::ReadValue(r0)]);
+        assert!(check_read_monotonicity(&[&bad]).is_err());
+    }
+
+    #[test]
+    fn visibility_detects_missing_update() {
+        let u = Cmd::new(1, 0, Op::Add(1));
+        let bad = mk_client(
+            1,
+            vec![
+                OpResult::Updated(u),
+                OpResult::ReadValue(BTreeSet::new()),
+            ],
+        );
+        assert!(check_update_visibility(&[&bad]).is_err());
+    }
+
+    #[test]
+    fn stability_detects_reordering() {
+        let u1 = Cmd::new(1, 0, Op::Add(1));
+        let u2 = Cmd::new(1, 1, Op::Add(2));
+        let writer = mk_client(1, vec![
+            OpResult::Updated(u1.clone()),
+            OpResult::Updated(u2.clone()),
+        ]);
+        // A read that sees u2 but not u1: unstable.
+        let read: BTreeSet<Cmd> = [u2].into_iter().collect();
+        let reader = mk_client(2, vec![OpResult::ReadValue(read)]);
+        assert!(check_update_stability(&[&writer, &reader]).is_err());
+    }
+
+    #[test]
+    fn liveness_requires_finished_scripts() {
+        let unfinished = WorkloadClient::new(1, 4, 1, vec![ClientOp::Read]);
+        assert!(check_liveness(&[&unfinished]).is_err());
+    }
+}

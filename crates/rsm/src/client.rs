@@ -1,0 +1,258 @@
+//! RSM clients: the Update and Read procedures of Algorithms 5 and 6,
+//! plus Byzantine client behaviors for Lemma 12's robustness claims.
+
+use crate::cmd::{Cmd, Op};
+use crate::replica::RsmMsg;
+use bgla_simnet::{Context, Process, ProcessId};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One step of a client workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// `update(op)`: completes when `f + 1` replicas report decisions
+    /// containing the command.
+    Update(Op),
+    /// `read()`: a nop update followed by the confirmation round;
+    /// returns the confirmed command set.
+    Read,
+}
+
+/// What a finished operation produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// Update acknowledged.
+    Updated(Cmd),
+    /// Read returned this (confirmed) command set.
+    ReadValue(BTreeSet<Cmd>),
+}
+
+/// Phase of the in-flight operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Waiting for f+1 decide messages containing `cmd`.
+    AwaitDecides {
+        cmd: Cmd,
+        is_read: bool,
+        decides: BTreeMap<ProcessId, BTreeSet<Cmd>>,
+    },
+    /// Read confirmation: waiting for f+1 CnfRep for any candidate set.
+    AwaitConfirm {
+        confirms: BTreeMap<BTreeSet<Cmd>, BTreeSet<ProcessId>>,
+    },
+    Done,
+}
+
+/// An honest sequential client: runs `script` one operation at a time,
+/// starting each op only after the previous completed (the orderings the
+/// RSM properties quantify over).
+pub struct WorkloadClient {
+    /// Client id used in command tags.
+    pub client_id: u64,
+    n_replicas: usize,
+    f: usize,
+    script: Vec<ClientOp>,
+    next_op: usize,
+    seq: u64,
+    phase: Phase,
+    /// Completed operations, in issue order.
+    pub results: Vec<OpResult>,
+}
+
+impl WorkloadClient {
+    /// New client. `client_id` should be unique across clients.
+    pub fn new(client_id: u64, n_replicas: usize, f: usize, script: Vec<ClientOp>) -> Self {
+        WorkloadClient {
+            client_id,
+            n_replicas,
+            f,
+            script,
+            next_op: 0,
+            seq: 0,
+            phase: Phase::Idle,
+            results: Vec::new(),
+        }
+    }
+
+    /// Read results observed so far, in completion order.
+    pub fn reads(&self) -> Vec<BTreeSet<Cmd>> {
+        self.results
+            .iter()
+            .filter_map(|r| match r {
+                OpResult::ReadValue(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the whole script completed.
+    pub fn finished(&self) -> bool {
+        self.next_op >= self.script.len() && matches!(self.phase, Phase::Idle | Phase::Done)
+    }
+
+    fn submit_next(&mut self, ctx: &mut Context<RsmMsg>) {
+        if self.next_op >= self.script.len() {
+            self.phase = Phase::Done;
+            return;
+        }
+        let op = self.script[self.next_op].clone();
+        self.next_op += 1;
+        let (cmd, is_read) = match op {
+            ClientOp::Update(op) => (Cmd::new(self.client_id, self.seq, op), false),
+            ClientOp::Read => (Cmd::nop(self.client_id, self.seq), true),
+        };
+        self.seq += 1;
+        // Alg. 5 line 3: any subset of f+1 replicas suffices.
+        ctx.multicast(0..self.f + 1, RsmMsg::NewValue(cmd.clone()));
+        self.phase = Phase::AwaitDecides {
+            cmd,
+            is_read,
+            decides: BTreeMap::new(),
+        };
+    }
+}
+
+impl Process<RsmMsg> for WorkloadClient {
+    fn on_start(&mut self, ctx: &mut Context<RsmMsg>) {
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: RsmMsg, ctx: &mut Context<RsmMsg>) {
+        if from >= self.n_replicas {
+            return; // only replicas talk to clients
+        }
+        match (&mut self.phase, msg) {
+            (
+                Phase::AwaitDecides {
+                    cmd,
+                    is_read,
+                    decides,
+                },
+                RsmMsg::Decide(set),
+            ) => {
+                if !set.contains(cmd) {
+                    return;
+                }
+                decides.insert(from, set);
+                if decides.len() >= self.f + 1 {
+                    if *is_read {
+                        // Alg. 6: ask all replicas to confirm each of the
+                        // f+1 candidate decision values.
+                        let candidates: BTreeSet<BTreeSet<Cmd>> =
+                            decides.values().cloned().collect();
+                        for c in &candidates {
+                            ctx.multicast(0..self.n_replicas, RsmMsg::CnfReq(c.clone()));
+                        }
+                        self.phase = Phase::AwaitConfirm {
+                            confirms: BTreeMap::new(),
+                        };
+                    } else {
+                        self.results.push(OpResult::Updated(cmd.clone()));
+                        self.phase = Phase::Idle;
+                        self.submit_next(ctx);
+                    }
+                }
+            }
+            (Phase::AwaitConfirm { confirms }, RsmMsg::CnfRep(set)) => {
+                let entry = confirms.entry(set.clone()).or_default();
+                entry.insert(from);
+                if entry.len() >= self.f + 1 {
+                    // First set confirmed by f+1 replicas is returned;
+                    // execution strips the nops.
+                    let value: BTreeSet<Cmd> =
+                        set.into_iter().filter(|c| !c.is_nop()).collect();
+                    self.results.push(OpResult::ReadValue(value));
+                    self.phase = Phase::Idle;
+                    self.submit_next(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Byzantine client: submits a command to only **one** replica instead of
+/// `f + 1` (Lemma 12: a single correct replica receiving it suffices for
+/// it to be decided — or, if that replica is Byzantine, the command may
+/// be lost, which only hurts the misbehaving client).
+pub struct StingyClient {
+    /// Tag used in its commands.
+    pub client_id: u64,
+    /// The single replica contacted.
+    pub target: ProcessId,
+    /// The operation submitted.
+    pub op: Op,
+}
+
+impl Process<RsmMsg> for StingyClient {
+    fn on_start(&mut self, ctx: &mut Context<RsmMsg>) {
+        ctx.send(self.target, RsmMsg::NewValue(Cmd::new(self.client_id, 0, self.op.clone())));
+    }
+    fn on_message(&mut self, _f: ProcessId, _m: RsmMsg, _c: &mut Context<RsmMsg>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Byzantine client: floods updates without waiting for completion
+/// ("invokes a sequence of updates without waiting" — handled as
+/// concurrent operations).
+pub struct PipeliningClient {
+    /// Tag used in its commands.
+    pub client_id: u64,
+    /// Number of replicas (to address the fan-out).
+    pub n_replicas: usize,
+    /// `f` bound.
+    pub f: usize,
+    /// How many updates to blast at once.
+    pub burst: u64,
+}
+
+impl Process<RsmMsg> for PipeliningClient {
+    fn on_start(&mut self, ctx: &mut Context<RsmMsg>) {
+        for seq in 0..self.burst {
+            let cmd = Cmd::new(self.client_id, seq, Op::Add(1));
+            ctx.multicast(0..self.f + 1, RsmMsg::NewValue(cmd));
+        }
+    }
+    fn on_message(&mut self, _f: ProcessId, _m: RsmMsg, _c: &mut Context<RsmMsg>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Byzantine client: submits garbage commands (rejected by the replica
+/// validator) and forged GWTS traffic (ignored: wrong id range).
+pub struct GarbageClient {
+    /// Tag used in its commands.
+    pub client_id: u64,
+    /// Number of replicas.
+    pub n_replicas: usize,
+}
+
+impl Process<RsmMsg> for GarbageClient {
+    fn on_start(&mut self, ctx: &mut Context<RsmMsg>) {
+        // A command the validator rejects (validator in tests rejects
+        // client ids >= 1000).
+        let garbage = Cmd::new(1000 + self.client_id, 0, Op::Add(u64::MAX));
+        ctx.multicast(0..self.n_replicas, RsmMsg::NewValue(garbage));
+        // Forged agreement traffic.
+        ctx.multicast(
+            0..self.n_replicas,
+            RsmMsg::Gwts(bgla_core::gwts::GwtsMsg::Nack {
+                accepted: BTreeSet::new(),
+                ts: 999,
+                round: 999,
+            }),
+        );
+    }
+    fn on_message(&mut self, _f: ProcessId, _m: RsmMsg, _c: &mut Context<RsmMsg>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,214 @@
+//! End-to-end RSM runs: replicas + clients co-simulated, all six
+//! properties checked, with and without Byzantine replicas and clients.
+
+use bgla_core::SystemConfig;
+use bgla_rsm::checks;
+use bgla_rsm::client::{GarbageClient, PipeliningClient, StingyClient};
+use bgla_rsm::{ClientOp, Cmd, CounterState, Op, Replica, RsmMsg, WorkloadClient};
+use bgla_simnet::{FifoScheduler, Process, RandomScheduler, Scheduler, Simulation, SimulationBuilder};
+
+const MAX_ROUNDS: u64 = 40;
+
+/// Builds a sim with `n` replicas (`f` tolerance) and the given clients.
+fn rsm_sim(
+    n: usize,
+    f: usize,
+    clients: Vec<Box<dyn Process<RsmMsg>>>,
+    scheduler: Box<dyn Scheduler>,
+) -> Simulation<RsmMsg> {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(scheduler);
+    for i in 0..n {
+        b = b.add(Box::new(
+            Replica::new(i, config, MAX_ROUNDS).with_validator(|c| c.client < 1000),
+        ));
+    }
+    for c in clients {
+        b = b.add(c);
+    }
+    b.build()
+}
+
+fn workload(id: u64, n: usize, f: usize, script: Vec<ClientOp>) -> Box<dyn Process<RsmMsg>> {
+    Box::new(WorkloadClient::new(id, n, f, script))
+}
+
+fn clients_of(sim: &Simulation<RsmMsg>, ids: &[usize]) -> Vec<WorkloadClient> {
+    ids.iter()
+        .map(|&i| {
+            let c = sim.process_as::<WorkloadClient>(i).unwrap();
+            // Clone the observable pieces into a fresh client for the
+            // checkers (WorkloadClient has no Clone; rebuild).
+            let mut copy = WorkloadClient::new(c.client_id, 0, 0, vec![]);
+            copy.results = c.results.clone();
+            copy
+        })
+        .collect()
+}
+
+#[test]
+fn single_client_update_read() {
+    let (n, f) = (4, 1);
+    let script = vec![
+        ClientOp::Update(Op::Add(5)),
+        ClientOp::Read,
+        ClientOp::Update(Op::Add(7)),
+        ClientOp::Read,
+    ];
+    let mut sim = rsm_sim(n, f, vec![workload(1, n, f, script)], Box::new(FifoScheduler));
+    sim.run(20_000_000);
+    let client = sim.process_as::<WorkloadClient>(4).unwrap();
+    assert!(client.finished(), "client did not finish: {:?}", client.results);
+    let reads = client.reads();
+    assert_eq!(reads.len(), 2);
+    // First read sees the first add; second read sees both.
+    assert_eq!(CounterState::execute(&reads[0]).total, 5);
+    assert_eq!(CounterState::execute(&reads[1]).total, 12);
+}
+
+#[test]
+fn multiple_clients_all_properties_hold() {
+    for seed in 0..5 {
+        let (n, f) = (4, 1);
+        let scripts = vec![
+            vec![
+                ClientOp::Update(Op::Add(1)),
+                ClientOp::Read,
+                ClientOp::Update(Op::Add(2)),
+                ClientOp::Read,
+            ],
+            vec![
+                ClientOp::Update(Op::Put("a".into())),
+                ClientOp::Read,
+                ClientOp::Read,
+            ],
+            vec![ClientOp::Read, ClientOp::Update(Op::Add(10)), ClientOp::Read],
+        ];
+        let clients: Vec<Box<dyn Process<RsmMsg>>> = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(k, s)| workload(k as u64 + 1, n, f, s))
+            .collect();
+        let mut sim = rsm_sim(n, f, clients, Box::new(RandomScheduler::new(seed)));
+        sim.run(50_000_000);
+        let snapshot = clients_of(&sim, &[4, 5, 6]);
+        let refs: Vec<&WorkloadClient> = snapshot.iter().collect();
+        checks::check_all(&refs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn byzantine_replica_does_not_break_clients() {
+    // Replica 3 is silent (crashed from the start).
+    for seed in 0..3 {
+        let (n, f) = (4, 1);
+        let config = SystemConfig::new(n, f);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..3 {
+            b = b.add(Box::new(Replica::new(i, config, MAX_ROUNDS)));
+        }
+        // Byzantine replica: drops everything.
+        struct DeadReplica;
+        impl Process<RsmMsg> for DeadReplica {
+            fn on_message(
+                &mut self,
+                _f: usize,
+                _m: RsmMsg,
+                _c: &mut bgla_simnet::Context<RsmMsg>,
+            ) {
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        b = b.add(Box::new(DeadReplica));
+        // Clients contact replicas 0..f+1 = 0..2 (correct ones here).
+        b = b.add(workload(
+            1,
+            n,
+            f,
+            vec![ClientOp::Update(Op::Add(3)), ClientOp::Read],
+        ));
+        b = b.add(workload(2, n, f, vec![ClientOp::Read]));
+        let mut sim = b.build();
+        sim.run(50_000_000);
+        let snapshot = clients_of(&sim, &[4, 5]);
+        let refs: Vec<&WorkloadClient> = snapshot.iter().collect();
+        checks::check_all(&refs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let c1 = &snapshot[0];
+        let last_read = c1.reads().pop().unwrap();
+        assert_eq!(CounterState::execute(&last_read).total, 3);
+    }
+}
+
+#[test]
+fn byzantine_clients_cannot_corrupt_state() {
+    let (n, f) = (4, 1);
+    let clients: Vec<Box<dyn Process<RsmMsg>>> = vec![
+        workload(
+            1,
+            n,
+            f,
+            vec![ClientOp::Update(Op::Add(5)), ClientOp::Read],
+        ),
+        Box::new(GarbageClient {
+            client_id: 50,
+            n_replicas: n,
+        }),
+        Box::new(StingyClient {
+            client_id: 60,
+            target: 0,
+            op: Op::Add(100),
+        }),
+        Box::new(PipeliningClient {
+            client_id: 70,
+            n_replicas: n,
+            f,
+            burst: 3,
+        }),
+    ];
+    let mut sim = rsm_sim(n, f, clients, Box::new(FifoScheduler));
+    sim.run(50_000_000);
+    let honest = sim.process_as::<WorkloadClient>(4).unwrap();
+    assert!(honest.finished());
+    let read = honest.reads().pop().unwrap();
+    let st = CounterState::execute(&read);
+    // Garbage rejected: the u64::MAX add never lands.
+    assert!(read.iter().all(|c: &Cmd| c.client < 1000));
+    // Honest value present.
+    assert!(st.total >= 5);
+    // Stingy client's command went to one *correct* replica: it is
+    // eventually decided (may or may not be in this read's snapshot);
+    // pipelined commands are treated as concurrent updates. Neither can
+    // exceed the legal sum.
+    assert!(st.total <= 5 + 100 + 3);
+}
+
+#[test]
+fn reads_reflect_quorum_confirmed_decisions_only() {
+    // Read Validity, structurally: whatever a read returns must be a
+    // set the replicas' public ack history committed. We verify via the
+    // replicas themselves after quiescence.
+    let (n, f) = (4, 1);
+    let script = vec![ClientOp::Update(Op::Add(9)), ClientOp::Read];
+    let mut sim = rsm_sim(n, f, vec![workload(1, n, f, script)], Box::new(FifoScheduler));
+    sim.run(20_000_000);
+    let client = sim.process_as::<WorkloadClient>(4).unwrap();
+    let read_with_nops: std::collections::BTreeSet<Cmd> = {
+        // Reconstruct: the client strips nops; ask replicas for a
+        // committed superset instead.
+        client.reads().pop().unwrap()
+    };
+    let mut confirmed = false;
+    for i in 0..n {
+        let r = sim.process_as::<Replica>(i).unwrap();
+        if r.inner
+            .decisions
+            .iter()
+            .any(|d| read_with_nops.iter().all(|c| d.contains(c)))
+        {
+            confirmed = true;
+        }
+    }
+    assert!(confirmed, "read value not contained in any replica decision");
+}

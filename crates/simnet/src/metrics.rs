@@ -1,0 +1,128 @@
+//! Message and byte accounting.
+//!
+//! The paper's complexity claims are stated as messages *per process*
+//! (Sections 5.1.3, 8.1) or per decision (6.4), sometimes distinguishing
+//! message size (Section 8 trades O(n²) messages for O(n²)-sized ones).
+//! [`Metrics`] tracks sends per process and per message kind, plus bytes
+//! via [`WireMessage::wire_size`].
+
+use crate::process::ProcessId;
+use std::collections::BTreeMap;
+
+/// Implemented by simulation message types so the harness can meter them.
+///
+/// `kind` buckets counters (e.g. `"ack_req"`, `"rb_echo"`); `wire_size`
+/// estimates the serialized size in bytes for the byte-complexity
+/// experiments (E8). Sizes need to be *consistent*, not exact: asymptotic
+/// shape is what the reproduction checks.
+pub trait WireMessage: Clone + Send {
+    /// Counter bucket for this message.
+    fn kind(&self) -> &'static str;
+
+    /// Estimated serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Per-run message accounting, filled in by the simulator on every send.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    /// Messages sent, indexed by sender.
+    pub sent_by: Vec<u64>,
+    /// Bytes sent, indexed by sender.
+    pub bytes_by: Vec<u64>,
+    /// Messages sent per kind (whole system).
+    pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Bytes sent per kind (whole system).
+    pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Total deliveries performed.
+    pub delivered: u64,
+    /// Largest single message observed, in bytes.
+    pub max_message_bytes: usize,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Self {
+        Metrics {
+            sent_by: vec![0; n],
+            bytes_by: vec![0; n],
+            sent_by_kind: BTreeMap::new(),
+            bytes_by_kind: BTreeMap::new(),
+            delivered: 0,
+            max_message_bytes: 0,
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, from: ProcessId, kind: &'static str, bytes: usize) {
+        self.sent_by[from] += 1;
+        self.bytes_by[from] += bytes as u64;
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+        self.max_message_bytes = self.max_message_bytes.max(bytes);
+    }
+
+    /// Total messages sent across all processes.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_by.iter().sum()
+    }
+
+    /// Total bytes sent across all processes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by.iter().sum()
+    }
+
+    /// Messages sent by one process.
+    pub fn sent_by_process(&self, p: ProcessId) -> u64 {
+        self.sent_by[p]
+    }
+
+    /// Maximum messages sent by any single process — the paper's
+    /// "per process" complexity measure.
+    pub fn max_sent_per_process(&self) -> u64 {
+        self.sent_by.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Messages sent by processes in `set` only (e.g. correct ones).
+    pub fn sent_by_subset(&self, set: &[ProcessId]) -> u64 {
+        set.iter().map(|&p| self.sent_by[p]).sum()
+    }
+}
+
+/// Blanket helpers for common primitive payloads used in unit tests.
+impl WireMessage for u64 {
+    fn kind(&self) -> &'static str {
+        "u64"
+    }
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl WireMessage for String {
+    fn kind(&self) -> &'static str {
+        "string"
+    }
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = Metrics::new(3);
+        m.record_send(0, "a", 10);
+        m.record_send(0, "b", 20);
+        m.record_send(2, "a", 5);
+        assert_eq!(m.total_sent(), 3);
+        assert_eq!(m.total_bytes(), 35);
+        assert_eq!(m.sent_by_process(0), 2);
+        assert_eq!(m.max_sent_per_process(), 2);
+        assert_eq!(m.sent_by_kind["a"], 2);
+        assert_eq!(m.bytes_by_kind["b"], 20);
+        assert_eq!(m.max_message_bytes, 20);
+        assert_eq!(m.sent_by_subset(&[0, 1]), 2);
+    }
+}

@@ -1,0 +1,457 @@
+//! Delivery schedulers — the *network adversary*.
+//!
+//! In the asynchronous model the network chooses, at every step, which
+//! in-flight message to deliver next, subject only to reliability (every
+//! message is eventually delivered). A [`Scheduler`] is exactly that
+//! choice function. The algorithms must satisfy their specifications under
+//! **every** scheduler; the test-suite exercises FIFO, seeded-random,
+//! bounded-delay and targeted/starving adversaries.
+
+use crate::process::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Metadata about one undelivered message, visible to the scheduler.
+/// (Content is deliberately *not* exposed: the network adversary acts on
+/// routing information; content-aware attacks belong in Byzantine
+/// *process* implementations, which see content legitimately.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// Authenticated sender.
+    pub from: ProcessId,
+    /// Destination.
+    pub to: ProcessId,
+    /// Global send sequence number (unique, monotone).
+    pub seq: u64,
+    /// Value of the delivery counter when this message was sent.
+    pub sent_at: u64,
+    /// Message kind tag (copied from [`crate::WireMessage::kind`]).
+    pub kind: &'static str,
+}
+
+/// Picks which in-flight message to deliver next.
+///
+/// Contract: must return a valid index into `inflight` (nonempty), and
+/// must be *fair*: every message must eventually be chosen if the run goes
+/// on long enough. All provided schedulers are fair by construction.
+pub trait Scheduler: Send {
+    /// Chooses the index of the next message to deliver. `now` is the
+    /// number of deliveries performed so far.
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize;
+}
+
+/// Delivers messages strictly in send order. The most benign network.
+#[derive(Debug, Default, Clone)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        // Envelopes are kept in send order, but scan defensively so the
+        // scheduler stays correct if that invariant ever changes.
+        inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+/// Delivers a uniformly random in-flight message. Unbounded reordering in
+/// expectation; the workhorse for randomized schedule exploration. Fair
+/// with probability 1.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Seeded for reproducibility: the same seed yields the same run.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        self.rng.gen_range(0..inflight.len())
+    }
+}
+
+/// Assigns each message a pseudo-random delay in `[0, max_skew]` derived
+/// from its sequence number, then delivers in (virtual due time, seq)
+/// order. Models a network with bounded per-message skew.
+#[derive(Debug)]
+pub struct DelayScheduler {
+    seed: u64,
+    /// Maximum extra reordering window, in delivery steps.
+    pub max_skew: u64,
+}
+
+impl DelayScheduler {
+    /// Creates a scheduler with the given seed and skew window.
+    pub fn new(seed: u64, max_skew: u64) -> Self {
+        DelayScheduler { seed, max_skew }
+    }
+
+    fn delay_of(&self, seq: u64) -> u64 {
+        if self.max_skew == 0 {
+            return 0;
+        }
+        // splitmix64 — cheap, deterministic, well distributed.
+        let mut z = seq.wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z % (self.max_skew + 1)
+    }
+}
+
+impl Scheduler for DelayScheduler {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| (m.seq + self.delay_of(m.seq), m.seq))
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+/// Starves selected links for as long as fairness allows: messages on
+/// starved links are delivered only when nothing else is in flight.
+///
+/// This is the adversary used in the `3f+1`-necessity experiment (delay
+/// all `p1 ↔ p2` traffic) and in the refinement-maximizing runs (delay a
+/// victim's disclosure deliveries so it must learn values via nacks).
+pub struct TargetedScheduler {
+    /// Links `(from, to)` to starve.
+    starved: Vec<(ProcessId, ProcessId)>,
+    /// After this many deliveries the starvation lifts entirely.
+    pub release_after: u64,
+    inner: Box<dyn Scheduler>,
+}
+
+impl TargetedScheduler {
+    /// Starves `links`, falling back to `inner` among eligible messages.
+    pub fn new(links: Vec<(ProcessId, ProcessId)>, inner: Box<dyn Scheduler>) -> Self {
+        TargetedScheduler {
+            starved: links,
+            release_after: u64::MAX,
+            inner,
+        }
+    }
+
+    /// Lifts starvation after `n` deliveries (for staged attacks).
+    pub fn with_release_after(mut self, n: u64) -> Self {
+        self.release_after = n;
+        self
+    }
+
+    fn is_starved(&self, m: &InFlight, now: u64) -> bool {
+        now < self.release_after && self.starved.contains(&(m.from, m.to))
+    }
+}
+
+impl Scheduler for TargetedScheduler {
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
+        let eligible: Vec<usize> = (0..inflight.len())
+            .filter(|&i| !self.is_starved(&inflight[i], now))
+            .collect();
+        if eligible.is_empty() {
+            // Fairness: nothing else to deliver — release the oldest
+            // starved message.
+            return inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.seq)
+                .map(|(i, _)| i)
+                .expect("scheduler called with no in-flight messages");
+        }
+        let view: Vec<InFlight> = eligible.iter().map(|&i| inflight[i]).collect();
+        eligible[self.inner.choose(&view, now)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(seq: u64, from: ProcessId, to: ProcessId) -> InFlight {
+        InFlight {
+            from,
+            to,
+            seq,
+            sent_at: 0,
+            kind: "t",
+        }
+    }
+
+    #[test]
+    fn fifo_picks_lowest_seq() {
+        let mut s = FifoScheduler;
+        let msgs = vec![mk(5, 0, 1), mk(2, 1, 0), mk(9, 2, 0)];
+        assert_eq!(s.choose(&msgs, 0), 1);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let msgs: Vec<InFlight> = (0..10).map(|i| mk(i, 0, 1)).collect();
+        let picks1: Vec<usize> = {
+            let mut s = RandomScheduler::new(42);
+            (0..20).map(|t| s.choose(&msgs, t)).collect()
+        };
+        let picks2: Vec<usize> = {
+            let mut s = RandomScheduler::new(42);
+            (0..20).map(|t| s.choose(&msgs, t)).collect()
+        };
+        assert_eq!(picks1, picks2);
+    }
+
+    #[test]
+    fn delay_zero_skew_degenerates_to_fifo() {
+        let mut s = DelayScheduler::new(7, 0);
+        let msgs = vec![mk(5, 0, 1), mk(2, 1, 0)];
+        assert_eq!(s.choose(&msgs, 0), 1);
+    }
+
+    #[test]
+    fn targeted_starves_until_forced() {
+        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler));
+        let msgs = vec![mk(1, 0, 1), mk(2, 2, 1)];
+        // Message on starved link 0->1 skipped in favor of 2->1.
+        assert_eq!(s.choose(&msgs, 0), 1);
+        // Only starved messages left: fairness forces delivery.
+        let only = vec![mk(1, 0, 1)];
+        assert_eq!(s.choose(&only, 1), 0);
+    }
+
+    #[test]
+    fn targeted_release_lifts_starvation() {
+        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler))
+            .with_release_after(10);
+        let msgs = vec![mk(1, 0, 1), mk(2, 2, 1)];
+        assert_eq!(s.choose(&msgs, 5), 1);
+        assert_eq!(s.choose(&msgs, 11), 0); // starvation over, FIFO wins
+    }
+}
+
+/// Delivers the *newest* in-flight message first — an aggressive
+/// reordering adversary that starves old messages as long as fresh
+/// traffic keeps arriving (fair because traffic is finite between
+/// quiescent points).
+#[derive(Debug, Default, Clone)]
+pub struct LifoScheduler;
+
+impl Scheduler for LifoScheduler {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+/// Shared handle to a recorded schedule (sequence numbers in delivery
+/// order). The simulation consumes the scheduler, so the trace is read
+/// back through this handle after the run.
+pub type TraceHandle = std::sync::Arc<parking_lot::Mutex<Vec<u64>>>;
+
+/// Wraps any scheduler and records the `seq` of every chosen message so
+/// the exact schedule can be replayed later with [`ReplayScheduler`] —
+/// the mechanism behind reproducible counter-example shrinking.
+pub struct RecordingScheduler {
+    inner: Box<dyn Scheduler>,
+    trace: TraceHandle,
+}
+
+impl RecordingScheduler {
+    /// Records `inner`'s choices; returns the scheduler and the handle
+    /// the trace can be read from after the run.
+    pub fn new(inner: Box<dyn Scheduler>) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Default::default();
+        (
+            RecordingScheduler {
+                inner,
+                trace: trace.clone(),
+            },
+            trace,
+        )
+    }
+}
+
+impl Scheduler for RecordingScheduler {
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
+        let idx = self.inner.choose(inflight, now);
+        self.trace.lock().push(inflight[idx].seq);
+        idx
+    }
+}
+
+/// Replays a schedule recorded by [`RecordingScheduler`]: delivers the
+/// message whose `seq` matches the next trace entry. Falls back to FIFO
+/// once the trace is exhausted or if the expected message is not in
+/// flight (which can only happen if the program under test changed).
+pub struct ReplayScheduler {
+    trace: std::collections::VecDeque<u64>,
+    /// Number of deliveries that deviated from the trace.
+    pub divergences: u64,
+}
+
+impl ReplayScheduler {
+    /// Replays `trace`.
+    pub fn new(trace: Vec<u64>) -> Self {
+        ReplayScheduler {
+            trace: trace.into(),
+            divergences: 0,
+        }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        if let Some(&want) = self.trace.front() {
+            if let Some(idx) = inflight.iter().position(|m| m.seq == want) {
+                self.trace.pop_front();
+                return idx;
+            }
+            self.divergences += 1;
+        }
+        // FIFO fallback.
+        inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+#[cfg(test)]
+mod record_replay_tests {
+    use super::*;
+
+    fn mk(seq: u64) -> InFlight {
+        InFlight {
+            from: 0,
+            to: 1,
+            seq,
+            sent_at: 0,
+            kind: "t",
+        }
+    }
+
+    #[test]
+    fn lifo_picks_highest_seq() {
+        let mut s = LifoScheduler;
+        let msgs = vec![mk(5), mk(2), mk(9)];
+        assert_eq!(s.choose(&msgs, 0), 2);
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        let msgs = vec![mk(5), mk(2), mk(9)];
+        let (mut rec, handle) = RecordingScheduler::new(Box::new(RandomScheduler::new(3)));
+        let picks: Vec<usize> = (0..3).map(|t| rec.choose(&msgs, t)).collect();
+        let mut rep = ReplayScheduler::new(handle.lock().clone());
+        let replayed: Vec<usize> = (0..3).map(|t| rep.choose(&msgs, t)).collect();
+        assert_eq!(picks, replayed);
+        assert_eq!(rep.divergences, 0);
+    }
+
+    #[test]
+    fn replay_diverges_gracefully() {
+        let mut rep = ReplayScheduler::new(vec![999]); // seq that never exists
+        let msgs = vec![mk(5), mk(2)];
+        assert_eq!(rep.choose(&msgs, 0), 1); // FIFO fallback
+        assert_eq!(rep.divergences, 1);
+    }
+}
+
+/// Temporarily partitions the process set into two halves: cross-
+/// partition messages are starved while the partition holds, then the
+/// network heals after `heal_after` deliveries. Models the classic
+/// "partition then heal" scenario; fair because healing is guaranteed
+/// (and even before healing, starved messages flow when nothing else
+/// can).
+pub struct PartitionScheduler {
+    /// Processes in the first partition (everything else is the second).
+    pub left: Vec<ProcessId>,
+    /// Deliveries after which the partition heals.
+    pub heal_after: u64,
+    inner: Box<dyn Scheduler>,
+}
+
+impl PartitionScheduler {
+    /// Partitions `left` from the rest until `heal_after` deliveries.
+    pub fn new(left: Vec<ProcessId>, heal_after: u64, inner: Box<dyn Scheduler>) -> Self {
+        PartitionScheduler {
+            left,
+            heal_after,
+            inner,
+        }
+    }
+
+    fn crosses(&self, m: &InFlight) -> bool {
+        self.left.contains(&m.from) != self.left.contains(&m.to)
+    }
+}
+
+impl Scheduler for PartitionScheduler {
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
+        if now >= self.heal_after {
+            return self.inner.choose(inflight, now);
+        }
+        let eligible: Vec<usize> = (0..inflight.len())
+            .filter(|&i| !self.crosses(&inflight[i]))
+            .collect();
+        if eligible.is_empty() {
+            // Only cross-partition traffic left: release the oldest
+            // (fairness / reliability).
+            return inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.seq)
+                .map(|(i, _)| i)
+                .expect("scheduler called with no in-flight messages");
+        }
+        let view: Vec<InFlight> = eligible.iter().map(|&i| inflight[i]).collect();
+        eligible[self.inner.choose(&view, now)]
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+
+    fn mk(seq: u64, from: ProcessId, to: ProcessId) -> InFlight {
+        InFlight {
+            from,
+            to,
+            seq,
+            sent_at: 0,
+            kind: "t",
+        }
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_until_heal() {
+        let mut s = PartitionScheduler::new(vec![0, 1], 100, Box::new(FifoScheduler));
+        let msgs = vec![mk(1, 0, 2), mk(2, 0, 1)];
+        // Cross message (0 -> 2) skipped in favor of intra (0 -> 1).
+        assert_eq!(s.choose(&msgs, 0), 1);
+        // After healing, FIFO order wins.
+        assert_eq!(s.choose(&msgs, 100), 0);
+    }
+
+    #[test]
+    fn partition_releases_when_only_cross_traffic_remains() {
+        let mut s = PartitionScheduler::new(vec![0], 1_000, Box::new(FifoScheduler));
+        let only_cross = vec![mk(5, 0, 1)];
+        assert_eq!(s.choose(&only_cross, 0), 0);
+    }
+}

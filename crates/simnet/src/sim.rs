@@ -1,0 +1,421 @@
+//! The discrete-event simulation engine.
+
+use crate::metrics::{Metrics, WireMessage};
+use crate::process::{Context, Process, ProcessId};
+use crate::scheduler::{FifoScheduler, InFlight, Scheduler};
+use crate::trace::{Trace, TraceEvent};
+
+struct Envelope<M> {
+    meta: InFlight,
+    msg: M,
+    /// Causal depth: one more than the depth of the event during which the
+    /// message was sent.
+    depth: u64,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Deliveries performed.
+    pub delivered: u64,
+    /// True if the run ended because no messages remained in flight
+    /// (the system quiesced), false if the delivery budget ran out.
+    pub quiescent: bool,
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder<M: WireMessage> {
+    procs: Vec<Box<dyn Process<M>>>,
+    scheduler: Box<dyn Scheduler>,
+}
+
+impl<M: WireMessage + 'static> Default for SimulationBuilder<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: WireMessage + 'static> SimulationBuilder<M> {
+    /// Starts an empty builder with a FIFO scheduler.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            procs: Vec::new(),
+            scheduler: Box::new(FifoScheduler),
+        }
+    }
+
+    /// Appends a process; its id is its insertion index.
+    #[allow(clippy::should_implement_trait)] // appends a process, not arithmetic
+    pub fn add(mut self, p: Box<dyn Process<M>>) -> Self {
+        self.procs.push(p);
+        self
+    }
+
+    /// Appends many processes at once.
+    pub fn add_all<I: IntoIterator<Item = Box<dyn Process<M>>>>(mut self, it: I) -> Self {
+        self.procs.extend(it);
+        self
+    }
+
+    /// Replaces the scheduler (network adversary).
+    pub fn scheduler(mut self, s: Box<dyn Scheduler>) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Finalizes the simulation (does not run `on_start` yet).
+    pub fn build(self) -> Simulation<M> {
+        let n = self.procs.len();
+        Simulation {
+            depths: vec![0; n],
+            events: vec![0; n],
+            procs: self.procs,
+            inflight: Vec::new(),
+            scheduler: self.scheduler,
+            metrics: Metrics::new(n),
+            seq: 0,
+            delivered: 0,
+            started: false,
+            trace: None,
+        }
+    }
+}
+
+/// A deterministic single-threaded simulation of `n` processes exchanging
+/// messages over reliable, authenticated, asynchronous links.
+pub struct Simulation<M: WireMessage> {
+    procs: Vec<Box<dyn Process<M>>>,
+    /// Causal clock per process (max depth observed).
+    depths: Vec<u64>,
+    /// Deliveries handled per process.
+    events: Vec<u64>,
+    inflight: Vec<Envelope<M>>,
+    scheduler: Box<dyn Scheduler>,
+    metrics: Metrics,
+    seq: u64,
+    delivered: u64,
+    started: bool,
+    trace: Option<Trace>,
+}
+
+impl<M: WireMessage + 'static> Simulation<M> {
+    /// Enables delivery tracing (off by default: traces of long runs are
+    /// large). Call before `run`.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::default());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Accumulated metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Causal depth (message delays observed) of process `p`.
+    pub fn depth_of(&self, p: ProcessId) -> u64 {
+        self.depths[p]
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Borrow a process for post-run inspection (downcast via `as_any`).
+    pub fn process(&self, p: ProcessId) -> &dyn Process<M> {
+        self.procs[p].as_ref()
+    }
+
+    /// Convenience downcast to a concrete process type.
+    pub fn process_as<T: 'static>(&self, p: ProcessId) -> Option<&T> {
+        self.procs[p].as_any().downcast_ref::<T>()
+    }
+
+    fn flush_outbox(&mut self, from: ProcessId, ctx: &mut Context<M>, depth: u64) {
+        for (to, msg) in ctx.outbox.drain(..) {
+            let kind = msg.kind();
+            let bytes = msg.wire_size();
+            self.metrics.record_send(from, kind, bytes);
+            self.inflight.push(Envelope {
+                meta: InFlight {
+                    from,
+                    to,
+                    seq: self.seq,
+                    sent_at: self.delivered,
+                    kind,
+                },
+                msg,
+                depth,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Runs `on_start` on every process (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let n = self.n();
+        for p in 0..n {
+            let mut ctx = Context::new(p, n);
+            ctx.depth = 0;
+            self.procs[p].on_start(&mut ctx);
+            // Messages sent at start-up begin causal chains: depth 1.
+            self.flush_outbox(p, &mut ctx, 1);
+        }
+    }
+
+    /// Delivers exactly one message. Returns `false` when nothing is in
+    /// flight.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.start();
+        }
+        if self.inflight.is_empty() {
+            return false;
+        }
+        let metas: Vec<InFlight> = self.inflight.iter().map(|e| e.meta).collect();
+        let idx = self.scheduler.choose(&metas, self.delivered);
+        assert!(idx < self.inflight.len(), "scheduler returned invalid index");
+        let env = self.inflight.remove(idx);
+        let to = env.meta.to;
+        let n = self.n();
+
+        // Advance the receiver's causal clock, then handle.
+        self.depths[to] = self.depths[to].max(env.depth);
+        self.events[to] += 1;
+        let mut ctx = Context::new(to, n);
+        ctx.depth = self.depths[to];
+        ctx.local_events = self.events[to];
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                step: self.delivered,
+                from: env.meta.from,
+                to,
+                kind: env.msg.kind(),
+                depth: self.depths[to],
+                bytes: env.msg.wire_size(),
+            });
+        }
+        self.procs[to].on_message(env.meta.from, env.msg, &mut ctx);
+        let out_depth = self.depths[to] + 1;
+        self.flush_outbox(to, &mut ctx, out_depth);
+
+        self.delivered += 1;
+        self.metrics.delivered = self.delivered;
+        true
+    }
+
+    /// Runs until quiescence or until `max_deliveries` is reached.
+    pub fn run(&mut self, max_deliveries: u64) -> RunOutcome {
+        self.start();
+        while self.delivered < max_deliveries {
+            if !self.step() {
+                return RunOutcome {
+                    delivered: self.delivered,
+                    quiescent: true,
+                };
+            }
+        }
+        RunOutcome {
+            delivered: self.delivered,
+            quiescent: self.inflight.is_empty(),
+        }
+    }
+
+    /// Runs until `pred` holds over the simulation (checked after every
+    /// delivery), quiescence, or the budget. Returns `(outcome,
+    /// pred_satisfied)`.
+    pub fn run_until<F: FnMut(&Simulation<M>) -> bool>(
+        &mut self,
+        max_deliveries: u64,
+        mut pred: F,
+    ) -> (RunOutcome, bool) {
+        self.start();
+        if pred(self) {
+            return (
+                RunOutcome {
+                    delivered: self.delivered,
+                    quiescent: self.inflight.is_empty(),
+                },
+                true,
+            );
+        }
+        while self.delivered < max_deliveries {
+            if !self.step() {
+                let sat = pred(self);
+                return (
+                    RunOutcome {
+                        delivered: self.delivered,
+                        quiescent: true,
+                    },
+                    sat,
+                );
+            }
+            if pred(self) {
+                return (
+                    RunOutcome {
+                        delivered: self.delivered,
+                        quiescent: self.inflight.is_empty(),
+                    },
+                    true,
+                );
+            }
+        }
+        (
+            RunOutcome {
+                delivered: self.delivered,
+                quiescent: self.inflight.is_empty(),
+            },
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// Relays a token `hops` times: p0 -> p1 -> p0 -> p1 ... Each hop adds
+    /// one causal depth unit.
+    struct PingPong {
+        peer: ProcessId,
+        remaining: u64,
+        start_message: bool,
+        final_depth: Option<u64>,
+    }
+
+    impl Process<u64> for PingPong {
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            if self.start_message && self.remaining > 0 {
+                ctx.send(self.peer, self.remaining - 1);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Context<u64>) {
+            if msg == 0 {
+                self.final_depth = Some(ctx.depth);
+            } else {
+                ctx.send(self.peer, msg - 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn pingpong_sim(hops: u64) -> Simulation<u64> {
+        SimulationBuilder::new()
+            .add(Box::new(PingPong {
+                peer: 1,
+                remaining: hops,
+                start_message: true,
+                final_depth: None,
+            }))
+            .add(Box::new(PingPong {
+                peer: 0,
+                remaining: 0,
+                start_message: false,
+                final_depth: None,
+            }))
+            .build()
+    }
+
+    #[test]
+    fn depth_counts_message_delays_exactly() {
+        let mut sim = pingpong_sim(5);
+        let out = sim.run(1_000);
+        assert!(out.quiescent);
+        assert_eq!(out.delivered, 5);
+        // The token hopped 5 times; final receiver observed depth 5.
+        let d0 = sim.process_as::<PingPong>(0).unwrap().final_depth;
+        let d1 = sim.process_as::<PingPong>(1).unwrap().final_depth;
+        assert_eq!(d0.or(d1), Some(5));
+    }
+
+    #[test]
+    fn metrics_count_sends() {
+        let mut sim = pingpong_sim(4);
+        sim.run(1_000);
+        assert_eq!(sim.metrics().total_sent(), 4);
+        assert_eq!(sim.metrics().sent_by_kind["u64"], 4);
+    }
+
+    #[test]
+    fn budget_stops_run() {
+        let mut sim = pingpong_sim(100);
+        let out = sim.run(10);
+        assert!(!out.quiescent);
+        assert_eq!(out.delivered, 10);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim = pingpong_sim(50);
+        let (out, sat) = sim.run_until(1_000, |s| s.metrics().delivered >= 7);
+        assert!(sat);
+        assert_eq!(out.delivered, 7);
+    }
+
+    /// A process that broadcasts on start and counts receipts: checks that
+    /// self-delivery works and that every process hears every broadcast.
+    struct Gossip {
+        got: u64,
+    }
+    impl Process<u64> for Gossip {
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(1);
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: u64, _ctx: &mut Context<u64>) {
+            self.got += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_n_squared() {
+        let n = 5;
+        let mut b = SimulationBuilder::new();
+        for _ in 0..n {
+            b = b.add(Box::new(Gossip { got: 0 }));
+        }
+        let mut sim = b.build();
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(out.delivered, (n * n) as u64);
+        for p in 0..n {
+            assert_eq!(sim.process_as::<Gossip>(p).unwrap().got, n as u64);
+        }
+    }
+
+    #[test]
+    fn random_scheduler_same_seed_same_trace() {
+        let trace = |seed: u64| -> u64 {
+            let mut b = SimulationBuilder::new().scheduler(Box::new(
+                crate::scheduler::RandomScheduler::new(seed),
+            ));
+            for _ in 0..4 {
+                b = b.add(Box::new(Gossip { got: 0 }));
+            }
+            let mut sim = b.build();
+            sim.run(10_000);
+            sim.metrics().total_sent()
+        };
+        assert_eq!(trace(3), trace(3));
+    }
+}

@@ -1,0 +1,133 @@
+//! Structured delivery traces: an optional per-delivery event log the
+//! simulation can populate, with query helpers for debugging and for
+//! tests that assert *how* a result was reached (message-flow shape),
+//! not just what it was.
+
+use crate::process::ProcessId;
+
+/// One delivered message, as observed by the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Delivery index (0-based, dense).
+    pub step: u64,
+    /// Authenticated sender.
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Message kind tag.
+    pub kind: &'static str,
+    /// Causal depth of the receiver after absorbing this message.
+    pub depth: u64,
+    /// Wire size in bytes.
+    pub bytes: usize,
+}
+
+/// A recorded delivery log with query helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Appends one event (called by the simulation).
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events, in delivery order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of deliveries recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: &'static str) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Deliveries on the `from → to` link.
+    pub fn on_link(&self, from: ProcessId, to: ProcessId) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.from == from && e.to == to)
+    }
+
+    /// The causal-depth high-water mark over the whole run.
+    pub fn max_depth(&self) -> u64 {
+        self.events.iter().map(|e| e.depth).max().unwrap_or(0)
+    }
+
+    /// Per-kind delivery counts, sorted by kind.
+    pub fn kind_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *map.entry(e.kind).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Renders a compact textual flow (for small traces / debugging).
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.events.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "#{:<5} p{} -> p{} {:<12} depth={} {}B",
+                e.step, e.from, e.to, e.kind, e.depth, e.bytes
+            );
+        }
+        if self.events.len() > limit {
+            let _ = writeln!(out, "... ({} more)", self.events.len() - limit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: u64, from: usize, to: usize, kind: &'static str, depth: u64) -> TraceEvent {
+        TraceEvent {
+            step,
+            from,
+            to,
+            kind,
+            depth,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn queries_filter_correctly() {
+        let mut t = Trace::default();
+        t.push(ev(0, 0, 1, "a", 1));
+        t.push(ev(1, 1, 0, "b", 2));
+        t.push(ev(2, 0, 1, "a", 3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.of_kind("a").count(), 2);
+        assert_eq!(t.on_link(0, 1).count(), 2);
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.kind_histogram(), vec![("a", 2), ("b", 1)]);
+    }
+
+    #[test]
+    fn render_truncates() {
+        let mut t = Trace::default();
+        for i in 0..10 {
+            t.push(ev(i, 0, 1, "m", i));
+        }
+        let s = t.render(3);
+        assert!(s.contains("... (7 more)"));
+    }
+}

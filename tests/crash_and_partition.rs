@@ -1,0 +1,123 @@
+//! Crash-fault and partition-fault scenarios: crashes are a special case
+//! of Byzantine behavior, and temporary partitions are a legal
+//! asynchronous schedule — WTS must ride through both.
+
+use bgla::core::adversary::MidCrash;
+use bgla::core::wts::{WtsMsg, WtsProcess};
+use bgla::core::{spec, SystemConfig};
+use bgla::simnet::{
+    FifoScheduler, PartitionScheduler, RandomScheduler, SimulationBuilder,
+};
+use std::collections::BTreeSet;
+
+fn decisions_of(
+    sim: &bgla::simnet::Simulation<WtsMsg<u64>>,
+    ids: impl Iterator<Item = usize>,
+) -> Vec<Option<BTreeSet<u64>>> {
+    ids.map(|i| {
+        sim.process_as::<WtsProcess<u64>>(i)
+            .expect("survivor is a plain WtsProcess")
+            .decision
+            .clone()
+    })
+    .collect()
+}
+
+/// A process that crashes mid-protocol (after a handful of deliveries,
+/// i.e. possibly mid-quorum) must not endanger the survivors.
+#[test]
+fn mid_protocol_crash_is_tolerated() {
+    for crash_after in [0u64, 1, 3, 7, 15] {
+        for seed in 0..5 {
+            let (n, f) = (4usize, 1usize);
+            let config = SystemConfig::new(n, f);
+            let mut b =
+                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            for i in 0..3 {
+                b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
+            }
+            b = b.add(Box::new(MidCrash::new(
+                WtsProcess::new(3, config, 3u64),
+                crash_after,
+            )));
+            let mut sim = b.build();
+            let out = sim.run(10_000_000);
+            assert!(out.quiescent, "crash_after={crash_after} seed={seed}");
+            let survivors: Vec<BTreeSet<u64>> = decisions_of(&sim, 0..3)
+                .into_iter()
+                .map(|d| {
+                    d.unwrap_or_else(|| {
+                        panic!("crash_after={crash_after} seed={seed}: survivor stuck")
+                    })
+                })
+                .collect();
+            spec::check_comparability(&survivors)
+                .unwrap_or_else(|e| panic!("crash_after={crash_after} seed={seed}: {e}"));
+        }
+    }
+}
+
+/// A temporary 2|2 partition delays but cannot prevent agreement: the
+/// quorum (3 of 4) spans both sides, so decisions wait for the heal and
+/// then complete consistently.
+#[test]
+fn temporary_partition_delays_but_preserves_agreement() {
+    for heal_after in [10u64, 50, 200] {
+        let (n, f) = (4usize, 1usize);
+        let config = SystemConfig::new(n, f);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(PartitionScheduler::new(
+            vec![0, 1],
+            heal_after,
+            Box::new(FifoScheduler),
+        )));
+        for i in 0..n {
+            b = b.add(Box::new(WtsProcess::new(i, config, 100 + i as u64)));
+        }
+        let mut sim = b.build();
+        let out = sim.run(10_000_000);
+        assert!(out.quiescent, "heal_after={heal_after}");
+        let mut decisions = Vec::new();
+        for i in 0..n {
+            let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+            decisions.push(
+                p.decision
+                    .clone()
+                    .unwrap_or_else(|| panic!("heal_after={heal_after}: p{i} stuck")),
+            );
+            assert!(p.decision.as_ref().unwrap().contains(&(100 + i as u64)));
+        }
+        spec::check_comparability(&decisions)
+            .unwrap_or_else(|e| panic!("heal_after={heal_after}: {e}"));
+    }
+}
+
+/// f crashes at different points of the protocol simultaneously.
+#[test]
+fn staggered_crashes_at_f2() {
+    for seed in 0..5 {
+        let (n, f) = (7usize, 2usize);
+        let config = SystemConfig::new(n, f);
+        let mut b =
+            SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..5 {
+            b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
+        }
+        b = b.add(Box::new(MidCrash::new(WtsProcess::new(5, config, 5u64), 2)));
+        b = b.add(Box::new(MidCrash::new(WtsProcess::new(6, config, 6u64), 20)));
+        let mut sim = b.build();
+        let out = sim.run(50_000_000);
+        assert!(out.quiescent, "seed {seed}");
+        let mut decisions = Vec::new();
+        for i in 0..5 {
+            let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+            decisions.push(p.decision.clone().expect("survivor decides"));
+        }
+        spec::check_comparability(&decisions).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // Non-triviality: the crashed processes were honest before the
+        // crash, so at most their two (honestly disclosed) values appear
+        // beyond the survivors' inputs.
+        let survivor_inputs: BTreeSet<u64> = (0..5).map(|i| i as u64).collect();
+        spec::check_nontriviality(&survivor_inputs, &decisions, f)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Adversarial end-to-end runs of the signature-based algorithm:
+//! conflict-signing, proof forgery and silence, across random schedules.
+
+use bgla::core::adversary::sbs::{ConflictSigner, ProofForger, SilentS};
+use bgla::core::sbs::SbsProcess;
+use bgla::core::{spec, SystemConfig};
+use bgla::simnet::{Process, RandomScheduler, Simulation, SimulationBuilder};
+use std::collections::BTreeSet;
+
+type Msg = bgla::core::sbs::SbsMsg<u64>;
+
+fn run_with_adversary(
+    seed: u64,
+    adversary: Box<dyn Process<Msg>>,
+) -> (Simulation<Msg>, Vec<usize>) {
+    let (n, f) = (4usize, 1usize);
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..n - 1 {
+        b = b.add(Box::new(SbsProcess::new(i, config, 10 + i as u64)));
+    }
+    b = b.add(adversary);
+    let mut sim = b.build();
+    let out = sim.run(10_000_000);
+    assert!(out.quiescent, "seed {seed}: no quiescence");
+    (sim, (0..n - 1).collect())
+}
+
+fn check_safety(sim: &Simulation<Msg>, correct: &[usize], label: &str) -> Vec<BTreeSet<u64>> {
+    let mut decisions = Vec::new();
+    let mut pairs = Vec::new();
+    for &i in correct {
+        let p = sim.process_as::<SbsProcess<u64>>(i).unwrap();
+        if let Some(d) = &p.decision {
+            decisions.push(d.clone());
+            pairs.push((p.proposal, d.clone()));
+        }
+    }
+    spec::check_comparability(&decisions).unwrap_or_else(|e| panic!("{label}: {e}"));
+    spec::check_inclusivity(&pairs).unwrap_or_else(|e| panic!("{label}: {e}"));
+    decisions
+}
+
+#[test]
+fn conflict_signer_injects_at_most_one_value() {
+    for seed in 0..6 {
+        let (sim, correct) = run_with_adversary(
+            seed,
+            Box::new(ConflictSigner {
+                me: 3,
+                a: 666u64,
+                b: 777u64,
+            }),
+        );
+        let decisions = check_safety(&sim, &correct, &format!("conflict seed {seed}"));
+        for d in &decisions {
+            assert!(
+                !(d.contains(&666) && d.contains(&777)),
+                "seed {seed}: Lemma 13 violated — both conflicting values safe"
+            );
+        }
+        // Liveness: correct processes decide despite the conflicting
+        // inits (the conflicted pair is pruned from safety sets).
+        assert_eq!(decisions.len(), correct.len(), "seed {seed}: liveness");
+    }
+}
+
+#[test]
+fn proof_forger_never_corrupts_decisions() {
+    for seed in 0..6 {
+        let (sim, correct) = run_with_adversary(
+            seed,
+            Box::new(ProofForger {
+                me: 3,
+                value: 999_999u64,
+            }),
+        );
+        let decisions = check_safety(&sim, &correct, &format!("forger seed {seed}"));
+        for d in &decisions {
+            assert!(
+                !d.contains(&999_999),
+                "seed {seed}: a forged proof of safety was accepted"
+            );
+        }
+        assert_eq!(decisions.len(), correct.len(), "seed {seed}: liveness");
+    }
+}
+
+#[test]
+fn silent_process_does_not_block_sbs() {
+    for seed in 0..6 {
+        let (sim, correct) = run_with_adversary(seed, Box::new(SilentS::default()));
+        let decisions = check_safety(&sim, &correct, &format!("silent seed {seed}"));
+        assert_eq!(decisions.len(), correct.len(), "seed {seed}: liveness");
+        // Non-triviality: only correct inputs can appear (the silent one
+        // contributed nothing).
+        let inputs: BTreeSet<u64> = correct.iter().map(|&i| 10 + i as u64).collect();
+        spec::check_nontriviality(&inputs, &decisions, 1)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Real-concurrency smoke tests: run WTS and SbS under the
+//! thread-per-process runner (crossbeam channels, OS scheduling) to make
+//! sure the algorithms don't silently depend on the deterministic
+//! simulator's sequential delivery.
+
+use bgla::core::sbs::SbsProcess;
+use bgla::core::wts::{WtsMsg, WtsProcess};
+use bgla::core::SystemConfig;
+use bgla::simnet::threaded::run_threaded;
+use bgla::simnet::Process;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+#[test]
+fn wts_agrees_under_real_threads() {
+    let (n, f) = (4usize, 1usize);
+    let config = SystemConfig::new(n, f);
+    let procs: Vec<Box<dyn Process<WtsMsg<u64>>>> = (0..n)
+        .map(|i| Box::new(WtsProcess::new(i, config, 100 + i as u64)) as _)
+        .collect();
+    let (procs, outcome) = run_threaded(procs, Duration::from_secs(60));
+    assert!(outcome.quiescent, "threaded run did not quiesce");
+    let decisions: Vec<BTreeSet<u64>> = procs
+        .iter()
+        .map(|p| {
+            p.as_any()
+                .downcast_ref::<WtsProcess<u64>>()
+                .unwrap()
+                .decision
+                .clone()
+                .expect("liveness under threads")
+        })
+        .collect();
+    bgla::core::spec::check_comparability(&decisions).expect("comparability under threads");
+    for (i, d) in decisions.iter().enumerate() {
+        assert!(d.contains(&(100 + i as u64)), "inclusivity at p{i}");
+    }
+}
+
+#[test]
+fn sbs_agrees_under_real_threads() {
+    let (n, f) = (4usize, 1usize);
+    let config = SystemConfig::new(n, f);
+    let procs: Vec<Box<dyn Process<bgla::core::sbs::SbsMsg<u64>>>> = (0..n)
+        .map(|i| Box::new(SbsProcess::new(i, config, i as u64)) as _)
+        .collect();
+    let (procs, outcome) = run_threaded(procs, Duration::from_secs(120));
+    assert!(outcome.quiescent);
+    let decisions: Vec<BTreeSet<u64>> = procs
+        .iter()
+        .map(|p| {
+            p.as_any()
+                .downcast_ref::<SbsProcess<u64>>()
+                .unwrap()
+                .decision
+                .clone()
+                .expect("liveness under threads")
+        })
+        .collect();
+    bgla::core::spec::check_comparability(&decisions).expect("comparability under threads");
+}
+
+#[test]
+fn gwts_stream_agrees_under_real_threads() {
+    use bgla::core::gwts::{GwtsMsg, GwtsProcess};
+    use std::collections::BTreeMap;
+
+    let (n, f, rounds) = (4usize, 1usize, 3u64);
+    let config = SystemConfig::new(n, f);
+    let procs: Vec<Box<dyn Process<GwtsMsg<u64>>>> = (0..n)
+        .map(|i| {
+            let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            schedule.insert(0, vec![i as u64]);
+            Box::new(GwtsProcess::new(i, config, schedule, rounds)) as _
+        })
+        .collect();
+    let (procs, outcome) = run_threaded(procs, Duration::from_secs(120));
+    assert!(outcome.quiescent);
+    let seqs: Vec<Vec<BTreeSet<u64>>> = procs
+        .iter()
+        .map(|p| {
+            p.as_any()
+                .downcast_ref::<GwtsProcess<u64>>()
+                .unwrap()
+                .decisions
+                .clone()
+        })
+        .collect();
+    for (i, s) in seqs.iter().enumerate() {
+        assert_eq!(s.len(), rounds as usize, "p{i} missed rounds under threads");
+    }
+    bgla::core::spec::check_local_stability(&seqs).expect("stability under threads");
+    bgla::core::spec::check_global_comparability(&seqs).expect("comparability under threads");
+}

@@ -1,0 +1,78 @@
+//! Delivery-trace assertions (message-flow *shape*, not just outcomes)
+//! and larger-scale adversarial runs.
+
+use bgla::core::adversary::{ChaosMonkey, Equivocator, Silent};
+use bgla::core::harness::{assert_la_spec, wts_report, wts_system_with_adversaries};
+use bgla::core::wts::WtsProcess;
+use bgla::core::SystemConfig;
+use bgla::simnet::{FifoScheduler, RandomScheduler, SimulationBuilder};
+use std::collections::BTreeSet;
+
+/// The disclosure phase dominates: reliable-broadcast traffic should be
+/// the bulk of all deliveries in an honest run (that's where the O(n²)
+/// comes from — checked here at the message-flow level).
+#[test]
+fn trace_shows_rbcast_dominates_wts() {
+    let config = SystemConfig::new(4, 1);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+    for i in 0..4 {
+        b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
+    }
+    let mut sim = b.build();
+    sim.enable_trace();
+    assert!(sim.run(1_000_000).quiescent);
+    let trace = sim.trace().expect("tracing enabled");
+    assert_eq!(trace.len() as u64, sim.metrics().delivered);
+    let rb: usize = ["rb_init", "rb_echo", "rb_ready"]
+        .iter()
+        .map(|k| trace.of_kind(k).count())
+        .sum();
+    let total = trace.len();
+    assert!(
+        rb * 2 > total,
+        "reliable broadcast should be most of the traffic: {rb}/{total}"
+    );
+    // Decision-phase traffic exists too.
+    assert!(trace.of_kind("ack_req").count() >= 4);
+    assert!(trace.of_kind("ack").count() >= 12);
+    // Depth recorded in the trace matches the simulation clocks.
+    let max_clock = (0..4).map(|i| sim.depth_of(i)).max().unwrap();
+    assert_eq!(trace.max_depth(), max_clock);
+}
+
+/// Bigger systems, mixed adversaries: n = 13, f = 4, with four distinct
+/// Byzantine behaviors at once.
+#[test]
+fn large_system_mixed_adversaries() {
+    for seed in 0..3u64 {
+        let (n, f) = (13usize, 4usize);
+        let (mut sim, config, byz) = wts_system_with_adversaries(
+            n,
+            f,
+            |i| i as u64,
+            Box::new(RandomScheduler::new(seed)),
+            |i, _| match i {
+                9 => Some(Box::new(Silent::default()) as _),
+                10 => Some(Box::new(Equivocator {
+                    a: 91_001u64,
+                    b: 91_002u64,
+                }) as _),
+                11 => Some(Box::new(ChaosMonkey::new(seed * 7 + 1)) as _),
+                12 => Some(Box::new(ChaosMonkey::new(seed * 11 + 5)) as _),
+                _ => None,
+            },
+        );
+        let out = sim.run(200_000_000);
+        assert!(out.quiescent, "seed {seed}");
+        let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
+        let report = wts_report(&sim, &correct);
+        let inputs: BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
+        assert_la_spec(&report, &inputs, config.f);
+        for d in &report.decisions {
+            assert!(
+                !(d.contains(&91_001) && d.contains(&91_002)),
+                "seed {seed}: equivocation leaked at scale"
+            );
+        }
+    }
+}
