@@ -48,12 +48,12 @@ fn bench_ed25519_batch(c: &mut Criterion) {
             (kp.public, msg, sig)
         })
         .collect();
-    let refs: Vec<(bgla_crypto::PublicKey, &[u8], bgla_crypto::Signature)> =
-        items.iter().map(|(p, m, s)| (*p, m.as_slice(), *s)).collect();
+    let refs: Vec<(bgla_crypto::PublicKey, &[u8], bgla_crypto::Signature)> = items
+        .iter()
+        .map(|(p, m, s)| (*p, m.as_slice(), *s))
+        .collect();
     c.bench_function("ed25519_verify_16_individually", |b| {
-        b.iter(|| {
-            refs.iter().all(|(p, m, s)| p.verify(m, s))
-        })
+        b.iter(|| refs.iter().all(|(p, m, s)| p.verify(m, s)))
     });
     c.bench_function("ed25519_verify_16_batched", |b| {
         b.iter(|| verify_batch(&refs, 42))

@@ -35,8 +35,8 @@ fn main() {
         let run = |eager: bool| -> (u64, u64) {
             let mut worst = (0, 0);
             for seed in 0..5 {
-                let mut b = SimulationBuilder::new()
-                    .scheduler(Box::new(RandomScheduler::new(seed)));
+                let mut b =
+                    SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
                 for i in 0..n {
                     let p = WtsProcess::new(i, config, i as u64);
                     let p = if eager { p.with_eager_proposing() } else { p };
@@ -89,7 +89,12 @@ fn main() {
         let mut gsim = gwts_sim(n, f, rounds, 1, Box::new(FifoScheduler));
         gsim.run(u64::MAX / 2);
         let gdec: usize = (0..n)
-            .map(|i| gsim.process_as::<GwtsProcess<u64>>(i).unwrap().decisions.len())
+            .map(|i| {
+                gsim.process_as::<GwtsProcess<u64>>(i)
+                    .unwrap()
+                    .decisions
+                    .len()
+            })
             .sum();
         let gwts_cost = gsim.metrics().total_sent() as f64 / gdec.max(1) as f64;
         // GSbS.
@@ -103,7 +108,12 @@ fn main() {
         let mut ssim = b.build();
         ssim.run(u64::MAX / 2);
         let sdec: usize = (0..n)
-            .map(|i| ssim.process_as::<GsbsProcess<u64>>(i).unwrap().decisions.len())
+            .map(|i| {
+                ssim.process_as::<GsbsProcess<u64>>(i)
+                    .unwrap()
+                    .decisions
+                    .len()
+            })
             .sum();
         let gsbs_cost = ssim.metrics().total_sent() as f64 / sdec.max(1) as f64;
         println!(

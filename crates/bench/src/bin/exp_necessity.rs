@@ -12,7 +12,6 @@ use bgla_core::adversary::{Silent, SplitBrain};
 use bgla_core::wts::{WtsMsg, WtsProcess};
 use bgla_core::{spec, SystemConfig};
 use bgla_simnet::{FifoScheduler, SimulationBuilder, TargetedScheduler};
-use std::collections::BTreeSet;
 
 fn main() {
     println!("E1: necessity of 3f+1 processes (Theorem 1)\n");
@@ -30,7 +29,7 @@ fn main() {
         }));
         let mut sim = b.build();
         let out = sim.run(10_000_000);
-        let decisions: Vec<BTreeSet<u64>> = (0..3)
+        let decisions: Vec<bgla_core::ValueSet<u64>> = (0..3)
             .map(|i| {
                 sim.process_as::<WtsProcess<u64>>(i)
                     .unwrap()
@@ -84,9 +83,9 @@ fn main() {
         // Byzantine process and starving the p0↔p1 links so each victim
         // only talks to the adversary until after deciding.
         let config = SystemConfig::new_unchecked(3, 0); // quorum = 2, threshold = 3...
-        // threshold n-f with f=0 is 3: the adversary *does* disclose
-        // (differently per victim), so both victims see 2 correct-looking
-        // disclosures + their own = 3.
+                                                        // threshold n-f with f=0 is 3: the adversary *does* disclose
+                                                        // (differently per victim), so both victims see 2 correct-looking
+                                                        // disclosures + their own = 3.
         let mut b = SimulationBuilder::new().scheduler(Box::new(TargetedScheduler::new(
             vec![(0, 1), (1, 0)],
             Box::new(FifoScheduler),
@@ -100,8 +99,13 @@ fn main() {
         }));
         let mut sim = b.build();
         sim.run(10_000_000);
-        let decisions: Vec<Option<BTreeSet<u64>>> = (0..2)
-            .map(|i| sim.process_as::<WtsProcess<u64>>(i).unwrap().decision.clone())
+        let decisions: Vec<Option<bgla_core::ValueSet<u64>>> = (0..2)
+            .map(|i| {
+                sim.process_as::<WtsProcess<u64>>(i)
+                    .unwrap()
+                    .decision
+                    .clone()
+            })
             .collect();
         println!("\nn=3, quorum naively lowered to 2, split-brain adversary + partition:");
         println!("  decisions: {decisions:?}");
@@ -127,7 +131,7 @@ fn main() {
     println!("\nConclusion: at n = 3f one must give up either safety or liveness; WTS at");
     println!("n ≥ 3f+1 provides both — the bound is tight, as Theorem 1 proves.");
     let _ = WtsMsg::<u64>::AckReq {
-        proposed: BTreeSet::new(),
+        proposed: bgla_core::SetUpdate::Full(bgla_core::ValueSet::new()),
         ts: 0,
     };
 }

@@ -39,8 +39,7 @@ fn main() {
                 |i| i as u64,
                 Box::new(RandomScheduler::new(seed)),
                 |i, _| {
-                    (i >= n - f)
-                        .then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 10)) as _)
+                    (i >= n - f).then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 10)) as _)
                 },
             );
             sim.run(u64::MAX / 2);
@@ -53,8 +52,7 @@ fn main() {
         let mut sbs_max = 0u64;
         for seed in 0..5 {
             let config = SystemConfig::new(n, f);
-            let mut b = SimulationBuilder::new()
-                .scheduler(Box::new(RandomScheduler::new(seed)));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
             for i in 0..n {
                 b = b.add(Box::new(SbsProcess::new(i, config, i as u64)));
             }

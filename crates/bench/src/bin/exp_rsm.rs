@@ -40,8 +40,7 @@ fn main() {
         (7, 2, true, true),
     ] {
         let config = SystemConfig::new(n, f);
-        let mut b =
-            SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(42)));
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(42)));
         let correct_replicas = if byz_replica { n - 1 } else { n };
         for i in 0..correct_replicas {
             b = b.add(Box::new(
@@ -107,7 +106,10 @@ fn main() {
                 byz_replica.to_string(),
                 byz_clients.to_string(),
                 ops.to_string(),
-                format!("{:.0}", sim.metrics().total_sent() as f64 / ops.max(1) as f64),
+                format!(
+                    "{:.0}",
+                    sim.metrics().total_sent() as f64 / ops.max(1) as f64
+                ),
                 verdict.clone(),
             ])
         );

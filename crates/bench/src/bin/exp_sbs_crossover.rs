@@ -12,7 +12,13 @@ fn main() {
     println!("SbS decision delays vs the 5+4f bound:");
     println!(
         "{}",
-        row(&["f".into(), "n".into(), "depth".into(), "bound".into(), "ok".into()])
+        row(&[
+            "f".into(),
+            "n".into(),
+            "depth".into(),
+            "bound".into(),
+            "ok".into()
+        ])
     );
     for f in 1..=4usize {
         let n = 3 * f + 1;

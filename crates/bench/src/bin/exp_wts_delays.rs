@@ -48,8 +48,7 @@ fn main() {
                 |i| i as u64,
                 Box::new(FifoScheduler),
                 |i, _| {
-                    (i >= n - f)
-                        .then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 12)) as _)
+                    (i >= n - f).then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 12)) as _)
                 },
             );
             sim.run(u64::MAX / 2);
@@ -74,7 +73,12 @@ fn main() {
                 d_lockstep.to_string(),
                 d_adv.to_string(),
                 bound.to_string(),
-                if worst <= bound { "✓" } else { "✗ EXCEEDED" }.into(),
+                if worst <= bound {
+                    "✓"
+                } else {
+                    "✗ EXCEEDED"
+                }
+                .into(),
                 hops_random.to_string(),
             ])
         );

@@ -18,6 +18,7 @@
 //! channels model.
 
 use crate::value::Value;
+use crate::valueset::{SetUpdate, ValueSet};
 use crate::wts::WtsMsg;
 use bgla_rbcast::RbMsg;
 use bgla_simnet::{Context, Process, ProcessId};
@@ -60,7 +61,11 @@ impl<V: Value> Process<WtsMsg<V>> for Equivocator<V> {
     fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
         let n = ctx.n;
         for to in 0..n {
-            let value = if to < n / 2 { self.a.clone() } else { self.b.clone() };
+            let value = if to < n / 2 {
+                self.a.clone()
+            } else {
+                self.b.clone()
+            };
             ctx.send(to, WtsMsg::Rb(RbMsg::Init { tag: 0, value }));
         }
     }
@@ -110,7 +115,7 @@ impl<V: Value> Process<WtsMsg<V>> for NackSpammer<V> {
                 ctx.send(
                     from,
                     WtsMsg::Nack {
-                        accepted: self.seen.clone(),
+                        accepted: self.seen.iter().cloned().collect(),
                         ts,
                     },
                 );
@@ -139,14 +144,8 @@ impl<V> Default for AckForger<V> {
 
 impl<V: Value> Process<WtsMsg<V>> for AckForger<V> {
     fn on_message(&mut self, from: ProcessId, msg: WtsMsg<V>, ctx: &mut Context<WtsMsg<V>>) {
-        if let WtsMsg::AckReq { proposed, ts } = msg {
-            ctx.send(
-                from,
-                WtsMsg::Ack {
-                    accepted: proposed,
-                    ts,
-                },
-            );
+        if let WtsMsg::AckReq { ts, .. } = msg {
+            ctx.send(from, WtsMsg::Ack { ts });
         }
     }
     fn as_any(&self) -> &dyn Any {
@@ -174,7 +173,11 @@ impl<V: Value> Process<WtsMsg<V>> for SplitBrain<V> {
             if to == ctx.me {
                 continue;
             }
-            let value = if to < n / 2 { self.a.clone() } else { self.b.clone() };
+            let value = if to < n / 2 {
+                self.a.clone()
+            } else {
+                self.b.clone()
+            };
             ctx.send(to, WtsMsg::Rb(RbMsg::Init { tag: 0, value }));
         }
     }
@@ -214,14 +217,8 @@ impl<V: Value> Process<WtsMsg<V>> for SplitBrain<V> {
                 );
                 ctx.send(from, WtsMsg::Rb(RbMsg::Ready { origin, tag, value }));
             }
-            WtsMsg::AckReq { proposed, ts } => {
-                ctx.send(
-                    from,
-                    WtsMsg::Ack {
-                        accepted: proposed,
-                        ts,
-                    },
-                );
+            WtsMsg::AckReq { ts, .. } => {
+                ctx.send(from, WtsMsg::Ack { ts });
             }
             _ => {}
         }
@@ -286,9 +283,7 @@ mod tests {
                 1,
                 |i| i as u64,
                 Box::new(RandomScheduler::new(seed)),
-                |i, _| {
-                    (i == 3).then(|| Box::new(Silent::default()) as _)
-                },
+                |i, _| (i == 3).then(|| Box::new(Silent::default()) as _),
             );
             let out = sim.run(1_000_000);
             assert!(out.quiescent);
@@ -454,8 +449,8 @@ impl<V: Value> ChaosMonkey<V> {
         }
     }
 
-    fn random_set(&mut self) -> BTreeSet<V> {
-        let mut set = BTreeSet::new();
+    fn random_set(&mut self) -> ValueSet<V> {
+        let mut set = ValueSet::new();
         if self.seen_values.is_empty() {
             return set;
         }
@@ -473,18 +468,26 @@ impl<V: Value> ChaosMonkey<V> {
             if to == ctx.me {
                 continue;
             }
-            let roll = self.next_u64() % 6;
+            let roll = self.next_u64() % 7;
             let msg = match roll {
                 0 => WtsMsg::AckReq {
-                    proposed: self.random_set(),
+                    proposed: SetUpdate::Full(self.random_set()),
                     ts: self.next_u64() % 4,
                 },
                 1 => WtsMsg::Ack {
-                    accepted: self.random_set(),
                     ts: self.next_u64() % 4,
                 },
                 2 => WtsMsg::Nack {
                     accepted: self.random_set(),
+                    ts: self.next_u64() % 4,
+                },
+                6 => WtsMsg::AckReq {
+                    // Bogus delta: random base the receiver may not
+                    // hold — exercises the gap-detection path.
+                    proposed: SetUpdate::Delta {
+                        base_ts: self.next_u64() % 8,
+                        added: self.random_set(),
+                    },
                     ts: self.next_u64() % 4,
                 },
                 3 => {
@@ -547,9 +550,9 @@ impl<V: Value> Process<WtsMsg<V>> for ChaosMonkey<V> {
 pub mod gwts {
     use crate::gwts::GwtsMsg;
     use crate::value::Value;
+    use crate::valueset::{SetUpdate, ValueSet};
     use bgla_simnet::{Context, Process, ProcessId};
     use std::any::Any;
-    use std::collections::BTreeSet;
     use std::marker::PhantomData;
 
     /// Pretends to be many rounds ahead, flooding ack requests for
@@ -575,19 +578,13 @@ pub mod gwts {
         fn on_start(&mut self, ctx: &mut Context<GwtsMsg<V>>) {
             for round in 0..self.upto {
                 ctx.broadcast(GwtsMsg::AckReq {
-                    proposed: BTreeSet::new(),
+                    proposed: SetUpdate::Full(ValueSet::new()),
                     ts: 1_000 + round,
                     round,
                 });
             }
         }
-        fn on_message(
-            &mut self,
-            _f: ProcessId,
-            _m: GwtsMsg<V>,
-            _c: &mut Context<GwtsMsg<V>>,
-        ) {
-        }
+        fn on_message(&mut self, _f: ProcessId, _m: GwtsMsg<V>, _c: &mut Context<GwtsMsg<V>>) {}
         fn as_any(&self) -> &dyn Any {
             self
         }
@@ -607,13 +604,7 @@ pub mod gwts {
     }
 
     impl<V: Value> Process<GwtsMsg<V>> for SilentG<V> {
-        fn on_message(
-            &mut self,
-            _f: ProcessId,
-            _m: GwtsMsg<V>,
-            _c: &mut Context<GwtsMsg<V>>,
-        ) {
-        }
+        fn on_message(&mut self, _f: ProcessId, _m: GwtsMsg<V>, _c: &mut Context<GwtsMsg<V>>) {}
         fn as_any(&self) -> &dyn Any {
             self
         }
@@ -623,9 +614,9 @@ pub mod gwts {
     /// two halves of the system (stopped by the disclosure rbcast).
     pub struct BatchEquivocator<V: Value> {
         /// Batch shown to the low half.
-        pub a: BTreeSet<V>,
+        pub a: ValueSet<V>,
         /// Batch shown to the high half.
-        pub b: BTreeSet<V>,
+        pub b: ValueSet<V>,
     }
 
     impl<V: Value> Process<GwtsMsg<V>> for BatchEquivocator<V> {
@@ -634,7 +625,11 @@ pub mod gwts {
                 if to == ctx.me {
                     continue;
                 }
-                let batch = if to < ctx.n / 2 { self.a.clone() } else { self.b.clone() };
+                let batch = if to < ctx.n / 2 {
+                    self.a.clone()
+                } else {
+                    self.b.clone()
+                };
                 ctx.send(
                     to,
                     GwtsMsg::Disc(bgla_rbcast::RbMsg::Init {
@@ -644,13 +639,7 @@ pub mod gwts {
                 );
             }
         }
-        fn on_message(
-            &mut self,
-            _f: ProcessId,
-            _m: GwtsMsg<V>,
-            _c: &mut Context<GwtsMsg<V>>,
-        ) {
-        }
+        fn on_message(&mut self, _f: ProcessId, _m: GwtsMsg<V>, _c: &mut Context<GwtsMsg<V>>) {}
         fn as_any(&self) -> &dyn Any {
             self
         }
@@ -688,7 +677,11 @@ pub mod sbs {
                 if to == ctx.me {
                     continue;
                 }
-                let sv = if to < ctx.n / 2 { sva.clone() } else { svb.clone() };
+                let sv = if to < ctx.n / 2 {
+                    sva.clone()
+                } else {
+                    svb.clone()
+                };
                 ctx.send(to, SbsMsg::Init(sv));
             }
         }
@@ -719,9 +712,8 @@ pub mod sbs {
             };
             let ack = SignedSafeAck::sign(body, self.me, &kp);
             let proof = Arc::new(vec![ack.clone(), ack.clone(), ack]);
-            let proposed: BTreeSet<ProvenValue<V>> = [ProvenValue { sv, proof }]
-                .into_iter()
-                .collect();
+            let proposed: BTreeSet<ProvenValue<V>> =
+                [ProvenValue { sv, proof }].into_iter().collect();
             for ts in 0..3 {
                 ctx.broadcast(SbsMsg::AckReq {
                     proposed: proposed.clone(),

@@ -16,7 +16,10 @@ impl SystemConfig {
     pub fn new(n: usize, f: usize) -> Self {
         #[allow(clippy::int_plus_one)] // paper notation: n >= 3f + 1
         {
-            assert!(n >= 3 * f + 1, "Byzantine LA requires n >= 3f+1 (got n={n}, f={f})");
+            assert!(
+                n >= 3 * f + 1,
+                "Byzantine LA requires n >= 3f+1 (got n={n}, f={f})"
+            );
         }
         SystemConfig { n, f }
     }

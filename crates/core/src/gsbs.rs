@@ -27,8 +27,9 @@
 //! Message complexity: `O(f·n)` per proposer per decision (Section 8.2).
 
 use crate::config::SystemConfig;
-use crate::value::{set_wire_size, SignableValue};
-use bgla_crypto::{sha512, Keypair, Keyring, Signature, ToBytes};
+use crate::value::SignableValue;
+use crate::valueset::ValueSet;
+use bgla_crypto::{sha512, CachedVerifier, Keypair, Keyring, Signature, ToBytes};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -43,7 +44,7 @@ const ACK_DOMAIN: &[u8] = b"bgla-gsbs-ack:";
 pub struct Digest(pub [u8; 64]);
 
 /// Digest of a set of values under the canonical encoding.
-pub fn digest_values<V: SignableValue>(values: &BTreeSet<V>) -> Digest {
+pub fn digest_values<V: SignableValue>(values: &ValueSet<V>) -> Digest {
     let mut bytes = Vec::new();
     (values.len() as u64).write_bytes(&mut bytes);
     for v in values {
@@ -58,7 +59,7 @@ pub struct SignedBatch<V: SignableValue> {
     /// Round the batch belongs to.
     pub round: u64,
     /// The batched input values.
-    pub batch: BTreeSet<V>,
+    pub batch: ValueSet<V>,
     /// Signing proposer.
     pub signer: ProcessId,
     /// Signature over (round, batch).
@@ -66,7 +67,7 @@ pub struct SignedBatch<V: SignableValue> {
 }
 
 impl<V: SignableValue> SignedBatch<V> {
-    fn signable_bytes(round: u64, batch: &BTreeSet<V>, signer: ProcessId) -> Vec<u8> {
+    fn signable_bytes(round: u64, batch: &ValueSet<V>, signer: ProcessId) -> Vec<u8> {
         let mut out = BATCH_DOMAIN.to_vec();
         round.write_bytes(&mut out);
         (signer as u64).write_bytes(&mut out);
@@ -78,7 +79,7 @@ impl<V: SignableValue> SignedBatch<V> {
     }
 
     /// Signs a round batch.
-    pub fn sign(round: u64, batch: BTreeSet<V>, signer: ProcessId, kp: &Keypair) -> Self {
+    pub fn sign(round: u64, batch: ValueSet<V>, signer: ProcessId, kp: &Keypair) -> Self {
         let sig = kp.sign(&Self::signable_bytes(round, &batch, signer));
         SignedBatch {
             round,
@@ -243,7 +244,13 @@ impl SignedAck {
         signer: ProcessId,
         kp: &Keypair,
     ) -> Self {
-        let sig = kp.sign(&Self::signable_bytes(destination, ts, round, &digest, signer));
+        let sig = kp.sign(&Self::signable_bytes(
+            destination,
+            ts,
+            round,
+            &digest,
+            signer,
+        ));
         SignedAck {
             destination,
             ts,
@@ -258,7 +265,13 @@ impl SignedAck {
     pub fn verify(&self, ring: &Keyring) -> bool {
         ring.verify(
             self.signer,
-            &Self::signable_bytes(self.destination, self.ts, self.round, &self.digest, self.signer),
+            &Self::signable_bytes(
+                self.destination,
+                self.ts,
+                self.round,
+                &self.digest,
+                self.signer,
+            ),
             &self.sig,
         )
     }
@@ -271,26 +284,42 @@ pub struct DecidedCert<V: SignableValue> {
     /// The round that ended.
     pub round: u64,
     /// The committed value set.
-    pub values: BTreeSet<V>,
+    pub values: ValueSet<V>,
     /// Quorum of signed acks over `digest(values)`.
     pub acks: Vec<SignedAck>,
 }
 
 impl<V: SignableValue> DecidedCert<V> {
     /// Validates the certificate: quorum of valid acks from distinct
-    /// acceptors over this round and the values' digest.
+    /// acceptors over this round and the values' digest. Structural
+    /// checks run first; the quorum's signatures are then verified in
+    /// one batched Ed25519 check instead of one scalar-multiplication
+    /// pair per ack.
     pub fn well_formed(&self, config: &SystemConfig, ring: &Keyring) -> bool {
         if self.acks.len() < config.quorum() {
             return false;
         }
         let digest = digest_values(&self.values);
         let mut signers = BTreeSet::new();
-        self.acks.iter().all(|a| {
-            a.round == self.round
-                && a.digest == digest
-                && signers.insert(a.signer)
-                && a.verify(ring)
-        })
+        let structural = self
+            .acks
+            .iter()
+            .all(|a| a.round == self.round && a.digest == digest && signers.insert(a.signer));
+        if !structural {
+            return false;
+        }
+        let msgs: Vec<Vec<u8>> = self
+            .acks
+            .iter()
+            .map(|a| SignedAck::signable_bytes(a.destination, a.ts, a.round, &a.digest, a.signer))
+            .collect();
+        let items: Vec<(usize, &[u8], Signature)> = self
+            .acks
+            .iter()
+            .zip(&msgs)
+            .map(|(a, m)| (a.signer, m.as_slice(), a.sig))
+            .collect();
+        ring.verify_batch(&items)
     }
 }
 
@@ -347,7 +376,7 @@ impl<V: SignableValue> WireMessage for GsbsMsg<V> {
     }
     fn wire_size(&self) -> usize {
         fn batch_size<V: SignableValue>(sb: &SignedBatch<V>) -> usize {
-            80 + set_wire_size(&sb.batch)
+            80 + sb.batch.wire_size()
         }
         fn proven_size<V: SignableValue>(set: &BTreeSet<ProvenBatch<V>>) -> usize {
             let mut total = 8;
@@ -372,9 +401,7 @@ impl<V: SignableValue> WireMessage for GsbsMsg<V> {
         }
         match self {
             GsbsMsg::Init(sb) => batch_size(sb),
-            GsbsMsg::SafeReq { set, .. } => {
-                16 + set.iter().map(batch_size).sum::<usize>()
-            }
+            GsbsMsg::SafeReq { set, .. } => 16 + set.iter().map(batch_size).sum::<usize>(),
             GsbsMsg::SafeAck(a) => {
                 80 + a.rcvd.iter().map(batch_size).sum::<usize>()
                     + a.conflicts
@@ -385,9 +412,7 @@ impl<V: SignableValue> WireMessage for GsbsMsg<V> {
             GsbsMsg::AckReq { proposed, .. } => 24 + proven_size(proposed),
             GsbsMsg::Ack(_) => 8 + 8 + 8 + 64 + 8 + 64,
             GsbsMsg::Nack { accepted, .. } => 24 + proven_size(accepted),
-            GsbsMsg::Decided(c) => {
-                16 + set_wire_size(&c.values) + c.acks.len() * 160
-            }
+            GsbsMsg::Decided(c) => 16 + c.values.wire_size() + c.acks.len() * 160,
         }
     }
 }
@@ -415,7 +440,7 @@ pub struct GsbsProcess<V: SignableValue> {
     /// Simulation horizon.
     pub max_rounds: u64,
     keypair: Keypair,
-    ring: Keyring,
+    verifier: CachedVerifier,
 
     state: GsbsState,
     /// Current round.
@@ -448,12 +473,10 @@ pub struct GsbsProcess<V: SignableValue> {
     /// Buffered messages awaiting guards.
     waiting: Vec<(ProcessId, GsbsMsg<V>)>,
     /// Cumulative decision floor.
-    decided_set: BTreeSet<V>,
-    /// Signature memo cache.
-    sig_cache: BTreeMap<(ProcessId, Signature), bool>,
+    decided_set: ValueSet<V>,
 
     /// Decision sequence.
-    pub decisions: Vec<BTreeSet<V>>,
+    pub decisions: Vec<ValueSet<V>>,
     /// Causal depth per decision.
     pub decision_depths: Vec<u64>,
     /// All inputs this process proposed.
@@ -474,7 +497,7 @@ impl<V: SignableValue> GsbsProcess<V> {
             input_schedule,
             max_rounds,
             keypair: Keypair::for_process(me),
-            ring: Keyring::for_system(config.n),
+            verifier: CachedVerifier::new(Keyring::for_system(config.n)),
             state: GsbsState::Init,
             round: 0,
             ts: 0,
@@ -491,8 +514,7 @@ impl<V: SignableValue> GsbsProcess<V> {
             decided_certs: BTreeMap::new(),
             forwarded: BTreeSet::new(),
             waiting: Vec::new(),
-            decided_set: BTreeSet::new(),
-            sig_cache: BTreeMap::new(),
+            decided_set: ValueSet::new(),
             decisions: Vec::new(),
             decision_depths: Vec::new(),
             all_inputs: Vec::new(),
@@ -509,46 +531,49 @@ impl<V: SignableValue> GsbsProcess<V> {
         self.state
     }
 
-    fn verify_batch(&mut self, sb: &SignedBatch<V>) -> bool {
-        let key = (sb.signer, sb.sig);
-        if let Some(&ok) = self.sig_cache.get(&key) {
-            return ok;
-        }
-        let ok = sb.verify(&self.ring);
-        self.sig_cache.insert(key, ok);
-        ok
+    fn batch_obligation(sb: &SignedBatch<V>) -> (usize, Vec<u8>, Signature) {
+        (
+            sb.signer,
+            SignedBatch::signable_bytes(sb.round, &sb.batch, sb.signer),
+            sb.sig,
+        )
     }
 
-    fn verify_safe_ack(&mut self, a: &GSafeAck<V>) -> bool {
-        let key = (a.signer, a.sig);
-        if let Some(&ok) = self.sig_cache.get(&key) {
-            return ok;
-        }
-        let ok = a.verify(&self.ring);
-        self.sig_cache.insert(key, ok);
-        ok
+    fn safe_ack_obligation(a: &GSafeAck<V>) -> (usize, Vec<u8>, Signature) {
+        (
+            a.signer,
+            GSafeAck::signable_bytes(a.round, &a.rcvd, &a.conflicts, a.signer),
+            a.sig,
+        )
+    }
+
+    fn verify_signed_batch(&mut self, sb: &SignedBatch<V>) -> bool {
+        let (signer, msg, sig) = Self::batch_obligation(sb);
+        self.verifier.verify(signer, &msg, &sig)
     }
 
     fn verify_signed_ack(&mut self, a: &SignedAck) -> bool {
-        let key = (a.signer, a.sig);
-        if let Some(&ok) = self.sig_cache.get(&key) {
-            return ok;
-        }
-        let ok = a.verify(&self.ring);
-        self.sig_cache.insert(key, ok);
-        ok
+        self.verifier.verify(
+            a.signer,
+            &SignedAck::signable_bytes(a.destination, a.ts, a.round, &a.digest, a.signer),
+            &a.sig,
+        )
     }
 
+    /// `AllSafe` over proven batches: structural checks first, then all
+    /// signature obligations of the set (batch signers and safe-ack
+    /// quorums) through one batched verification with cached verdicts.
     fn all_safe(&mut self, set: &BTreeSet<ProvenBatch<V>>) -> bool {
         let quorum = self.config.quorum();
+        let mut obligations: Vec<(usize, Vec<u8>, Signature)> = Vec::new();
+        let mut seen_proofs: Vec<*const Vec<GSafeAck<V>>> = Vec::new();
         for pb in set {
-            if !self.verify_batch(&pb.sb) || pb.proof.len() < quorum {
+            if pb.proof.len() < quorum {
                 return false;
             }
             let mut signers = BTreeSet::new();
             for ack in pb.proof.iter() {
                 if ack.round != pb.sb.round
-                    || !self.verify_safe_ack(ack)
                     || !signers.insert(ack.signer)
                     || !ack.rcvd.contains(&pb.sb)
                     || ack.conflicted(&pb.sb)
@@ -556,11 +581,17 @@ impl<V: SignableValue> GsbsProcess<V> {
                     return false;
                 }
             }
+            obligations.push(Self::batch_obligation(&pb.sb));
+            let ptr = Arc::as_ptr(&pb.proof);
+            if !seen_proofs.contains(&ptr) {
+                seen_proofs.push(ptr);
+                obligations.extend(pb.proof.iter().map(Self::safe_ack_obligation));
+            }
         }
-        true
+        self.verifier.verify_all(&obligations)
     }
 
-    fn values_of(set: &BTreeSet<ProvenBatch<V>>) -> BTreeSet<V> {
+    fn values_of(set: &BTreeSet<ProvenBatch<V>>) -> ValueSet<V> {
         set.iter()
             .flat_map(|pb| pb.sb.batch.iter().cloned())
             .collect()
@@ -577,14 +608,17 @@ impl<V: SignableValue> GsbsProcess<V> {
                 self.batches.entry(round).or_default().push(v);
             }
         }
-        let batch: BTreeSet<V> = self
+        let batch: ValueSet<V> = self
             .batches
             .remove(&round)
             .unwrap_or_default()
             .into_iter()
             .collect();
         let sb = SignedBatch::sign(round, batch, self.me, &self.keypair);
-        self.safety_sets.entry(round).or_default().insert(sb.clone());
+        self.safety_sets
+            .entry(round)
+            .or_default()
+            .insert(sb.clone());
         ctx.broadcast(GsbsMsg::Init(sb));
         self.maybe_start_safetying(ctx);
     }
@@ -605,9 +639,7 @@ impl<V: SignableValue> GsbsProcess<V> {
     }
 
     fn maybe_start_proposing(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
-        if self.state != GsbsState::Safetying
-            || self.safe_acks.len() < self.config.quorum()
-        {
+        if self.state != GsbsState::Safetying || self.safe_acks.len() < self.config.quorum() {
             return;
         }
         let proof = Arc::new(self.safe_acks.clone());
@@ -636,7 +668,7 @@ impl<V: SignableValue> GsbsProcess<V> {
         });
     }
 
-    fn decide(&mut self, values: BTreeSet<V>, ctx: &mut Context<GsbsMsg<V>>) {
+    fn decide(&mut self, values: ValueSet<V>, ctx: &mut Context<GsbsMsg<V>>) {
         self.decisions.push(values.clone());
         self.decision_depths.push(ctx.depth);
         self.decided_set = values;
@@ -690,7 +722,11 @@ impl<V: SignableValue> GsbsProcess<V> {
         ctx: &mut Context<GsbsMsg<V>>,
     ) -> bool {
         match msg {
-            GsbsMsg::AckReq { proposed, ts, round } => {
+            GsbsMsg::AckReq {
+                proposed,
+                ts,
+                round,
+            } => {
                 if *round > self.safe_r {
                     return false;
                 }
@@ -702,8 +738,7 @@ impl<V: SignableValue> GsbsProcess<V> {
                 if acc_vals.is_subset(&prop_vals) {
                     self.accepted_set = proposed.clone();
                     let digest = digest_values(&prop_vals);
-                    let ack =
-                        SignedAck::sign(from, *ts, *round, digest, self.me, &self.keypair);
+                    let ack = SignedAck::sign(from, *ts, *round, digest, self.me, &self.keypair);
                     ctx.send(from, GsbsMsg::Ack(ack));
                 } else {
                     ctx.send(
@@ -718,17 +753,18 @@ impl<V: SignableValue> GsbsProcess<V> {
                 }
                 true
             }
-            GsbsMsg::Nack { accepted, ts, round } => {
+            GsbsMsg::Nack {
+                accepted,
+                ts,
+                round,
+            } => {
                 if *round < self.round
                     || (*round == self.round && *ts < self.ts)
                     || self.state == GsbsState::Done
                 {
                     return true; // stale
                 }
-                if self.state != GsbsState::Proposing
-                    || *round != self.round
-                    || *ts != self.ts
-                {
+                if self.state != GsbsState::Proposing || *round != self.round || *ts != self.ts {
                     return false;
                 }
                 let acc_vals = Self::values_of(accepted);
@@ -773,7 +809,7 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
     fn on_message(&mut self, from: ProcessId, msg: GsbsMsg<V>, ctx: &mut Context<GsbsMsg<V>>) {
         match msg {
             GsbsMsg::Init(sb) => {
-                if self.verify_batch(&sb) {
+                if self.verify_signed_batch(&sb) {
                     let round = sb.round;
                     let entry = self.safety_sets.entry(round).or_default();
                     entry.insert(sb);
@@ -782,12 +818,14 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                 }
             }
             GsbsMsg::SafeReq { round, set } => {
-                let all_ok = set.iter().all(|sb| sb.round == round)
-                    && set
-                        .iter().cloned()
-                        .collect::<Vec<_>>()
-                        .iter()
-                        .all(|sb| self.verify_batch(sb));
+                // Cheap structural check first, then one batched
+                // verification for the whole echoed batch set — no
+                // serialization work for structurally-invalid junk.
+                let all_ok = set.iter().all(|sb| sb.round == round) && {
+                    let obligations: Vec<(usize, Vec<u8>, Signature)> =
+                        set.iter().map(Self::batch_obligation).collect();
+                    self.verifier.verify_all(&obligations)
+                };
                 if all_ok {
                     let cands = self.safe_candidates.entry(round).or_default();
                     let mut union = cands.clone();
@@ -798,8 +836,7 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                         remove_batch_conflicts(&mut pruned);
                         pruned
                     };
-                    let ack =
-                        GSafeAck::sign(round, set, conflicts, self.me, &self.keypair);
+                    let ack = GSafeAck::sign(round, set, conflicts, self.me, &self.keypair);
                     ctx.send(from, GsbsMsg::SafeAck(ack));
                 }
             }
@@ -807,20 +844,22 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                 if self.state != GsbsState::Safetying || ack.round != self.round {
                     return;
                 }
-                let expected = self.current_safe_req.clone();
-                let pairs_ok = ack
-                    .conflicts
-                    .clone()
-                    .iter()
-                    .all(|(a, b)| {
-                        self.verify_batch(a) && self.verify_batch(b) && a.conflicts_with(b)
-                    });
-                if ack.signer == from
-                    && ack.rcvd == expected
-                    && pairs_ok
-                    && self.verify_safe_ack(&ack)
+                let structural = ack.signer == from
+                    && ack.rcvd == self.current_safe_req
                     && !self.safe_ack_senders.contains(&from)
-                {
+                    && ack.conflicts.iter().all(|(a, b)| a.conflicts_with(b));
+                if structural && {
+                    // Structural checks passed: batch-verify the ack and
+                    // every conflict-pair member in one go.
+                    let mut obligations: Vec<(usize, Vec<u8>, Signature)> = ack
+                        .conflicts
+                        .iter()
+                        .flat_map(|(a, b)| [a, b])
+                        .map(Self::batch_obligation)
+                        .collect();
+                    obligations.push(Self::safe_ack_obligation(&ack));
+                    self.verifier.verify_all(&obligations)
+                } {
                     self.safe_ack_senders.insert(from);
                     self.safe_acks.push(ack);
                     self.maybe_start_proposing(ctx);
@@ -838,9 +877,7 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                 if ack.digest != digest || !self.verify_signed_ack(&ack) {
                     return;
                 }
-                if ack.signer == from
-                    && !self.ack_certs.iter().any(|a| a.signer == from)
-                {
+                if ack.signer == from && !self.ack_certs.iter().any(|a| a.signer == from) {
                     self.ack_certs.push(ack);
                     if self.ack_certs.len() >= self.config.quorum() {
                         let values = Self::values_of(&self.proposed_set);
@@ -859,7 +896,7 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                 if self.decided_certs.contains_key(&cert.round) {
                     return;
                 }
-                if cert.well_formed(&self.config, &self.ring) {
+                if cert.well_formed(&self.config, self.verifier.ring()) {
                     self.absorb_certificate(cert, ctx);
                     self.try_adopt_certificate(ctx);
                     self.drain_waiting(ctx);
@@ -962,8 +999,7 @@ mod tests {
                 seqs.push(p.decisions.clone());
             }
             spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            spec::check_global_comparability(&seqs)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -971,7 +1007,7 @@ mod tests {
     fn certificates_validate_and_reject() {
         let config = SystemConfig::new(4, 1);
         let ring = Keyring::for_system(4);
-        let values: BTreeSet<u64> = [1, 2].into_iter().collect();
+        let values: ValueSet<u64> = [1, 2].into_iter().collect();
         let digest = digest_values(&values);
         let acks: Vec<SignedAck> = (0..3)
             .map(|i| SignedAck::sign(0, 1, 0, digest, i, &Keypair::for_process(i)))

@@ -25,7 +25,8 @@
 //! predicate `SAFEA` already has.
 
 use crate::config::SystemConfig;
-use crate::value::{set_wire_size, Value};
+use crate::value::Value;
+use crate::valueset::{DeltaReceiver, DeltaSender, SetUpdate, ValueSet};
 use bgla_rbcast::{RbMsg, RbcastEngine};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
@@ -37,7 +38,7 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AckRecord<V: Value> {
     /// The set the acceptor accepted.
-    pub accepted: BTreeSet<V>,
+    pub accepted: ValueSet<V>,
     /// The proposer whose request triggered this acceptance.
     pub destination: ProcessId,
     /// Proposer's refinement timestamp.
@@ -50,11 +51,11 @@ pub struct AckRecord<V: Value> {
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum GwtsMsg<V: Value> {
     /// Disclosure of `Batch[r]` via reliable broadcast (tag = round).
-    Disc(RbMsg<BTreeSet<V>>),
+    Disc(RbMsg<ValueSet<V>>),
     /// Proposer → acceptors.
     AckReq {
-        /// Cumulative proposal.
-        proposed: BTreeSet<V>,
+        /// Cumulative proposal (delta-encoded per acceptor).
+        proposed: SetUpdate<V>,
         /// Refinement timestamp.
         ts: u64,
         /// Round.
@@ -65,7 +66,7 @@ pub enum GwtsMsg<V: Value> {
     /// Point-to-point refusal carrying the acceptor's set.
     Nack {
         /// Acceptor's accepted set.
-        accepted: BTreeSet<V>,
+        accepted: ValueSet<V>,
         /// Timestamp copied from the request.
         ts: u64,
         /// Round copied from the request.
@@ -102,20 +103,20 @@ impl<V: Value> WireMessage for GwtsMsg<V> {
                 let p = match m {
                     RbMsg::Init { value, .. }
                     | RbMsg::Echo { value, .. }
-                    | RbMsg::Ready { value, .. } => set_wire_size(value),
+                    | RbMsg::Ready { value, .. } => value.wire_size(),
                 };
                 rb_overhead(m) + p
             }
-            GwtsMsg::AckReq { proposed, .. } => 24 + set_wire_size(proposed),
+            GwtsMsg::AckReq { proposed, .. } => 24 + proposed.wire_size(),
             GwtsMsg::Ack(m) => {
                 let p = match m {
                     RbMsg::Init { value, .. }
                     | RbMsg::Echo { value, .. }
-                    | RbMsg::Ready { value, .. } => 24 + set_wire_size(&value.accepted),
+                    | RbMsg::Ready { value, .. } => 24 + value.accepted.wire_size(),
                 };
                 rb_overhead(m) + p
             }
-            GwtsMsg::Nack { accepted, .. } => 24 + set_wire_size(accepted),
+            GwtsMsg::Nack { accepted, .. } => 24 + accepted.wire_size(),
         }
     }
 }
@@ -149,19 +150,19 @@ pub struct GwtsProcess<V: Value> {
     /// Current round.
     pub round: u64,
     ts: u64,
-    rb_disc: RbcastEngine<BTreeSet<V>>,
+    rb_disc: RbcastEngine<ValueSet<V>>,
     rb_ack: RbcastEngine<AckRecord<V>>,
     next_ack_tag: u64,
     /// Per-round pending input batches.
     batches: BTreeMap<u64, Vec<V>>,
     /// Union of all delivered disclosures (cumulative SvS).
-    svs_all: BTreeSet<V>,
+    svs_all: ValueSet<V>,
     /// Disclosure deliveries per round.
     counters: BTreeMap<u64, usize>,
     /// Cumulative proposal.
-    proposed_set: BTreeSet<V>,
+    proposed_set: ValueSet<V>,
     /// Acceptor: current accepted set.
-    accepted_set: BTreeSet<V>,
+    accepted_set: ValueSet<V>,
     /// Acceptor: highest trusted round.
     pub safe_r: u64,
     /// Quorum bookkeeping: ack record -> origins that broadcast it.
@@ -171,10 +172,14 @@ pub struct GwtsProcess<V: Value> {
     /// RB-delivered ack records waiting on safety / round guards.
     pending_acks: Vec<(ProcessId, AckRecord<V>)>,
     /// Cumulative decision (Local Stability floor).
-    decided_set: BTreeSet<V>,
+    decided_set: ValueSet<V>,
+    /// Proposer-side delta bookkeeping (snapshots + reply watermarks).
+    delta_tx: DeltaSender<V>,
+    /// Acceptor-side delta bases.
+    delta_rx: DeltaReceiver<V>,
 
     /// The decision sequence `Dec_i`.
-    pub decisions: Vec<BTreeSet<V>>,
+    pub decisions: Vec<ValueSet<V>>,
     /// Causal depth at each decision.
     pub decision_depths: Vec<u64>,
     /// Refinements per round (Lemma 10 bounds each by `f`).
@@ -205,20 +210,29 @@ impl<V: Value> GwtsProcess<V> {
             rb_ack: RbcastEngine::new(config.n, config.f),
             next_ack_tag: 0,
             batches: BTreeMap::new(),
-            svs_all: BTreeSet::new(),
+            svs_all: ValueSet::new(),
             counters: BTreeMap::new(),
-            proposed_set: BTreeSet::new(),
-            accepted_set: BTreeSet::new(),
+            proposed_set: ValueSet::new(),
+            accepted_set: ValueSet::new(),
             safe_r: 0,
             ack_history: BTreeMap::new(),
             waiting: Vec::new(),
             pending_acks: Vec::new(),
-            decided_set: BTreeSet::new(),
+            decided_set: ValueSet::new(),
+            delta_tx: DeltaSender::new(true),
+            delta_rx: DeltaReceiver::new(),
             decisions: Vec::new(),
             decision_depths: Vec::new(),
             refinements: BTreeMap::new(),
             all_inputs: Vec::new(),
         }
+    }
+
+    /// Ablation: disable delta-encoded ack requests (every `ack_req`
+    /// carries the full cumulative set). Used by the byte experiments.
+    pub fn with_deltas(mut self, enabled: bool) -> Self {
+        self.delta_tx = DeltaSender::new(enabled);
+        self
     }
 
     /// Feeds a new input value: goes into the batch of the *next* round
@@ -239,7 +253,7 @@ impl<V: Value> GwtsProcess<V> {
     }
 
     /// The latest (largest) decision, if any.
-    pub fn latest_decision(&self) -> Option<&BTreeSet<V>> {
+    pub fn latest_decision(&self) -> Option<&ValueSet<V>> {
         self.decisions.last()
     }
 
@@ -247,14 +261,14 @@ impl<V: Value> GwtsProcess<V> {
     /// accepted by a Byzantine quorum — the confirmation predicate of the
     /// RSM plug-in (Algorithm 7): `<ack, set, ·, ·, ts, r>` appears
     /// `⌊(n+f)/2⌋+1` times for some fixed `(ts, r)`.
-    pub fn has_committed(&self, set: &BTreeSet<V>) -> bool {
+    pub fn has_committed(&self, set: &ValueSet<V>) -> bool {
         let quorum = self.config.quorum();
         self.ack_history
             .iter()
             .any(|(rec, origins)| rec.accepted == *set && origins.len() >= quorum)
     }
 
-    fn safe(&self, set: &BTreeSet<V>) -> bool {
+    fn safe(&self, set: &ValueSet<V>) -> bool {
         set.is_subset(&self.svs_all)
     }
 
@@ -266,13 +280,13 @@ impl<V: Value> GwtsProcess<V> {
                 self.batches.entry(round).or_default().push(v);
             }
         }
-        let batch: BTreeSet<V> = self
+        let batch: ValueSet<V> = self
             .batches
             .remove(&round)
             .unwrap_or_default()
             .into_iter()
             .collect();
-        self.proposed_set.extend(batch.iter().cloned());
+        self.proposed_set.join_with(&batch);
         self.state = GwtsState::Disclosing;
         for m in self.rb_disc.broadcast(round, batch) {
             ctx.broadcast(GwtsMsg::Disc(m));
@@ -293,11 +307,17 @@ impl<V: Value> GwtsProcess<V> {
     }
 
     fn send_ack_req(&mut self, ctx: &mut Context<GwtsMsg<V>>) {
-        ctx.broadcast(GwtsMsg::AckReq {
-            proposed: self.proposed_set.clone(),
-            ts: self.ts,
-            round: self.round,
-        });
+        self.delta_tx.record_broadcast(self.ts, &self.proposed_set);
+        for to in 0..self.config.n {
+            ctx.send(
+                to,
+                GwtsMsg::AckReq {
+                    proposed: self.delta_tx.encode_for(to, self.ts, &self.proposed_set),
+                    ts: self.ts,
+                    round: self.round,
+                },
+            );
+        }
     }
 
     /// Advances `Safe_r` while some round-`Safe_r` proposal shows a
@@ -357,12 +377,23 @@ impl<V: Value> GwtsProcess<V> {
     ) -> bool {
         match msg {
             // ---- Acceptor role ----
-            GwtsMsg::AckReq { proposed, ts, round } => {
-                if *round > self.safe_r || !self.safe(proposed) {
+            GwtsMsg::AckReq {
+                proposed,
+                ts,
+                round,
+            } => {
+                if *round > self.safe_r {
                     return false;
                 }
-                if self.accepted_set.is_subset(proposed) {
-                    self.accepted_set = proposed.clone();
+                let Some(full) = self.delta_rx.resolve(from, proposed) else {
+                    return true; // delta gap (Byzantine sender): drop
+                };
+                if !self.safe(&full) {
+                    return false;
+                }
+                self.delta_rx.record(from, *ts, &full);
+                if self.accepted_set.is_subset(&full) {
+                    self.accepted_set = full;
                     let rec = AckRecord {
                         accepted: self.accepted_set.clone(),
                         destination: from,
@@ -383,12 +414,17 @@ impl<V: Value> GwtsProcess<V> {
                             round: *round,
                         },
                     );
-                    self.accepted_set.extend(proposed.iter().cloned());
+                    self.accepted_set.join_with(&full);
                 }
                 true
             }
             // ---- Proposer role ----
-            GwtsMsg::Nack { accepted, ts, round } => {
+            GwtsMsg::Nack {
+                accepted,
+                ts,
+                round,
+            } => {
+                self.delta_tx.record_reply(from, *ts);
                 if *round < self.round
                     || (*round == self.round && *ts < self.ts)
                     || self.state == GwtsState::Done
@@ -403,7 +439,7 @@ impl<V: Value> GwtsProcess<V> {
                     return false;
                 }
                 if !accepted.is_subset(&self.proposed_set) {
-                    self.proposed_set.extend(accepted.iter().cloned());
+                    self.proposed_set.join_with(accepted);
                     self.ts += 1;
                     *self.refinements.entry(self.round).or_insert(0) += 1;
                     self.send_ack_req(ctx);
@@ -419,6 +455,11 @@ impl<V: Value> GwtsProcess<V> {
     fn try_absorb_ack(&mut self, origin: ProcessId, rec: &AckRecord<V>) -> bool {
         if rec.round > self.safe_r || !self.safe(&rec.accepted) {
             return false;
+        }
+        if rec.destination == self.me {
+            // The acceptor publicly holds our proposal of `ts`: later
+            // ack_reqs to it may be delta-encoded against that base.
+            self.delta_tx.record_reply(origin, rec.ts);
         }
         self.ack_history
             .entry(rec.clone())
@@ -492,10 +533,10 @@ impl<V: Value> Process<GwtsMsg<V>> for GwtsProcess<V> {
                     ctx.broadcast(GwtsMsg::Disc(m));
                 }
                 for d in dels {
-                    self.svs_all.extend(d.value.iter().cloned());
+                    self.svs_all.join_with(&d.value);
                     *self.counters.entry(d.tag).or_insert(0) += 1;
                     if self.state == GwtsState::Disclosing {
-                        self.proposed_set.extend(d.value.iter().cloned());
+                        self.proposed_set.join_with(&d.value);
                     }
                 }
                 self.maybe_start_proposing(ctx);
@@ -564,7 +605,10 @@ mod tests {
         b.build()
     }
 
-    fn collect(sim: &Simulation<GwtsMsg<u64>>, n: usize) -> (Vec<Vec<BTreeSet<u64>>>, Vec<Vec<u64>>) {
+    fn collect(
+        sim: &Simulation<GwtsMsg<u64>>,
+        n: usize,
+    ) -> (Vec<Vec<ValueSet<u64>>>, Vec<Vec<u64>>) {
         let mut seqs = Vec::new();
         let mut inputs = Vec::new();
         for i in 0..n {
@@ -594,8 +638,7 @@ mod tests {
     fn random_schedules_preserve_generalized_spec() {
         for seed in 0..15 {
             let (n, f, rounds) = (4, 1, 3u64);
-            let mut sim =
-                gwts_system(n, f, rounds, 1, Box::new(RandomScheduler::new(seed)));
+            let mut sim = gwts_system(n, f, rounds, 1, Box::new(RandomScheduler::new(seed)));
             let out = sim.run(10_000_000);
             assert!(out.quiescent, "seed {seed}");
             let (seqs, inputs) = collect(&sim, n);
@@ -603,8 +646,7 @@ mod tests {
                 assert_eq!(s.len(), rounds as usize, "seed {seed} p{i}");
             }
             spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            spec::check_global_comparability(&seqs)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             spec::check_generalized_inclusivity(&inputs, &seqs)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
@@ -629,8 +671,7 @@ mod tests {
     fn refinements_bounded_per_round() {
         for seed in 0..10 {
             let (n, f, rounds) = (4, 1, 3u64);
-            let mut sim =
-                gwts_system(n, f, rounds, 1, Box::new(RandomScheduler::new(seed)));
+            let mut sim = gwts_system(n, f, rounds, 1, Box::new(RandomScheduler::new(seed)));
             sim.run(10_000_000);
             for i in 0..n {
                 let p = sim.process_as::<GwtsProcess<u64>>(i).unwrap();
@@ -695,7 +736,11 @@ mod pruning_tests {
             let mut sim = b.build();
             sim.run(u64::MAX / 2);
             (0..n)
-                .map(|i| sim.process_as::<GwtsProcess<u64>>(i).unwrap().ack_history_len())
+                .map(|i| {
+                    sim.process_as::<GwtsProcess<u64>>(i)
+                        .unwrap()
+                        .ack_history_len()
+                })
                 .max()
                 .unwrap()
         };

@@ -2,6 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::value::Value;
+use crate::valueset::ValueSet;
 use crate::wts::{WtsMsg, WtsProcess};
 use bgla_simnet::{Process, Scheduler, Simulation, SimulationBuilder};
 use std::collections::BTreeSet;
@@ -56,9 +57,9 @@ pub fn wts_system_with_adversaries<V: Value>(
 /// processes.
 pub struct WtsRunReport<V: Value> {
     /// `(input, decision)` pairs of correct processes that decided.
-    pub pairs: Vec<(V, BTreeSet<V>)>,
+    pub pairs: Vec<(V, ValueSet<V>)>,
     /// Decisions only (same order).
-    pub decisions: Vec<BTreeSet<V>>,
+    pub decisions: Vec<ValueSet<V>>,
     /// Whether each correct process decided.
     pub decided: Vec<bool>,
     /// Decision depths (message delays) for those that decided.
@@ -69,10 +70,7 @@ pub struct WtsRunReport<V: Value> {
 
 /// Extracts a [`WtsRunReport`] from a finished simulation. `correct`
 /// lists the ids of correct processes.
-pub fn wts_report<V: Value>(
-    sim: &Simulation<WtsMsg<V>>,
-    correct: &[usize],
-) -> WtsRunReport<V> {
+pub fn wts_report<V: Value>(sim: &Simulation<WtsMsg<V>>, correct: &[usize]) -> WtsRunReport<V> {
     let mut pairs = Vec::new();
     let mut decisions = Vec::new();
     let mut decided = Vec::new();
@@ -107,8 +105,7 @@ pub fn assert_la_spec<V: Value>(report: &WtsRunReport<V>, correct_inputs: &BTree
     crate::spec::check_liveness(&report.decided).expect("liveness");
     crate::spec::check_comparability(&report.decisions).expect("comparability");
     crate::spec::check_inclusivity(&report.pairs).expect("inclusivity");
-    crate::spec::check_nontriviality(correct_inputs, &report.decisions, f)
-        .expect("non-triviality");
+    crate::spec::check_nontriviality(correct_inputs, &report.decisions, f).expect("non-triviality");
 }
 
 #[cfg(test)]

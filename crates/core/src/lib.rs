@@ -22,13 +22,22 @@
 //!
 //! The algorithms are written against the paper's canonical semilattice:
 //! sets of opaque *values* under union (every join semilattice embeds into
-//! one of these — Section 3.1 of the paper). A decision is therefore a
-//! `BTreeSet<V>`; applications map it into their own lattice by joining
-//! per-value contributions (see `bgla-rsm` for the RSM doing exactly
-//! that).
+//! one of these — Section 3.1 of the paper). A decision is therefore
+//! *logically* a set of values; physically it is a [`valueset::ValueSet`]
+//! — an `Arc`-backed sorted vector with `O(1)` clone, copy-on-write
+//! insert and `O(k + m)` merge-walk join/subset — because the algorithms
+//! clone and join these sets on every send, receive and re-delivery, and
+//! a node-per-element `BTreeSet` made the hot path `O(n² · |set|)`
+//! allocations. Applications map decisions into their own lattice by
+//! joining per-value contributions (see `bgla-rsm` for the RSM doing
+//! exactly that).
+//!
+//! Proposal traffic additionally uses **delta messages**
+//! ([`valueset::SetUpdate`]): once an acceptor has acked/nacked a
+//! proposer's set, later `ack_req` rounds carry only the values added
+//! since that reply, with a full-set fallback on first contact or a
+//! detected gap. See [`valueset`] for the wire format.
 #![warn(missing_docs)]
-
-
 // Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
 // `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
 #![allow(clippy::int_plus_one)]
@@ -41,7 +50,9 @@ pub mod harness;
 pub mod sbs;
 pub mod spec;
 pub mod value;
+pub mod valueset;
 pub mod wts;
 
 pub use config::SystemConfig;
 pub use value::Value;
+pub use valueset::{SetUpdate, ValueSet};

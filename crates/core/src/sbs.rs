@@ -25,11 +25,12 @@
 //! Message delays: `5 + 4f` (Theorem 8).
 
 use crate::config::SystemConfig;
-use crate::value::{SignableValue, Value};
-use bgla_crypto::{Keypair, Keyring, Signature, ToBytes};
+use crate::value::SignableValue;
+use crate::valueset::ValueSet;
+use bgla_crypto::{CachedVerifier, Keypair, Keyring, Signature, ToBytes};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 const VALUE_DOMAIN: &[u8] = b"bgla-sbs-value:";
@@ -134,7 +135,11 @@ impl<V: SignableValue> SignedSafeAck<V> {
 
     /// Verifies the acceptor's signature.
     pub fn verify(&self, ring: &Keyring) -> bool {
-        ring.verify(self.signer, &self.body.signable_bytes(self.signer), &self.sig)
+        ring.verify(
+            self.signer,
+            &self.body.signable_bytes(self.signer),
+            &self.sig,
+        )
     }
 }
 
@@ -221,7 +226,7 @@ pub enum SbsMsg<V: SignableValue> {
     /// Acceptor agrees (echoes the value set for the equality check).
     Ack {
         /// Values of the accepted set.
-        values: BTreeSet<V>,
+        values: ValueSet<V>,
         /// Echoed timestamp.
         ts: u64,
     },
@@ -249,7 +254,10 @@ impl<V: SignableValue> WireMessage for SbsMsg<V> {
         match self {
             SbsMsg::Init(sv) => sv.value.wire_size() + 72,
             SbsMsg::SafeReq(set) => {
-                8 + set.iter().map(|sv| sv.value.wire_size() + 72).sum::<usize>()
+                8 + set
+                    .iter()
+                    .map(|sv| sv.value.wire_size() + 72)
+                    .sum::<usize>()
             }
             SbsMsg::SafeAck(ack) => {
                 72 + ack
@@ -266,9 +274,7 @@ impl<V: SignableValue> WireMessage for SbsMsg<V> {
                         .sum::<usize>()
             }
             SbsMsg::AckReq { proposed, .. } => 8 + proven_values_size(proposed),
-            SbsMsg::Ack { values, .. } => {
-                16 + values.iter().map(Value::wire_size).sum::<usize>()
-            }
+            SbsMsg::Ack { values, .. } => 8 + values.wire_size(),
             SbsMsg::Nack { accepted, .. } => 8 + proven_values_size(accepted),
         }
     }
@@ -289,9 +295,7 @@ pub enum SbsState {
 
 /// Removes every conflicting pair from `set` (both members), per
 /// Algorithm 10's `RemoveConflicts`.
-fn remove_conflicts<V: SignableValue>(
-    set: &BTreeSet<SignedValue<V>>,
-) -> BTreeSet<SignedValue<V>> {
+fn remove_conflicts<V: SignableValue>(set: &BTreeSet<SignedValue<V>>) -> BTreeSet<SignedValue<V>> {
     let items: Vec<&SignedValue<V>> = set.iter().collect();
     let mut bad = vec![false; items.len()];
     for i in 0..items.len() {
@@ -335,7 +339,7 @@ pub struct SbsProcess<V: SignableValue> {
     /// Initial value.
     pub proposal: V,
     keypair: Keypair,
-    ring: Keyring,
+    verifier: CachedVerifier,
     validator: fn(&V) -> bool,
 
     state: SbsState,
@@ -354,12 +358,9 @@ pub struct SbsProcess<V: SignableValue> {
     safe_candidates: BTreeSet<SignedValue<V>>,
     /// Acceptor: accepted proven set.
     accepted_set: BTreeSet<ProvenValue<V>>,
-    /// Memoized signature checks (signatures are verified many times on
-    /// identical records; Ed25519 verification dominates otherwise).
-    sig_cache: BTreeMap<(ProcessId, Signature), bool>,
 
     /// The decision (value set), once made.
-    pub decision: Option<BTreeSet<V>>,
+    pub decision: Option<ValueSet<V>>,
     /// Causal depth at decision.
     pub decision_depth: Option<u64>,
     /// Refinement count (Lemma 16: ≤ 2f).
@@ -375,7 +376,7 @@ impl<V: SignableValue> SbsProcess<V> {
             me,
             proposal,
             keypair: Keypair::for_process(me),
-            ring: Keyring::for_system(config.n),
+            verifier: CachedVerifier::new(Keyring::for_system(config.n)),
             validator: |_| true,
             state: SbsState::Init,
             safety_set: BTreeSet::new(),
@@ -387,7 +388,6 @@ impl<V: SignableValue> SbsProcess<V> {
             ts: 0,
             safe_candidates: BTreeSet::new(),
             accepted_set: BTreeSet::new(),
-            sig_cache: BTreeMap::new(),
             decision: None,
             decision_depth: None,
             refinements: 0,
@@ -411,83 +411,25 @@ impl<V: SignableValue> SbsProcess<V> {
     }
 
     fn verify_value(&mut self, sv: &SignedValue<V>) -> bool {
-        let key = (sv.signer, sv.sig);
-        if let Some(&ok) = self.sig_cache.get(&key) {
-            return ok;
-        }
-        let ok = sv.verify(&self.ring);
-        self.sig_cache.insert(key, ok);
-        ok
+        self.verifier.verify(
+            sv.signer,
+            &SignedValue::signable_bytes(&sv.value, sv.signer),
+            &sv.sig,
+        )
     }
 
-    fn verify_ack(&mut self, ack: &SignedSafeAck<V>) -> bool {
-        let key = (ack.signer, ack.sig);
-        if let Some(&ok) = self.sig_cache.get(&key) {
-            return ok;
-        }
-        let ok = ack.verify(&self.ring);
-        self.sig_cache.insert(key, ok);
-        ok
-    }
-
-    fn verify_conf_pair(&mut self, pair: &(SignedValue<V>, SignedValue<V>)) -> bool {
-        self.verify_value(&pair.0)
-            && self.verify_value(&pair.1)
-            && pair.0.signer == pair.1.signer
-            && pair.0.value != pair.1.value
-    }
-
-    /// Pre-warms the signature cache for all unseen acks/values in `set`
-    /// with one **batched** Ed25519 verification (strictly an
-    /// optimization: on batch failure we fall back to individual checks,
-    /// which populate the cache with the per-signature verdicts).
-    fn prewarm_cache(&mut self, set: &BTreeSet<ProvenValue<V>>) {
-        let mut batch: Vec<(usize, Vec<u8>, bgla_crypto::Signature)> = Vec::new();
-        let mut keys: Vec<(ProcessId, bgla_crypto::Signature)> = Vec::new();
-        for pv in set {
-            let k = (pv.sv.signer, pv.sv.sig);
-            if !self.sig_cache.contains_key(&k) && !keys.contains(&k) {
-                batch.push((
-                    pv.sv.signer,
-                    SignedValue::signable_bytes(&pv.sv.value, pv.sv.signer),
-                    pv.sv.sig,
-                ));
-                keys.push(k);
-            }
-            for ack in pv.proof.iter() {
-                let k = (ack.signer, ack.sig);
-                if !self.sig_cache.contains_key(&k) && !keys.contains(&k) {
-                    batch.push((ack.signer, ack.body.signable_bytes(ack.signer), ack.sig));
-                    keys.push(k);
-                }
-            }
-        }
-        if batch.len() < 2 {
-            return; // nothing to gain
-        }
-        let triples: Vec<(bgla_crypto::PublicKey, &[u8], bgla_crypto::Signature)> = batch
-            .iter()
-            .filter_map(|(signer, msg, sig)| {
-                self.ring.key_of(*signer).map(|pk| (*pk, msg.as_slice(), *sig))
-            })
-            .collect();
-        if triples.len() == batch.len()
-            && bgla_crypto::ed25519::verify_batch(&triples, 0x6267_6c61)
-        {
-            for k in keys {
-                self.sig_cache.insert(k, true);
-            }
-        }
-        // On failure: leave the cache cold; the individual checks in
-        // `all_safe` find (and cache) the culprits.
-    }
-
-    /// Algorithm 10's `AllSafe`: every value's proof checks out.
+    /// Algorithm 10's `AllSafe`: every value's proof checks out. The
+    /// structural checks (quorum size, distinct signers, coverage,
+    /// conflicts) run first; all signature obligations of the whole set
+    /// are then verified through one batched Ed25519 check
+    /// ([`CachedVerifier::verify_all`]), with verdicts cached so
+    /// Byzantine re-sends of the same records cost nothing.
     fn all_safe(&mut self, set: &BTreeSet<ProvenValue<V>>) -> bool {
-        self.prewarm_cache(set);
         let quorum = self.config.quorum();
+        let mut obligations: Vec<(usize, Vec<u8>, Signature)> = Vec::new();
+        let mut seen_proofs: Vec<*const Vec<SignedSafeAck<V>>> = Vec::new();
         for pv in set {
-            if !(self.validator)(&pv.sv.value) || !self.verify_value(&pv.sv) {
+            if !(self.validator)(&pv.sv.value) {
                 return false;
             }
             if pv.proof.len() < quorum {
@@ -495,9 +437,6 @@ impl<V: SignableValue> SbsProcess<V> {
             }
             let mut signers = BTreeSet::new();
             for ack in pv.proof.iter() {
-                if !self.verify_ack(ack) {
-                    return false;
-                }
                 if !signers.insert(ack.signer) {
                     return false; // duplicate signer
                 }
@@ -508,8 +447,20 @@ impl<V: SignableValue> SbsProcess<V> {
                     return false; // a quorum member reported a conflict
                 }
             }
+            obligations.push((
+                pv.sv.signer,
+                SignedValue::signable_bytes(&pv.sv.value, pv.sv.signer),
+                pv.sv.sig,
+            ));
+            let ptr = Arc::as_ptr(&pv.proof);
+            if !seen_proofs.contains(&ptr) {
+                seen_proofs.push(ptr);
+                for ack in pv.proof.iter() {
+                    obligations.push((ack.signer, ack.body.signable_bytes(ack.signer), ack.sig));
+                }
+            }
         }
-        true
+        self.verifier.verify_all(&obligations)
     }
 
     fn broadcast_proposal(&mut self, ctx: &mut Context<SbsMsg<V>>) {
@@ -519,7 +470,7 @@ impl<V: SignableValue> SbsProcess<V> {
         });
     }
 
-    fn values_of(set: &BTreeSet<ProvenValue<V>>) -> BTreeSet<V> {
+    fn values_of(set: &BTreeSet<ProvenValue<V>>) -> ValueSet<V> {
         set.iter().map(|pv| pv.sv.value.clone()).collect()
     }
 
@@ -536,9 +487,7 @@ impl<V: SignableValue> SbsProcess<V> {
     /// Transitions Safetying → Proposing when a quorum of safe-acks
     /// arrived: assembles proofs for every unconflicted value.
     fn maybe_start_proposing(&mut self, ctx: &mut Context<SbsMsg<V>>) {
-        if self.state != SbsState::Safetying
-            || self.safe_acks.len() < self.config.quorum()
-        {
+        if self.state != SbsState::Safetying || self.safe_acks.len() < self.config.quorum() {
             return;
         }
         let proof: SafetyProof<V> = Arc::new(self.safe_acks.clone());
@@ -581,10 +530,20 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
             }
             // ---- Safetying phase (acceptor side) ----
             SbsMsg::SafeReq(set) => {
-                let all_valid = set.iter().cloned().collect::<Vec<_>>();
-                if all_valid.iter().all(|sv| self.verify_value(sv)) {
-                    let mut union: BTreeSet<SignedValue<V>> =
-                        self.safe_candidates.clone();
+                // One batched verification for the whole echoed set
+                // instead of a scalar-mul pair per signed value.
+                let obligations: Vec<(usize, Vec<u8>, Signature)> = set
+                    .iter()
+                    .map(|sv| {
+                        (
+                            sv.signer,
+                            SignedValue::signable_bytes(&sv.value, sv.signer),
+                            sv.sig,
+                        )
+                    })
+                    .collect();
+                if self.verifier.verify_all(&obligations) {
+                    let mut union: BTreeSet<SignedValue<V>> = self.safe_candidates.clone();
                     union.extend(set.iter().cloned());
                     let conflicts = return_conflicts(&union);
                     let body = SafeAckBody {
@@ -601,16 +560,35 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                 if self.state != SbsState::Safetying {
                     return;
                 }
-                let pairs_ok = {
-                    let pairs = ack.body.conflicts.clone();
-                    pairs.iter().all(|p| self.verify_conf_pair(p))
-                };
-                if self.verify_ack(&ack)
-                    && ack.signer == from
+                // `VerifyConfPair`, batched: all structural checks
+                // first, then every signature (both pair members and
+                // the ack itself) in one batched verification — no
+                // serialization work for structurally-invalid junk.
+                let structural = ack.signer == from
                     && ack.body.rcvd == self.safety_set
-                    && pairs_ok
                     && !self.safe_ack_senders.contains(&from)
-                {
+                    && ack
+                        .body
+                        .conflicts
+                        .iter()
+                        .all(|(a, b)| a.signer == b.signer && a.value != b.value);
+                if structural && {
+                    let mut obligations: Vec<(usize, Vec<u8>, Signature)> = ack
+                        .body
+                        .conflicts
+                        .iter()
+                        .flat_map(|(a, b)| [a, b])
+                        .map(|sv| {
+                            (
+                                sv.signer,
+                                SignedValue::signable_bytes(&sv.value, sv.signer),
+                                sv.sig,
+                            )
+                        })
+                        .collect();
+                    obligations.push((ack.signer, ack.body.signable_bytes(ack.signer), ack.sig));
+                    self.verifier.verify_all(&obligations)
+                } {
                     self.safe_ack_senders.insert(from);
                     self.safe_acks.push(ack);
                     self.maybe_start_proposing(ctx);
@@ -650,9 +628,7 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                 if ts != self.ts || self.state != SbsState::Proposing {
                     return;
                 }
-                if values == Self::values_of(&self.proposed_set)
-                    && !self.byz.contains(&from)
-                {
+                if values == Self::values_of(&self.proposed_set) && !self.byz.contains(&from) {
                     self.ack_set.insert(from);
                     if self.ack_set.len() >= self.config.quorum() {
                         self.state = SbsState::Decided;
@@ -694,11 +670,7 @@ mod tests {
     use crate::spec;
     use bgla_simnet::{FifoScheduler, RandomScheduler, Scheduler, Simulation, SimulationBuilder};
 
-    fn sbs_system(
-        n: usize,
-        f: usize,
-        scheduler: Box<dyn Scheduler>,
-    ) -> Simulation<SbsMsg<u64>> {
+    fn sbs_system(n: usize, f: usize, scheduler: Box<dyn Scheduler>) -> Simulation<SbsMsg<u64>> {
         let config = SystemConfig::new(n, f);
         let mut b = SimulationBuilder::new().scheduler(scheduler);
         for i in 0..n {
@@ -839,8 +811,7 @@ mod tests {
 
         for seed in 0..8 {
             let config = SystemConfig::new(4, 1);
-            let mut b = SimulationBuilder::new()
-                .scheduler(Box::new(RandomScheduler::new(seed)));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
             for i in 0..3 {
                 b = b.add(Box::new(SbsProcess::new(i, config, i as u64)));
             }
@@ -859,8 +830,7 @@ mod tests {
                     decisions.push(d.clone());
                 }
             }
-            spec::check_comparability(&decisions)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec::check_comparability(&decisions).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 }

@@ -5,6 +5,7 @@
 //! and benches call these instead of re-implementing ad-hoc assertions.
 
 use crate::value::Value;
+use crate::valueset::ValueSet;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -61,7 +62,10 @@ impl fmt::Display for SpecViolation {
             ),
             SpecViolation::NoDecision(i) => write!(f, "correct process {i} never decided"),
             SpecViolation::NotMonotone { process, step } => {
-                write!(f, "process {process} decision sequence decreased at step {step}")
+                write!(
+                    f,
+                    "process {process} decision sequence decreased at step {step}"
+                )
             }
             SpecViolation::NeverIncluded { process } => {
                 write!(f, "an input of process {process} was never decided")
@@ -74,7 +78,7 @@ impl std::error::Error for SpecViolation {}
 
 /// **Comparability**: every pair of decisions is `⊆`-comparable
 /// (set inclusion is the lattice order for set lattices).
-pub fn check_comparability<V: Value>(decisions: &[BTreeSet<V>]) -> Result<(), SpecViolation> {
+pub fn check_comparability<V: Value>(decisions: &[ValueSet<V>]) -> Result<(), SpecViolation> {
     for i in 0..decisions.len() {
         for j in (i + 1)..decisions.len() {
             let (a, b) = (&decisions[i], &decisions[j]);
@@ -89,7 +93,7 @@ pub fn check_comparability<V: Value>(decisions: &[BTreeSet<V>]) -> Result<(), Sp
 /// **Inclusivity**: each correct process's input appears in its decision
 /// (`pro_i ≤ dec_i`). `pairs` holds `(input, decision)` per correct
 /// process.
-pub fn check_inclusivity<V: Value>(pairs: &[(V, BTreeSet<V>)]) -> Result<(), SpecViolation> {
+pub fn check_inclusivity<V: Value>(pairs: &[(V, ValueSet<V>)]) -> Result<(), SpecViolation> {
     for (i, (input, decision)) in pairs.iter().enumerate() {
         if !decision.contains(input) {
             return Err(SpecViolation::NotInclusive(i));
@@ -108,7 +112,7 @@ pub fn check_inclusivity<V: Value>(pairs: &[(V, BTreeSet<V>)]) -> Result<(), Spe
 /// most one value past the reliable broadcast (Observation 1).
 pub fn check_nontriviality<V: Value>(
     correct_inputs: &BTreeSet<V>,
-    decisions: &[BTreeSet<V>],
+    decisions: &[ValueSet<V>],
     f: usize,
 ) -> Result<(), SpecViolation> {
     let mut foreign: BTreeSet<&V> = BTreeSet::new();
@@ -141,12 +145,15 @@ pub fn check_liveness(decided: &[bool]) -> Result<(), SpecViolation> {
 /// **Local Stability** (generalized LA): each process's decision sequence
 /// is non-decreasing under `⊆`.
 pub fn check_local_stability<V: Value>(
-    sequences: &[Vec<BTreeSet<V>>],
+    sequences: &[Vec<ValueSet<V>>],
 ) -> Result<(), SpecViolation> {
     for (p, seq) in sequences.iter().enumerate() {
         for i in 1..seq.len() {
             if !seq[i - 1].is_subset(&seq[i]) {
-                return Err(SpecViolation::NotMonotone { process: p, step: i });
+                return Err(SpecViolation::NotMonotone {
+                    process: p,
+                    step: i,
+                });
             }
         }
     }
@@ -156,9 +163,9 @@ pub fn check_local_stability<V: Value>(
 /// Generalized **Comparability**: all decisions of all processes, across
 /// all rounds, are pairwise comparable.
 pub fn check_global_comparability<V: Value>(
-    sequences: &[Vec<BTreeSet<V>>],
+    sequences: &[Vec<ValueSet<V>>],
 ) -> Result<(), SpecViolation> {
-    let flat: Vec<BTreeSet<V>> = sequences.iter().flatten().cloned().collect();
+    let flat: Vec<ValueSet<V>> = sequences.iter().flatten().cloned().collect();
     check_comparability(&flat)
 }
 
@@ -166,7 +173,7 @@ pub fn check_global_comparability<V: Value>(
 /// appears in some decision of *that* process.
 pub fn check_generalized_inclusivity<V: Value>(
     inputs: &[Vec<V>],
-    sequences: &[Vec<BTreeSet<V>>],
+    sequences: &[Vec<ValueSet<V>>],
 ) -> Result<(), SpecViolation> {
     for (p, ins) in inputs.iter().enumerate() {
         for v in ins {
@@ -183,7 +190,7 @@ pub fn check_generalized_inclusivity<V: Value>(
 mod tests {
     use super::*;
 
-    fn s(v: &[u64]) -> BTreeSet<u64> {
+    fn s(v: &[u64]) -> ValueSet<u64> {
         v.iter().copied().collect()
     }
 
@@ -207,7 +214,7 @@ mod tests {
 
     #[test]
     fn nontriviality_bounds_foreign_values() {
-        let x = s(&[1, 2, 3]);
+        let x: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
         assert!(check_nontriviality(&x, &[s(&[1, 2, 99])], 1).is_ok());
         assert!(matches!(
             check_nontriviality(&x, &[s(&[1, 98, 99])], 1),
@@ -223,7 +230,10 @@ mod tests {
     #[test]
     fn liveness() {
         assert!(check_liveness(&[true, true]).is_ok());
-        assert_eq!(check_liveness(&[true, false]), Err(SpecViolation::NoDecision(1)));
+        assert_eq!(
+            check_liveness(&[true, false]),
+            Err(SpecViolation::NoDecision(1))
+        );
     }
 
     #[test]
@@ -231,7 +241,10 @@ mod tests {
         assert!(check_local_stability(&[vec![s(&[1]), s(&[1, 2])]]).is_ok());
         assert_eq!(
             check_local_stability(&[vec![s(&[1, 2]), s(&[1])]]),
-            Err(SpecViolation::NotMonotone { process: 0, step: 1 })
+            Err(SpecViolation::NotMonotone {
+                process: 0,
+                step: 1
+            })
         );
     }
 

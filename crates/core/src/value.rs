@@ -1,9 +1,10 @@
 //! The opaque *value* type the agreement algorithms operate on.
 //!
 //! WLOG (paper §3.1) the lattice is a lattice of sets of values under
-//! union; algorithm messages carry `BTreeSet<V>` and decisions are such
-//! sets. Applications choose `V` (commands for the RSM, integers in the
-//! examples).
+//! union; algorithm messages carry sets of `V` and decisions are such
+//! sets — physically a [`crate::valueset::ValueSet`] (O(1)-clone shared
+//! sorted vector). Applications choose `V` (commands for the RSM,
+//! integers in the examples).
 
 use bgla_crypto::ToBytes;
 
@@ -38,21 +39,16 @@ impl<A: Value, B: Value> Value for (A, B) {
 pub trait SignableValue: Value + ToBytes {}
 impl<T: Value + ToBytes> SignableValue for T {}
 
-/// Estimated wire size of a set of values (8-byte length prefix).
-pub fn set_wire_size<V: Value>(set: &std::collections::BTreeSet<V>) -> usize {
-    8 + set.iter().map(Value::wire_size).sum::<usize>()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
+    use crate::valueset::ValueSet;
 
     #[test]
     fn wire_sizes() {
         assert_eq!(7u64.wire_size(), 8);
         assert_eq!("abc".to_string().wire_size(), 11);
-        let set: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
-        assert_eq!(set_wire_size(&set), 8 + 24);
+        let set: ValueSet<u64> = [1, 2, 3].into_iter().collect();
+        assert_eq!(set.wire_size(), 8 + 24);
     }
 }

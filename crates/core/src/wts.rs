@@ -17,38 +17,49 @@
 //!
 //! One [`WtsProcess`] plays both the proposer and acceptor roles, as the
 //! paper's deployment note allows.
+//!
+//! # Representation notes
+//!
+//! Sets travel as [`ValueSet`] (O(1)-clone, merge-walk joins) and
+//! `ack_req`s are delta-encoded ([`SetUpdate`]): after an acceptor has
+//! replied to timestamp `t`, later requests to it carry only
+//! `Proposed_set ∖ Proposed_set@t`. Acks carry **no set at all** — a
+//! correct acceptor's ack echoes exactly the proposer's own
+//! `Proposed_set@ts`, which the proposer still holds, so only the
+//! timestamp needs to travel; the proposer applies the `SAFE` guard to
+//! its own copy, which is the same check the echo used to feed.
 
 use crate::config::SystemConfig;
-use crate::value::{set_wire_size, Value};
+use crate::value::Value;
+use crate::valueset::{DeltaReceiver, DeltaSender, SetUpdate, ValueSet};
 use bgla_rbcast::{RbMsg, RbcastEngine};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
-use std::collections::BTreeSet;
 
 /// Wire messages of WTS.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum WtsMsg<V: Value> {
     /// Disclosure-phase traffic: reliable broadcast of initial values.
     Rb(RbMsg<V>),
-    /// Proposer → acceptors: request acks for `proposed` (tagged with the
-    /// proposer's refinement timestamp).
+    /// Proposer → acceptors: request acks for the (delta-encoded)
+    /// `Proposed_set`, tagged with the proposer's refinement timestamp.
     AckReq {
-        /// Current `Proposed_set`.
-        proposed: BTreeSet<V>,
+        /// Current `Proposed_set` (full on first contact, delta after).
+        proposed: SetUpdate<V>,
         /// Refinement timestamp `ts`.
         ts: u64,
     },
-    /// Acceptor → proposer: the proposal (echoed back) was accepted.
+    /// Acceptor → proposer: the proposal of `ts` was accepted. The
+    /// accepted set is by construction `Proposed_set@ts`, which the
+    /// proposer holds — no payload travels.
     Ack {
-        /// The accepted set (equal to the request's `proposed`).
-        accepted: BTreeSet<V>,
         /// Timestamp copied from the request.
         ts: u64,
     },
     /// Acceptor → proposer: refused; here is what I had accepted.
     Nack {
         /// The acceptor's `Accepted_set` at refusal time.
-        accepted: BTreeSet<V>,
+        accepted: ValueSet<V>,
         /// Timestamp copied from the request.
         ts: u64,
     },
@@ -69,10 +80,9 @@ impl<V: Value> WireMessage for WtsMsg<V> {
             WtsMsg::Rb(RbMsg::Echo { value, .. }) | WtsMsg::Rb(RbMsg::Ready { value, .. }) => {
                 24 + value.wire_size()
             }
-            WtsMsg::AckReq { proposed, .. } => 16 + set_wire_size(proposed),
-            WtsMsg::Ack { accepted, .. } | WtsMsg::Nack { accepted, .. } => {
-                16 + set_wire_size(accepted)
-            }
+            WtsMsg::AckReq { proposed, .. } => 16 + proposed.wire_size(),
+            WtsMsg::Ack { .. } => 16,
+            WtsMsg::Nack { accepted, .. } => 16 + accepted.wire_size(),
         }
     }
 }
@@ -108,21 +118,25 @@ pub struct WtsProcess<V: Value> {
     rb: RbcastEngine<V>,
     /// Safe-values set: everything reliably delivered in the disclosure
     /// phase (keyed by origin — Observation 1: at most one per process).
-    svs: BTreeSet<V>,
+    svs: ValueSet<V>,
     /// How many distinct origins have disclosed.
     init_counter: usize,
     /// Current proposal (grows monotonically).
-    proposed_set: BTreeSet<V>,
+    proposed_set: ValueSet<V>,
     /// Who acked the current timestamp.
-    ack_set: BTreeSet<ProcessId>,
+    ack_set: std::collections::BTreeSet<ProcessId>,
     ts: u64,
     /// Acceptor role: greatest set accepted so far.
-    accepted_set: BTreeSet<V>,
+    accepted_set: ValueSet<V>,
     /// Messages waiting to become safe / relevant.
     waiting: Vec<(ProcessId, WtsMsg<V>)>,
+    /// Proposer-side delta bookkeeping (snapshots + reply watermarks).
+    delta_tx: DeltaSender<V>,
+    /// Acceptor-side delta bases (consumed proposals by proposer, ts).
+    delta_rx: DeltaReceiver<V>,
 
     /// The decision, once made (`Stability`: write-once).
-    pub decision: Option<BTreeSet<V>>,
+    pub decision: Option<ValueSet<V>>,
     /// Causal depth (message delays) at decision time.
     pub decision_depth: Option<u64>,
     /// Number of proposal refinements performed (Lemma 3 bounds this by
@@ -141,13 +155,15 @@ impl<V: Value> WtsProcess<V> {
             eager: false,
             state: WtsState::Disclosing,
             rb: RbcastEngine::new_unchecked(config.n, config.f),
-            svs: BTreeSet::new(),
+            svs: ValueSet::new(),
             init_counter: 0,
-            proposed_set: BTreeSet::new(),
-            ack_set: BTreeSet::new(),
+            proposed_set: ValueSet::new(),
+            ack_set: std::collections::BTreeSet::new(),
             ts: 0,
-            accepted_set: BTreeSet::new(),
+            accepted_set: ValueSet::new(),
             waiting: Vec::new(),
+            delta_tx: DeltaSender::new(true),
+            delta_rx: DeltaReceiver::new(),
             decision: None,
             decision_depth: None,
             refinements: 0,
@@ -169,8 +185,15 @@ impl<V: Value> WtsProcess<V> {
         self
     }
 
+    /// Ablation: disable delta-encoded ack requests (every `ack_req`
+    /// carries the full set). Used by the byte-count experiments.
+    pub fn with_deltas(mut self, enabled: bool) -> Self {
+        self.delta_tx = DeltaSender::new(enabled);
+        self
+    }
+
     /// The `SAFE` predicate: every value in `set` has been disclosed.
-    fn safe(&self, set: &BTreeSet<V>) -> bool {
+    fn safe(&self, set: &ValueSet<V>) -> bool {
         set.is_subset(&self.svs)
     }
 
@@ -190,10 +213,16 @@ impl<V: Value> WtsProcess<V> {
     }
 
     fn send_ack_req(&mut self, ctx: &mut Context<WtsMsg<V>>) {
-        ctx.broadcast(WtsMsg::AckReq {
-            proposed: self.proposed_set.clone(),
-            ts: self.ts,
-        });
+        self.delta_tx.record_broadcast(self.ts, &self.proposed_set);
+        for to in 0..self.config.n {
+            ctx.send(
+                to,
+                WtsMsg::AckReq {
+                    proposed: self.delta_tx.encode_for(to, self.ts, &self.proposed_set),
+                    ts: self.ts,
+                },
+            );
+        }
     }
 
     /// Handles one buffered or fresh message if its guard holds.
@@ -208,18 +237,16 @@ impl<V: Value> WtsProcess<V> {
             WtsMsg::Rb(_) => unreachable!("rb messages are handled eagerly"),
             // ----- Acceptor role (Algorithm 2) -----
             WtsMsg::AckReq { proposed, ts } => {
-                if !self.safe(proposed) {
+                let Some(full) = self.delta_rx.resolve(from, proposed) else {
+                    return true; // delta gap (Byzantine sender): drop
+                };
+                if !self.safe(&full) {
                     return false;
                 }
-                if self.accepted_set.is_subset(proposed) {
-                    self.accepted_set = proposed.clone();
-                    ctx.send(
-                        from,
-                        WtsMsg::Ack {
-                            accepted: self.accepted_set.clone(),
-                            ts: *ts,
-                        },
-                    );
+                self.delta_rx.record(from, *ts, &full);
+                if self.accepted_set.is_subset(&full) {
+                    self.accepted_set = full;
+                    ctx.send(from, WtsMsg::Ack { ts: *ts });
                 } else {
                     ctx.send(
                         from,
@@ -228,16 +255,22 @@ impl<V: Value> WtsProcess<V> {
                             ts: *ts,
                         },
                     );
-                    self.accepted_set.extend(proposed.iter().cloned());
+                    self.accepted_set.join_with(&full);
                 }
                 true
             }
             // ----- Proposer role (Algorithm 1) -----
-            WtsMsg::Ack { accepted, ts } => {
+            WtsMsg::Ack { ts } => {
+                self.delta_tx.record_reply(from, *ts);
                 if *ts < self.ts || self.state == WtsState::Decided {
                     return true; // stale: drop
                 }
-                if self.state != WtsState::Proposing || *ts != self.ts || !self.safe(accepted)
+                // A correct acceptor's ack stands for Proposed_set@ts,
+                // which (ts == self.ts) is exactly `proposed_set`; the
+                // SAFE guard applies to our own copy.
+                if self.state != WtsState::Proposing
+                    || *ts != self.ts
+                    || !self.safe(&self.proposed_set)
                 {
                     return false;
                 }
@@ -250,16 +283,16 @@ impl<V: Value> WtsProcess<V> {
                 true
             }
             WtsMsg::Nack { accepted, ts } => {
+                self.delta_tx.record_reply(from, *ts);
                 if *ts < self.ts || self.state == WtsState::Decided {
                     return true; // stale: drop
                 }
-                if self.state != WtsState::Proposing || *ts != self.ts || !self.safe(accepted)
-                {
+                if self.state != WtsState::Proposing || *ts != self.ts || !self.safe(accepted) {
                     return false;
                 }
                 let grows = !accepted.is_subset(&self.proposed_set);
                 if grows {
-                    self.proposed_set.extend(accepted.iter().cloned());
+                    self.proposed_set.join_with(accepted);
                     self.ack_set.clear();
                     self.ts += 1;
                     self.refinements += 1;
@@ -379,12 +412,8 @@ mod tests {
     #[test]
     fn decisions_comparable_under_random_schedules() {
         for seed in 0..30 {
-            let (mut sim, config) = wts_system(
-                7,
-                2,
-                |i| i as u64,
-                Box::new(RandomScheduler::new(seed)),
-            );
+            let (mut sim, config) =
+                wts_system(7, 2, |i| i as u64, Box::new(RandomScheduler::new(seed)));
             let out = sim.run(5_000_000);
             assert!(out.quiescent, "seed {seed}");
             let mut decisions = Vec::new();
@@ -394,20 +423,14 @@ mod tests {
                 assert!(d.contains(&(i as u64)), "inclusivity @ {i} (seed {seed})");
                 decisions.push(d);
             }
-            spec::check_comparability(&decisions)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec::check_comparability(&decisions).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
     #[test]
     fn decision_depth_within_theorem_3_bound() {
         for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
-            let (mut sim, _) = wts_system(
-                n,
-                f,
-                |i| i as u64,
-                Box::new(bgla_simnet::FifoScheduler),
-            );
+            let (mut sim, _) = wts_system(n, f, |i| i as u64, Box::new(bgla_simnet::FifoScheduler));
             sim.run(10_000_000);
             for i in 0..n {
                 let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
@@ -423,12 +446,8 @@ mod tests {
     #[test]
     fn refinements_bounded_by_f() {
         for seed in 0..20 {
-            let (mut sim, config) = wts_system(
-                7,
-                2,
-                |i| i as u64,
-                Box::new(RandomScheduler::new(seed)),
-            );
+            let (mut sim, config) =
+                wts_system(7, 2, |i| i as u64, Box::new(RandomScheduler::new(seed)));
             sim.run(5_000_000);
             for i in 0..config.n {
                 let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
@@ -461,5 +480,44 @@ mod tests {
             let d = p.decision.as_ref().expect("correct processes decide");
             assert!(!d.contains(&5000), "garbage value decided at p{i}");
         }
+    }
+
+    /// Delta on/off produce identical decisions; deltas strictly shrink
+    /// the modeled ack_req bytes once refinements happen.
+    #[test]
+    fn deltas_preserve_outcomes_and_shrink_bytes() {
+        let run = |deltas: bool| {
+            let config = SystemConfig::new(7, 2);
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(11)));
+            for i in 0..7 {
+                b = b.add(Box::new(
+                    WtsProcess::new(i, config, i as u64).with_deltas(deltas),
+                ));
+            }
+            let mut sim = b.build();
+            assert!(sim.run(10_000_000).quiescent);
+            let decisions: Vec<ValueSet<u64>> = (0..7)
+                .map(|i| {
+                    sim.process_as::<WtsProcess<u64>>(i)
+                        .unwrap()
+                        .decision
+                        .clone()
+                        .expect("liveness")
+                })
+                .collect();
+            let bytes = *sim
+                .metrics()
+                .bytes_by_kind
+                .get("ack_req")
+                .expect("ack_reqs sent");
+            (decisions, bytes)
+        };
+        let (with_deltas, bytes_on) = run(true);
+        let (without, bytes_off) = run(false);
+        assert_eq!(with_deltas, without, "deltas changed the outcome");
+        assert!(
+            bytes_on <= bytes_off,
+            "deltas increased ack_req bytes: {bytes_on} > {bytes_off}"
+        );
     }
 }

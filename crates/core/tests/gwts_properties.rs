@@ -4,13 +4,13 @@
 
 use bgla_core::adversary::gwts::{BatchEquivocator, RoundJumper, SilentG};
 use bgla_core::gwts::{GwtsMsg, GwtsProcess};
-use bgla_core::{spec, SystemConfig};
+use bgla_core::{spec, SystemConfig, ValueSet};
 use bgla_simnet::{
     DelayScheduler, FifoScheduler, LifoScheduler, Process, RandomScheduler, Scheduler,
     SimulationBuilder,
 };
 use proptest::prelude::*;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy)]
 enum SchedulerKind {
@@ -43,8 +43,8 @@ fn make_adversary(kind: AdversaryKind) -> Option<Box<dyn Process<GwtsMsg<u64>>>>
         AdversaryKind::Silent => Some(Box::new(SilentG::default())),
         AdversaryKind::RoundJumper => Some(Box::new(RoundJumper::new(12))),
         AdversaryKind::BatchEquivocator => {
-            let a: BTreeSet<u64> = [90_001].into_iter().collect();
-            let b: BTreeSet<u64> = [90_002].into_iter().collect();
+            let a: ValueSet<u64> = [90_001].into_iter().collect();
+            let b: ValueSet<u64> = [90_002].into_iter().collect();
             Some(Box::new(BatchEquivocator { a, b }))
         }
     }

@@ -2,7 +2,9 @@
 //! family, seed and adversary selection; the full LA specification must
 //! hold in every sampled run.
 
-use bgla_core::adversary::{AckForger, ChaosMonkey, Equivocator, LateDiscloser, NackSpammer, Silent};
+use bgla_core::adversary::{
+    AckForger, ChaosMonkey, Equivocator, LateDiscloser, NackSpammer, Silent,
+};
 use bgla_core::harness::{assert_la_spec, wts_report, wts_system_with_adversaries};
 use bgla_core::wts::WtsMsg;
 use bgla_simnet::{

@@ -143,7 +143,7 @@ impl Point {
     pub fn decompress(enc: &[u8; 32]) -> Option<Point> {
         let sign = enc[31] >> 7 == 1;
         let y = Fe::from_bytes(enc); // ignores bit 255
-        // x² = (y² − 1) / (d·y² + 1)
+                                     // x² = (y² − 1) / (d·y² + 1)
         let yy = y.square();
         let u = yy.sub(Fe::ONE);
         let v = d().mul(yy).add(Fe::ONE);
@@ -167,8 +167,7 @@ impl Point {
 
     /// Affine equality (cross-multiplied to avoid inversions).
     pub fn eq_point(&self, other: &Point) -> bool {
-        self.x.mul(other.z) == other.x.mul(self.z)
-            && self.y.mul(other.z) == other.y.mul(self.z)
+        self.x.mul(other.z) == other.x.mul(self.z) && self.y.mul(other.z) == other.y.mul(self.z)
     }
 
     /// Whether this is the identity.
@@ -243,7 +242,8 @@ mod tests {
         assert_eq!(b.mul(&Scalar::from_u64(3)), b.double().add(&b));
         assert_eq!(
             b.mul(&Scalar::from_u64(5)),
-            b.mul(&Scalar::from_u64(2)).add(&b.mul(&Scalar::from_u64(3)))
+            b.mul(&Scalar::from_u64(2))
+                .add(&b.mul(&Scalar::from_u64(3)))
         );
     }
 

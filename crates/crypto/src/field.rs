@@ -165,7 +165,7 @@ impl Fe {
     pub fn sub(self, rhs: Fe) -> Fe {
         const TWO_P: [u64; 5] = [
             (MASK - 18) * 2, // 2*(2^51 - 19) = 2^52 - 38
-            (MASK) * 2,          // 2*(2^51 - 1)  = 2^52 - 2
+            (MASK) * 2,      // 2*(2^51 - 1)  = 2^52 - 2
             (MASK) * 2,
             (MASK) * 2,
             (MASK) * 2,

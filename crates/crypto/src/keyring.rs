@@ -11,7 +11,7 @@
 use crate::ed25519::{Keypair, PublicKey, Signature};
 
 /// Public keys of all `n` processes, indexed by process id.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Keyring {
     keys: Vec<PublicKey>,
 }
@@ -47,6 +47,39 @@ impl Keyring {
             None => false,
         }
     }
+
+    /// Verifies many `(signer, msg, sig)` records at once through
+    /// [`crate::ed25519::verify_batch`] — one multi-scalar
+    /// multiplication instead of a scalar multiplication pair per
+    /// record. Returns false if any signer is unknown or any signature
+    /// is invalid (callers needing per-record verdicts fall back to
+    /// [`Keyring::verify`] on failure).
+    ///
+    /// The blinding coefficients are derived Fiat–Shamir-style from the
+    /// batch contents themselves, so an adversary cannot choose
+    /// signatures against known coefficients to force a cancellation.
+    pub fn verify_batch(&self, items: &[(usize, &[u8], Signature)]) -> bool {
+        if items.is_empty() {
+            return true;
+        }
+        let mut triples = Vec::with_capacity(items.len());
+        let mut transcript = crate::sha512::Sha512::new();
+        transcript.update(b"bgla-keyring-batch");
+        for (signer, msg, sig) in items {
+            let Some(pk) = self.keys.get(*signer) else {
+                return false;
+            };
+            transcript
+                .update(&(*signer as u64).to_le_bytes())
+                .update(&(msg.len() as u64).to_le_bytes())
+                .update(msg)
+                .update(&sig.to_bytes());
+            triples.push((*pk, *msg, *sig));
+        }
+        let digest = transcript.finalize();
+        let entropy = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+        crate::ed25519::verify_batch(&triples, entropy)
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +105,28 @@ mod tests {
         let kp = Keypair::for_process(5);
         let sig = kp.sign(b"m");
         assert!(!ring.verify(5, b"m", &sig));
+    }
+
+    #[test]
+    fn batch_verifies_and_rejects() {
+        let ring = Keyring::for_system(4);
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 12]).collect();
+        let mut items: Vec<(usize, &[u8], crate::Signature)> = (0..4)
+            .map(|i| {
+                (
+                    i,
+                    msgs[i].as_slice(),
+                    Keypair::for_process(i).sign(&msgs[i]),
+                )
+            })
+            .collect();
+        assert!(ring.verify_batch(&items));
+        assert!(ring.verify_batch(&[]));
+        // One tampered signature fails the whole batch.
+        items[2].2.s[3] ^= 0x10;
+        assert!(!ring.verify_batch(&items));
+        // Unknown signer fails.
+        let sig = Keypair::for_process(9).sign(b"z");
+        assert!(!ring.verify_batch(&[(9usize, b"z".as_slice(), sig)]));
     }
 }

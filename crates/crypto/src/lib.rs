@@ -22,8 +22,6 @@
 //! reproduction. It is not hardened (no constant-time guarantees, no
 //! zeroization) and must not be used to protect real data.
 #![warn(missing_docs)]
-
-
 // The field/scalar/point APIs intentionally mirror mathematical notation
 // (`add`, `mul`, `neg`, ...) without implementing the operator traits —
 // operator overloading on copy-heavy bignums invites accidental clones.
@@ -37,10 +35,12 @@ pub mod keyring;
 pub mod nroot;
 pub mod scalar;
 pub mod sha512;
+pub mod sigcache;
 pub mod tobytes;
 
 pub use ed25519::{Keypair, PublicKey, SecretKey, Signature};
 pub use hmac::hmac_sha512;
 pub use keyring::Keyring;
 pub use sha512::{sha512, Sha512};
+pub use sigcache::{CachedVerifier, SigCache};
 pub use tobytes::ToBytes;

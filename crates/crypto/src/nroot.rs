@@ -98,13 +98,8 @@ pub fn cbrt_frac64(n: u64) -> u64 {
     while lo + 1 < hi {
         let mid = (lo + hi) / 2;
         let sq = U256::mul_u128(mid, mid); // < 2^134
-        // cube = sq * mid < 2^201: compute via (hi,lo) * mid.
-        let cube = U256 {
-            hi: 0,
-            lo: sq.lo,
-        }
-        .mul_small(mid)
-        .checked_add(U256 {
+                                           // cube = sq * mid < 2^201: compute via (hi,lo) * mid.
+        let cube = U256 { hi: 0, lo: sq.lo }.mul_small(mid).checked_add(U256 {
             hi: sq.hi.checked_mul(mid).expect("cube overflow"),
             lo: 0,
         });
@@ -176,7 +171,10 @@ mod tests {
             let r = {
                 // Recompute sqrt root in full 128-bit form to check
                 // floor property: r^2 <= n<<128 < (r+1)^2.
-                let target = U256 { hi: n as u128, lo: 0 };
+                let target = U256 {
+                    hi: n as u128,
+                    lo: 0,
+                };
                 let mut lo: u128 = 0;
                 let mut hi: u128 = 1 << 70;
                 while lo + 1 < hi {
@@ -189,7 +187,10 @@ mod tests {
                 }
                 lo
             };
-            let target = U256 { hi: n as u128, lo: 0 };
+            let target = U256 {
+                hi: n as u128,
+                lo: 0,
+            };
             assert!(U256::mul_u128(r, r) <= target);
             assert!(U256::mul_u128(r + 1, r + 1) > target);
         }

@@ -18,7 +18,10 @@ pub fn render_power_set<T: Ord + Clone + std::fmt::Debug>(
     chain: &[SetLattice<T>],
 ) -> String {
     let n = universe.len();
-    assert!(n <= 6, "Hasse rendering is only sensible for tiny universes");
+    assert!(
+        n <= 6,
+        "Hasse rendering is only sensible for tiny universes"
+    );
     let mut by_rank: Vec<Vec<SetLattice<T>>> = vec![Vec::new(); n + 1];
     for mask in 0..(1u32 << n) {
         let s: SetLattice<T> = SetLattice::from_iter(

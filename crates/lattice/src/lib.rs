@@ -28,7 +28,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod chain;
 pub mod counter;
 pub mod hasse;
@@ -154,14 +153,19 @@ mod tests {
     #[test]
     fn join_all_of_empty_is_bottom() {
         let vals: Vec<SetLattice<u8>> = vec![];
-        assert_eq!(SetLattice::<u8>::join_all(vals.iter()), SetLattice::bottom());
+        assert_eq!(
+            SetLattice::<u8>::join_all(vals.iter()),
+            SetLattice::bottom()
+        );
     }
 
     #[test]
     fn join_all_accumulates() {
-        let vals = [SetLattice::from_iter([1u8]),
+        let vals = [
+            SetLattice::from_iter([1u8]),
             SetLattice::from_iter([2u8]),
-            SetLattice::from_iter([3u8])];
+            SetLattice::from_iter([3u8]),
+        ];
         assert_eq!(
             SetLattice::join_all(vals.iter()),
             SetLattice::from_iter([1u8, 2, 3])

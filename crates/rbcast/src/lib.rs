@@ -23,8 +23,6 @@
 //! which is the "round based" disambiguation footnote 2 of the paper
 //! attributes to Mendes et al.
 #![warn(missing_docs)]
-
-
 // Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
 // `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
 #![allow(clippy::int_plus_one)]
@@ -307,8 +305,7 @@ mod tests {
     fn no_two_correct_deliver_different_values_under_equivocation() {
         for seed in 0..20 {
             let (n, f) = (4, 1);
-            let mut b =
-                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
             for i in 0..n - 1 {
                 b = b.add(honest(i, n, f, false));
             }
@@ -335,8 +332,7 @@ mod tests {
     fn totality_if_one_delivers_all_deliver() {
         for seed in 0..20 {
             let (n, f) = (7, 2);
-            let mut b =
-                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
             for i in 0..n {
                 b = b.add(honest(i, n, f, i < 3));
             }
@@ -366,7 +362,11 @@ mod tests {
         // Delivery happens upon receiving the (2f+1)-th ready: depth 3.
         for i in 0..n {
             assert!(sim.depth_of(i) >= 3);
-            assert!(sim.depth_of(i) <= 4, "fast path exceeded: {}", sim.depth_of(i));
+            assert!(
+                sim.depth_of(i) <= 4,
+                "fast path exceeded: {}",
+                sim.depth_of(i)
+            );
         }
     }
 
@@ -480,8 +480,7 @@ mod crash_tests {
     fn delivers_despite_f_crashes() {
         for seed in 0..10 {
             let (n, f) = (7usize, 2usize);
-            let mut b =
-                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
             for i in 0..n - f {
                 b = b.add(Box::new(Node {
                     engine: RbcastEngine::new(n, f),

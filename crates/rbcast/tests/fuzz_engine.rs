@@ -9,21 +9,47 @@ use std::collections::{BTreeMap, BTreeSet};
 
 #[derive(Debug, Clone)]
 enum Action {
-    Init { from: usize, tag: u8, value: u8 },
-    Echo { from: usize, origin: usize, tag: u8, value: u8 },
-    Ready { from: usize, origin: usize, tag: u8, value: u8 },
+    Init {
+        from: usize,
+        tag: u8,
+        value: u8,
+    },
+    Echo {
+        from: usize,
+        origin: usize,
+        tag: u8,
+        value: u8,
+    },
+    Ready {
+        from: usize,
+        origin: usize,
+        tag: u8,
+        value: u8,
+    },
 }
 
 fn arb_action(n: usize) -> impl Strategy<Value = Action> {
-
     prop_oneof![
-        (0..n, any::<u8>(), any::<u8>())
-            .prop_map(|(from, tag, value)| Action::Init { from, tag: tag % 3, value: value % 4 }),
-        (0..n, 0..n, any::<u8>(), any::<u8>()).prop_map(|(from, origin, tag, value)| {
-            Action::Echo { from, origin, tag: tag % 3, value: value % 4 }
+        (0..n, any::<u8>(), any::<u8>()).prop_map(|(from, tag, value)| Action::Init {
+            from,
+            tag: tag % 3,
+            value: value % 4
         }),
         (0..n, 0..n, any::<u8>(), any::<u8>()).prop_map(|(from, origin, tag, value)| {
-            Action::Ready { from, origin, tag: tag % 3, value: value % 4 }
+            Action::Echo {
+                from,
+                origin,
+                tag: tag % 3,
+                value: value % 4,
+            }
+        }),
+        (0..n, 0..n, any::<u8>(), any::<u8>()).prop_map(|(from, origin, tag, value)| {
+            Action::Ready {
+                from,
+                origin,
+                tag: tag % 3,
+                value: value % 4,
+            }
         }),
     ]
 }

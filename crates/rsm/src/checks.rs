@@ -2,7 +2,7 @@
 
 use crate::client::{OpResult, WorkloadClient};
 use crate::cmd::Cmd;
-use std::collections::BTreeSet;
+use bgla_core::ValueSet;
 use std::fmt;
 
 /// An RSM property violation.
@@ -41,7 +41,10 @@ impl fmt::Display for RsmViolation {
                 write!(f, "client {client} observed a shrinking read")
             }
             RsmViolation::UpdateInvisible { client } => {
-                write!(f, "client {client}: completed update missing from later read")
+                write!(
+                    f,
+                    "client {client}: completed update missing from later read"
+                )
             }
             RsmViolation::UpdateUnstable => write!(f, "update stability violated"),
         }
@@ -65,7 +68,7 @@ pub fn check_liveness(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
 /// **Read Consistency**: any two read values (across all clients) are
 /// comparable.
 pub fn check_read_consistency(clients: &[&WorkloadClient]) -> Result<(), RsmViolation> {
-    let reads: Vec<BTreeSet<Cmd>> = clients.iter().flat_map(|c| c.reads()).collect();
+    let reads: Vec<ValueSet<Cmd>> = clients.iter().flat_map(|c| c.reads()).collect();
     for i in 0..reads.len() {
         for j in (i + 1)..reads.len() {
             if !reads[i].is_subset(&reads[j]) && !reads[j].is_subset(&reads[i]) {
@@ -166,12 +169,15 @@ mod tests {
 
     #[test]
     fn monotonicity_detects_shrink() {
-        let r1: BTreeSet<Cmd> = [Cmd::new(1, 0, Op::Add(1))].into_iter().collect();
-        let r0 = BTreeSet::new();
-        let good = mk_client(1, vec![
-            OpResult::ReadValue(r0.clone()),
-            OpResult::ReadValue(r1.clone()),
-        ]);
+        let r1: ValueSet<Cmd> = [Cmd::new(1, 0, Op::Add(1))].into_iter().collect();
+        let r0 = ValueSet::new();
+        let good = mk_client(
+            1,
+            vec![
+                OpResult::ReadValue(r0.clone()),
+                OpResult::ReadValue(r1.clone()),
+            ],
+        );
         assert!(check_read_monotonicity(&[&good]).is_ok());
         let bad = mk_client(1, vec![OpResult::ReadValue(r1), OpResult::ReadValue(r0)]);
         assert!(check_read_monotonicity(&[&bad]).is_err());
@@ -182,10 +188,7 @@ mod tests {
         let u = Cmd::new(1, 0, Op::Add(1));
         let bad = mk_client(
             1,
-            vec![
-                OpResult::Updated(u),
-                OpResult::ReadValue(BTreeSet::new()),
-            ],
+            vec![OpResult::Updated(u), OpResult::ReadValue(ValueSet::new())],
         );
         assert!(check_update_visibility(&[&bad]).is_err());
     }
@@ -194,12 +197,12 @@ mod tests {
     fn stability_detects_reordering() {
         let u1 = Cmd::new(1, 0, Op::Add(1));
         let u2 = Cmd::new(1, 1, Op::Add(2));
-        let writer = mk_client(1, vec![
-            OpResult::Updated(u1.clone()),
-            OpResult::Updated(u2.clone()),
-        ]);
+        let writer = mk_client(
+            1,
+            vec![OpResult::Updated(u1.clone()), OpResult::Updated(u2.clone())],
+        );
         // A read that sees u2 but not u1: unstable.
-        let read: BTreeSet<Cmd> = [u2].into_iter().collect();
+        let read: ValueSet<Cmd> = [u2].into_iter().collect();
         let reader = mk_client(2, vec![OpResult::ReadValue(read)]);
         assert!(check_update_stability(&[&writer, &reader]).is_err());
     }

@@ -3,6 +3,7 @@
 
 use crate::cmd::{Cmd, Op};
 use crate::replica::RsmMsg;
+use bgla_core::ValueSet;
 use bgla_simnet::{Context, Process, ProcessId};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -24,7 +25,7 @@ pub enum OpResult {
     /// Update acknowledged.
     Updated(Cmd),
     /// Read returned this (confirmed) command set.
-    ReadValue(BTreeSet<Cmd>),
+    ReadValue(ValueSet<Cmd>),
 }
 
 /// Phase of the in-flight operation.
@@ -35,11 +36,11 @@ enum Phase {
     AwaitDecides {
         cmd: Cmd,
         is_read: bool,
-        decides: BTreeMap<ProcessId, BTreeSet<Cmd>>,
+        decides: BTreeMap<ProcessId, ValueSet<Cmd>>,
     },
     /// Read confirmation: waiting for f+1 CnfRep for any candidate set.
     AwaitConfirm {
-        confirms: BTreeMap<BTreeSet<Cmd>, BTreeSet<ProcessId>>,
+        confirms: BTreeMap<ValueSet<Cmd>, BTreeSet<ProcessId>>,
     },
     Done,
 }
@@ -76,7 +77,7 @@ impl WorkloadClient {
     }
 
     /// Read results observed so far, in completion order.
-    pub fn reads(&self) -> Vec<BTreeSet<Cmd>> {
+    pub fn reads(&self) -> Vec<ValueSet<Cmd>> {
         self.results
             .iter()
             .filter_map(|r| match r {
@@ -139,7 +140,7 @@ impl Process<RsmMsg> for WorkloadClient {
                     if *is_read {
                         // Alg. 6: ask all replicas to confirm each of the
                         // f+1 candidate decision values.
-                        let candidates: BTreeSet<BTreeSet<Cmd>> =
+                        let candidates: BTreeSet<ValueSet<Cmd>> =
                             decides.values().cloned().collect();
                         for c in &candidates {
                             ctx.multicast(0..self.n_replicas, RsmMsg::CnfReq(c.clone()));
@@ -160,8 +161,8 @@ impl Process<RsmMsg> for WorkloadClient {
                 if entry.len() >= self.f + 1 {
                     // First set confirmed by f+1 replicas is returned;
                     // execution strips the nops.
-                    let value: BTreeSet<Cmd> =
-                        set.into_iter().filter(|c| !c.is_nop()).collect();
+                    let value: ValueSet<Cmd> =
+                        set.iter().filter(|c| !c.is_nop()).cloned().collect();
                     self.results.push(OpResult::ReadValue(value));
                     self.phase = Phase::Idle;
                     self.submit_next(ctx);
@@ -191,7 +192,10 @@ pub struct StingyClient {
 
 impl Process<RsmMsg> for StingyClient {
     fn on_start(&mut self, ctx: &mut Context<RsmMsg>) {
-        ctx.send(self.target, RsmMsg::NewValue(Cmd::new(self.client_id, 0, self.op.clone())));
+        ctx.send(
+            self.target,
+            RsmMsg::NewValue(Cmd::new(self.client_id, 0, self.op.clone())),
+        );
     }
     fn on_message(&mut self, _f: ProcessId, _m: RsmMsg, _c: &mut Context<RsmMsg>) {}
     fn as_any(&self) -> &dyn Any {
@@ -245,7 +249,7 @@ impl Process<RsmMsg> for GarbageClient {
         ctx.multicast(
             0..self.n_replicas,
             RsmMsg::Gwts(bgla_core::gwts::GwtsMsg::Nack {
-                accepted: BTreeSet::new(),
+                accepted: ValueSet::new(),
                 ts: 999,
                 round: 999,
             }),

@@ -23,8 +23,6 @@
 //! * [`state`] — commutative state machines (counter, set registry)
 //!   folding decided command sets into application state.
 #![warn(missing_docs)]
-
-
 // Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
 // `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
 #![allow(clippy::int_plus_one)]

@@ -3,7 +3,7 @@
 
 use crate::cmd::Cmd;
 use bgla_core::gwts::{GwtsMsg, GwtsProcess};
-use bgla_core::SystemConfig;
+use bgla_core::{SystemConfig, ValueSet};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
@@ -19,11 +19,11 @@ pub enum RsmMsg {
     NewValue(Cmd),
     /// Replica → client: a decision containing one of the client's
     /// pending commands (`<decide, Accepted_set, replica>`).
-    Decide(BTreeSet<Cmd>),
+    Decide(ValueSet<Cmd>),
     /// Client → replica: confirm that a set was decided (Alg. 6 line 8).
-    CnfReq(BTreeSet<Cmd>),
+    CnfReq(ValueSet<Cmd>),
     /// Replica → client: confirmation (Alg. 7 line 5).
-    CnfRep(BTreeSet<Cmd>),
+    CnfRep(ValueSet<Cmd>),
 }
 
 impl WireMessage for RsmMsg {
@@ -37,11 +37,10 @@ impl WireMessage for RsmMsg {
         }
     }
     fn wire_size(&self) -> usize {
-        use bgla_core::value::set_wire_size;
         match self {
             RsmMsg::Gwts(g) => g.wire_size(),
             RsmMsg::NewValue(c) => bgla_core::Value::wire_size(c),
-            RsmMsg::Decide(s) | RsmMsg::CnfReq(s) | RsmMsg::CnfRep(s) => 8 + set_wire_size(s),
+            RsmMsg::Decide(s) | RsmMsg::CnfReq(s) | RsmMsg::CnfRep(s) => 8 + s.wire_size(),
         }
     }
 }
@@ -61,7 +60,7 @@ pub struct Replica {
     pending_notify: BTreeMap<Cmd, BTreeSet<ProcessId>>,
     /// Confirmation requests not yet satisfiable (Alg. 7's
     /// `Pending_conf`).
-    pending_conf: Vec<(ProcessId, BTreeSet<Cmd>)>,
+    pending_conf: Vec<(ProcessId, ValueSet<Cmd>)>,
     /// How many inner decisions have been broadcast to clients already.
     notified_upto: usize,
     /// Command validity filter (Lemma 12: garbage from Byzantine clients
@@ -95,12 +94,8 @@ impl Replica {
     where
         F: FnOnce(&mut GwtsProcess<Cmd>, &mut Context<GwtsMsg<Cmd>>),
     {
-        let mut inner_ctx = Context::for_embedding(
-            self.me,
-            self.n_replicas,
-            ctx.depth,
-            ctx.local_events,
-        );
+        let mut inner_ctx =
+            Context::for_embedding(self.me, self.n_replicas, ctx.depth, ctx.local_events);
         f(&mut self.inner, &mut inner_ctx);
         for (to, msg) in inner_ctx.take_outbox() {
             ctx.send(to, RsmMsg::Gwts(msg));
@@ -173,7 +168,10 @@ impl Process<RsmMsg> for Replica {
                     ctx.send(from, RsmMsg::Decide(d));
                     return;
                 }
-                self.pending_notify.entry(cmd.clone()).or_default().insert(from);
+                self.pending_notify
+                    .entry(cmd.clone())
+                    .or_default()
+                    .insert(from);
                 self.inner.new_value(cmd);
                 self.after_inner(ctx);
             }
@@ -228,7 +226,7 @@ mod tests {
         // A Byzantine client (id 5 >= n_replicas) tries to inject GWTS
         // traffic; the replica must not process it.
         let forged = GwtsMsg::Nack {
-            accepted: BTreeSet::new(),
+            accepted: ValueSet::new(),
             ts: 0,
             round: 0,
         };

@@ -5,6 +5,9 @@
 use crate::cmd::{Cmd, Op};
 use std::collections::BTreeSet;
 
+#[allow(unused_imports)]
+use bgla_core::ValueSet;
+
 /// The paper's motivating example: a dependable counter with `add` and
 /// `read` (Section 1), extended with a grow-only string set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -19,8 +22,9 @@ pub struct CounterState {
 
 impl CounterState {
     /// Executes a decided command set. `execute` in Algorithm 6: clients
-    /// run this locally on the returned set.
-    pub fn execute(cmds: &BTreeSet<Cmd>) -> CounterState {
+    /// run this locally on the returned set (any set representation —
+    /// `ValueSet`, `BTreeSet` — iterates commands).
+    pub fn execute<'a, I: IntoIterator<Item = &'a Cmd>>(cmds: I) -> CounterState {
         let mut st = CounterState::default();
         for c in cmds {
             match &c.op {

@@ -5,7 +5,9 @@ use bgla_core::SystemConfig;
 use bgla_rsm::checks;
 use bgla_rsm::client::{GarbageClient, PipeliningClient, StingyClient};
 use bgla_rsm::{ClientOp, Cmd, CounterState, Op, Replica, RsmMsg, WorkloadClient};
-use bgla_simnet::{FifoScheduler, Process, RandomScheduler, Scheduler, Simulation, SimulationBuilder};
+use bgla_simnet::{
+    FifoScheduler, Process, RandomScheduler, Scheduler, Simulation, SimulationBuilder,
+};
 
 const MAX_ROUNDS: u64 = 40;
 
@@ -55,10 +57,19 @@ fn single_client_update_read() {
         ClientOp::Update(Op::Add(7)),
         ClientOp::Read,
     ];
-    let mut sim = rsm_sim(n, f, vec![workload(1, n, f, script)], Box::new(FifoScheduler));
+    let mut sim = rsm_sim(
+        n,
+        f,
+        vec![workload(1, n, f, script)],
+        Box::new(FifoScheduler),
+    );
     sim.run(20_000_000);
     let client = sim.process_as::<WorkloadClient>(4).unwrap();
-    assert!(client.finished(), "client did not finish: {:?}", client.results);
+    assert!(
+        client.finished(),
+        "client did not finish: {:?}",
+        client.results
+    );
     let reads = client.reads();
     assert_eq!(reads.len(), 2);
     // First read sees the first add; second read sees both.
@@ -82,7 +93,11 @@ fn multiple_clients_all_properties_hold() {
                 ClientOp::Read,
                 ClientOp::Read,
             ],
-            vec![ClientOp::Read, ClientOp::Update(Op::Add(10)), ClientOp::Read],
+            vec![
+                ClientOp::Read,
+                ClientOp::Update(Op::Add(10)),
+                ClientOp::Read,
+            ],
         ];
         let clients: Vec<Box<dyn Process<RsmMsg>>> = scripts
             .into_iter()
@@ -110,12 +125,7 @@ fn byzantine_replica_does_not_break_clients() {
         // Byzantine replica: drops everything.
         struct DeadReplica;
         impl Process<RsmMsg> for DeadReplica {
-            fn on_message(
-                &mut self,
-                _f: usize,
-                _m: RsmMsg,
-                _c: &mut bgla_simnet::Context<RsmMsg>,
-            ) {
+            fn on_message(&mut self, _f: usize, _m: RsmMsg, _c: &mut bgla_simnet::Context<RsmMsg>) {
             }
             fn as_any(&self) -> &dyn std::any::Any {
                 self
@@ -145,12 +155,7 @@ fn byzantine_replica_does_not_break_clients() {
 fn byzantine_clients_cannot_corrupt_state() {
     let (n, f) = (4, 1);
     let clients: Vec<Box<dyn Process<RsmMsg>>> = vec![
-        workload(
-            1,
-            n,
-            f,
-            vec![ClientOp::Update(Op::Add(5)), ClientOp::Read],
-        ),
+        workload(1, n, f, vec![ClientOp::Update(Op::Add(5)), ClientOp::Read]),
         Box::new(GarbageClient {
             client_id: 50,
             n_replicas: n,
@@ -191,10 +196,15 @@ fn reads_reflect_quorum_confirmed_decisions_only() {
     // replicas themselves after quiescence.
     let (n, f) = (4, 1);
     let script = vec![ClientOp::Update(Op::Add(9)), ClientOp::Read];
-    let mut sim = rsm_sim(n, f, vec![workload(1, n, f, script)], Box::new(FifoScheduler));
+    let mut sim = rsm_sim(
+        n,
+        f,
+        vec![workload(1, n, f, script)],
+        Box::new(FifoScheduler),
+    );
     sim.run(20_000_000);
     let client = sim.process_as::<WorkloadClient>(4).unwrap();
-    let read_with_nops: std::collections::BTreeSet<Cmd> = {
+    let read_with_nops: bgla_core::ValueSet<Cmd> = {
         // Reconstruct: the client strips nops; ask replicas for a
         // committed superset instead.
         client.reads().pop().unwrap()
@@ -210,5 +220,8 @@ fn reads_reflect_quorum_confirmed_decisions_only() {
             confirmed = true;
         }
     }
-    assert!(confirmed, "read value not contained in any replica decision");
+    assert!(
+        confirmed,
+        "read value not contained in any replica decision"
+    );
 }

@@ -35,7 +35,6 @@
 //! regenerate the message-complexity claims (Sections 5.1.3, 6.4, 8.1).
 #![warn(missing_docs)]
 
-
 pub mod metrics;
 pub mod process;
 pub mod scheduler;
@@ -46,8 +45,8 @@ pub mod trace;
 pub use metrics::{Metrics, WireMessage};
 pub use process::{Context, Process, ProcessId};
 pub use scheduler::{
-    DelayScheduler, FifoScheduler, InFlight, LifoScheduler, PartitionScheduler,
-    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, TargetedScheduler,
+    DelayScheduler, FifoScheduler, InFlight, LifoScheduler, PartitionScheduler, RandomScheduler,
+    RecordingScheduler, ReplayScheduler, Scheduler, TargetedScheduler,
 };
 pub use sim::{RunOutcome, Simulation, SimulationBuilder};
 pub use trace::{Trace, TraceEvent};

@@ -101,7 +101,9 @@ impl DelayScheduler {
             return 0;
         }
         // splitmix64 — cheap, deterministic, well distributed.
-        let mut z = seq.wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seq
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
@@ -230,8 +232,8 @@ mod tests {
 
     #[test]
     fn targeted_release_lifts_starvation() {
-        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler))
-            .with_release_after(10);
+        let mut s =
+            TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler)).with_release_after(10);
         let msgs = vec![mk(1, 0, 1), mk(2, 2, 1)];
         assert_eq!(s.choose(&msgs, 5), 1);
         assert_eq!(s.choose(&msgs, 11), 0); // starvation over, FIFO wins

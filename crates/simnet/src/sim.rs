@@ -189,7 +189,10 @@ impl<M: WireMessage + 'static> Simulation<M> {
         }
         let metas: Vec<InFlight> = self.inflight.iter().map(|e| e.meta).collect();
         let idx = self.scheduler.choose(&metas, self.delivered);
-        assert!(idx < self.inflight.len(), "scheduler returned invalid index");
+        assert!(
+            idx < self.inflight.len(),
+            "scheduler returned invalid index"
+        );
         let env = self.inflight.remove(idx);
         let to = env.meta.to;
         let n = self.n();
@@ -406,9 +409,8 @@ mod tests {
     #[test]
     fn random_scheduler_same_seed_same_trace() {
         let trace = |seed: u64| -> u64 {
-            let mut b = SimulationBuilder::new().scheduler(Box::new(
-                crate::scheduler::RandomScheduler::new(seed),
-            ));
+            let mut b = SimulationBuilder::new()
+                .scheduler(Box::new(crate::scheduler::RandomScheduler::new(seed)));
             for _ in 0..4 {
                 b = b.add(Box::new(Gossip { got: 0 }));
             }

@@ -77,9 +77,7 @@ pub fn run_threaded<M: WireMessage + 'static>(
                             pending.fetch_sub(1, Ordering::SeqCst);
                         }
                         Err(_) => {
-                            if pending.load(Ordering::SeqCst) == 0
-                                || Instant::now() >= deadline
-                            {
+                            if pending.load(Ordering::SeqCst) == 0 || Instant::now() >= deadline {
                                 break;
                             }
                         }
@@ -98,10 +96,13 @@ pub fn run_threaded<M: WireMessage + 'static>(
         delivered += d;
     }
     let quiescent = pending.load(Ordering::SeqCst) == 0;
-    (out_procs, ThreadedOutcome {
-        quiescent,
-        delivered,
-    })
+    (
+        out_procs,
+        ThreadedOutcome {
+            quiescent,
+            delivered,
+        },
+    )
 }
 
 #[cfg(test)]

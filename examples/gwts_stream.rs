@@ -18,7 +18,7 @@ impl Process<GwtsMsg<u64>> for RoundJumper {
     fn on_start(&mut self, ctx: &mut Context<GwtsMsg<u64>>) {
         for round in 5..20 {
             ctx.broadcast(GwtsMsg::AckReq {
-                proposed: std::collections::BTreeSet::new(),
+                proposed: bgla::core::SetUpdate::Full(bgla::core::ValueSet::new()),
                 ts: round * 100,
                 round,
             });

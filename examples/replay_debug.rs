@@ -9,8 +9,7 @@ use bgla::core::adversary::NackSpammer;
 use bgla::core::wts::{WtsMsg, WtsProcess};
 use bgla::core::SystemConfig;
 use bgla::simnet::{
-    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, Simulation,
-    SimulationBuilder,
+    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, Simulation, SimulationBuilder,
 };
 
 fn build(scheduler: Box<dyn Scheduler>) -> Simulation<WtsMsg<u64>> {
@@ -48,7 +47,10 @@ fn main() {
     original.run(u64::MAX / 2);
     println!("original   : {}", summarize(&original));
     let recorded = trace.lock().clone();
-    println!("trace      : {} delivery decisions recorded", recorded.len());
+    println!(
+        "trace      : {} delivery decisions recorded",
+        recorded.len()
+    );
 
     // 2. Replay bit-identically.
     let mut replayed = build(Box::new(ReplayScheduler::new(recorded.clone())));

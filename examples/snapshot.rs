@@ -11,16 +11,16 @@
 //! Run with: `cargo run --example snapshot`
 
 use bgla::core::SystemConfig;
+use bgla::core::ValueSet;
 use bgla::lattice::{JoinSemiLattice, MapLattice, MaxLattice};
-use bgla::rsm::{Cmd, ClientOp, Op, Replica, WorkloadClient};
+use bgla::rsm::{ClientOp, Cmd, Op, Replica, WorkloadClient};
 use bgla::simnet::{RandomScheduler, SimulationBuilder};
-use std::collections::BTreeSet;
 
 /// A snapshot: register id -> (seq, value), folded via max-by-seq.
 type Snapshot = MapLattice<u64, MaxLattice<(u64, u64)>>;
 
 /// Folds a decided command set into a snapshot of the registers.
-fn fold_snapshot(cmds: &BTreeSet<Cmd>) -> Snapshot {
+fn fold_snapshot(cmds: &ValueSet<Cmd>) -> Snapshot {
     let mut snap = Snapshot::new();
     for c in cmds {
         if let Op::Add(value) = c.op {

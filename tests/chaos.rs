@@ -8,9 +8,10 @@ use bgla::core::adversary::gwts::{BatchEquivocator, RoundJumper, SilentG};
 use bgla::core::adversary::ChaosMonkey;
 use bgla::core::gwts::GwtsProcess;
 use bgla::core::harness::{wts_report, wts_system_with_adversaries};
+use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
 use bgla::simnet::{RandomScheduler, SimulationBuilder};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 #[test]
 fn wts_safety_survives_chaos_monkeys() {
@@ -29,10 +30,9 @@ fn wts_safety_survives_chaos_monkeys() {
         let report = wts_report(&sim, &correct);
         // Liveness holds too: chaos can't fake the quorum away.
         spec::check_liveness(&report.decided).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        spec::check_comparability(&report.decisions)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        spec::check_comparability(&report.decisions).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         spec::check_inclusivity(&report.pairs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let inputs: BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
+        let inputs: std::collections::BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
         spec::check_nontriviality(&inputs, &report.decisions, config.f)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
@@ -58,9 +58,8 @@ fn wts_safety_survives_two_chaos_monkeys_at_f2() {
         let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
         let report = wts_report(&sim, &correct);
         spec::check_liveness(&report.decided).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        spec::check_comparability(&report.decisions)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let inputs: BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
+        spec::check_comparability(&report.decisions).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let inputs: std::collections::BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
         spec::check_nontriviality(&inputs, &report.decisions, config.f)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
@@ -69,7 +68,7 @@ fn wts_safety_survives_two_chaos_monkeys_at_f2() {
 fn gwts_with_adversary(
     seed: u64,
     adversary: Box<dyn bgla::simnet::Process<bgla::core::gwts::GwtsMsg<u64>>>,
-) -> (Vec<Vec<BTreeSet<u64>>>, Vec<Vec<u64>>) {
+) -> (Vec<Vec<ValueSet<u64>>>, Vec<Vec<u64>>) {
     let (n, f, rounds) = (4usize, 1usize, 4u64);
     let config = SystemConfig::new(n, f);
     let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
@@ -117,10 +116,9 @@ fn gwts_survives_silent_and_batch_equivocator() {
         }
         spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
 
-        let a: BTreeSet<u64> = [666].into_iter().collect();
-        let bset: BTreeSet<u64> = [777].into_iter().collect();
-        let (seqs, _) =
-            gwts_with_adversary(seed, Box::new(BatchEquivocator { a, b: bset }));
+        let a: ValueSet<u64> = [666].into_iter().collect();
+        let bset: ValueSet<u64> = [777].into_iter().collect();
+        let (seqs, _) = gwts_with_adversary(seed, Box::new(BatchEquivocator { a, b: bset }));
         spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         // Equivocated batches: never both values decided anywhere.
         for s in seqs.iter().flatten() {

@@ -4,16 +4,14 @@
 
 use bgla::core::adversary::MidCrash;
 use bgla::core::wts::{WtsMsg, WtsProcess};
+use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
-use bgla::simnet::{
-    FifoScheduler, PartitionScheduler, RandomScheduler, SimulationBuilder,
-};
-use std::collections::BTreeSet;
+use bgla::simnet::{FifoScheduler, PartitionScheduler, RandomScheduler, SimulationBuilder};
 
 fn decisions_of(
     sim: &bgla::simnet::Simulation<WtsMsg<u64>>,
     ids: impl Iterator<Item = usize>,
-) -> Vec<Option<BTreeSet<u64>>> {
+) -> Vec<Option<ValueSet<u64>>> {
     ids.map(|i| {
         sim.process_as::<WtsProcess<u64>>(i)
             .expect("survivor is a plain WtsProcess")
@@ -31,8 +29,7 @@ fn mid_protocol_crash_is_tolerated() {
         for seed in 0..5 {
             let (n, f) = (4usize, 1usize);
             let config = SystemConfig::new(n, f);
-            let mut b =
-                SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
             for i in 0..3 {
                 b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
             }
@@ -43,7 +40,7 @@ fn mid_protocol_crash_is_tolerated() {
             let mut sim = b.build();
             let out = sim.run(10_000_000);
             assert!(out.quiescent, "crash_after={crash_after} seed={seed}");
-            let survivors: Vec<BTreeSet<u64>> = decisions_of(&sim, 0..3)
+            let survivors: Vec<ValueSet<u64>> = decisions_of(&sim, 0..3)
                 .into_iter()
                 .map(|d| {
                     d.unwrap_or_else(|| {
@@ -97,13 +94,15 @@ fn staggered_crashes_at_f2() {
     for seed in 0..5 {
         let (n, f) = (7usize, 2usize);
         let config = SystemConfig::new(n, f);
-        let mut b =
-            SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
         for i in 0..5 {
             b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
         }
         b = b.add(Box::new(MidCrash::new(WtsProcess::new(5, config, 5u64), 2)));
-        b = b.add(Box::new(MidCrash::new(WtsProcess::new(6, config, 6u64), 20)));
+        b = b.add(Box::new(MidCrash::new(
+            WtsProcess::new(6, config, 6u64),
+            20,
+        )));
         let mut sim = b.build();
         let out = sim.run(50_000_000);
         assert!(out.quiescent, "seed {seed}");
@@ -116,7 +115,7 @@ fn staggered_crashes_at_f2() {
         // Non-triviality: the crashed processes were honest before the
         // crash, so at most their two (honestly disclosed) values appear
         // beyond the survivors' inputs.
-        let survivor_inputs: BTreeSet<u64> = (0..5).map(|i| i as u64).collect();
+        let survivor_inputs: std::collections::BTreeSet<u64> = (0..5).map(|i| i as u64).collect();
         spec::check_nontriviality(&survivor_inputs, &decisions, f)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }

@@ -7,10 +7,11 @@ use bgla::core::gsbs::GsbsProcess;
 use bgla::core::gwts::GwtsProcess;
 use bgla::core::sbs::SbsProcess;
 use bgla::core::wts::WtsProcess;
+use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
 use bgla::lattice::{is_chain, JoinSemiLattice, SetLattice};
 use bgla::simnet::{RandomScheduler, SimulationBuilder};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Both one-shot algorithms satisfy the full LA spec on the same inputs.
 #[test]
@@ -62,13 +63,13 @@ fn wts_and_sbs_satisfy_identical_spec() {
         ),
     ] {
         spec::check_comparability(&decisions).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let pairs: Vec<(u64, BTreeSet<u64>)> = inputs
+        let pairs: Vec<(u64, ValueSet<u64>)> = inputs
             .iter()
             .copied()
             .zip(decisions.iter().cloned())
             .collect();
         spec::check_inclusivity(&pairs).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let x: BTreeSet<u64> = inputs.iter().copied().collect();
+        let x: std::collections::BTreeSet<u64> = inputs.iter().copied().collect();
         spec::check_nontriviality(&x, &decisions, f).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
@@ -127,11 +128,21 @@ fn generalized_variants_produce_monotone_chains() {
     let mut gsbs = b.build();
     assert!(gsbs.run(u64::MAX / 2).quiescent);
 
-    let gwts_seqs: Vec<Vec<BTreeSet<u64>>> = (0..n)
-        .map(|i| gwts.process_as::<GwtsProcess<u64>>(i).unwrap().decisions.clone())
+    let gwts_seqs: Vec<Vec<ValueSet<u64>>> = (0..n)
+        .map(|i| {
+            gwts.process_as::<GwtsProcess<u64>>(i)
+                .unwrap()
+                .decisions
+                .clone()
+        })
         .collect();
-    let gsbs_seqs: Vec<Vec<BTreeSet<u64>>> = (0..n)
-        .map(|i| gsbs.process_as::<GsbsProcess<u64>>(i).unwrap().decisions.clone())
+    let gsbs_seqs: Vec<Vec<ValueSet<u64>>> = (0..n)
+        .map(|i| {
+            gsbs.process_as::<GsbsProcess<u64>>(i)
+                .unwrap()
+                .decisions
+                .clone()
+        })
         .collect();
 
     for (name, seqs) in [("gwts", &gwts_seqs), ("gsbs", &gsbs_seqs)] {
@@ -141,7 +152,7 @@ fn generalized_variants_produce_monotone_chains() {
             assert_eq!(s.len(), rounds as usize, "{name} p{i} decided every round");
         }
         // Both reach the full value set {0,1,2,3} in their final round.
-        let expect: BTreeSet<u64> = (0..n as u64).collect();
+        let expect: ValueSet<u64> = (0..n as u64).collect();
         assert!(
             seqs.iter().any(|s| s.last() == Some(&expect)),
             "{name}: nobody converged to the full set"
@@ -153,10 +164,9 @@ fn generalized_variants_produce_monotone_chains() {
 /// seeds may differ (so the test suite really explores schedules).
 #[test]
 fn simulations_are_deterministic_per_seed() {
-    let run = |seed: u64| -> (u64, Vec<Option<BTreeSet<u64>>>) {
+    let run = |seed: u64| -> (u64, Vec<Option<ValueSet<u64>>>) {
         let config = SystemConfig::new(4, 1);
-        let mut b =
-            SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
         for i in 0..4 {
             b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
         }
@@ -165,7 +175,12 @@ fn simulations_are_deterministic_per_seed() {
         (
             sim.metrics().total_sent(),
             (0..4)
-                .map(|i| sim.process_as::<WtsProcess<u64>>(i).unwrap().decision.clone())
+                .map(|i| {
+                    sim.process_as::<WtsProcess<u64>>(i)
+                        .unwrap()
+                        .decision
+                        .clone()
+                })
                 .collect(),
         )
     };

@@ -3,6 +3,7 @@
 //! certificate validation and the `Safe_r` trust rule.
 
 use bgla::core::gsbs::{DecidedCert, GsbsMsg, GsbsProcess, SignedAck};
+use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
 use bgla::crypto::Keypair;
 use bgla::simnet::{Context, Process, RandomScheduler, SimulationBuilder};
@@ -18,7 +19,7 @@ impl Process<GsbsMsg<u64>> for CertForger {
     fn on_start(&mut self, ctx: &mut Context<GsbsMsg<u64>>) {
         let me = ctx.me;
         let kp = Keypair::for_process(me);
-        let poison: BTreeSet<u64> = [424_242u64].into_iter().collect();
+        let poison: ValueSet<u64> = [424_242u64].into_iter().collect();
         // 1. No acks at all.
         ctx.broadcast(GsbsMsg::Decided(DecidedCert {
             round: 0,
@@ -34,7 +35,7 @@ impl Process<GsbsMsg<u64>> for CertForger {
             acks: vec![ack.clone(), ack.clone(), ack.clone()],
         }));
         // 3. Valid-looking ack but over a different digest.
-        let other: BTreeSet<u64> = [7u64].into_iter().collect();
+        let other: ValueSet<u64> = [7u64].into_iter().collect();
         let wrong_digest = bgla::core::gsbs::digest_values(&other);
         let ack2 = SignedAck::sign(me, 1, 0, wrong_digest, me, &kp);
         ctx.broadcast(GsbsMsg::Decided(DecidedCert {
@@ -62,8 +63,7 @@ fn forged_certificates_are_rejected() {
     for seed in 0..5u64 {
         let (n, f, rounds) = (4usize, 1usize, 3u64);
         let config = SystemConfig::new(n, f);
-        let mut b =
-            SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
         for i in 0..3 {
             let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
             schedule.insert(0, vec![100 + i as u64]);
@@ -76,7 +76,11 @@ fn forged_certificates_are_rejected() {
         let mut seqs = Vec::new();
         for i in 0..3 {
             let p = sim.process_as::<GsbsProcess<u64>>(i).unwrap();
-            assert_eq!(p.decisions.len(), rounds as usize, "seed {seed} p{i}: liveness");
+            assert_eq!(
+                p.decisions.len(),
+                rounds as usize,
+                "seed {seed} p{i}: liveness"
+            );
             // The poison value from the forged certificates must never
             // appear in any decision.
             for d in &p.decisions {
@@ -85,7 +89,6 @@ fn forged_certificates_are_rejected() {
             seqs.push(p.decisions.clone());
         }
         spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        spec::check_global_comparability(&seqs)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }

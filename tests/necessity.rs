@@ -3,9 +3,9 @@
 
 use bgla::core::adversary::{Silent, SplitBrain};
 use bgla::core::wts::WtsProcess;
+use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
 use bgla::simnet::{FifoScheduler, SimulationBuilder, TargetedScheduler};
-use std::collections::BTreeSet;
 
 /// At n = 3f+1 the full spec holds even against the split-brain
 /// adversary that breaks n = 3f systems.
@@ -22,7 +22,7 @@ fn spec_holds_at_3f_plus_1_under_split_brain() {
     }));
     let mut sim = b.build();
     assert!(sim.run(10_000_000).quiescent);
-    let decisions: Vec<BTreeSet<u64>> = (0..3)
+    let decisions: Vec<ValueSet<u64>> = (0..3)
         .map(|i| {
             sim.process_as::<WtsProcess<u64>>(i)
                 .unwrap()

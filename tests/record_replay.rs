@@ -4,11 +4,10 @@
 
 use bgla::core::wts::{WtsMsg, WtsProcess};
 use bgla::core::SystemConfig;
+use bgla::core::ValueSet;
 use bgla::simnet::{
-    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, Simulation,
-    SimulationBuilder,
+    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, Simulation, SimulationBuilder,
 };
-use std::collections::BTreeSet;
 
 fn build(scheduler: Box<dyn Scheduler>) -> Simulation<WtsMsg<u64>> {
     let config = SystemConfig::new(4, 1);
@@ -19,11 +18,16 @@ fn build(scheduler: Box<dyn Scheduler>) -> Simulation<WtsMsg<u64>> {
     b.build()
 }
 
-fn outcomes(sim: &Simulation<WtsMsg<u64>>) -> (u64, Vec<Option<BTreeSet<u64>>>, Vec<u64>) {
+fn outcomes(sim: &Simulation<WtsMsg<u64>>) -> (u64, Vec<Option<ValueSet<u64>>>, Vec<u64>) {
     (
         sim.metrics().total_sent(),
         (0..4)
-            .map(|i| sim.process_as::<WtsProcess<u64>>(i).unwrap().decision.clone())
+            .map(|i| {
+                sim.process_as::<WtsProcess<u64>>(i)
+                    .unwrap()
+                    .decision
+                    .clone()
+            })
             .collect(),
         (0..4).map(|i| sim.depth_of(i)).collect(),
     )
@@ -69,6 +73,6 @@ fn truncated_trace_degrades_gracefully() {
     let mut partial = build(Box::new(ReplayScheduler::new(half)));
     assert!(partial.run(u64::MAX / 2).quiescent);
     let (_, decisions, _) = outcomes(&partial);
-    let concrete: Vec<BTreeSet<u64>> = decisions.into_iter().map(|d| d.unwrap()).collect();
+    let concrete: Vec<ValueSet<u64>> = decisions.into_iter().map(|d| d.unwrap()).collect();
     bgla::core::spec::check_comparability(&concrete).unwrap();
 }

@@ -3,9 +3,9 @@
 
 use bgla::core::adversary::sbs::{ConflictSigner, ProofForger, SilentS};
 use bgla::core::sbs::SbsProcess;
+use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
 use bgla::simnet::{Process, RandomScheduler, Simulation, SimulationBuilder};
-use std::collections::BTreeSet;
 
 type Msg = bgla::core::sbs::SbsMsg<u64>;
 
@@ -26,7 +26,7 @@ fn run_with_adversary(
     (sim, (0..n - 1).collect())
 }
 
-fn check_safety(sim: &Simulation<Msg>, correct: &[usize], label: &str) -> Vec<BTreeSet<u64>> {
+fn check_safety(sim: &Simulation<Msg>, correct: &[usize], label: &str) -> Vec<ValueSet<u64>> {
     let mut decisions = Vec::new();
     let mut pairs = Vec::new();
     for &i in correct {
@@ -94,7 +94,8 @@ fn silent_process_does_not_block_sbs() {
         assert_eq!(decisions.len(), correct.len(), "seed {seed}: liveness");
         // Non-triviality: only correct inputs can appear (the silent one
         // contributed nothing).
-        let inputs: BTreeSet<u64> = correct.iter().map(|&i| 10 + i as u64).collect();
+        let inputs: std::collections::BTreeSet<u64> =
+            correct.iter().map(|&i| 10 + i as u64).collect();
         spec::check_nontriviality(&inputs, &decisions, 1)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }

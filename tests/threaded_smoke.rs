@@ -6,9 +6,9 @@
 use bgla::core::sbs::SbsProcess;
 use bgla::core::wts::{WtsMsg, WtsProcess};
 use bgla::core::SystemConfig;
+use bgla::core::ValueSet;
 use bgla::simnet::threaded::run_threaded;
 use bgla::simnet::Process;
-use std::collections::BTreeSet;
 use std::time::Duration;
 
 #[test]
@@ -20,7 +20,7 @@ fn wts_agrees_under_real_threads() {
         .collect();
     let (procs, outcome) = run_threaded(procs, Duration::from_secs(60));
     assert!(outcome.quiescent, "threaded run did not quiesce");
-    let decisions: Vec<BTreeSet<u64>> = procs
+    let decisions: Vec<ValueSet<u64>> = procs
         .iter()
         .map(|p| {
             p.as_any()
@@ -46,7 +46,7 @@ fn sbs_agrees_under_real_threads() {
         .collect();
     let (procs, outcome) = run_threaded(procs, Duration::from_secs(120));
     assert!(outcome.quiescent);
-    let decisions: Vec<BTreeSet<u64>> = procs
+    let decisions: Vec<ValueSet<u64>> = procs
         .iter()
         .map(|p| {
             p.as_any()
@@ -76,7 +76,7 @@ fn gwts_stream_agrees_under_real_threads() {
         .collect();
     let (procs, outcome) = run_threaded(procs, Duration::from_secs(120));
     assert!(outcome.quiescent);
-    let seqs: Vec<Vec<BTreeSet<u64>>> = procs
+    let seqs: Vec<Vec<ValueSet<u64>>> = procs
         .iter()
         .map(|p| {
             p.as_any()

@@ -6,7 +6,6 @@ use bgla::core::harness::{assert_la_spec, wts_report, wts_system_with_adversarie
 use bgla::core::wts::WtsProcess;
 use bgla::core::SystemConfig;
 use bgla::simnet::{FifoScheduler, RandomScheduler, SimulationBuilder};
-use std::collections::BTreeSet;
 
 /// The disclosure phase dominates: reliable-broadcast traffic should be
 /// the bulk of all deliveries in an honest run (that's where the O(n²)
@@ -66,7 +65,7 @@ fn large_system_mixed_adversaries() {
         assert!(out.quiescent, "seed {seed}");
         let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
         let report = wts_report(&sim, &correct);
-        let inputs: BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
+        let inputs: std::collections::BTreeSet<u64> = correct.iter().map(|&i| i as u64).collect();
         assert_la_spec(&report, &inputs, config.f);
         for d in &report.decisions {
             assert!(

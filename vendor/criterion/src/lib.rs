@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion` (no network in this build
+//! environment). Implements the API subset the workspace's benches use
+//! — groups, `bench_with_input`, `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`/`criterion_main!` —
+//! measuring wall-clock time with `std::time::Instant`.
+//!
+//! Each benchmark takes `sample_size` samples (default 20); a sample
+//! runs the closure enough times to cover ~5 ms, and the per-iteration
+//! median across samples is reported. Set the `CRITERION_JSON`
+//! environment variable to a path to additionally dump all results as a
+//! JSON array — that is how `BENCH_valueset.json` is produced.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value sink (subset of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name ("" for ungrouped `bench_function` calls).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Total iterations executed across all samples.
+    pub iters: u64,
+    /// Declared throughput unit, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput declaration (printed, not otherwise used).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier, e.g. `BenchmarkId::from_parameter(16)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name and a parameter.
+    pub fn new<S: Display, P: Display>(name: S, p: P) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// Filled by `iter`.
+    result_ns: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration timings.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up & calibration: find an iteration count covering ~5 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        let per_sample = (5_000_000 / once).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / per_sample as f64;
+            self.result_ns.push(ns);
+            self.total_iters += per_sample;
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b, input);
+        self.criterion.record(&self.name, &id.0, b, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b);
+        self.criterion.record(&self.name, name, b, self.throughput);
+        self
+    }
+
+    /// Ends the group (results are recorded eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// All results recorded so far.
+    pub results: Vec<BenchResult>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.default_sample_size,
+            result_ns: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b);
+        self.record("", name, b, None);
+        self
+    }
+
+    fn record(&mut self, group: &str, id: &str, b: Bencher, throughput: Option<Throughput>) {
+        let mut ns = b.result_ns;
+        assert!(!ns.is_empty(), "Bencher::iter was never called");
+        ns.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let median_ns = ns[ns.len() / 2];
+        let min_ns = ns[0];
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "{label:<44} median {:>12}  min {:>12}",
+            fmt_ns(median_ns),
+            fmt_ns(min_ns)
+        );
+        self.results.push(BenchResult {
+            group: group.to_string(),
+            id: id.to_string(),
+            median_ns,
+            min_ns,
+            iters: b.total_iters,
+            throughput,
+        });
+    }
+
+    /// Writes all recorded results as a JSON array to `path`.
+    pub fn export_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let tp = match r.throughput {
+                Some(Throughput::Bytes(b)) => format!(r#", "throughput_bytes": {b}"#),
+                Some(Throughput::Elements(e)) => format!(r#", "throughput_elements": {e}"#),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                r#"  {{"group": "{}", "id": "{}", "median_ns": {:.1}, "min_ns": {:.1}, "iters": {}{}}}"#,
+                r.group, r.id, r.median_ns, r.min_ns, r.iters, tp
+            ));
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+
+    /// Honors the `CRITERION_JSON` env var; called by `criterion_main!`.
+    pub fn maybe_export_from_env(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                match self.export_json(&path) {
+                    Ok(()) => println!("results written to {path}"),
+                    Err(e) => eprintln!("CRITERION_JSON export to {path} failed: {e}"),
+                }
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($bench(c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.maybe_export_from_env();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn records_and_exports() {
+        let mut c = Criterion::default();
+        trivial(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|r| r.median_ns > 0.0));
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        c.export_json(path.to_str().unwrap()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"group\": \"g\""));
+        assert!(body.trim_start().starts_with('['));
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for `parking_lot` (no network in this build
+//! environment). Provides `Mutex` with the parking_lot calling
+//! convention — `lock()` returns the guard directly — implemented over
+//! `std::sync::Mutex`, recovering from poisoning instead of panicking.
+
+use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, returning the guard (poisoning is ignored:
+    /// the protected data is still returned, as parking_lot does).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_and_into_inner() {
+        let m: Mutex<Vec<u64>> = Mutex::default();
+        m.lock().push(9);
+        assert_eq!(m.into_inner(), vec![9]);
+    }
+}

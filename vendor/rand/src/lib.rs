@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This build environment has no network access, so the real `rand`
+//! cannot be fetched. This crate provides the (tiny) API subset the
+//! workspace uses: a seedable deterministic RNG and uniform range
+//! sampling. The generator is xoshiro256**, seeded via splitmix64 —
+//! statistically solid for schedule exploration, NOT cryptographic.
+//!
+//! Determinism contract: the same seed always produces the same stream
+//! (the simulator's record/replay and seeded tests rely on this). The
+//! stream differs from the real `rand`'s `StdRng`, which is fine: no
+//! test encodes concrete expected schedules, only per-seed stability.
+
+/// Seedable RNG construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait RangeSample: Copy {
+    /// Uniform sample in `[lo, hi)` given a raw 64-bit draw source.
+    fn sample(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as u128) - (lo as u128);
+                // Modulo bias is negligible for span << 2^64 (the
+                // simulator's ranges are tiny) and irrelevant for
+                // schedule exploration.
+                lo + ((draw() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_sample!(usize, u64, u32, u16, u8);
+
+/// Random value generation, mirroring the `rand::Rng` subset in use.
+pub trait Rng {
+    /// Raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        let mut draw = || self.next_u64();
+        T::sample(range.start, range.end, &mut draw)
+    }
+
+    /// Uniform `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(0usize..7);
+            assert!(x < 7);
+        }
+        // Every bucket of a small range is hit.
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
