@@ -12,7 +12,7 @@ fn bench_wts(c: &mut Criterion) {
         let f = (n - 1) / 3;
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let m = measure_wts(n, f, Box::new(FifoScheduler));
+                let m = measure_wts(n, f, Box::new(FifoScheduler::new()));
                 assert!(m.all_decided);
                 m.total_msgs
             })
@@ -27,7 +27,7 @@ fn bench_sbs(c: &mut Criterion) {
     for n in [4usize, 7] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let m = measure_sbs(n, 1, Box::new(FifoScheduler));
+                let m = measure_sbs(n, 1, Box::new(FifoScheduler::new()));
                 assert!(m.all_decided);
                 m.total_msgs
             })
@@ -42,7 +42,7 @@ fn bench_gwts_rounds(c: &mut Criterion) {
         let f = (n - 1) / 3;
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut sim = gwts_sim(n, f, 3, 1, Box::new(FifoScheduler));
+                let mut sim = gwts_sim(n, f, 3, 1, Box::new(FifoScheduler::new()));
                 sim.run(u64::MAX / 2);
                 sim.metrics().total_sent()
             })

@@ -13,7 +13,7 @@ fn bench_rsm_session(c: &mut Criterion) {
         b.iter(|| {
             let (n, f) = (4usize, 1usize);
             let config = SystemConfig::new(n, f);
-            let mut builder = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+            let mut builder = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
             for i in 0..n {
                 builder = builder.add(Box::new(Replica::new(i, config, 20)));
             }

@@ -147,7 +147,8 @@ fn bench_gwts_deltas(c: &mut Criterion) {
             b.iter(|| {
                 let (n, f, rounds) = (7usize, 2usize, 3u64);
                 let config = SystemConfig::new(n, f);
-                let mut builder = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+                let mut builder =
+                    SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
                 for i in 0..n {
                     let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
                     schedule.insert(0, (0..40).map(|k| (i as u64) * 1_000 + k).collect());

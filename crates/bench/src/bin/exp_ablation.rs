@@ -8,14 +8,79 @@
 //!    for the waiting variant.
 //! 2. **Reliably broadcasting GWTS acks** vs GSbS's signed point-to-point
 //!    acks + decided certificates: per-decision message cost.
+//!
+//! Every (f, variant) / n cell runs on its own core via the sharded
+//! driver.
 
-use bgla_bench::{gwts_sim, row};
+use bgla_bench::{gwts_sim, row, run_indexed};
 use bgla_core::gsbs::GsbsProcess;
 use bgla_core::gwts::GwtsProcess;
 use bgla_core::wts::WtsProcess;
 use bgla_core::SystemConfig;
 use bgla_simnet::{FifoScheduler, RandomScheduler, SimulationBuilder};
 use std::collections::BTreeMap;
+
+/// Worst (decision depth, refinements) over 5 seeded runs of one WTS
+/// variant.
+fn wts_worst(f: usize, eager: bool) -> (u64, u64) {
+    let n = 3 * f + 1;
+    let config = SystemConfig::new(n, f);
+    let mut worst = (0, 0);
+    for seed in 0..5 {
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..n {
+            let p = WtsProcess::new(i, config, i as u64);
+            let p = if eager { p.with_eager_proposing() } else { p };
+            b = b.add(Box::new(p));
+        }
+        let mut sim = b.build();
+        sim.run(u64::MAX / 2);
+        for i in 0..n {
+            let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
+            worst.0 = worst.0.max(p.decision_depth.unwrap_or(u64::MAX));
+            worst.1 = worst.1.max(p.refinements);
+        }
+    }
+    worst
+}
+
+/// (GWTS msgs/decision, GSbS msgs/decision) at one system size.
+fn ack_costs(n: usize) -> (f64, f64) {
+    let f = 1;
+    let rounds = 3u64;
+    // GWTS.
+    let mut gsim = gwts_sim(n, f, rounds, 1, Box::new(FifoScheduler::new()));
+    gsim.run(u64::MAX / 2);
+    let gdec: usize = (0..n)
+        .map(|i| {
+            gsim.process_as::<GwtsProcess<u64>>(i)
+                .unwrap()
+                .decisions
+                .len()
+        })
+        .sum();
+    let gwts_cost = gsim.metrics().total_sent() as f64 / gdec.max(1) as f64;
+    // GSbS.
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new();
+    for i in 0..n {
+        let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        schedule.insert(0, vec![i as u64]);
+        b = b.add(Box::new(GsbsProcess::new(i, config, schedule, rounds)));
+    }
+    let mut ssim = b.build();
+    ssim.run(u64::MAX / 2);
+    let sdec: usize = (0..n)
+        .map(|i| {
+            ssim.process_as::<GsbsProcess<u64>>(i)
+                .unwrap()
+                .decisions
+                .len()
+        })
+        .sum();
+    let gsbs_cost = ssim.metrics().total_sent() as f64 / sdec.max(1) as f64;
+    (gwts_cost, gsbs_cost)
+}
 
 fn main() {
     println!("Ablation 1: disclosure wait (n−f) vs eager proposing (WTS)\n");
@@ -29,31 +94,11 @@ fn main() {
             "eager refs".into(),
         ])
     );
+    // 8 cells: (f, waiting) and (f, eager) for f = 1..=4.
+    let cells = run_indexed(8, |i| wts_worst(i / 2 + 1, i % 2 == 1));
     for f in 1..=4usize {
-        let n = 3 * f + 1;
-        let config = SystemConfig::new(n, f);
-        let run = |eager: bool| -> (u64, u64) {
-            let mut worst = (0, 0);
-            for seed in 0..5 {
-                let mut b =
-                    SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
-                for i in 0..n {
-                    let p = WtsProcess::new(i, config, i as u64);
-                    let p = if eager { p.with_eager_proposing() } else { p };
-                    b = b.add(Box::new(p));
-                }
-                let mut sim = b.build();
-                sim.run(u64::MAX / 2);
-                for i in 0..n {
-                    let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();
-                    worst.0 = worst.0.max(p.decision_depth.unwrap_or(u64::MAX));
-                    worst.1 = worst.1.max(p.refinements);
-                }
-            }
-            worst
-        };
-        let (wd, wr) = run(false);
-        let (ed, er) = run(true);
+        let (wd, wr) = cells[(f - 1) * 2];
+        let (ed, er) = cells[(f - 1) * 2 + 1];
         println!(
             "{}",
             row(&[
@@ -82,40 +127,9 @@ fn main() {
             "saving".into(),
         ])
     );
-    for &n in &[4usize, 7] {
-        let f = 1;
-        let rounds = 3u64;
-        // GWTS.
-        let mut gsim = gwts_sim(n, f, rounds, 1, Box::new(FifoScheduler));
-        gsim.run(u64::MAX / 2);
-        let gdec: usize = (0..n)
-            .map(|i| {
-                gsim.process_as::<GwtsProcess<u64>>(i)
-                    .unwrap()
-                    .decisions
-                    .len()
-            })
-            .sum();
-        let gwts_cost = gsim.metrics().total_sent() as f64 / gdec.max(1) as f64;
-        // GSbS.
-        let config = SystemConfig::new(n, f);
-        let mut b = SimulationBuilder::new();
-        for i in 0..n {
-            let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-            schedule.insert(0, vec![i as u64]);
-            b = b.add(Box::new(GsbsProcess::new(i, config, schedule, rounds)));
-        }
-        let mut ssim = b.build();
-        ssim.run(u64::MAX / 2);
-        let sdec: usize = (0..n)
-            .map(|i| {
-                ssim.process_as::<GsbsProcess<u64>>(i)
-                    .unwrap()
-                    .decisions
-                    .len()
-            })
-            .sum();
-        let gsbs_cost = ssim.metrics().total_sent() as f64 / sdec.max(1) as f64;
+    let ns = [4usize, 7];
+    let costs = run_indexed(ns.len(), |i| ack_costs(ns[i]));
+    for (&n, &(gwts_cost, gsbs_cost)) in ns.iter().zip(&costs) {
         println!(
             "{}",
             row(&[

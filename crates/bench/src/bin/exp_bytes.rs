@@ -6,8 +6,10 @@
 //! Also measures the delta-message optimization: GWTS `ack_req` traffic
 //! with deltas enabled vs the full-set baseline (same protocol, same
 //! schedule, only the payload encoding differs).
+//!
+//! Both sweeps run sharded, one (n) / (n, batch) cell per core.
 
-use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row};
+use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row, run_indexed};
 use bgla_core::gwts::GwtsProcess;
 use bgla_core::SystemConfig;
 use bgla_simnet::{FifoScheduler, SimulationBuilder};
@@ -16,7 +18,7 @@ use std::collections::BTreeMap;
 /// Runs a GWTS stream and returns (total bytes, ack_req bytes).
 fn gwts_bytes(n: usize, f: usize, rounds: u64, batch: u64, deltas: bool) -> (u64, u64) {
     let config = SystemConfig::new(n, f);
-    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
     for i in 0..n {
         let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for r in 0..rounds.saturating_sub(2) {
@@ -56,10 +58,15 @@ fn main() {
         ])
     );
     let ns = [4usize, 7, 10, 13, 16];
+    let cells = run_indexed(ns.len(), |i| {
+        let n = ns[i];
+        (
+            measure_wts(n, 1, Box::new(FifoScheduler::new())),
+            measure_sbs(n, 1, Box::new(FifoScheduler::new())),
+        )
+    });
     let (mut xs, mut wts_big, mut sbs_big) = (Vec::new(), Vec::new(), Vec::new());
-    for &n in &ns {
-        let w = measure_wts(n, 1, Box::new(FifoScheduler));
-        let s = measure_sbs(n, 1, Box::new(FifoScheduler));
+    for (&n, (w, s)) in ns.iter().zip(&cells) {
         println!(
             "{}",
             row(&[
@@ -100,10 +107,18 @@ fn main() {
             "savings".into(),
         ])
     );
-    for &(n, batch) in &[(4usize, 8u64), (7, 8), (7, 32), (10, 32)] {
+    let grid = [(4usize, 8u64), (7, 8), (7, 32), (10, 32)];
+    let delta_cells = run_indexed(grid.len(), |i| {
+        let (n, batch) = grid[i];
         let f = (n - 1) / 3;
-        let (full_total, full_ack) = gwts_bytes(n, f, 4, batch, false);
-        let (delta_total, delta_ack) = gwts_bytes(n, f, 4, batch, true);
+        (
+            gwts_bytes(n, f, 4, batch, false),
+            gwts_bytes(n, f, 4, batch, true),
+        )
+    });
+    for (&(n, batch), &((full_total, full_ack), (delta_total, delta_ack))) in
+        grid.iter().zip(&delta_cells)
+    {
         println!(
             "{}",
             row(&[

@@ -1,8 +1,9 @@
 //! E5 (Section 6.4, Theorem 5): GWTS performs an unbounded decision
 //! stream at `O(f·n²)` messages per decision; every input is eventually
-//! included (Inclusivity).
+//! included (Inclusivity). Both the size sweep and the per-seed
+//! inclusivity battery run sharded across cores.
 
-use bgla_bench::{gwts_sim, measure_gwts, row};
+use bgla_bench::{gwts_sim, measure_gwts, row, run_indexed, run_seeds};
 use bgla_core::gwts::GwtsProcess;
 use bgla_core::{spec, SystemConfig};
 use bgla_simnet::RandomScheduler;
@@ -21,11 +22,16 @@ fn main() {
         ])
     );
 
-    let mut ratios = Vec::new();
-    for &n in &[4usize, 7, 10, 13] {
+    let ns = [4usize, 7, 10, 13];
+    let measurements = run_indexed(ns.len(), |i| {
+        let n = ns[i];
         let f = SystemConfig::max_f(n);
-        let m = measure_gwts(n, f, 5, 2);
-        let norm = m.msgs_per_decision / (f as f64 * (n * n) as f64);
+        (n, f, measure_gwts(n, f, 5, 2))
+    });
+
+    let mut ratios = Vec::new();
+    for (n, f, m) in &measurements {
+        let norm = m.msgs_per_decision / (*f as f64 * (n * n) as f64);
         ratios.push(norm);
         println!(
             "{}",
@@ -45,9 +51,11 @@ fn main() {
         / ratios.iter().cloned().fold(f64::MAX, f64::min);
     println!("\nmsgs/(f·n²) spread across n: {spread:.2}x (≈ constant ⇒ O(f·n²) shape ✓)");
 
-    // Inclusivity under a random schedule (Theorem 5(2)).
+    // Inclusivity under a random schedule (Theorem 5(2)), one core per
+    // seed.
     println!("\nInclusivity check (every input decided, 10 seeds, n=4 f=1): ");
-    for seed in 0..10 {
+    let seeds: Vec<u64> = (0..10).collect();
+    let verdicts = run_seeds(&seeds, |seed| {
         let mut sim = gwts_sim(4, 1, 4, 2, Box::new(RandomScheduler::new(seed)));
         sim.run(u64::MAX / 2);
         let mut seqs = Vec::new();
@@ -58,9 +66,11 @@ fn main() {
             inputs.push(p.all_inputs.clone());
         }
         spec::check_generalized_inclusivity(&inputs, &seqs)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            .and_then(|()| spec::check_local_stability(&seqs))
+            .and_then(|()| spec::check_global_comparability(&seqs))
+    });
+    for (seed, verdict) in seeds.iter().zip(verdicts) {
+        verdict.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
     println!("  all seeds ✓ (inclusivity, local stability, global comparability)");
 }

@@ -1,6 +1,6 @@
 //! E1 (Theorem 1): `n ≥ 3f + 1` processes are necessary.
 //!
-//! Three runs:
+//! Three runs, executed in parallel (one shard each), reported in order:
 //!  1. `n = 3f + 1` with a worst-case Byzantine: the full spec holds.
 //!  2. `n = 3f` with WTS as-is: safety holds but liveness is lost
 //!     (the quorum is unreachable — the protocol refuses to guess).
@@ -8,124 +8,148 @@
 //!     just decided with fewer acks?"): Theorem 1's split-brain run
 //!     materializes — correct processes decide incomparable values.
 
+use bgla_bench::run_indexed;
 use bgla_core::adversary::{Silent, SplitBrain};
 use bgla_core::wts::{WtsMsg, WtsProcess};
 use bgla_core::{spec, SystemConfig};
 use bgla_simnet::{FifoScheduler, SimulationBuilder, TargetedScheduler};
+use std::fmt::Write as _;
+
+// --- Run 1: n = 4, f = 1, equivocating Byzantine. Spec holds. ---
+fn run_full_spec() -> String {
+    let mut out = String::new();
+    let config = SystemConfig::new(4, 1);
+    let mut b = SimulationBuilder::new();
+    for i in 0..3 {
+        b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
+    }
+    b = b.add(Box::new(SplitBrain {
+        a: 666u64,
+        b: 777u64,
+    }));
+    let mut sim = b.build();
+    let outcome = sim.run(10_000_000);
+    let decisions: Vec<bgla_core::ValueSet<u64>> = (0..3)
+        .map(|i| {
+            sim.process_as::<WtsProcess<u64>>(i)
+                .unwrap()
+                .decision
+                .clone()
+                .expect("liveness at n=3f+1")
+        })
+        .collect();
+    spec::check_comparability(&decisions).expect("comparability at n=3f+1");
+    let _ = writeln!(
+        out,
+        "n=4 f=1 + split-brain adversary : quiescent={} all decided, comparable ✓",
+        outcome.quiescent
+    );
+    let _ = writeln!(out, "  decisions: {decisions:?}");
+    out
+}
+
+// --- Run 2: n = 3, f = 1, silent Byzantine. Liveness lost. ---
+fn run_liveness_lost() -> String {
+    let mut out = String::new();
+    let config = SystemConfig::new_unchecked(3, 1);
+    let mut b = SimulationBuilder::new();
+    for i in 0..2 {
+        b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
+    }
+    b = b.add(Box::new(Silent::default()));
+    let mut sim = b.build();
+    let outcome = sim.run(10_000_000);
+    let decided: Vec<bool> = (0..2)
+        .map(|i| {
+            sim.process_as::<WtsProcess<u64>>(i)
+                .unwrap()
+                .decision
+                .is_some()
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "\nn=3 f=1, WTS unchanged         : quiescent={} decided={decided:?}",
+        outcome.quiescent
+    );
+    assert!(decided.iter().all(|d| !d));
+    let _ = writeln!(
+        out,
+        "  quorum ⌊(n+f)/2⌋+1 = 3 > n−f = 2 reachable processes → no decision, ever.\n  \
+         Safety preserved; liveness impossible. ✓ (matches Theorem 1)"
+    );
+    out
+}
+
+// --- Run 3: n = 3, f = 1, quorum lowered to n−f = 2. Split brain. ---
+fn run_split_brain() -> String {
+    let mut out = String::new();
+    // The "fix" a naive implementer might try: decide on n−f acks.
+    // SystemConfig::quorum is ⌊(n+f)/2⌋+1; emulate quorum=2 by
+    // configuring f=0 quorum arithmetic while keeping a real
+    // Byzantine process and starving the p0↔p1 links so each victim
+    // only talks to the adversary until after deciding.
+    let config = SystemConfig::new_unchecked(3, 0); // quorum = 2, threshold = 3...
+                                                    // threshold n-f with f=0 is 3: the adversary *does* disclose
+                                                    // (differently per victim), so both victims see 2 correct-looking
+                                                    // disclosures + their own = 3.
+    let mut b = SimulationBuilder::new().scheduler(Box::new(TargetedScheduler::new(
+        vec![(0, 1), (1, 0)],
+        Box::new(FifoScheduler::new()),
+    )));
+    for i in 0..2 {
+        b = b.add(Box::new(WtsProcess::new(i, config, 10 + i as u64)));
+    }
+    b = b.add(Box::new(SplitBrain {
+        a: 666u64,
+        b: 777u64,
+    }));
+    let mut sim = b.build();
+    sim.run(10_000_000);
+    let decisions: Vec<Option<bgla_core::ValueSet<u64>>> = (0..2)
+        .map(|i| {
+            sim.process_as::<WtsProcess<u64>>(i)
+                .unwrap()
+                .decision
+                .clone()
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "\nn=3, quorum naively lowered to 2, split-brain adversary + partition:"
+    );
+    let _ = writeln!(out, "  decisions: {decisions:?}");
+    if let (Some(d0), Some(d1)) = (&decisions[0], &decisions[1]) {
+        let comparable = d0.is_subset(d1) || d1.is_subset(d0);
+        let _ = writeln!(
+            out,
+            "  comparable = {comparable}  →  {}",
+            if comparable {
+                "(this schedule did not trigger the violation)"
+            } else {
+                "COMPARABILITY VIOLATED ✓ (the Theorem-1 run, realized)"
+            }
+        );
+        assert!(
+            !comparable,
+            "expected the Theorem-1 split-brain violation at n=3f with a lowered quorum"
+        );
+    } else {
+        let _ = writeln!(out, "  (a victim failed to decide under this schedule)");
+    }
+    out
+}
 
 fn main() {
     println!("E1: necessity of 3f+1 processes (Theorem 1)\n");
 
-    // --- Run 1: n = 4, f = 1, equivocating Byzantine. Spec holds. ---
-    {
-        let config = SystemConfig::new(4, 1);
-        let mut b = SimulationBuilder::new();
-        for i in 0..3 {
-            b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
-        }
-        b = b.add(Box::new(SplitBrain {
-            a: 666u64,
-            b: 777u64,
-        }));
-        let mut sim = b.build();
-        let out = sim.run(10_000_000);
-        let decisions: Vec<bgla_core::ValueSet<u64>> = (0..3)
-            .map(|i| {
-                sim.process_as::<WtsProcess<u64>>(i)
-                    .unwrap()
-                    .decision
-                    .clone()
-                    .expect("liveness at n=3f+1")
-            })
-            .collect();
-        spec::check_comparability(&decisions).expect("comparability at n=3f+1");
-        println!(
-            "n=4 f=1 + split-brain adversary : quiescent={} all decided, comparable ✓",
-            out.quiescent
-        );
-        println!("  decisions: {decisions:?}");
-    }
-
-    // --- Run 2: n = 3, f = 1, silent Byzantine. Liveness lost. ---
-    {
-        let config = SystemConfig::new_unchecked(3, 1);
-        let mut b = SimulationBuilder::new();
-        for i in 0..2 {
-            b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
-        }
-        b = b.add(Box::new(Silent::default()));
-        let mut sim = b.build();
-        let out = sim.run(10_000_000);
-        let decided: Vec<bool> = (0..2)
-            .map(|i| {
-                sim.process_as::<WtsProcess<u64>>(i)
-                    .unwrap()
-                    .decision
-                    .is_some()
-            })
-            .collect();
-        println!(
-            "\nn=3 f=1, WTS unchanged         : quiescent={} decided={decided:?}",
-            out.quiescent
-        );
-        assert!(decided.iter().all(|d| !d));
-        println!(
-            "  quorum ⌊(n+f)/2⌋+1 = 3 > n−f = 2 reachable processes → no decision, ever.\n  \
-             Safety preserved; liveness impossible. ✓ (matches Theorem 1)"
-        );
-    }
-
-    // --- Run 3: n = 3, f = 1, quorum lowered to n−f = 2. Split brain. ---
-    {
-        // The "fix" a naive implementer might try: decide on n−f acks.
-        // SystemConfig::quorum is ⌊(n+f)/2⌋+1; emulate quorum=2 by
-        // configuring f=0 quorum arithmetic while keeping a real
-        // Byzantine process and starving the p0↔p1 links so each victim
-        // only talks to the adversary until after deciding.
-        let config = SystemConfig::new_unchecked(3, 0); // quorum = 2, threshold = 3...
-                                                        // threshold n-f with f=0 is 3: the adversary *does* disclose
-                                                        // (differently per victim), so both victims see 2 correct-looking
-                                                        // disclosures + their own = 3.
-        let mut b = SimulationBuilder::new().scheduler(Box::new(TargetedScheduler::new(
-            vec![(0, 1), (1, 0)],
-            Box::new(FifoScheduler),
-        )));
-        for i in 0..2 {
-            b = b.add(Box::new(WtsProcess::new(i, config, 10 + i as u64)));
-        }
-        b = b.add(Box::new(SplitBrain {
-            a: 666u64,
-            b: 777u64,
-        }));
-        let mut sim = b.build();
-        sim.run(10_000_000);
-        let decisions: Vec<Option<bgla_core::ValueSet<u64>>> = (0..2)
-            .map(|i| {
-                sim.process_as::<WtsProcess<u64>>(i)
-                    .unwrap()
-                    .decision
-                    .clone()
-            })
-            .collect();
-        println!("\nn=3, quorum naively lowered to 2, split-brain adversary + partition:");
-        println!("  decisions: {decisions:?}");
-        if let (Some(d0), Some(d1)) = (&decisions[0], &decisions[1]) {
-            let comparable = d0.is_subset(d1) || d1.is_subset(d0);
-            println!(
-                "  comparable = {comparable}  →  {}",
-                if comparable {
-                    "(this schedule did not trigger the violation)"
-                } else {
-                    "COMPARABILITY VIOLATED ✓ (the Theorem-1 run, realized)"
-                }
-            );
-            assert!(
-                !comparable,
-                "expected the Theorem-1 split-brain violation at n=3f with a lowered quorum"
-            );
-        } else {
-            println!("  (a victim failed to decide under this schedule)");
-        }
+    let reports = run_indexed(3, |i| match i {
+        0 => run_full_spec(),
+        1 => run_liveness_lost(),
+        _ => run_split_brain(),
+    });
+    for report in reports {
+        print!("{report}");
     }
 
     println!("\nConclusion: at n = 3f one must give up either safety or liveness; WTS at");

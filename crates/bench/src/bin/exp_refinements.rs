@@ -4,14 +4,48 @@
 //! The refinement-maximizing workload: `f` processes disclose *late*, so
 //! correct proposers start proposing with `n − f` values and learn the
 //! stragglers' values only through nacks — each nack adding at least one
-//! value, bounded by the number of missing safe values.
+//! value, bounded by the number of missing safe values. The full
+//! (f × seed) grid is flattened into one sharded sweep.
 
-use bgla_bench::row;
+use bgla_bench::{row, run_indexed};
 use bgla_core::adversary::LateDiscloser;
 use bgla_core::harness::{wts_report, wts_system_with_adversaries};
 use bgla_core::sbs::SbsProcess;
 use bgla_core::SystemConfig;
 use bgla_simnet::{RandomScheduler, SimulationBuilder};
+
+const FS: [usize; 4] = [1, 2, 3, 4];
+const WTS_SEEDS: u64 = 10;
+const SBS_SEEDS: u64 = 5;
+
+fn wts_max_refinements(f: usize, seed: u64) -> u64 {
+    let n = 3 * f + 1;
+    let (mut sim, _, byz) = wts_system_with_adversaries(
+        n,
+        f,
+        |i| i as u64,
+        Box::new(RandomScheduler::new(seed)),
+        |i, _| (i >= n - f).then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 10)) as _),
+    );
+    sim.run(u64::MAX / 2);
+    let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
+    wts_report(&sim, &correct).max_refinements
+}
+
+fn sbs_max_refinements(f: usize, seed: u64) -> u64 {
+    let n = 3 * f + 1;
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..n {
+        b = b.add(Box::new(SbsProcess::new(i, config, i as u64)));
+    }
+    let mut sim = b.build();
+    sim.run(u64::MAX / 2);
+    (0..n)
+        .map(|i| sim.process_as::<SbsProcess<u64>>(i).unwrap().refinements)
+        .max()
+        .unwrap_or(0)
+}
 
 fn main() {
     println!("E4: refinement bounds (WTS ≤ f, SbS ≤ 2f)\n");
@@ -27,43 +61,34 @@ fn main() {
         ])
     );
 
-    for f in 1..=4usize {
+    // Flatten the grid: first all (f, seed) WTS cells, then the SbS
+    // ones. Every cell is an independent seeded run.
+    let wts_cells = FS.len() * WTS_SEEDS as usize;
+    let sbs_cells = FS.len() * SBS_SEEDS as usize;
+    let results = run_indexed(wts_cells + sbs_cells, |i| {
+        if i < wts_cells {
+            let f = FS[i / WTS_SEEDS as usize];
+            wts_max_refinements(f, (i % WTS_SEEDS as usize) as u64)
+        } else {
+            let j = i - wts_cells;
+            let f = FS[j / SBS_SEEDS as usize];
+            sbs_max_refinements(f, (j % SBS_SEEDS as usize) as u64)
+        }
+    });
+
+    for (fi, &f) in FS.iter().enumerate() {
         let n = 3 * f + 1;
-
-        // WTS with f late-disclosers, many seeds.
-        let mut wts_max = 0u64;
-        for seed in 0..10 {
-            let (mut sim, _, byz) = wts_system_with_adversaries(
-                n,
-                f,
-                |i| i as u64,
-                Box::new(RandomScheduler::new(seed)),
-                |i, _| {
-                    (i >= n - f).then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 10)) as _)
-                },
-            );
-            sim.run(u64::MAX / 2);
-            let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
-            wts_max = wts_max.max(wts_report(&sim, &correct).max_refinements);
-        }
-
-        // SbS all-correct under reordering (refinements arise from
-        // proposal races).
-        let mut sbs_max = 0u64;
-        for seed in 0..5 {
-            let config = SystemConfig::new(n, f);
-            let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
-            for i in 0..n {
-                b = b.add(Box::new(SbsProcess::new(i, config, i as u64)));
-            }
-            let mut sim = b.build();
-            sim.run(u64::MAX / 2);
-            for i in 0..n {
-                let p = sim.process_as::<SbsProcess<u64>>(i).unwrap();
-                sbs_max = sbs_max.max(p.refinements);
-            }
-        }
-
+        let wts_max = results[fi * WTS_SEEDS as usize..(fi + 1) * WTS_SEEDS as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap();
+        let base = wts_cells + fi * SBS_SEEDS as usize;
+        let sbs_max = results[base..base + SBS_SEEDS as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap();
         println!(
             "{}",
             row(&[

@@ -1,8 +1,9 @@
 //! E6 (Section 7, Theorem 6, Lemma 12): the RSM provides all six
 //! properties, with Byzantine replicas *and* clients present; measures
-//! operation cost in messages.
+//! operation cost in messages. The four configurations run sharded, one
+//! per core, and report in order.
 
-use bgla_bench::row;
+use bgla_bench::{row, run_indexed};
 use bgla_core::SystemConfig;
 use bgla_rsm::checks;
 use bgla_rsm::client::{GarbageClient, PipeliningClient, StingyClient};
@@ -15,6 +16,104 @@ impl Process<RsmMsg> for DeadReplica {
     fn on_message(&mut self, _f: usize, _m: RsmMsg, _c: &mut Context<RsmMsg>) {}
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+struct RsmCell {
+    row: String,
+    final_read: Option<String>,
+    verdict: String,
+}
+
+fn run_config(n: usize, f: usize, byz_replica: bool, byz_clients: bool) -> RsmCell {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(42)));
+    let correct_replicas = if byz_replica { n - 1 } else { n };
+    for i in 0..correct_replicas {
+        b = b.add(Box::new(
+            Replica::new(i, config, 60).with_validator(|c| c.client < 1000),
+        ));
+    }
+    if byz_replica {
+        b = b.add(Box::new(DeadReplica));
+    }
+    let scripts = [
+        vec![
+            ClientOp::Update(Op::Add(1)),
+            ClientOp::Read,
+            ClientOp::Update(Op::Add(2)),
+            ClientOp::Read,
+        ],
+        vec![ClientOp::Update(Op::Put("k".into())), ClientOp::Read],
+        vec![ClientOp::Read, ClientOp::Update(Op::Add(7)), ClientOp::Read],
+    ];
+    let n_honest_clients = scripts.len();
+    for (k, s) in scripts.iter().enumerate() {
+        b = b.add(Box::new(WorkloadClient::new(k as u64 + 1, n, f, s.clone())));
+    }
+    if byz_clients {
+        b = b.add(Box::new(GarbageClient {
+            client_id: 50,
+            n_replicas: n,
+        }));
+        b = b.add(Box::new(StingyClient {
+            client_id: 60,
+            target: 0,
+            op: Op::Add(1000),
+        }));
+        b = b.add(Box::new(PipeliningClient {
+            client_id: 70,
+            n_replicas: n,
+            f,
+            burst: 4,
+        }));
+    }
+    let mut sim = b.build();
+    sim.run(u64::MAX / 2);
+
+    let mut snapshots = Vec::new();
+    let mut ops = 0usize;
+    for id in n..n + n_honest_clients {
+        let c = sim.process_as::<WorkloadClient>(id).unwrap();
+        ops += c.results.len();
+        let mut copy = WorkloadClient::new(c.client_id, 0, 0, vec![]);
+        copy.results = c.results.clone();
+        snapshots.push(copy);
+    }
+    let refs: Vec<&WorkloadClient> = snapshots.iter().collect();
+    let verdict = match checks::check_all(&refs) {
+        Ok(()) => "all 6 ✓".to_string(),
+        Err(e) => format!("VIOLATION: {e}"),
+    };
+    let row = row(&[
+        n.to_string(),
+        f.to_string(),
+        byz_replica.to_string(),
+        byz_clients.to_string(),
+        ops.to_string(),
+        format!(
+            "{:.0}",
+            sim.metrics().total_sent() as f64 / ops.max(1) as f64
+        ),
+        verdict.clone(),
+    ]);
+
+    // Sanity: a final read reflects all completed honest adds.
+    let final_read = snapshots
+        .iter()
+        .filter_map(|c| c.reads().pop())
+        .max_by_key(|r| r.len())
+        .map(|r| {
+            let st = CounterState::execute(&r);
+            format!(
+                "    final read: counter={} entries={:?} ({} cmds visible)",
+                st.total, st.entries, st.applied
+            )
+        });
+    RsmCell {
+        row,
+        final_read,
+        verdict,
     }
 }
 
@@ -33,99 +132,21 @@ fn main() {
         ])
     );
 
-    for (n, f, byz_replica, byz_clients) in [
+    let configs = [
         (4usize, 1usize, false, false),
         (4, 1, true, false),
         (4, 1, true, true),
         (7, 2, true, true),
-    ] {
-        let config = SystemConfig::new(n, f);
-        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(42)));
-        let correct_replicas = if byz_replica { n - 1 } else { n };
-        for i in 0..correct_replicas {
-            b = b.add(Box::new(
-                Replica::new(i, config, 60).with_validator(|c| c.client < 1000),
-            ));
-        }
-        if byz_replica {
-            b = b.add(Box::new(DeadReplica));
-        }
-        let scripts = [
-            vec![
-                ClientOp::Update(Op::Add(1)),
-                ClientOp::Read,
-                ClientOp::Update(Op::Add(2)),
-                ClientOp::Read,
-            ],
-            vec![ClientOp::Update(Op::Put("k".into())), ClientOp::Read],
-            vec![ClientOp::Read, ClientOp::Update(Op::Add(7)), ClientOp::Read],
-        ];
-        let n_honest_clients = scripts.len();
-        for (k, s) in scripts.iter().enumerate() {
-            b = b.add(Box::new(WorkloadClient::new(k as u64 + 1, n, f, s.clone())));
-        }
-        if byz_clients {
-            b = b.add(Box::new(GarbageClient {
-                client_id: 50,
-                n_replicas: n,
-            }));
-            b = b.add(Box::new(StingyClient {
-                client_id: 60,
-                target: 0,
-                op: Op::Add(1000),
-            }));
-            b = b.add(Box::new(PipeliningClient {
-                client_id: 70,
-                n_replicas: n,
-                f,
-                burst: 4,
-            }));
-        }
-        let mut sim = b.build();
-        sim.run(u64::MAX / 2);
-
-        let mut snapshots = Vec::new();
-        let mut ops = 0usize;
-        for id in n..n + n_honest_clients {
-            let c = sim.process_as::<WorkloadClient>(id).unwrap();
-            ops += c.results.len();
-            let mut copy = WorkloadClient::new(c.client_id, 0, 0, vec![]);
-            copy.results = c.results.clone();
-            snapshots.push(copy);
-        }
-        let refs: Vec<&WorkloadClient> = snapshots.iter().collect();
-        let verdict = match checks::check_all(&refs) {
-            Ok(()) => "all 6 ✓".to_string(),
-            Err(e) => format!("VIOLATION: {e}"),
-        };
-        println!(
-            "{}",
-            row(&[
-                n.to_string(),
-                f.to_string(),
-                byz_replica.to_string(),
-                byz_clients.to_string(),
-                ops.to_string(),
-                format!(
-                    "{:.0}",
-                    sim.metrics().total_sent() as f64 / ops.max(1) as f64
-                ),
-                verdict.clone(),
-            ])
-        );
-        assert!(verdict.starts_with("all"), "{verdict}");
-
-        // Sanity: a final read reflects all completed honest adds.
-        let last = snapshots
-            .iter()
-            .filter_map(|c| c.reads().pop())
-            .max_by_key(|r| r.len());
-        if let Some(r) = last {
-            let st = CounterState::execute(&r);
-            println!(
-                "    final read: counter={} entries={:?} ({} cmds visible)",
-                st.total, st.entries, st.applied
-            );
+    ];
+    let cells = run_indexed(configs.len(), |i| {
+        let (n, f, byz_replica, byz_clients) = configs[i];
+        run_config(n, f, byz_replica, byz_clients)
+    });
+    for cell in cells {
+        println!("{}", cell.row);
+        assert!(cell.verdict.starts_with("all"), "{}", cell.verdict);
+        if let Some(line) = cell.final_read {
+            println!("{line}");
         }
     }
     println!("\nShape ✓: linearizable RSM semantics hold in every configuration, incl.");

@@ -1,8 +1,10 @@
 //! E7 (Theorem 8, Section 8.1): SbS decides within `5 + 4f` message
 //! delays and, for `f = O(1)`, costs `O(n)` messages per proposer —
-//! versus WTS's `O(n²)`. Finds the crossover.
+//! versus WTS's `O(n²)`. Finds the crossover. Both sweeps run
+//! sharded: one cell per `f` for the delay bound, one cell per `n` for
+//! the crossover (each cell measuring WTS and SbS back-to-back).
 
-use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row};
+use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row, run_indexed};
 use bgla_simnet::FifoScheduler;
 
 fn main() {
@@ -20,10 +22,13 @@ fn main() {
             "ok".into()
         ])
     );
-    for f in 1..=4usize {
-        let n = 3 * f + 1;
-        let m = measure_sbs(n, f, Box::new(FifoScheduler));
+    let delay_cells = run_indexed(4, |i| {
+        let f = i + 1;
+        (f, measure_sbs(3 * f + 1, f, Box::new(FifoScheduler::new())))
+    });
+    for (f, m) in delay_cells {
         assert!(m.all_decided);
+        let n = 3 * f + 1;
         let bound = 5 + 4 * f as u64;
         println!(
             "{}",
@@ -50,11 +55,17 @@ fn main() {
         ])
     );
     let ns = [4usize, 7, 10, 13, 16, 19];
+    let crossover_cells = run_indexed(ns.len(), |i| {
+        let n = ns[i];
+        (
+            n,
+            measure_wts(n, 1, Box::new(FifoScheduler::new())),
+            measure_sbs(n, 1, Box::new(FifoScheduler::new())),
+        )
+    });
     let (mut wts_ys, mut sbs_ys, mut xs) = (Vec::new(), Vec::new(), Vec::new());
     let mut crossover = None;
-    for &n in &ns {
-        let w = measure_wts(n, 1, Box::new(FifoScheduler));
-        let s = measure_sbs(n, 1, Box::new(FifoScheduler));
+    for (n, w, s) in crossover_cells {
         assert!(w.all_decided && s.all_decided);
         let winner = if s.max_msgs_per_process < w.max_msgs_per_process {
             if crossover.is_none() {

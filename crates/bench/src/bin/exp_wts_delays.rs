@@ -12,10 +12,55 @@
 //! The asserted rows: lockstep honest runs, and lockstep runs with `f`
 //! late-disclosing stragglers that maximize nack-driven refinements.
 
-use bgla_bench::{measure_wts, row};
+use bgla_bench::{measure_wts, row, run_indexed};
 use bgla_core::adversary::LateDiscloser;
 use bgla_core::harness::{wts_report, wts_system_with_adversaries};
 use bgla_simnet::{FifoScheduler, RandomScheduler};
+
+struct DelayCell {
+    f: usize,
+    n: usize,
+    d_lockstep: u64,
+    d_adv: u64,
+    hops_random: u64,
+}
+
+fn measure_cell(f: usize) -> DelayCell {
+    let n = 3 * f + 1;
+
+    // Lockstep honest run: depth == normalized time.
+    let d_lockstep = measure_wts(n, f, Box::new(FifoScheduler::new())).max_depth;
+
+    // Lockstep with f late-disclosers (refinement-maximizing).
+    let d_adv = {
+        let (mut sim, _, byz) = wts_system_with_adversaries(
+            n,
+            f,
+            |i| i as u64,
+            Box::new(FifoScheduler::new()),
+            |i, _| (i >= n - f).then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 12)) as _),
+        );
+        sim.run(u64::MAX / 2);
+        let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
+        let rep = wts_report(&sim, &correct);
+        rep.depths.iter().copied().max().unwrap_or(0)
+    };
+
+    // Informational: raw causal hops under random reordering (can
+    // exceed the bound without contradicting it — see module docs).
+    let hops_random = (0..5)
+        .map(|s| measure_wts(n, f, Box::new(RandomScheduler::new(s))).max_depth)
+        .max()
+        .unwrap();
+
+    DelayCell {
+        f,
+        n,
+        d_lockstep,
+        d_adv,
+        hops_random,
+    }
+}
 
 fn main() {
     println!("E2: WTS decision latency in message delays (bound: 2f + 5)\n");
@@ -32,46 +77,19 @@ fn main() {
         ])
     );
 
-    for f in 1..=6usize {
-        let n = 3 * f + 1;
-        let bound = 2 * f as u64 + 5;
-
-        // Lockstep honest run: depth == normalized time.
-        let d_lockstep = measure_wts(n, f, Box::new(FifoScheduler)).max_depth;
-
-        // Lockstep with f late-disclosers (refinement-maximizing).
-        let mut d_adv = 0;
-        {
-            let (mut sim, _, byz) = wts_system_with_adversaries(
-                n,
-                f,
-                |i| i as u64,
-                Box::new(FifoScheduler),
-                |i, _| {
-                    (i >= n - f).then(|| Box::new(LateDiscloser::new(1_000 + i as u64, 12)) as _)
-                },
-            );
-            sim.run(u64::MAX / 2);
-            let correct: Vec<usize> = (0..n).filter(|i| !byz.contains(i)).collect();
-            let rep = wts_report(&sim, &correct);
-            d_adv = d_adv.max(rep.depths.iter().copied().max().unwrap_or(0));
-        }
-
-        // Informational: raw causal hops under random reordering (can
-        // exceed the bound without contradicting it — see module docs).
-        let hops_random = (0..5)
-            .map(|s| measure_wts(n, f, Box::new(RandomScheduler::new(s))).max_depth)
-            .max()
-            .unwrap();
-
-        let worst = d_lockstep.max(d_adv);
+    // Each f-cell is an independent deterministic simulation bundle:
+    // sweep them across all cores.
+    let cells = run_indexed(6, |i| measure_cell(i + 1));
+    for c in cells {
+        let bound = 2 * c.f as u64 + 5;
+        let worst = c.d_lockstep.max(c.d_adv);
         println!(
             "{}",
             row(&[
-                f.to_string(),
-                n.to_string(),
-                d_lockstep.to_string(),
-                d_adv.to_string(),
+                c.f.to_string(),
+                c.n.to_string(),
+                c.d_lockstep.to_string(),
+                c.d_adv.to_string(),
                 bound.to_string(),
                 if worst <= bound {
                     "✓"
@@ -79,7 +97,7 @@ fn main() {
                     "✗ EXCEEDED"
                 }
                 .into(),
-                hops_random.to_string(),
+                c.hops_random.to_string(),
             ])
         );
         assert!(worst <= bound, "Theorem 3 bound exceeded in a lockstep run");

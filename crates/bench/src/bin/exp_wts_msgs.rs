@@ -1,10 +1,11 @@
 //! E3 (Section 5.1.3): WTS costs `O(n²)` messages per process — the
 //! reliable broadcast dominates. Sweeps `n` at `f = ⌊(n−1)/3⌋` and fits
-//! the growth exponent.
+//! the growth exponent. Each system size runs on its own core.
 
-use bgla_bench::{growth_exponent, measure_wts, row};
+use bgla_bench::{growth_exponent, measure_wts_sim, row, run_indexed};
+use bgla_core::wts::WtsProcess;
 use bgla_core::SystemConfig;
-use bgla_simnet::FifoScheduler;
+use bgla_simnet::{FifoScheduler, Metrics, SimulationBuilder};
 
 fn main() {
     println!("E3: WTS message complexity per process (claim: O(n²))\n");
@@ -20,28 +21,51 @@ fn main() {
     );
 
     let ns = [4usize, 7, 10, 16, 22, 31, 43];
+    // One sharded cell per system size; each returns its measurement and
+    // full metrics, which are merged into sweep-wide totals below.
+    let results = run_indexed(ns.len(), |i| {
+        let n = ns[i];
+        let f = SystemConfig::max_f(n);
+        let config = SystemConfig::new(n, f);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
+        for p in 0..n {
+            b = b.add(Box::new(WtsProcess::new(p, config, p as u64)));
+        }
+        let mut sim = b.build();
+        sim.run(u64::MAX / 2);
+        let m = measure_wts_sim(&sim, n);
+        (n, f, m.all_decided, sim.metrics().clone())
+    });
+
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &n in &ns {
-        let f = SystemConfig::max_f(n);
-        let m = measure_wts(n, f, Box::new(FifoScheduler));
-        assert!(m.all_decided);
+    let mut sweep_totals = Metrics::default();
+    for (n, f, all_decided, metrics) in &results {
+        assert!(all_decided);
+        let per_proc = metrics.max_sent_per_process();
         println!(
             "{}",
             row(&[
                 n.to_string(),
                 f.to_string(),
-                m.max_msgs_per_process.to_string(),
-                m.total_msgs.to_string(),
-                format!("{:.2}", m.max_msgs_per_process as f64 / (n * n) as f64),
+                per_proc.to_string(),
+                metrics.total_sent().to_string(),
+                format!("{:.2}", per_proc as f64 / (n * n) as f64),
             ])
         );
-        xs.push(n as f64);
-        ys.push(m.max_msgs_per_process as f64);
+        xs.push(*n as f64);
+        ys.push(per_proc as f64);
+        sweep_totals.merge(metrics);
     }
 
     let k = growth_exponent(&xs, &ys);
-    println!("\nEmpirical growth exponent of msgs/process in n: {k:.2} (theory: 2.0)");
+    println!(
+        "\nSweep totals: {} messages / {} bytes across {} runs.",
+        sweep_totals.total_sent(),
+        sweep_totals.total_bytes(),
+        results.len()
+    );
+    println!("Empirical growth exponent of msgs/process in n: {k:.2} (theory: 2.0)");
     assert!(
         (1.6..=2.4).contains(&k),
         "per-process message growth {k:.2} is not quadratic-shaped"

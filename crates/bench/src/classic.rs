@@ -1,0 +1,368 @@
+//! The pre-slab simulation engine, kept verbatim as an *executable
+//! specification*.
+//!
+//! Before the slab/incremental-scheduler redesign, `bgla_simnet` stored
+//! in-flight envelopes in a `Vec`, collected a fresh metadata vector for
+//! the scheduler on every step, let the scheduler scan it O(n), and
+//! `Vec::remove`d from the middle. This module preserves that engine and
+//! its schedulers exactly, for two purposes:
+//!
+//! * the **differential equivalence suite** (`tests/differential.rs`)
+//!   asserts that seeded runs over the slab-backed engine produce
+//!   *identical* delivery traces, metrics and decisions;
+//! * the **`simstep` bench** measures the old engine's per-delivery cost
+//!   next to the new one's, which is where the committed
+//!   `BENCH_simstep.json` speedup numbers come from.
+//!
+//! Do not "optimize" this module: its O(in-flight) behavior is the point.
+
+use bgla_simnet::{Context, InFlight, Metrics, Process, ProcessId, TraceEvent, WireMessage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-redesign scheduler interface: a full metadata scan per step.
+pub trait ClassicScheduler: Send {
+    /// Returns the index (into `inflight`) of the message to deliver.
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize;
+}
+
+/// Old FIFO: linear min-seq scan.
+#[derive(Default)]
+pub struct ClassicFifo;
+
+impl ClassicScheduler for ClassicFifo {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+/// Old LIFO: linear max-seq scan.
+#[derive(Default)]
+pub struct ClassicLifo;
+
+impl ClassicScheduler for ClassicLifo {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+/// Old seeded-random: uniform index into the (seq-ordered) vector.
+pub struct ClassicRandom {
+    rng: StdRng,
+}
+
+impl ClassicRandom {
+    /// Same seeding as [`bgla_simnet::RandomScheduler`].
+    pub fn new(seed: u64) -> Self {
+        ClassicRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ClassicScheduler for ClassicRandom {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        self.rng.gen_range(0..inflight.len())
+    }
+}
+
+/// Old bounded-skew delay: linear min scan over (due, seq).
+pub struct ClassicDelay {
+    seed: u64,
+    max_skew: u64,
+}
+
+impl ClassicDelay {
+    /// Same parameters as [`bgla_simnet::DelayScheduler`].
+    pub fn new(seed: u64, max_skew: u64) -> Self {
+        ClassicDelay { seed, max_skew }
+    }
+
+    fn delay_of(&self, seq: u64) -> u64 {
+        if self.max_skew == 0 {
+            return 0;
+        }
+        let mut z = seq
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z % (self.max_skew + 1)
+    }
+}
+
+impl ClassicScheduler for ClassicDelay {
+    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| (m.seq + self.delay_of(m.seq), m.seq))
+            .map(|(i, _)| i)
+            .expect("scheduler called with no in-flight messages")
+    }
+}
+
+/// Old link-starving adversary: filter, then delegate on the filtered
+/// view.
+pub struct ClassicTargeted {
+    starved: Vec<(ProcessId, ProcessId)>,
+    release_after: u64,
+    inner: Box<dyn ClassicScheduler>,
+}
+
+impl ClassicTargeted {
+    /// Same parameters as [`bgla_simnet::TargetedScheduler`].
+    pub fn new(links: Vec<(ProcessId, ProcessId)>, inner: Box<dyn ClassicScheduler>) -> Self {
+        ClassicTargeted {
+            starved: links,
+            release_after: u64::MAX,
+            inner,
+        }
+    }
+
+    /// Lifts starvation after `n` deliveries.
+    pub fn with_release_after(mut self, n: u64) -> Self {
+        self.release_after = n;
+        self
+    }
+
+    fn is_starved(&self, m: &InFlight, now: u64) -> bool {
+        now < self.release_after && self.starved.contains(&(m.from, m.to))
+    }
+}
+
+impl ClassicScheduler for ClassicTargeted {
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
+        let eligible: Vec<usize> = (0..inflight.len())
+            .filter(|&i| !self.is_starved(&inflight[i], now))
+            .collect();
+        if eligible.is_empty() {
+            return inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.seq)
+                .map(|(i, _)| i)
+                .expect("scheduler called with no in-flight messages");
+        }
+        let view: Vec<InFlight> = eligible.iter().map(|&i| inflight[i]).collect();
+        eligible[self.inner.choose(&view, now)]
+    }
+}
+
+/// Old partition-then-heal adversary.
+pub struct ClassicPartition {
+    left: Vec<ProcessId>,
+    heal_after: u64,
+    inner: Box<dyn ClassicScheduler>,
+}
+
+impl ClassicPartition {
+    /// Same parameters as [`bgla_simnet::PartitionScheduler`].
+    pub fn new(left: Vec<ProcessId>, heal_after: u64, inner: Box<dyn ClassicScheduler>) -> Self {
+        ClassicPartition {
+            left,
+            heal_after,
+            inner,
+        }
+    }
+
+    fn crosses(&self, m: &InFlight) -> bool {
+        self.left.contains(&m.from) != self.left.contains(&m.to)
+    }
+}
+
+impl ClassicScheduler for ClassicPartition {
+    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
+        if now >= self.heal_after {
+            return self.inner.choose(inflight, now);
+        }
+        let eligible: Vec<usize> = (0..inflight.len())
+            .filter(|&i| !self.crosses(&inflight[i]))
+            .collect();
+        if eligible.is_empty() {
+            return inflight
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.seq)
+                .map(|(i, _)| i)
+                .expect("scheduler called with no in-flight messages");
+        }
+        let view: Vec<InFlight> = eligible.iter().map(|&i| inflight[i]).collect();
+        eligible[self.inner.choose(&view, now)]
+    }
+}
+
+struct Envelope<M> {
+    meta: InFlight,
+    msg: M,
+    depth: u64,
+}
+
+/// The Vec-backed engine: O(in-flight) metadata collection, scan, and
+/// middle removal on every delivery — the behavior the slab engine must
+/// reproduce delivery-for-delivery.
+pub struct ClassicSimulation<M: WireMessage> {
+    procs: Vec<Box<dyn Process<M>>>,
+    depths: Vec<u64>,
+    events: Vec<u64>,
+    inflight: Vec<Envelope<M>>,
+    scheduler: Box<dyn ClassicScheduler>,
+    metrics: Metrics,
+    seq: u64,
+    delivered: u64,
+    started: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl<M: WireMessage + 'static> ClassicSimulation<M> {
+    /// Builds the reference simulation.
+    pub fn new(procs: Vec<Box<dyn Process<M>>>, scheduler: Box<dyn ClassicScheduler>) -> Self {
+        let n = procs.len();
+        ClassicSimulation {
+            depths: vec![0; n],
+            events: vec![0; n],
+            procs,
+            inflight: Vec::new(),
+            scheduler,
+            metrics: Metrics {
+                sent_by: vec![0; n],
+                bytes_by: vec![0; n],
+                ..Default::default()
+            },
+            seq: 0,
+            delivered: 0,
+            started: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Recorded delivery events (always on, unlike the production
+    /// engine's opt-in tracing).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Causal depth of process `p`.
+    pub fn depth_of(&self, p: ProcessId) -> u64 {
+        self.depths[p]
+    }
+
+    /// Downcast helper mirroring [`bgla_simnet::Simulation::process_as`].
+    pub fn process_as<T: 'static>(&self, p: ProcessId) -> Option<&T> {
+        self.procs[p].as_any().downcast_ref::<T>()
+    }
+
+    fn record_send(&mut self, from: ProcessId, kind: &'static str, bytes: usize) {
+        self.metrics.sent_by[from] += 1;
+        self.metrics.bytes_by[from] += bytes as u64;
+        *self.metrics.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.metrics.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+        self.metrics.max_message_bytes = self.metrics.max_message_bytes.max(bytes);
+    }
+
+    fn flush_outbox(&mut self, from: ProcessId, ctx: &mut Context<M>, depth: u64) {
+        for (to, msg) in ctx.take_outbox() {
+            let kind = msg.kind();
+            let bytes = msg.wire_size();
+            self.record_send(from, kind, bytes);
+            self.inflight.push(Envelope {
+                meta: InFlight {
+                    from,
+                    to,
+                    seq: self.seq,
+                    sent_at: self.delivered,
+                    kind,
+                },
+                msg,
+                depth,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Runs `on_start` on every process (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let n = self.n();
+        for p in 0..n {
+            let mut ctx = Context::for_embedding(p, n, 0, 0);
+            self.procs[p].on_start(&mut ctx);
+            self.flush_outbox(p, &mut ctx, 1);
+        }
+    }
+
+    /// Delivers exactly one message the old way: collect metas, scan,
+    /// `Vec::remove`. Returns `false` when nothing is in flight.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.start();
+        }
+        if self.inflight.is_empty() {
+            return false;
+        }
+        let metas: Vec<InFlight> = self.inflight.iter().map(|e| e.meta).collect();
+        let idx = self.scheduler.choose(&metas, self.delivered);
+        assert!(
+            idx < self.inflight.len(),
+            "scheduler returned invalid index"
+        );
+        let env = self.inflight.remove(idx);
+        let to = env.meta.to;
+        let n = self.n();
+
+        self.depths[to] = self.depths[to].max(env.depth);
+        self.events[to] += 1;
+        let mut ctx = Context::for_embedding(to, n, self.depths[to], self.events[to]);
+        self.trace.push(TraceEvent {
+            step: self.delivered,
+            from: env.meta.from,
+            to,
+            kind: env.msg.kind(),
+            depth: self.depths[to],
+            bytes: env.msg.wire_size(),
+        });
+        self.procs[to].on_message(env.meta.from, env.msg, &mut ctx);
+        let out_depth = self.depths[to] + 1;
+        self.flush_outbox(to, &mut ctx, out_depth);
+
+        self.delivered += 1;
+        self.metrics.delivered = self.delivered;
+        true
+    }
+
+    /// Runs until quiescence or the delivery budget; returns (deliveries,
+    /// quiescent).
+    pub fn run(&mut self, max_deliveries: u64) -> (u64, bool) {
+        self.start();
+        while self.delivered < max_deliveries {
+            if !self.step() {
+                return (self.delivered, true);
+            }
+        }
+        (self.delivered, self.inflight.is_empty())
+    }
+}

@@ -5,6 +5,11 @@
 //! builders and measurement helpers they share with the Criterion
 //! benches.
 
+pub mod classic;
+pub mod shard;
+
+pub use shard::{run_indexed, run_indexed_with, run_seeds, shard_count};
+
 use bgla_core::gwts::{GwtsMsg, GwtsProcess};
 use bgla_core::sbs::SbsProcess;
 use bgla_core::wts::{WtsMsg, WtsProcess};
@@ -133,7 +138,13 @@ pub struct GwtsMeasurement {
 
 /// Runs an all-correct GWTS stream and measures per-decision costs.
 pub fn measure_gwts(n: usize, f: usize, rounds: u64, values_per_round: u64) -> GwtsMeasurement {
-    let mut sim = gwts_sim(n, f, rounds, values_per_round, Box::new(FifoScheduler));
+    let mut sim = gwts_sim(
+        n,
+        f,
+        rounds,
+        values_per_round,
+        Box::new(FifoScheduler::new()),
+    );
     sim.run(u64::MAX / 2);
     let mut decisions = 0u64;
     let mut max_refinements = 0u64;
@@ -174,7 +185,7 @@ mod tests {
 
     #[test]
     fn wts_measurement_sane() {
-        let m = measure_wts(4, 1, Box::new(FifoScheduler));
+        let m = measure_wts(4, 1, Box::new(FifoScheduler::new()));
         assert!(m.all_decided);
         assert!(m.max_depth <= 7);
         assert!(m.total_msgs > 0);

@@ -969,7 +969,7 @@ mod tests {
     #[test]
     fn honest_rounds_decide_in_order() {
         let (n, rounds) = (4, 3u64);
-        let mut sim = gsbs_system(n, 1, rounds, Box::new(FifoScheduler));
+        let mut sim = gsbs_system(n, 1, rounds, Box::new(FifoScheduler::new()));
         let out = sim.run(10_000_000);
         assert!(out.quiescent);
         let mut seqs = Vec::new();
@@ -1047,7 +1047,7 @@ mod tests {
     fn per_proposer_messages_linear_in_n() {
         let mut counts = Vec::new();
         for n in [4usize, 7] {
-            let mut sim = gsbs_system(n, 1, 3, Box::new(FifoScheduler));
+            let mut sim = gsbs_system(n, 1, 3, Box::new(FifoScheduler::new()));
             sim.run(50_000_000);
             counts.push(sim.metrics().max_sent_per_process() as f64);
         }

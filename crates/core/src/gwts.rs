@@ -622,7 +622,7 @@ mod tests {
     #[test]
     fn honest_stream_decides_every_round() {
         let (n, f, rounds) = (4, 1, 4u64);
-        let mut sim = gwts_system(n, f, rounds, 2, Box::new(FifoScheduler));
+        let mut sim = gwts_system(n, f, rounds, 2, Box::new(FifoScheduler::new()));
         let out = sim.run(10_000_000);
         assert!(out.quiescent);
         let (seqs, inputs) = collect(&sim, n);
@@ -725,7 +725,7 @@ mod pruning_tests {
         let (n, f) = (4usize, 1usize);
         let config = SystemConfig::new(n, f);
         let run = |rounds: u64| -> usize {
-            let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+            let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
             for i in 0..n {
                 let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
                 for r in 0..rounds.saturating_sub(2) {
@@ -759,7 +759,7 @@ mod pruning_tests {
     fn long_stream_spec_holds_with_pruning() {
         let (n, f, rounds) = (4usize, 1usize, 10u64);
         let config = SystemConfig::new(n, f);
-        let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+        let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
         for i in 0..n {
             let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
             for r in 0..rounds - 2 {

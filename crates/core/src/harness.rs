@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn report_collects_everything() {
-        let (mut sim, config) = wts_system(4, 1, |i| i as u64, Box::new(FifoScheduler));
+        let (mut sim, config) = wts_system(4, 1, |i| i as u64, Box::new(FifoScheduler::new()));
         sim.run(1_000_000);
         let correct: Vec<usize> = (0..config.n).collect();
         let report = wts_report(&sim, &correct);

@@ -702,7 +702,7 @@ mod tests {
     #[test]
     fn honest_run_decides_and_agrees() {
         let (n, f) = (4, 1);
-        let mut sim = sbs_system(n, f, Box::new(FifoScheduler));
+        let mut sim = sbs_system(n, f, Box::new(FifoScheduler::new()));
         let out = sim.run(1_000_000);
         assert!(out.quiescent);
         check_run(&sim, n, f, "fifo");
@@ -711,7 +711,7 @@ mod tests {
     #[test]
     fn decision_depth_within_theorem_8_bound() {
         let (n, f) = (4, 1);
-        let mut sim = sbs_system(n, f, Box::new(FifoScheduler));
+        let mut sim = sbs_system(n, f, Box::new(FifoScheduler::new()));
         sim.run(1_000_000);
         for i in 0..n {
             let p = sim.process_as::<SbsProcess<u64>>(i).unwrap();
@@ -738,7 +738,7 @@ mod tests {
         // WTS's quadratic (E7 regenerates the full comparison).
         let mut per_process = Vec::new();
         for n in [4usize, 7, 10] {
-            let mut sim = sbs_system(n, 1, Box::new(FifoScheduler));
+            let mut sim = sbs_system(n, 1, Box::new(FifoScheduler::new()));
             sim.run(10_000_000);
             per_process.push(sim.metrics().max_sent_per_process() as f64);
         }

@@ -430,7 +430,12 @@ mod tests {
     #[test]
     fn decision_depth_within_theorem_3_bound() {
         for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
-            let (mut sim, _) = wts_system(n, f, |i| i as u64, Box::new(bgla_simnet::FifoScheduler));
+            let (mut sim, _) = wts_system(
+                n,
+                f,
+                |i| i as u64,
+                Box::new(bgla_simnet::FifoScheduler::new()),
+            );
             sim.run(10_000_000);
             for i in 0..n {
                 let p = sim.process_as::<WtsProcess<u64>>(i).unwrap();

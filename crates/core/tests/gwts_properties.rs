@@ -30,8 +30,8 @@ enum AdversaryKind {
 
 fn make_scheduler(kind: SchedulerKind, seed: u64) -> Box<dyn Scheduler> {
     match kind {
-        SchedulerKind::Fifo => Box::new(FifoScheduler),
-        SchedulerKind::Lifo => Box::new(LifoScheduler),
+        SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+        SchedulerKind::Lifo => Box::new(LifoScheduler::new()),
         SchedulerKind::Random => Box::new(RandomScheduler::new(seed)),
         SchedulerKind::Skewed => Box::new(DelayScheduler::new(seed, 48)),
     }

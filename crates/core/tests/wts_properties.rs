@@ -34,8 +34,8 @@ enum AdversaryKind {
 
 fn make_scheduler(kind: SchedulerKind, seed: u64) -> Box<dyn Scheduler> {
     match kind {
-        SchedulerKind::Fifo => Box::new(FifoScheduler),
-        SchedulerKind::Lifo => Box::new(LifoScheduler),
+        SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+        SchedulerKind::Lifo => Box::new(LifoScheduler::new()),
         SchedulerKind::Random => Box::new(RandomScheduler::new(seed)),
         SchedulerKind::Skewed => Box::new(DelayScheduler::new(seed, 32)),
     }
@@ -125,7 +125,7 @@ proptest! {
             n,
             f,
             |i| i as u64,
-            Box::new(FifoScheduler),
+            Box::new(FifoScheduler::new()),
             |_, _| None,
         );
         sim.run(u64::MAX / 2);

@@ -61,7 +61,7 @@ fn single_client_update_read() {
         n,
         f,
         vec![workload(1, n, f, script)],
-        Box::new(FifoScheduler),
+        Box::new(FifoScheduler::new()),
     );
     sim.run(20_000_000);
     let client = sim.process_as::<WorkloadClient>(4).unwrap();
@@ -172,7 +172,7 @@ fn byzantine_clients_cannot_corrupt_state() {
             burst: 3,
         }),
     ];
-    let mut sim = rsm_sim(n, f, clients, Box::new(FifoScheduler));
+    let mut sim = rsm_sim(n, f, clients, Box::new(FifoScheduler::new()));
     sim.run(50_000_000);
     let honest = sim.process_as::<WorkloadClient>(4).unwrap();
     assert!(honest.finished());
@@ -200,7 +200,7 @@ fn reads_reflect_quorum_confirmed_decisions_only() {
         n,
         f,
         vec![workload(1, n, f, script)],
-        Box::new(FifoScheduler),
+        Box::new(FifoScheduler::new()),
     );
     sim.run(20_000_000);
     let client = sim.process_as::<WorkloadClient>(4).unwrap();

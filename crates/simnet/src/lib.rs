@@ -10,6 +10,17 @@
 //! * **reliable** point-to-point links: messages are never lost,
 //! * **asynchronous** delivery: delays are unbounded and chosen by a
 //!   pluggable [`Scheduler`] (the network adversary),
+//!
+//! # Engine shape
+//!
+//! In-flight envelopes are held in a slab (free-list arena) addressed by
+//! stable [`EnvelopeId`]s, and schedulers are *incremental*: they are
+//! notified of every send and delivery through [`Scheduler::on_send`] /
+//! [`Scheduler::on_delivered`] and keep their own indexes, so one
+//! delivery step costs O(log n) at worst — never a scan, shift, or
+//! allocation proportional to the in-flight population. See the
+//! [`scheduler`] module docs for the exact hook contract and the
+//! fairness obligation custom schedulers must uphold.
 //! * **authenticated** channels: the harness stamps the true sender id on
 //!   every delivery, so a Byzantine process can lie about *content* but not
 //!   about *identity* — precisely the "minimal assumption of authenticated
@@ -45,8 +56,8 @@ pub mod trace;
 pub use metrics::{Metrics, WireMessage};
 pub use process::{Context, Process, ProcessId};
 pub use scheduler::{
-    DelayScheduler, FifoScheduler, InFlight, LifoScheduler, PartitionScheduler, RandomScheduler,
-    RecordingScheduler, ReplayScheduler, Scheduler, TargetedScheduler,
+    DelayScheduler, EnvelopeId, FifoScheduler, InFlight, LifoScheduler, PartitionScheduler,
+    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, TargetedScheduler,
 };
 pub use sim::{RunOutcome, Simulation, SimulationBuilder};
 pub use trace::{Trace, TraceEvent};

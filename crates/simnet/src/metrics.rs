@@ -24,7 +24,7 @@ pub trait WireMessage: Clone + Send {
 }
 
 /// Per-run message accounting, filled in by the simulator on every send.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Metrics {
     /// Messages sent, indexed by sender.
     pub sent_by: Vec<u64>,
@@ -85,6 +85,30 @@ impl Metrics {
     pub fn sent_by_subset(&self, set: &[ProcessId]) -> u64 {
         set.iter().map(|&p| self.sent_by[p]).sum()
     }
+
+    /// Folds another run's accounting into this one — used by the
+    /// sharded experiment driver to aggregate per-seed runs. Runs with
+    /// different process counts are aligned by index.
+    pub fn merge(&mut self, other: &Metrics) {
+        if other.sent_by.len() > self.sent_by.len() {
+            self.sent_by.resize(other.sent_by.len(), 0);
+            self.bytes_by.resize(other.bytes_by.len(), 0);
+        }
+        for (p, &v) in other.sent_by.iter().enumerate() {
+            self.sent_by[p] += v;
+        }
+        for (p, &v) in other.bytes_by.iter().enumerate() {
+            self.bytes_by[p] += v;
+        }
+        for (&k, &v) in &other.sent_by_kind {
+            *self.sent_by_kind.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.bytes_by_kind {
+            *self.bytes_by_kind.entry(k).or_insert(0) += v;
+        }
+        self.delivered += other.delivered;
+        self.max_message_bytes = self.max_message_bytes.max(other.max_message_bytes);
+    }
 }
 
 /// Blanket helpers for common primitive payloads used in unit tests.
@@ -124,5 +148,22 @@ mod tests {
         assert_eq!(m.bytes_by_kind["b"], 20);
         assert_eq!(m.max_message_bytes, 20);
         assert_eq!(m.sent_by_subset(&[0, 1]), 2);
+    }
+
+    #[test]
+    fn merge_aggregates_runs() {
+        let mut a = Metrics::new(2);
+        a.record_send(0, "a", 10);
+        a.delivered = 1;
+        let mut b = Metrics::new(3);
+        b.record_send(2, "a", 30);
+        b.record_send(1, "b", 5);
+        b.delivered = 2;
+        a.merge(&b);
+        assert_eq!(a.sent_by, vec![1, 1, 1]);
+        assert_eq!(a.total_bytes(), 45);
+        assert_eq!(a.sent_by_kind["a"], 2);
+        assert_eq!(a.delivered, 3);
+        assert_eq!(a.max_message_bytes, 30);
     }
 }

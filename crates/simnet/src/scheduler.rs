@@ -6,10 +6,46 @@
 //! choice function. The algorithms must satisfy their specifications under
 //! **every** scheduler; the test-suite exercises FIFO, seeded-random,
 //! bounded-delay and targeted/starving adversaries.
+//!
+//! # The incremental scheduler contract
+//!
+//! Schedulers are *incremental*: instead of rescanning the full in-flight
+//! set on every step (O(in-flight) per delivery), the engine streams
+//! membership changes through hooks and each scheduler maintains its own
+//! index, so a delivery step costs O(log n) or amortized O(1):
+//!
+//! * [`Scheduler::on_send`] — a message entered flight. Its
+//!   [`EnvelopeId`] is stable until the matching `on_delivered`; the
+//!   engine reuses ids afterwards (slab slots). Outside of a
+//!   [`Scheduler::reset`]-triggered re-feed, `on_send` is invoked in
+//!   strictly increasing `seq` order.
+//! * [`Scheduler::choose`] — pick the next envelope among those sent and
+//!   not yet delivered. Called exactly once per delivery; stateful
+//!   schedulers (e.g. seeded RNGs) may advance their state here.
+//! * [`Scheduler::on_delivered`] — the engine removed the envelope
+//!   `choose` just returned. Always called with that exact id, so eager
+//!   structures can simply pop. Wrapping schedulers forward it only for
+//!   ids their inner scheduler has been fed.
+//! * [`Scheduler::reset`] — drop all in-flight indexes (but keep
+//!   time-independent state: RNG streams, recorded traces, phase flags).
+//!   Wrappers use this to atomically re-partition their inner scheduler
+//!   at phase changes (starvation release, partition heal) by resetting
+//!   it and re-feeding every live message in `seq` order.
+//!
+//! **Fairness obligation.** Every message must eventually be chosen if
+//! the run goes on long enough. All provided schedulers are fair by
+//! construction; a custom scheduler must provide its own release valve
+//! (see [`TargetedScheduler`] for the canonical pattern: starve freely,
+//! but deliver the oldest starved message when nothing else is left).
 
 use crate::process::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+
+/// Stable handle to one in-flight envelope, assigned by the simulation's
+/// slab store on send and retired (then reused) on delivery.
+pub type EnvelopeId = usize;
 
 /// Metadata about one undelivered message, visible to the scheduler.
 /// (Content is deliberately *not* exposed: the network adversary acts on
@@ -29,31 +65,216 @@ pub struct InFlight {
     pub kind: &'static str,
 }
 
-/// Picks which in-flight message to deliver next.
-///
-/// Contract: must return a valid index into `inflight` (nonempty), and
-/// must be *fair*: every message must eventually be chosen if the run goes
-/// on long enough. All provided schedulers are fair by construction.
+/// Picks which in-flight message to deliver next, maintaining its own
+/// incremental index of the in-flight set (see the module docs for the
+/// full hook contract and fairness obligation).
 pub trait Scheduler: Send {
-    /// Chooses the index of the next message to deliver. `now` is the
-    /// number of deliveries performed so far.
-    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize;
+    /// A message entered flight under the given (stable-until-delivery)
+    /// id. Called in increasing `seq` order except during a post-`reset`
+    /// re-feed, which is also in increasing `seq` order.
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId);
+
+    /// Chooses the envelope to deliver next. `now` is the number of
+    /// deliveries performed so far. Called exactly once per delivery,
+    /// only when at least one message is in flight.
+    fn choose(&mut self, now: u64) -> EnvelopeId;
+
+    /// The engine delivered the envelope `choose` just returned; drop it
+    /// from the index.
+    fn on_delivered(&mut self, id: EnvelopeId);
+
+    /// Drops all in-flight bookkeeping (keeping RNG streams, traces and
+    /// phase flags) so a wrapper can re-feed the live set via `on_send`.
+    fn reset(&mut self);
+
+    /// Downcasting hook so harnesses can inspect scheduler state after a
+    /// run (e.g. [`ReplayScheduler::divergences`]); implement as `self`,
+    /// mirroring [`crate::Process::as_any`].
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// An insertion-ordered pool of envelope ids with O(log n) rank
+/// selection ("the k-th oldest live entry") and amortized O(1) removal.
+///
+/// Backed by an append-only vector with tombstones and a Fenwick tree of
+/// alive counts; compacts when more than half the entries are dead, so
+/// memory stays O(live). Because the engine calls `on_send` in `seq`
+/// order, insertion order *is* ascending-`seq` order — rank selection
+/// therefore reproduces an index into the seq-sorted in-flight list,
+/// exactly what the pre-slab engine handed to schedulers.
+#[derive(Debug, Default)]
+struct OrderedPool {
+    /// (id, alive) in insertion order.
+    entries: Vec<(EnvelopeId, bool)>,
+    /// Fenwick tree over `entries`: prefix counts of alive entries.
+    fenwick: Vec<i32>,
+    /// Live id -> index into `entries`.
+    pos_of: HashMap<EnvelopeId, usize>,
+    live: usize,
+}
+
+impl OrderedPool {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn fenwick_add(&mut self, mut i: usize, delta: i32) {
+        // 1-based internally.
+        i += 1;
+        while i <= self.fenwick.len() {
+            self.fenwick[i - 1] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Count of alive entries among the first `i` (1-based prefix).
+    fn fenwick_prefix(&self, mut i: usize) -> i32 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.fenwick[i - 1];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    fn insert(&mut self, id: EnvelopeId) {
+        let pos = self.entries.len();
+        self.entries.push((id, true));
+        // Appending node `i` (1-based): it covers `(i - lowbit(i), i]`,
+        // so seed it with the alive count of the already-present part of
+        // that range, plus one for the new entry.
+        let i = pos + 1;
+        let low = i & i.wrapping_neg();
+        let init = self.fenwick_prefix(i - 1) - self.fenwick_prefix(i - low) + 1;
+        self.fenwick.push(init);
+        let clash = self.pos_of.insert(id, pos);
+        debug_assert!(clash.is_none(), "envelope id {id} inserted twice");
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: EnvelopeId) {
+        let pos = self
+            .pos_of
+            .remove(&id)
+            .expect("removing an envelope id the pool does not hold");
+        self.entries[pos].1 = false;
+        self.fenwick_add(pos, -1);
+        self.live -= 1;
+        if self.entries.len() > 64 && self.live * 2 <= self.entries.len() {
+            self.compact();
+        }
+    }
+
+    /// The id of the k-th oldest live entry (0-based).
+    fn select(&self, k: usize) -> EnvelopeId {
+        assert!(k < self.live, "rank {k} out of bounds (live {})", self.live);
+        // Fenwick binary lifting: smallest prefix holding k+1 alive.
+        let mut target = k as i32 + 1;
+        let mut pos = 0usize; // 1-based prefix end
+        let mut mask = self.fenwick.len().next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.fenwick.len() && self.fenwick[next - 1] < target {
+                target -= self.fenwick[next - 1];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        let (id, alive) = self.entries[pos];
+        debug_assert!(alive);
+        id
+    }
+
+    fn compact(&mut self) {
+        self.entries.retain(|&(_, alive)| alive);
+        self.fenwick = vec![0; self.entries.len()];
+        for pos in 0..self.entries.len() {
+            self.fenwick_add(pos, 1);
+        }
+        self.pos_of.clear();
+        for (pos, &(id, _)) in self.entries.iter().enumerate() {
+            self.pos_of.insert(id, pos);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.fenwick.clear();
+        self.pos_of.clear();
+        self.live = 0;
+    }
 }
 
 /// Delivers messages strictly in send order. The most benign network.
-#[derive(Debug, Default, Clone)]
-pub struct FifoScheduler;
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<EnvelopeId>,
+}
+
+impl FifoScheduler {
+    /// A fresh FIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl Scheduler for FifoScheduler {
-    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
-        // Envelopes are kept in send order, but scan defensively so the
-        // scheduler stays correct if that invariant ever changes.
-        inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| m.seq)
-            .map(|(i, _)| i)
+    fn on_send(&mut self, _meta: &InFlight, id: EnvelopeId) {
+        self.queue.push_back(id);
+    }
+    fn choose(&mut self, _now: u64) -> EnvelopeId {
+        *self
+            .queue
+            .front()
             .expect("scheduler called with no in-flight messages")
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        let front = self.queue.pop_front();
+        debug_assert_eq!(front, Some(id), "FIFO delivered a non-front envelope");
+    }
+    fn reset(&mut self) {
+        self.queue.clear();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Delivers the *newest* in-flight message first — an aggressive
+/// reordering adversary that starves old messages as long as fresh
+/// traffic keeps arriving (fair because traffic is finite between
+/// quiescent points).
+#[derive(Debug, Default)]
+pub struct LifoScheduler {
+    stack: Vec<EnvelopeId>,
+}
+
+impl LifoScheduler {
+    /// A fresh LIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LifoScheduler {
+    fn on_send(&mut self, _meta: &InFlight, id: EnvelopeId) {
+        self.stack.push(id);
+    }
+    fn choose(&mut self, _now: u64) -> EnvelopeId {
+        *self
+            .stack
+            .last()
+            .expect("scheduler called with no in-flight messages")
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        let top = self.stack.pop();
+        debug_assert_eq!(top, Some(id), "LIFO delivered a non-top envelope");
+    }
+    fn reset(&mut self) {
+        self.stack.clear();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -63,6 +284,7 @@ impl Scheduler for FifoScheduler {
 #[derive(Debug)]
 pub struct RandomScheduler {
     rng: StdRng,
+    pool: OrderedPool,
 }
 
 impl RandomScheduler {
@@ -70,13 +292,29 @@ impl RandomScheduler {
     pub fn new(seed: u64) -> Self {
         RandomScheduler {
             rng: StdRng::seed_from_u64(seed),
+            pool: OrderedPool::default(),
         }
     }
 }
 
 impl Scheduler for RandomScheduler {
-    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
-        self.rng.gen_range(0..inflight.len())
+    fn on_send(&mut self, _meta: &InFlight, id: EnvelopeId) {
+        self.pool.insert(id);
+    }
+    fn choose(&mut self, _now: u64) -> EnvelopeId {
+        let k = self.rng.gen_range(0..self.pool.len());
+        self.pool.select(k)
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        self.pool.remove(id);
+    }
+    fn reset(&mut self) {
+        // The RNG stream survives: resets re-partition the in-flight
+        // view, they do not restart the randomness.
+        self.pool.clear();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -88,12 +326,18 @@ pub struct DelayScheduler {
     seed: u64,
     /// Maximum extra reordering window, in delivery steps.
     pub max_skew: u64,
+    /// Min-heap on (due time, seq).
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, EnvelopeId)>>,
 }
 
 impl DelayScheduler {
     /// Creates a scheduler with the given seed and skew window.
     pub fn new(seed: u64, max_skew: u64) -> Self {
-        DelayScheduler { seed, max_skew }
+        DelayScheduler {
+            seed,
+            max_skew,
+            heap: BinaryHeap::new(),
+        }
     }
 
     fn delay_of(&self, seq: u64) -> u64 {
@@ -112,13 +356,137 @@ impl DelayScheduler {
 }
 
 impl Scheduler for DelayScheduler {
-    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
-        inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| (m.seq + self.delay_of(m.seq), m.seq))
-            .map(|(i, _)| i)
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId) {
+        let due = meta.seq + self.delay_of(meta.seq);
+        self.heap.push(std::cmp::Reverse((due, meta.seq, id)));
+    }
+    fn choose(&mut self, _now: u64) -> EnvelopeId {
+        self.heap
+            .peek()
             .expect("scheduler called with no in-flight messages")
+            .0
+             .2
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        let top = self.heap.pop();
+        debug_assert_eq!(
+            top.map(|std::cmp::Reverse((_, _, i))| i),
+            Some(id),
+            "delay scheduler delivered a non-due envelope"
+        );
+    }
+    fn reset(&mut self) {
+        self.heap.clear();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Shared plumbing for the two starvation wrappers
+/// ([`TargetedScheduler`], [`PartitionScheduler`]): live messages are
+/// split into an *eligible* pool owned by the inner scheduler and a
+/// *held* pool keyed by `seq`; when the starvation phase ends the inner
+/// scheduler is reset and re-fed the entire live set in `seq` order, so
+/// its view matches what a full rescan would have produced.
+struct StarvingPools {
+    inner: Box<dyn Scheduler>,
+    /// Starved messages, keyed by seq (ordered: fairness releases the
+    /// oldest first).
+    held: BTreeMap<u64, EnvelopeId>,
+    /// All live messages (needed to re-feed the inner scheduler when the
+    /// starvation phase ends).
+    live: HashMap<EnvelopeId, InFlight>,
+    /// Messages currently indexed by the inner scheduler.
+    inner_count: usize,
+    /// True once the starvation phase has ended and everything flows to
+    /// the inner scheduler directly.
+    released: bool,
+}
+
+impl StarvingPools {
+    fn new(inner: Box<dyn Scheduler>) -> Self {
+        StarvingPools {
+            inner,
+            held: BTreeMap::new(),
+            live: HashMap::new(),
+            inner_count: 0,
+            released: false,
+        }
+    }
+
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId, starved: bool) {
+        if self.released {
+            // Phase over: no future re-feed, so skip the live-map
+            // bookkeeping on the hot path.
+            self.inner.on_send(meta, id);
+            self.inner_count += 1;
+            return;
+        }
+        self.live.insert(id, *meta);
+        if starved {
+            self.held.insert(meta.seq, id);
+        } else {
+            self.inner.on_send(meta, id);
+            self.inner_count += 1;
+        }
+    }
+
+    /// Ends the starvation phase: the inner scheduler takes over the full
+    /// live set, re-fed in `seq` order.
+    fn release_all(&mut self) {
+        self.released = true;
+        self.held.clear();
+        self.inner.reset();
+        let mut metas: Vec<(EnvelopeId, InFlight)> =
+            self.live.iter().map(|(&id, &m)| (id, m)).collect();
+        metas.sort_by_key(|(_, m)| m.seq);
+        for (id, meta) in &metas {
+            self.inner.on_send(meta, *id);
+        }
+        self.inner_count = metas.len();
+        // Everything live is now owned by the inner scheduler; the
+        // re-feed map has served its purpose.
+        self.live.clear();
+    }
+
+    fn choose(&mut self, now: u64) -> EnvelopeId {
+        if self.inner_count > 0 {
+            self.inner.choose(now)
+        } else {
+            // Fairness: nothing eligible — release the oldest starved
+            // message.
+            *self
+                .held
+                .values()
+                .next()
+                .expect("scheduler called with no in-flight messages")
+        }
+    }
+
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        // Pre-release messages sit in `live` (and possibly `held`);
+        // post-release sends are known only to the inner scheduler.
+        match self.live.remove(&id) {
+            Some(meta) => {
+                if self.held.remove(&meta.seq).is_none() {
+                    self.inner.on_delivered(id);
+                    self.inner_count -= 1;
+                }
+            }
+            None => {
+                debug_assert!(self.released, "delivered an envelope never seen");
+                self.inner.on_delivered(id);
+                self.inner_count -= 1;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.held.clear();
+        self.live.clear();
+        self.inner.reset();
+        self.inner_count = 0;
     }
 }
 
@@ -133,7 +501,7 @@ pub struct TargetedScheduler {
     starved: Vec<(ProcessId, ProcessId)>,
     /// After this many deliveries the starvation lifts entirely.
     pub release_after: u64,
-    inner: Box<dyn Scheduler>,
+    pools: StarvingPools,
 }
 
 impl TargetedScheduler {
@@ -142,7 +510,7 @@ impl TargetedScheduler {
         TargetedScheduler {
             starved: links,
             release_after: u64::MAX,
-            inner,
+            pools: StarvingPools::new(inner),
         }
     }
 
@@ -151,29 +519,207 @@ impl TargetedScheduler {
         self.release_after = n;
         self
     }
-
-    fn is_starved(&self, m: &InFlight, now: u64) -> bool {
-        now < self.release_after && self.starved.contains(&(m.from, m.to))
-    }
 }
 
 impl Scheduler for TargetedScheduler {
-    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
-        let eligible: Vec<usize> = (0..inflight.len())
-            .filter(|&i| !self.is_starved(&inflight[i], now))
-            .collect();
-        if eligible.is_empty() {
-            // Fairness: nothing else to deliver — release the oldest
-            // starved message.
-            return inflight
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, m)| m.seq)
-                .map(|(i, _)| i)
-                .expect("scheduler called with no in-flight messages");
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId) {
+        let starved = self.starved.contains(&(meta.from, meta.to));
+        self.pools.on_send(meta, id, starved);
+    }
+    fn choose(&mut self, now: u64) -> EnvelopeId {
+        if !self.pools.released && now >= self.release_after {
+            self.pools.release_all();
         }
-        let view: Vec<InFlight> = eligible.iter().map(|&i| inflight[i]).collect();
-        eligible[self.inner.choose(&view, now)]
+        self.pools.choose(now)
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        self.pools.on_delivered(id);
+    }
+    fn reset(&mut self) {
+        self.pools.reset();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Temporarily partitions the process set into two halves: cross-
+/// partition messages are starved while the partition holds, then the
+/// network heals after `heal_after` deliveries. Models the classic
+/// "partition then heal" scenario; fair because healing is guaranteed
+/// (and even before healing, starved messages flow when nothing else
+/// can).
+pub struct PartitionScheduler {
+    /// Processes in the first partition (everything else is the second).
+    pub left: Vec<ProcessId>,
+    /// Deliveries after which the partition heals.
+    pub heal_after: u64,
+    pools: StarvingPools,
+}
+
+impl PartitionScheduler {
+    /// Partitions `left` from the rest until `heal_after` deliveries.
+    pub fn new(left: Vec<ProcessId>, heal_after: u64, inner: Box<dyn Scheduler>) -> Self {
+        PartitionScheduler {
+            left,
+            heal_after,
+            pools: StarvingPools::new(inner),
+        }
+    }
+
+    fn crosses(&self, m: &InFlight) -> bool {
+        self.left.contains(&m.from) != self.left.contains(&m.to)
+    }
+}
+
+impl Scheduler for PartitionScheduler {
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId) {
+        let crosses = self.crosses(meta);
+        self.pools.on_send(meta, id, crosses);
+    }
+    fn choose(&mut self, now: u64) -> EnvelopeId {
+        if !self.pools.released && now >= self.heal_after {
+            self.pools.release_all();
+        }
+        self.pools.choose(now)
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        self.pools.on_delivered(id);
+    }
+    fn reset(&mut self) {
+        self.pools.reset();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Shared handle to a recorded schedule (sequence numbers in delivery
+/// order). The simulation consumes the scheduler, so the trace is read
+/// back through this handle after the run.
+pub type TraceHandle = std::sync::Arc<parking_lot::Mutex<Vec<u64>>>;
+
+/// Wraps any scheduler and records the `seq` of every chosen message so
+/// the exact schedule can be replayed later with [`ReplayScheduler`] —
+/// the mechanism behind reproducible counter-example shrinking.
+pub struct RecordingScheduler {
+    inner: Box<dyn Scheduler>,
+    trace: TraceHandle,
+    /// Live id -> seq, so choices can be recorded by seq.
+    seqs: HashMap<EnvelopeId, u64>,
+}
+
+impl RecordingScheduler {
+    /// Records `inner`'s choices; returns the scheduler and the handle
+    /// the trace can be read from after the run.
+    pub fn new(inner: Box<dyn Scheduler>) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Default::default();
+        (
+            RecordingScheduler {
+                inner,
+                trace: trace.clone(),
+                seqs: HashMap::new(),
+            },
+            trace,
+        )
+    }
+}
+
+impl Scheduler for RecordingScheduler {
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId) {
+        self.seqs.insert(id, meta.seq);
+        self.inner.on_send(meta, id);
+    }
+    fn choose(&mut self, now: u64) -> EnvelopeId {
+        let id = self.inner.choose(now);
+        self.trace.lock().push(self.seqs[&id]);
+        id
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        self.seqs.remove(&id);
+        self.inner.on_delivered(id);
+    }
+    fn reset(&mut self) {
+        // The recorded trace survives; only the live index drops.
+        self.seqs.clear();
+        self.inner.reset();
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Replays a schedule recorded by [`RecordingScheduler`]: delivers the
+/// message whose `seq` matches the next trace entry. Falls back to FIFO
+/// once the trace is exhausted.
+///
+/// If the expected message is not in flight (which can only happen when
+/// the program under test changed), the unmatched entry is *skipped* —
+/// counted in [`ReplayScheduler::divergences`] — and the replay resyncs
+/// on the next matching entry, so a single gap does not poison the rest
+/// of the schedule.
+pub struct ReplayScheduler {
+    trace: VecDeque<u64>,
+    /// Number of trace entries that could not be matched to an in-flight
+    /// message (skipped to resync).
+    pub divergences: u64,
+    /// Live messages by seq; ordered so the FIFO fallback is the first
+    /// entry.
+    live: BTreeMap<u64, EnvelopeId>,
+    /// Seq of the message `choose` last returned (for `on_delivered`).
+    last_seq: Option<u64>,
+}
+
+impl ReplayScheduler {
+    /// Replays `trace`.
+    pub fn new(trace: Vec<u64>) -> Self {
+        ReplayScheduler {
+            trace: trace.into(),
+            divergences: 0,
+            live: BTreeMap::new(),
+            last_seq: None,
+        }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId) {
+        self.live.insert(meta.seq, id);
+    }
+    fn choose(&mut self, _now: u64) -> EnvelopeId {
+        while let Some(&want) = self.trace.front() {
+            self.trace.pop_front();
+            if let Some(&id) = self.live.get(&want) {
+                self.last_seq = Some(want);
+                return id;
+            }
+            // Unmatched entry: skip it and try to resync on the next one.
+            self.divergences += 1;
+        }
+        // Trace exhausted: FIFO fallback (oldest in flight).
+        let (&seq, &id) = self
+            .live
+            .iter()
+            .next()
+            .expect("scheduler called with no in-flight messages");
+        self.last_seq = Some(seq);
+        id
+    }
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        let seq = self
+            .last_seq
+            .take()
+            .expect("on_delivered without a preceding choose");
+        let removed = self.live.remove(&seq);
+        debug_assert_eq!(removed, Some(id), "replay bookkeeping out of sync");
+    }
+    fn reset(&mut self) {
+        // Replay position and divergence count survive a re-feed.
+        self.live.clear();
+        self.last_seq = None;
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -191,176 +737,107 @@ mod tests {
         }
     }
 
+    /// Feeds `metas` to `s` (ids = indexes), then delivers one message
+    /// and returns the delivered meta index.
+    fn feed(s: &mut dyn Scheduler, metas: &[InFlight]) {
+        for (id, m) in metas.iter().enumerate() {
+            s.on_send(m, id);
+        }
+    }
+
+    fn deliver_one(s: &mut dyn Scheduler, now: u64) -> EnvelopeId {
+        let id = s.choose(now);
+        s.on_delivered(id);
+        id
+    }
+
     #[test]
     fn fifo_picks_lowest_seq() {
-        let mut s = FifoScheduler;
-        let msgs = vec![mk(5, 0, 1), mk(2, 1, 0), mk(9, 2, 0)];
-        assert_eq!(s.choose(&msgs, 0), 1);
+        let mut s = FifoScheduler::new();
+        feed(&mut s, &[mk(2, 1, 0), mk(5, 0, 1), mk(9, 2, 0)]);
+        assert_eq!(deliver_one(&mut s, 0), 0);
+        assert_eq!(deliver_one(&mut s, 1), 1);
+        assert_eq!(deliver_one(&mut s, 2), 2);
+    }
+
+    #[test]
+    fn lifo_picks_highest_seq() {
+        let mut s = LifoScheduler::new();
+        feed(&mut s, &[mk(5, 0, 1), mk(2, 1, 0), mk(9, 2, 0)]);
+        assert_eq!(deliver_one(&mut s, 0), 2);
+        assert_eq!(deliver_one(&mut s, 1), 1);
+        assert_eq!(deliver_one(&mut s, 2), 0);
     }
 
     #[test]
     fn random_is_reproducible() {
-        let msgs: Vec<InFlight> = (0..10).map(|i| mk(i, 0, 1)).collect();
-        let picks1: Vec<usize> = {
+        let run = || -> Vec<EnvelopeId> {
             let mut s = RandomScheduler::new(42);
-            (0..20).map(|t| s.choose(&msgs, t)).collect()
+            let metas: Vec<InFlight> = (0..10).map(|i| mk(i, 0, 1)).collect();
+            feed(&mut s, &metas);
+            (0..10).map(|t| deliver_one(&mut s, t)).collect()
         };
-        let picks2: Vec<usize> = {
-            let mut s = RandomScheduler::new(42);
-            (0..20).map(|t| s.choose(&msgs, t)).collect()
-        };
-        assert_eq!(picks1, picks2);
+        assert_eq!(run(), run());
     }
 
     #[test]
     fn delay_zero_skew_degenerates_to_fifo() {
         let mut s = DelayScheduler::new(7, 0);
-        let msgs = vec![mk(5, 0, 1), mk(2, 1, 0)];
-        assert_eq!(s.choose(&msgs, 0), 1);
+        feed(&mut s, &[mk(2, 1, 0), mk(5, 0, 1)]);
+        assert_eq!(deliver_one(&mut s, 0), 0);
+        assert_eq!(deliver_one(&mut s, 1), 1);
     }
 
     #[test]
     fn targeted_starves_until_forced() {
-        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler));
-        let msgs = vec![mk(1, 0, 1), mk(2, 2, 1)];
+        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler::new()));
         // Message on starved link 0->1 skipped in favor of 2->1.
-        assert_eq!(s.choose(&msgs, 0), 1);
+        s.on_send(&mk(1, 0, 1), 0);
+        s.on_send(&mk(2, 2, 1), 1);
+        assert_eq!(deliver_one(&mut s, 0), 1);
         // Only starved messages left: fairness forces delivery.
-        let only = vec![mk(1, 0, 1)];
-        assert_eq!(s.choose(&only, 1), 0);
+        assert_eq!(deliver_one(&mut s, 1), 0);
     }
 
     #[test]
     fn targeted_release_lifts_starvation() {
-        let mut s =
-            TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler)).with_release_after(10);
-        let msgs = vec![mk(1, 0, 1), mk(2, 2, 1)];
-        assert_eq!(s.choose(&msgs, 5), 1);
-        assert_eq!(s.choose(&msgs, 11), 0); // starvation over, FIFO wins
-    }
-}
-
-/// Delivers the *newest* in-flight message first — an aggressive
-/// reordering adversary that starves old messages as long as fresh
-/// traffic keeps arriving (fair because traffic is finite between
-/// quiescent points).
-#[derive(Debug, Default, Clone)]
-pub struct LifoScheduler;
-
-impl Scheduler for LifoScheduler {
-    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
-        inflight
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, m)| m.seq)
-            .map(|(i, _)| i)
-            .expect("scheduler called with no in-flight messages")
-    }
-}
-
-/// Shared handle to a recorded schedule (sequence numbers in delivery
-/// order). The simulation consumes the scheduler, so the trace is read
-/// back through this handle after the run.
-pub type TraceHandle = std::sync::Arc<parking_lot::Mutex<Vec<u64>>>;
-
-/// Wraps any scheduler and records the `seq` of every chosen message so
-/// the exact schedule can be replayed later with [`ReplayScheduler`] —
-/// the mechanism behind reproducible counter-example shrinking.
-pub struct RecordingScheduler {
-    inner: Box<dyn Scheduler>,
-    trace: TraceHandle,
-}
-
-impl RecordingScheduler {
-    /// Records `inner`'s choices; returns the scheduler and the handle
-    /// the trace can be read from after the run.
-    pub fn new(inner: Box<dyn Scheduler>) -> (Self, TraceHandle) {
-        let trace: TraceHandle = Default::default();
-        (
-            RecordingScheduler {
-                inner,
-                trace: trace.clone(),
-            },
-            trace,
-        )
-    }
-}
-
-impl Scheduler for RecordingScheduler {
-    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
-        let idx = self.inner.choose(inflight, now);
-        self.trace.lock().push(inflight[idx].seq);
-        idx
-    }
-}
-
-/// Replays a schedule recorded by [`RecordingScheduler`]: delivers the
-/// message whose `seq` matches the next trace entry. Falls back to FIFO
-/// once the trace is exhausted or if the expected message is not in
-/// flight (which can only happen if the program under test changed).
-pub struct ReplayScheduler {
-    trace: std::collections::VecDeque<u64>,
-    /// Number of deliveries that deviated from the trace.
-    pub divergences: u64,
-}
-
-impl ReplayScheduler {
-    /// Replays `trace`.
-    pub fn new(trace: Vec<u64>) -> Self {
-        ReplayScheduler {
-            trace: trace.into(),
-            divergences: 0,
-        }
-    }
-}
-
-impl Scheduler for ReplayScheduler {
-    fn choose(&mut self, inflight: &[InFlight], _now: u64) -> usize {
-        if let Some(&want) = self.trace.front() {
-            if let Some(idx) = inflight.iter().position(|m| m.seq == want) {
-                self.trace.pop_front();
-                return idx;
-            }
-            self.divergences += 1;
-        }
-        // FIFO fallback.
-        inflight
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, m)| m.seq)
-            .map(|(i, _)| i)
-            .expect("scheduler called with no in-flight messages")
-    }
-}
-
-#[cfg(test)]
-mod record_replay_tests {
-    use super::*;
-
-    fn mk(seq: u64) -> InFlight {
-        InFlight {
-            from: 0,
-            to: 1,
-            seq,
-            sent_at: 0,
-            kind: "t",
-        }
+        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(FifoScheduler::new()))
+            .with_release_after(10);
+        s.on_send(&mk(1, 0, 1), 0);
+        s.on_send(&mk(2, 2, 1), 1);
+        // Before release: starved link skipped.
+        assert_eq!(s.choose(5), 1);
+        // After release: FIFO (lowest seq) wins, even on the old link.
+        assert_eq!(s.choose(11), 0);
     }
 
     #[test]
-    fn lifo_picks_highest_seq() {
-        let mut s = LifoScheduler;
-        let msgs = vec![mk(5), mk(2), mk(9)];
-        assert_eq!(s.choose(&msgs, 0), 2);
+    fn partition_blocks_cross_traffic_until_heal() {
+        let mut s = PartitionScheduler::new(vec![0, 1], 100, Box::new(FifoScheduler::new()));
+        s.on_send(&mk(1, 0, 2), 0); // cross
+        s.on_send(&mk(2, 0, 1), 1); // intra
+        assert_eq!(s.choose(0), 1);
+        // After healing, FIFO order wins.
+        assert_eq!(s.choose(100), 0);
+    }
+
+    #[test]
+    fn partition_releases_when_only_cross_traffic_remains() {
+        let mut s = PartitionScheduler::new(vec![0], 1_000, Box::new(FifoScheduler::new()));
+        s.on_send(&mk(5, 0, 1), 0);
+        assert_eq!(deliver_one(&mut s, 0), 0);
     }
 
     #[test]
     fn recorded_trace_replays_identically() {
-        let msgs = vec![mk(5), mk(2), mk(9)];
+        let metas: Vec<InFlight> = [5u64, 2, 9].iter().map(|&q| mk(q, 0, 1)).collect();
         let (mut rec, handle) = RecordingScheduler::new(Box::new(RandomScheduler::new(3)));
-        let picks: Vec<usize> = (0..3).map(|t| rec.choose(&msgs, t)).collect();
+        feed(&mut rec, &metas);
+        let picks: Vec<EnvelopeId> = (0..3).map(|t| deliver_one(&mut rec, t)).collect();
+
         let mut rep = ReplayScheduler::new(handle.lock().clone());
-        let replayed: Vec<usize> = (0..3).map(|t| rep.choose(&msgs, t)).collect();
+        feed(&mut rep, &metas);
+        let replayed: Vec<EnvelopeId> = (0..3).map(|t| deliver_one(&mut rep, t)).collect();
         assert_eq!(picks, replayed);
         assert_eq!(rep.divergences, 0);
     }
@@ -368,92 +845,47 @@ mod record_replay_tests {
     #[test]
     fn replay_diverges_gracefully() {
         let mut rep = ReplayScheduler::new(vec![999]); // seq that never exists
-        let msgs = vec![mk(5), mk(2)];
-        assert_eq!(rep.choose(&msgs, 0), 1); // FIFO fallback
+        rep.on_send(&mk(5, 0, 1), 0);
+        rep.on_send(&mk(2, 0, 1), 1);
+        assert_eq!(deliver_one(&mut rep, 0), 1); // FIFO fallback: seq 2
         assert_eq!(rep.divergences, 1);
     }
-}
 
-/// Temporarily partitions the process set into two halves: cross-
-/// partition messages are starved while the partition holds, then the
-/// network heals after `heal_after` deliveries. Models the classic
-/// "partition then heal" scenario; fair because healing is guaranteed
-/// (and even before healing, starved messages flow when nothing else
-/// can).
-pub struct PartitionScheduler {
-    /// Processes in the first partition (everything else is the second).
-    pub left: Vec<ProcessId>,
-    /// Deliveries after which the partition heals.
-    pub heal_after: u64,
-    inner: Box<dyn Scheduler>,
-}
-
-impl PartitionScheduler {
-    /// Partitions `left` from the rest until `heal_after` deliveries.
-    pub fn new(left: Vec<ProcessId>, heal_after: u64, inner: Box<dyn Scheduler>) -> Self {
-        PartitionScheduler {
-            left,
-            heal_after,
-            inner,
-        }
-    }
-
-    fn crosses(&self, m: &InFlight) -> bool {
-        self.left.contains(&m.from) != self.left.contains(&m.to)
-    }
-}
-
-impl Scheduler for PartitionScheduler {
-    fn choose(&mut self, inflight: &[InFlight], now: u64) -> usize {
-        if now >= self.heal_after {
-            return self.inner.choose(inflight, now);
-        }
-        let eligible: Vec<usize> = (0..inflight.len())
-            .filter(|&i| !self.crosses(&inflight[i]))
-            .collect();
-        if eligible.is_empty() {
-            // Only cross-partition traffic left: release the oldest
-            // (fairness / reliability).
-            return inflight
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, m)| m.seq)
-                .map(|(i, _)| i)
-                .expect("scheduler called with no in-flight messages");
-        }
-        let view: Vec<InFlight> = eligible.iter().map(|&i| inflight[i]).collect();
-        eligible[self.inner.choose(&view, now)]
-    }
-}
-
-#[cfg(test)]
-mod partition_tests {
-    use super::*;
-
-    fn mk(seq: u64, from: ProcessId, to: ProcessId) -> InFlight {
-        InFlight {
-            from,
-            to,
-            seq,
-            sent_at: 0,
-            kind: "t",
-        }
+    #[test]
+    fn replay_resyncs_after_a_missing_seq() {
+        // Trace expects 100 (never sent), then valid entries. The
+        // scheduler must skip the one bad entry and replay the rest
+        // exactly — the pre-fix behavior counted every later delivery as
+        // a divergence and degraded to FIFO forever.
+        let mut rep = ReplayScheduler::new(vec![100, 9, 2, 5]);
+        let metas: Vec<InFlight> = [5u64, 2, 9].iter().map(|&q| mk(q, 0, 1)).collect();
+        feed(&mut rep, &metas);
+        assert_eq!(deliver_one(&mut rep, 0), 2); // resynced on seq 9
+        assert_eq!(deliver_one(&mut rep, 1), 1); // seq 2
+        assert_eq!(deliver_one(&mut rep, 2), 0); // seq 5
+        assert_eq!(rep.divergences, 1);
     }
 
     #[test]
-    fn partition_blocks_cross_traffic_until_heal() {
-        let mut s = PartitionScheduler::new(vec![0, 1], 100, Box::new(FifoScheduler));
-        let msgs = vec![mk(1, 0, 2), mk(2, 0, 1)];
-        // Cross message (0 -> 2) skipped in favor of intra (0 -> 1).
-        assert_eq!(s.choose(&msgs, 0), 1);
-        // After healing, FIFO order wins.
-        assert_eq!(s.choose(&msgs, 100), 0);
-    }
-
-    #[test]
-    fn partition_releases_when_only_cross_traffic_remains() {
-        let mut s = PartitionScheduler::new(vec![0], 1_000, Box::new(FifoScheduler));
-        let only_cross = vec![mk(5, 0, 1)];
-        assert_eq!(s.choose(&only_cross, 0), 0);
+    fn ordered_pool_rank_selects_and_compacts() {
+        let mut pool = OrderedPool::default();
+        for id in 0..200 {
+            pool.insert(id);
+        }
+        // Remove all even ids: forces at least one compaction.
+        for id in (0..200).step_by(2) {
+            pool.remove(id);
+        }
+        assert_eq!(pool.len(), 100);
+        assert!(pool.entries.len() <= 128, "pool failed to compact");
+        // Ranks select the odd ids in insertion order.
+        for k in 0..100 {
+            assert_eq!(pool.select(k), 2 * k + 1);
+        }
+        assert_eq!(pool.select(0), 1);
+        // Ids can be reused after removal.
+        pool.remove(1);
+        pool.insert(1);
+        assert_eq!(pool.select(99), 1);
     }
 }

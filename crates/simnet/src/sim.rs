@@ -1,8 +1,15 @@
 //! The discrete-event simulation engine.
+//!
+//! In-flight envelopes live in a slab: a free-list arena whose slots are
+//! addressed by stable [`EnvelopeId`]s. Insertion and removal are O(1)
+//! (no middle shifts), retired slots are pooled and reused, and the
+//! [`Scheduler`] is kept in sync incrementally through its
+//! `on_send`/`on_delivered` hooks — so a delivery step never allocates,
+//! scans, or shifts anything proportional to the in-flight population.
 
 use crate::metrics::{Metrics, WireMessage};
 use crate::process::{Context, Process, ProcessId};
-use crate::scheduler::{FifoScheduler, InFlight, Scheduler};
+use crate::scheduler::{EnvelopeId, FifoScheduler, InFlight, Scheduler};
 use crate::trace::{Trace, TraceEvent};
 
 struct Envelope<M> {
@@ -11,6 +18,54 @@ struct Envelope<M> {
     /// Causal depth: one more than the depth of the event during which the
     /// message was sent.
     depth: u64,
+}
+
+/// A free-list slab of in-flight envelopes: O(1) insert and remove under
+/// stable ids, with slot (and thus allocation) reuse across the run.
+struct Slab<M> {
+    slots: Vec<Option<Envelope<M>>>,
+    free: Vec<EnvelopeId>,
+    live: usize,
+}
+
+impl<M> Slab<M> {
+    fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn insert(&mut self, env: Envelope<M>) -> EnvelopeId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id].is_none());
+                self.slots[id] = Some(env);
+                id
+            }
+            None => {
+                self.slots.push(Some(env));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn remove(&mut self, id: EnvelopeId) -> Envelope<M> {
+        let env = self
+            .slots
+            .get_mut(id)
+            .and_then(Option::take)
+            .expect("scheduler returned an invalid envelope id");
+        self.free.push(id);
+        self.live -= 1;
+        env
+    }
 }
 
 /// Result of a run.
@@ -40,7 +95,7 @@ impl<M: WireMessage + 'static> SimulationBuilder<M> {
     pub fn new() -> Self {
         SimulationBuilder {
             procs: Vec::new(),
-            scheduler: Box::new(FifoScheduler),
+            scheduler: Box::new(FifoScheduler::new()),
         }
     }
 
@@ -70,7 +125,7 @@ impl<M: WireMessage + 'static> SimulationBuilder<M> {
             depths: vec![0; n],
             events: vec![0; n],
             procs: self.procs,
-            inflight: Vec::new(),
+            inflight: Slab::new(),
             scheduler: self.scheduler,
             metrics: Metrics::new(n),
             seq: 0,
@@ -89,7 +144,7 @@ pub struct Simulation<M: WireMessage> {
     depths: Vec<u64>,
     /// Deliveries handled per process.
     events: Vec<u64>,
-    inflight: Vec<Envelope<M>>,
+    inflight: Slab<M>,
     scheduler: Box<dyn Scheduler>,
     metrics: Metrics,
     seq: u64,
@@ -142,22 +197,26 @@ impl<M: WireMessage + 'static> Simulation<M> {
         self.procs[p].as_any().downcast_ref::<T>()
     }
 
+    /// Convenience downcast to a concrete scheduler type, for post-run
+    /// inspection (e.g. [`crate::ReplayScheduler::divergences`]).
+    pub fn scheduler_as<T: 'static>(&self) -> Option<&T> {
+        self.scheduler.as_any().downcast_ref::<T>()
+    }
+
     fn flush_outbox(&mut self, from: ProcessId, ctx: &mut Context<M>, depth: u64) {
         for (to, msg) in ctx.outbox.drain(..) {
             let kind = msg.kind();
             let bytes = msg.wire_size();
             self.metrics.record_send(from, kind, bytes);
-            self.inflight.push(Envelope {
-                meta: InFlight {
-                    from,
-                    to,
-                    seq: self.seq,
-                    sent_at: self.delivered,
-                    kind,
-                },
-                msg,
-                depth,
-            });
+            let meta = InFlight {
+                from,
+                to,
+                seq: self.seq,
+                sent_at: self.delivered,
+                kind,
+            };
+            let id = self.inflight.insert(Envelope { meta, msg, depth });
+            self.scheduler.on_send(&meta, id);
             self.seq += 1;
         }
     }
@@ -184,16 +243,12 @@ impl<M: WireMessage + 'static> Simulation<M> {
         if !self.started {
             self.start();
         }
-        if self.inflight.is_empty() {
+        if self.inflight.len() == 0 {
             return false;
         }
-        let metas: Vec<InFlight> = self.inflight.iter().map(|e| e.meta).collect();
-        let idx = self.scheduler.choose(&metas, self.delivered);
-        assert!(
-            idx < self.inflight.len(),
-            "scheduler returned invalid index"
-        );
-        let env = self.inflight.remove(idx);
+        let id = self.scheduler.choose(self.delivered);
+        let env = self.inflight.remove(id);
+        self.scheduler.on_delivered(id);
         let to = env.meta.to;
         let n = self.n();
 
@@ -235,7 +290,7 @@ impl<M: WireMessage + 'static> Simulation<M> {
         }
         RunOutcome {
             delivered: self.delivered,
-            quiescent: self.inflight.is_empty(),
+            quiescent: self.inflight.len() == 0,
         }
     }
 
@@ -252,7 +307,7 @@ impl<M: WireMessage + 'static> Simulation<M> {
             return (
                 RunOutcome {
                     delivered: self.delivered,
-                    quiescent: self.inflight.is_empty(),
+                    quiescent: self.inflight.len() == 0,
                 },
                 true,
             );
@@ -272,7 +327,7 @@ impl<M: WireMessage + 'static> Simulation<M> {
                 return (
                     RunOutcome {
                         delivered: self.delivered,
-                        quiescent: self.inflight.is_empty(),
+                        quiescent: self.inflight.len() == 0,
                     },
                     true,
                 );
@@ -281,7 +336,7 @@ impl<M: WireMessage + 'static> Simulation<M> {
         (
             RunOutcome {
                 delivered: self.delivered,
-                quiescent: self.inflight.is_empty(),
+                quiescent: self.inflight.len() == 0,
             },
             false,
         )

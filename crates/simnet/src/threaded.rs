@@ -9,12 +9,16 @@
 //!
 //! Quiescence detection: a global atomic counts sent-but-unprocessed
 //! messages; when it reaches zero no message can be in any channel, so
-//! idle workers may exit.
+//! idle workers may exit. A start barrier makes that sound: no worker
+//! may quiesce before *every* worker has finished `on_start` and
+//! registered its initial sends — otherwise a fast worker could observe
+//! `pending == 0` while a slow peer was still about to send, exit early,
+//! and orphan every later message addressed to it.
 
 use crate::metrics::WireMessage;
 use crate::process::{Context, Process, ProcessId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +46,11 @@ pub fn run_threaded<M: WireMessage + 'static>(
         receivers.push(rx);
     }
     let pending = Arc::new(AtomicI64::new(0));
+    // Count of workers whose initial sends are registered in `pending`.
+    // A deadline-aware readiness gate rather than `std::sync::Barrier`:
+    // a barrier would hang the whole run forever if one worker panicked
+    // in `on_start`, where this degrades to the normal timeout path.
+    let started = Arc::new(AtomicUsize::new(0));
     let deadline = Instant::now() + timeout;
 
     let handles: Vec<_> = procs
@@ -51,6 +60,7 @@ pub fn run_threaded<M: WireMessage + 'static>(
         .map(|(me, (mut proc_, rx))| {
             let senders = senders.clone();
             let pending = pending.clone();
+            let started = started.clone();
             std::thread::spawn(move || {
                 let mut delivered = 0u64;
                 let mut ctx = Context::new(me, n);
@@ -59,6 +69,12 @@ pub fn run_threaded<M: WireMessage + 'static>(
                 pending.fetch_add(sent.len() as i64, Ordering::SeqCst);
                 for (to, msg) in sent {
                     let _ = senders[to].send((me, msg));
+                }
+                // Start barrier: only once every worker's initial sends
+                // are counted in `pending` may anyone trust a zero read.
+                started.fetch_add(1, Ordering::SeqCst);
+                while started.load(Ordering::SeqCst) < n && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_micros(100));
                 }
                 loop {
                     match rx.recv_timeout(Duration::from_millis(1)) {
@@ -151,5 +167,52 @@ mod tests {
             .map(|p| p.as_any().downcast_ref::<Echoer>().unwrap().seen)
             .sum();
         assert_eq!(total_seen, 16);
+    }
+
+    /// Broadcasts only after a delay long enough that, without the start
+    /// barrier, every peer's 1 ms `recv_timeout` would fire first, read
+    /// `pending == 0`, and exit — orphaning the whole broadcast.
+    struct SlowStarter {
+        delay: Duration,
+    }
+    impl Process<u64> for SlowStarter {
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            std::thread::sleep(self.delay);
+            ctx.broadcast(2);
+        }
+        fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Context<u64>) {
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn start_barrier_prevents_premature_quiescence() {
+        // Enough processes that at least one is scheduled, times out, and
+        // checks `pending` while p0 still sleeps in `on_start`.
+        let n = 8usize;
+        let procs: Vec<Box<dyn Process<u64>>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Box::new(SlowStarter {
+                        delay: Duration::from_millis(50),
+                    }) as Box<dyn Process<u64>>
+                } else {
+                    Box::new(Echoer {
+                        seen: 0,
+                        fanout: false,
+                    }) as Box<dyn Process<u64>>
+                }
+            })
+            .collect();
+        let (_procs, out) = run_threaded(procs, Duration::from_secs(30));
+        // p0's broadcast of value 2 reaches all 8 processes; each bounce
+        // chain 2 -> 1 -> 0 costs 3 deliveries.
+        assert!(out.quiescent, "premature exit stalled the run");
+        assert_eq!(out.delivered, 3 * n as u64);
     }
 }

@@ -20,7 +20,7 @@ fn main() {
     for n in [4usize, 7, 10, 13] {
         let f = 1;
         // --- WTS ---
-        let (mut wts_sim, _) = wts_system(n, f, |i| i as u64, Box::new(FifoScheduler));
+        let (mut wts_sim, _) = wts_system(n, f, |i| i as u64, Box::new(FifoScheduler::new()));
         wts_sim.run(100_000_000);
         let wts_m = wts_sim.metrics().max_sent_per_process();
         let wts_b = wts_sim.metrics().total_bytes();

@@ -65,7 +65,7 @@ fn temporary_partition_delays_but_preserves_agreement() {
         let mut b = SimulationBuilder::new().scheduler(Box::new(PartitionScheduler::new(
             vec![0, 1],
             heal_after,
-            Box::new(FifoScheduler),
+            Box::new(FifoScheduler::new()),
         )));
         for i in 0..n {
             b = b.add(Box::new(WtsProcess::new(i, config, 100 + i as u64)));

@@ -64,7 +64,7 @@ fn comparability_lost_at_3f_with_lowered_quorum() {
     let config = SystemConfig::new_unchecked(3, 0); // quorum 2
     let mut b = SimulationBuilder::new().scheduler(Box::new(TargetedScheduler::new(
         vec![(0, 1), (1, 0)],
-        Box::new(FifoScheduler),
+        Box::new(FifoScheduler::new()),
     )));
     for i in 0..2 {
         b = b.add(Box::new(WtsProcess::new(i, config, 10 + i as u64)));

@@ -60,6 +60,36 @@ fn empty_trace_falls_back_to_fifo_preserving_liveness() {
 }
 
 #[test]
+fn trace_with_one_missing_seq_resyncs() {
+    // Drop a single mid-trace entry. The replay scheduler must resync
+    // after the gap instead of counting every later delivery as a
+    // divergence (the pre-fix behavior left the unmatched entry at the
+    // front forever, degrading the whole tail to FIFO).
+    let (rec, trace) = RecordingScheduler::new(Box::new(RandomScheduler::new(7)));
+    let mut original = build(Box::new(rec));
+    assert!(original.run(u64::MAX / 2).quiescent);
+
+    let mut gapped: Vec<u64> = trace.lock().clone();
+    let total = gapped.len() as u64;
+    gapped.remove(gapped.len() / 2);
+
+    let mut replayed = build(Box::new(ReplayScheduler::new(gapped)));
+    assert!(replayed.run(u64::MAX / 2).quiescent);
+    let (_, decisions, _) = outcomes(&replayed);
+    let concrete: Vec<ValueSet<u64>> = decisions.into_iter().map(|d| d.unwrap()).collect();
+    bgla::core::spec::check_comparability(&concrete).unwrap();
+
+    let divergences = replayed
+        .scheduler_as::<ReplayScheduler>()
+        .expect("scheduler type")
+        .divergences;
+    assert!(
+        divergences < total / 2,
+        "replay never resynced: {divergences} divergences over {total} deliveries"
+    );
+}
+
+#[test]
 fn truncated_trace_degrades_gracefully() {
     let (rec, trace) = RecordingScheduler::new(Box::new(RandomScheduler::new(42)));
     let mut original = build(Box::new(rec));

@@ -13,7 +13,7 @@ use bgla::simnet::{FifoScheduler, RandomScheduler, SimulationBuilder};
 #[test]
 fn trace_shows_rbcast_dominates_wts() {
     let config = SystemConfig::new(4, 1);
-    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler));
+    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
     for i in 0..4 {
         b = b.add(Box::new(WtsProcess::new(i, config, i as u64)));
     }

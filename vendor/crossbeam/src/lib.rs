@@ -1,6 +1,26 @@
 //! Offline stand-in for `crossbeam` (no network in this build
-//! environment). Only the `channel` module subset the threaded runner
-//! uses is provided, delegating to `std::sync::mpsc`.
+//! environment). Provides the `channel` subset the threaded runner uses
+//! (delegating to `std::sync::mpsc`) and the `thread::scope` subset the
+//! sharded experiment driver uses (delegating to `std::thread::scope`).
+
+/// Scoped threads with the crossbeam surface used by the workspace:
+/// `thread::scope(|s| { s.spawn(...); ... })` returning `Ok(result)`.
+/// Borrowed (non-`'static`) captures are allowed, as with the real
+/// crossbeam; panics in spawned threads propagate on implicit join.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a scope handle; all threads spawned through it are
+    /// joined before `scope` returns. The `Result` wrapper mirrors
+    /// crossbeam's signature (std's scope re-raises child panics, so the
+    /// error arm is never produced here).
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
 
 /// MPSC channels with the crossbeam surface used by the workspace.
 pub mod channel {
@@ -62,6 +82,20 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
             RecvTimeoutError::Timeout
         );
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
     }
 
     #[test]
