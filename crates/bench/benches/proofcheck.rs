@@ -1,0 +1,187 @@
+//! Proof-of-safety verification cost: interned (verify-once, answered
+//! from the per-process `ProofCache`) vs flat (`with_proof_interning
+//! (false)` — the PR-1 baseline, which still hits the signature cache
+//! but re-serializes and re-hashes every ack on every delivery).
+//!
+//! All rows measure the *steady state*: the process has already seen the
+//! proofs once (Byzantine redelivery, refinement re-broadcasts and
+//! `nack` fan-in all hit this path). Cases:
+//!
+//! * `redeliver/{n}` — the same `ack_req` proposal (one shared proof
+//!   over `n` values) delivered again;
+//! * `superset/{n}` — a *grown* proposal: the base set plus a second
+//!   refinement's values under a second proof, the shape an acceptor
+//!   sees after every refinement;
+//! * `fanin/{n}` — `n` proposers' single-value proposals merged into one
+//!   accepted set with `n` distinct proofs (the nack fan-in shape);
+//! * `gsbs_redeliver/{n}` — the GSbS analogue of `redeliver`.
+//!
+//! The committed `BENCH_proofcheck.json` baseline is produced by a full
+//! run (`CRITERION_JSON=BENCH_proofcheck.json cargo bench -p bgla-bench
+//! --bench proofcheck`); CI runs `PROOFCHECK_SMOKE=1` with shrunk sizes
+//! to prove the bench stays alive.
+
+use bgla_core::gsbs::{GSafeAck, GsbsProcess, ProvenBatch, SignedBatch};
+use bgla_core::proof::Proof;
+use bgla_core::sbs::{ProvenValue, SafeAckBody, SbsProcess, SignedSafeAck, SignedValue};
+use bgla_core::{SignedSet, SystemConfig, ValueSet};
+use bgla_crypto::Keypair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeMap;
+
+/// One safetying exchange: `values` (tagged to `salt`) signed by their
+/// proposers, certified by a single shared proof from `quorum` acceptors.
+fn sbs_proven_set(
+    n: usize,
+    quorum: usize,
+    values: &[u64],
+    salt: u64,
+) -> SignedSet<ProvenValue<u64>> {
+    let svs: Vec<SignedValue<u64>> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let signer = i % n;
+            SignedValue::sign(v + salt, signer, &Keypair::for_process(signer))
+        })
+        .collect();
+    let rcvd: SignedSet<SignedValue<u64>> = svs.iter().cloned().collect();
+    let acks: Vec<SignedSafeAck<u64>> = (0..quorum)
+        .map(|s| {
+            SignedSafeAck::sign(
+                SafeAckBody {
+                    rcvd: rcvd.clone(),
+                    conflicts: vec![],
+                },
+                s,
+                &Keypair::for_process(s),
+            )
+        })
+        .collect();
+    let proof = Proof::new(acks);
+    svs.into_iter()
+        .map(|sv| ProvenValue {
+            sv,
+            proof: proof.clone(),
+        })
+        .collect()
+}
+
+/// `n` independent proposers, each with a single-value proposal under
+/// its own proof — the set shape nack fan-in accumulates.
+fn sbs_fanin_set(n: usize, quorum: usize) -> SignedSet<ProvenValue<u64>> {
+    let mut out = SignedSet::new();
+    for p in 0..n {
+        let single = sbs_proven_set(n, quorum, &[(p as u64) * 1_000], p as u64);
+        out.join_with(&single);
+    }
+    out
+}
+
+fn gsbs_proven_set(n: usize, quorum: usize, values: &[u64]) -> SignedSet<ProvenBatch<u64>> {
+    let sbs: Vec<SignedBatch<u64>> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let signer = i % n;
+            let batch: ValueSet<u64> = [v].into_iter().collect();
+            SignedBatch::sign(0, batch, signer, &Keypair::for_process(signer))
+        })
+        .collect();
+    let rcvd: SignedSet<SignedBatch<u64>> = sbs.iter().cloned().collect();
+    let acks: Vec<GSafeAck<u64>> = (0..quorum)
+        .map(|s| GSafeAck::sign(0, rcvd.clone(), vec![], s, &Keypair::for_process(s)))
+        .collect();
+    let proof = Proof::new(acks);
+    sbs.into_iter()
+        .map(|sb| ProvenBatch {
+            sb,
+            proof: proof.clone(),
+        })
+        .collect()
+}
+
+fn acceptors(n: usize, f: usize) -> [(&'static str, SbsProcess<u64>); 2] {
+    let config = SystemConfig::new(n, f);
+    [
+        ("interned", SbsProcess::new(0, config, 0u64)),
+        (
+            "flat",
+            SbsProcess::new(0, config, 0u64).with_proof_interning(false),
+        ),
+    ]
+}
+
+fn bench_proofcheck(c: &mut Criterion) {
+    let smoke = std::env::var("PROOFCHECK_SMOKE").is_ok();
+    let sizes: &[(usize, usize)] = if smoke { &[(4, 1)] } else { &[(7, 2), (16, 5)] };
+
+    let mut g = c.benchmark_group("proofcheck");
+    g.sample_size(if smoke { 5 } else { 20 });
+    g.throughput(Throughput::Elements(1));
+
+    for &(n, f) in sizes {
+        let quorum = SystemConfig::new(n, f).quorum();
+        let values: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+
+        // Redeliver: the same proposal, again and again.
+        let base = sbs_proven_set(n, quorum, &values, 0);
+        for (label, mut p) in acceptors(n, f) {
+            assert!(p.all_safe(&base), "warm-up must validate");
+            g.bench_with_input(
+                BenchmarkId::new(format!("{label}/redeliver"), n),
+                &n,
+                |b, _| b.iter(|| assert!(p.all_safe(&base))),
+            );
+        }
+
+        // Redeliver-superset: base plus a refinement's worth of new
+        // values under a second proof.
+        let growth: Vec<u64> = (0..n as u64).map(|i| 500_000 + i).collect();
+        let superset = {
+            let mut s = base.clone();
+            s.join_with(&sbs_proven_set(n, quorum, &growth, 1));
+            s
+        };
+        for (label, mut p) in acceptors(n, f) {
+            assert!(p.all_safe(&superset), "warm-up must validate");
+            g.bench_with_input(
+                BenchmarkId::new(format!("{label}/superset"), n),
+                &n,
+                |b, _| b.iter(|| assert!(p.all_safe(&superset))),
+            );
+        }
+
+        // Fan-in: n distinct proofs in one set.
+        let fanin = sbs_fanin_set(n, quorum);
+        for (label, mut p) in acceptors(n, f) {
+            assert!(p.all_safe(&fanin), "warm-up must validate");
+            g.bench_with_input(BenchmarkId::new(format!("{label}/fanin"), n), &n, |b, _| {
+                b.iter(|| assert!(p.all_safe(&fanin)))
+            });
+        }
+
+        // GSbS redeliver.
+        let gset = gsbs_proven_set(n, quorum, &values);
+        let config = SystemConfig::new(n, f);
+        let procs: [(&str, GsbsProcess<u64>); 2] = [
+            ("interned", GsbsProcess::new(0, config, BTreeMap::new(), 1)),
+            (
+                "flat",
+                GsbsProcess::new(0, config, BTreeMap::new(), 1).with_proof_interning(false),
+            ),
+        ];
+        for (label, mut p) in procs {
+            assert!(p.all_safe(&gset), "warm-up must validate");
+            g.bench_with_input(
+                BenchmarkId::new(format!("{label}/gsbs_redeliver"), n),
+                &n,
+                |b, _| b.iter(|| assert!(p.all_safe(&gset))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(proofcheck, bench_proofcheck);
+criterion_main!(proofcheck);

@@ -3,11 +3,23 @@
 //! which WTS never does. Measures bytes on the wire and the largest
 //! single message for both.
 //!
+//! Also reports **proof interning**: within each `ack_req`/`nack`, a
+//! proof shared by several values transmits once (what the wire format
+//! models — `proofs interned` counts the distinct proofs actually
+//! shipped) vs the flat encoding that attaches a copy per proven value
+//! (`proof refs`). The savings column is the byte reduction interning
+//! delivers; proof *verification* is likewise interned per process (see
+//! `BENCH_proofcheck.json` for that ablation, `with_proof_interning`).
+//!
+//! ```text
+//!  n | proof refs | proofs interned | proof B interned | proof B flat | saved
+//! ```
+//!
 //! Also measures the delta-message optimization: GWTS `ack_req` traffic
 //! with deltas enabled vs the full-set baseline (same protocol, same
 //! schedule, only the payload encoding differs).
 //!
-//! Both sweeps run sharded, one (n) / (n, batch) cell per core.
+//! All sweeps run sharded, one (n) / (n, batch) cell per core.
 
 use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row, run_indexed};
 use bgla_core::gwts::GwtsProcess;
@@ -82,6 +94,47 @@ fn main() {
         wts_big.push(w.max_message_bytes as f64);
         sbs_big.push(s.max_message_bytes as f64);
     }
+    println!("\nProof interning: distinct proofs shipped vs per-value copies (SbS, f = 1)\n");
+    println!(
+        "{}",
+        row(&[
+            "n".into(),
+            "proof refs".into(),
+            "proofs interned".into(),
+            "proof B interned".into(),
+            "proof B flat".into(),
+            "saved".into(),
+        ])
+    );
+    for (&n, (_, s)) in ns.iter().zip(&cells) {
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                s.proof_refs.to_string(),
+                s.proofs_interned.to_string(),
+                s.proof_bytes_interned.to_string(),
+                s.proof_bytes_flat.to_string(),
+                format!(
+                    "{:.0}%",
+                    100.0
+                        * (1.0 - s.proof_bytes_interned as f64 / s.proof_bytes_flat.max(1) as f64)
+                ),
+            ])
+        );
+        assert!(s.proof_refs > 0, "SbS must ship proofs (n={n})");
+        assert!(
+            s.proofs_interned <= s.proof_refs,
+            "interning cannot create proofs (n={n})"
+        );
+        assert!(
+            s.proof_bytes_interned <= s.proof_bytes_flat,
+            "interned proof bytes must not exceed flat (n={n})"
+        );
+    }
+    println!("\nShape ✓: one safetying exchange certifies many values, so shipping each");
+    println!("distinct proof once per message beats a copy-per-value flat encoding.");
+
     let kw = growth_exponent(&xs, &wts_big);
     let ks = growth_exponent(&xs, &sbs_big);
     println!("\nLargest-message growth exponents: WTS {kw:.2} (≈1: a set of n values),");

@@ -35,6 +35,15 @@ pub struct RunMeasurement {
     pub max_refinements: u64,
     /// Whether every correct process decided.
     pub all_decided: bool,
+    /// Proof-of-safety references shipped (one per proven value; zero
+    /// for algorithms without proofs).
+    pub proof_refs: u64,
+    /// Distinct proofs shipped after per-message interning.
+    pub proofs_interned: u64,
+    /// Proof bytes as transmitted (each distinct proof once/message).
+    pub proof_bytes_interned: u64,
+    /// Proof bytes a flat per-value encoding would have paid.
+    pub proof_bytes_flat: u64,
 }
 
 /// Runs all-correct WTS and measures it.
@@ -96,6 +105,10 @@ pub fn measure_sbs(n: usize, f: usize, scheduler: Box<dyn Scheduler>) -> RunMeas
     m.total_msgs = sim.metrics().total_sent();
     m.total_bytes = sim.metrics().total_bytes();
     m.max_message_bytes = sim.metrics().max_message_bytes;
+    m.proof_refs = sim.metrics().proof_refs;
+    m.proofs_interned = sim.metrics().proofs_interned;
+    m.proof_bytes_interned = sim.metrics().proof_bytes_interned;
+    m.proof_bytes_flat = sim.metrics().proof_bytes_flat;
     m
 }
 

@@ -648,13 +648,13 @@ pub mod gwts {
 
 /// SbS-specific adversaries (Section 8).
 pub mod sbs {
+    use crate::proof::Proof;
     use crate::sbs::{ProvenValue, SafeAckBody, SbsMsg, SignedSafeAck, SignedValue};
+    use crate::signedset::SignedSet;
     use crate::value::SignableValue;
     use bgla_crypto::Keypair;
     use bgla_simnet::{Context, Process, ProcessId};
     use std::any::Any;
-    use std::collections::BTreeSet;
-    use std::sync::Arc;
 
     /// Signs two different values and shows one to each half of the
     /// system — Lemma 13's threat: at most one may ever become safe.
@@ -711,8 +711,8 @@ pub mod sbs {
                 conflicts: vec![],
             };
             let ack = SignedSafeAck::sign(body, self.me, &kp);
-            let proof = Arc::new(vec![ack.clone(), ack.clone(), ack]);
-            let proposed: BTreeSet<ProvenValue<V>> =
+            let proof = Proof::new(vec![ack.clone(), ack.clone(), ack]);
+            let proposed: SignedSet<ProvenValue<V>> =
                 [ProvenValue { sv, proof }].into_iter().collect();
             for ts in 0..3 {
                 ctx.broadcast(SbsMsg::AckReq {
@@ -734,9 +734,9 @@ pub mod sbs {
                     conflicts: vec![],
                 };
                 let ack = SignedSafeAck::sign(body, self.me, &kp);
-                let accepted: BTreeSet<ProvenValue<V>> = [ProvenValue {
+                let accepted: SignedSet<ProvenValue<V>> = [ProvenValue {
                     sv,
-                    proof: Arc::new(vec![ack]),
+                    proof: Proof::new(vec![ack]),
                 }]
                 .into_iter()
                 .collect();

@@ -25,15 +25,27 @@
 //! same proposer for the same round).
 //!
 //! Message complexity: `O(f·n)` per proposer per decision (Section 8.2).
+//!
+//! Like [`crate::sbs`], proofs of safety are verify-once: each distinct
+//! proof's quorum checks run exactly once per process and are answered
+//! from a per-process [`bgla_crypto::ProofCache`] thereafter (positive
+//! and negative verdicts — see [`bgla_crypto::proofstore`] for what may
+//! be cached), with [`GsbsProcess::with_proof_interning`]`(false)` as
+//! the re-verify-everything ablation. Batch-set payloads are
+//! [`SignedSet`]s (Arc-backed, `O(1)` clone, merge-walk join).
 
 use crate::config::SystemConfig;
+use crate::proof::{Proof, ProofAck};
+use crate::signedset::{SignedItem, SignedSet};
 use crate::value::SignableValue;
 use crate::valueset::ValueSet;
-use bgla_crypto::{sha512, CachedVerifier, Keypair, Keyring, Signature, ToBytes};
-use bgla_simnet::{Context, Process, ProcessId, WireMessage};
+use bgla_crypto::{
+    sha512, CachedVerifier, Keypair, Keyring, ProofCache, ProofId, Signature, ToBytes,
+    VerifierStats,
+};
+use bgla_simnet::{Context, Process, ProcessId, ProofSizes, WireMessage};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 const BATCH_DOMAIN: &[u8] = b"bgla-gsbs-batch:";
 const SAFEACK_DOMAIN: &[u8] = b"bgla-gsbs-safeack:";
@@ -104,13 +116,19 @@ impl<V: SignableValue> SignedBatch<V> {
     }
 }
 
+impl<V: SignableValue> SignedItem for SignedBatch<V> {
+    fn wire_size(&self) -> usize {
+        80 + self.batch.wire_size()
+    }
+}
+
 /// Signed safetying reply for a round.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct GSafeAck<V: SignableValue> {
     /// Round being safetied.
     pub round: u64,
     /// Echo of the request set.
-    pub rcvd: BTreeSet<SignedBatch<V>>,
+    pub rcvd: SignedSet<SignedBatch<V>>,
     /// Conflicts known to the acceptor.
     pub conflicts: Vec<(SignedBatch<V>, SignedBatch<V>)>,
     /// Acceptor id.
@@ -122,7 +140,7 @@ pub struct GSafeAck<V: SignableValue> {
 impl<V: SignableValue> GSafeAck<V> {
     fn signable_bytes(
         round: u64,
-        rcvd: &BTreeSet<SignedBatch<V>>,
+        rcvd: &SignedSet<SignedBatch<V>>,
         conflicts: &[(SignedBatch<V>, SignedBatch<V>)],
         signer: ProcessId,
     ) -> Vec<u8> {
@@ -144,7 +162,7 @@ impl<V: SignableValue> GSafeAck<V> {
     /// Builds and signs a safe-ack.
     pub fn sign(
         round: u64,
-        rcvd: BTreeSet<SignedBatch<V>>,
+        rcvd: SignedSet<SignedBatch<V>>,
         conflicts: Vec<(SignedBatch<V>, SignedBatch<V>)>,
         signer: ProcessId,
         kp: &Keypair,
@@ -174,13 +192,37 @@ impl<V: SignableValue> GSafeAck<V> {
     }
 }
 
+impl<V: SignableValue> ProofAck for GSafeAck<V> {
+    fn digest_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&GSafeAck::signable_bytes(
+            self.round,
+            &self.rcvd,
+            &self.conflicts,
+            self.signer,
+        ));
+        out.extend_from_slice(&self.sig.to_bytes());
+    }
+    fn wire_size(&self) -> usize {
+        80 + self.rcvd.items_wire()
+            + self
+                .conflicts
+                .iter()
+                .map(|(a, b)| SignedItem::wire_size(a) + SignedItem::wire_size(b))
+                .sum::<usize>()
+    }
+}
+
+/// A quorum of safe-acks certifying one round's safetying exchange,
+/// with its [`ProofId`] interned at construction.
+pub type BatchProof<V> = Proof<GSafeAck<V>>;
+
 /// A batch with its quorum proof of safety.
 #[derive(Debug, Clone)]
 pub struct ProvenBatch<V: SignableValue> {
     /// The signed batch.
     pub sb: SignedBatch<V>,
     /// Quorum of safe-acks covering it.
-    pub proof: Arc<Vec<GSafeAck<V>>>,
+    pub proof: BatchProof<V>,
 }
 
 impl<V: SignableValue> PartialEq for ProvenBatch<V> {
@@ -197,6 +239,14 @@ impl<V: SignableValue> PartialOrd for ProvenBatch<V> {
 impl<V: SignableValue> Ord for ProvenBatch<V> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.sb.cmp(&other.sb)
+    }
+}
+
+impl<V: SignableValue> SignedItem for ProvenBatch<V> {
+    fn wire_size(&self) -> usize {
+        // The batch only; attached proofs are accounted separately
+        // (shared proofs transmit once per message).
+        SignedItem::wire_size(&self.sb)
     }
 }
 
@@ -333,14 +383,14 @@ pub enum GsbsMsg<V: SignableValue> {
         /// Round being safetied.
         round: u64,
         /// The proposer's collected signed batches for that round.
-        set: BTreeSet<SignedBatch<V>>,
+        set: SignedSet<SignedBatch<V>>,
     },
     /// Signed safetying reply.
     SafeAck(GSafeAck<V>),
     /// Proposal with proofs.
     AckReq {
         /// Cumulative proven proposal.
-        proposed: BTreeSet<ProvenBatch<V>>,
+        proposed: SignedSet<ProvenBatch<V>>,
         /// Refinement timestamp.
         ts: u64,
         /// Round.
@@ -351,7 +401,7 @@ pub enum GsbsMsg<V: SignableValue> {
     /// Refusal with the acceptor's proven set.
     Nack {
         /// Acceptor's accepted proven set.
-        accepted: BTreeSet<ProvenBatch<V>>,
+        accepted: SignedSet<ProvenBatch<V>>,
         /// Echoed timestamp.
         ts: u64,
         /// Echoed round.
@@ -375,46 +425,48 @@ impl<V: SignableValue> WireMessage for GsbsMsg<V> {
         }
     }
     fn wire_size(&self) -> usize {
-        fn batch_size<V: SignableValue>(sb: &SignedBatch<V>) -> usize {
-            80 + sb.batch.wire_size()
-        }
-        fn proven_size<V: SignableValue>(set: &BTreeSet<ProvenBatch<V>>) -> usize {
-            let mut total = 8;
-            let mut seen: Vec<*const Vec<GSafeAck<V>>> = Vec::new();
-            for pb in set {
-                total += batch_size(&pb.sb);
-                let ptr = Arc::as_ptr(&pb.proof);
-                if !seen.contains(&ptr) {
-                    seen.push(ptr);
-                    for ack in pb.proof.iter() {
-                        total += 80
-                            + ack.rcvd.iter().map(batch_size).sum::<usize>()
-                            + ack
-                                .conflicts
-                                .iter()
-                                .map(|(a, b)| batch_size(a) + batch_size(b))
-                                .sum::<usize>();
-                    }
-                }
-            }
-            total
-        }
         match self {
-            GsbsMsg::Init(sb) => batch_size(sb),
-            GsbsMsg::SafeReq { set, .. } => 16 + set.iter().map(batch_size).sum::<usize>(),
-            GsbsMsg::SafeAck(a) => {
-                80 + a.rcvd.iter().map(batch_size).sum::<usize>()
-                    + a.conflicts
-                        .iter()
-                        .map(|(x, y)| batch_size(x) + batch_size(y))
-                        .sum::<usize>()
-            }
-            GsbsMsg::AckReq { proposed, .. } => 24 + proven_size(proposed),
+            GsbsMsg::Init(sb) => SignedItem::wire_size(sb),
+            GsbsMsg::SafeReq { set, .. } => 16 + set.items_wire(),
+            GsbsMsg::SafeAck(a) => ProofAck::wire_size(a),
+            GsbsMsg::AckReq { proposed, .. } => 24 + proven_batches_size(proposed),
             GsbsMsg::Ack(_) => 8 + 8 + 8 + 64 + 8 + 64,
-            GsbsMsg::Nack { accepted, .. } => 24 + proven_size(accepted),
+            GsbsMsg::Nack { accepted, .. } => 24 + proven_batches_size(accepted),
             GsbsMsg::Decided(c) => 16 + c.values.wire_size() + c.acks.len() * 160,
         }
     }
+    fn proof_sizes(&self) -> ProofSizes {
+        match self {
+            GsbsMsg::AckReq { proposed: set, .. } | GsbsMsg::Nack { accepted: set, .. } => {
+                proven_batches_proofs(set)
+            }
+            _ => ProofSizes::default(),
+        }
+    }
+    fn metered(&self) -> (usize, ProofSizes) {
+        // One walk per send: the proof dedup yields both the proof
+        // accounting and the interned wire size.
+        match self {
+            GsbsMsg::AckReq { proposed: set, .. } | GsbsMsg::Nack { accepted: set, .. } => {
+                let proofs = proven_batches_proofs(set);
+                (
+                    24 + set.wire_size() + proofs.interned_bytes as usize,
+                    proofs,
+                )
+            }
+            _ => (self.wire_size(), ProofSizes::default()),
+        }
+    }
+}
+
+fn proven_batches_size<V: SignableValue>(set: &SignedSet<ProvenBatch<V>>) -> usize {
+    // Shared proofs transmit once; deduplication is a ProofId hash
+    // lookup per batch, each proof's byte size cached at construction.
+    set.wire_size() + proven_batches_proofs(set).interned_bytes as usize
+}
+
+fn proven_batches_proofs<V: SignableValue>(set: &SignedSet<ProvenBatch<V>>) -> ProofSizes {
+    crate::proof::account_proofs(set.iter().map(|pb| &pb.proof))
 }
 
 /// Proposer phase within the current round.
@@ -449,21 +501,25 @@ pub struct GsbsProcess<V: SignableValue> {
     /// Pending batches.
     batches: BTreeMap<u64, Vec<V>>,
     /// Collected signed batches per round (conflict-pruned).
-    safety_sets: BTreeMap<u64, BTreeSet<SignedBatch<V>>>,
+    safety_sets: BTreeMap<u64, SignedSet<SignedBatch<V>>>,
     /// Collected safe-acks for our current safe_req.
     safe_acks: Vec<GSafeAck<V>>,
     safe_ack_senders: BTreeSet<ProcessId>,
     /// The exact set sent in the outstanding safe_req (safe-acks must
     /// echo it verbatim; `safety_sets` keeps growing in the meantime).
-    current_safe_req: BTreeSet<SignedBatch<V>>,
+    current_safe_req: SignedSet<SignedBatch<V>>,
     /// Cumulative proven proposal.
-    proposed_set: BTreeSet<ProvenBatch<V>>,
+    proposed_set: SignedSet<ProvenBatch<V>>,
     /// Signed acks gathered for the current (ts, round, digest).
     ack_certs: Vec<SignedAck>,
     /// Acceptor: safety candidates per round.
-    safe_candidates: BTreeMap<u64, BTreeSet<SignedBatch<V>>>,
+    safe_candidates: BTreeMap<u64, SignedSet<SignedBatch<V>>>,
     /// Acceptor: cumulative accepted proven set.
-    accepted_set: BTreeSet<ProvenBatch<V>>,
+    accepted_set: SignedSet<ProvenBatch<V>>,
+    /// Memoized full-proof verdicts, keyed by [`ProofId`].
+    proof_cache: ProofCache,
+    /// Ablation switch (see [`GsbsProcess::with_proof_interning`]).
+    proof_interning: bool,
     /// Acceptor: highest trusted round.
     pub safe_r: u64,
     /// Valid decided certificates seen, by round.
@@ -505,11 +561,13 @@ impl<V: SignableValue> GsbsProcess<V> {
             safety_sets: BTreeMap::new(),
             safe_acks: Vec::new(),
             safe_ack_senders: BTreeSet::new(),
-            current_safe_req: BTreeSet::new(),
-            proposed_set: BTreeSet::new(),
+            current_safe_req: SignedSet::new(),
+            proposed_set: SignedSet::new(),
             ack_certs: Vec::new(),
             safe_candidates: BTreeMap::new(),
-            accepted_set: BTreeSet::new(),
+            accepted_set: SignedSet::new(),
+            proof_cache: ProofCache::default(),
+            proof_interning: true,
             safe_r: 0,
             decided_certs: BTreeMap::new(),
             forwarded: BTreeSet::new(),
@@ -529,6 +587,24 @@ impl<V: SignableValue> GsbsProcess<V> {
     /// Current phase.
     pub fn state(&self) -> GsbsState {
         self.state
+    }
+
+    /// Toggles proof-verdict interning (default on). With `false` every
+    /// [`GsbsProcess::all_safe`] re-verifies every attached proof — the
+    /// ablation baseline; decisions and traces are unchanged.
+    pub fn with_proof_interning(mut self, on: bool) -> Self {
+        self.proof_interning = on;
+        self
+    }
+
+    /// Cryptographic-work counters of this process's verifier.
+    pub fn verifier_stats(&self) -> VerifierStats {
+        self.verifier.stats()
+    }
+
+    /// `(hits, misses)` of the proof-verdict cache.
+    pub fn proof_cache_stats(&self) -> (u64, u64) {
+        self.proof_cache.stats()
     }
 
     fn batch_obligation(sb: &SignedBatch<V>) -> (usize, Vec<u8>, Signature) {
@@ -560,38 +636,76 @@ impl<V: SignableValue> GsbsProcess<V> {
         )
     }
 
-    /// `AllSafe` over proven batches: structural checks first, then all
-    /// signature obligations of the set (batch signers and safe-ack
-    /// quorums) through one batched verification with cached verdicts.
-    fn all_safe(&mut self, set: &BTreeSet<ProvenBatch<V>>) -> bool {
+    /// `AllSafe` over proven batches — incremental, like
+    /// [`crate::sbs::SbsProcess::all_safe`]: per `(batch, proof)` pair
+    /// only the cheap round/coverage/conflict comparisons run; the
+    /// value-independent part of each *distinct* proof
+    /// ([`Self::proof_valid`]) is answered from the per-process
+    /// [`ProofCache`] — positive and negative verdicts — when seen
+    /// before. A covered batch's own signature is certified by
+    /// membership: the pair check is full record equality against an
+    /// `rcvd` echo whose every record `proof_valid` verified.
+    ///
+    /// Public for the `proofcheck` benchmark and verification-count
+    /// tests; protocol handlers are the real callers.
+    pub fn all_safe(&mut self, set: &SignedSet<ProvenBatch<V>>) -> bool {
         let quorum = self.config.quorum();
-        let mut obligations: Vec<(usize, Vec<u8>, Signature)> = Vec::new();
-        let mut seen_proofs: Vec<*const Vec<GSafeAck<V>>> = Vec::new();
-        for pb in set {
-            if pb.proof.len() < quorum {
-                return false;
-            }
-            let mut signers = BTreeSet::new();
+        let mut checked: HashSet<ProofId> = HashSet::with_capacity(set.len());
+        for pb in set.iter() {
+            // Pair checks — batch ↔ proof relations are never cached
+            // (see the contract in `bgla_crypto::proofstore`).
             for ack in pb.proof.iter() {
-                if ack.round != pb.sb.round
-                    || !signers.insert(ack.signer)
-                    || !ack.rcvd.contains(&pb.sb)
-                    || ack.conflicted(&pb.sb)
+                if ack.round != pb.sb.round || !ack.rcvd.contains(&pb.sb) || ack.conflicted(&pb.sb)
                 {
                     return false;
                 }
             }
-            obligations.push(Self::batch_obligation(&pb.sb));
-            let ptr = Arc::as_ptr(&pb.proof);
-            if !seen_proofs.contains(&ptr) {
-                seen_proofs.push(ptr);
-                obligations.extend(pb.proof.iter().map(Self::safe_ack_obligation));
+            let id = pb.proof.id();
+            if !checked.insert(id) {
+                continue; // another batch in this set shares the proof
+            }
+            if self.proof_interning {
+                match self.proof_cache.get(id) {
+                    Some(true) => continue,
+                    Some(false) => return false,
+                    None => {}
+                }
+            }
+            let ok = Self::proof_valid(&mut self.verifier, quorum, &pb.proof);
+            if self.proof_interning {
+                self.proof_cache.put(id, ok);
+            }
+            if !ok {
+                return false;
             }
         }
-        self.verifier.verify_all(&obligations)
+        true
     }
 
-    fn values_of(set: &BTreeSet<ProvenBatch<V>>) -> ValueSet<V> {
+    /// The value-independent proof checks — exactly the verdict
+    /// [`ProofCache`] may memoize: quorum size, signer distinctness,
+    /// and one batched signature verification covering every ack *and*
+    /// every signed batch each ack echoes in its `rcvd` set (duplicates
+    /// across acks are verified once by the batch layer).
+    fn proof_valid(verifier: &mut CachedVerifier, quorum: usize, proof: &BatchProof<V>) -> bool {
+        if proof.len() < quorum {
+            return false;
+        }
+        let mut signers = BTreeSet::new();
+        let mut obligations: Vec<(usize, Vec<u8>, Signature)> = Vec::new();
+        for ack in proof.iter() {
+            if !signers.insert(ack.signer) {
+                return false; // duplicate signer
+            }
+            obligations.push(Self::safe_ack_obligation(ack));
+            for sb in ack.rcvd.iter() {
+                obligations.push(Self::batch_obligation(sb));
+            }
+        }
+        verifier.verify_all(&obligations)
+    }
+
+    fn values_of(set: &SignedSet<ProvenBatch<V>>) -> ValueSet<V> {
         set.iter()
             .flat_map(|pb| pb.sb.batch.iter().cloned())
             .collect()
@@ -642,14 +756,14 @@ impl<V: SignableValue> GsbsProcess<V> {
         if self.state != GsbsState::Safetying || self.safe_acks.len() < self.config.quorum() {
             return;
         }
-        let proof = Arc::new(self.safe_acks.clone());
+        let proof: BatchProof<V> = Proof::new(self.safe_acks.clone());
         let set = self.current_safe_req.clone();
-        for sb in set {
-            let conflicted = proof.iter().any(|a| a.conflicted(&sb));
+        for sb in set.iter() {
+            let conflicted = proof.iter().any(|a| a.conflicted(sb));
             if !conflicted {
                 self.proposed_set.insert(ProvenBatch {
-                    sb,
-                    proof: Arc::clone(&proof),
+                    sb: sb.clone(),
+                    proof: proof.clone(),
                 });
             }
         }
@@ -749,7 +863,7 @@ impl<V: SignableValue> GsbsProcess<V> {
                             round: *round,
                         },
                     );
-                    self.accepted_set.extend(proposed.iter().cloned());
+                    self.accepted_set.join_with(proposed);
                 }
                 true
             }
@@ -770,7 +884,7 @@ impl<V: SignableValue> GsbsProcess<V> {
                 let acc_vals = Self::values_of(accepted);
                 let prop_vals = Self::values_of(&self.proposed_set);
                 if !acc_vals.is_subset(&prop_vals) && self.all_safe(accepted) {
-                    self.proposed_set.extend(accepted.iter().cloned());
+                    self.proposed_set.join_with(accepted);
                     self.ts += 1;
                     self.ack_certs.clear();
                     self.broadcast_proposal(ctx);
@@ -828,11 +942,12 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                 };
                 if all_ok {
                     let cands = self.safe_candidates.entry(round).or_default();
-                    let mut union = cands.clone();
-                    union.extend(set.iter().cloned());
+                    // O(1) when the candidates already contain the
+                    // request (redelivered subsets), merge-walk else.
+                    let union = cands.join(&set);
                     let conflicts = return_batch_conflicts(&union);
                     *cands = {
-                        let mut pruned = union.clone();
+                        let mut pruned = union;
                         remove_batch_conflicts(&mut pruned);
                         pruned
                     };
@@ -917,24 +1032,25 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
     }
 }
 
-/// Removes conflicting batch pairs in place.
-fn remove_batch_conflicts<V: SignableValue>(set: &mut BTreeSet<SignedBatch<V>>) {
+/// Removes conflicting batch pairs in place (no-op allocation-wise when
+/// nothing conflicts — the common case).
+fn remove_batch_conflicts<V: SignableValue>(set: &mut SignedSet<SignedBatch<V>>) {
     let conflicts = return_batch_conflicts(set);
-    for (a, b) in conflicts {
-        set.remove(&a);
-        set.remove(&b);
+    if conflicts.is_empty() {
+        return;
     }
+    set.retain(|sb| !conflicts.iter().any(|(a, b)| a == sb || b == sb));
 }
 
 /// Lists conflicting batch pairs.
 fn return_batch_conflicts<V: SignableValue>(
-    set: &BTreeSet<SignedBatch<V>>,
+    set: &SignedSet<SignedBatch<V>>,
 ) -> Vec<(SignedBatch<V>, SignedBatch<V>)> {
-    let items: Vec<&SignedBatch<V>> = set.iter().collect();
+    let items = set.as_slice();
     let mut out = Vec::new();
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
-            if items[i].conflicts_with(items[j]) {
+            if items[i].conflicts_with(&items[j]) {
                 out.push((items[i].clone(), items[j].clone()));
             }
         }

@@ -37,6 +37,18 @@
 //! proposer's set, later `ack_req` rounds carry only the values added
 //! since that reply, with a full-set fallback on first contact or a
 //! detected gap. See [`valueset`] for the wire format.
+//!
+//! The signature algorithms ship their *signed-record* sets (safe_req
+//! echoes, proven proposal/accepted sets) as [`signedset::SignedSet`]s —
+//! the same Arc-backed design, generic over signed records — and their
+//! proofs of safety as [`proof::Proof`] handles whose content address
+//! ([`bgla_crypto::ProofId`]) is interned at construction. Each distinct
+//! proof is then **verified once per process**: `AllSafe` memoizes
+//! full-proof verdicts (positive and negative) in a per-process
+//! [`bgla_crypto::ProofCache`], so redelivered or re-shipped proofs cost
+//! a hash lookup plus pure comparisons. `with_proof_interning(false)` on
+//! [`sbs::SbsProcess`] / [`gsbs::GsbsProcess`] is the ablation switch
+//! (identical decisions and traces, only the cost differs).
 #![warn(missing_docs)]
 // Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
 // `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
@@ -47,12 +59,16 @@ pub mod config;
 pub mod gsbs;
 pub mod gwts;
 pub mod harness;
+pub mod proof;
 pub mod sbs;
+pub mod signedset;
 pub mod spec;
 pub mod value;
 pub mod valueset;
 pub mod wts;
 
 pub use config::SystemConfig;
+pub use proof::{Proof, ProofAck};
+pub use signedset::{SignedItem, SignedSet};
 pub use value::Value;
 pub use valueset::{SetUpdate, ValueSet};

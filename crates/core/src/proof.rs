@@ -1,0 +1,192 @@
+//! First-class, content-addressed proof-of-safety handles.
+//!
+//! A proof of safety is a quorum of signed safe-acks certifying one
+//! safetying exchange; every value that exchange certified shares the
+//! same proof (the paper's `<v, Safe_acks>` pairs). PR 1 shared proofs
+//! through a bare `Arc<Vec<_>>`, which left two costs on the hot path:
+//!
+//! * deduplication (in `AllSafe` and in wire-size accounting) compared
+//!   `Arc::as_ptr` identities with an `O(k²)` `Vec::contains` scan, and
+//!   pointer identity misses *semantically identical* proofs arriving
+//!   through different allocations;
+//! * every verification re-serialized and re-hashed each ack just to
+//!   probe the signature cache.
+//!
+//! [`Proof`] wraps the shared ack vector and **interns** its identity at
+//! construction: a [`ProofId`] — the content hash of the ack multiset
+//! (see [`bgla_crypto::proofstore`]) — plus the modeled wire size, both
+//! computed exactly once. Because the only way to build a `Proof` is
+//! [`Proof::new`], an id always matches its content — adversaries
+//! construct through the same constructor and cannot attach a mismatched
+//! id (the analogue of a receiver recomputing the hash after
+//! deserializing).
+//!
+//! Downstream, deduplication becomes a hash lookup and the per-process
+//! [`bgla_crypto::ProofCache`] memoizes full verification verdicts by
+//! id — see the caching contract in [`bgla_crypto::proofstore`].
+
+use bgla_crypto::{ProofId, ProofIdBuilder};
+use bgla_simnet::ProofSizes;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An ack that can be part of a [`Proof`]: supplies the canonical bytes
+/// the content address binds (content *and* signature) and its modeled
+/// wire size.
+pub trait ProofAck: Clone + std::fmt::Debug + Send + Sync + 'static {
+    /// Writes the canonical bytes of this ack (everything verification
+    /// depends on, including the signature).
+    fn digest_bytes(&self, out: &mut Vec<u8>);
+
+    /// Modeled serialized size of this ack in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// A shared proof of safety with an interned content address and cached
+/// wire size. Clone is `O(1)`.
+pub struct Proof<A: ProofAck> {
+    acks: Arc<Vec<A>>,
+    id: ProofId,
+    wire: usize,
+}
+
+impl<A: ProofAck> Proof<A> {
+    /// Builds a proof, computing its content address and wire size once.
+    pub fn new(acks: Vec<A>) -> Self {
+        let mut builder = ProofIdBuilder::new();
+        let mut buf = Vec::new();
+        let mut wire = 0;
+        for ack in &acks {
+            buf.clear();
+            ack.digest_bytes(&mut buf);
+            builder.add_ack(&buf);
+            wire += ack.wire_size();
+        }
+        Proof {
+            acks: Arc::new(acks),
+            id: builder.finish(),
+            wire,
+        }
+    }
+
+    /// The interned content address.
+    pub fn id(&self) -> ProofId {
+        self.id
+    }
+
+    /// Number of acks.
+    pub fn len(&self) -> usize {
+        self.acks.len()
+    }
+
+    /// Whether the proof is empty (never valid, but constructible).
+    pub fn is_empty(&self) -> bool {
+        self.acks.is_empty()
+    }
+
+    /// Iterates the acks.
+    pub fn iter(&self) -> std::slice::Iter<'_, A> {
+        self.acks.iter()
+    }
+
+    /// The acks as a slice.
+    pub fn as_slice(&self) -> &[A] {
+        &self.acks
+    }
+
+    /// Cached modeled wire size of the whole ack vector (`O(1)`).
+    pub fn wire_size(&self) -> usize {
+        self.wire
+    }
+}
+
+impl<A: ProofAck> Clone for Proof<A> {
+    fn clone(&self) -> Self {
+        Proof {
+            acks: Arc::clone(&self.acks),
+            id: self.id,
+            wire: self.wire,
+        }
+    }
+}
+
+/// Proofs compare by content address: structurally identical proofs are
+/// equal even through different allocations (ack order included — the id
+/// is a multiset hash).
+impl<A: ProofAck> PartialEq for Proof<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl<A: ProofAck> Eq for Proof<A> {}
+
+impl<A: ProofAck> std::fmt::Debug for Proof<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proof")
+            .field("id", &self.id)
+            .field("acks", &self.acks)
+            .finish()
+    }
+}
+
+impl<'a, A: ProofAck> IntoIterator for &'a Proof<A> {
+    type Item = &'a A;
+    type IntoIter = std::slice::Iter<'a, A>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.acks.iter()
+    }
+}
+
+/// Per-message proof accounting over the proofs attached to a set of
+/// proven records: shared proofs are deduplicated by [`ProofId`] (each
+/// id's cached byte size counted once for the interned figure, once per
+/// reference for the flat figure). One walk serves both the wire-size
+/// metering and the [`ProofSizes`] metrics for SbS and GSbS alike.
+pub fn account_proofs<'a, A: ProofAck + 'a>(
+    proofs: impl Iterator<Item = &'a Proof<A>>,
+) -> ProofSizes {
+    let mut sizes = ProofSizes::default();
+    let mut seen: HashSet<ProofId> = HashSet::new();
+    for proof in proofs {
+        sizes.refs += 1;
+        sizes.flat_bytes += proof.wire_size() as u64;
+        if seen.insert(proof.id()) {
+            sizes.distinct += 1;
+            sizes.interned_bytes += proof.wire_size() as u64;
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl ProofAck for u64 {
+        fn digest_bytes(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.to_le_bytes());
+        }
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn identity_is_content_addressed() {
+        let a = Proof::new(vec![1u64, 2, 3]);
+        let b = Proof::new(vec![3u64, 1, 2]);
+        let c = Proof::new(vec![1u64, 2, 4]);
+        assert_eq!(a.id(), b.id(), "ack order must not matter");
+        assert_eq!(a, b);
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.wire_size(), 24);
+    }
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Proof::new(vec![7u64]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.acks, &b.acks));
+        assert_eq!(a.id(), b.id());
+    }
+}

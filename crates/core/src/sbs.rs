@@ -23,15 +23,40 @@
 //!    (proofs are `O(n²)`).
 //!
 //! Message delays: `5 + 4f` (Theorem 8).
+//!
+//! # Verify-once proofs (this implementation)
+//!
+//! Proofs of safety are `O(n²)` bytes and arrive attached to every
+//! `ack_req`/`nack`; the same proof is re-shipped on every refinement
+//! and Byzantine peers can redeliver it without bound. This
+//! implementation therefore verifies each *distinct* proof *once per
+//! process*: proofs are [`crate::proof::Proof`] handles whose
+//! [`bgla_crypto::ProofId`] is interned at construction, and
+//! [`SbsProcess::all_safe`] memoizes full-proof verdicts (positive and
+//! negative) in a per-process [`bgla_crypto::ProofCache`]. Only the
+//! cheap pair checks — "does this proof cover this value, without a
+//! reported conflict" — re-run on redelivery; see
+//! [`bgla_crypto::proofstore`] for the caching contract. The ablation
+//! switch [`SbsProcess::with_proof_interning`]`(false)` restores
+//! verify-every-time (decisions and traces are unchanged either way —
+//! the cache only skips recomputation of deterministic verdicts).
+//!
+//! Set payloads (`safe_req`, its ack echoes, and the proven
+//! proposal/accepted sets) are [`SignedSet`]s — Arc-backed sorted
+//! vectors with `O(1)` clone and merge-walk join — so redelivered
+//! supersets are recognized structurally instead of re-walked.
 
 use crate::config::SystemConfig;
+use crate::proof::{Proof, ProofAck};
+use crate::signedset::{SignedItem, SignedSet};
 use crate::value::SignableValue;
 use crate::valueset::ValueSet;
-use bgla_crypto::{CachedVerifier, Keypair, Keyring, Signature, ToBytes};
-use bgla_simnet::{Context, Process, ProcessId, WireMessage};
+use bgla_crypto::{
+    CachedVerifier, Keypair, Keyring, ProofCache, ProofId, Signature, ToBytes, VerifierStats,
+};
+use bgla_simnet::{Context, Process, ProcessId, ProofSizes, WireMessage};
 use std::any::Any;
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashSet};
 
 const VALUE_DOMAIN: &[u8] = b"bgla-sbs-value:";
 const ACK_DOMAIN: &[u8] = b"bgla-sbs-safeack:";
@@ -78,12 +103,18 @@ impl<V: SignableValue> SignedValue<V> {
     }
 }
 
+impl<V: SignableValue> SignedItem for SignedValue<V> {
+    fn wire_size(&self) -> usize {
+        self.value.wire_size() + 72
+    }
+}
+
 /// The body of a `safe_ack`: the echoed request set and the conflicts the
 /// acceptor knows of.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SafeAckBody<V: SignableValue> {
     /// Echo of the proposer's `Safety_set`.
-    pub rcvd: BTreeSet<SignedValue<V>>,
+    pub rcvd: SignedSet<SignedValue<V>>,
     /// Conflicting pairs known to the acceptor.
     pub conflicts: Vec<(SignedValue<V>, SignedValue<V>)>,
 }
@@ -143,10 +174,27 @@ impl<V: SignableValue> SignedSafeAck<V> {
     }
 }
 
+impl<V: SignableValue> ProofAck for SignedSafeAck<V> {
+    fn digest_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.body.signable_bytes(self.signer));
+        out.extend_from_slice(&self.sig.to_bytes());
+    }
+    fn wire_size(&self) -> usize {
+        72 + self.body.rcvd.items_wire()
+            + self
+                .body
+                .conflicts
+                .iter()
+                .map(|(a, b)| a.value.wire_size() + b.value.wire_size() + 144)
+                .sum::<usize>()
+    }
+}
+
 /// A proof of safety: a quorum of safe-acks none of which conflicts the
-/// value. Shared (`Arc`) across all values certified by the same
-/// safetying exchange, like the paper's `<v, Safe_acks>` pairs.
-pub type SafetyProof<V> = Arc<Vec<SignedSafeAck<V>>>;
+/// value. Shared across all values certified by the same safetying
+/// exchange, like the paper's `<v, Safe_acks>` pairs, with its
+/// [`ProofId`] interned at construction.
+pub type SafetyProof<V> = Proof<SignedSafeAck<V>>;
 
 /// A value bundled with its proof of safety.
 #[derive(Debug, Clone)]
@@ -176,35 +224,25 @@ impl<V: SignableValue> Ord for ProvenValue<V> {
     }
 }
 
-fn proven_values_size<V: SignableValue>(set: &BTreeSet<ProvenValue<V>>) -> usize {
+impl<V: SignableValue> SignedItem for ProvenValue<V> {
+    fn wire_size(&self) -> usize {
+        // The value + signature only; the attached proof is accounted
+        // separately (shared proofs transmit once per message).
+        self.sv.value.wire_size() + 8 + 64
+    }
+}
+
+fn proven_values_size<V: SignableValue>(set: &SignedSet<ProvenValue<V>>) -> usize {
     // Shared proofs are counted once, as a real codec would transmit
     // them (the paper's O(n²) message size comes from the proofs).
-    let mut total = 8;
-    let mut seen: Vec<*const Vec<SignedSafeAck<V>>> = Vec::new();
-    for pv in set {
-        total += pv.sv.value.wire_size() + 8 + 64;
-        let ptr = Arc::as_ptr(&pv.proof);
-        if !seen.contains(&ptr) {
-            seen.push(ptr);
-            for ack in pv.proof.iter() {
-                total += 8
-                    + 64
-                    + ack
-                        .body
-                        .rcvd
-                        .iter()
-                        .map(|sv| sv.value.wire_size() + 72)
-                        .sum::<usize>()
-                    + ack
-                        .body
-                        .conflicts
-                        .iter()
-                        .map(|(a, b)| a.value.wire_size() + b.value.wire_size() + 144)
-                        .sum::<usize>();
-            }
-        }
-    }
-    total
+    // Deduplication is by interned ProofId — a hash lookup per value,
+    // not the old O(k²) pointer scan — and each proof's byte size was
+    // cached at construction.
+    set.wire_size() + proven_values_proofs(set).interned_bytes as usize
+}
+
+fn proven_values_proofs<V: SignableValue>(set: &SignedSet<ProvenValue<V>>) -> ProofSizes {
+    crate::proof::account_proofs(set.iter().map(|pv| &pv.proof))
 }
 
 /// SbS wire messages.
@@ -213,13 +251,13 @@ pub enum SbsMsg<V: SignableValue> {
     /// Init phase: signed initial value, proposer → proposers.
     Init(SignedValue<V>),
     /// Safetying phase: proposer → acceptors.
-    SafeReq(BTreeSet<SignedValue<V>>),
+    SafeReq(SignedSet<SignedValue<V>>),
     /// Safetying phase: acceptor → proposer.
     SafeAck(SignedSafeAck<V>),
     /// Proposing phase: proposer → acceptors, values carry proofs.
     AckReq {
         /// Proven proposal.
-        proposed: BTreeSet<ProvenValue<V>>,
+        proposed: SignedSet<ProvenValue<V>>,
         /// Refinement timestamp.
         ts: u64,
     },
@@ -233,7 +271,7 @@ pub enum SbsMsg<V: SignableValue> {
     /// Acceptor refuses and ships its own proven accepted set.
     Nack {
         /// Acceptor's accepted set with proofs.
-        accepted: BTreeSet<ProvenValue<V>>,
+        accepted: SignedSet<ProvenValue<V>>,
         /// Echoed timestamp.
         ts: u64,
     },
@@ -252,30 +290,31 @@ impl<V: SignableValue> WireMessage for SbsMsg<V> {
     }
     fn wire_size(&self) -> usize {
         match self {
-            SbsMsg::Init(sv) => sv.value.wire_size() + 72,
-            SbsMsg::SafeReq(set) => {
-                8 + set
-                    .iter()
-                    .map(|sv| sv.value.wire_size() + 72)
-                    .sum::<usize>()
-            }
-            SbsMsg::SafeAck(ack) => {
-                72 + ack
-                    .body
-                    .rcvd
-                    .iter()
-                    .map(|sv| sv.value.wire_size() + 72)
-                    .sum::<usize>()
-                    + ack
-                        .body
-                        .conflicts
-                        .iter()
-                        .map(|(a, b)| a.value.wire_size() + b.value.wire_size() + 144)
-                        .sum::<usize>()
-            }
+            SbsMsg::Init(sv) => SignedItem::wire_size(sv),
+            SbsMsg::SafeReq(set) => set.wire_size(),
+            SbsMsg::SafeAck(ack) => ProofAck::wire_size(ack),
             SbsMsg::AckReq { proposed, .. } => 8 + proven_values_size(proposed),
             SbsMsg::Ack { values, .. } => 8 + values.wire_size(),
             SbsMsg::Nack { accepted, .. } => 8 + proven_values_size(accepted),
+        }
+    }
+    fn proof_sizes(&self) -> ProofSizes {
+        match self {
+            SbsMsg::AckReq { proposed: set, .. } | SbsMsg::Nack { accepted: set, .. } => {
+                proven_values_proofs(set)
+            }
+            _ => ProofSizes::default(),
+        }
+    }
+    fn metered(&self) -> (usize, ProofSizes) {
+        // One walk per send: the proof dedup yields both the proof
+        // accounting and the interned wire size.
+        match self {
+            SbsMsg::AckReq { proposed: set, .. } | SbsMsg::Nack { accepted: set, .. } => {
+                let proofs = proven_values_proofs(set);
+                (8 + set.wire_size() + proofs.interned_bytes as usize, proofs)
+            }
+            _ => (self.wire_size(), ProofSizes::default()),
         }
     }
 }
@@ -294,20 +333,28 @@ pub enum SbsState {
 }
 
 /// Removes every conflicting pair from `set` (both members), per
-/// Algorithm 10's `RemoveConflicts`.
-fn remove_conflicts<V: SignableValue>(set: &BTreeSet<SignedValue<V>>) -> BTreeSet<SignedValue<V>> {
-    let items: Vec<&SignedValue<V>> = set.iter().collect();
+/// Algorithm 10's `RemoveConflicts`. Returns a cheap clone of the input
+/// handle when nothing conflicts (the common case).
+fn remove_conflicts<V: SignableValue>(
+    set: &SignedSet<SignedValue<V>>,
+) -> SignedSet<SignedValue<V>> {
+    let items = set.as_slice();
     let mut bad = vec![false; items.len()];
+    let mut any = false;
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
-            if items[i].conflicts_with(items[j]) {
+            if items[i].conflicts_with(&items[j]) {
                 bad[i] = true;
                 bad[j] = true;
+                any = true;
             }
         }
     }
+    if !any {
+        return set.clone();
+    }
     items
-        .into_iter()
+        .iter()
         .zip(bad)
         .filter(|(_, b)| !b)
         .map(|(sv, _)| sv.clone())
@@ -317,13 +364,13 @@ fn remove_conflicts<V: SignableValue>(set: &BTreeSet<SignedValue<V>>) -> BTreeSe
 /// Lists conflicting pairs within `set` (Algorithm 10's
 /// `ReturnConflicts`).
 fn return_conflicts<V: SignableValue>(
-    set: &BTreeSet<SignedValue<V>>,
+    set: &SignedSet<SignedValue<V>>,
 ) -> Vec<(SignedValue<V>, SignedValue<V>)> {
-    let items: Vec<&SignedValue<V>> = set.iter().collect();
+    let items = set.as_slice();
     let mut out = Vec::new();
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
-            if items[i].conflicts_with(items[j]) {
+            if items[i].conflicts_with(&items[j]) {
                 out.push((items[i].clone(), items[j].clone()));
             }
         }
@@ -344,20 +391,25 @@ pub struct SbsProcess<V: SignableValue> {
 
     state: SbsState,
     /// `Safety_set`: collected signed inits (conflicts removed).
-    safety_set: BTreeSet<SignedValue<V>>,
+    safety_set: SignedSet<SignedValue<V>>,
     /// Collected safe-acks for our `safe_req`.
     safe_acks: Vec<SignedSafeAck<V>>,
     safe_ack_senders: BTreeSet<ProcessId>,
     /// `byz[]` flags.
     byz: BTreeSet<ProcessId>,
     /// Proven proposal.
-    proposed_set: BTreeSet<ProvenValue<V>>,
+    proposed_set: SignedSet<ProvenValue<V>>,
     ack_set: BTreeSet<ProcessId>,
     ts: u64,
     /// Acceptor: candidates for safety (conflicts removed).
-    safe_candidates: BTreeSet<SignedValue<V>>,
+    safe_candidates: SignedSet<SignedValue<V>>,
     /// Acceptor: accepted proven set.
-    accepted_set: BTreeSet<ProvenValue<V>>,
+    accepted_set: SignedSet<ProvenValue<V>>,
+    /// Memoized full-proof verdicts, keyed by [`ProofId`].
+    proof_cache: ProofCache,
+    /// Ablation switch: `false` re-verifies every proof on every
+    /// delivery (decisions are identical — only the cost differs).
+    proof_interning: bool,
 
     /// The decision (value set), once made.
     pub decision: Option<ValueSet<V>>,
@@ -379,15 +431,17 @@ impl<V: SignableValue> SbsProcess<V> {
             verifier: CachedVerifier::new(Keyring::for_system(config.n)),
             validator: |_| true,
             state: SbsState::Init,
-            safety_set: BTreeSet::new(),
+            safety_set: SignedSet::new(),
             safe_acks: Vec::new(),
             safe_ack_senders: BTreeSet::new(),
             byz: BTreeSet::new(),
-            proposed_set: BTreeSet::new(),
+            proposed_set: SignedSet::new(),
             ack_set: BTreeSet::new(),
             ts: 0,
-            safe_candidates: BTreeSet::new(),
-            accepted_set: BTreeSet::new(),
+            safe_candidates: SignedSet::new(),
+            accepted_set: SignedSet::new(),
+            proof_cache: ProofCache::default(),
+            proof_interning: true,
             decision: None,
             decision_depth: None,
             refinements: 0,
@@ -398,6 +452,24 @@ impl<V: SignableValue> SbsProcess<V> {
     pub fn with_validator(mut self, v: fn(&V) -> bool) -> Self {
         self.validator = v;
         self
+    }
+
+    /// Toggles proof-verdict interning (default on). With `false` every
+    /// [`SbsProcess::all_safe`] re-verifies every attached proof — the
+    /// ablation baseline; decisions and traces are unchanged.
+    pub fn with_proof_interning(mut self, on: bool) -> Self {
+        self.proof_interning = on;
+        self
+    }
+
+    /// Cryptographic-work counters of this process's verifier.
+    pub fn verifier_stats(&self) -> VerifierStats {
+        self.verifier.stats()
+    }
+
+    /// `(hits, misses)` of the proof-verdict cache.
+    pub fn proof_cache_stats(&self) -> (u64, u64) {
+        self.proof_cache.stats()
     }
 
     /// Process id.
@@ -418,28 +490,36 @@ impl<V: SignableValue> SbsProcess<V> {
         )
     }
 
-    /// Algorithm 10's `AllSafe`: every value's proof checks out. The
-    /// structural checks (quorum size, distinct signers, coverage,
-    /// conflicts) run first; all signature obligations of the whole set
-    /// are then verified through one batched Ed25519 check
-    /// ([`CachedVerifier::verify_all`]), with verdicts cached so
-    /// Byzantine re-sends of the same records cost nothing.
-    fn all_safe(&mut self, set: &BTreeSet<ProvenValue<V>>) -> bool {
+    /// Algorithm 10's `AllSafe`: every value's proof checks out —
+    /// incremental. Per `(value, proof)` pair only the cheap coverage
+    /// and conflict comparisons run (pure record equality — no
+    /// serialization, no hashing); the expensive value-independent part
+    /// of each *distinct* proof ([`Self::proof_valid`]) is answered
+    /// from the per-process [`ProofCache`] when the proof was seen
+    /// before — positive *and* negative verdicts, so a redelivered
+    /// forged proof costs a hash lookup, not a re-verification. Within
+    /// one call, values sharing a proof check it once (by [`ProofId`],
+    /// replacing the old `O(k²)` `Arc::as_ptr` scan).
+    ///
+    /// The attached value's own signature is covered by the proof
+    /// verdict: the pair check demands `pv.sv ∈ ack.rcvd` under *full
+    /// record equality* (value, signer and signature bytes), and
+    /// [`Self::proof_valid`] verifies every record echoed in every
+    /// ack's `rcvd` — so a covered value's signature has been verified,
+    /// by content, exactly once.
+    ///
+    /// Public for the `proofcheck` benchmark and the verification-count
+    /// tests; protocol handlers are the real callers.
+    pub fn all_safe(&mut self, set: &SignedSet<ProvenValue<V>>) -> bool {
         let quorum = self.config.quorum();
-        let mut obligations: Vec<(usize, Vec<u8>, Signature)> = Vec::new();
-        let mut seen_proofs: Vec<*const Vec<SignedSafeAck<V>>> = Vec::new();
-        for pv in set {
+        let mut checked: HashSet<ProofId> = HashSet::with_capacity(set.len());
+        for pv in set.iter() {
             if !(self.validator)(&pv.sv.value) {
                 return false;
             }
-            if pv.proof.len() < quorum {
-                return false;
-            }
-            let mut signers = BTreeSet::new();
+            // Pair checks — value ↔ proof relations are never cached
+            // (see the contract in `bgla_crypto::proofstore`).
             for ack in pv.proof.iter() {
-                if !signers.insert(ack.signer) {
-                    return false; // duplicate signer
-                }
                 if !ack.body.rcvd.contains(&pv.sv) {
                     return false; // proof doesn't cover this value
                 }
@@ -447,20 +527,55 @@ impl<V: SignableValue> SbsProcess<V> {
                     return false; // a quorum member reported a conflict
                 }
             }
-            obligations.push((
-                pv.sv.signer,
-                SignedValue::signable_bytes(&pv.sv.value, pv.sv.signer),
-                pv.sv.sig,
-            ));
-            let ptr = Arc::as_ptr(&pv.proof);
-            if !seen_proofs.contains(&ptr) {
-                seen_proofs.push(ptr);
-                for ack in pv.proof.iter() {
-                    obligations.push((ack.signer, ack.body.signable_bytes(ack.signer), ack.sig));
+            let id = pv.proof.id();
+            if !checked.insert(id) {
+                continue; // another value in this set shares the proof
+            }
+            if self.proof_interning {
+                match self.proof_cache.get(id) {
+                    Some(true) => continue,
+                    Some(false) => return false,
+                    None => {}
                 }
             }
+            let ok = Self::proof_valid(&mut self.verifier, quorum, &pv.proof);
+            if self.proof_interning {
+                self.proof_cache.put(id, ok);
+            }
+            if !ok {
+                return false;
+            }
         }
-        self.verifier.verify_all(&obligations)
+        true
+    }
+
+    /// The value-independent proof checks — exactly the verdict
+    /// [`ProofCache`] may memoize: quorum size, signer distinctness,
+    /// and one batched signature verification covering every ack *and*
+    /// every signed value each ack echoes in its `rcvd` set (duplicates
+    /// across acks are verified once by the batch layer). Verifying the
+    /// echoes is what lets [`Self::all_safe`] certify covered values by
+    /// membership alone.
+    fn proof_valid(verifier: &mut CachedVerifier, quorum: usize, proof: &SafetyProof<V>) -> bool {
+        if proof.len() < quorum {
+            return false;
+        }
+        let mut signers = BTreeSet::new();
+        let mut obligations: Vec<(usize, Vec<u8>, Signature)> = Vec::new();
+        for ack in proof.iter() {
+            if !signers.insert(ack.signer) {
+                return false; // duplicate signer
+            }
+            obligations.push((ack.signer, ack.body.signable_bytes(ack.signer), ack.sig));
+            for sv in ack.body.rcvd.iter() {
+                obligations.push((
+                    sv.signer,
+                    SignedValue::signable_bytes(&sv.value, sv.signer),
+                    sv.sig,
+                ));
+            }
+        }
+        verifier.verify_all(&obligations)
     }
 
     fn broadcast_proposal(&mut self, ctx: &mut Context<SbsMsg<V>>) {
@@ -470,7 +585,7 @@ impl<V: SignableValue> SbsProcess<V> {
         });
     }
 
-    fn values_of(set: &BTreeSet<ProvenValue<V>>) -> ValueSet<V> {
+    fn values_of(set: &SignedSet<ProvenValue<V>>) -> ValueSet<V> {
         set.iter().map(|pv| pv.sv.value.clone()).collect()
     }
 
@@ -490,13 +605,14 @@ impl<V: SignableValue> SbsProcess<V> {
         if self.state != SbsState::Safetying || self.safe_acks.len() < self.config.quorum() {
             return;
         }
-        let proof: SafetyProof<V> = Arc::new(self.safe_acks.clone());
-        for sv in self.safety_set.clone() {
-            let conflicted = proof.iter().any(|ack| ack.body.conflicted(&sv));
+        let proof: SafetyProof<V> = Proof::new(self.safe_acks.clone());
+        let safety_set = self.safety_set.clone();
+        for sv in safety_set.iter() {
+            let conflicted = proof.iter().any(|ack| ack.body.conflicted(sv));
             if !conflicted {
                 self.proposed_set.insert(ProvenValue {
-                    sv,
-                    proof: Arc::clone(&proof),
+                    sv: sv.clone(),
+                    proof: proof.clone(),
                 });
             }
         }
@@ -543,8 +659,9 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                     })
                     .collect();
                 if self.verifier.verify_all(&obligations) {
-                    let mut union: BTreeSet<SignedValue<V>> = self.safe_candidates.clone();
-                    union.extend(set.iter().cloned());
+                    // O(1) when the candidates already contain the
+                    // request (redelivered subsets), merge-walk else.
+                    let union = self.safe_candidates.join(&set);
                     let conflicts = return_conflicts(&union);
                     let body = SafeAckBody {
                         rcvd: set,
@@ -620,7 +737,7 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                             ts,
                         },
                     );
-                    self.accepted_set.extend(proposed);
+                    self.accepted_set.join_with(&proposed);
                 }
             }
             // ---- Proposing phase (proposer side) ----
@@ -647,7 +764,7 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                 let prop_vals = Self::values_of(&self.proposed_set);
                 let grows = !acc_vals.is_subset(&prop_vals);
                 if grows && !self.byz.contains(&from) && self.all_safe(&accepted) {
-                    self.proposed_set.extend(accepted);
+                    self.proposed_set.join_with(&accepted);
                     self.ack_set.clear();
                     self.ts += 1;
                     self.refinements += 1;
@@ -765,21 +882,27 @@ mod tests {
         };
         let ack = SignedSafeAck::sign(body, 1, &kp1);
         // Quorum is 3; a single ack (even valid) is insufficient.
-        let set: BTreeSet<ProvenValue<u64>> = [ProvenValue {
+        let set: SignedSet<ProvenValue<u64>> = [ProvenValue {
             sv: sv.clone(),
-            proof: Arc::new(vec![ack.clone()]),
+            proof: Proof::new(vec![ack.clone()]),
         }]
         .into_iter()
         .collect();
         assert!(!p.all_safe(&set));
         // Duplicate signers don't count.
-        let set2: BTreeSet<ProvenValue<u64>> = [ProvenValue {
+        let set2: SignedSet<ProvenValue<u64>> = [ProvenValue {
             sv,
-            proof: Arc::new(vec![ack.clone(), ack.clone(), ack]),
+            proof: Proof::new(vec![ack.clone(), ack.clone(), ack]),
         }]
         .into_iter()
         .collect();
         assert!(!p.all_safe(&set2));
+        // Both verdicts were interned: redelivery answers from cache.
+        let (hits0, _) = p.proof_cache_stats();
+        assert!(!p.all_safe(&set));
+        assert!(!p.all_safe(&set2));
+        let (hits1, _) = p.proof_cache_stats();
+        assert_eq!(hits1 - hits0, 2);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Property-based testing of `SignedSet`: the join-semilattice laws,
+//! behavioral agreement with the `BTreeSet` representation it replaced,
+//! and proof-identity preservation across joins — mirroring
+//! `valueset_properties.rs`.
+
+use bgla_core::proof::Proof;
+use bgla_core::sbs::{ProvenValue, SafeAckBody, SignedSafeAck, SignedValue};
+use bgla_core::SignedSet;
+use bgla_crypto::Keypair;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn ss(v: &[u64]) -> SignedSet<u64> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Join is idempotent: `a ∪ a = a`.
+    #[test]
+    fn join_idempotent(a: Vec<u64>) {
+        let a = ss(&a);
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    /// Join commutes: `a ∪ b = b ∪ a`.
+    #[test]
+    fn join_commutative(a: Vec<u64>, b: Vec<u64>) {
+        let (a, b) = (ss(&a), ss(&b));
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    /// Join associates: `(a ∪ b) ∪ c = a ∪ (b ∪ c)`.
+    #[test]
+    fn join_associative(a: Vec<u64>, b: Vec<u64>, c: Vec<u64>) {
+        let (a, b, c) = (ss(&a), ss(&b), ss(&c));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    /// The bottom element is the identity: `a ∪ ⊥ = a`.
+    #[test]
+    fn join_identity(a: Vec<u64>) {
+        let a = ss(&a);
+        prop_assert_eq!(a.join(&SignedSet::new()), a);
+    }
+
+    /// Order agrees with join: `a ⊆ b ⟺ a ∪ b = b`.
+    #[test]
+    fn order_consistent_with_join(a: Vec<u64>, b: Vec<u64>) {
+        let (a, b) = (ss(&a), ss(&b));
+        prop_assert_eq!(a.is_subset(&b), a.join(&b) == b);
+    }
+
+    /// Every observable operation agrees with the `BTreeSet` the
+    /// signature algorithms used before.
+    #[test]
+    fn agrees_with_btreeset_reference(a: Vec<u64>, b: Vec<u64>, probe: u64) {
+        let (ra, rb): (BTreeSet<u64>, BTreeSet<u64>) =
+            (a.iter().copied().collect(), b.iter().copied().collect());
+        let (sa, sb) = (ss(&a), ss(&b));
+        prop_assert_eq!(sa.len(), ra.len());
+        prop_assert_eq!(sa.is_empty(), ra.is_empty());
+        prop_assert_eq!(sa.contains(&probe), ra.contains(&probe));
+        prop_assert_eq!(sa.is_subset(&sb), ra.is_subset(&rb));
+        prop_assert_eq!(sa.is_superset(&sb), ra.is_superset(&rb));
+        let union: Vec<u64> = ra.union(&rb).copied().collect();
+        prop_assert_eq!(sa.join(&sb).as_slice(), union.as_slice());
+        // Iteration order matches (both ascending).
+        let it: Vec<u64> = sa.iter().copied().collect();
+        let rit: Vec<u64> = ra.iter().copied().collect();
+        prop_assert_eq!(it, rit);
+        // Insert semantics: growth reported iff the element was new.
+        let mut sm = sa.clone();
+        let mut rm = ra.clone();
+        prop_assert_eq!(sm.insert(probe), rm.insert(probe));
+        let after: Vec<u64> = rm.into_iter().collect();
+        prop_assert_eq!(sm.as_slice(), after.as_slice());
+    }
+
+    /// `From<BTreeSet>` round-trips contents.
+    #[test]
+    fn btreeset_conversion(a: Vec<u64>) {
+        let r: BTreeSet<u64> = a.iter().copied().collect();
+        let s: SignedSet<u64> = SignedSet::from(r.clone());
+        let back: Vec<u64> = r.into_iter().collect();
+        prop_assert_eq!(s.as_slice(), back.as_slice());
+    }
+}
+
+/// Builds a set of proven values certified by one shared proof — the
+/// shape one safetying exchange produces (the ack covers every value).
+fn proven_set(values: &[u64], signer: usize) -> SignedSet<ProvenValue<u64>> {
+    let kp = Keypair::for_process(signer);
+    let svs: Vec<SignedValue<u64>> = values
+        .iter()
+        .map(|&v| SignedValue::sign(v, signer, &kp))
+        .collect();
+    let body = SafeAckBody {
+        rcvd: svs.iter().cloned().collect(),
+        conflicts: vec![],
+    };
+    let proof = Proof::new(vec![SignedSafeAck::sign(body, signer, &kp)]);
+    svs.into_iter()
+        .map(|sv| ProvenValue {
+            sv,
+            proof: proof.clone(),
+        })
+        .collect()
+}
+
+/// Joins keep `self`'s representative for equal elements, so an
+/// element's attached proof — and therefore its interned `ProofId` and
+/// any cached verification verdicts — survives any number of merges.
+#[test]
+fn join_preserves_proof_identity() {
+    // `a` and `b` both contain value 2, certified by *different* proofs
+    // (ProvenValue ordering ignores the proof, so they compare equal).
+    let a = proven_set(&[1, 2], 0);
+    let b = proven_set(&[2, 3], 0);
+    let a_proof = a.as_slice()[0].proof.id();
+    let b_proof = b.as_slice()[0].proof.id();
+    assert_ne!(a_proof, b_proof, "distinct proofs by construction");
+
+    let joined = a.join(&b);
+    assert_eq!(joined.len(), 3);
+    for pv in joined.iter() {
+        let expected = match pv.sv.value {
+            1 | 2 => a_proof, // the shared value 2 keeps `a`'s proof
+            _ => b_proof,
+        };
+        assert_eq!(pv.proof.id(), expected, "value {}", pv.sv.value);
+    }
+    // And symmetrically: b.join(&a) keeps b's proof for the shared value.
+    let joined_rev = b.join(&a);
+    assert_eq!(
+        joined_rev
+            .iter()
+            .find(|pv| pv.sv.value == 2)
+            .unwrap()
+            .proof
+            .id(),
+        b_proof
+    );
+}
+
+/// The record-subset shape: `self ⊂ other` with the shared element
+/// carrying a *different* proof on each side. The join must not adopt
+/// the peer's allocation wholesale — self's representative (and its
+/// proof identity) survives even on this fast-path-tempting shape.
+#[test]
+fn join_preserves_proof_identity_on_subset() {
+    let small = proven_set(&[2], 0);
+    let big = proven_set(&[1, 2, 3], 0);
+    let small_proof = small.as_slice()[0].proof.id();
+    let big_proof = big.as_slice()[0].proof.id();
+    assert_ne!(small_proof, big_proof);
+    assert!(small.is_subset(&big), "record-subset by construction");
+
+    let mut joined = small.clone();
+    assert!(joined.join_with(&big), "the join grows");
+    assert_eq!(joined.len(), 3);
+    for pv in joined.iter() {
+        let expected = if pv.sv.value == 2 {
+            small_proof
+        } else {
+            big_proof
+        };
+        assert_eq!(pv.proof.id(), expected, "value {}", pv.sv.value);
+    }
+}
+
+/// Structurally identical proofs get the same `ProofId` through
+/// different allocations — including under ack reordering (a proof is a
+/// multiset of acks).
+#[test]
+fn proof_identity_is_structural() {
+    let kp = Keypair::for_process(1);
+    let sv = SignedValue::sign(7u64, 1, &kp);
+    let mk_ack = |tag: u64| {
+        let body = SafeAckBody {
+            rcvd: [sv.clone(), SignedValue::sign(tag, 1, &kp)]
+                .into_iter()
+                .collect(),
+            conflicts: vec![],
+        };
+        SignedSafeAck::sign(body, 1, &kp)
+    };
+    let (x, y) = (mk_ack(10), mk_ack(20));
+    let p1 = Proof::new(vec![x.clone(), y.clone()]);
+    let p2 = Proof::new(vec![y, x]);
+    assert_eq!(p1.id(), p2.id());
+    assert_eq!(p1, p2);
+}

@@ -1,0 +1,146 @@
+//! Verify-once pins for the proof-of-safety pipeline: a redelivered
+//! proof — valid *or forged* — must cost real cryptographic work exactly
+//! once per process, with every redelivery answered by the proof-verdict
+//! cache. Asserted through the work counters on `CachedVerifier`
+//! ([`bgla_crypto::VerifierStats`]) and the hit counters on the proof
+//! cache.
+
+use bgla_core::proof::Proof;
+use bgla_core::sbs::{ProvenValue, SafeAckBody, SbsProcess, SignedSafeAck, SignedValue};
+use bgla_core::{SignedSet, SystemConfig};
+use bgla_crypto::Keypair;
+
+/// n = 4, f = 1 → quorum = ⌊(4+1)/2⌋ + 1 = 3.
+fn config() -> SystemConfig {
+    SystemConfig::new(4, 1)
+}
+
+/// A structurally impeccable proven value: `signers` distinct acceptors
+/// each sign an ack echoing the value, no conflicts.
+fn proven_value(value: u64, proposer: usize, signers: &[usize]) -> ProvenValue<u64> {
+    let sv = SignedValue::sign(value, proposer, &Keypair::for_process(proposer));
+    let rcvd: SignedSet<SignedValue<u64>> = [sv.clone()].into_iter().collect();
+    let acks: Vec<SignedSafeAck<u64>> = signers
+        .iter()
+        .map(|&s| {
+            SignedSafeAck::sign(
+                SafeAckBody {
+                    rcvd: rcvd.clone(),
+                    conflicts: vec![],
+                },
+                s,
+                &Keypair::for_process(s),
+            )
+        })
+        .collect();
+    ProvenValue {
+        sv,
+        proof: Proof::new(acks),
+    }
+}
+
+#[test]
+fn forged_proof_redelivery_verifies_once() {
+    let mut p = SbsProcess::new(0, config(), 7u64);
+    // Structure passes every cheap check; one ack's signature is
+    // corrupted, so only the batched signature verification can (and
+    // must) reject it.
+    let mut pv = proven_value(42, 1, &[1, 2, 3]);
+    let mut acks = pv.proof.as_slice().to_vec();
+    acks[1].sig.s[0] ^= 0x40;
+    pv.proof = Proof::new(acks);
+    let set: SignedSet<ProvenValue<u64>> = [pv].into_iter().collect();
+
+    const REDELIVERIES: usize = 10;
+    for _ in 0..REDELIVERIES {
+        assert!(!p.all_safe(&set), "forged proof must never pass");
+    }
+    let stats = p.verifier_stats();
+    assert_eq!(
+        stats.batch_verifications, 1,
+        "the forged proof must be batch-verified exactly once"
+    );
+    assert_eq!(
+        stats.single_verifications, 4,
+        "one culprit-finding fallback over the 3 acks + 1 echoed value, never repeated"
+    );
+    let (hits, misses) = p.proof_cache_stats();
+    assert_eq!(misses, 1, "one cold lookup");
+    assert_eq!(
+        hits,
+        (REDELIVERIES - 1) as u64,
+        "every redelivery answered by the interned negative verdict"
+    );
+}
+
+#[test]
+fn valid_proof_redelivery_verifies_once() {
+    let mut p = SbsProcess::new(0, config(), 7u64);
+    let pv = proven_value(42, 1, &[1, 2, 3]);
+    let set: SignedSet<ProvenValue<u64>> = [pv].into_iter().collect();
+
+    for _ in 0..10 {
+        assert!(p.all_safe(&set), "well-formed proof must pass");
+    }
+    let stats = p.verifier_stats();
+    // One batched check covers the proof's 3 acks and the echoed value
+    // (whose membership certifies the attached value's signature).
+    // Redeliveries add no cryptographic work at all.
+    assert_eq!(stats.batch_verifications, 1);
+    assert_eq!(stats.single_verifications, 0);
+    let (hits, misses) = p.proof_cache_stats();
+    assert_eq!((hits, misses), (9, 1));
+}
+
+#[test]
+fn interning_off_still_answers_from_sig_cache_but_reserializes() {
+    // The ablation baseline: identical verdicts, no proof-cache use.
+    let mut p = SbsProcess::new(0, config(), 7u64).with_proof_interning(false);
+    let pv = proven_value(42, 1, &[1, 2, 3]);
+    let set: SignedSet<ProvenValue<u64>> = [pv].into_iter().collect();
+    for _ in 0..5 {
+        assert!(p.all_safe(&set));
+    }
+    let (hits, misses) = p.proof_cache_stats();
+    assert_eq!((hits, misses), (0, 0), "ablation must bypass the cache");
+    // The signature cache still prevents repeated scalar multiplications
+    // (PR 1 behavior) — interning's win is skipping re-serialization.
+    assert_eq!(p.verifier_stats().batch_verifications, 1);
+}
+
+#[test]
+fn same_proof_shared_by_many_values_checks_once_per_call() {
+    let mut p = SbsProcess::new(0, config(), 7u64);
+    // Three values certified by one safetying exchange: one shared proof.
+    let svs: Vec<SignedValue<u64>> = (0..3)
+        .map(|i| SignedValue::sign(100 + i as u64, 1 + i, &Keypair::for_process(1 + i)))
+        .collect();
+    let rcvd: SignedSet<SignedValue<u64>> = svs.iter().cloned().collect();
+    let acks: Vec<SignedSafeAck<u64>> = [1usize, 2, 3]
+        .iter()
+        .map(|&s| {
+            SignedSafeAck::sign(
+                SafeAckBody {
+                    rcvd: rcvd.clone(),
+                    conflicts: vec![],
+                },
+                s,
+                &Keypair::for_process(s),
+            )
+        })
+        .collect();
+    let proof = Proof::new(acks);
+    let set: SignedSet<ProvenValue<u64>> = svs
+        .into_iter()
+        .map(|sv| ProvenValue {
+            sv,
+            proof: proof.clone(),
+        })
+        .collect();
+    assert!(p.all_safe(&set));
+    let (_, misses) = p.proof_cache_stats();
+    assert_eq!(misses, 1, "shared proof looked up once, not per value");
+    assert!(p.all_safe(&set));
+    let (hits, _) = p.proof_cache_stats();
+    assert_eq!(hits, 1, "and once per later call");
+}

@@ -17,6 +17,10 @@
 //! * [`ed25519`] — RFC 8032 keygen / sign / verify (tested against the
 //!   RFC's vectors).
 //! * [`keyring`] — a process-id-indexed PKI as assumed by the paper.
+//! * [`sigcache`] — memoized + batched verification ([`CachedVerifier`]).
+//! * [`proofstore`] — content-addressed proof-of-safety interning
+//!   ([`ProofId`], [`ProofCache`]): each distinct proof is verified once
+//!   per process and answered from cache thereafter.
 //!
 //! **Scope note**: this is an *algorithmic* implementation for a research
 //! reproduction. It is not hardened (no constant-time guarantees, no
@@ -32,7 +36,9 @@ pub mod edwards;
 pub mod field;
 pub mod hmac;
 pub mod keyring;
+mod lru;
 pub mod nroot;
+pub mod proofstore;
 pub mod scalar;
 pub mod sha512;
 pub mod sigcache;
@@ -41,6 +47,7 @@ pub mod tobytes;
 pub use ed25519::{Keypair, PublicKey, SecretKey, Signature};
 pub use hmac::hmac_sha512;
 pub use keyring::Keyring;
+pub use proofstore::{ProofCache, ProofId, ProofIdBuilder};
 pub use sha512::{sha512, Sha512};
-pub use sigcache::{CachedVerifier, SigCache};
+pub use sigcache::{CachedVerifier, SigCache, VerifierStats};
 pub use tobytes::ToBytes;

@@ -12,8 +12,8 @@
 //! distinct forgeries cannot grow the cache without bound.
 
 use crate::ed25519::Signature;
+use crate::lru::LruVerdicts;
 use crate::sha512::sha512;
-use std::collections::HashMap;
 
 /// Truncated message digest used in cache keys (16 bytes of SHA-512 —
 /// collision resistance far beyond anything a simulation can exhaust).
@@ -21,22 +21,18 @@ pub type MsgKey = [u8; 16];
 
 type Key = (usize, MsgKey, Signature);
 
-/// LRU cache of signature-verification verdicts.
+/// LRU cache of signature-verification verdicts (mechanics shared with
+/// the proof-verdict cache via the crate-internal `LruVerdicts`).
 #[derive(Debug)]
 pub struct SigCache {
-    map: HashMap<Key, (bool, u64)>,
-    tick: u64,
-    cap: usize,
+    map: LruVerdicts<Key>,
 }
 
 impl SigCache {
     /// Cache with room for `cap` verdicts.
     pub fn new(cap: usize) -> Self {
-        assert!(cap > 0, "cache capacity must be positive");
         SigCache {
-            map: HashMap::with_capacity(cap + cap / 4),
-            tick: 0,
-            cap,
+            map: LruVerdicts::new(cap),
         }
     }
 
@@ -50,25 +46,13 @@ impl SigCache {
 
     /// Cached verdict for `(signer, msg, sig)`, refreshing its recency.
     pub fn get(&mut self, signer: usize, msg_key: MsgKey, sig: &Signature) -> Option<bool> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(&(signer, msg_key, *sig)).map(|e| {
-            e.1 = tick;
-            e.0
-        })
+        self.map.get(&(signer, msg_key, *sig))
     }
 
     /// Stores a verdict, evicting the least-recently-used quarter of the
     /// cache when full (amortizes eviction cost).
     pub fn put(&mut self, signer: usize, msg_key: MsgKey, sig: &Signature, ok: bool) {
-        self.tick += 1;
-        if self.map.len() >= self.cap && !self.map.contains_key(&(signer, msg_key, *sig)) {
-            let mut ticks: Vec<u64> = self.map.values().map(|(_, t)| *t).collect();
-            ticks.sort_unstable();
-            let cutoff = ticks[ticks.len() / 4];
-            self.map.retain(|_, (_, t)| *t > cutoff);
-        }
-        self.map.insert((signer, msg_key, *sig), (ok, self.tick));
+        self.map.put((signer, msg_key, *sig), ok);
     }
 
     /// Number of cached verdicts (diagnostics).
@@ -78,7 +62,7 @@ impl SigCache {
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.map.len() == 0
     }
 }
 
@@ -88,6 +72,19 @@ impl Default for SigCache {
     fn default() -> Self {
         SigCache::new(4096)
     }
+}
+
+/// Counters of the *actual* cryptographic work a [`CachedVerifier`] has
+/// performed — cache hits don't move them. Tests use these to pin
+/// verify-once behavior (e.g. a redelivered forged proof must cost
+/// exactly one batched verification, ever).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierStats {
+    /// Individual `Keyring::verify` calls (cache misses and batch-failure
+    /// fallbacks).
+    pub single_verifications: u64,
+    /// Batched `Keyring::verify_batch` calls (each covers ≥ 2 records).
+    pub batch_verifications: u64,
 }
 
 /// A [`Keyring`](crate::Keyring) paired with a [`SigCache`]: the one
@@ -100,6 +97,7 @@ impl Default for SigCache {
 pub struct CachedVerifier {
     ring: crate::Keyring,
     cache: SigCache,
+    stats: VerifierStats,
 }
 
 impl CachedVerifier {
@@ -108,6 +106,7 @@ impl CachedVerifier {
         CachedVerifier {
             ring,
             cache: SigCache::default(),
+            stats: VerifierStats::default(),
         }
     }
 
@@ -116,12 +115,18 @@ impl CachedVerifier {
         &self.ring
     }
 
+    /// Cryptographic-work counters (see [`VerifierStats`]).
+    pub fn stats(&self) -> VerifierStats {
+        self.stats
+    }
+
     /// Cached single-signature verification.
     pub fn verify(&mut self, signer: usize, msg: &[u8], sig: &Signature) -> bool {
         let key = SigCache::msg_key(msg);
         if let Some(ok) = self.cache.get(signer, key, sig) {
             return ok;
         }
+        self.stats.single_verifications += 1;
         let ok = self.ring.verify(signer, msg, sig);
         self.cache.put(signer, key, sig, ok);
         ok
@@ -156,6 +161,7 @@ impl CachedVerifier {
             0 => true,
             1 => {
                 let (signer, msg, sig, key) = &pending[0];
+                self.stats.single_verifications += 1;
                 let ok = self.ring.verify(*signer, msg, sig);
                 self.cache.put(*signer, *key, sig, ok);
                 ok
@@ -163,6 +169,7 @@ impl CachedVerifier {
             _ => {
                 let refs: Vec<(usize, &[u8], Signature)> =
                     pending.iter().map(|(s, m, g, _)| (*s, *m, *g)).collect();
+                self.stats.batch_verifications += 1;
                 if self.ring.verify_batch(&refs) {
                     for (signer, _, sig, key) in &pending {
                         self.cache.put(*signer, *key, sig, true);
@@ -172,6 +179,7 @@ impl CachedVerifier {
                 // Some signature is bad: find and cache the culprits.
                 let mut ok_all = true;
                 for (signer, msg, sig, key) in &pending {
+                    self.stats.single_verifications += 1;
                     let ok = self.ring.verify(*signer, msg, sig);
                     self.cache.put(*signer, *key, sig, ok);
                     ok_all &= ok;
@@ -283,6 +291,33 @@ mod tests {
         assert!(v.verify(0, b"legit", &sig));
         assert!(!v.verify(0, b"forged", &sig));
         assert!(!v.verify_all(&[(0, b"forged".to_vec(), sig)]));
+    }
+
+    #[test]
+    fn stats_count_real_work_not_cache_hits() {
+        let mut v = CachedVerifier::new(crate::Keyring::for_system(4));
+        let items = obligations(4);
+        assert!(v.verify_all(&items));
+        assert_eq!(v.stats().batch_verifications, 1);
+        assert_eq!(v.stats().single_verifications, 0);
+        // All cache hits now: no new cryptographic work.
+        assert!(v.verify_all(&items));
+        assert!(v.verify(0, &items[0].1, &items[0].2));
+        assert_eq!(v.stats().batch_verifications, 1);
+        assert_eq!(v.stats().single_verifications, 0);
+        // A batch failure falls back to individual checks, once.
+        let mut bad = obligations(3);
+        for it in &mut bad {
+            it.1.push(0xFF); // different messages: all misses
+        }
+        bad[1].2.s[0] ^= 1;
+        assert!(!v.verify_all(&bad));
+        assert_eq!(v.stats().batch_verifications, 2);
+        assert_eq!(v.stats().single_verifications, 3);
+        // Redelivery of the bad batch is answered from cache.
+        assert!(!v.verify_all(&bad));
+        assert_eq!(v.stats().batch_verifications, 2);
+        assert_eq!(v.stats().single_verifications, 3);
     }
 
     #[test]

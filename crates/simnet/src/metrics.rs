@@ -21,6 +21,37 @@ pub trait WireMessage: Clone + Send {
 
     /// Estimated serialized size in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Attached proof-of-safety accounting (signature algorithms): how
+    /// many proofs the message references, how many are *distinct*, and
+    /// their bytes under interned transmission (each distinct proof
+    /// once per message — what `wire_size` counts) vs flat transmission
+    /// (one copy per proven value). Messages without proofs — the
+    /// default — report zeros.
+    fn proof_sizes(&self) -> ProofSizes {
+        ProofSizes::default()
+    }
+
+    /// One-pass send accounting: `(wire_size, proof_sizes)`. The engine
+    /// calls this once per send; proof-carrying messages override it to
+    /// compute both from a single walk of their payload (the default
+    /// calls the two accessors separately).
+    fn metered(&self) -> (usize, ProofSizes) {
+        (self.wire_size(), self.proof_sizes())
+    }
+}
+
+/// Per-message proof accounting reported by [`WireMessage::proof_sizes`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProofSizes {
+    /// Proof references (one per proven value carried).
+    pub refs: u64,
+    /// Distinct proofs after per-message interning.
+    pub distinct: u64,
+    /// Bytes the distinct proofs occupy (interned wire format).
+    pub interned_bytes: u64,
+    /// Bytes a flat encoding would pay (one proof copy per value).
+    pub flat_bytes: u64,
 }
 
 /// Per-run message accounting, filled in by the simulator on every send.
@@ -38,6 +69,15 @@ pub struct Metrics {
     pub delivered: u64,
     /// Largest single message observed, in bytes.
     pub max_message_bytes: usize,
+    /// Proof-of-safety references shipped (one per proven value).
+    pub proof_refs: u64,
+    /// Distinct proofs shipped after per-message interning.
+    pub proofs_interned: u64,
+    /// Proof bytes as transmitted (each distinct proof once per
+    /// message) — already included in the byte totals.
+    pub proof_bytes_interned: u64,
+    /// Proof bytes a flat per-value encoding would have paid.
+    pub proof_bytes_flat: u64,
 }
 
 impl Metrics {
@@ -49,15 +89,29 @@ impl Metrics {
             bytes_by_kind: BTreeMap::new(),
             delivered: 0,
             max_message_bytes: 0,
+            proof_refs: 0,
+            proofs_interned: 0,
+            proof_bytes_interned: 0,
+            proof_bytes_flat: 0,
         }
     }
 
-    pub(crate) fn record_send(&mut self, from: ProcessId, kind: &'static str, bytes: usize) {
+    pub(crate) fn record_send(
+        &mut self,
+        from: ProcessId,
+        kind: &'static str,
+        bytes: usize,
+        proofs: ProofSizes,
+    ) {
         self.sent_by[from] += 1;
         self.bytes_by[from] += bytes as u64;
         *self.sent_by_kind.entry(kind).or_insert(0) += 1;
         *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
         self.max_message_bytes = self.max_message_bytes.max(bytes);
+        self.proof_refs += proofs.refs;
+        self.proofs_interned += proofs.distinct;
+        self.proof_bytes_interned += proofs.interned_bytes;
+        self.proof_bytes_flat += proofs.flat_bytes;
     }
 
     /// Total messages sent across all processes.
@@ -108,6 +162,10 @@ impl Metrics {
         }
         self.delivered += other.delivered;
         self.max_message_bytes = self.max_message_bytes.max(other.max_message_bytes);
+        self.proof_refs += other.proof_refs;
+        self.proofs_interned += other.proofs_interned;
+        self.proof_bytes_interned += other.proof_bytes_interned;
+        self.proof_bytes_flat += other.proof_bytes_flat;
     }
 }
 
@@ -137,10 +195,24 @@ mod tests {
     #[test]
     fn records_accumulate() {
         let mut m = Metrics::new(3);
-        m.record_send(0, "a", 10);
-        m.record_send(0, "b", 20);
-        m.record_send(2, "a", 5);
+        m.record_send(0, "a", 10, ProofSizes::default());
+        m.record_send(
+            0,
+            "b",
+            20,
+            ProofSizes {
+                refs: 3,
+                distinct: 2,
+                interned_bytes: 12,
+                flat_bytes: 18,
+            },
+        );
+        m.record_send(2, "a", 5, ProofSizes::default());
         assert_eq!(m.total_sent(), 3);
+        assert_eq!(m.proof_refs, 3);
+        assert_eq!(m.proofs_interned, 2);
+        assert_eq!(m.proof_bytes_interned, 12);
+        assert_eq!(m.proof_bytes_flat, 18);
         assert_eq!(m.total_bytes(), 35);
         assert_eq!(m.sent_by_process(0), 2);
         assert_eq!(m.max_sent_per_process(), 2);
@@ -153,11 +225,11 @@ mod tests {
     #[test]
     fn merge_aggregates_runs() {
         let mut a = Metrics::new(2);
-        a.record_send(0, "a", 10);
+        a.record_send(0, "a", 10, ProofSizes::default());
         a.delivered = 1;
         let mut b = Metrics::new(3);
-        b.record_send(2, "a", 30);
-        b.record_send(1, "b", 5);
+        b.record_send(2, "a", 30, ProofSizes::default());
+        b.record_send(1, "b", 5, ProofSizes::default());
         b.delivered = 2;
         a.merge(&b);
         assert_eq!(a.sent_by, vec![1, 1, 1]);

@@ -206,8 +206,8 @@ impl<M: WireMessage + 'static> Simulation<M> {
     fn flush_outbox(&mut self, from: ProcessId, ctx: &mut Context<M>, depth: u64) {
         for (to, msg) in ctx.outbox.drain(..) {
             let kind = msg.kind();
-            let bytes = msg.wire_size();
-            self.metrics.record_send(from, kind, bytes);
+            let (bytes, proofs) = msg.metered();
+            self.metrics.record_send(from, kind, bytes, proofs);
             let meta = InFlight {
                 from,
                 to,

@@ -3,12 +3,12 @@
 //! certificate validation and the `Safe_r` trust rule.
 
 use bgla::core::gsbs::{DecidedCert, GsbsMsg, GsbsProcess, SignedAck};
-use bgla::core::ValueSet;
 use bgla::core::{spec, SystemConfig};
+use bgla::core::{SignedSet, ValueSet};
 use bgla::crypto::Keypair;
 use bgla::simnet::{Context, Process, RandomScheduler, SimulationBuilder};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Broadcasts bogus `Decided` certificates: empty ack lists, acks signed
 /// by itself thrice, and certs whose values don't match the digest the
@@ -46,7 +46,7 @@ impl Process<GsbsMsg<u64>> for CertForger {
         // 4. Jump rounds with empty requests.
         for round in 0..8 {
             ctx.broadcast(GsbsMsg::AckReq {
-                proposed: BTreeSet::new(),
+                proposed: SignedSet::new(),
                 ts: 500 + round,
                 round,
             });

@@ -1,0 +1,125 @@
+//! Ablation differential: `with_proof_interning(false)` must change
+//! *nothing observable* — identical delivery traces, metrics and
+//! decisions — across honest and adversarial schedules for both
+//! signature algorithms. The cache only memoizes deterministic verdicts;
+//! these runs pin that it never changes a verdict.
+
+use bgla::core::adversary::sbs::{ConflictSigner, ProofForger};
+use bgla::core::gsbs::{GsbsMsg, GsbsProcess};
+use bgla::core::sbs::{SbsMsg, SbsProcess};
+use bgla::core::SystemConfig;
+use bgla::simnet::{Process, RandomScheduler, Simulation, SimulationBuilder};
+use std::collections::BTreeMap;
+
+fn run_sbs(
+    seed: u64,
+    interning: bool,
+    adversary: Option<Box<dyn Process<SbsMsg<u64>>>>,
+) -> Simulation<SbsMsg<u64>> {
+    let (n, f) = (4usize, 1usize);
+    let config = SystemConfig::new(n, f);
+    let correct = if adversary.is_some() { n - 1 } else { n };
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..correct {
+        b = b.add(Box::new(
+            SbsProcess::new(i, config, 10 + i as u64).with_proof_interning(interning),
+        ));
+    }
+    if let Some(adv) = adversary {
+        b = b.add(adv);
+    }
+    let mut sim = b.build();
+    sim.enable_trace();
+    let out = sim.run(10_000_000);
+    assert!(out.quiescent, "seed {seed}");
+    sim
+}
+
+fn assert_same_sbs_run(seed: u64, mk: impl Fn() -> Option<Box<dyn Process<SbsMsg<u64>>>>) {
+    let with = run_sbs(seed, true, mk());
+    let without = run_sbs(seed, false, mk());
+    assert_eq!(
+        with.trace().unwrap().events(),
+        without.trace().unwrap().events(),
+        "seed {seed}: traces diverged"
+    );
+    assert_eq!(with.metrics(), without.metrics(), "seed {seed}: metrics");
+    let correct = if mk().is_some() { 3 } else { 4 };
+    for i in 0..correct {
+        let a = with.process_as::<SbsProcess<u64>>(i).unwrap();
+        let b = without.process_as::<SbsProcess<u64>>(i).unwrap();
+        assert_eq!(a.decision, b.decision, "seed {seed} p{i}: decisions");
+        // The cache did real work on the interned side of honest runs.
+        assert_eq!(b.proof_cache_stats(), (0, 0));
+    }
+}
+
+#[test]
+fn sbs_interning_is_invisible_on_honest_runs() {
+    for seed in 0..4 {
+        assert_same_sbs_run(seed, || None);
+    }
+}
+
+#[test]
+fn sbs_interning_is_invisible_under_proof_forgery() {
+    for seed in 0..4 {
+        assert_same_sbs_run(seed, || {
+            Some(Box::new(ProofForger {
+                me: 3,
+                value: 999_999u64,
+            }))
+        });
+    }
+}
+
+#[test]
+fn sbs_interning_is_invisible_under_conflict_signing() {
+    for seed in 0..4 {
+        assert_same_sbs_run(seed, || {
+            Some(Box::new(ConflictSigner {
+                me: 3,
+                a: 666u64,
+                b: 777u64,
+            }))
+        });
+    }
+}
+
+fn run_gsbs(seed: u64, interning: bool) -> Simulation<GsbsMsg<u64>> {
+    let (n, f, rounds) = (4usize, 1usize, 3u64);
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..n {
+        let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        schedule.insert(0, vec![100 + i as u64]);
+        b = b.add(Box::new(
+            GsbsProcess::new(i, config, schedule, rounds).with_proof_interning(interning),
+        ));
+    }
+    let mut sim = b.build();
+    sim.enable_trace();
+    let out = sim.run(50_000_000);
+    assert!(out.quiescent, "seed {seed}");
+    sim
+}
+
+#[test]
+fn gsbs_interning_is_invisible() {
+    for seed in 0..3 {
+        let with = run_gsbs(seed, true);
+        let without = run_gsbs(seed, false);
+        assert_eq!(
+            with.trace().unwrap().events(),
+            without.trace().unwrap().events(),
+            "seed {seed}: traces diverged"
+        );
+        assert_eq!(with.metrics(), without.metrics(), "seed {seed}: metrics");
+        for i in 0..4 {
+            let a = with.process_as::<GsbsProcess<u64>>(i).unwrap();
+            let b = without.process_as::<GsbsProcess<u64>>(i).unwrap();
+            assert_eq!(a.decisions, b.decisions, "seed {seed} p{i}");
+            assert_eq!(b.proof_cache_stats(), (0, 0));
+        }
+    }
+}
