@@ -138,6 +138,23 @@ pub struct GSafeAck<V: SignableValue> {
 }
 
 impl<V: SignableValue> GSafeAck<V> {
+    /// Full canonical bytes of one echoed batch record: round, signer,
+    /// batch values and signature. Both the ack signature and the
+    /// [`ProofId`] digest must bind the *content* of every echoed
+    /// record, not just its signature bytes — otherwise a forged record
+    /// with swapped batch contents under the same sig bytes would
+    /// collide with an honest proof's id and inherit its cached verdict
+    /// (see the [`bgla_crypto::proofstore`] caching contract).
+    fn write_batch_record(out: &mut Vec<u8>, sb: &SignedBatch<V>) {
+        sb.round.write_bytes(out);
+        (sb.signer as u64).write_bytes(out);
+        (sb.batch.len() as u64).write_bytes(out);
+        for v in &sb.batch {
+            v.write_bytes(out);
+        }
+        out.extend_from_slice(&sb.sig.to_bytes());
+    }
+
     fn signable_bytes(
         round: u64,
         rcvd: &SignedSet<SignedBatch<V>>,
@@ -149,12 +166,12 @@ impl<V: SignableValue> GSafeAck<V> {
         (signer as u64).write_bytes(&mut out);
         (rcvd.len() as u64).write_bytes(&mut out);
         for sb in rcvd {
-            out.extend_from_slice(&sb.sig.to_bytes());
+            Self::write_batch_record(&mut out, sb);
         }
         (conflicts.len() as u64).write_bytes(&mut out);
         for (a, b) in conflicts {
-            out.extend_from_slice(&a.sig.to_bytes());
-            out.extend_from_slice(&b.sig.to_bytes());
+            Self::write_batch_record(&mut out, a);
+            Self::write_batch_record(&mut out, b);
         }
         out
     }

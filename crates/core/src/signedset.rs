@@ -211,11 +211,12 @@ impl<T: SignedItem> SignedSet<T> {
     /// Retains only the elements `keep` accepts (rebuilds; used by the
     /// conflict-pruning paths, which are rare and small).
     pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
-        if self.items.iter().all(&mut keep) {
-            return;
-        }
+        // Single pass: `keep` is `FnMut`, so a stateful predicate must
+        // see each element exactly once.
         let kept: Vec<T> = self.items.iter().filter(|v| keep(v)).cloned().collect();
-        *self = SignedSet::from_sorted(kept);
+        if kept.len() < self.len() {
+            *self = SignedSet::from_sorted(kept);
+        }
     }
 }
 
@@ -346,6 +347,26 @@ mod tests {
         a.retain(|v| v % 2 == 0);
         assert_eq!(a.as_slice(), &[2, 4]);
         assert_eq!(a.wire_size(), 8 + 16);
+    }
+
+    #[test]
+    fn retain_calls_predicate_once_per_element() {
+        // `keep` is FnMut: a stateful predicate must see each element
+        // exactly once or it could keep the wrong subset.
+        let mut a = ss(&[1, 2, 3, 4]);
+        let mut calls = 0;
+        a.retain(|_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(calls, 4);
+        let mut seen = Vec::new();
+        a.retain(|v| {
+            seen.push(*v);
+            seen.len() % 2 == 1 // keep every other visited element
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        assert_eq!(a.as_slice(), &[1, 3]);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! ([`bgla_crypto::VerifierStats`]) and the hit counters on the proof
 //! cache.
 
+use bgla_core::gsbs::{GSafeAck, GsbsProcess, ProvenBatch, SignedBatch};
 use bgla_core::proof::Proof;
 use bgla_core::sbs::{ProvenValue, SafeAckBody, SbsProcess, SignedSafeAck, SignedValue};
-use bgla_core::{SignedSet, SystemConfig};
+use bgla_core::{SignedSet, SystemConfig, ValueSet};
 use bgla_crypto::Keypair;
+use std::collections::BTreeMap;
 
 /// n = 4, f = 1 → quorum = ⌊(4+1)/2⌋ + 1 = 3.
 fn config() -> SystemConfig {
@@ -143,4 +145,77 @@ fn same_proof_shared_by_many_values_checks_once_per_call() {
     assert!(p.all_safe(&set));
     let (hits, _) = p.proof_cache_stats();
     assert_eq!(hits, 1, "and once per later call");
+}
+
+#[test]
+fn gsbs_proof_id_binds_echoed_batch_content() {
+    // The proofstore contract: a cached verdict may only be reused if
+    // the ProofId binds everything the verdict depends on. proof_valid
+    // batch-verifies every batch echoed in every ack's rcvd set, so two
+    // proofs differing *only* in echoed-batch content (same signature
+    // bytes everywhere) must get distinct ids — otherwise a Byzantine
+    // peer could swap batch contents under an honest proof's cached
+    // `true`, or poison an honest proof's id with a cached `false`.
+    let batch: ValueSet<u64> = [1u64, 2].into_iter().collect();
+    let sb = SignedBatch::sign(0, batch, 1, &Keypair::for_process(1));
+    // Forged record: contents swapped under sb's signature bytes.
+    let mut forged_sb = sb.clone();
+    forged_sb.batch = [1u64, 99].into_iter().collect();
+
+    let rcvd: SignedSet<SignedBatch<u64>> = [sb.clone()].into_iter().collect();
+    let acks: Vec<GSafeAck<u64>> = [1usize, 2, 3]
+        .iter()
+        .map(|&s| GSafeAck::sign(0, rcvd.clone(), vec![], s, &Keypair::for_process(s)))
+        .collect();
+    let honest = Proof::new(acks.clone());
+
+    // Byzantine re-wrap: every ack keeps its signature bytes but echoes
+    // the forged record instead.
+    let forged_rcvd: SignedSet<SignedBatch<u64>> = [forged_sb.clone()].into_iter().collect();
+    let forged_acks: Vec<GSafeAck<u64>> = acks
+        .into_iter()
+        .map(|mut a| {
+            a.rcvd = forged_rcvd.clone();
+            a
+        })
+        .collect();
+    let forged = Proof::new(forged_acks);
+    assert_ne!(
+        honest.id(),
+        forged.id(),
+        "ProofId must bind echoed-batch content, not just signature bytes"
+    );
+
+    // End to end, both delivery orders: the honest proof's cached
+    // verdict must not leak to the forged variant, and vice versa.
+    let mut p = GsbsProcess::new(0, config(), BTreeMap::new(), 1);
+    let honest_set: SignedSet<ProvenBatch<u64>> = [ProvenBatch {
+        sb: sb.clone(),
+        proof: honest.clone(),
+    }]
+    .into_iter()
+    .collect();
+    let forged_set: SignedSet<ProvenBatch<u64>> = [ProvenBatch {
+        sb: forged_sb,
+        proof: forged,
+    }]
+    .into_iter()
+    .collect();
+    assert!(p.all_safe(&honest_set), "honest proof must pass");
+    assert!(
+        !p.all_safe(&forged_set),
+        "forged echoed-content variant must be rejected, not answered \
+         from the honest proof's cached verdict"
+    );
+    assert!(
+        p.all_safe(&honest_set),
+        "the forged delivery must not poison the honest proof's verdict"
+    );
+
+    let mut q = GsbsProcess::new(0, config(), BTreeMap::new(), 1);
+    assert!(!q.all_safe(&forged_set), "forged-first must also reject");
+    assert!(
+        q.all_safe(&honest_set),
+        "a forged-first delivery must not block the honest proof"
+    );
 }
