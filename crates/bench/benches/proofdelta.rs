@@ -1,0 +1,131 @@
+//! Wire cost of the delta-encoded, proof-by-reference `ack_req`/`nack`
+//! pipeline (`with_proven_deltas`) vs the ship-everything-inline
+//! baseline, on refinement-heavy workloads where proposals are
+//! re-broadcast many times.
+//!
+//! Cases (each as `deltas` vs `full`):
+//!
+//! * `sbs_refine/{n}` — one-shot SbS under a random schedule: staggered
+//!   init arrival gives proposers diverging safety sets, so acceptors
+//!   nack and proposals are re-broadcast up to `2f` times;
+//! * `gsbs_stream/{n}` — a multi-round GSbS stream (FIFO): the proven
+//!   proposal is cumulative across rounds, so the baseline re-ships
+//!   every earlier round's batches and proofs in every round, while
+//!   deltas ship each proof once per peer.
+//!
+//! Each benchmark id's `throughput_bytes` records the modeled
+//! `ack_req + nack` bytes of one full simulation run in that mode —
+//! that is the headline number (the committed `BENCH_proofdelta.json`
+//! pins the ≥ 5× reduction); the timed quantity is the wall clock of
+//! the same run, showing the encode/decode bookkeeping is not paid for
+//! in time.
+//!
+//! The committed baseline is produced by a full run
+//! (`CRITERION_JSON=BENCH_proofdelta.json cargo bench -p bgla-bench
+//! --bench proofdelta`); CI runs `PROOFDELTA_SMOKE=1` with shrunk sizes
+//! to prove the bench stays alive.
+
+use bgla_core::gsbs::GsbsProcess;
+use bgla_core::sbs::SbsProcess;
+use bgla_core::SystemConfig;
+use bgla_simnet::{FifoScheduler, Metrics, RandomScheduler, Simulation, SimulationBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeMap;
+
+fn proof_traffic_bytes(m: &Metrics) -> u64 {
+    m.bytes_by_kind.get("ack_req").copied().unwrap_or(0)
+        + m.bytes_by_kind.get("nack").copied().unwrap_or(0)
+}
+
+fn sbs_run(n: usize, seed: u64, deltas: bool) -> Simulation<bgla_core::sbs::SbsMsg<u64>> {
+    let f = (n - 1) / 3;
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..n {
+        b = b.add(Box::new(
+            SbsProcess::new(i, config, 100 + i as u64).with_proven_deltas(deltas),
+        ));
+    }
+    let mut sim = b.build();
+    assert!(sim.run(u64::MAX / 2).quiescent);
+    sim
+}
+
+fn gsbs_run(n: usize, rounds: u64, deltas: bool) -> Simulation<bgla_core::gsbs::GsbsMsg<u64>> {
+    let f = (n - 1) / 3;
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
+    for i in 0..n {
+        let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for r in 0..rounds.saturating_sub(2) {
+            schedule.insert(r, vec![(i as u64) * 1_000 + r]);
+        }
+        b = b.add(Box::new(
+            GsbsProcess::new(i, config, schedule, rounds).with_proven_deltas(deltas),
+        ));
+    }
+    let mut sim = b.build();
+    assert!(sim.run(u64::MAX / 2).quiescent);
+    sim
+}
+
+fn bench_proofdelta(c: &mut Criterion) {
+    let smoke = std::env::var("PROOFDELTA_SMOKE").is_ok();
+    let mut g = c.benchmark_group("proofdelta");
+    g.sample_size(if smoke { 3 } else { 10 });
+
+    // One-shot SbS, refinement-heavy random schedule.
+    let (sbs_n, sbs_seed) = if smoke { (4, 3) } else { (10, 3) };
+    let mut sbs_bytes = [0u64; 2];
+    for (slot, (label, deltas)) in [("deltas", true), ("full", false)].iter().enumerate() {
+        let bytes = proof_traffic_bytes(sbs_run(sbs_n, sbs_seed, *deltas).metrics());
+        sbs_bytes[slot] = bytes;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(
+            BenchmarkId::new(format!("sbs_refine/{label}"), sbs_n),
+            &sbs_n,
+            |b, &n| b.iter(|| sbs_run(n, sbs_seed, *deltas)),
+        );
+    }
+    println!(
+        "sbs_refine/{sbs_n}: ack_req+nack bytes {} (deltas) vs {} (full) = {:.1}x",
+        sbs_bytes[0],
+        sbs_bytes[1],
+        sbs_bytes[1] as f64 / sbs_bytes[0].max(1) as f64
+    );
+
+    // Multi-round GSbS stream: cumulative proposals.
+    let (gsbs_n, gsbs_rounds) = if smoke { (4, 3) } else { (10, 8) };
+    let mut gsbs_bytes = [0u64; 2];
+    for (slot, (label, deltas)) in [("deltas", true), ("full", false)].iter().enumerate() {
+        let bytes = proof_traffic_bytes(gsbs_run(gsbs_n, gsbs_rounds, *deltas).metrics());
+        gsbs_bytes[slot] = bytes;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(
+            BenchmarkId::new(format!("gsbs_stream/{label}"), gsbs_n),
+            &gsbs_n,
+            |b, &n| b.iter(|| gsbs_run(n, gsbs_rounds, *deltas)),
+        );
+    }
+    println!(
+        "gsbs_stream/{gsbs_n}: ack_req+nack bytes {} (deltas) vs {} (full) = {:.1}x",
+        gsbs_bytes[0],
+        gsbs_bytes[1],
+        gsbs_bytes[1] as f64 / gsbs_bytes[0].max(1) as f64
+    );
+
+    if !smoke {
+        // The committed-baseline claim: at least a 5x reduction on the
+        // refinement-heavy workloads (smoke sizes are too small to
+        // refine much, so only the full run enforces it).
+        let ratio = gsbs_bytes[1] as f64 / gsbs_bytes[0].max(1) as f64;
+        assert!(
+            ratio >= 5.0,
+            "gsbs_stream delta reduction fell below 5x: {ratio:.2}"
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(proofdelta, bench_proofdelta);
+criterion_main!(proofdelta);

@@ -22,10 +22,53 @@
 //! All sweeps run sharded, one (n) / (n, batch) cell per core.
 
 use bgla_bench::{growth_exponent, measure_sbs, measure_wts, row, run_indexed};
+use bgla_core::gsbs::GsbsProcess;
 use bgla_core::gwts::GwtsProcess;
+use bgla_core::sbs::SbsProcess;
 use bgla_core::SystemConfig;
-use bgla_simnet::{FifoScheduler, SimulationBuilder};
+use bgla_simnet::{FifoScheduler, Metrics, RandomScheduler, SimulationBuilder};
 use std::collections::BTreeMap;
+
+/// `ack_req + nack` bytes — the proof-carrying traffic the proven-delta
+/// pipeline targets.
+fn proof_traffic(m: &Metrics) -> u64 {
+    m.bytes_by_kind.get("ack_req").copied().unwrap_or(0)
+        + m.bytes_by_kind.get("nack").copied().unwrap_or(0)
+}
+
+/// Runs one-shot SbS under a refinement-provoking random schedule and
+/// returns (total bytes, ack_req + nack bytes).
+fn sbs_delta_bytes(n: usize, f: usize, deltas: bool) -> (u64, u64) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(3)));
+    for i in 0..n {
+        b = b.add(Box::new(
+            SbsProcess::new(i, config, 100 + i as u64).with_proven_deltas(deltas),
+        ));
+    }
+    let mut sim = b.build();
+    sim.run(u64::MAX / 2);
+    (sim.metrics().total_bytes(), proof_traffic(sim.metrics()))
+}
+
+/// Runs a GSbS stream (cumulative proposals) and returns
+/// (total bytes, ack_req + nack bytes).
+fn gsbs_delta_bytes(n: usize, f: usize, rounds: u64, deltas: bool) -> (u64, u64) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(Box::new(FifoScheduler::new()));
+    for i in 0..n {
+        let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for r in 0..rounds.saturating_sub(2) {
+            schedule.insert(r, vec![(i as u64) * 1_000 + r]);
+        }
+        b = b.add(Box::new(
+            GsbsProcess::new(i, config, schedule, rounds).with_proven_deltas(deltas),
+        ));
+    }
+    let mut sim = b.build();
+    sim.run(u64::MAX / 2);
+    (sim.metrics().total_bytes(), proof_traffic(sim.metrics()))
+}
 
 /// Runs a GWTS stream and returns (total bytes, ack_req bytes).
 fn gwts_bytes(n: usize, f: usize, rounds: u64, batch: u64, deltas: bool) -> (u64, u64) {
@@ -94,31 +137,37 @@ fn main() {
         wts_big.push(w.max_message_bytes as f64);
         sbs_big.push(s.max_message_bytes as f64);
     }
-    println!("\nProof interning: distinct proofs shipped vs per-value copies (SbS, f = 1)\n");
+    println!(
+        "\nProof transmission: inline interned vs by-reference vs per-value copies (SbS, f = 1)\n"
+    );
     println!(
         "{}",
         row(&[
             "n".into(),
             "proof refs".into(),
-            "proofs interned".into(),
-            "proof B interned".into(),
-            "proof B flat".into(),
+            "inline".into(),
+            "by ref".into(),
+            "inline B".into(),
+            "ref B".into(),
+            "flat B".into(),
             "saved".into(),
         ])
     );
     for (&n, (_, s)) in ns.iter().zip(&cells) {
+        let shipped = s.proof_bytes_interned + s.proof_ref_bytes;
         println!(
             "{}",
             row(&[
                 n.to_string(),
                 s.proof_refs.to_string(),
                 s.proofs_interned.to_string(),
+                s.proofs_by_ref.to_string(),
                 s.proof_bytes_interned.to_string(),
+                s.proof_ref_bytes.to_string(),
                 s.proof_bytes_flat.to_string(),
                 format!(
                     "{:.0}%",
-                    100.0
-                        * (1.0 - s.proof_bytes_interned as f64 / s.proof_bytes_flat.max(1) as f64)
+                    100.0 * (1.0 - shipped as f64 / s.proof_bytes_flat.max(1) as f64)
                 ),
             ])
         );
@@ -128,12 +177,13 @@ fn main() {
             "interning cannot create proofs (n={n})"
         );
         assert!(
-            s.proof_bytes_interned <= s.proof_bytes_flat,
-            "interned proof bytes must not exceed flat (n={n})"
+            shipped <= s.proof_bytes_flat,
+            "shipped proof bytes must not exceed flat (n={n})"
         );
     }
     println!("\nShape ✓: one safetying exchange certifies many values, so shipping each");
-    println!("distinct proof once per message beats a copy-per-value flat encoding.");
+    println!("distinct proof once per message — and as a 32-byte reference once a peer");
+    println!("holds it — beats a copy-per-value flat encoding.");
 
     let kw = growth_exponent(&xs, &wts_big);
     let ks = growth_exponent(&xs, &sbs_big);
@@ -198,4 +248,69 @@ fn main() {
     }
     println!("\nShape ✓: delta-encoded ack_reqs shrink proposal traffic; the totals drop");
     println!("accordingly (disclosure/ack rbcast traffic is unaffected by design).");
+
+    println!("\nProven deltas: SbS/GSbS proof-carrying bytes, full vs delta + refs\n");
+    println!(
+        "{}",
+        row(&[
+            "algo".into(),
+            "n".into(),
+            "rounds".into(),
+            "full total".into(),
+            "delta total".into(),
+            "full ack+nack".into(),
+            "delta ack+nack".into(),
+            "savings".into(),
+        ])
+    );
+    // (algo, n, rounds): rounds = 1 means the one-shot SbS.
+    let pd_grid = [
+        ("sbs", 7usize, 1u64),
+        ("sbs", 10, 1),
+        ("gsbs", 7, 4),
+        ("gsbs", 10, 6),
+    ];
+    let pd_cells = run_indexed(pd_grid.len(), |i| {
+        let (algo, n, rounds) = pd_grid[i];
+        let f = (n - 1) / 3;
+        if algo == "sbs" {
+            (sbs_delta_bytes(n, f, false), sbs_delta_bytes(n, f, true))
+        } else {
+            (
+                gsbs_delta_bytes(n, f, rounds, false),
+                gsbs_delta_bytes(n, f, rounds, true),
+            )
+        }
+    });
+    for (&(algo, n, rounds), &((full_total, full_pc), (delta_total, delta_pc))) in
+        pd_grid.iter().zip(&pd_cells)
+    {
+        println!(
+            "{}",
+            row(&[
+                algo.into(),
+                n.to_string(),
+                rounds.to_string(),
+                full_total.to_string(),
+                delta_total.to_string(),
+                full_pc.to_string(),
+                delta_pc.to_string(),
+                format!(
+                    "{:.0}%",
+                    100.0 * (1.0 - delta_pc as f64 / full_pc.max(1) as f64)
+                ),
+            ])
+        );
+        assert!(
+            delta_pc <= full_pc,
+            "proven deltas must not grow ack_req/nack bytes ({algo}, n={n})"
+        );
+        assert!(
+            delta_total <= full_total,
+            "proven deltas must not grow total bytes ({algo}, n={n})"
+        );
+    }
+    println!("\nShape ✓: after first contact, proofs travel once per peer (then as 32-byte");
+    println!("references) and only genuinely new values ship — the multi-round GSbS stream,");
+    println!("whose baseline re-ships the whole cumulative proposal every round, saves most.");
 }

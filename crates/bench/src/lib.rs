@@ -38,10 +38,15 @@ pub struct RunMeasurement {
     /// Proof-of-safety references shipped (one per proven value; zero
     /// for algorithms without proofs).
     pub proof_refs: u64,
-    /// Distinct proofs shipped after per-message interning.
+    /// Distinct proofs shipped inline after per-message interning.
     pub proofs_interned: u64,
-    /// Proof bytes as transmitted (each distinct proof once/message).
+    /// Distinct proofs shipped as id references (delta payloads).
+    pub proofs_by_ref: u64,
+    /// Proof bytes as transmitted inline (each distinct proof
+    /// once/message).
     pub proof_bytes_interned: u64,
+    /// Bytes paid for by-reference proofs.
+    pub proof_ref_bytes: u64,
     /// Proof bytes a flat per-value encoding would have paid.
     pub proof_bytes_flat: u64,
 }
@@ -107,7 +112,9 @@ pub fn measure_sbs(n: usize, f: usize, scheduler: Box<dyn Scheduler>) -> RunMeas
     m.max_message_bytes = sim.metrics().max_message_bytes;
     m.proof_refs = sim.metrics().proof_refs;
     m.proofs_interned = sim.metrics().proofs_interned;
+    m.proofs_by_ref = sim.metrics().proofs_by_ref;
     m.proof_bytes_interned = sim.metrics().proof_bytes_interned;
+    m.proof_ref_bytes = sim.metrics().proof_ref_bytes;
     m.proof_bytes_flat = sim.metrics().proof_bytes_flat;
     m
 }

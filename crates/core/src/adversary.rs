@@ -649,10 +649,11 @@ pub mod gwts {
 /// SbS-specific adversaries (Section 8).
 pub mod sbs {
     use crate::proof::Proof;
+    use crate::provendelta::ProvenUpdate;
     use crate::sbs::{ProvenValue, SafeAckBody, SbsMsg, SignedSafeAck, SignedValue};
     use crate::signedset::SignedSet;
     use crate::value::SignableValue;
-    use bgla_crypto::Keypair;
+    use bgla_crypto::{Keypair, ProofIdBuilder};
     use bgla_simnet::{Context, Process, ProcessId};
     use std::any::Any;
 
@@ -716,7 +717,7 @@ pub mod sbs {
                 [ProvenValue { sv, proof }].into_iter().collect();
             for ts in 0..3 {
                 ctx.broadcast(SbsMsg::AckReq {
-                    proposed: proposed.clone(),
+                    proposed: ProvenUpdate::Full(proposed.clone()),
                     ts,
                 });
             }
@@ -740,7 +741,125 @@ pub mod sbs {
                 }]
                 .into_iter()
                 .collect();
-                ctx.send(from, SbsMsg::Nack { accepted, ts });
+                ctx.send(
+                    from,
+                    SbsMsg::Nack {
+                        accepted: ProvenUpdate::Full(accepted),
+                        ts,
+                    },
+                );
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Ships `Delta` payloads whose references cannot resolve: refs to
+    /// [`bgla_crypto::ProofId`]s the peer never saw (forged-proof ids
+    /// included) and deltas against bases no one holds. Honest receivers
+    /// must detect every gap, answer with `Resync`, and proceed
+    /// unharmed; this adversary answers the resync with a `Full` payload
+    /// (of forged content — `AllSafe` rejects it), exercising the
+    /// fallback end-to-end. Its nacks delta-gap too, which proposers
+    /// must treat as Byzantine without stalling.
+    pub struct BogusRefSender<V: SignableValue> {
+        /// The adversary's id (it signs with its real key).
+        pub me: ProcessId,
+        /// The value its forged payloads carry.
+        pub value: V,
+        /// Resync requests received (the gap detections it provoked).
+        pub resyncs_seen: u64,
+    }
+
+    impl<V: SignableValue> BogusRefSender<V> {
+        /// Creates the adversary.
+        pub fn new(me: ProcessId, value: V) -> Self {
+            BogusRefSender {
+                me,
+                value,
+                resyncs_seen: 0,
+            }
+        }
+
+        /// A forged single-ack proven value (quorum-invalid on purpose —
+        /// even a resolved reference to it must never certify anything).
+        fn forged_set(&self) -> SignedSet<ProvenValue<V>> {
+            let kp = Keypair::for_process(self.me);
+            let sv = SignedValue::sign(self.value.clone(), self.me, &kp);
+            let body = SafeAckBody {
+                rcvd: [sv.clone()].into_iter().collect(),
+                conflicts: vec![],
+            };
+            let ack = SignedSafeAck::sign(body, self.me, &kp);
+            [ProvenValue {
+                sv,
+                proof: Proof::new(vec![ack]),
+            }]
+            .into_iter()
+            .collect()
+        }
+    }
+
+    impl<V: SignableValue> Process<SbsMsg<V>> for BogusRefSender<V> {
+        fn on_start(&mut self, ctx: &mut Context<SbsMsg<V>>) {
+            let forged = self.forged_set();
+            let forged_id = forged.iter().next().expect("one record").proof.id();
+            // A delta referencing a proof nobody ever delivered.
+            ctx.broadcast(SbsMsg::AckReq {
+                proposed: ProvenUpdate::Delta {
+                    base_ts: 0,
+                    new: forged.clone(),
+                    refs: vec![forged_id],
+                },
+                ts: 1,
+            });
+            // A delta against a base no receiver recorded, refs to a
+            // fabricated id matching no proof at all.
+            let mut b = ProofIdBuilder::new();
+            b.add_ack(b"no such proof");
+            ctx.broadcast(SbsMsg::AckReq {
+                proposed: ProvenUpdate::Delta {
+                    base_ts: 777,
+                    new: SignedSet::new(),
+                    refs: vec![b.finish()],
+                },
+                ts: 2,
+            });
+        }
+        fn on_message(&mut self, from: ProcessId, msg: SbsMsg<V>, ctx: &mut Context<SbsMsg<V>>) {
+            if from == ctx.me {
+                return;
+            }
+            match msg {
+                // Every legitimate proposal is answered with a nack
+                // that delta-gaps at the proposer (unknown base).
+                SbsMsg::AckReq { ts, .. } => {
+                    ctx.send(
+                        from,
+                        SbsMsg::Nack {
+                            accepted: ProvenUpdate::Delta {
+                                base_ts: 999,
+                                new: self.forged_set(),
+                                refs: vec![],
+                            },
+                            ts,
+                        },
+                    );
+                }
+                // The fallback round trip: answer the resync with the
+                // full payload (forged — AllSafe drops it).
+                SbsMsg::Resync { ts } => {
+                    self.resyncs_seen += 1;
+                    ctx.send(
+                        from,
+                        SbsMsg::AckReq {
+                            proposed: ProvenUpdate::Full(self.forged_set()),
+                            ts,
+                        },
+                    );
+                }
+                _ => {}
             }
         }
         fn as_any(&self) -> &dyn Any {
@@ -763,6 +882,122 @@ pub mod sbs {
 
     impl<V: SignableValue> Process<SbsMsg<V>> for SilentS<V> {
         fn on_message(&mut self, _f: ProcessId, _m: SbsMsg<V>, _c: &mut Context<SbsMsg<V>>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+}
+
+/// GSbS-specific adversaries (Section 8.2).
+pub mod gsbs {
+    use crate::gsbs::{GSafeAck, GsbsMsg, ProvenBatch, SignedBatch};
+    use crate::proof::Proof;
+    use crate::provendelta::ProvenUpdate;
+    use crate::signedset::SignedSet;
+    use crate::value::SignableValue;
+    use crate::valueset::ValueSet;
+    use bgla_crypto::{Keypair, ProofIdBuilder};
+    use bgla_simnet::{Context, Process, ProcessId};
+    use std::any::Any;
+
+    /// The GSbS analogue of [`super::sbs::BogusRefSender`]: deltas with
+    /// unresolvable proof references and bases, nacks that delta-gap at
+    /// the proposer, and `Full` (forged, `AllSafe`-rejected) answers to
+    /// the resync requests it provokes.
+    pub struct BogusRefSender<V: SignableValue> {
+        /// The adversary's id (it signs with its real key).
+        pub me: ProcessId,
+        /// A value its forged batches carry.
+        pub value: V,
+        /// Resync requests received (the gap detections it provoked).
+        pub resyncs_seen: u64,
+    }
+
+    impl<V: SignableValue> BogusRefSender<V> {
+        /// Creates the adversary.
+        pub fn new(me: ProcessId, value: V) -> Self {
+            BogusRefSender {
+                me,
+                value,
+                resyncs_seen: 0,
+            }
+        }
+
+        fn forged_set(&self, round: u64) -> SignedSet<ProvenBatch<V>> {
+            let kp = Keypair::for_process(self.me);
+            let batch: ValueSet<V> = [self.value.clone()].into_iter().collect();
+            let sb = SignedBatch::sign(round, batch, self.me, &kp);
+            let rcvd: SignedSet<SignedBatch<V>> = [sb.clone()].into_iter().collect();
+            let ack = GSafeAck::sign(round, rcvd, vec![], self.me, &kp);
+            [ProvenBatch {
+                sb,
+                proof: Proof::new(vec![ack]),
+            }]
+            .into_iter()
+            .collect()
+        }
+    }
+
+    impl<V: SignableValue> Process<GsbsMsg<V>> for BogusRefSender<V> {
+        fn on_start(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+            let forged = self.forged_set(0);
+            let forged_id = forged.iter().next().expect("one record").proof.id();
+            // Round 0 is trusted from the start, so these are decoded
+            // (and must gap) immediately.
+            ctx.broadcast(GsbsMsg::AckReq {
+                proposed: ProvenUpdate::Delta {
+                    base_ts: 0,
+                    new: forged.clone(),
+                    refs: vec![forged_id],
+                },
+                ts: 1,
+                round: 0,
+            });
+            let mut b = ProofIdBuilder::new();
+            b.add_ack(b"no such proof");
+            ctx.broadcast(GsbsMsg::AckReq {
+                proposed: ProvenUpdate::Delta {
+                    base_ts: 777,
+                    new: SignedSet::new(),
+                    refs: vec![b.finish()],
+                },
+                ts: 2,
+                round: 0,
+            });
+        }
+        fn on_message(&mut self, from: ProcessId, msg: GsbsMsg<V>, ctx: &mut Context<GsbsMsg<V>>) {
+            if from == ctx.me {
+                return;
+            }
+            match msg {
+                GsbsMsg::AckReq { ts, round, .. } => {
+                    ctx.send(
+                        from,
+                        GsbsMsg::Nack {
+                            accepted: ProvenUpdate::Delta {
+                                base_ts: 999,
+                                new: self.forged_set(round),
+                                refs: vec![],
+                            },
+                            ts,
+                            round,
+                        },
+                    );
+                }
+                GsbsMsg::Resync { ts, round } => {
+                    self.resyncs_seen += 1;
+                    ctx.send(
+                        from,
+                        GsbsMsg::AckReq {
+                            proposed: ProvenUpdate::Full(self.forged_set(round)),
+                            ts,
+                            round,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
         fn as_any(&self) -> &dyn Any {
             self
         }

@@ -33,15 +33,28 @@
 //! be cached), with [`GsbsProcess::with_proof_interning`]`(false)` as
 //! the re-verify-everything ablation. Batch-set payloads are
 //! [`SignedSet`]s (Arc-backed, `O(1)` clone, merge-walk join).
+//!
+//! And like [`crate::sbs`], the proof-carrying payloads (`AckReq.proposed`
+//! and `Nack.accepted`) travel as delta-encoded, proof-by-reference
+//! [`ProvenUpdate`]s — the win compounds here because the proven
+//! proposal is *cumulative across rounds*, so without deltas every round
+//! re-ships every earlier round's batches and proofs. Gap handling,
+//! the [`GsbsMsg::Resync`] fallback and the
+//! [`GsbsProcess::with_proven_deltas`]`(false)` ablation follow
+//! [`crate::provendelta`]; timestamps are monotone across rounds, so the
+//! sender-side snapshots key deltas exactly as in SbS.
 
 use crate::config::SystemConfig;
 use crate::proof::{Proof, ProofAck};
+use crate::provendelta::{
+    register_proofs, ProvenDeltaReceiver, ProvenDeltaSender, ProvenRecord, ProvenUpdate,
+};
 use crate::signedset::{SignedItem, SignedSet};
 use crate::value::SignableValue;
 use crate::valueset::ValueSet;
 use bgla_crypto::{
-    sha512, CachedVerifier, Keypair, Keyring, ProofCache, ProofId, Signature, ToBytes,
-    VerifierStats,
+    sha512, CachedVerifier, Keypair, Keyring, ProofCache, ProofId, ProofResolver, Signature,
+    ToBytes, VerifierStats,
 };
 use bgla_simnet::{Context, Process, ProcessId, ProofSizes, WireMessage};
 use std::any::Any;
@@ -262,8 +275,22 @@ impl<V: SignableValue> Ord for ProvenBatch<V> {
 impl<V: SignableValue> SignedItem for ProvenBatch<V> {
     fn wire_size(&self) -> usize {
         // The batch only; attached proofs are accounted separately
-        // (shared proofs transmit once per message).
+        // (shared proofs transmit once per message, or as a reference —
+        // see the WireMessage byte-accounting contract).
         SignedItem::wire_size(&self.sb)
+    }
+}
+
+impl<V: SignableValue> ProvenRecord for ProvenBatch<V> {
+    type Ack = GSafeAck<V>;
+    fn proof(&self) -> &BatchProof<V> {
+        &self.proof
+    }
+    fn with_proof(&self, proof: BatchProof<V>) -> Self {
+        ProvenBatch {
+            sb: self.sb.clone(),
+            proof,
+        }
     }
 }
 
@@ -404,10 +431,11 @@ pub enum GsbsMsg<V: SignableValue> {
     },
     /// Signed safetying reply.
     SafeAck(GSafeAck<V>),
-    /// Proposal with proofs.
+    /// Proposal with proofs — delta-encoded with proof-by-reference
+    /// after first contact.
     AckReq {
-        /// Cumulative proven proposal.
-        proposed: SignedSet<ProvenBatch<V>>,
+        /// Cumulative proven proposal (full, or delta + references).
+        proposed: ProvenUpdate<ProvenBatch<V>>,
         /// Refinement timestamp.
         ts: u64,
         /// Round.
@@ -415,13 +443,24 @@ pub enum GsbsMsg<V: SignableValue> {
     },
     /// Signed point-to-point ack.
     Ack(SignedAck),
-    /// Refusal with the acceptor's proven set.
+    /// Refusal with the acceptor's proven set, delta-encoded against
+    /// the refused proposal.
     Nack {
-        /// Acceptor's accepted proven set.
-        accepted: SignedSet<ProvenBatch<V>>,
+        /// Acceptor's accepted proven set (full, or delta against the
+        /// proposal of `ts` + references).
+        accepted: ProvenUpdate<ProvenBatch<V>>,
         /// Echoed timestamp.
         ts: u64,
         /// Echoed round.
+        round: u64,
+    },
+    /// Acceptor → proposer: a delta payload did not resolve (unknown
+    /// base or proof reference) — re-send `Full`. Never triggered by
+    /// correct senders within the retention windows.
+    Resync {
+        /// Timestamp of the unresolvable `ack_req`.
+        ts: u64,
+        /// Its round.
         round: u64,
     },
     /// Round-termination certificate (broadcast before deciding,
@@ -439,51 +478,47 @@ impl<V: SignableValue> WireMessage for GsbsMsg<V> {
             GsbsMsg::Ack(_) => "ack",
             GsbsMsg::Nack { .. } => "nack",
             GsbsMsg::Decided(_) => "decided",
+            GsbsMsg::Resync { .. } => "resync",
         }
     }
+    // Sizes follow the byte-accounting contract on
+    // [`bgla_simnet::WireMessage`]: 8 per scalar header field (`round`
+    // for `safe_req`; `ts` + `round` for the proposing-phase variants;
+    // destination/ts/round/signer plus digest and signature for `ack`),
+    // payload via the container's own accounting — proof-carrying
+    // payloads delegate to [`ProvenUpdate::metered`], which prices
+    // interned proofs and references.
     fn wire_size(&self) -> usize {
         match self {
             GsbsMsg::Init(sb) => SignedItem::wire_size(sb),
             GsbsMsg::SafeReq { set, .. } => 16 + set.items_wire(),
             GsbsMsg::SafeAck(a) => ProofAck::wire_size(a),
-            GsbsMsg::AckReq { proposed, .. } => 24 + proven_batches_size(proposed),
+            GsbsMsg::AckReq { proposed, .. } => 16 + proposed.wire_size(),
             GsbsMsg::Ack(_) => 8 + 8 + 8 + 64 + 8 + 64,
-            GsbsMsg::Nack { accepted, .. } => 24 + proven_batches_size(accepted),
+            GsbsMsg::Nack { accepted, .. } => 16 + accepted.wire_size(),
             GsbsMsg::Decided(c) => 16 + c.values.wire_size() + c.acks.len() * 160,
+            GsbsMsg::Resync { .. } => 16,
         }
     }
     fn proof_sizes(&self) -> ProofSizes {
         match self {
-            GsbsMsg::AckReq { proposed: set, .. } | GsbsMsg::Nack { accepted: set, .. } => {
-                proven_batches_proofs(set)
+            GsbsMsg::AckReq { proposed: pl, .. } | GsbsMsg::Nack { accepted: pl, .. } => {
+                pl.metered().1
             }
             _ => ProofSizes::default(),
         }
     }
     fn metered(&self) -> (usize, ProofSizes) {
         // One walk per send: the proof dedup yields both the proof
-        // accounting and the interned wire size.
+        // accounting and the interned/referenced wire size.
         match self {
-            GsbsMsg::AckReq { proposed: set, .. } | GsbsMsg::Nack { accepted: set, .. } => {
-                let proofs = proven_batches_proofs(set);
-                (
-                    24 + set.wire_size() + proofs.interned_bytes as usize,
-                    proofs,
-                )
+            GsbsMsg::AckReq { proposed: pl, .. } | GsbsMsg::Nack { accepted: pl, .. } => {
+                let (bytes, proofs) = pl.metered();
+                (16 + bytes, proofs)
             }
             _ => (self.wire_size(), ProofSizes::default()),
         }
     }
-}
-
-fn proven_batches_size<V: SignableValue>(set: &SignedSet<ProvenBatch<V>>) -> usize {
-    // Shared proofs transmit once; deduplication is a ProofId hash
-    // lookup per batch, each proof's byte size cached at construction.
-    set.wire_size() + proven_batches_proofs(set).interned_bytes as usize
-}
-
-fn proven_batches_proofs<V: SignableValue>(set: &SignedSet<ProvenBatch<V>>) -> ProofSizes {
-    crate::proof::account_proofs(set.iter().map(|pb| &pb.proof))
 }
 
 /// Proposer phase within the current round.
@@ -537,6 +572,17 @@ pub struct GsbsProcess<V: SignableValue> {
     proof_cache: ProofCache,
     /// Ablation switch (see [`GsbsProcess::with_proof_interning`]).
     proof_interning: bool,
+    /// Proposer-side delta bookkeeping (snapshots, reply watermarks,
+    /// per-peer referenceable proof ids).
+    delta_tx: ProvenDeltaSender<ProvenBatch<V>>,
+    /// Acceptor-side delta bookkeeping (consumed bases, per-proposer
+    /// referenceable proof ids).
+    delta_rx: ProvenDeltaReceiver<ProvenBatch<V>>,
+    /// Verified-and-retained proof handles, resolvable by id when a
+    /// peer ships a reference instead of the proof.
+    resolver: ProofResolver<BatchProof<V>>,
+    /// Ablation switch (see [`GsbsProcess::with_proven_deltas`]).
+    proven_deltas: bool,
     /// Acceptor: highest trusted round.
     pub safe_r: u64,
     /// Valid decided certificates seen, by round.
@@ -585,6 +631,10 @@ impl<V: SignableValue> GsbsProcess<V> {
             accepted_set: SignedSet::new(),
             proof_cache: ProofCache::default(),
             proof_interning: true,
+            delta_tx: ProvenDeltaSender::new(true),
+            delta_rx: ProvenDeltaReceiver::new(),
+            resolver: ProofResolver::default(),
+            proven_deltas: true,
             safe_r: 0,
             decided_certs: BTreeMap::new(),
             forwarded: BTreeSet::new(),
@@ -611,6 +661,16 @@ impl<V: SignableValue> GsbsProcess<V> {
     /// ablation baseline; decisions and traces are unchanged.
     pub fn with_proof_interning(mut self, on: bool) -> Self {
         self.proof_interning = on;
+        self
+    }
+
+    /// Toggles delta-encoded, proof-by-reference proposal payloads
+    /// (default on). With `false` every `ack_req`/`nack` ships the full
+    /// cumulative set with every proof inline — the byte-count
+    /// ablation; decisions, traces and non-byte metrics are unchanged.
+    pub fn with_proven_deltas(mut self, on: bool) -> Self {
+        self.proven_deltas = on;
+        self.delta_tx = ProvenDeltaSender::new(on);
         self
     }
 
@@ -774,6 +834,8 @@ impl<V: SignableValue> GsbsProcess<V> {
             return;
         }
         let proof: BatchProof<V> = Proof::new(self.safe_acks.clone());
+        // Locally assembled and retained: referenceable from now on.
+        self.resolver.register(proof.id(), proof.clone());
         let set = self.current_safe_req.clone();
         for sb in set.iter() {
             let conflicted = proof.iter().any(|a| a.conflicted(sb));
@@ -791,12 +853,20 @@ impl<V: SignableValue> GsbsProcess<V> {
         self.try_adopt_certificate(ctx);
     }
 
+    /// Broadcasts the cumulative proposal, delta-encoded per peer (full
+    /// on first contact or after a resync).
     fn broadcast_proposal(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
-        ctx.broadcast(GsbsMsg::AckReq {
-            proposed: self.proposed_set.clone(),
-            ts: self.ts,
-            round: self.round,
-        });
+        self.delta_tx.record_broadcast(self.ts, &self.proposed_set);
+        for to in 0..self.config.n {
+            ctx.send(
+                to,
+                GsbsMsg::AckReq {
+                    proposed: self.delta_tx.encode_for(to, self.ts, &self.proposed_set),
+                    ts: self.ts,
+                    round: self.round,
+                },
+            );
+        }
     }
 
     fn decide(&mut self, values: ValueSet<V>, ctx: &mut Context<GsbsMsg<V>>) {
@@ -861,26 +931,52 @@ impl<V: SignableValue> GsbsProcess<V> {
                 if *round > self.safe_r {
                     return false;
                 }
-                if !self.all_safe(proposed) {
-                    return true; // forged proof: drop outright
-                }
-                let acc_vals = Self::values_of(&self.accepted_set);
-                let prop_vals = Self::values_of(proposed);
-                if acc_vals.is_subset(&prop_vals) {
-                    self.accepted_set = proposed.clone();
-                    let digest = digest_values(&prop_vals);
-                    let ack = SignedAck::sign(from, *ts, *round, digest, self.me, &self.keypair);
-                    ctx.send(from, GsbsMsg::Ack(ack));
-                } else {
+                let Some(proposed) = self.delta_rx.resolve(from, proposed, &mut self.resolver)
+                else {
+                    // Delta gap: unknown base or proof reference. Ask
+                    // for the full payload (see crate::provendelta).
                     ctx.send(
                         from,
-                        GsbsMsg::Nack {
-                            accepted: self.accepted_set.clone(),
+                        GsbsMsg::Resync {
                             ts: *ts,
                             round: *round,
                         },
                     );
-                    self.accepted_set.join_with(proposed);
+                    return true;
+                };
+                if !self.all_safe(&proposed) {
+                    return true; // forged proof: drop outright
+                }
+                // Consumed: the set becomes a delta base, its proofs
+                // become referenceable (by us, and back at the sender).
+                register_proofs(&mut self.resolver, &proposed);
+                self.delta_rx.record(from, *ts, &proposed);
+                let acc_vals = Self::values_of(&self.accepted_set);
+                let prop_vals = Self::values_of(&proposed);
+                if acc_vals.is_subset(&prop_vals) {
+                    self.accepted_set = proposed;
+                    let digest = digest_values(&prop_vals);
+                    let ack = SignedAck::sign(from, *ts, *round, digest, self.me, &self.keypair);
+                    ctx.send(from, GsbsMsg::Ack(ack));
+                } else {
+                    // The refusal deltas against the refused proposal —
+                    // a base the proposer holds by construction.
+                    let accepted = self.delta_rx.encode_reply(
+                        from,
+                        *ts,
+                        &proposed,
+                        &self.accepted_set,
+                        self.proven_deltas,
+                    );
+                    ctx.send(
+                        from,
+                        GsbsMsg::Nack {
+                            accepted,
+                            ts: *ts,
+                            round: *round,
+                        },
+                    );
+                    self.accepted_set.join_with(&proposed);
                 }
                 true
             }
@@ -889,6 +985,7 @@ impl<V: SignableValue> GsbsProcess<V> {
                 ts,
                 round,
             } => {
+                self.delta_tx.record_reply(from, *ts);
                 if *round < self.round
                     || (*round == self.round && *ts < self.ts)
                     || self.state == GsbsState::Done
@@ -898,10 +995,22 @@ impl<V: SignableValue> GsbsProcess<V> {
                 if self.state != GsbsState::Proposing || *round != self.round || *ts != self.ts {
                     return false;
                 }
-                let acc_vals = Self::values_of(accepted);
+                let Some(accepted) = self.delta_tx.resolve_reply(accepted, &mut self.resolver)
+                else {
+                    // A reply gap deltas against our own snapshot and
+                    // references only proofs we shipped — Byzantine.
+                    // GSbS keeps no exclusion set (unlike SbS's `byz`),
+                    // so the nack is dropped like any other invalid
+                    // refusal; the cost is bounded by the adversary's
+                    // own message budget.
+                    return true;
+                };
+                let acc_vals = Self::values_of(&accepted);
                 let prop_vals = Self::values_of(&self.proposed_set);
-                if !acc_vals.is_subset(&prop_vals) && self.all_safe(accepted) {
-                    self.proposed_set.join_with(accepted);
+                if !acc_vals.is_subset(&prop_vals) && self.all_safe(&accepted) {
+                    register_proofs(&mut self.resolver, &accepted);
+                    self.delta_tx.note_peer_holds(from, &accepted);
+                    self.proposed_set.join_with(&accepted);
                     self.ts += 1;
                     self.ack_certs.clear();
                     self.broadcast_proposal(ctx);
@@ -998,6 +1107,7 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                 }
             }
             GsbsMsg::Ack(ack) => {
+                self.delta_tx.record_reply(from, ack.ts);
                 if self.state != GsbsState::Proposing
                     || ack.destination != self.me
                     || ack.ts != self.ts
@@ -1032,6 +1142,22 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
                     self.absorb_certificate(cert, ctx);
                     self.try_adopt_certificate(ctx);
                     self.drain_waiting(ctx);
+                }
+            }
+            GsbsMsg::Resync { ts, round } => {
+                // The peer could not resolve a delta: forget every
+                // assumption about it and re-send the current proposal
+                // in full. Correct peers never send this.
+                self.delta_tx.reset_peer(from);
+                if self.state == GsbsState::Proposing && ts == self.ts && round == self.round {
+                    ctx.send(
+                        from,
+                        GsbsMsg::AckReq {
+                            proposed: ProvenUpdate::Full(self.proposed_set.clone()),
+                            ts: self.ts,
+                            round: self.round,
+                        },
+                    );
                 }
             }
             other @ (GsbsMsg::AckReq { .. } | GsbsMsg::Nack { .. }) => {

@@ -49,6 +49,16 @@
 //! a hash lookup plus pure comparisons. `with_proof_interning(false)` on
 //! [`sbs::SbsProcess`] / [`gsbs::GsbsProcess`] is the ablation switch
 //! (identical decisions and traces, only the cost differs).
+//!
+//! Each distinct proof is also **transmitted once per peer**: the
+//! proof-carrying payloads (`AckReq.proposed`, `Nack.accepted`) travel
+//! as [`provendelta::ProvenUpdate`]s — deltas of the proven set against
+//! a base the receiver replied to, with proofs the receiver demonstrably
+//! holds named by [`bgla_crypto::ProofId`] reference and reconstructed
+//! through a per-process [`bgla_crypto::ProofResolver`]. Unresolvable
+//! proposals fall back to `Full` via a resync round trip (only Byzantine
+//! senders trigger it); `with_proven_deltas(false)` is the ablation
+//! switch (identical decisions and traces, only wire bytes differ).
 #![warn(missing_docs)]
 // Thresholds are written exactly as in the paper (`f + 1`, `2f + 1`,
 // `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
@@ -60,6 +70,7 @@ pub mod gsbs;
 pub mod gwts;
 pub mod harness;
 pub mod proof;
+pub mod provendelta;
 pub mod sbs;
 pub mod signedset;
 pub mod spec;
@@ -69,6 +80,7 @@ pub mod wts;
 
 pub use config::SystemConfig;
 pub use proof::{Proof, ProofAck};
+pub use provendelta::{ProvenRecord, ProvenUpdate};
 pub use signedset::{SignedItem, SignedSet};
 pub use value::Value;
 pub use valueset::{SetUpdate, ValueSet};

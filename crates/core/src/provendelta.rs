@@ -1,0 +1,752 @@
+//! Delta-encoded, **proof-by-reference** payloads for proof-carrying
+//! messages — [`crate::valueset::SetUpdate`] lifted to proven-record
+//! sets.
+//!
+//! # Why
+//!
+//! Proofs of safety dominate SbS/GSbS wire cost: `O(n²)` signature bytes
+//! per proof, re-shipped in full on every refinement round, every nack
+//! and every re-broadcast, even though the receiver usually verified the
+//! very same proof moments earlier. Two observations make almost all of
+//! that traffic redundant:
+//!
+//! * proven sets grow monotonically, so consecutive proposals to the
+//!   same peer differ by a few records ([`SetUpdate`]'s insight), and
+//! * proofs are content-addressed ([`bgla_crypto::ProofId`]), so a proof
+//!   the peer *demonstrably holds* can be named by a
+//!   [`bgla_simnet::PROOF_REF_BYTES`]-sized reference instead of
+//!   re-shipped.
+//!
+//! [`ProvenUpdate`] combines both: `Full` ships everything inline;
+//! `Delta` ships only the records added since a base the receiver
+//! replied to, with proofs the receiver already holds referenced by id.
+//!
+//! # Who holds what — the reference discipline
+//!
+//! A sender may reference a proof to a peer only when that peer
+//! *demonstrably* delivered it:
+//!
+//! * **ack/nack replies** — a peer that replied to the proposal of
+//!   timestamp `t` consumed it, verified its proofs and registered them
+//!   in its [`ProofResolver`]; every proof in the `t` snapshot becomes
+//!   referenceable ([`ProvenDeltaSender::record_reply`]);
+//! * **received proven sets** — a peer that shipped (or itself
+//!   referenced) a proof inside a nack evidently holds it
+//!   ([`ProvenDeltaSender::note_peer_holds`]), so the very proofs a
+//!   refinement just absorbed from a nacker can travel back to that
+//!   nacker as references on the re-broadcast — the dominant saving on
+//!   refinement-heavy runs.
+//!
+//! Note what is *not* enough: an acceptor whose safe-ack ended up inside
+//! a proof has never seen the other quorum members' acks, so signing a
+//! safe-ack does **not** imply holding the assembled proof — references
+//! are seeded from replies and received sets only.
+//!
+//! Receivers mirror the discipline: [`ProvenDeltaReceiver::record`]
+//! notes, per proposer, the consumed base sets (delta bases) and the
+//! proof ids that proposer evidently holds (so *reply* traffic — the
+//! delta-encoded `Nack.accepted` — can reference the proposer's own
+//! proofs back at it via [`ProvenDeltaReceiver::encode_reply`]). A nack
+//! deltas against the proposal it refuses, which the proposer holds by
+//! construction ([`ProvenDeltaSender::resolve_reply`] resolves it from
+//! the sender-side snapshots).
+//!
+//! # Gaps and resync
+//!
+//! Reconstruction fails — a **delta gap** — when the named base or a
+//! referenced [`ProofId`] is unknown. Unlike WTS value deltas (where a
+//! gap proves the sender Byzantine and the message is simply dropped), a
+//! proof reference can also outlive the receiver's bounded
+//! [`ProofResolver`] window, so the receiver answers an unresolvable
+//! *proposal* with a resync request and the proposer falls back to
+//! `Full` (`SbsMsg::Resync` / `GsbsMsg::Resync`). Correct senders never
+//! cause gaps within the retention windows, so honest-to-honest traffic
+//! never resyncs; Byzantine senders can trigger the fallback at will but
+//! only waste their own messages. A gap in a *reply* (nack) still is a
+//! reliable Byzantine signal: the nack deltas against the receiving
+//! proposer's own snapshot and references only proofs that proposer
+//! itself shipped, both of which the proposer retains.
+//!
+//! # Wire format (modeled)
+//!
+//! Per the byte-accounting contract on [`bgla_simnet::WireMessage`]:
+//!
+//! ```text
+//! Full(set)                     : 1 (tag) + set bytes + Σ distinct-proof bytes
+//! Delta { base_ts, new, refs }  : 1 (tag) + 8 (base_ts) + new bytes
+//!                                 + Σ inline-distinct-proof bytes
+//!                                 + |refs| × PROOF_REF_BYTES
+//! ```
+//!
+//! The ablation switch (`with_proven_deltas(false)` on
+//! [`crate::sbs::SbsProcess`] / [`crate::gsbs::GsbsProcess`]) makes
+//! every encode yield `Full`; decisions, traces and non-byte metrics are
+//! unchanged either way.
+
+use crate::proof::{Proof, ProofAck};
+use crate::signedset::{SignedItem, SignedSet};
+#[cfg(doc)]
+use crate::valueset::SetUpdate;
+use bgla_crypto::{ProofId, ProofResolver};
+use bgla_simnet::{ProcessId, ProofSizes, PROOF_REF_BYTES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A signed record carrying an attached proof of safety — the element
+/// type [`ProvenUpdate`] deltas over (SbS `ProvenValue`, GSbS
+/// `ProvenBatch`).
+///
+/// `Ord`/`Eq` (via [`SignedItem`]) must ignore the attached proof — the
+/// record is the same lattice element regardless of which quorum
+/// certified it — which is what lets the decoder swap a referenced proof
+/// handle in without disturbing set order.
+pub trait ProvenRecord: SignedItem {
+    /// The ack type of the attached proof.
+    type Ack: ProofAck;
+
+    /// The attached proof of safety.
+    fn proof(&self) -> &Proof<Self::Ack>;
+
+    /// The same record with `proof` attached instead (used by the
+    /// decoder to attach the locally resolved handle).
+    fn with_proof(&self, proof: Proof<Self::Ack>) -> Self;
+}
+
+/// A proven-set payload: the full set, or only the records added since a
+/// base the receiver holds, with already-held proofs by reference. See
+/// the module docs for semantics and the modeled wire format.
+#[derive(Debug, Clone)]
+pub enum ProvenUpdate<T: ProvenRecord> {
+    /// The whole set, every distinct proof inline (first contact or
+    /// resync fallback).
+    Full(SignedSet<T>),
+    /// The additions relative to the set this receiver consumed at
+    /// `base_ts`, with proofs the receiver holds referenced by id.
+    Delta {
+        /// Timestamp of the base set the receiver already holds.
+        base_ts: u64,
+        /// `current ∖ base` — records inline; a record's proof ships
+        /// inline too unless its id appears in `refs`.
+        new: SignedSet<T>,
+        /// Ids (among `new`'s proofs) the receiver is assumed to hold —
+        /// shipped as [`PROOF_REF_BYTES`]-sized references.
+        refs: Vec<ProofId>,
+    },
+}
+
+impl<T: ProvenRecord> ProvenUpdate<T> {
+    /// Number of records carried (diagnostics).
+    pub fn carried(&self) -> usize {
+        match self {
+            ProvenUpdate::Full(set) => set.len(),
+            ProvenUpdate::Delta { new, .. } => new.len(),
+        }
+    }
+
+    /// Modeled payload size and proof accounting in one walk (see the
+    /// wire format in the module docs). Message-level framing (`ts`,
+    /// `round`) is the embedding message's to add.
+    pub fn metered(&self) -> (usize, ProofSizes) {
+        match self {
+            ProvenUpdate::Full(set) => {
+                let proofs = crate::proof::account_proofs(set.iter().map(ProvenRecord::proof));
+                (1 + set.wire_size() + proofs.interned_bytes as usize, proofs)
+            }
+            ProvenUpdate::Delta { new, refs, .. } => {
+                let ref_set: BTreeSet<ProofId> = refs.iter().copied().collect();
+                let mut proofs = ProofSizes::default();
+                let mut seen: BTreeSet<ProofId> = BTreeSet::new();
+                for record in new.iter() {
+                    let proof = record.proof();
+                    proofs.refs += 1;
+                    proofs.flat_bytes += proof.wire_size() as u64;
+                    if !ref_set.contains(&proof.id()) && seen.insert(proof.id()) {
+                        proofs.distinct += 1;
+                        proofs.interned_bytes += proof.wire_size() as u64;
+                    }
+                }
+                // Every ref entry costs wire bytes, matched or not —
+                // Byzantine junk refs are paid for by their sender.
+                proofs.by_ref = refs.len() as u64;
+                proofs.ref_bytes = (refs.len() * PROOF_REF_BYTES) as u64;
+                (
+                    1 + 8
+                        + new.wire_size()
+                        + proofs.interned_bytes as usize
+                        + proofs.ref_bytes as usize,
+                    proofs,
+                )
+            }
+        }
+    }
+
+    /// Modeled payload size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.metered().0
+    }
+}
+
+/// Snapshots retained by a [`ProvenDeltaSender`] — same bound as the
+/// value-delta machinery: refinements are bounded per instance/round,
+/// but GSbS timestamps grow with the stream, so old snapshots must not
+/// accumulate. Must be ≥ [`BASE_WINDOW`] so every base a correct sender
+/// may delta against still has its snapshot.
+const SENDER_SNAPSHOT_CAP: usize = 32;
+
+/// Per-proposer consumed bases retained by a [`ProvenDeltaReceiver`],
+/// and — via the freshness bound in [`ProvenDeltaSender::encode_for`] —
+/// the window within which a correct sender may delta: a base at
+/// `base_ts` is guaranteed resolvable while `current_ts − base_ts <
+/// BASE_WINDOW`, because the receiver prunes to the newest `BASE_WINDOW`
+/// bases per proposer and records at most one per distinct timestamp.
+const BASE_WINDOW: usize = 8;
+
+/// Per-peer referenceable-proof-id sets are pruned to this many newest
+/// entries — comfortably under the receiver-side [`ProofResolver`]
+/// default capacity, so an id a sender still assumes held has not
+/// plausibly been evicted at the receiver. (If it has — pathological
+/// churn — the resync fallback restores sync at the cost of one full
+/// payload.)
+const KNOWN_HELD_CAP: usize = 1024;
+
+fn note_held(
+    held: &mut BTreeMap<ProcessId, BTreeSet<ProofId>>,
+    peer: ProcessId,
+    ids: impl Iterator<Item = ProofId>,
+) {
+    let entry = held.entry(peer).or_default();
+    entry.extend(ids);
+    while entry.len() > KNOWN_HELD_CAP {
+        entry.pop_first();
+    }
+}
+
+/// Decodes `new`, attaching locally resolved handles for referenced
+/// proofs. `None` is a gap: a referenced id the resolver does not hold.
+fn resolve_new<T: ProvenRecord>(
+    new: &SignedSet<T>,
+    refs: &[ProofId],
+    resolver: &mut ProofResolver<Proof<T::Ack>>,
+) -> Option<SignedSet<T>> {
+    let ref_set: BTreeSet<ProofId> = refs.iter().copied().collect();
+    if ref_set.is_empty() {
+        return Some(new.clone());
+    }
+    let mut out = Vec::with_capacity(new.len());
+    for record in new.iter() {
+        let id = record.proof().id();
+        if ref_set.contains(&id) {
+            // Referenced: the proof did not travel — reattach our own
+            // handle or report the gap.
+            out.push(record.with_proof(resolver.resolve(id)?));
+        } else {
+            out.push(record.clone());
+        }
+    }
+    Some(out.into_iter().collect())
+}
+
+/// Registers every distinct proof of `set` in `resolver`, making it
+/// referenceable by peers. Call when a set is *consumed* (verified and
+/// acted on) or locally assembled — never for payloads that failed
+/// `AllSafe`.
+pub fn register_proofs<T: ProvenRecord>(
+    resolver: &mut ProofResolver<Proof<T::Ack>>,
+    set: &SignedSet<T>,
+) {
+    let mut seen: BTreeSet<ProofId> = BTreeSet::new();
+    for record in set.iter() {
+        let proof = record.proof();
+        if seen.insert(proof.id()) {
+            resolver.register(proof.id(), proof.clone());
+        }
+    }
+}
+
+/// Proposer-side bookkeeping for delta-encoded proposal broadcasts:
+/// snapshots of the proven set by timestamp, each peer's newest
+/// replied-to timestamp, and the proof ids each peer demonstrably holds.
+#[derive(Debug)]
+pub struct ProvenDeltaSender<T: ProvenRecord> {
+    /// ts → proven set at that ts (`O(1)` clones make this cheap).
+    snapshots: BTreeMap<u64, SignedSet<T>>,
+    /// Peer → newest ts it acked/nacked (proof it holds snapshot(ts)).
+    last_replied: BTreeMap<ProcessId, u64>,
+    /// Peer → proof ids it demonstrably delivered (see module docs).
+    known_held: BTreeMap<ProcessId, BTreeSet<ProofId>>,
+    enabled: bool,
+}
+
+impl<T: ProvenRecord> ProvenDeltaSender<T> {
+    /// Creates the bookkeeping; when `enabled` is false every encode
+    /// yields `Full` (the ablation baseline). State is tracked either
+    /// way, so toggling is purely a wire-encoding change.
+    pub fn new(enabled: bool) -> Self {
+        ProvenDeltaSender {
+            snapshots: BTreeMap::new(),
+            last_replied: BTreeMap::new(),
+            known_held: BTreeMap::new(),
+            enabled,
+        }
+    }
+
+    /// Records the proven set broadcast at `ts` (call once per
+    /// broadcast, before encoding per-peer updates).
+    pub fn record_broadcast(&mut self, ts: u64, set: &SignedSet<T>) {
+        self.snapshots.insert(ts, set.clone());
+        while self.snapshots.len() > SENDER_SNAPSHOT_CAP {
+            self.snapshots.pop_first();
+        }
+    }
+
+    /// The set broadcast at `ts`, if still retained — also the base pool
+    /// for resolving delta-encoded *replies* (nacks delta against the
+    /// proposal they refuse).
+    pub fn snapshot(&self, ts: u64) -> Option<&SignedSet<T>> {
+        self.snapshots.get(&ts)
+    }
+
+    /// Records that `from` replied (ack or nack) to the proposal of
+    /// `ts`: it consumed that set, so its values need not be re-shipped
+    /// and its proofs become referenceable. Ignores timestamps we never
+    /// broadcast (Byzantine claims) or no longer retain.
+    pub fn record_reply(&mut self, from: ProcessId, ts: u64) {
+        let Some(snapshot) = self.snapshots.get(&ts) else {
+            return;
+        };
+        note_held(
+            &mut self.known_held,
+            from,
+            snapshot.iter().map(|r| r.proof().id()),
+        );
+        let e = self.last_replied.entry(from).or_insert(ts);
+        *e = (*e).max(ts);
+    }
+
+    /// Records that `from` evidently holds every proof of `set` (it
+    /// shipped or referenced them itself — e.g. inside a nack), without
+    /// implying it holds any particular proposal snapshot.
+    pub fn note_peer_holds(&mut self, from: ProcessId, set: &SignedSet<T>) {
+        note_held(
+            &mut self.known_held,
+            from,
+            set.iter().map(|r| r.proof().id()),
+        );
+    }
+
+    /// Forgets everything assumed about `to` — the resync fallback:
+    /// the peer reported a gap, so until it replies again it gets `Full`
+    /// payloads with every proof inline.
+    pub fn reset_peer(&mut self, to: ProcessId) {
+        self.last_replied.remove(&to);
+        self.known_held.remove(&to);
+    }
+
+    /// Encodes the proven set `current` (broadcast at `ts`) for peer
+    /// `to`: a delta against the newest set `to` replied to when
+    /// possible — with proofs `to` demonstrably holds by reference —
+    /// and the full set on first contact, on a pruned or stale base
+    /// (see [`BASE_WINDOW`]), or when deltas are disabled.
+    pub fn encode_for(&self, to: ProcessId, ts: u64, current: &SignedSet<T>) -> ProvenUpdate<T> {
+        if !self.enabled {
+            return ProvenUpdate::Full(current.clone());
+        }
+        let base = self
+            .last_replied
+            .get(&to)
+            .and_then(|base_ts| self.snapshots.get(base_ts).map(|s| (*base_ts, s)));
+        match base {
+            Some((base_ts, base)) if ts.saturating_sub(base_ts) < BASE_WINDOW as u64 => {
+                let new = current.difference(base);
+                let refs = self.refs_for(to, &new);
+                ProvenUpdate::Delta { base_ts, new, refs }
+            }
+            _ => ProvenUpdate::Full(current.clone()),
+        }
+    }
+
+    /// The distinct proof ids of `new` that `to` demonstrably holds,
+    /// sorted (deterministic wire order).
+    fn refs_for(&self, to: ProcessId, new: &SignedSet<T>) -> Vec<ProofId> {
+        let Some(held) = self.known_held.get(&to) else {
+            return Vec::new();
+        };
+        let ids: BTreeSet<ProofId> = new
+            .iter()
+            .map(|r| r.proof().id())
+            .filter(|id| held.contains(id))
+            .collect();
+        ids.into_iter().collect()
+    }
+
+    /// Decodes a delta-encoded *reply* (a nack's accepted set): the base
+    /// is our own snapshot of the proposal the peer is answering, and
+    /// references resolve through our resolver. `None` is a gap — for
+    /// replies, a reliable Byzantine signal (see module docs).
+    pub fn resolve_reply(
+        &self,
+        update: &ProvenUpdate<T>,
+        resolver: &mut ProofResolver<Proof<T::Ack>>,
+    ) -> Option<SignedSet<T>> {
+        match update {
+            ProvenUpdate::Full(set) => Some(set.clone()),
+            ProvenUpdate::Delta { base_ts, new, refs } => {
+                let base = self.snapshots.get(base_ts)?;
+                Some(base.join(&resolve_new(new, refs, resolver)?))
+            }
+        }
+    }
+}
+
+/// Acceptor-side bookkeeping for delta-encoded proposals: the consumed
+/// sets per `(proposer, ts)` (delta bases) and the proof ids each
+/// proposer demonstrably holds (reference targets for delta-encoded
+/// nacks back to it).
+#[derive(Debug, Default)]
+pub struct ProvenDeltaReceiver<T: ProvenRecord> {
+    bases: BTreeMap<(ProcessId, u64), SignedSet<T>>,
+    peer_proofs: BTreeMap<ProcessId, BTreeSet<ProofId>>,
+}
+
+impl<T: ProvenRecord> ProvenDeltaReceiver<T> {
+    /// Fresh receiver state.
+    pub fn new() -> Self {
+        ProvenDeltaReceiver {
+            bases: BTreeMap::new(),
+            peer_proofs: BTreeMap::new(),
+        }
+    }
+
+    /// Resolves a proposal update from `from` into the full proven set.
+    /// `None` means a detected gap — unknown base or unresolvable
+    /// reference — to be answered with a resync request.
+    pub fn resolve(
+        &self,
+        from: ProcessId,
+        update: &ProvenUpdate<T>,
+        resolver: &mut ProofResolver<Proof<T::Ack>>,
+    ) -> Option<SignedSet<T>> {
+        match update {
+            ProvenUpdate::Full(set) => Some(set.clone()),
+            ProvenUpdate::Delta { base_ts, new, refs } => {
+                let base = self.bases.get(&(from, *base_ts))?;
+                Some(base.join(&resolve_new(new, refs, resolver)?))
+            }
+        }
+    }
+
+    /// Records that the proposal `set` from `from` at `ts` was consumed
+    /// (we are about to reply to it): it becomes a delta base, and its
+    /// proofs become referenceable back to `from` — the sender shipped
+    /// or referenced every one of them, so it holds them.
+    pub fn record(&mut self, from: ProcessId, ts: u64, set: &SignedSet<T>) {
+        note_held(
+            &mut self.peer_proofs,
+            from,
+            set.iter().map(|r| r.proof().id()),
+        );
+        self.bases.insert((from, ts), set.clone());
+        // Retain only the newest few bases per proposer.
+        let held: Vec<u64> = self
+            .bases
+            .range((from, 0)..=(from, u64::MAX))
+            .map(|((_, t), _)| *t)
+            .collect();
+        if held.len() > BASE_WINDOW {
+            for t in &held[..held.len() - BASE_WINDOW] {
+                self.bases.remove(&(from, *t));
+            }
+        }
+    }
+
+    /// Encodes a *reply* set (a nack's accepted set) for proposer `to`:
+    /// a delta against `base` — the proposal of `base_ts` being refused,
+    /// which `to` holds by construction — with proofs `to` demonstrably
+    /// holds by reference. `Full` when deltas are disabled.
+    pub fn encode_reply(
+        &self,
+        to: ProcessId,
+        base_ts: u64,
+        base: &SignedSet<T>,
+        current: &SignedSet<T>,
+        enabled: bool,
+    ) -> ProvenUpdate<T> {
+        if !enabled {
+            return ProvenUpdate::Full(current.clone());
+        }
+        let new = current.difference(base);
+        let refs = match self.peer_proofs.get(&to) {
+            Some(held) => {
+                let ids: BTreeSet<ProofId> = new
+                    .iter()
+                    .map(|r| r.proof().id())
+                    .filter(|id| held.contains(id))
+                    .collect();
+                ids.into_iter().collect()
+            }
+            None => Vec::new(),
+        };
+        ProvenUpdate::Delta { base_ts, new, refs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgla_crypto::ProofIdBuilder;
+
+    /// Minimal proven record for unit tests: a value plus a proof of
+    /// `u64` "acks" (the `ProofAck for u64` test impl in
+    /// [`crate::proof`]).
+    #[derive(Debug, Clone)]
+    struct Rec {
+        v: u64,
+        proof: Proof<u64>,
+    }
+
+    impl PartialEq for Rec {
+        fn eq(&self, other: &Self) -> bool {
+            self.v == other.v
+        }
+    }
+    impl Eq for Rec {}
+    impl PartialOrd for Rec {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Rec {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.v.cmp(&other.v)
+        }
+    }
+    impl SignedItem for Rec {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+    impl ProvenRecord for Rec {
+        type Ack = u64;
+        fn proof(&self) -> &Proof<u64> {
+            &self.proof
+        }
+        fn with_proof(&self, proof: Proof<u64>) -> Self {
+            Rec { v: self.v, proof }
+        }
+    }
+
+    fn rec(v: u64, acks: &[u64]) -> Rec {
+        Rec {
+            v,
+            proof: Proof::new(acks.to_vec()),
+        }
+    }
+
+    fn set(recs: &[Rec]) -> SignedSet<Rec> {
+        recs.iter().cloned().collect()
+    }
+
+    fn bogus_id(seed: u8) -> ProofId {
+        let mut b = ProofIdBuilder::new();
+        b.add_ack(&[seed]);
+        b.finish()
+    }
+
+    #[test]
+    fn first_contact_is_full_and_replies_enable_deltas() {
+        let mut tx: ProvenDeltaSender<Rec> = ProvenDeltaSender::new(true);
+        let mut resolver: ProofResolver<Proof<u64>> = ProofResolver::default();
+        let s0 = set(&[rec(1, &[10]), rec(2, &[10])]);
+        tx.record_broadcast(1, &s0);
+        assert!(matches!(tx.encode_for(9, 1, &s0), ProvenUpdate::Full(_)));
+
+        // Peer 9 consumes and replies: the shared proof becomes
+        // referenceable and values stop traveling.
+        tx.record_reply(9, 1);
+        let s1 = s0.join(&set(&[rec(3, &[10])]));
+        tx.record_broadcast(2, &s1);
+        let u = tx.encode_for(9, 2, &s1);
+        match &u {
+            ProvenUpdate::Delta { base_ts, new, refs } => {
+                assert_eq!(*base_ts, 1);
+                assert_eq!(new.len(), 1);
+                assert_eq!(refs.len(), 1, "shared proof travels as a reference");
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        // Receiver side: reconstruct through base + resolver.
+        let mut rx: ProvenDeltaReceiver<Rec> = ProvenDeltaReceiver::new();
+        register_proofs(&mut resolver, &s0);
+        rx.record(0, 1, &s0);
+        let full = rx.resolve(0, &u, &mut resolver).expect("no gap");
+        assert_eq!(full, s1);
+    }
+
+    #[test]
+    fn unknown_base_and_unknown_ref_are_gaps() {
+        let rx: ProvenDeltaReceiver<Rec> = ProvenDeltaReceiver::new();
+        let mut resolver: ProofResolver<Proof<u64>> = ProofResolver::default();
+        let bogus_base = ProvenUpdate::Delta {
+            base_ts: 77,
+            new: set(&[rec(1, &[1])]),
+            refs: vec![],
+        };
+        assert!(rx.resolve(3, &bogus_base, &mut resolver).is_none());
+
+        let mut rx: ProvenDeltaReceiver<Rec> = ProvenDeltaReceiver::new();
+        rx.record(3, 0, &SignedSet::new());
+        let r = rec(1, &[1]);
+        let unknown_ref = ProvenUpdate::Delta {
+            base_ts: 0,
+            refs: vec![r.proof.id()],
+            new: set(&[r]),
+        };
+        assert!(
+            rx.resolve(3, &unknown_ref, &mut resolver).is_none(),
+            "a referenced proof the resolver does not hold is a gap"
+        );
+    }
+
+    #[test]
+    fn junk_refs_matching_no_record_are_ignored() {
+        let mut rx: ProvenDeltaReceiver<Rec> = ProvenDeltaReceiver::new();
+        let mut resolver: ProofResolver<Proof<u64>> = ProofResolver::default();
+        rx.record(3, 0, &SignedSet::new());
+        let u = ProvenUpdate::Delta {
+            base_ts: 0,
+            new: set(&[rec(1, &[1])]),
+            refs: vec![bogus_id(0xAB)],
+        };
+        let full = rx.resolve(3, &u, &mut resolver).expect("inline proof");
+        assert_eq!(full.len(), 1);
+        // ...but they still cost the sender wire bytes.
+        let (_, proofs) = u.metered();
+        assert_eq!(proofs.ref_bytes, PROOF_REF_BYTES as u64);
+        assert_eq!(proofs.distinct, 1, "inline proof still shipped");
+    }
+
+    #[test]
+    fn stale_base_falls_back_to_full() {
+        let mut tx: ProvenDeltaSender<Rec> = ProvenDeltaSender::new(true);
+        let s = set(&[rec(1, &[1])]);
+        tx.record_broadcast(0, &s);
+        tx.record_reply(5, 0);
+        let near = BASE_WINDOW as u64 - 1;
+        tx.record_broadcast(near, &s);
+        assert!(matches!(
+            tx.encode_for(5, near, &s),
+            ProvenUpdate::Delta { base_ts: 0, .. }
+        ));
+        let far = BASE_WINDOW as u64;
+        tx.record_broadcast(far, &s);
+        assert!(matches!(tx.encode_for(5, far, &s), ProvenUpdate::Full(_)));
+    }
+
+    #[test]
+    fn reset_peer_restores_full_payloads() {
+        let mut tx: ProvenDeltaSender<Rec> = ProvenDeltaSender::new(true);
+        let s = set(&[rec(1, &[1])]);
+        tx.record_broadcast(1, &s);
+        tx.record_reply(4, 1);
+        assert!(matches!(
+            tx.encode_for(4, 2, &s),
+            ProvenUpdate::Delta { .. }
+        ));
+        tx.reset_peer(4);
+        assert!(matches!(tx.encode_for(4, 2, &s), ProvenUpdate::Full(_)));
+    }
+
+    #[test]
+    fn disabled_sender_always_encodes_full() {
+        let mut tx: ProvenDeltaSender<Rec> = ProvenDeltaSender::new(false);
+        let s = set(&[rec(1, &[1])]);
+        tx.record_broadcast(1, &s);
+        tx.record_reply(4, 1);
+        assert!(matches!(tx.encode_for(4, 2, &s), ProvenUpdate::Full(_)));
+    }
+
+    #[test]
+    fn reply_deltas_reference_the_proposers_own_proofs() {
+        // Proposer P (id 0) sent us set s_p; we hold accepted = s_p ∪ ours.
+        // The nack back to P references P's proof and ships ours inline.
+        let mut rx: ProvenDeltaReceiver<Rec> = ProvenDeltaReceiver::new();
+        let p_rec = rec(1, &[10]);
+        let our_rec = rec(2, &[20]);
+        let s_p = set(std::slice::from_ref(&p_rec));
+        rx.record(0, 3, &s_p);
+        let accepted = s_p.join(&set(std::slice::from_ref(&our_rec)));
+        let u = rx.encode_reply(0, 3, &s_p, &accepted, true);
+        match &u {
+            ProvenUpdate::Delta { base_ts, new, refs } => {
+                assert_eq!(*base_ts, 3);
+                assert_eq!(new.as_slice(), std::slice::from_ref(&our_rec));
+                assert!(refs.is_empty(), "our proof is new to P: inline");
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        // P resolves against its own snapshot.
+        let mut tx: ProvenDeltaSender<Rec> = ProvenDeltaSender::new(true);
+        let mut resolver: ProofResolver<Proof<u64>> = ProofResolver::default();
+        tx.record_broadcast(3, &s_p);
+        let full = tx.resolve_reply(&u, &mut resolver).expect("no gap");
+        assert_eq!(full, accepted);
+
+        // A second nack after P re-proposed the union references our
+        // proof back (P shipped it, so it holds it).
+        rx.record(0, 4, &accepted);
+        let u2 = rx.encode_reply(0, 4, &accepted, &accepted, true);
+        match &u2 {
+            ProvenUpdate::Delta { new, refs, .. } => {
+                assert!(new.is_empty());
+                assert!(refs.is_empty());
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        let grown = accepted.join(&set(&[rec(9, &[20])]));
+        let u3 = rx.encode_reply(0, 4, &accepted, &grown, true);
+        match &u3 {
+            ProvenUpdate::Delta { new, refs, .. } => {
+                assert_eq!(new.len(), 1);
+                assert_eq!(
+                    refs,
+                    &[our_rec.proof.id()],
+                    "a proof P consumed travels back by reference"
+                );
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metered_counts_refs_not_proofs() {
+        // 6 acks × 8 bytes: a proof bigger than PROOF_REF_BYTES, so the
+        // delta arm is genuinely cheaper.
+        let shared = Proof::new(vec![1u64, 2, 3, 4, 5, 6]);
+        let a = Rec {
+            v: 1,
+            proof: shared.clone(),
+        };
+        let b = Rec {
+            v: 2,
+            proof: shared.clone(),
+        };
+        let full = ProvenUpdate::Full(set(&[a.clone(), b.clone()]));
+        let (full_bytes, fp) = full.metered();
+        assert_eq!(fp.distinct, 1);
+        assert_eq!(fp.refs, 2);
+        assert_eq!(fp.by_ref, 0);
+        assert_eq!(full_bytes, 1 + (8 + 16) + shared.wire_size());
+
+        let delta = ProvenUpdate::Delta {
+            base_ts: 7,
+            new: set(&[a, b]),
+            refs: vec![shared.id()],
+        };
+        let (delta_bytes, dp) = delta.metered();
+        assert_eq!(dp.distinct, 0, "referenced proof not shipped inline");
+        assert_eq!(dp.by_ref, 1);
+        assert_eq!(dp.ref_bytes, PROOF_REF_BYTES as u64);
+        assert_eq!(dp.flat_bytes, 2 * shared.wire_size() as u64);
+        assert_eq!(delta_bytes, 1 + 8 + (8 + 16) + PROOF_REF_BYTES);
+        assert!(delta_bytes < full_bytes);
+    }
+}

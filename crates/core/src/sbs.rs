@@ -45,14 +45,41 @@
 //! proposal/accepted sets) are [`SignedSet`]s — Arc-backed sorted
 //! vectors with `O(1)` clone and merge-walk join — so redelivered
 //! supersets are recognized structurally instead of re-walked.
+//!
+//! # Delta-encoded, proof-by-reference proposals (this implementation)
+//!
+//! Verify-once removed the redundant *computation*; the redundant
+//! *bytes* remained — every `ack_req`/`nack` re-shipped every proof in
+//! full. Proof-carrying payloads therefore travel as
+//! [`ProvenUpdate`]s: after an acceptor has acked/nacked a proposal,
+//! later `ack_req`s to it carry only the records added since that
+//! reply, with proofs the acceptor demonstrably holds named by
+//! [`bgla_crypto::ProofId`] reference (~32 bytes instead of `O(n²)`);
+//! `nack`s delta against the very proposal they refuse and reference
+//! the proposer's own proofs back at it. Receivers reconstruct the full
+//! set by joining the delta onto the recorded base and resolving each
+//! reference in their per-process [`bgla_crypto::ProofResolver`] — hash
+//! lookups, no re-verification (the `ProofCache` verdict already covers
+//! a resolved proof). An unresolvable *proposal* reference or base is a
+//! **delta gap**: the receiver answers [`SbsMsg::Resync`] and the
+//! proposer falls back to `Full` — only Byzantine senders (or resolver
+//! eviction on pathological runs) can trigger it. See
+//! [`crate::provendelta`] for the reference discipline and the modeled
+//! wire format, and [`SbsProcess::with_proven_deltas`]`(false)` for the
+//! every-payload-full ablation (identical decisions and traces; only
+//! wire bytes differ).
 
 use crate::config::SystemConfig;
 use crate::proof::{Proof, ProofAck};
+use crate::provendelta::{
+    register_proofs, ProvenDeltaReceiver, ProvenDeltaSender, ProvenRecord, ProvenUpdate,
+};
 use crate::signedset::{SignedItem, SignedSet};
 use crate::value::SignableValue;
 use crate::valueset::ValueSet;
 use bgla_crypto::{
-    CachedVerifier, Keypair, Keyring, ProofCache, ProofId, Signature, ToBytes, VerifierStats,
+    CachedVerifier, Keypair, Keyring, ProofCache, ProofId, ProofResolver, Signature, ToBytes,
+    VerifierStats,
 };
 use bgla_simnet::{Context, Process, ProcessId, ProofSizes, WireMessage};
 use std::any::Any;
@@ -227,22 +254,23 @@ impl<V: SignableValue> Ord for ProvenValue<V> {
 impl<V: SignableValue> SignedItem for ProvenValue<V> {
     fn wire_size(&self) -> usize {
         // The value + signature only; the attached proof is accounted
-        // separately (shared proofs transmit once per message).
+        // separately (shared proofs transmit once per message, or as a
+        // reference — see the WireMessage byte-accounting contract).
         self.sv.value.wire_size() + 8 + 64
     }
 }
 
-fn proven_values_size<V: SignableValue>(set: &SignedSet<ProvenValue<V>>) -> usize {
-    // Shared proofs are counted once, as a real codec would transmit
-    // them (the paper's O(n²) message size comes from the proofs).
-    // Deduplication is by interned ProofId — a hash lookup per value,
-    // not the old O(k²) pointer scan — and each proof's byte size was
-    // cached at construction.
-    set.wire_size() + proven_values_proofs(set).interned_bytes as usize
-}
-
-fn proven_values_proofs<V: SignableValue>(set: &SignedSet<ProvenValue<V>>) -> ProofSizes {
-    crate::proof::account_proofs(set.iter().map(|pv| &pv.proof))
+impl<V: SignableValue> ProvenRecord for ProvenValue<V> {
+    type Ack = SignedSafeAck<V>;
+    fn proof(&self) -> &SafetyProof<V> {
+        &self.proof
+    }
+    fn with_proof(&self, proof: SafetyProof<V>) -> Self {
+        ProvenValue {
+            sv: self.sv.clone(),
+            proof,
+        }
+    }
 }
 
 /// SbS wire messages.
@@ -254,10 +282,11 @@ pub enum SbsMsg<V: SignableValue> {
     SafeReq(SignedSet<SignedValue<V>>),
     /// Safetying phase: acceptor → proposer.
     SafeAck(SignedSafeAck<V>),
-    /// Proposing phase: proposer → acceptors, values carry proofs.
+    /// Proposing phase: proposer → acceptors, values carry proofs —
+    /// delta-encoded with proof-by-reference after first contact.
     AckReq {
-        /// Proven proposal.
-        proposed: SignedSet<ProvenValue<V>>,
+        /// Proven proposal (full, or delta + references).
+        proposed: ProvenUpdate<ProvenValue<V>>,
         /// Refinement timestamp.
         ts: u64,
     },
@@ -268,11 +297,20 @@ pub enum SbsMsg<V: SignableValue> {
         /// Echoed timestamp.
         ts: u64,
     },
-    /// Acceptor refuses and ships its own proven accepted set.
+    /// Acceptor refuses and ships its own proven accepted set,
+    /// delta-encoded against the refused proposal.
     Nack {
-        /// Acceptor's accepted set with proofs.
-        accepted: SignedSet<ProvenValue<V>>,
+        /// Acceptor's accepted set with proofs (full, or delta against
+        /// the proposal of `ts` + references).
+        accepted: ProvenUpdate<ProvenValue<V>>,
         /// Echoed timestamp.
+        ts: u64,
+    },
+    /// Acceptor → proposer: a delta payload did not resolve (unknown
+    /// base or proof reference) — re-send `Full`. Never triggered by
+    /// correct senders within the retention windows.
+    Resync {
+        /// Timestamp of the unresolvable `ack_req`.
         ts: u64,
     },
 }
@@ -286,33 +324,41 @@ impl<V: SignableValue> WireMessage for SbsMsg<V> {
             SbsMsg::AckReq { .. } => "ack_req",
             SbsMsg::Ack { .. } => "ack",
             SbsMsg::Nack { .. } => "nack",
+            SbsMsg::Resync { .. } => "resync",
         }
     }
+    // Sizes follow the byte-accounting contract on
+    // [`bgla_simnet::WireMessage`]: 8 per scalar header field (here the
+    // `ts` each proposing-phase variant carries), payload via the
+    // container's own accounting — proof-carrying payloads delegate to
+    // [`ProvenUpdate::metered`], which prices interned proofs and
+    // references.
     fn wire_size(&self) -> usize {
         match self {
             SbsMsg::Init(sv) => SignedItem::wire_size(sv),
             SbsMsg::SafeReq(set) => set.wire_size(),
             SbsMsg::SafeAck(ack) => ProofAck::wire_size(ack),
-            SbsMsg::AckReq { proposed, .. } => 8 + proven_values_size(proposed),
+            SbsMsg::AckReq { proposed, .. } => 8 + proposed.wire_size(),
             SbsMsg::Ack { values, .. } => 8 + values.wire_size(),
-            SbsMsg::Nack { accepted, .. } => 8 + proven_values_size(accepted),
+            SbsMsg::Nack { accepted, .. } => 8 + accepted.wire_size(),
+            SbsMsg::Resync { .. } => 8,
         }
     }
     fn proof_sizes(&self) -> ProofSizes {
         match self {
-            SbsMsg::AckReq { proposed: set, .. } | SbsMsg::Nack { accepted: set, .. } => {
-                proven_values_proofs(set)
+            SbsMsg::AckReq { proposed: pl, .. } | SbsMsg::Nack { accepted: pl, .. } => {
+                pl.metered().1
             }
             _ => ProofSizes::default(),
         }
     }
     fn metered(&self) -> (usize, ProofSizes) {
         // One walk per send: the proof dedup yields both the proof
-        // accounting and the interned wire size.
+        // accounting and the interned/referenced wire size.
         match self {
-            SbsMsg::AckReq { proposed: set, .. } | SbsMsg::Nack { accepted: set, .. } => {
-                let proofs = proven_values_proofs(set);
-                (8 + set.wire_size() + proofs.interned_bytes as usize, proofs)
+            SbsMsg::AckReq { proposed: pl, .. } | SbsMsg::Nack { accepted: pl, .. } => {
+                let (bytes, proofs) = pl.metered();
+                (8 + bytes, proofs)
             }
             _ => (self.wire_size(), ProofSizes::default()),
         }
@@ -410,6 +456,18 @@ pub struct SbsProcess<V: SignableValue> {
     /// Ablation switch: `false` re-verifies every proof on every
     /// delivery (decisions are identical — only the cost differs).
     proof_interning: bool,
+    /// Proposer-side delta bookkeeping (snapshots, reply watermarks,
+    /// per-peer referenceable proof ids).
+    delta_tx: ProvenDeltaSender<ProvenValue<V>>,
+    /// Acceptor-side delta bookkeeping (consumed bases, per-proposer
+    /// referenceable proof ids).
+    delta_rx: ProvenDeltaReceiver<ProvenValue<V>>,
+    /// Verified-and-retained proof handles, resolvable by id when a
+    /// peer ships a reference instead of the proof.
+    resolver: ProofResolver<SafetyProof<V>>,
+    /// Ablation switch: `false` ships every proof-carrying payload as
+    /// `Full` (decisions and traces are identical — only bytes differ).
+    proven_deltas: bool,
 
     /// The decision (value set), once made.
     pub decision: Option<ValueSet<V>>,
@@ -442,6 +500,10 @@ impl<V: SignableValue> SbsProcess<V> {
             accepted_set: SignedSet::new(),
             proof_cache: ProofCache::default(),
             proof_interning: true,
+            delta_tx: ProvenDeltaSender::new(true),
+            delta_rx: ProvenDeltaReceiver::new(),
+            resolver: ProofResolver::default(),
+            proven_deltas: true,
             decision: None,
             decision_depth: None,
             refinements: 0,
@@ -459,6 +521,17 @@ impl<V: SignableValue> SbsProcess<V> {
     /// ablation baseline; decisions and traces are unchanged.
     pub fn with_proof_interning(mut self, on: bool) -> Self {
         self.proof_interning = on;
+        self
+    }
+
+    /// Toggles delta-encoded, proof-by-reference proposal payloads
+    /// (default on). With `false` every `ack_req`/`nack` ships the full
+    /// set with every proof inline — the byte-count ablation; decisions,
+    /// traces and non-byte metrics are unchanged (the delta bookkeeping
+    /// still runs so internal state is identical either way).
+    pub fn with_proven_deltas(mut self, on: bool) -> Self {
+        self.proven_deltas = on;
+        self.delta_tx = ProvenDeltaSender::new(on);
         self
     }
 
@@ -578,11 +651,20 @@ impl<V: SignableValue> SbsProcess<V> {
         verifier.verify_all(&obligations)
     }
 
+    /// Broadcasts the current proposal, delta-encoded per peer (full on
+    /// first contact or after a resync; clones are `O(1)` so the
+    /// snapshot is cheap).
     fn broadcast_proposal(&mut self, ctx: &mut Context<SbsMsg<V>>) {
-        ctx.broadcast(SbsMsg::AckReq {
-            proposed: self.proposed_set.clone(),
-            ts: self.ts,
-        });
+        self.delta_tx.record_broadcast(self.ts, &self.proposed_set);
+        for to in 0..self.config.n {
+            ctx.send(
+                to,
+                SbsMsg::AckReq {
+                    proposed: self.delta_tx.encode_for(to, self.ts, &self.proposed_set),
+                    ts: self.ts,
+                },
+            );
+        }
     }
 
     fn values_of(set: &SignedSet<ProvenValue<V>>) -> ValueSet<V> {
@@ -606,6 +688,8 @@ impl<V: SignableValue> SbsProcess<V> {
             return;
         }
         let proof: SafetyProof<V> = Proof::new(self.safe_acks.clone());
+        // Locally assembled and retained: referenceable from now on.
+        self.resolver.register(proof.id(), proof.clone());
         let safety_set = self.safety_set.clone();
         for sv in safety_set.iter() {
             let conflicted = proof.iter().any(|ack| ack.body.conflicted(sv));
@@ -715,9 +799,22 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
             }
             // ---- Proposing phase (acceptor side) ----
             SbsMsg::AckReq { proposed, ts } => {
+                let Some(proposed) = self.delta_rx.resolve(from, &proposed, &mut self.resolver)
+                else {
+                    // Delta gap: unknown base or proof reference. Ask
+                    // for the full payload (the WTS gap fallback, made
+                    // two-way because a proposal reference can also
+                    // outlive our bounded resolver window).
+                    ctx.send(from, SbsMsg::Resync { ts });
+                    return;
+                };
                 if !self.all_safe(&proposed) {
                     return; // drop: unproven values
                 }
+                // Consumed: the set becomes a delta base, its proofs
+                // become referenceable (by us, and back at the sender).
+                register_proofs(&mut self.resolver, &proposed);
+                self.delta_rx.record(from, ts, &proposed);
                 let acc_vals = Self::values_of(&self.accepted_set);
                 let prop_vals = Self::values_of(&proposed);
                 if acc_vals.is_subset(&prop_vals) {
@@ -730,18 +827,25 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                         },
                     );
                 } else {
-                    ctx.send(
+                    // The refusal deltas against the refused proposal
+                    // itself — a base the proposer holds by
+                    // construction; the proposer reconstructs the
+                    // union, which is exactly what its grows-check and
+                    // join compute anyway.
+                    let accepted = self.delta_rx.encode_reply(
                         from,
-                        SbsMsg::Nack {
-                            accepted: self.accepted_set.clone(),
-                            ts,
-                        },
+                        ts,
+                        &proposed,
+                        &self.accepted_set,
+                        self.proven_deltas,
                     );
+                    ctx.send(from, SbsMsg::Nack { accepted, ts });
                     self.accepted_set.join_with(&proposed);
                 }
             }
             // ---- Proposing phase (proposer side) ----
             SbsMsg::Ack { values, ts } => {
+                self.delta_tx.record_reply(from, ts);
                 if ts != self.ts || self.state != SbsState::Proposing {
                     return;
                 }
@@ -757,13 +861,26 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                 }
             }
             SbsMsg::Nack { accepted, ts } => {
+                self.delta_tx.record_reply(from, ts);
                 if ts != self.ts || self.state != SbsState::Proposing {
                     return;
                 }
+                let Some(accepted) = self.delta_tx.resolve_reply(&accepted, &mut self.resolver)
+                else {
+                    // A reply gap deltas against our own retained
+                    // snapshot and references only proofs we shipped —
+                    // a reliable Byzantine signal (see provendelta).
+                    self.byz.insert(from);
+                    return;
+                };
                 let acc_vals = Self::values_of(&accepted);
                 let prop_vals = Self::values_of(&self.proposed_set);
                 let grows = !acc_vals.is_subset(&prop_vals);
                 if grows && !self.byz.contains(&from) && self.all_safe(&accepted) {
+                    // The nacker shipped (or referenced) every proof in
+                    // here — future deltas to it can reference them.
+                    register_proofs(&mut self.resolver, &accepted);
+                    self.delta_tx.note_peer_holds(from, &accepted);
                     self.proposed_set.join_with(&accepted);
                     self.ack_set.clear();
                     self.ts += 1;
@@ -771,6 +888,22 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
                     self.broadcast_proposal(ctx);
                 } else {
                     self.byz.insert(from);
+                }
+            }
+            SbsMsg::Resync { ts } => {
+                // The peer could not resolve a delta: forget every
+                // assumption about it and re-send the current proposal
+                // in full. Correct peers never send this, so the cost
+                // is bounded by the adversary's own message budget.
+                self.delta_tx.reset_peer(from);
+                if self.state == SbsState::Proposing && ts == self.ts {
+                    ctx.send(
+                        from,
+                        SbsMsg::AckReq {
+                            proposed: ProvenUpdate::Full(self.proposed_set.clone()),
+                            ts: self.ts,
+                        },
+                    );
                 }
             }
         }

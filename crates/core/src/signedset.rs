@@ -208,6 +208,33 @@ impl<T: SignedItem> SignedSet<T> {
         out
     }
 
+    /// `self ∖ other`, by merge-walk. Removal is by element equality
+    /// (`Eq` — which `Ord` implementors keep consistent with `cmp`, and
+    /// which for proven records ignores the attached proof), the same
+    /// test `is_subset`/`join_with` use — so the survivors keep `self`'s
+    /// representatives, exactly what the delta encoder needs ("values
+    /// the peer has not acknowledged, as I hold them").
+    pub fn difference(&self, other: &SignedSet<T>) -> SignedSet<T> {
+        if other.is_empty() {
+            return self.clone();
+        }
+        if Arc::ptr_eq(&self.items, &other.items) {
+            return SignedSet::new();
+        }
+        let (a, b) = (&self.items[..], &other.items[..]);
+        let mut out = Vec::new();
+        let mut j = 0;
+        for x in a {
+            while j < b.len() && b[j] < *x {
+                j += 1;
+            }
+            if j == b.len() || b[j] != *x {
+                out.push(x.clone());
+            }
+        }
+        SignedSet::from_sorted(out)
+    }
+
     /// Retains only the elements `keep` accepts (rebuilds; used by the
     /// conflict-pruning paths, which are rare and small).
     pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
@@ -367,6 +394,16 @@ mod tests {
         });
         assert_eq!(seen, vec![1, 2, 3, 4]);
         assert_eq!(a.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn difference_by_merge_walk() {
+        let a = ss(&[1, 2, 3, 4]);
+        let b = ss(&[2, 4, 9]);
+        assert_eq!(a.difference(&b).as_slice(), &[1, 3]);
+        assert_eq!(b.difference(&a).as_slice(), &[9]);
+        assert!(a.difference(&a.clone()).is_empty());
+        assert_eq!(a.difference(&SignedSet::new()).as_slice(), a.as_slice());
     }
 
     #[test]

@@ -7,9 +7,12 @@
 
 use bgla_core::gsbs::{GSafeAck, GsbsProcess, ProvenBatch, SignedBatch};
 use bgla_core::proof::Proof;
-use bgla_core::sbs::{ProvenValue, SafeAckBody, SbsProcess, SignedSafeAck, SignedValue};
+use bgla_core::provendelta::ProvenUpdate;
+use bgla_core::sbs::{ProvenValue, SafeAckBody, SbsMsg, SbsProcess, SignedSafeAck, SignedValue};
 use bgla_core::{SignedSet, SystemConfig, ValueSet};
 use bgla_crypto::Keypair;
+use bgla_simnet::{Context, Process, SimulationBuilder};
+use std::any::Any;
 use std::collections::BTreeMap;
 
 /// n = 4, f = 1 → quorum = ⌊(4+1)/2⌋ + 1 = 3.
@@ -145,6 +148,112 @@ fn same_proof_shared_by_many_values_checks_once_per_call() {
     assert!(p.all_safe(&set));
     let (hits, _) = p.proof_cache_stats();
     assert_eq!(hits, 1, "and once per later call");
+}
+
+/// Scripted proposer: ships one `Full` ack_req whose proof covers
+/// eleven values, then — each time the acceptor acks — a `Delta` adding
+/// the next value with the shared proof *referenced by id*, never
+/// re-shipped.
+struct RefFeeder {
+    values: Vec<ProvenValue<u64>>,
+    sent: usize,
+}
+
+impl Process<SbsMsg<u64>> for RefFeeder {
+    fn on_start(&mut self, ctx: &mut Context<SbsMsg<u64>>) {
+        let first: SignedSet<ProvenValue<u64>> = [self.values[0].clone()].into_iter().collect();
+        self.sent = 1;
+        ctx.send(
+            0,
+            SbsMsg::AckReq {
+                proposed: ProvenUpdate::Full(first),
+                ts: 1,
+            },
+        );
+    }
+    fn on_message(&mut self, _from: usize, msg: SbsMsg<u64>, ctx: &mut Context<SbsMsg<u64>>) {
+        if let SbsMsg::Ack { ts, .. } = msg {
+            if ts == self.sent as u64 && self.sent < self.values.len() {
+                let pv = self.values[self.sent].clone();
+                let refs = vec![pv.proof.id()];
+                let new: SignedSet<ProvenValue<u64>> = [pv].into_iter().collect();
+                self.sent += 1;
+                ctx.send(
+                    0,
+                    SbsMsg::AckReq {
+                        proposed: ProvenUpdate::Delta {
+                            base_ts: ts,
+                            new,
+                            refs,
+                        },
+                        ts: ts + 1,
+                    },
+                );
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn proof_referenced_in_ten_deltas_still_verifies_once() {
+    // One safetying exchange certifies eleven values. The proof travels
+    // once (inside the first Full ack_req); the ten follow-up proposals
+    // each add one more covered value and name the proof by id. The
+    // acceptor must answer every reference from its resolver and its
+    // verdict cache: exactly one batched signature verification, total.
+    const DELTAS: usize = 10;
+    let svs: Vec<SignedValue<u64>> = (0..=DELTAS)
+        .map(|i| SignedValue::sign(100 + i as u64, 1, &Keypair::for_process(1)))
+        .collect();
+    let rcvd: SignedSet<SignedValue<u64>> = svs.iter().cloned().collect();
+    let acks: Vec<SignedSafeAck<u64>> = [1usize, 2, 3]
+        .iter()
+        .map(|&s| {
+            SignedSafeAck::sign(
+                SafeAckBody {
+                    rcvd: rcvd.clone(),
+                    conflicts: vec![],
+                },
+                s,
+                &Keypair::for_process(s),
+            )
+        })
+        .collect();
+    let proof = Proof::new(acks);
+    let values: Vec<ProvenValue<u64>> = svs
+        .into_iter()
+        .map(|sv| ProvenValue {
+            sv,
+            proof: proof.clone(),
+        })
+        .collect();
+
+    let mut sim = SimulationBuilder::new()
+        .add(Box::new(SbsProcess::new(0, config(), 7u64)))
+        .add(Box::new(RefFeeder { values, sent: 0 }))
+        .build();
+    assert!(sim.run(100_000).quiescent);
+
+    let feeder = sim.process_as::<RefFeeder>(1).unwrap();
+    assert_eq!(feeder.sent, DELTAS + 1, "all ten deltas were consumed");
+    let p = sim.process_as::<SbsProcess<u64>>(0).unwrap();
+    assert_eq!(
+        p.verifier_stats().batch_verifications,
+        1,
+        "one Full delivery + ten references must cost one batched check"
+    );
+    // The lone scalar check is p0 verifying its own self-delivered
+    // Init — nothing from the reference pipeline.
+    assert_eq!(p.verifier_stats().single_verifications, 1);
+    let (hits, misses) = p.proof_cache_stats();
+    assert_eq!(misses, 1, "one cold verdict lookup");
+    assert_eq!(
+        hits, DELTAS as u64,
+        "every delta's AllSafe answered from the interned verdict"
+    );
 }
 
 #[test]

@@ -47,7 +47,7 @@ pub mod tobytes;
 pub use ed25519::{Keypair, PublicKey, SecretKey, Signature};
 pub use hmac::hmac_sha512;
 pub use keyring::Keyring;
-pub use proofstore::{ProofCache, ProofId, ProofIdBuilder};
+pub use proofstore::{ProofCache, ProofId, ProofIdBuilder, ProofResolver};
 pub use sha512::{sha512, Sha512};
 pub use sigcache::{CachedVerifier, SigCache, VerifierStats};
 pub use tobytes::ToBytes;

@@ -1,45 +1,45 @@
-//! The bounded LRU verdict map shared by [`crate::sigcache::SigCache`]
-//! and [`crate::proofstore::ProofCache`] — one home for the subtle
-//! recency/eviction mechanics so the two caches cannot drift apart.
+//! The bounded LRU map shared by [`crate::sigcache::SigCache`],
+//! [`crate::proofstore::ProofCache`] and
+//! [`crate::proofstore::ProofResolver`] — one home for the subtle
+//! recency/eviction mechanics so the caches cannot drift apart.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
-/// A bounded map of boolean verdicts with least-recently-used eviction.
-/// When full, the least-recently-touched quarter is dropped in one
-/// amortized sweep, so a flood of distinct keys cannot grow the map
-/// without bound.
+/// A bounded map with least-recently-used eviction. When full, the
+/// least-recently-touched quarter is dropped in one amortized sweep, so
+/// a flood of distinct keys cannot grow the map without bound.
 #[derive(Debug)]
-pub(crate) struct LruVerdicts<K: Eq + Hash> {
-    map: HashMap<K, (bool, u64)>,
+pub(crate) struct LruMap<K: Eq + Hash, V> {
+    map: HashMap<K, (V, u64)>,
     tick: u64,
     cap: usize,
 }
 
-impl<K: Eq + Hash> LruVerdicts<K> {
-    /// Map with room for `cap` verdicts.
+impl<K: Eq + Hash, V: Clone> LruMap<K, V> {
+    /// Map with room for `cap` entries.
     pub(crate) fn new(cap: usize) -> Self {
         assert!(cap > 0, "cache capacity must be positive");
-        LruVerdicts {
+        LruMap {
             map: HashMap::with_capacity(cap + cap / 4),
             tick: 0,
             cap,
         }
     }
 
-    /// Cached verdict for `key`, refreshing its recency.
-    pub(crate) fn get(&mut self, key: &K) -> Option<bool> {
+    /// Cached value for `key`, refreshing its recency.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|e| {
             e.1 = tick;
-            e.0
+            e.0.clone()
         })
     }
 
-    /// Stores a verdict, evicting the least-recently-used quarter of
-    /// the map when full.
-    pub(crate) fn put(&mut self, key: K, ok: bool) {
+    /// Stores a value, evicting the least-recently-used quarter of the
+    /// map when full.
+    pub(crate) fn put(&mut self, key: K, value: V) {
         self.tick += 1;
         if self.map.len() >= self.cap && !self.map.contains_key(&key) {
             let mut ticks: Vec<u64> = self.map.values().map(|(_, t)| *t).collect();
@@ -47,11 +47,15 @@ impl<K: Eq + Hash> LruVerdicts<K> {
             let cutoff = ticks[ticks.len() / 4];
             self.map.retain(|_, (_, t)| *t > cutoff);
         }
-        self.map.insert(key, (ok, self.tick));
+        self.map.insert(key, (value, self.tick));
     }
 
-    /// Number of cached verdicts.
+    /// Number of cached entries.
     pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
 }
+
+/// The boolean-verdict specialization the signature and proof caches
+/// store.
+pub(crate) type LruVerdicts<K> = LruMap<K, bool>;

@@ -16,6 +16,13 @@
 //!   canonical bytes into.
 //! * [`ProofCache`] — a bounded per-process LRU map `ProofId → verdict`
 //!   memoizing the outcome of full-proof verification.
+//! * [`ProofResolver`] — a bounded per-process LRU map `ProofId → proof
+//!   handle` over which peers can ship proofs **by reference**: a
+//!   proof-carrying delta names an already-delivered proof by its 16-byte
+//!   id instead of re-shipping its `O(n²)` bytes, and the receiver
+//!   reconstructs the full payload with one hash lookup per reference
+//!   (no re-verification — the [`ProofCache`] verdict already covers a
+//!   resolved proof).
 //!
 //! # Caching contract
 //!
@@ -48,7 +55,7 @@
 //! aggregate verdict, eliminating even the serialize-and-hash work a
 //! sig-cache hit still pays per ack.
 
-use crate::lru::LruVerdicts;
+use crate::lru::{LruMap, LruVerdicts};
 use crate::sha512::sha512;
 
 /// Content address of a proof of safety: digest of its ack multiset.
@@ -159,6 +166,74 @@ impl Default for ProofCache {
     }
 }
 
+/// Bounded per-process store of proof *handles*, keyed by [`ProofId`] —
+/// the lookup table behind **proof-by-reference** delta payloads.
+///
+/// A process registers every proof it has verified and retained (its own
+/// assembled proofs, plus those of every proposal or nack it consumed).
+/// When a peer later ships a delta naming one of those proofs by id, the
+/// receiver resolves the reference with one hash lookup and reattaches
+/// its own handle; an unresolvable id is a **delta gap** — the receiver
+/// falls back to requesting the full payload (correct senders only
+/// reference proofs the receiver demonstrably delivered, so in practice
+/// gaps come from Byzantine senders or from eviction on pathologically
+/// long runs, and the fallback covers both).
+///
+/// The generic parameter is the caller's proof-handle type (e.g.
+/// `bgla_core`'s `Proof<A>`, an `Arc`-backed handle with `O(1)` clone);
+/// this crate only supplies the id-keyed storage and the shared LRU
+/// mechanics. Entries hold the handle *strongly*: resolvability must not
+/// depend on whether the protocol state still happens to share the
+/// allocation, only on the bounded recency window — which is what makes
+/// a reference by a correct sender reliable. When full, the
+/// least-recently-used quarter is evicted in one amortized sweep, so a
+/// flood of distinct Byzantine proofs cannot grow the store without
+/// bound.
+#[derive(Debug)]
+pub struct ProofResolver<P: Clone> {
+    map: LruMap<ProofId, P>,
+}
+
+impl<P: Clone> ProofResolver<P> {
+    /// Resolver with room for `cap` proof handles.
+    pub fn new(cap: usize) -> Self {
+        ProofResolver {
+            map: LruMap::new(cap),
+        }
+    }
+
+    /// Registers a proof handle under its id (refreshing recency when
+    /// already present).
+    pub fn register(&mut self, id: ProofId, proof: P) {
+        self.map.put(id, proof);
+    }
+
+    /// Resolves a reference to a registered handle, refreshing its
+    /// recency. `None` is a detected delta gap.
+    pub fn resolve(&mut self, id: ProofId) -> Option<P> {
+        self.map.get(&id)
+    }
+
+    /// Number of registered proofs (diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the resolver is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.len() == 0
+    }
+}
+
+impl<P: Clone> Default for ProofResolver<P> {
+    /// Capacity sized like [`ProofCache`] but larger: the resolver must
+    /// keep every proof a correct peer may still reference across the
+    /// bounded delta window, Byzantine noise included.
+    fn default() -> Self {
+        ProofResolver::new(2048)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +281,27 @@ mod tests {
         }
         assert!(c.len() <= 16);
         assert_eq!(c.get(ids[39]), Some(true));
+    }
+
+    #[test]
+    fn resolver_round_trips_handles() {
+        let mut r: ProofResolver<&'static str> = ProofResolver::new(8);
+        let id = id_of(&[b"ack"]);
+        assert_eq!(r.resolve(id), None, "unknown id is a gap");
+        r.register(id, "proof");
+        assert_eq!(r.resolve(id), Some("proof"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn resolver_eviction_is_bounded_and_recency_based() {
+        let mut r: ProofResolver<u8> = ProofResolver::new(16);
+        let ids: Vec<ProofId> = (0..40u8).map(|i| id_of(&[&[i]])).collect();
+        for (i, id) in ids.iter().enumerate() {
+            r.register(*id, i as u8);
+        }
+        assert!(r.len() <= 16);
+        assert_eq!(r.resolve(ids[39]), Some(39));
+        assert_eq!(r.resolve(ids[0]), None, "oldest entries are evicted");
     }
 }

@@ -53,7 +53,7 @@ pub mod sim;
 pub mod threaded;
 pub mod trace;
 
-pub use metrics::{Metrics, ProofSizes, WireMessage};
+pub use metrics::{Metrics, ProofSizes, WireMessage, PROOF_REF_BYTES};
 pub use process::{Context, Process, ProcessId};
 pub use scheduler::{
     DelayScheduler, EnvelopeId, FifoScheduler, InFlight, LifoScheduler, PartitionScheduler,

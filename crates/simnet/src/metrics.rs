@@ -15,6 +15,37 @@ use std::collections::BTreeMap;
 /// estimates the serialized size in bytes for the byte-complexity
 /// experiments (E8). Sizes need to be *consistent*, not exact: asymptotic
 /// shape is what the reproduction checks.
+///
+/// # Byte-accounting contract
+///
+/// Every `wire_size` implementation in the workspace models the same
+/// imaginary codec, built from four ingredients:
+///
+/// * **Header** — fixed per-variant framing: 8 bytes for every scalar
+///   field the variant carries next to its payload (`ts`, `round`,
+///   process ids, lengths…), summed. That is where constants like the
+///   `8 + …` (one `ts`) and `24 + …` (`ts` + `round` + a set-length
+///   prefix) in `SbsMsg`/`GsbsMsg` come from; a 1-byte enum tag is
+///   treated as absorbed into the first 8-byte field rather than counted
+///   separately (delta payloads with their own tag byte count it
+///   explicitly).
+/// * **Payload** — set containers cost an 8-byte length prefix plus the
+///   sum of their elements' `wire_size`; signatures cost 64 bytes and a
+///   signer id 8, so a signed record is `value + 72` (plus 8 per extra
+///   scalar field the record carries).
+/// * **Interned proofs** — a message carrying proven records transmits
+///   each *distinct* attached proof once (deduplicated by `ProofId`),
+///   not once per record; [`ProofSizes::interned_bytes`] is that figure
+///   and is what `wire_size` includes. [`ProofSizes::flat_bytes`] prices
+///   the naive copy-per-record encoding for comparison only.
+/// * **Proof references** — a delta payload may name a proof the
+///   receiver already holds by its `ProofId` instead of re-shipping it:
+///   a reference costs [`PROOF_REF_BYTES`] (16-byte id + 16 bytes of
+///   per-entry framing), counted in [`ProofSizes::ref_bytes`] and in
+///   `wire_size` — never the proof's full bytes.
+///
+/// `bgla_core`'s `SbsMsg`/`GsbsMsg` (and the delta payloads they embed)
+/// cite this contract rather than re-deriving it per variant.
 pub trait WireMessage: Clone + Send {
     /// Counter bucket for this message.
     fn kind(&self) -> &'static str;
@@ -41,16 +72,27 @@ pub trait WireMessage: Clone + Send {
     }
 }
 
+/// Modeled wire cost of shipping one proof *by reference* instead of by
+/// value: its 16-byte [`ProofId`]-sized content hash plus 16 bytes of
+/// per-entry framing. See the byte-accounting contract on
+/// [`WireMessage`].
+pub const PROOF_REF_BYTES: usize = 32;
+
 /// Per-message proof accounting reported by [`WireMessage::proof_sizes`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ProofSizes {
     /// Proof references (one per proven value carried).
     pub refs: u64,
-    /// Distinct proofs after per-message interning.
+    /// Distinct proofs shipped inline after per-message interning.
     pub distinct: u64,
-    /// Bytes the distinct proofs occupy (interned wire format).
+    /// Distinct proofs shipped as [`PROOF_REF_BYTES`]-sized references
+    /// to proofs the receiver already holds (delta payloads only).
+    pub by_ref: u64,
+    /// Bytes the inline distinct proofs occupy (interned wire format).
     pub interned_bytes: u64,
-    /// Bytes a flat encoding would pay (one proof copy per value).
+    /// Bytes paid for by-reference proofs (`by_ref × PROOF_REF_BYTES`).
+    pub ref_bytes: u64,
+    /// Bytes a flat encoding would pay (one full proof copy per value).
     pub flat_bytes: u64,
 }
 
@@ -71,11 +113,17 @@ pub struct Metrics {
     pub max_message_bytes: usize,
     /// Proof-of-safety references shipped (one per proven value).
     pub proof_refs: u64,
-    /// Distinct proofs shipped after per-message interning.
+    /// Distinct proofs shipped inline after per-message interning.
     pub proofs_interned: u64,
-    /// Proof bytes as transmitted (each distinct proof once per
+    /// Distinct proofs shipped as id references (delta payloads naming
+    /// proofs the receiver already holds).
+    pub proofs_by_ref: u64,
+    /// Proof bytes as transmitted inline (each distinct proof once per
     /// message) — already included in the byte totals.
     pub proof_bytes_interned: u64,
+    /// Bytes paid for by-reference proofs ([`PROOF_REF_BYTES`] each) —
+    /// already included in the byte totals.
+    pub proof_ref_bytes: u64,
     /// Proof bytes a flat per-value encoding would have paid.
     pub proof_bytes_flat: u64,
 }
@@ -91,7 +139,9 @@ impl Metrics {
             max_message_bytes: 0,
             proof_refs: 0,
             proofs_interned: 0,
+            proofs_by_ref: 0,
             proof_bytes_interned: 0,
+            proof_ref_bytes: 0,
             proof_bytes_flat: 0,
         }
     }
@@ -110,7 +160,9 @@ impl Metrics {
         self.max_message_bytes = self.max_message_bytes.max(bytes);
         self.proof_refs += proofs.refs;
         self.proofs_interned += proofs.distinct;
+        self.proofs_by_ref += proofs.by_ref;
         self.proof_bytes_interned += proofs.interned_bytes;
+        self.proof_ref_bytes += proofs.ref_bytes;
         self.proof_bytes_flat += proofs.flat_bytes;
     }
 
@@ -164,7 +216,9 @@ impl Metrics {
         self.max_message_bytes = self.max_message_bytes.max(other.max_message_bytes);
         self.proof_refs += other.proof_refs;
         self.proofs_interned += other.proofs_interned;
+        self.proofs_by_ref += other.proofs_by_ref;
         self.proof_bytes_interned += other.proof_bytes_interned;
+        self.proof_ref_bytes += other.proof_ref_bytes;
         self.proof_bytes_flat += other.proof_bytes_flat;
     }
 }
@@ -203,7 +257,9 @@ mod tests {
             ProofSizes {
                 refs: 3,
                 distinct: 2,
+                by_ref: 1,
                 interned_bytes: 12,
+                ref_bytes: PROOF_REF_BYTES as u64,
                 flat_bytes: 18,
             },
         );
@@ -211,7 +267,9 @@ mod tests {
         assert_eq!(m.total_sent(), 3);
         assert_eq!(m.proof_refs, 3);
         assert_eq!(m.proofs_interned, 2);
+        assert_eq!(m.proofs_by_ref, 1);
         assert_eq!(m.proof_bytes_interned, 12);
+        assert_eq!(m.proof_ref_bytes, PROOF_REF_BYTES as u64);
         assert_eq!(m.proof_bytes_flat, 18);
         assert_eq!(m.total_bytes(), 35);
         assert_eq!(m.sent_by_process(0), 2);

@@ -1,6 +1,7 @@
 //! Adversarial runs of the generalized signature-based algorithm:
 //! forged `decided` certificates and round-jumping must bounce off the
-//! certificate validation and the `Safe_r` trust rule.
+//! certificate validation and the `Safe_r` trust rule, and bogus delta
+//! references must resync without stalling the round pipeline.
 
 use bgla::core::gsbs::{DecidedCert, GsbsMsg, GsbsProcess, SignedAck};
 use bgla::core::{spec, SystemConfig};
@@ -46,7 +47,7 @@ impl Process<GsbsMsg<u64>> for CertForger {
         // 4. Jump rounds with empty requests.
         for round in 0..8 {
             ctx.broadcast(GsbsMsg::AckReq {
-                proposed: SignedSet::new(),
+                proposed: bgla::core::ProvenUpdate::Full(SignedSet::new()),
                 ts: 500 + round,
                 round,
             });
@@ -90,5 +91,57 @@ fn forged_certificates_are_rejected() {
         }
         spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn bogus_delta_references_resync_without_stalling_rounds() {
+    // The delta-gap schedule search, generalized: unresolvable
+    // references and bases across a multi-round stream. Honest
+    // processes must detect every gap, answer with resyncs, finish all
+    // rounds, and never absorb the adversary's forged batches.
+    use bgla::core::adversary::gsbs::BogusRefSender;
+    for seed in 0..5u64 {
+        let (n, f, rounds) = (4usize, 1usize, 3u64);
+        let config = SystemConfig::new(n, f);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..3 {
+            let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            schedule.insert(0, vec![100 + i as u64]);
+            schedule.insert(1, vec![200 + i as u64]);
+            b = b.add(Box::new(GsbsProcess::new(i, config, schedule, rounds)));
+        }
+        b = b.add(Box::new(BogusRefSender::new(3, 31_337u64)));
+        let mut sim = b.build();
+        let out = sim.run(50_000_000);
+        assert!(out.quiescent, "seed {seed}");
+        let mut seqs = Vec::new();
+        for i in 0..3 {
+            let p = sim.process_as::<GsbsProcess<u64>>(i).unwrap();
+            assert_eq!(
+                p.decisions.len(),
+                rounds as usize,
+                "seed {seed} p{i}: liveness despite delta gaps"
+            );
+            for d in &p.decisions {
+                assert!(
+                    !d.contains(&31_337),
+                    "seed {seed}: a bogus-reference payload was accepted"
+                );
+            }
+            seqs.push(p.decisions.clone());
+        }
+        spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // The fallback ran end-to-end.
+        let resyncs = sim
+            .metrics()
+            .sent_by_kind
+            .get("resync")
+            .copied()
+            .unwrap_or(0);
+        assert!(resyncs > 0, "seed {seed}: no gap was ever detected");
+        let adv = sim.process_as::<BogusRefSender<u64>>(3).unwrap();
+        assert!(adv.resyncs_seen > 0, "seed {seed}: resyncs never arrived");
     }
 }

@@ -1,0 +1,256 @@
+//! Ablation differential for the delta-encoded, proof-by-reference
+//! pipeline: `with_proven_deltas(false)` must change *nothing
+//! observable* except wire bytes — identical decisions, identical
+//! delivery shapes (step/from/to/kind/depth), identical message and
+//! delivery counts — across honest and Byzantine schedules for both
+//! signature algorithms. Deltas may only *shrink* the proof-carrying
+//! traffic, never grow it.
+
+use bgla::core::adversary::sbs::{BogusRefSender, ConflictSigner, ProofForger};
+use bgla::core::gsbs::{GsbsMsg, GsbsProcess};
+use bgla::core::sbs::{SbsMsg, SbsProcess};
+use bgla::core::SystemConfig;
+use bgla::simnet::{Metrics, Process, RandomScheduler, Simulation, SimulationBuilder, TraceEvent};
+use std::collections::BTreeMap;
+
+/// The delivery shape: everything a trace records except wire bytes.
+fn shape(events: &[TraceEvent]) -> Vec<(u64, usize, usize, &'static str, u64)> {
+    events
+        .iter()
+        .map(|e| (e.step, e.from, e.to, e.kind, e.depth))
+        .collect()
+}
+
+/// Asserts metric equality modulo the wire-byte counters (bytes per
+/// sender/kind, max message, proof byte/ref fields).
+fn assert_same_modulo_bytes(a: &Metrics, b: &Metrics, label: &str) {
+    assert_eq!(a.sent_by, b.sent_by, "{label}: send counts");
+    assert_eq!(a.sent_by_kind, b.sent_by_kind, "{label}: kind counts");
+    assert_eq!(a.delivered, b.delivered, "{label}: deliveries");
+}
+
+fn ack_req_nack_bytes(m: &Metrics) -> u64 {
+    m.bytes_by_kind.get("ack_req").copied().unwrap_or(0)
+        + m.bytes_by_kind.get("nack").copied().unwrap_or(0)
+}
+
+fn run_sbs<M>(seed: u64, deltas: bool, mk_adversary: &M) -> Simulation<SbsMsg<u64>>
+where
+    M: Fn() -> Option<Box<dyn Process<SbsMsg<u64>>>>,
+{
+    let (n, f) = (4usize, 1usize);
+    let config = SystemConfig::new(n, f);
+    let adversary = mk_adversary();
+    let correct = if adversary.is_some() { n - 1 } else { n };
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..correct {
+        b = b.add(Box::new(
+            SbsProcess::new(i, config, 10 + i as u64).with_proven_deltas(deltas),
+        ));
+    }
+    if let Some(adv) = adversary {
+        b = b.add(adv);
+    }
+    let mut sim = b.build();
+    sim.enable_trace();
+    let out = sim.run(10_000_000);
+    assert!(out.quiescent, "seed {seed}");
+    sim
+}
+
+/// One seed, deltas on vs off: same shape, same decisions, fewer (or
+/// equal) proof-carrying bytes. Returns `(bytes_on, bytes_off)`.
+fn assert_same_sbs_run<M>(seed: u64, label: &str, mk: M) -> (u64, u64)
+where
+    M: Fn() -> Option<Box<dyn Process<SbsMsg<u64>>>>,
+{
+    let with = run_sbs(seed, true, &mk);
+    let without = run_sbs(seed, false, &mk);
+    assert_eq!(
+        shape(with.trace().unwrap().events()),
+        shape(without.trace().unwrap().events()),
+        "{label} seed {seed}: delivery shapes diverged"
+    );
+    assert_same_modulo_bytes(with.metrics(), without.metrics(), label);
+    let correct = if mk().is_some() { 3 } else { 4 };
+    for i in 0..correct {
+        let a = with.process_as::<SbsProcess<u64>>(i).unwrap();
+        let b = without.process_as::<SbsProcess<u64>>(i).unwrap();
+        assert_eq!(a.decision, b.decision, "{label} seed {seed} p{i}");
+        assert_eq!(a.refinements, b.refinements, "{label} seed {seed} p{i}");
+    }
+    let (on, off) = (
+        ack_req_nack_bytes(with.metrics()),
+        ack_req_nack_bytes(without.metrics()),
+    );
+    assert!(
+        on <= off,
+        "{label} seed {seed}: deltas grew ack_req/nack bytes ({on} > {off})"
+    );
+    (on, off)
+}
+
+#[test]
+fn sbs_deltas_are_invisible_on_honest_runs() {
+    let (mut total_on, mut total_off) = (0, 0);
+    for seed in 0..6 {
+        let (on, off) = assert_same_sbs_run(seed, "honest", || None);
+        total_on += on;
+        total_off += off;
+    }
+    assert!(
+        total_on < total_off,
+        "deltas never engaged across honest seeds ({total_on} vs {total_off})"
+    );
+}
+
+#[test]
+fn sbs_deltas_are_invisible_under_proof_forgery() {
+    for seed in 0..4 {
+        assert_same_sbs_run(seed, "forger", || {
+            Some(Box::new(ProofForger {
+                me: 3,
+                value: 999_999u64,
+            }))
+        });
+    }
+}
+
+#[test]
+fn sbs_deltas_are_invisible_under_conflict_signing() {
+    for seed in 0..4 {
+        assert_same_sbs_run(seed, "conflict", || {
+            Some(Box::new(ConflictSigner {
+                me: 3,
+                a: 666u64,
+                b: 777u64,
+            }))
+        });
+    }
+}
+
+#[test]
+fn sbs_deltas_are_invisible_under_bogus_references() {
+    // The Byzantine delta-gap attack runs identically in both modes:
+    // the receiver-side decode path is not ablated, so the adversary's
+    // unresolvable payloads provoke the same resync traffic either way.
+    for seed in 0..4 {
+        let with = run_sbs(seed, true, &|| {
+            Some(Box::new(BogusRefSender::new(3, 31_337u64)) as _)
+        });
+        let without = run_sbs(seed, false, &|| {
+            Some(Box::new(BogusRefSender::new(3, 31_337u64)) as _)
+        });
+        assert_eq!(
+            shape(with.trace().unwrap().events()),
+            shape(without.trace().unwrap().events()),
+            "seed {seed}: delivery shapes diverged"
+        );
+        assert_same_modulo_bytes(with.metrics(), without.metrics(), "bogus-ref");
+        assert!(
+            with.metrics()
+                .sent_by_kind
+                .get("resync")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "seed {seed}: the gap attack must provoke resyncs"
+        );
+        for i in 0..3 {
+            let a = with.process_as::<SbsProcess<u64>>(i).unwrap();
+            let b = without.process_as::<SbsProcess<u64>>(i).unwrap();
+            assert_eq!(a.decision, b.decision, "seed {seed} p{i}");
+        }
+    }
+}
+
+fn run_gsbs(
+    seed: u64,
+    deltas: bool,
+    with_adversary: bool,
+) -> (Simulation<GsbsMsg<u64>>, usize, u64) {
+    let (n, f, rounds) = (4usize, 1usize, 3u64);
+    let config = SystemConfig::new(n, f);
+    let correct = if with_adversary { n - 1 } else { n };
+    let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+    for i in 0..correct {
+        let mut schedule: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        schedule.insert(0, vec![100 + i as u64]);
+        schedule.insert(1, vec![200 + i as u64]);
+        b = b.add(Box::new(
+            GsbsProcess::new(i, config, schedule, rounds).with_proven_deltas(deltas),
+        ));
+    }
+    if with_adversary {
+        b = b.add(Box::new(bgla::core::adversary::gsbs::BogusRefSender::new(
+            3, 31_337u64,
+        )));
+    }
+    let mut sim = b.build();
+    sim.enable_trace();
+    let out = sim.run(50_000_000);
+    assert!(out.quiescent, "seed {seed}");
+    (sim, correct, rounds)
+}
+
+#[test]
+fn gsbs_deltas_are_invisible() {
+    let (mut total_on, mut total_off) = (0, 0);
+    for seed in 0..3 {
+        let (with, correct, rounds) = run_gsbs(seed, true, false);
+        let (without, _, _) = run_gsbs(seed, false, false);
+        assert_eq!(
+            shape(with.trace().unwrap().events()),
+            shape(without.trace().unwrap().events()),
+            "seed {seed}: delivery shapes diverged"
+        );
+        assert_same_modulo_bytes(with.metrics(), without.metrics(), "gsbs honest");
+        for i in 0..correct {
+            let a = with.process_as::<GsbsProcess<u64>>(i).unwrap();
+            let b = without.process_as::<GsbsProcess<u64>>(i).unwrap();
+            assert_eq!(a.decisions, b.decisions, "seed {seed} p{i}");
+            assert_eq!(a.decisions.len(), rounds as usize, "seed {seed} p{i}");
+        }
+        total_on += ack_req_nack_bytes(with.metrics());
+        total_off += ack_req_nack_bytes(without.metrics());
+    }
+    assert!(total_on <= total_off);
+    assert!(
+        total_on < total_off,
+        "cumulative multi-round proposals must shrink under deltas \
+         ({total_on} vs {total_off})"
+    );
+}
+
+#[test]
+fn gsbs_deltas_are_invisible_under_bogus_references() {
+    for seed in 0..3 {
+        let (with, correct, rounds) = run_gsbs(seed, true, true);
+        let (without, _, _) = run_gsbs(seed, false, true);
+        assert_eq!(
+            shape(with.trace().unwrap().events()),
+            shape(without.trace().unwrap().events()),
+            "seed {seed}: delivery shapes diverged"
+        );
+        assert_same_modulo_bytes(with.metrics(), without.metrics(), "gsbs bogus-ref");
+        assert!(
+            with.metrics()
+                .sent_by_kind
+                .get("resync")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "seed {seed}: the gap attack must provoke resyncs"
+        );
+        for i in 0..correct {
+            let a = with.process_as::<GsbsProcess<u64>>(i).unwrap();
+            let b = without.process_as::<GsbsProcess<u64>>(i).unwrap();
+            assert_eq!(a.decisions, b.decisions, "seed {seed} p{i}");
+            assert_eq!(
+                a.decisions.len(),
+                rounds as usize,
+                "seed {seed} p{i}: liveness despite delta gaps"
+            );
+        }
+    }
+}
