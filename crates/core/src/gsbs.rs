@@ -656,6 +656,17 @@ impl<V: SignableValue> GsbsProcess<V> {
         self.state
     }
 
+    /// The values of the cumulative proven proposal (union of proposed
+    /// batches) — read by the conformance observers to emit
+    /// refine-snapshot op events.
+    pub fn proposed_values(&self) -> ValueSet<V> {
+        let mut out = ValueSet::new();
+        for pb in self.proposed_set.iter() {
+            out.join_with(&pb.sb.batch);
+        }
+        out
+    }
+
     /// Toggles proof-verdict interning (default on). With `false` every
     /// [`GsbsProcess::all_safe`] re-verifies every attached proof — the
     /// ablation baseline; decisions and traces are unchanged.

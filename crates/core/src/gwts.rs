@@ -257,6 +257,12 @@ impl<V: Value> GwtsProcess<V> {
         self.decisions.last()
     }
 
+    /// The cumulative `Proposed_set` (cheap `O(1)` clone) — read by the
+    /// conformance observers to emit refine-snapshot op events.
+    pub fn proposed_values(&self) -> ValueSet<V> {
+        self.proposed_set.clone()
+    }
+
     /// Whether `set` is known (from the public ack history) to have been
     /// accepted by a Byzantine quorum — the confirmation predicate of the
     /// RSM plug-in (Algorithm 7): `<ack, set, ·, ·, ts, r>` appears

@@ -1,11 +1,21 @@
-//! Scenario builders shared by tests, examples, and benches.
+//! Scenario builders shared by tests, examples, and benches — plus the
+//! conformance *observers* that turn a running simulation into a full
+//! operation history (see [`crate::search`] for the driver and
+//! [`crate::linearize`] for the checker that consumes it).
 
 use crate::config::SystemConfig;
-use crate::value::Value;
+use crate::gsbs::{GsbsMsg, GsbsProcess};
+use crate::gwts::{GwtsMsg, GwtsProcess};
+use crate::linearize::{OP_DECIDE, OP_PROPOSE, OP_REFINE};
+use crate::sbs::{SbsMsg, SbsProcess};
+use crate::search::Observer;
+use crate::value::{SignableValue, Value};
 use crate::valueset::ValueSet;
 use crate::wts::{WtsMsg, WtsProcess};
-use bgla_simnet::{Process, Scheduler, Simulation, SimulationBuilder};
-use std::collections::BTreeSet;
+use bgla_simnet::{
+    OpEvent, Process, ProcessId, Scheduler, Simulation, SimulationBuilder, WireMessage,
+};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds an all-correct WTS system of `n` processes (`f` is the *bound*
 /// the algorithm is configured with; no process actually misbehaves).
@@ -51,6 +61,56 @@ pub fn wts_system_with_adversaries<V: Value>(
     }
     assert!(byz.len() <= f, "more adversaries than the configured f");
     (b.build(), config, byz)
+}
+
+/// Builds an all-correct SbS system of `n` processes (mirror of
+/// [`wts_system`] for the signature algorithm).
+pub fn sbs_system<V: crate::value::SignableValue>(
+    n: usize,
+    f: usize,
+    input: impl Fn(usize) -> V,
+    scheduler: Box<dyn Scheduler>,
+) -> (Simulation<SbsMsg<V>>, SystemConfig) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(scheduler);
+    for i in 0..n {
+        b = b.add(Box::new(SbsProcess::new(i, config, input(i))));
+    }
+    (b.build(), config)
+}
+
+/// Builds an all-correct GWTS system running `rounds` rounds;
+/// `schedule(i)` supplies process `i`'s per-round input schedule.
+pub fn gwts_system<V: Value>(
+    n: usize,
+    f: usize,
+    rounds: u64,
+    schedule: impl Fn(usize) -> BTreeMap<u64, Vec<V>>,
+    scheduler: Box<dyn Scheduler>,
+) -> (Simulation<GwtsMsg<V>>, SystemConfig) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(scheduler);
+    for i in 0..n {
+        b = b.add(Box::new(GwtsProcess::new(i, config, schedule(i), rounds)));
+    }
+    (b.build(), config)
+}
+
+/// Builds an all-correct GSbS system (mirror of [`gwts_system`] for the
+/// generalized signature algorithm).
+pub fn gsbs_system<V: crate::value::SignableValue>(
+    n: usize,
+    f: usize,
+    rounds: u64,
+    schedule: impl Fn(usize) -> BTreeMap<u64, Vec<V>>,
+    scheduler: Box<dyn Scheduler>,
+) -> (Simulation<GsbsMsg<V>>, SystemConfig) {
+    let config = SystemConfig::new(n, f);
+    let mut b = SimulationBuilder::new().scheduler(scheduler);
+    for i in 0..n {
+        b = b.add(Box::new(GsbsProcess::new(i, config, schedule(i), rounds)));
+    }
+    (b.build(), config)
 }
 
 /// Collects the artifacts of a finished WTS run over the *correct*
@@ -106,6 +166,240 @@ pub fn assert_la_spec<V: Value>(report: &WtsRunReport<V>, correct_inputs: &BTree
     crate::spec::check_comparability(&report.decisions).expect("comparability");
     crate::spec::check_inclusivity(&report.pairs).expect("inclusivity");
     crate::spec::check_nontriviality(correct_inputs, &report.decisions, f).expect("non-triviality");
+}
+
+// ---------------------------------------------------------------------------
+// Conformance observers
+// ---------------------------------------------------------------------------
+//
+// Each observer is a state-diffing closure: the driver
+// (`crate::search::run_traced`) calls it after `on_start` and after
+// every delivery; it downcasts the honest processes, diffs their public
+// state against what it already emitted, and pushes one `OpEvent` per
+// new operation — `propose` for value injections, `refine` for
+// `Proposed_set` snapshots (emitted whenever the set grew), `decide`
+// per decision. `key` maps values to the stable `u64` keys the
+// trace/checker work with (identity for integer lattices).
+//
+// The four algorithms share two observation shapes — one-shot (single
+// proposal, single decision: WTS, SbS) and streaming (input stream,
+// decision sequence: GWTS, GSbS) — expressed as two small state-access
+// traits so the diffing logic exists once per shape.
+
+/// One-shot algorithm state the conformance observers read.
+trait OneShotState<V: Value>: 'static {
+    fn proposal(&self) -> &V;
+    fn refinements(&self) -> u64;
+    fn decision(&self) -> Option<&ValueSet<V>>;
+    fn proposed_values(&self) -> ValueSet<V>;
+}
+
+impl<V: Value> OneShotState<V> for WtsProcess<V> {
+    fn proposal(&self) -> &V {
+        &self.proposal
+    }
+    fn refinements(&self) -> u64 {
+        self.refinements
+    }
+    fn decision(&self) -> Option<&ValueSet<V>> {
+        self.decision.as_ref()
+    }
+    fn proposed_values(&self) -> ValueSet<V> {
+        WtsProcess::proposed_values(self)
+    }
+}
+
+impl<V: SignableValue> OneShotState<V> for SbsProcess<V> {
+    fn proposal(&self) -> &V {
+        &self.proposal
+    }
+    fn refinements(&self) -> u64 {
+        self.refinements
+    }
+    fn decision(&self) -> Option<&ValueSet<V>> {
+        self.decision.as_ref()
+    }
+    fn proposed_values(&self) -> ValueSet<V> {
+        SbsProcess::proposed_values(self)
+    }
+}
+
+/// Streaming (generalized) algorithm state the observers read.
+trait StreamingState<V: Value>: 'static {
+    fn all_inputs(&self) -> &[V];
+    fn decisions(&self) -> &[ValueSet<V>];
+    fn round(&self) -> u64;
+    fn proposed_values(&self) -> ValueSet<V>;
+}
+
+impl<V: Value> StreamingState<V> for GwtsProcess<V> {
+    fn all_inputs(&self) -> &[V] {
+        &self.all_inputs
+    }
+    fn decisions(&self) -> &[ValueSet<V>] {
+        &self.decisions
+    }
+    fn round(&self) -> u64 {
+        self.round
+    }
+    fn proposed_values(&self) -> ValueSet<V> {
+        GwtsProcess::proposed_values(self)
+    }
+}
+
+impl<V: SignableValue> StreamingState<V> for GsbsProcess<V> {
+    fn all_inputs(&self) -> &[V] {
+        &self.all_inputs
+    }
+    fn decisions(&self) -> &[ValueSet<V>] {
+        &self.decisions
+    }
+    fn round(&self) -> u64 {
+        self.round
+    }
+    fn proposed_values(&self) -> ValueSet<V> {
+        GsbsProcess::proposed_values(self)
+    }
+}
+
+fn downcast_honest<M: WireMessage + 'static, P: 'static>(sim: &Simulation<M>, i: ProcessId) -> &P {
+    sim.process_as::<P>(i)
+        .unwrap_or_else(|| panic!("honest process {i} is not a {}", std::any::type_name::<P>()))
+}
+
+fn oneshot_observer<M, P, V>(honest: Vec<ProcessId>, key: fn(&V) -> u64) -> Observer<M>
+where
+    M: WireMessage + 'static,
+    P: OneShotState<V>,
+    V: Value,
+{
+    let mut proposed: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut decided: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut prop_last: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    Box::new(move |sim, out| {
+        let step = sim.metrics().delivered;
+        for &i in &honest {
+            let p = downcast_honest::<M, P>(sim, i);
+            if proposed.insert(i) {
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_PROPOSE,
+                    ts: 0,
+                    values: vec![key(p.proposal())],
+                });
+            }
+            // Emit on ANY change of the proposed set — a transient shrink or
+            // same-length value swap is exactly what the prefix checker's
+            // `ProposalShrunk` rule exists to catch; gating on growth would
+            // hide it.
+            let prop: Vec<u64> = p.proposed_values().iter().map(&key).collect();
+            let last = prop_last.entry(i).or_default();
+            if prop != *last {
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_REFINE,
+                    ts: p.refinements(),
+                    values: prop.clone(),
+                });
+                *last = prop;
+            }
+            if let Some(d) = p.decision() {
+                if decided.insert(i) {
+                    out.push(OpEvent {
+                        step,
+                        process: i,
+                        kind: OP_DECIDE,
+                        ts: 0,
+                        values: d.iter().map(&key).collect(),
+                    });
+                }
+            }
+        }
+    })
+}
+
+fn streaming_observer<M, P, V>(honest: Vec<ProcessId>, key: fn(&V) -> u64) -> Observer<M>
+where
+    M: WireMessage + 'static,
+    P: StreamingState<V>,
+    V: Value,
+{
+    let mut inputs_seen: BTreeMap<ProcessId, usize> = BTreeMap::new();
+    let mut decides_seen: BTreeMap<ProcessId, usize> = BTreeMap::new();
+    let mut prop_last: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    Box::new(move |sim, out| {
+        let step = sim.metrics().delivered;
+        for &i in &honest {
+            let p = downcast_honest::<M, P>(sim, i);
+            let inputs = p.all_inputs();
+            let seen = inputs_seen.entry(i).or_insert(0);
+            if inputs.len() > *seen {
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_PROPOSE,
+                    ts: p.round(),
+                    values: inputs[*seen..].iter().map(&key).collect(),
+                });
+                *seen = inputs.len();
+            }
+            // Any-change emission, as in `oneshot_observer`: shrinks and
+            // same-length swaps must reach the checker.
+            let prop: Vec<u64> = p.proposed_values().iter().map(&key).collect();
+            let plast = prop_last.entry(i).or_default();
+            if prop != *plast {
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_REFINE,
+                    ts: p.round(),
+                    values: prop.clone(),
+                });
+                *plast = prop;
+            }
+            let decisions = p.decisions();
+            let dseen = decides_seen.entry(i).or_insert(0);
+            while *dseen < decisions.len() {
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_DECIDE,
+                    ts: *dseen as u64,
+                    values: decisions[*dseen].iter().map(&key).collect(),
+                });
+                *dseen += 1;
+            }
+        }
+    })
+}
+
+/// Observer for systems of [`WtsProcess`]es (honest ids only —
+/// adversaries have no conforming state to observe).
+pub fn wts_observer<V: Value>(honest: Vec<ProcessId>, key: fn(&V) -> u64) -> Observer<WtsMsg<V>> {
+    oneshot_observer::<WtsMsg<V>, WtsProcess<V>, V>(honest, key)
+}
+
+/// Observer for systems of [`SbsProcess`]es.
+pub fn sbs_observer<V: SignableValue>(
+    honest: Vec<ProcessId>,
+    key: fn(&V) -> u64,
+) -> Observer<SbsMsg<V>> {
+    oneshot_observer::<SbsMsg<V>, SbsProcess<V>, V>(honest, key)
+}
+
+/// Observer for systems of [`GwtsProcess`]es.
+pub fn gwts_observer<V: Value>(honest: Vec<ProcessId>, key: fn(&V) -> u64) -> Observer<GwtsMsg<V>> {
+    streaming_observer::<GwtsMsg<V>, GwtsProcess<V>, V>(honest, key)
+}
+
+/// Observer for systems of [`GsbsProcess`]es.
+pub fn gsbs_observer<V: SignableValue>(
+    honest: Vec<ProcessId>,
+    key: fn(&V) -> u64,
+) -> Observer<GsbsMsg<V>> {
+    streaming_observer::<GsbsMsg<V>, GsbsProcess<V>, V>(honest, key)
 }
 
 #[cfg(test)]

@@ -15,6 +15,15 @@
 //! * [`spec`] — executable specification checkers for every property in
 //!   the paper (Comparability, Inclusivity, Non-Triviality, Stability,
 //!   Liveness, and their generalized forms).
+//! * [`linearize`] — trace-level conformance: replays a recorded full
+//!   history (deliveries + harness-observed propose/refine/decide ops)
+//!   and verifies the safety battery at *every prefix*, producing a
+//!   linearization witness against the sequential join object or a
+//!   minimal violating prefix.
+//! * [`search`] — adversarial schedule search: sweeps
+//!   [`bgla_simnet::SearchScheduler`] seeds through the trace checker
+//!   and shrinks any violation to a minimal, replayable
+//!   counterexample schedule.
 //! * [`adversary`] — a library of Byzantine behaviors aimed at each proof
 //!   obligation.
 //! * [`harness`] — scenario builders shared by tests, examples, and the
@@ -69,9 +78,11 @@ pub mod config;
 pub mod gsbs;
 pub mod gwts;
 pub mod harness;
+pub mod linearize;
 pub mod proof;
 pub mod provendelta;
 pub mod sbs;
+pub mod search;
 pub mod signedset;
 pub mod spec;
 pub mod value;

@@ -1,0 +1,878 @@
+//! Trace-level (Generalized) Lattice Agreement conformance checking.
+//!
+//! The checkers in [`crate::spec`] validate *final* run artifacts; this
+//! module replays a recorded [`Trace`] — deliveries plus the
+//! harness-emitted operation events ([`OpEvent`]) — and verifies the
+//! LA/GLA safety properties **at every prefix** of the history, then
+//! exhibits a *linearization witness*: a total order of propose/learn
+//! operations consistent with both real time and the sequential
+//! join-semilattice object (`propose(v)` adds `v` to a grow-only set;
+//! `learn` returns the join of everything proposed before it). If no
+//! such order exists, the checker reports the violation together with
+//! the index of the first operation at which the history became
+//! unlinearizable — the *minimal violating prefix* — which is what the
+//! schedule shrinker in [`crate::search`] minimizes against.
+//!
+//! # Operation model
+//!
+//! * **`propose`** — one-way value injections (an initial input, or a
+//!   `new_value` in the generalized algorithms). `values` lists the
+//!   injected value keys. One-way operations have no completion event,
+//!   so their linearization point may be arbitrarily late — but never
+//!   before their invocation. A value that shows up in a learn *before*
+//!   any honest propose of it is therefore attributed to an anonymous
+//!   (Byzantine) injection — which may linearize at any time — and
+//!   charged against the foreign-value budget
+//!   ([`TraceViolation::TooManyForeign`]); the attribution is permanent
+//!   even if an honest process proposes the same key later, because the
+//!   early learn still needs the anonymous explanation.
+//! * **`refine`** — internal proposal-set snapshots. Not linearized,
+//!   but each process's snapshots must grow monotonically
+//!   ([`TraceViolation::ProposalShrunk`]) — all four algorithms keep a
+//!   cumulative `Proposed_set`.
+//! * **`decide`** (a.k.a. learn) — `values` is the decided set. A learn
+//!   op *spans* from the process's previous decide (its round start; 0
+//!   for one-shot) to the step it was observed, so two learns are
+//!   real-time ordered only when one completed before the other began —
+//!   that is when the grow-only spec forces set inclusion
+//!   ([`TraceViolation::RealtimeOrderViolated`]).
+//!
+//! The safety battery at every prefix: pairwise **comparability** of all
+//! decided sets, **local stability** per process, real-time
+//! monotonicity, propose-before-decide causality, and a configurable
+//! **non-triviality** bound on decided values no honest process ever
+//! proposed. **Inclusivity** (every honest input reaches a decision of
+//! its proposer) is an eventual property and is checked once, at
+//! [`OnlineChecker::finish`].
+
+use crate::valueset::ValueSet;
+use bgla_simnet::{OpEvent, ProcessId, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Op kind tag for value injections.
+pub const OP_PROPOSE: &str = "propose";
+/// Op kind tag for proposal-set refinement snapshots.
+pub const OP_REFINE: &str = "refine";
+/// Op kind tag for decisions/learns.
+pub const OP_DECIDE: &str = "decide";
+
+/// What the trace checker verifies; see the module docs.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// Honest process ids — ops from other processes are ignored, and
+    /// inclusivity is asserted only for these.
+    pub honest: Vec<ProcessId>,
+    /// Bound on *distinct* decided values that no honest process ever
+    /// proposed (Non-Triviality; `f` for one-shot runs, a looser bound
+    /// or `None` for generalized streams where each Byzantine round can
+    /// inject more).
+    pub max_foreign: Option<usize>,
+    /// Whether [`OnlineChecker::finish`] asserts inclusivity (run must
+    /// have reached quiescence for that to be meaningful).
+    pub require_inclusivity: bool,
+}
+
+impl CheckerConfig {
+    /// Config for an all-honest system of `n` processes with bound `f`.
+    pub fn honest_system(n: usize, f: usize) -> Self {
+        CheckerConfig {
+            honest: (0..n).collect(),
+            max_foreign: Some(f),
+            require_inclusivity: true,
+        }
+    }
+
+    /// Config with the listed Byzantine processes removed from the
+    /// honest set (foreign bound stays `f`).
+    pub fn with_byzantine(n: usize, f: usize, byz: &[ProcessId]) -> Self {
+        CheckerConfig {
+            honest: (0..n).filter(|i| !byz.contains(i)).collect(),
+            max_foreign: Some(f),
+            require_inclusivity: true,
+        }
+    }
+
+    /// Replaces the foreign-value bound.
+    pub fn max_foreign(mut self, bound: Option<usize>) -> Self {
+        self.max_foreign = bound;
+        self
+    }
+
+    /// Disables the end-of-trace inclusivity assertion (for truncated
+    /// runs that never quiesced).
+    pub fn without_inclusivity(mut self) -> Self {
+        self.require_inclusivity = false;
+        self
+    }
+}
+
+/// A safety defect found in a history prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// Two decided sets are ⊆-incomparable (op indexes into the trace's
+    /// op log).
+    IncomparableDecisions {
+        /// Earlier decide op index.
+        a: usize,
+        /// Later decide op index.
+        b: usize,
+    },
+    /// A learn that started after another completed returned a smaller
+    /// set — the grow-only sequential object cannot explain it.
+    RealtimeOrderViolated {
+        /// The completed learn's op index.
+        earlier: usize,
+        /// The later-starting learn's op index.
+        later: usize,
+    },
+    /// A process's decision sequence decreased (Local Stability).
+    DecisionShrunk {
+        /// Offending process.
+        process: ProcessId,
+        /// Its decide op index.
+        op: usize,
+    },
+    /// A process's refinement snapshots decreased — `Proposed_set` must
+    /// be cumulative.
+    ProposalShrunk {
+        /// Offending process.
+        process: ProcessId,
+        /// Its refine op index.
+        op: usize,
+    },
+    /// More distinct never-proposed values were decided than the
+    /// configured bound allows (Non-Triviality).
+    TooManyForeign {
+        /// The decide op index that crossed the bound.
+        op: usize,
+        /// The foreign value keys seen so far.
+        foreign: Vec<u64>,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// At end of trace: an honest process's proposed value never
+    /// appeared in that process's decisions (Inclusivity), or the
+    /// process never decided at all.
+    MissingInclusion {
+        /// The proposer.
+        process: ProcessId,
+        /// The missing value key.
+        value: u64,
+    },
+}
+
+impl fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceViolation::IncomparableDecisions { a, b } => {
+                write!(f, "decide ops #{a} and #{b} returned incomparable sets")
+            }
+            TraceViolation::RealtimeOrderViolated { earlier, later } => write!(
+                f,
+                "decide op #{later} started after #{earlier} completed but returned less"
+            ),
+            TraceViolation::DecisionShrunk { process, op } => {
+                write!(f, "process {process} decision sequence shrank at op #{op}")
+            }
+            TraceViolation::ProposalShrunk { process, op } => {
+                write!(f, "process {process} proposal snapshot shrank at op #{op}")
+            }
+            TraceViolation::TooManyForeign { op, foreign, bound } => write!(
+                f,
+                "decide op #{op}: {} distinct never-proposed values {foreign:?} exceed bound {bound}",
+                foreign.len()
+            ),
+            TraceViolation::MissingInclusion { process, value } => write!(
+                f,
+                "process {process} proposed value {value} but never decided a set containing it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// A violation plus where in the history it surfaced: the prefix of the
+/// op log ending at `at_op` (inclusive) is the minimal violating prefix
+/// the checker can name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixViolation {
+    /// Index into [`Trace::ops`] of the op that completed the violation
+    /// (`usize::MAX` for end-of-trace inclusivity failures).
+    pub at_op: usize,
+    /// Deliveries completed when the violation surfaced.
+    pub at_step: u64,
+    /// The defect.
+    pub violation: TraceViolation,
+}
+
+impl fmt::Display for PrefixViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.at_op == usize::MAX {
+            write!(f, "at end of trace: {}", self.violation)
+        } else {
+            write!(
+                f,
+                "at op #{} (step {}): {}",
+                self.at_op, self.at_step, self.violation
+            )
+        }
+    }
+}
+
+/// One operation of a linearization witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessOp {
+    /// A value entered the object. `process` is `None` for values no
+    /// honest process proposed (Byzantine injections, linearized as
+    /// anonymous proposes).
+    Propose {
+        /// Proposer, when honest.
+        process: Option<ProcessId>,
+        /// The value key.
+        value: u64,
+    },
+    /// A learn returned the join of everything proposed before it.
+    Learn {
+        /// The learner.
+        process: ProcessId,
+        /// The returned set.
+        set: ValueSet<u64>,
+        /// Op index in the trace, for cross-referencing.
+        op: usize,
+    },
+}
+
+/// A linearization of the recorded history: a certificate that the run
+/// is explainable by the sequential grow-only join object.
+#[derive(Debug, Clone, Default)]
+pub struct Witness {
+    /// The operations, in linearized order.
+    pub order: Vec<WitnessOp>,
+    /// Ops consumed from the trace (propose/refine/decide of honest
+    /// processes).
+    pub ops_checked: usize,
+}
+
+impl Witness {
+    /// Re-executes the witness against the sequential object and
+    /// asserts every learn returns exactly the running join. A witness
+    /// produced by [`OnlineChecker::finish`] always passes; exposed so
+    /// tests can certify it independently.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut joined: ValueSet<u64> = ValueSet::new();
+        for (i, op) in self.order.iter().enumerate() {
+            match op {
+                WitnessOp::Propose { value, .. } => {
+                    joined.insert(*value);
+                }
+                WitnessOp::Learn { set, op, .. } => {
+                    if *set != joined {
+                        return Err(format!(
+                            "witness position {i} (trace op #{op}): learn returned {:?} \
+                             but the running join is {:?}",
+                            set, joined
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One recorded learn. Its real-time span is `[previous decide of the
+/// same process, end]`; only the completion step needs storing (starts
+/// are re-derived per process from `last_decide`).
+#[derive(Debug, Clone)]
+struct LearnRec {
+    process: ProcessId,
+    set: ValueSet<u64>,
+    /// Step at which the op completed (observation step).
+    end: u64,
+    /// Op index in the trace.
+    op: usize,
+}
+
+/// Incremental prefix checker: feed ops in observation order via
+/// [`OnlineChecker::push_op`]; the first `Err` names the minimal
+/// violating prefix. [`OnlineChecker::finish`] runs the end-of-trace
+/// battery (inclusivity) and builds the linearization [`Witness`].
+pub struct OnlineChecker {
+    cfg: CheckerConfig,
+    ops_seen: usize,
+    /// First honest proposer and propose step per value key.
+    proposed_when: BTreeMap<u64, (ProcessId, u64)>,
+    /// Every value each honest process proposed (inclusivity is
+    /// per-proposer: two proposers of the same key each owe it).
+    proposed_by: BTreeMap<ProcessId, ValueSet<u64>>,
+    /// Distinct decided-but-never-proposed value keys.
+    foreign: ValueSet<u64>,
+    /// All learns, in observation (end-step) order.
+    learns: Vec<LearnRec>,
+    /// Distinct decided sets, sorted ascending by size (a ⊆-chain when
+    /// no violation has been raised), with the op that introduced each.
+    chain: Vec<(ValueSet<u64>, usize)>,
+    /// Running ⊆-maximum of `learns[..=i]` (prefix max in end order).
+    ended_max: Vec<ValueSet<u64>>,
+    /// Per-process last decide (set, op index, end step).
+    last_decide: BTreeMap<ProcessId, (ValueSet<u64>, usize, u64)>,
+    /// Per-process last refine snapshot.
+    last_refine: BTreeMap<ProcessId, (ValueSet<u64>, usize)>,
+}
+
+impl OnlineChecker {
+    /// A fresh checker for one run.
+    pub fn new(cfg: CheckerConfig) -> Self {
+        OnlineChecker {
+            cfg,
+            ops_seen: 0,
+            proposed_when: BTreeMap::new(),
+            proposed_by: BTreeMap::new(),
+            foreign: ValueSet::new(),
+            learns: Vec::new(),
+            chain: Vec::new(),
+            ended_max: Vec::new(),
+            last_decide: BTreeMap::new(),
+            last_refine: BTreeMap::new(),
+        }
+    }
+
+    fn fail(&self, op: usize, step: u64, violation: TraceViolation) -> PrefixViolation {
+        PrefixViolation {
+            at_op: op,
+            at_step: step,
+            violation,
+        }
+    }
+
+    /// Consumes the next op of the history. The op index used in
+    /// violations is the number of ops previously pushed.
+    pub fn push_op(&mut self, ev: &OpEvent) -> Result<(), PrefixViolation> {
+        let idx = self.ops_seen;
+        self.ops_seen += 1;
+        if !self.cfg.honest.contains(&ev.process) {
+            return Ok(());
+        }
+        match ev.kind {
+            OP_PROPOSE => self.on_propose(ev, idx),
+            OP_REFINE => self.on_refine(ev, idx),
+            OP_DECIDE => self.on_decide(ev, idx),
+            _ => Ok(()), // unknown op kinds are emitter extensions
+        }
+    }
+
+    fn on_propose(&mut self, ev: &OpEvent, _idx: usize) -> Result<(), PrefixViolation> {
+        for &v in &ev.values {
+            // A value that some learn already returned stays attributed
+            // to the anonymous (Byzantine) injection that explained the
+            // early learn — the slot it consumed in the foreign budget
+            // is not refunded. The honest propose still creates an
+            // inclusivity obligation for this proposer, and is a no-op
+            // in the sequential object (duplicate joins are absorbed).
+            self.proposed_when.entry(v).or_insert((ev.process, ev.step));
+            self.proposed_by.entry(ev.process).or_default().insert(v);
+        }
+        Ok(())
+    }
+
+    fn on_refine(&mut self, ev: &OpEvent, idx: usize) -> Result<(), PrefixViolation> {
+        let set: ValueSet<u64> = ev.values.iter().copied().collect();
+        if let Some((prev, _)) = self.last_refine.get(&ev.process) {
+            if !prev.is_subset(&set) {
+                return Err(self.fail(
+                    idx,
+                    ev.step,
+                    TraceViolation::ProposalShrunk {
+                        process: ev.process,
+                        op: idx,
+                    },
+                ));
+            }
+        }
+        self.last_refine.insert(ev.process, (set, idx));
+        Ok(())
+    }
+
+    fn on_decide(&mut self, ev: &OpEvent, idx: usize) -> Result<(), PrefixViolation> {
+        let set: ValueSet<u64> = ev.values.iter().copied().collect();
+        let end = ev.step;
+        let start = self
+            .last_decide
+            .get(&ev.process)
+            .map(|&(_, _, prev_end)| prev_end)
+            .unwrap_or(0);
+
+        // Local Stability: this process's own sequence must grow.
+        if let Some((prev, _, _)) = self.last_decide.get(&ev.process) {
+            if !prev.is_subset(&set) {
+                return Err(self.fail(
+                    idx,
+                    ev.step,
+                    TraceViolation::DecisionShrunk {
+                        process: ev.process,
+                        op: idx,
+                    },
+                ));
+            }
+        }
+
+        // Comparability: insert into the size-sorted chain; comparing
+        // against the immediate neighbors suffices (all existing
+        // entries are already pairwise comparable).
+        let pos = self.chain.partition_point(|(s, _)| s.len() < set.len());
+        if let Some((smaller, a)) = pos.checked_sub(1).and_then(|p| self.chain.get(p)) {
+            if !smaller.is_subset(&set) {
+                let a = *a;
+                return Err(self.fail(
+                    idx,
+                    ev.step,
+                    TraceViolation::IncomparableDecisions { a, b: idx },
+                ));
+            }
+        }
+        if let Some((bigger, a)) = self.chain.get(pos) {
+            if !set.is_subset(bigger) {
+                let a = *a;
+                return Err(self.fail(
+                    idx,
+                    ev.step,
+                    TraceViolation::IncomparableDecisions { a, b: idx },
+                ));
+            }
+        }
+        let duplicate = self.chain.get(pos).is_some_and(|(s, _)| *s == set);
+        if !duplicate {
+            self.chain.insert(pos, (set.clone(), idx));
+        }
+
+        // Real-time monotonicity: everything that completed before this
+        // op started must be contained in it. All completed learns are
+        // comparable, so the ⊆-max among those with `end < start` is
+        // the only one to test.
+        let completed_before = self.learns.partition_point(|l| l.end < start);
+        if let Some(prefix_max) = completed_before
+            .checked_sub(1)
+            .and_then(|p| self.ended_max.get(p))
+        {
+            if !prefix_max.is_subset(&set) {
+                // Name the earliest completed learn this one fails to
+                // contain, for a readable counterexample.
+                let earlier = self.learns[..completed_before]
+                    .iter()
+                    .find(|l| !l.set.is_subset(&set))
+                    .map(|l| l.op)
+                    .unwrap_or(self.learns[completed_before - 1].op);
+                return Err(self.fail(
+                    idx,
+                    ev.step,
+                    TraceViolation::RealtimeOrderViolated {
+                        earlier,
+                        later: idx,
+                    },
+                ));
+            }
+        }
+
+        // Non-Triviality: decided values nobody proposed.
+        for &v in &ev.values {
+            if !self.proposed_when.contains_key(&v) {
+                self.foreign.insert(v);
+            }
+        }
+        if let Some(bound) = self.cfg.max_foreign {
+            if self.foreign.len() > bound {
+                return Err(self.fail(
+                    idx,
+                    ev.step,
+                    TraceViolation::TooManyForeign {
+                        op: idx,
+                        foreign: self.foreign.iter().copied().collect(),
+                        bound,
+                    },
+                ));
+            }
+        }
+
+        let new_max = match self.ended_max.last() {
+            Some(prev_max) if set.is_subset(prev_max) => prev_max.clone(),
+            _ => set.clone(),
+        };
+        self.ended_max.push(new_max);
+        self.learns.push(LearnRec {
+            process: ev.process,
+            set: set.clone(),
+            end,
+            op: idx,
+        });
+        self.last_decide.insert(ev.process, (set, idx, end));
+        Ok(())
+    }
+
+    /// Ends the history: asserts inclusivity (when configured) and
+    /// builds the linearization witness.
+    pub fn finish(self) -> Result<Witness, PrefixViolation> {
+        if self.cfg.require_inclusivity {
+            // Per proposer: decision sequences are non-decreasing (local
+            // stability already checked), so "some decision contains v"
+            // is equivalent to "the final decision contains v".
+            for (&proposer, values) in &self.proposed_by {
+                for &v in values.iter() {
+                    let included = self
+                        .last_decide
+                        .get(&proposer)
+                        .is_some_and(|(final_set, _, _)| final_set.contains(&v));
+                    if !included {
+                        return Err(PrefixViolation {
+                            at_op: usize::MAX,
+                            at_step: u64::MAX,
+                            violation: TraceViolation::MissingInclusion {
+                                process: proposer,
+                                value: v,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+
+        // Build the witness: learns in chain (⊆) order, ties broken by
+        // completion; each value's propose goes immediately before the
+        // first learn containing it; values never learned go last.
+        let mut learns = self.learns;
+        learns.sort_by(|a, b| a.set.len().cmp(&b.set.len()).then(a.end.cmp(&b.end)));
+        let mut order = Vec::new();
+        let mut placed: ValueSet<u64> = ValueSet::new();
+        // Values first seen inside a learn keep their anonymous
+        // (Byzantine-injection) attribution even when an honest propose
+        // of the same key arrived later — the anonymous injection is
+        // what lets the early learn linearize.
+        let foreign = &self.foreign;
+        let proposer_of = |v: u64| {
+            if foreign.contains(&v) {
+                None
+            } else {
+                self.proposed_when.get(&v).map(|&(p, _)| p)
+            }
+        };
+        for l in &learns {
+            for &v in l.set.difference(&placed).iter() {
+                order.push(WitnessOp::Propose {
+                    process: proposer_of(v),
+                    value: v,
+                });
+            }
+            placed.join_with(&l.set);
+            order.push(WitnessOp::Learn {
+                process: l.process,
+                set: l.set.clone(),
+                op: l.op,
+            });
+        }
+        for (&v, &(p, _)) in &self.proposed_when {
+            if !placed.contains(&v) {
+                order.push(WitnessOp::Propose {
+                    process: Some(p),
+                    value: v,
+                });
+            }
+        }
+        Ok(Witness {
+            order,
+            ops_checked: self.ops_seen,
+        })
+    }
+}
+
+/// Replays every op of `trace` through an [`OnlineChecker`]: `Ok` is the
+/// linearization witness, `Err` the first (minimal) violating prefix.
+pub fn check_trace(trace: &Trace, cfg: &CheckerConfig) -> Result<Witness, PrefixViolation> {
+    let mut checker = OnlineChecker::new(cfg.clone());
+    for op in trace.ops() {
+        checker.push_op(op)?;
+    }
+    checker.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(step: u64, process: usize, kind: &'static str, values: &[u64]) -> OpEvent {
+        OpEvent {
+            step,
+            process,
+            kind,
+            ts: 0,
+            values: values.to_vec(),
+        }
+    }
+
+    fn run(ops: &[OpEvent], cfg: CheckerConfig) -> Result<Witness, PrefixViolation> {
+        let mut t = Trace::default();
+        for o in ops {
+            t.push_op(o.clone());
+        }
+        check_trace(&t, &cfg)
+    }
+
+    #[test]
+    fn honest_one_shot_history_linearizes() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[10]),
+            op(0, 1, OP_PROPOSE, &[11]),
+            op(0, 2, OP_PROPOSE, &[12]),
+            op(5, 0, OP_REFINE, &[10, 11]),
+            op(7, 0, OP_DECIDE, &[10, 11]),
+            op(9, 1, OP_DECIDE, &[10, 11, 12]),
+            op(11, 2, OP_DECIDE, &[10, 11, 12]),
+        ];
+        let w = run(&ops, CheckerConfig::honest_system(3, 1)).expect("linearizable");
+        w.validate().expect("witness certifies");
+        // Two distinct learned sets + one duplicate → 3 learns, 3 proposes.
+        assert_eq!(w.order.len(), 6);
+    }
+
+    #[test]
+    fn incomparable_decisions_are_caught_at_the_prefix() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(0, 1, OP_PROPOSE, &[2]),
+            op(0, 2, OP_PROPOSE, &[3]),
+            op(4, 0, OP_DECIDE, &[1, 2]),
+            op(6, 1, OP_DECIDE, &[1, 3]), // incomparable with op 3
+            op(8, 2, OP_DECIDE, &[1, 2, 3]),
+        ];
+        let err = run(&ops, CheckerConfig::honest_system(3, 1)).unwrap_err();
+        assert_eq!(err.at_op, 4);
+        assert_eq!(
+            err.violation,
+            TraceViolation::IncomparableDecisions { a: 3, b: 4 }
+        );
+    }
+
+    #[test]
+    fn shrinking_decision_sequence_is_caught() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1, 2]),
+            op(3, 0, OP_DECIDE, &[1, 2]),
+            op(6, 0, OP_DECIDE, &[1]),
+        ];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(1, 0).without_inclusivity(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::DecisionShrunk { process: 0, op: 2 }
+        ));
+    }
+
+    #[test]
+    fn realtime_order_is_enforced_for_non_overlapping_learns() {
+        // p0 round 1 decides {1} at step 3, round 2 spans [3, 9].
+        // p1's only learn spans [0, 6]: overlapping ops, no constraint.
+        // But p0's round-2 learn [3, 9] must contain anything that
+        // completed before step 3.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(0, 1, OP_PROPOSE, &[2]),
+            op(3, 0, OP_DECIDE, &[1, 2]),
+            op(9, 1, OP_DECIDE, &[2]), // p1's learn spans [0, 9]: overlaps, fine ...
+        ];
+        // ... except comparability: {2} ⊆ {1,2} holds, and p1's learn
+        // overlaps p0's, so this history linearizes (p1 first).
+        let w = run(
+            &ops,
+            CheckerConfig::honest_system(2, 0).without_inclusivity(),
+        )
+        .expect("overlapping learns may linearize in either order");
+        w.validate().unwrap();
+
+        // Now give p1 a *second* learn that starts after p0 completed:
+        // it may not return less than p0's completed learn.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(0, 1, OP_PROPOSE, &[2]),
+            op(3, 0, OP_DECIDE, &[1, 2, 9]),
+            op(4, 1, OP_DECIDE, &[2]),
+            op(8, 1, OP_DECIDE, &[1, 2]), // starts at 4 > 3, misses 9
+        ];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(2, 0)
+                .without_inclusivity()
+                .max_foreign(None),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::RealtimeOrderViolated {
+                earlier: 2,
+                later: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn early_decided_value_is_charged_to_the_foreign_budget() {
+        // Value 7 appears in a learn before any honest propose of it:
+        // with zero Byzantine slack that is immediately a violation…
+        let ops = vec![op(0, 0, OP_PROPOSE, &[1]), op(3, 0, OP_DECIDE, &[1, 7])];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(2, 0).without_inclusivity(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::TooManyForeign { bound: 0, .. }
+        ));
+
+        // …while with f = 1 the anonymous injection explains it, even
+        // when an honest process proposes the same key later: the
+        // history linearizes and the witness keeps the early value
+        // anonymous (the late honest propose cannot precede a learn
+        // that completed before it was invoked).
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(3, 0, OP_DECIDE, &[1, 7]),
+            op(5, 1, OP_PROPOSE, &[7]),
+            op(8, 1, OP_DECIDE, &[1, 7]),
+        ];
+        let w = run(&ops, CheckerConfig::honest_system(2, 1)).expect("linearizable");
+        w.validate().unwrap();
+        assert!(
+            w.order.contains(&WitnessOp::Propose {
+                process: None,
+                value: 7
+            }),
+            "the early-decided value must stay anonymously attributed"
+        );
+    }
+
+    #[test]
+    fn every_proposer_of_a_shared_value_owes_inclusivity() {
+        // p0 and p1 both propose value 5; only p0 ever decides it. The
+        // per-proposer inclusivity check must still flag p1.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[5]),
+            op(0, 1, OP_PROPOSE, &[5]),
+            op(0, 1, OP_PROPOSE, &[6]),
+            op(4, 0, OP_DECIDE, &[5]),
+            op(6, 1, OP_DECIDE, &[5, 6]),
+            op(9, 0, OP_DECIDE, &[5, 6]),
+        ];
+        run(&ops, CheckerConfig::honest_system(2, 0)).expect("both proposers decided 5");
+
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[5]),
+            op(0, 1, OP_PROPOSE, &[5]),
+            op(4, 0, OP_DECIDE, &[5]),
+            op(6, 1, OP_DECIDE, &[]), // p1 never includes its own 5
+        ];
+        let err = run(&ops, CheckerConfig::honest_system(2, 0)).unwrap_err();
+        assert_eq!(
+            err.violation,
+            TraceViolation::MissingInclusion {
+                process: 1,
+                value: 5
+            }
+        );
+    }
+
+    #[test]
+    fn foreign_values_are_bounded() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(4, 0, OP_DECIDE, &[1, 100]), // one foreign value: allowed at f = 1
+            op(6, 0, OP_DECIDE, &[1, 100, 101]), // second foreign value: over bound
+        ];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(1, 1).without_inclusivity(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::TooManyForeign { bound: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_inclusivity_surfaces_at_finish() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(0, 1, OP_PROPOSE, &[2]),
+            op(4, 0, OP_DECIDE, &[1]),
+            op(6, 1, OP_DECIDE, &[1]), // p1 never decides its own 2
+        ];
+        let err = run(&ops, CheckerConfig::honest_system(2, 0)).unwrap_err();
+        assert_eq!(err.at_op, usize::MAX);
+        assert_eq!(
+            err.violation,
+            TraceViolation::MissingInclusion {
+                process: 1,
+                value: 2
+            }
+        );
+    }
+
+    #[test]
+    fn refine_snapshots_must_grow() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1, 2]),
+            op(2, 0, OP_REFINE, &[1, 2]),
+            op(4, 0, OP_REFINE, &[1]), // shrank
+        ];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(1, 0).without_inclusivity(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::ProposalShrunk { process: 0, op: 2 }
+        ));
+    }
+
+    #[test]
+    fn byzantine_ops_are_ignored() {
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(2, 3, OP_DECIDE, &[999]), // Byzantine process: not checked
+            op(4, 0, OP_DECIDE, &[1]),
+        ];
+        let cfg = CheckerConfig {
+            honest: vec![0],
+            max_foreign: Some(0),
+            require_inclusivity: true,
+        };
+        run(&ops, cfg).expect("byzantine ops must not trip the checker");
+    }
+
+    #[test]
+    fn generalized_rounds_linearize_with_witness() {
+        // Two processes, two rounds each, growing decisions.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[10]),
+            op(0, 1, OP_PROPOSE, &[20]),
+            op(4, 0, OP_DECIDE, &[10, 20]),
+            op(5, 1, OP_DECIDE, &[10, 20]),
+            op(6, 0, OP_PROPOSE, &[11]),
+            op(7, 1, OP_PROPOSE, &[21]),
+            op(12, 1, OP_DECIDE, &[10, 11, 20, 21]),
+            op(14, 0, OP_DECIDE, &[10, 11, 20, 21]),
+        ];
+        let w = run(&ops, CheckerConfig::honest_system(2, 0)).expect("linearizable");
+        w.validate().unwrap();
+        let learns = w
+            .order
+            .iter()
+            .filter(|o| matches!(o, WitnessOp::Learn { .. }))
+            .count();
+        assert_eq!(learns, 4);
+    }
+}

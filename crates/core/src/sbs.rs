@@ -555,6 +555,15 @@ impl<V: SignableValue> SbsProcess<V> {
         self.state
     }
 
+    /// The values of the current proven proposal — read by the
+    /// conformance observers to emit refine-snapshot op events.
+    pub fn proposed_values(&self) -> ValueSet<V> {
+        self.proposed_set
+            .iter()
+            .map(|pv| pv.sv.value.clone())
+            .collect()
+    }
+
     fn verify_value(&mut self, sv: &SignedValue<V>) -> bool {
         self.verifier.verify(
             sv.signer,

@@ -3,6 +3,23 @@
 //! Each property from Sections 3.1 (LA) and 6.1 (Generalized LA) of the
 //! paper becomes a function over recorded run artifacts. Tests, examples
 //! and benches call these instead of re-implementing ad-hoc assertions.
+//!
+//! # Final-artifact vs trace-level checking
+//!
+//! The functions here validate the *final* artifacts of a finished run
+//! (decision sets, decision sequences): an execution that is
+//! momentarily unsafe but converges would pass them. The companion
+//! module [`crate::linearize`] lifts the same battery to recorded
+//! traces, re-checking comparability, stability, causality and
+//! non-triviality at **every prefix** of the history and additionally
+//! searching for a linearization: a total order of propose/learn ops —
+//! consistent with real time — under which every learn returns exactly
+//! the join of the proposals ordered before it (the sequential
+//! join-semilattice object). `linearize` reports either that witness
+//! order or the minimal violating prefix; [`crate::search`] hunts for
+//! such prefixes under hostile schedules and shrinks what it finds.
+//! Use this module for end-state assertions, `linearize` when the
+//! *path* matters.
 
 use crate::value::Value;
 use crate::valueset::ValueSet;

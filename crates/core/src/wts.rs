@@ -212,6 +212,12 @@ impl<V: Value> WtsProcess<V> {
         self.svs.len()
     }
 
+    /// The current `Proposed_set` (cheap `O(1)` clone) — read by the
+    /// conformance observers to emit refine-snapshot op events.
+    pub fn proposed_values(&self) -> ValueSet<V> {
+        self.proposed_set.clone()
+    }
+
     fn send_ack_req(&mut self, ctx: &mut Context<WtsMsg<V>>) {
         self.delta_tx.record_broadcast(self.ts, &self.proposed_set);
         for to in 0..self.config.n {

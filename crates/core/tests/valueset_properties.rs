@@ -152,6 +152,126 @@ proptest! {
     }
 }
 
+/// Stateful protocol property: one proposer refining against several
+/// acceptors under randomly interleaved refine / deliver / ack / stale-
+/// ack / first-contact / bogus-delta operations, checked against a
+/// full-set oracle (the per-timestamp proposal snapshots).
+///
+/// Pins the three load-bearing rules of the delta pipeline:
+///
+/// 1. **Resolvability** — every update a *correct* sender encodes
+///    resolves at the receiver, and to exactly the oracle snapshot of
+///    its timestamp (the sender's base-window fallback is what makes
+///    this hold even when the receiver pruned old bases);
+/// 2. **Delta exactness** — a delta carries exactly
+///    `snapshot(ts) ∖ snapshot(base_ts)` for a `base_ts` the receiver
+///    really replied to;
+/// 3. **Fallback-on-gap** — a delta against a base the receiver never
+///    consumed (only Byzantine senders produce one) resolves to `None`
+///    and is dropped, never mis-joined.
+#[test]
+fn stateful_delta_protocol_against_full_set_oracle() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const PEERS: usize = 4;
+    const STEPS: usize = 400;
+
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tx: DeltaSender<u64> = DeltaSender::new(true);
+        let mut rx: Vec<DeltaReceiver<u64>> = (0..PEERS).map(|_| DeltaReceiver::new()).collect();
+
+        // Oracle state.
+        let mut current = vs(&[0]);
+        let mut ts = 0u64;
+        let mut snapshots: Vec<ValueSet<u64>> = vec![current.clone()];
+        let mut consumed: Vec<Vec<u64>> = vec![Vec::new(); PEERS]; // ts list per peer
+        let mut next_value = 1u64;
+
+        tx.record_broadcast(0, &current);
+        for step in 0..STEPS {
+            match rng.gen_range(0..10u32) {
+                // Refine: the proposal grows, a new snapshot exists.
+                0..=2 => {
+                    for _ in 0..rng.gen_range(1..4u32) {
+                        current.insert(next_value);
+                        next_value += 1;
+                    }
+                    ts += 1;
+                    snapshots.push(current.clone());
+                    tx.record_broadcast(ts, &current);
+                }
+                // Deliver the current proposal to a random peer (this
+                // models the ack_req send; lost/late requests are
+                // modeled simply by never delivering).
+                3..=6 => {
+                    let p = rng.gen_range(0..PEERS);
+                    let update = tx.encode_for(p, ts, &current);
+                    let resolved = rx[p].resolve(p, &update).unwrap_or_else(|| {
+                        panic!("seed {seed} step {step}: correct sender caused a gap")
+                    });
+                    assert_eq!(
+                        resolved, current,
+                        "seed {seed} step {step}: resolve != oracle snapshot"
+                    );
+                    if let SetUpdate::Delta { base_ts, added } = &update {
+                        assert!(
+                            consumed[p].contains(base_ts),
+                            "seed {seed} step {step}: delta against a base peer {p} never consumed"
+                        );
+                        assert_eq!(
+                            added.clone(),
+                            current.difference(&snapshots[*base_ts as usize]),
+                            "seed {seed} step {step}: delta is not snapshot(ts) \\ snapshot(base)"
+                        );
+                    }
+                    rx[p].record(p, ts, &resolved);
+                    if !consumed[p].contains(&ts) {
+                        consumed[p].push(ts);
+                    }
+                }
+                // The peer's reply (ack/nack) arrives: possibly for an
+                // old consumed timestamp (replies reorder in flight).
+                7 | 8 => {
+                    let p = rng.gen_range(0..PEERS);
+                    if let Some(&reply_ts) =
+                        consumed[p].get(rng.gen_range(0..consumed[p].len().max(1)))
+                    {
+                        tx.record_reply(p, reply_ts);
+                    }
+                }
+                // Byzantine interference: a delta whose base this peer
+                // never consumed must be a detected gap; a reply claim
+                // for a timestamp never broadcast must be ignored.
+                _ => {
+                    let p = rng.gen_range(0..PEERS);
+                    let bogus = SetUpdate::Delta {
+                        base_ts: 1_000_000 + step as u64,
+                        added: current.clone(),
+                    };
+                    assert!(
+                        rx[p].resolve(p, &bogus).is_none(),
+                        "seed {seed} step {step}: unconsumed base resolved"
+                    );
+                    tx.record_reply(p, 2_000_000 + step as u64);
+                }
+            }
+        }
+
+        // First contact stays Full even late in the stream.
+        let fresh = PEERS; // an id no reply was ever recorded for
+        assert!(matches!(
+            tx.encode_for(fresh, ts, &current),
+            SetUpdate::Full(_)
+        ));
+        let mut fresh_rx: DeltaReceiver<u64> = DeltaReceiver::new();
+        let u = tx.encode_for(fresh, ts, &current);
+        assert_eq!(fresh_rx.resolve(fresh, &u), Some(current.clone()));
+        fresh_rx.record(fresh, ts, &current);
+    }
+}
+
 /// Decisions produced through ValueSet survive conversion round-trips
 /// (`BTreeSet` ↔ `ValueSet`) without loss — the embedding the RSM and
 /// examples rely on.

@@ -57,7 +57,8 @@ pub use metrics::{Metrics, ProofSizes, WireMessage, PROOF_REF_BYTES};
 pub use process::{Context, Process, ProcessId};
 pub use scheduler::{
     DelayScheduler, EnvelopeId, FifoScheduler, InFlight, LifoScheduler, PartitionScheduler,
-    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, TargetedScheduler,
+    RandomScheduler, RecordingScheduler, ReplayScheduler, Scheduler, SearchScheduler,
+    TargetedScheduler,
 };
 pub use sim::{RunOutcome, Simulation, SimulationBuilder};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{OpEvent, Trace, TraceEntry, TraceEvent};

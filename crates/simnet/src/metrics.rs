@@ -280,6 +280,92 @@ mod tests {
         assert_eq!(m.sent_by_subset(&[0, 1]), 2);
     }
 
+    /// `merge` must fold every proof-accounting field (the PR 3/4
+    /// interned / by-reference / flat counters) — the sharded experiment
+    /// drivers rely on it, and a silently dropped field would corrupt
+    /// every aggregated `exp_bytes` table.
+    #[test]
+    fn merge_covers_proof_accounting() {
+        let proofs_a = ProofSizes {
+            refs: 5,
+            distinct: 2,
+            by_ref: 1,
+            interned_bytes: 100,
+            ref_bytes: PROOF_REF_BYTES as u64,
+            flat_bytes: 400,
+        };
+        let proofs_b = ProofSizes {
+            refs: 3,
+            distinct: 1,
+            by_ref: 2,
+            interned_bytes: 40,
+            ref_bytes: 2 * PROOF_REF_BYTES as u64,
+            flat_bytes: 90,
+        };
+        let mut a = Metrics::new(2);
+        a.record_send(0, "ack_req", 150, proofs_a);
+        let mut b = Metrics::new(2);
+        b.record_send(1, "nack", 80, proofs_b);
+
+        // Sequential reference: one Metrics fed both sends.
+        let mut reference = Metrics::new(2);
+        reference.record_send(0, "ack_req", 150, proofs_a);
+        reference.record_send(1, "nack", 80, proofs_b);
+
+        a.merge(&b);
+        assert_eq!(a, reference, "merge dropped or doubled a field");
+        // Spot-check the proof fields explicitly so a future field
+        // rename keeps this pinned.
+        assert_eq!(a.proof_refs, 8);
+        assert_eq!(a.proofs_interned, 3);
+        assert_eq!(a.proofs_by_ref, 3);
+        assert_eq!(a.proof_bytes_interned, 140);
+        assert_eq!(a.proof_ref_bytes, 3 * PROOF_REF_BYTES as u64);
+        assert_eq!(a.proof_bytes_flat, 490);
+        // Interned-vs-flat shape survives the merge: flat always prices
+        // at least the interned + referenced transmission.
+        assert!(a.proof_bytes_flat >= a.proof_bytes_interned + a.proof_ref_bytes);
+    }
+
+    /// Merging is associative and the empty Metrics is the identity —
+    /// what lets the sharded driver fold per-cell results in any
+    /// grouping.
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let mk = |from: usize, bytes: usize, refs: u64| {
+            let mut m = Metrics::new(from + 1);
+            m.record_send(
+                from,
+                "ack_req",
+                bytes,
+                ProofSizes {
+                    refs,
+                    distinct: refs / 2,
+                    by_ref: refs / 3,
+                    interned_bytes: refs * 10,
+                    ref_bytes: (refs / 3) * PROOF_REF_BYTES as u64,
+                    flat_bytes: refs * 25,
+                },
+            );
+            m.delivered = refs;
+            m
+        };
+        let (a, b, c) = (mk(0, 10, 6), mk(1, 20, 9), mk(2, 30, 12));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge is not associative");
+
+        let mut with_identity = Metrics::default();
+        with_identity.merge(&left);
+        assert_eq!(with_identity, left, "empty Metrics is not the identity");
+    }
+
     #[test]
     fn merge_aggregates_runs() {
         let mut a = Metrics::new(2);

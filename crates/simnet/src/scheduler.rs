@@ -37,6 +37,29 @@
 //! construction; a custom scheduler must provide its own release valve
 //! (see [`TargetedScheduler`] for the canonical pattern: starve freely,
 //! but deliver the oldest starved message when nothing else is left).
+//!
+//! # Schedule search: exploration + shrinking
+//!
+//! [`SearchScheduler`] is the exploration half of the counterexample
+//! pipeline: a seeded adversary that rotates through hostile delivery
+//! *tactics* (oldest/newest/random picks, bounded reorder windows, and
+//! hold-back windows keyed by message kind, sender, or receiver) in
+//! windows whose lengths and parameters are all derived from the seed,
+//! so one `u64` fully determines the schedule. The kind-targeted hold
+//! windows are what flush out delta-encoding watermark bugs: delaying
+//! every `ack`/`nack` while `ack_req` refinements race ahead drives the
+//! `DeltaSender`/`DeltaReceiver` base-window edges (first contact, reply
+//! watermarks, base eviction). Message *duplication* is deliberately not
+//! a tactic — links in this model are reliable and exactly-once, so
+//! duplication is a Byzantine *process* behavior (re-sending), not a
+//! network power.
+//!
+//! The shrinking half lives with the checker (`bgla_core::search`): a
+//! violating run is recorded through [`RecordingScheduler`], minimized
+//! by replaying prefixes/subsets of the recorded schedule with
+//! [`ReplayScheduler`] (whose unmatched-entry resync makes entry removal
+//! safe), and reported as the seed plus the shrunk schedule — both
+//! replayable on their own.
 
 use crate::process::ProcessId;
 use rand::rngs::StdRng;
@@ -378,6 +401,210 @@ impl Scheduler for DelayScheduler {
     fn reset(&mut self) {
         self.heap.clear();
     }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// One hostile-delivery tactic of the [`SearchScheduler`], active for a
+/// seed-derived window of deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchMode {
+    /// Deliver the oldest in-flight message (FIFO-like calm phase).
+    Oldest,
+    /// Deliver the newest (LIFO-like aggressive reordering).
+    Newest,
+    /// Deliver uniformly at random.
+    Random,
+    /// Deliver randomly within the oldest `w`-message window (bounded
+    /// reorder, like a skewed network).
+    Window(usize),
+    /// Hold back every message of one kind; oldest of the rest flows.
+    HoldKind(&'static str),
+    /// Hold back everything addressed *to* one process (starve its
+    /// inbound replies/disclosures).
+    HoldTo(ProcessId),
+    /// Hold back everything *from* one process (its traffic arrives in
+    /// a burst when the window ends).
+    HoldFrom(ProcessId),
+}
+
+/// A seeded schedule-space explorer: rotates through hostile delivery
+/// tactics ([`SearchMode`]) in windows whose lengths, targets and picks
+/// all derive from the seed, so the whole schedule is a pure function
+/// of `(seed, send sequence)` and any run it produces is replayable
+/// from the seed alone. See the module docs for the exploration +
+/// shrinking contract and for why duplication is not a tactic.
+///
+/// Fairness: hold tactics only bias selection among live messages — when
+/// nothing but held traffic remains, the oldest held message is
+/// delivered — and windows always expire, so every message is
+/// eventually chosen.
+///
+/// Incremental contract: maintains seq-ordered [`OrderedPool`]s globally
+/// and per kind / sender / receiver, so a delivery step costs
+/// O(log n + #kinds) — never a scan of the in-flight set.
+pub struct SearchScheduler {
+    rng: StdRng,
+    /// All live ids, insertion (= seq) order.
+    pool: OrderedPool,
+    /// Live metadata by id.
+    meta: HashMap<EnvelopeId, InFlight>,
+    /// Live ids per message kind, seq order.
+    by_kind: HashMap<&'static str, OrderedPool>,
+    /// Live ids per destination, seq order.
+    by_to: HashMap<ProcessId, OrderedPool>,
+    /// Live ids per sender, seq order.
+    by_from: HashMap<ProcessId, OrderedPool>,
+    /// Distinct kinds seen so far, in discovery order (deterministic:
+    /// `on_send` order is deterministic).
+    kinds_seen: Vec<&'static str>,
+    /// Distinct process ids seen so far (senders and receivers).
+    procs_seen: Vec<ProcessId>,
+    mode: SearchMode,
+    /// Deliveries left before the next tactic change.
+    window_left: u64,
+}
+
+impl SearchScheduler {
+    /// A fresh explorer; the same seed yields the same schedule.
+    pub fn new(seed: u64) -> Self {
+        SearchScheduler {
+            rng: StdRng::seed_from_u64(seed ^ 0x05EA_2C45_C4ED_u64),
+            pool: OrderedPool::default(),
+            meta: HashMap::new(),
+            by_kind: HashMap::new(),
+            by_to: HashMap::new(),
+            by_from: HashMap::new(),
+            kinds_seen: Vec::new(),
+            procs_seen: Vec::new(),
+            mode: SearchMode::Oldest,
+            window_left: 0,
+        }
+    }
+
+    fn note_proc(&mut self, p: ProcessId) {
+        if !self.procs_seen.contains(&p) {
+            self.procs_seen.push(p);
+        }
+    }
+
+    fn pick_mode(&mut self) -> SearchMode {
+        match self.rng.gen_range(0..8u32) {
+            0 => SearchMode::Oldest,
+            1 => SearchMode::Newest,
+            2 => SearchMode::Random,
+            3 => SearchMode::Window(2 + self.rng.gen_range(0..15usize)),
+            4 | 5 => {
+                // Kind-targeted holds get double weight: they are the
+                // tactic that drives delta watermark edges.
+                let k = self.kinds_seen[self.rng.gen_range(0..self.kinds_seen.len())];
+                SearchMode::HoldKind(k)
+            }
+            6 => {
+                let p = self.procs_seen[self.rng.gen_range(0..self.procs_seen.len())];
+                SearchMode::HoldTo(p)
+            }
+            _ => {
+                let p = self.procs_seen[self.rng.gen_range(0..self.procs_seen.len())];
+                SearchMode::HoldFrom(p)
+            }
+        }
+    }
+
+    /// Oldest live id over every pool in `pools` except the one keyed
+    /// `held`; falls back to the held pool when nothing else is live.
+    fn oldest_excluding<K: std::hash::Hash + Eq + Copy>(
+        meta: &HashMap<EnvelopeId, InFlight>,
+        pools: &HashMap<K, OrderedPool>,
+        held: K,
+    ) -> Option<EnvelopeId> {
+        let mut best: Option<(u64, EnvelopeId)> = None;
+        for (k, pool) in pools {
+            if *k == held || pool.len() == 0 {
+                continue;
+            }
+            let id = pool.select(0);
+            let seq = meta[&id].seq;
+            if best.is_none_or(|(bseq, _)| seq < bseq) {
+                best = Some((seq, id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+impl Scheduler for SearchScheduler {
+    fn on_send(&mut self, meta: &InFlight, id: EnvelopeId) {
+        self.pool.insert(id);
+        self.meta.insert(id, *meta);
+        if !self.kinds_seen.contains(&meta.kind) {
+            self.kinds_seen.push(meta.kind);
+        }
+        self.note_proc(meta.from);
+        self.note_proc(meta.to);
+        self.by_kind.entry(meta.kind).or_default().insert(id);
+        self.by_to.entry(meta.to).or_default().insert(id);
+        self.by_from.entry(meta.from).or_default().insert(id);
+    }
+
+    fn choose(&mut self, _now: u64) -> EnvelopeId {
+        if self.window_left == 0 {
+            self.mode = self.pick_mode();
+            self.window_left = 4 + self.rng.gen_range(0..61);
+        }
+        self.window_left -= 1;
+        let live = self.pool.len();
+        match self.mode {
+            SearchMode::Oldest => self.pool.select(0),
+            SearchMode::Newest => self.pool.select(live - 1),
+            SearchMode::Random => self.pool.select(self.rng.gen_range(0..live)),
+            SearchMode::Window(w) => self.pool.select(self.rng.gen_range(0..live.min(w))),
+            SearchMode::HoldKind(k) => Self::oldest_excluding(&self.meta, &self.by_kind, k)
+                .unwrap_or_else(|| self.by_kind[k].select(0)),
+            SearchMode::HoldTo(p) => Self::oldest_excluding(&self.meta, &self.by_to, p)
+                .unwrap_or_else(|| self.by_to[&p].select(0)),
+            SearchMode::HoldFrom(p) => Self::oldest_excluding(&self.meta, &self.by_from, p)
+                .unwrap_or_else(|| self.by_from[&p].select(0)),
+        }
+    }
+
+    fn on_delivered(&mut self, id: EnvelopeId) {
+        let meta = self
+            .meta
+            .remove(&id)
+            .expect("delivered an envelope the search scheduler does not hold");
+        self.pool.remove(id);
+        self.by_kind
+            .get_mut(meta.kind)
+            .expect("kind pool exists")
+            .remove(id);
+        self.by_to
+            .get_mut(&meta.to)
+            .expect("to pool exists")
+            .remove(id);
+        self.by_from
+            .get_mut(&meta.from)
+            .expect("from pool exists")
+            .remove(id);
+    }
+
+    fn reset(&mut self) {
+        // The RNG stream, tactic state and seen kinds/processes survive:
+        // a reset re-partitions the in-flight view only.
+        self.pool.clear();
+        self.meta.clear();
+        for pool in self.by_kind.values_mut() {
+            pool.clear();
+        }
+        for pool in self.by_to.values_mut() {
+            pool.clear();
+        }
+        for pool in self.by_from.values_mut() {
+            pool.clear();
+        }
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -864,6 +1091,92 @@ mod tests {
         assert_eq!(deliver_one(&mut rep, 1), 1); // seq 2
         assert_eq!(deliver_one(&mut rep, 2), 0); // seq 5
         assert_eq!(rep.divergences, 1);
+    }
+
+    #[test]
+    fn search_scheduler_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<EnvelopeId> {
+            let mut s = SearchScheduler::new(seed);
+            let mut picks = Vec::new();
+            let mut next_id = 0usize;
+            // Streamed workload: keep a few messages in flight while
+            // delivering, like a real run.
+            for wave in 0..20u64 {
+                for k in 0..4u64 {
+                    let kind = ["ack_req", "ack", "nack", "rb_echo"][k as usize];
+                    let m = InFlight {
+                        from: (k % 3) as ProcessId,
+                        to: ((k + 1) % 3) as ProcessId,
+                        seq: wave * 4 + k,
+                        sent_at: 0,
+                        kind,
+                    };
+                    s.on_send(&m, next_id);
+                    next_id += 1;
+                }
+                for t in 0..3 {
+                    picks.push(deliver_one(&mut s, wave * 3 + t));
+                }
+            }
+            picks
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(
+            run(11),
+            run(12),
+            "different seeds should explore differently"
+        );
+    }
+
+    #[test]
+    fn search_scheduler_delivers_everything() {
+        // Fairness valve: a finite batch fully drains no matter which
+        // hold tactics the seed rotates through.
+        for seed in 0..20u64 {
+            let mut s = SearchScheduler::new(seed);
+            let metas: Vec<InFlight> = (0..50u64)
+                .map(|i| InFlight {
+                    from: (i % 5) as ProcessId,
+                    to: ((i + 1) % 5) as ProcessId,
+                    seq: i,
+                    sent_at: 0,
+                    kind: ["a", "b", "c"][(i % 3) as usize],
+                })
+                .collect();
+            feed(&mut s, &metas);
+            let mut seen: Vec<bool> = vec![false; metas.len()];
+            for t in 0..metas.len() {
+                let id = deliver_one(&mut s, t as u64);
+                assert!(!seen[id], "seed {seed}: envelope {id} delivered twice");
+                seen[id] = true;
+            }
+            assert!(seen.iter().all(|&d| d), "seed {seed}: messages lost");
+        }
+    }
+
+    #[test]
+    fn search_scheduler_survives_reset_refeed() {
+        // Wrapped in a starvation wrapper, the explorer must tolerate a
+        // reset-and-refeed without losing or duplicating envelopes.
+        let mut s = TargetedScheduler::new(vec![(0, 1)], Box::new(SearchScheduler::new(3)))
+            .with_release_after(4);
+        let metas: Vec<InFlight> = (0..12u64)
+            .map(|i| InFlight {
+                from: (i % 3) as ProcessId,
+                to: ((i + 1) % 3) as ProcessId,
+                seq: i,
+                sent_at: 0,
+                kind: "m",
+            })
+            .collect();
+        feed(&mut s, &metas);
+        let mut seen = vec![false; metas.len()];
+        for t in 0..metas.len() {
+            let id = deliver_one(&mut s, t as u64);
+            assert!(!seen[id]);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&d| d));
     }
 
     #[test]

@@ -167,6 +167,13 @@ impl<M: WireMessage + 'static> Simulation<M> {
         self.trace.as_ref()
     }
 
+    /// Mutable access to the recorded trace so a harness can append
+    /// [`crate::trace::OpEvent`]s (protocol-level operations it observed
+    /// between [`Simulation::step`] calls) without any engine hook.
+    pub fn trace_mut(&mut self) -> Option<&mut Trace> {
+        self.trace.as_mut()
+    }
+
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.procs.len()

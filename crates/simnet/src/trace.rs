@@ -1,11 +1,28 @@
-//! Structured delivery traces: an optional per-delivery event log the
-//! simulation can populate, with query helpers for debugging and for
-//! tests that assert *how* a result was reached (message-flow shape),
-//! not just what it was.
+//! Structured run traces: an optional event log the simulation (and the
+//! harness driving it) can populate, with query helpers for debugging
+//! and for tests that assert *how* a result was reached, not just what
+//! it was.
+//!
+//! A trace interleaves two event streams into one full history:
+//!
+//! * **Delivery events** ([`TraceEvent`]) — one per message delivery,
+//!   pushed by the simulation engine when tracing is enabled.
+//! * **Operation events** ([`OpEvent`]) — protocol-level operations
+//!   (propose, decide/learn, refinement steps…) pushed by the *harness*
+//!   through the public [`Trace::push_op`] API, typically by observing
+//!   process state between [`crate::Simulation::step`] calls via
+//!   [`crate::Simulation::trace_mut`]. The engine knows nothing about
+//!   them; their meaning is defined by whoever emits and consumes them
+//!   (e.g. the trace-level conformance checker in `bgla_core`).
+//!
+//! The two streams interleave by *step*: an operation with `step = k`
+//! happened after delivery `k − 1` completed and before delivery `k`
+//! began (`step = 0` means before any delivery). [`Trace::history`]
+//! yields the merged full history in that order.
 
 use crate::process::ProcessId;
 
-/// One delivered message, as observed by the harness.
+/// One delivered message, as observed by the simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Delivery index (0-based, dense).
@@ -22,21 +39,94 @@ pub struct TraceEvent {
     pub bytes: usize,
 }
 
-/// A recorded delivery log with query helpers.
+/// One protocol-level operation, as observed by the harness.
+///
+/// The payload is deliberately opaque to the engine: `values` carries
+/// emitter-defined `u64` value keys (the conformance harness uses the
+/// proposed/decided values themselves for integer lattices, or stable
+/// keys for richer value types), `ts` an emitter-defined timestamp such
+/// as a refinement counter or round number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpEvent {
+    /// Number of deliveries completed when the operation was observed
+    /// (the op happened during delivery `step − 1`, or at start-up when
+    /// `step == 0`).
+    pub step: u64,
+    /// Process performing the operation.
+    pub process: ProcessId,
+    /// Operation kind tag (e.g. `"propose"`, `"refine"`, `"decide"`).
+    pub kind: &'static str,
+    /// Emitter-defined timestamp (refinement counter, round…).
+    pub ts: u64,
+    /// Emitter-defined value keys involved in the operation.
+    pub values: Vec<u64>,
+}
+
+/// One entry of the merged full history (see [`Trace::history`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEntry<'a> {
+    /// A message delivery.
+    Delivery(&'a TraceEvent),
+    /// A harness-observed protocol operation.
+    Op(&'a OpEvent),
+}
+
+/// A recorded run log — deliveries plus operations — with query helpers.
 #[derive(Debug, Default, Clone)]
 pub struct Trace {
+    /// Deliveries, dense by `step`.
     events: Vec<TraceEvent>,
+    /// Operations, non-decreasing in `step`, in emission order.
+    ops: Vec<OpEvent>,
 }
 
 impl Trace {
-    /// Appends one event (called by the simulation).
-    pub(crate) fn push(&mut self, ev: TraceEvent) {
+    /// Appends one delivery event. The simulation calls this on every
+    /// traced delivery; it is public so harnesses replaying or
+    /// synthesizing histories can build traces directly. Delivery
+    /// events are dense by `step`: the next event's step must equal the
+    /// number already recorded ([`Trace::history`] and
+    /// [`Trace::between_ops`] rely on it).
+    pub fn push(&mut self, ev: TraceEvent) {
+        debug_assert_eq!(
+            ev.step,
+            self.events.len() as u64,
+            "delivery events must be pushed dense in step order"
+        );
         self.events.push(ev);
     }
 
-    /// All events, in delivery order.
+    /// Appends one operation event. Ops must be pushed in observation
+    /// order: their `step` may never decrease.
+    pub fn push_op(&mut self, op: OpEvent) {
+        debug_assert!(
+            self.ops.last().is_none_or(|prev| prev.step <= op.step),
+            "op events must be pushed in non-decreasing step order"
+        );
+        self.ops.push(op);
+    }
+
+    /// All delivery events, in delivery order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// All operation events, in emission order.
+    pub fn ops(&self) -> &[OpEvent] {
+        &self.ops
+    }
+
+    /// The merged full history: every op with `step = k` comes after
+    /// delivery `k − 1` and before delivery `k`.
+    pub fn history(&self) -> impl Iterator<Item = TraceEntry<'_>> {
+        let mut deliveries = self.events.iter().peekable();
+        let mut ops = self.ops.iter().peekable();
+        std::iter::from_fn(move || match (deliveries.peek(), ops.peek()) {
+            (Some(d), Some(o)) if o.step <= d.step => Some(TraceEntry::Op(ops.next().unwrap())),
+            (Some(_), _) => Some(TraceEntry::Delivery(deliveries.next().unwrap())),
+            (None, Some(_)) => Some(TraceEntry::Op(ops.next().unwrap())),
+            (None, None) => None,
+        })
     }
 
     /// Number of deliveries recorded.
@@ -44,14 +134,24 @@ impl Trace {
         self.events.len()
     }
 
-    /// True when nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+    /// Number of operations recorded.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
     }
 
-    /// Events of one kind.
+    /// True when nothing (neither deliveries nor ops) was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.ops.is_empty()
+    }
+
+    /// Delivery events of one kind.
     pub fn of_kind(&self, kind: &'static str) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Operation events of one kind.
+    pub fn ops_of_kind(&self, kind: &'static str) -> impl Iterator<Item = &OpEvent> {
+        self.ops.iter().filter(move |o| o.kind == kind)
     }
 
     /// Deliveries on the `from → to` link.
@@ -75,19 +175,58 @@ impl Trace {
         map.into_iter().collect()
     }
 
-    /// Renders a compact textual flow (for small traces / debugging).
+    /// Per-kind delivered byte totals, sorted by kind.
+    pub fn bytes_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *map.entry(e.kind).or_insert(0u64) += e.bytes as u64;
+        }
+        map.into_iter().collect()
+    }
+
+    /// The delivery events that happened between two recorded ops
+    /// (indexes into [`Trace::ops`]): everything delivered after op `a`
+    /// was observed and before op `b` was. Useful for "how much traffic
+    /// did it take to get from this propose to that decide" assertions.
+    ///
+    /// Panics when either index is out of bounds or `a > b`.
+    pub fn between_ops(&self, a: usize, b: usize) -> &[TraceEvent] {
+        assert!(a <= b, "op indexes out of order: {a} > {b}");
+        let lo = (self.ops[a].step as usize).min(self.events.len());
+        let hi = (self.ops[b].step as usize).min(self.events.len());
+        &self.events[lo..hi]
+    }
+
+    /// Renders a compact textual flow of the full history (for small
+    /// traces / debugging).
     pub fn render(&self, limit: usize) -> String {
         use std::fmt::Write as _;
+        let total = self.events.len() + self.ops.len();
         let mut out = String::new();
-        for e in self.events.iter().take(limit) {
-            let _ = writeln!(
-                out,
-                "#{:<5} p{} -> p{} {:<12} depth={} {}B",
-                e.step, e.from, e.to, e.kind, e.depth, e.bytes
-            );
+        for entry in self.history().take(limit) {
+            match entry {
+                TraceEntry::Delivery(e) => {
+                    let _ = writeln!(
+                        out,
+                        "#{:<5} p{} -> p{} {:<12} depth={} {}B",
+                        e.step, e.from, e.to, e.kind, e.depth, e.bytes
+                    );
+                }
+                TraceEntry::Op(o) => {
+                    let _ = writeln!(
+                        out,
+                        "@{:<5} p{} {:<15} ts={} |values|={}",
+                        o.step,
+                        o.process,
+                        o.kind,
+                        o.ts,
+                        o.values.len()
+                    );
+                }
+            }
         }
-        if self.events.len() > limit {
-            let _ = writeln!(out, "... ({} more)", self.events.len() - limit);
+        if total > limit {
+            let _ = writeln!(out, "... ({} more)", total - limit);
         }
         out
     }
@@ -108,6 +247,16 @@ mod tests {
         }
     }
 
+    fn op(step: u64, process: usize, kind: &'static str, values: &[u64]) -> OpEvent {
+        OpEvent {
+            step,
+            process,
+            kind,
+            ts: 0,
+            values: values.to_vec(),
+        }
+    }
+
     #[test]
     fn queries_filter_correctly() {
         let mut t = Trace::default();
@@ -119,6 +268,7 @@ mod tests {
         assert_eq!(t.on_link(0, 1).count(), 2);
         assert_eq!(t.max_depth(), 3);
         assert_eq!(t.kind_histogram(), vec![("a", 2), ("b", 1)]);
+        assert_eq!(t.bytes_by_kind(), vec![("a", 16), ("b", 8)]);
     }
 
     #[test]
@@ -129,5 +279,50 @@ mod tests {
         }
         let s = t.render(3);
         assert!(s.contains("... (7 more)"));
+    }
+
+    #[test]
+    fn ops_interleave_by_step() {
+        let mut t = Trace::default();
+        t.push_op(op(0, 0, "propose", &[7]));
+        t.push(ev(0, 0, 1, "m", 1));
+        t.push(ev(1, 1, 0, "m", 2));
+        t.push_op(op(2, 1, "decide", &[7]));
+        t.push(ev(2, 0, 1, "m", 3));
+        assert_eq!(t.op_count(), 2);
+        assert_eq!(t.ops_of_kind("decide").count(), 1);
+        let history: Vec<&'static str> = t
+            .history()
+            .map(|entry| match entry {
+                TraceEntry::Delivery(e) => e.kind,
+                TraceEntry::Op(o) => o.kind,
+            })
+            .collect();
+        assert_eq!(history, vec!["propose", "m", "m", "decide", "m"]);
+    }
+
+    #[test]
+    fn between_ops_slices_the_deliveries() {
+        let mut t = Trace::default();
+        t.push_op(op(0, 0, "propose", &[1]));
+        for i in 0..5 {
+            t.push(ev(i, 0, 1, "m", i));
+        }
+        t.push_op(op(3, 0, "refine", &[1, 2]));
+        t.push_op(op(5, 0, "decide", &[1, 2]));
+        assert_eq!(t.between_ops(0, 1).len(), 3);
+        assert_eq!(t.between_ops(1, 2).len(), 2);
+        assert_eq!(t.between_ops(0, 2).len(), 5);
+        assert!(t.between_ops(2, 2).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_with_only_ops_is_not_empty() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push_op(op(0, 0, "propose", &[1]));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.op_count(), 1);
     }
 }
