@@ -1,0 +1,502 @@
+//! Durability costs and the crash-recovery sweep.
+//!
+//! Timed cases:
+//!
+//! * `snapshot_encode/{algo}` — serializing one mid-run process into a
+//!   framed, checksummed snapshot (`throughput_bytes` = frame size);
+//! * `snapshot_decode/{algo}` — validating + deserializing that frame
+//!   back into a bootable process;
+//! * `crash_cycle/{algo}` — a full crash-recovery-to-quiescence run:
+//!   honest execution under a FIFO schedule, one crash shortly after
+//!   the victim's first decide, snapshot restore, rejoin, quiescence,
+//!   and the restart-spanning prefix check.
+//!
+//! After the timed groups the bench always runs the **crash-recovery
+//! sweep**: all four algorithms × scheduler grid × crash tactics with a
+//! faithful store (must be violation-free), plus the planted
+//! stale-snapshot rollback (must be *detected* as `RestartRegression`
+//! on multi-round GWTS and *absorbed* on one-shot WTS). Any deviation
+//! panics, so CI fails loudly.
+//!
+//! `RECOVERY_SMOKE=1` shrinks sample counts and the sweep grid to a
+//! CI-sized check; the committed `BENCH_recovery.json` baseline is
+//! produced by a full run (`CRITERION_JSON=BENCH_recovery.json cargo
+//! bench -p bgla-bench --bench recovery`).
+
+use bgla_core::gsbs::{GsbsMsg, GsbsProcess};
+use bgla_core::gwts::{GwtsMsg, GwtsProcess};
+use bgla_core::harness::{
+    gsbs_observer, gsbs_system, gwts_observer, gwts_system, sbs_observer, sbs_system, wts_observer,
+    wts_system,
+};
+use bgla_core::linearize::{CheckerConfig, TraceViolation};
+use bgla_core::recovery::{
+    first_decide_steps, resolve_tactics, run_crash_conformance, CrashPlan, CrashTactic, MemStore,
+    RebuildFn, RollbackStore, SnapshotPolicy,
+};
+use bgla_core::sbs::{SbsMsg, SbsProcess};
+use bgla_core::search::{Observer, SystemFactory};
+use bgla_core::wts::{WtsMsg, WtsProcess};
+use bgla_core::SystemConfig;
+use bgla_simnet::{
+    FifoScheduler, ProcessId, RandomScheduler, Scheduler, SearchScheduler, WireMessage,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeMap;
+
+const N: usize = 4;
+const F: usize = 1;
+const VICTIM: ProcessId = 0;
+const BUDGET: u64 = 5_000_000;
+
+/// Deliveries to absorb before snapshotting the encode/decode subject:
+/// enough to populate rbcast engines, counters and (for the signature
+/// algorithms) signed sets and proofs.
+const WARM_STEPS: u64 = 25;
+
+fn ident(v: &u64) -> u64 {
+    *v
+}
+
+fn gen_schedule(i: usize) -> BTreeMap<u64, Vec<u64>> {
+    let mut s = BTreeMap::new();
+    s.insert(0, vec![100 + i as u64]);
+    s
+}
+
+/// Inputs in rounds 0 and 1, so a stale round-0 snapshot rolls back
+/// over a real decision gap (the rollback plant needs this).
+fn growing_schedule(i: usize) -> BTreeMap<u64, Vec<u64>> {
+    let mut s = BTreeMap::new();
+    s.insert(0, vec![100 + i as u64]);
+    s.insert(1, vec![200 + i as u64]);
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild closures (restore-from-snapshot, genesis fallback)
+// ---------------------------------------------------------------------------
+
+fn wts_rebuild(config: SystemConfig) -> Box<RebuildFn<'static, WtsMsg<u64>>> {
+    Box::new(
+        move |p, snap| match snap.and_then(|b| WtsProcess::<u64>::from_snapshot(&b).ok()) {
+            Some(proc) => (Box::new(proc) as _, false),
+            None => (
+                Box::new(WtsProcess::new(p, config, 10 + p as u64)) as _,
+                true,
+            ),
+        },
+    )
+}
+
+fn sbs_rebuild(config: SystemConfig) -> Box<RebuildFn<'static, SbsMsg<u64>>> {
+    Box::new(
+        move |p, snap| match snap.and_then(|b| SbsProcess::<u64>::from_snapshot(&b).ok()) {
+            Some(proc) => (Box::new(proc) as _, false),
+            None => (
+                Box::new(SbsProcess::new(p, config, 10 + p as u64)) as _,
+                true,
+            ),
+        },
+    )
+}
+
+fn gwts_rebuild(
+    config: SystemConfig,
+    schedule: fn(usize) -> BTreeMap<u64, Vec<u64>>,
+    rounds: u64,
+) -> Box<RebuildFn<'static, GwtsMsg<u64>>> {
+    Box::new(
+        move |p, snap| match snap.and_then(|b| GwtsProcess::<u64>::from_snapshot(&b).ok()) {
+            Some(proc) => (Box::new(proc) as _, false),
+            None => (
+                Box::new(GwtsProcess::new(p, config, schedule(p), rounds)) as _,
+                true,
+            ),
+        },
+    )
+}
+
+fn gsbs_rebuild(
+    config: SystemConfig,
+    schedule: fn(usize) -> BTreeMap<u64, Vec<u64>>,
+    rounds: u64,
+) -> Box<RebuildFn<'static, GsbsMsg<u64>>> {
+    Box::new(
+        move |p, snap| match snap.and_then(|b| GsbsProcess::<u64>::from_snapshot(&b).ok()) {
+            Some(proc) => (Box::new(proc) as _, false),
+            None => (
+                Box::new(GsbsProcess::new(p, config, schedule(p), rounds)) as _,
+                true,
+            ),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// One crash-recovery cycle + the sweep over schedulers × tactics
+// ---------------------------------------------------------------------------
+
+/// Runs one faithful-store crash-recovery cycle and asserts it is
+/// clean; returns (restarts, genesis rejoins) for reporting.
+fn crash_cycle<M: WireMessage + 'static>(
+    label: &str,
+    build: &mut SystemFactory<'_, M>,
+    mk_observer: &dyn Fn() -> Observer<M>,
+    rebuild: &mut RebuildFn<'_, M>,
+    cfg: &CheckerConfig,
+    tactics: &[CrashTactic],
+    mk_sched: &dyn Fn() -> Box<dyn Scheduler>,
+) -> (u64, usize) {
+    let pilot = first_decide_steps(build, mk_observer, mk_sched(), BUDGET);
+    let plan = resolve_tactics(tactics, &pilot);
+    let mut store = MemStore::new();
+    let run = run_crash_conformance(
+        build,
+        mk_observer,
+        rebuild,
+        SnapshotPolicy::combined(20),
+        &mut store,
+        &plan,
+        &cfg.clone().without_inclusivity(),
+        mk_sched(),
+        BUDGET,
+    );
+    assert!(run.outcome.quiescent, "{label}: did not quiesce");
+    assert!(run.restarts >= 1, "{label}: the plan never restarted");
+    assert!(
+        run.genesis_rejoins.len() <= F,
+        "{label}: genesis rejoins exceed f"
+    );
+    match run.result {
+        Ok(w) => w
+            .validate()
+            .unwrap_or_else(|e| panic!("{label}: bad witness: {e}")),
+        Err(v) => panic!("{label}: conformance violation: {v}"),
+    }
+    (run.restarts, run.genesis_rejoins.len())
+}
+
+/// A named scheduler grid: (label, scheduler factory) rows.
+type SchedGrid<'a> = Vec<(&'a str, Box<dyn Fn() -> Box<dyn Scheduler>>)>;
+
+fn sweep_algo<M: WireMessage + 'static>(
+    label: &str,
+    build: &mut SystemFactory<'_, M>,
+    mk_observer: &dyn Fn() -> Observer<M>,
+    rebuild: &mut RebuildFn<'_, M>,
+    cfg: &CheckerConfig,
+    smoke: bool,
+) {
+    let scheds: SchedGrid<'_> = if smoke {
+        vec![("fifo", Box::new(|| Box::new(FifoScheduler::new())))]
+    } else {
+        vec![
+            ("fifo", Box::new(|| Box::new(FifoScheduler::new()))),
+            ("random", Box::new(|| Box::new(RandomScheduler::new(7)))),
+            ("search", Box::new(|| Box::new(SearchScheduler::new(3)))),
+        ]
+    };
+    let tactic_sets: Vec<(&str, Vec<CrashTactic>)> = {
+        let mut t = vec![
+            (
+                "after-decide",
+                vec![CrashTactic::AfterDecide {
+                    victim: VICTIM,
+                    lag: 2,
+                    downtime: 25,
+                }],
+            ),
+            (
+                "double-crash",
+                vec![CrashTactic::DoubleCrash {
+                    victim: VICTIM,
+                    step: 6,
+                    gap: 12,
+                    downtime: 15,
+                }],
+            ),
+        ];
+        if !smoke {
+            t.push((
+                "at-step",
+                vec![CrashTactic::AtStep {
+                    victim: VICTIM,
+                    step: 5,
+                    downtime: 30,
+                }],
+            ));
+            t.push((
+                "before-decide",
+                vec![CrashTactic::BeforeDecide {
+                    victim: VICTIM,
+                    lead: 3,
+                    downtime: 25,
+                }],
+            ));
+        }
+        t
+    };
+    for (sched_name, mk_sched) in &scheds {
+        for (tactic_name, tactics) in &tactic_sets {
+            let cell = format!("{label}/{sched_name}/{tactic_name}");
+            let (restarts, rejoins) =
+                crash_cycle(&cell, build, mk_observer, rebuild, cfg, tactics, mk_sched);
+            println!("  {cell}: clean ({restarts} restarts, {rejoins} genesis rejoins)");
+        }
+    }
+}
+
+/// The CI gate: faithful-store sweep over every algorithm, then the
+/// planted rollback adversary — detected on multi-round GWTS, absorbed
+/// on one-shot WTS.
+fn crash_recovery_sweep(smoke: bool) {
+    println!(
+        "\ncrash-recovery sweep{}:",
+        if smoke { " (smoke grid)" } else { "" }
+    );
+    let config = SystemConfig::new(N, F);
+    let honest: Vec<usize> = (0..N).collect();
+    let cfg = CheckerConfig::honest_system(N, F);
+    let rounds = 3u64;
+
+    {
+        let mut build = |sched: Box<dyn Scheduler>| wts_system(N, F, |i| 10 + i as u64, sched).0;
+        sweep_algo(
+            "wts",
+            &mut build,
+            &|| wts_observer(honest.clone(), ident),
+            &mut *wts_rebuild(config),
+            &cfg,
+            smoke,
+        );
+    }
+    {
+        let mut build =
+            |sched: Box<dyn Scheduler>| gwts_system(N, F, rounds, gen_schedule, sched).0;
+        sweep_algo(
+            "gwts",
+            &mut build,
+            &|| gwts_observer(honest.clone(), ident),
+            &mut *gwts_rebuild(config, gen_schedule, rounds),
+            &cfg,
+            smoke,
+        );
+    }
+    {
+        let mut build = |sched: Box<dyn Scheduler>| sbs_system(N, F, |i| 10 + i as u64, sched).0;
+        sweep_algo(
+            "sbs",
+            &mut build,
+            &|| sbs_observer(honest.clone(), ident),
+            &mut *sbs_rebuild(config),
+            &cfg,
+            smoke,
+        );
+    }
+    {
+        let mut build =
+            |sched: Box<dyn Scheduler>| gsbs_system(N, F, rounds, gen_schedule, sched).0;
+        sweep_algo(
+            "gsbs",
+            &mut build,
+            &|| gsbs_observer(honest.clone(), ident),
+            &mut *gsbs_rebuild(config, gen_schedule, rounds),
+            &cfg,
+            smoke,
+        );
+    }
+
+    // Rollback plant, detected: GWTS with a growing per-round schedule
+    // restores a stale round-0 snapshot after quiescence.
+    {
+        let mut build =
+            |sched: Box<dyn Scheduler>| gwts_system(N, F, rounds, growing_schedule, sched).0;
+        let mk_observer = || gwts_observer(honest.clone(), ident);
+        let mut rebuild = gwts_rebuild(config, growing_schedule, rounds);
+        let mut store = RollbackStore::new();
+        let run = run_crash_conformance(
+            &mut build,
+            &mk_observer,
+            &mut *rebuild,
+            SnapshotPolicy::decide_triggered(),
+            &mut store,
+            &CrashPlan::single(VICTIM, u64::MAX, 1),
+            &cfg.clone().without_inclusivity(),
+            Box::new(FifoScheduler::new()),
+            BUDGET,
+        );
+        let v = run
+            .result
+            .expect_err("gwts rollback plant: the stale snapshot must be detected");
+        assert!(
+            matches!(
+                v.violation,
+                TraceViolation::RestartRegression {
+                    process: VICTIM,
+                    ..
+                }
+            ),
+            "gwts rollback plant: wrong violation class: {v}"
+        );
+        println!("  gwts/rollback-plant: detected ({})", v.violation);
+    }
+    // Rollback plant, absorbed: one-shot WTS's only snapshot *is* its
+    // decision, so the stale restore is faithful.
+    {
+        let mut build = |sched: Box<dyn Scheduler>| wts_system(N, F, |i| 10 + i as u64, sched).0;
+        let mk_observer = || wts_observer(honest.clone(), ident);
+        let mut rebuild = wts_rebuild(config);
+        let mut store = RollbackStore::new();
+        let run = run_crash_conformance(
+            &mut build,
+            &mk_observer,
+            &mut *rebuild,
+            SnapshotPolicy::decide_triggered(),
+            &mut store,
+            &CrashPlan::single(VICTIM, u64::MAX, 1),
+            &cfg,
+            Box::new(FifoScheduler::new()),
+            BUDGET,
+        );
+        run.result
+            .unwrap_or_else(|v| panic!("wts rollback plant: must be absorbed: {v}"))
+            .validate()
+            .unwrap();
+        println!("  wts/rollback-plant: absorbed (one-shot durability)");
+    }
+    println!("crash-recovery sweep: all cells clean\n");
+}
+
+// ---------------------------------------------------------------------------
+// Timed groups
+// ---------------------------------------------------------------------------
+
+/// Runs `sim` for [`WARM_STEPS`] deliveries so snapshots carry real
+/// mid-protocol state.
+fn warm<M: WireMessage + 'static>(sim: &mut bgla_simnet::Simulation<M>) {
+    sim.start();
+    for _ in 0..WARM_STEPS {
+        if !sim.step() {
+            break;
+        }
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let smoke = std::env::var("RECOVERY_SMOKE").is_ok();
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(if smoke { 3 } else { 10 });
+
+    // Mid-run subjects for snapshot encode/decode.
+    let (mut wts_sim, _) = wts_system(N, F, |i| 10 + i as u64, Box::new(RandomScheduler::new(11)));
+    warm(&mut wts_sim);
+    let (mut gwts_sim, _) = gwts_system(N, F, 3, gen_schedule, Box::new(RandomScheduler::new(11)));
+    warm(&mut gwts_sim);
+    let (mut sbs_sim, _) = sbs_system(N, F, |i| 10 + i as u64, Box::new(RandomScheduler::new(11)));
+    warm(&mut sbs_sim);
+    let (mut gsbs_sim, _) = gsbs_system(N, F, 3, gen_schedule, Box::new(RandomScheduler::new(11)));
+    warm(&mut gsbs_sim);
+
+    macro_rules! codec_benches {
+        ($algo:literal, $sim:ident, $ty:ty) => {{
+            let p = $sim.process_as::<$ty>(0).expect("plain process");
+            let frame = p.snapshot_bytes();
+            g.throughput(Throughput::Bytes(frame.len() as u64));
+            g.bench_with_input(BenchmarkId::new("snapshot_encode", $algo), &(), |b, _| {
+                b.iter(|| p.snapshot_bytes())
+            });
+            g.bench_with_input(BenchmarkId::new("snapshot_decode", $algo), &(), |b, _| {
+                b.iter(|| <$ty>::from_snapshot(&frame).expect("own snapshot decodes"))
+            });
+            println!("{}: mid-run snapshot frame = {} bytes", $algo, frame.len());
+        }};
+    }
+    codec_benches!("wts", wts_sim, WtsProcess<u64>);
+    codec_benches!("gwts", gwts_sim, GwtsProcess<u64>);
+    codec_benches!("sbs", sbs_sim, SbsProcess<u64>);
+    codec_benches!("gsbs", gsbs_sim, GsbsProcess<u64>);
+
+    // Full crash-recovery cycles to quiescence (crash after the first
+    // decide: the restore path really replays a decided snapshot).
+    let config = SystemConfig::new(N, F);
+    let honest: Vec<usize> = (0..N).collect();
+    let cfg = CheckerConfig::honest_system(N, F);
+    let tactics = [CrashTactic::AfterDecide {
+        victim: VICTIM,
+        lag: 2,
+        downtime: 25,
+    }];
+    let fifo: &dyn Fn() -> Box<dyn Scheduler> = &|| Box::new(FifoScheduler::new());
+
+    g.bench_with_input(BenchmarkId::new("crash_cycle", "wts"), &(), |b, _| {
+        let mut build = |sched: Box<dyn Scheduler>| wts_system(N, F, |i| 10 + i as u64, sched).0;
+        let mk_observer = || wts_observer(honest.clone(), ident);
+        let mut rebuild = wts_rebuild(config);
+        b.iter(|| {
+            crash_cycle(
+                "wts/crash_cycle",
+                &mut build,
+                &mk_observer,
+                &mut *rebuild,
+                &cfg,
+                &tactics,
+                fifo,
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("crash_cycle", "gwts"), &(), |b, _| {
+        let mut build = |sched: Box<dyn Scheduler>| gwts_system(N, F, 3, gen_schedule, sched).0;
+        let mk_observer = || gwts_observer(honest.clone(), ident);
+        let mut rebuild = gwts_rebuild(config, gen_schedule, 3);
+        b.iter(|| {
+            crash_cycle(
+                "gwts/crash_cycle",
+                &mut build,
+                &mk_observer,
+                &mut *rebuild,
+                &cfg,
+                &tactics,
+                fifo,
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("crash_cycle", "sbs"), &(), |b, _| {
+        let mut build = |sched: Box<dyn Scheduler>| sbs_system(N, F, |i| 10 + i as u64, sched).0;
+        let mk_observer = || sbs_observer(honest.clone(), ident);
+        let mut rebuild = sbs_rebuild(config);
+        b.iter(|| {
+            crash_cycle(
+                "sbs/crash_cycle",
+                &mut build,
+                &mk_observer,
+                &mut *rebuild,
+                &cfg,
+                &tactics,
+                fifo,
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("crash_cycle", "gsbs"), &(), |b, _| {
+        let mut build = |sched: Box<dyn Scheduler>| gsbs_system(N, F, 3, gen_schedule, sched).0;
+        let mk_observer = || gsbs_observer(honest.clone(), ident);
+        let mut rebuild = gsbs_rebuild(config, gen_schedule, 3);
+        b.iter(|| {
+            crash_cycle(
+                "gsbs/crash_cycle",
+                &mut build,
+                &mk_observer,
+                &mut *rebuild,
+                &cfg,
+                &tactics,
+                fifo,
+            )
+        })
+    });
+    g.finish();
+
+    crash_recovery_sweep(smoke);
+}
+
+criterion_group!(recovery, bench_recovery);
+criterion_main!(recovery);

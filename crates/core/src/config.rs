@@ -1,5 +1,7 @@
 //! System parameters and quorum arithmetic.
 
+use bgla_codec::{CodecError, Reader, Wire, Writer};
+
 /// Static parameters of one agreement instance: `n` processes of which at
 /// most `f` are Byzantine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,24 @@ impl SystemConfig {
     /// Minimum number of *correct* processes.
     pub fn min_correct(&self) -> usize {
         self.n - self.f
+    }
+}
+
+/// Decoding deliberately skips the `n ≥ 3f + 1` assert: snapshots of the
+/// `3f+1`-necessity experiment (E1) carry under-provisioned configs on
+/// purpose. Only `n == 0` (meaningless everywhere) is rejected.
+impl Wire for SystemConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.n);
+        w.usize(self.f);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.usize()?;
+        let f = r.usize()?;
+        if n == 0 {
+            return Err(CodecError::Invalid("config n == 0"));
+        }
+        Ok(SystemConfig { n, f })
     }
 }
 

@@ -52,6 +52,7 @@ use crate::provendelta::{
 use crate::signedset::{SignedItem, SignedSet};
 use crate::value::SignableValue;
 use crate::valueset::ValueSet;
+use bgla_codec::{decode_frame, encode_frame, CodecError, Reader, Wire, Writer};
 use bgla_crypto::{
     sha512, CachedVerifier, Keypair, Keyring, ProofCache, ProofId, ProofResolver, Signature,
     ToBytes, VerifierStats,
@@ -593,6 +594,9 @@ pub struct GsbsProcess<V: SignableValue> {
     waiting: Vec<(ProcessId, GsbsMsg<V>)>,
     /// Cumulative decision floor.
     decided_set: ValueSet<V>,
+    /// Set by [`GsbsProcess::from_snapshot`]: the next `on_start` is a
+    /// *recovery* boot (re-announce instead of initialize).
+    recovered: bool,
 
     /// Decision sequence.
     pub decisions: Vec<ValueSet<V>>,
@@ -640,6 +644,7 @@ impl<V: SignableValue> GsbsProcess<V> {
             forwarded: BTreeSet::new(),
             waiting: Vec::new(),
             decided_set: ValueSet::new(),
+            recovered: false,
             decisions: Vec::new(),
             decision_depths: Vec::new(),
             all_inputs: Vec::new(),
@@ -1052,8 +1057,391 @@ impl<V: SignableValue> GsbsProcess<V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable state (crash snapshots)
+// ---------------------------------------------------------------------------
+
+/// Frame kind tag for GSbS process snapshots.
+pub const GSBS_SNAPSHOT_KIND: u16 = 0x0104;
+
+impl Wire for Digest {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Digest(Wire::decode(r)?))
+    }
+}
+
+/// Codec forms carry signatures verbatim without verifying them —
+/// snapshots are checksummed local state, and every network consumption
+/// site re-verifies through the [`CachedVerifier`] anyway.
+impl<V: SignableValue> Wire for SignedBatch<V> {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.round);
+        self.batch.encode(w);
+        w.usize(self.signer);
+        self.sig.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SignedBatch {
+            round: r.u64()?,
+            batch: Wire::decode(r)?,
+            signer: r.usize()?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for GSafeAck<V> {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.round);
+        self.rcvd.encode(w);
+        self.conflicts.encode(w);
+        w.usize(self.signer);
+        self.sig.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(GSafeAck {
+            round: r.u64()?,
+            rcvd: Wire::decode(r)?,
+            conflicts: Wire::decode(r)?,
+            signer: r.usize()?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for ProvenBatch<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.sb.encode(w);
+        self.proof.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ProvenBatch {
+            sb: Wire::decode(r)?,
+            proof: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for SignedAck {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.destination);
+        w.u64(self.ts);
+        w.u64(self.round);
+        self.digest.encode(w);
+        w.usize(self.signer);
+        self.sig.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SignedAck {
+            destination: r.usize()?,
+            ts: r.u64()?,
+            round: r.u64()?,
+            digest: Wire::decode(r)?,
+            signer: r.usize()?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for DecidedCert<V> {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.round);
+        self.values.encode(w);
+        self.acks.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DecidedCert {
+            round: r.u64()?,
+            values: Wire::decode(r)?,
+            acks: Wire::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for GsbsMsg<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GsbsMsg::Init(sb) => {
+                w.u8(0);
+                sb.encode(w);
+            }
+            GsbsMsg::SafeReq { round, set } => {
+                w.u8(1);
+                w.u64(*round);
+                set.encode(w);
+            }
+            GsbsMsg::SafeAck(ack) => {
+                w.u8(2);
+                ack.encode(w);
+            }
+            GsbsMsg::AckReq {
+                proposed,
+                ts,
+                round,
+            } => {
+                w.u8(3);
+                proposed.encode(w);
+                w.u64(*ts);
+                w.u64(*round);
+            }
+            GsbsMsg::Ack(ack) => {
+                w.u8(4);
+                ack.encode(w);
+            }
+            GsbsMsg::Nack {
+                accepted,
+                ts,
+                round,
+            } => {
+                w.u8(5);
+                accepted.encode(w);
+                w.u64(*ts);
+                w.u64(*round);
+            }
+            GsbsMsg::Resync { ts, round } => {
+                w.u8(6);
+                w.u64(*ts);
+                w.u64(*round);
+            }
+            GsbsMsg::Decided(cert) => {
+                w.u8(7);
+                cert.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(GsbsMsg::Init(Wire::decode(r)?)),
+            1 => Ok(GsbsMsg::SafeReq {
+                round: r.u64()?,
+                set: Wire::decode(r)?,
+            }),
+            2 => Ok(GsbsMsg::SafeAck(Wire::decode(r)?)),
+            3 => Ok(GsbsMsg::AckReq {
+                proposed: Wire::decode(r)?,
+                ts: r.u64()?,
+                round: r.u64()?,
+            }),
+            4 => Ok(GsbsMsg::Ack(Wire::decode(r)?)),
+            5 => Ok(GsbsMsg::Nack {
+                accepted: Wire::decode(r)?,
+                ts: r.u64()?,
+                round: r.u64()?,
+            }),
+            6 => Ok(GsbsMsg::Resync {
+                ts: r.u64()?,
+                round: r.u64()?,
+            }),
+            7 => Ok(GsbsMsg::Decided(Wire::decode(r)?)),
+            _ => Err(CodecError::Invalid("gsbs msg tag")),
+        }
+    }
+}
+
+impl Wire for GsbsState {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            GsbsState::Init => 0,
+            GsbsState::Safetying => 1,
+            GsbsState::Proposing => 2,
+            GsbsState::Done => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => GsbsState::Init,
+            1 => GsbsState::Safetying,
+            2 => GsbsState::Proposing,
+            3 => GsbsState::Done,
+            _ => return Err(CodecError::Invalid("gsbs state tag")),
+        })
+    }
+}
+
+/// Durable/volatile split for crash snapshots — the [`crate::sbs`]
+/// split extended with the round machinery: schedules, per-round
+/// safetying artifacts, the certificate store (`decided_certs`,
+/// `forwarded`, `safe_r`), the waiting buffer and the whole decision
+/// history. Reconstructed as in SbS: key material, verifier,
+/// [`ProofCache`] and the delta bookkeeping (fresh bookkeeping degrades
+/// to `Full` payloads until peers reply again; the `Resync` fallback
+/// covers peers' stale claims about *us*).
+impl<V: SignableValue> Wire for GsbsProcess<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.usize(self.me);
+        self.input_schedule.encode(w);
+        w.u64(self.max_rounds);
+        self.state.encode(w);
+        w.u64(self.round);
+        w.u64(self.ts);
+        self.batches.encode(w);
+        self.safety_sets.encode(w);
+        self.safe_acks.encode(w);
+        self.safe_ack_senders.encode(w);
+        self.current_safe_req.encode(w);
+        self.proposed_set.encode(w);
+        self.ack_certs.encode(w);
+        self.safe_candidates.encode(w);
+        self.accepted_set.encode(w);
+        // Resolver contents, most-recently-used first; ids are
+        // recomputed on re-registration (see the SbS snapshot notes).
+        let retained: Vec<BatchProof<V>> = self
+            .resolver
+            .entries()
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        retained.encode(w);
+        self.proof_interning.encode(w);
+        self.proven_deltas.encode(w);
+        w.u64(self.safe_r);
+        self.decided_certs.encode(w);
+        self.forwarded.encode(w);
+        self.waiting.encode(w);
+        self.decided_set.encode(w);
+        self.decisions.encode(w);
+        self.decision_depths.encode(w);
+        self.all_inputs.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let config = SystemConfig::decode(r)?;
+        let me = r.usize()?;
+        let input_schedule = Wire::decode(r)?;
+        let max_rounds = r.u64()?;
+        let state = GsbsState::decode(r)?;
+        let round = r.u64()?;
+        let ts = r.u64()?;
+        let batches = Wire::decode(r)?;
+        let safety_sets = Wire::decode(r)?;
+        let safe_acks = Wire::decode(r)?;
+        let safe_ack_senders = Wire::decode(r)?;
+        let current_safe_req = Wire::decode(r)?;
+        let proposed_set = Wire::decode(r)?;
+        let ack_certs = Wire::decode(r)?;
+        let safe_candidates = Wire::decode(r)?;
+        let accepted_set = Wire::decode(r)?;
+        let retained: Vec<BatchProof<V>> = Wire::decode(r)?;
+        let proof_interning = bool::decode(r)?;
+        let proven_deltas = bool::decode(r)?;
+        let safe_r = r.u64()?;
+        let decided_certs = Wire::decode(r)?;
+        let forwarded = Wire::decode(r)?;
+        let waiting = Wire::decode(r)?;
+        let decided_set = Wire::decode(r)?;
+        let decisions = Wire::decode(r)?;
+        let decision_depths = Wire::decode(r)?;
+        let all_inputs = Wire::decode(r)?;
+        let mut resolver = ProofResolver::default();
+        for proof in retained {
+            resolver.register(proof.id(), proof);
+        }
+        Ok(GsbsProcess {
+            config,
+            me,
+            input_schedule,
+            max_rounds,
+            keypair: Keypair::for_process(me),
+            verifier: CachedVerifier::new(Keyring::for_system(config.n)),
+            state,
+            round,
+            ts,
+            batches,
+            safety_sets,
+            safe_acks,
+            safe_ack_senders,
+            current_safe_req,
+            proposed_set,
+            ack_certs,
+            safe_candidates,
+            accepted_set,
+            proof_cache: ProofCache::default(),
+            proof_interning,
+            delta_tx: ProvenDeltaSender::new(proven_deltas),
+            delta_rx: ProvenDeltaReceiver::new(),
+            resolver,
+            proven_deltas,
+            safe_r,
+            decided_certs,
+            forwarded,
+            waiting,
+            decided_set,
+            recovered: true,
+            decisions,
+            decision_depths,
+            all_inputs,
+        })
+    }
+}
+
+impl<V: SignableValue> GsbsProcess<V> {
+    /// Serializes the durable state as a checksummed
+    /// [`GSBS_SNAPSHOT_KIND`] frame.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        encode_frame(GSBS_SNAPSHOT_KIND, self)
+    }
+
+    /// Rebuilds a process from [`GsbsProcess::snapshot_bytes`] output.
+    /// The next `on_start` performs a recovery boot.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, CodecError> {
+        decode_frame(GSBS_SNAPSHOT_KIND, bytes)
+    }
+}
+
 impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
     fn on_start(&mut self, ctx: &mut Context<GsbsMsg<V>>) {
+        if self.recovered {
+            // Recovery boot: re-solicit the replies the crash swept
+            // from our inbox. Unlike SbS, collected safe-acks and ack
+            // certificates are *kept*: GSbS has no `byz` exclusion set,
+            // so duplicate replies from already-counted senders are
+            // simply ignored (structural dedup by signer), and Ed25519
+            // determinism makes re-signed replies byte-identical.
+            //
+            // * `Init` — re-broadcast our own signed batch for the
+            //   current round (idempotent set insert at peers). Peer
+            //   inits lost to the crash cannot be re-requested; the
+            //   recovered process may stall here — absorbed within the
+            //   ≤ f crash budget (see `crate::recovery`).
+            // * `Safetying` — re-broadcast the outstanding `safe_req`
+            //   verbatim (`current_safe_req` is durable precisely so
+            //   the echo check still matches).
+            // * `Proposing` — re-broadcast the proposal at the current
+            //   ts; acceptors re-ack idempotently, and a durable
+            //   certificate for this round (ours or a peer's) can be
+            //   adopted immediately.
+            // * `Done` — nothing to re-solicit.
+            self.recovered = false;
+            match self.state {
+                GsbsState::Init => {
+                    let mine = self
+                        .safety_sets
+                        .get(&self.round)
+                        .and_then(|set| set.iter().find(|sb| sb.signer == self.me).cloned());
+                    if let Some(sb) = mine {
+                        ctx.broadcast(GsbsMsg::Init(sb));
+                    }
+                    self.maybe_start_safetying(ctx);
+                }
+                GsbsState::Safetying => {
+                    ctx.broadcast(GsbsMsg::SafeReq {
+                        round: self.round,
+                        set: self.current_safe_req.clone(),
+                    });
+                }
+                GsbsState::Proposing => {
+                    self.broadcast_proposal(ctx);
+                    self.try_adopt_certificate(ctx);
+                    self.drain_waiting(ctx);
+                }
+                GsbsState::Done => {}
+            }
+            return;
+        }
         self.start_round(0, ctx);
     }
 
@@ -1184,6 +1572,10 @@ impl<V: SignableValue> Process<GsbsMsg<V>> for GsbsProcess<V> {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.snapshot_bytes())
+    }
 }
 
 /// Removes conflicting batch pairs in place (no-op allocation-wise when
@@ -1270,6 +1662,23 @@ mod tests {
             }
             spec::check_local_stability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             spec::check_global_comparability(&seqs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_stable() {
+        let (n, rounds) = (4, 3u64);
+        let mut sim = gsbs_system(n, 1, rounds, Box::new(FifoScheduler::new()));
+        let out = sim.run(10_000_000);
+        assert!(out.quiescent);
+        for i in 0..n {
+            let p = sim.process_as::<GsbsProcess<u64>>(i).unwrap();
+            let bytes = p.snapshot_bytes();
+            let q = GsbsProcess::<u64>::from_snapshot(&bytes).unwrap();
+            assert_eq!(q.decisions, p.decisions, "p{i}");
+            assert_eq!(q.state(), p.state(), "p{i}");
+            assert_eq!(q.safe_r, p.safe_r, "p{i}");
+            assert_eq!(q.snapshot_bytes(), bytes, "p{i}: roundtrip not stable");
         }
     }
 

@@ -27,10 +27,14 @@
 use crate::config::SystemConfig;
 use crate::value::Value;
 use crate::valueset::{DeltaReceiver, DeltaSender, SetUpdate, ValueSet};
+use bgla_codec::{decode_frame, encode_frame, CodecError, Reader, Wire, Writer};
 use bgla_rbcast::{RbMsg, RbcastEngine};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Frame kind of a [`GwtsProcess`] crash-recovery snapshot.
+pub const GWTS_SNAPSHOT_KIND: u16 = 0x0102;
 
 /// A reliably-broadcast acceptance record (the paper's
 /// `<ack, Accepted_set, destination, sender, ts, round>`; the sender is
@@ -45,6 +49,23 @@ pub struct AckRecord<V: Value> {
     pub ts: u64,
     /// Round number.
     pub round: u64,
+}
+
+impl<V: Value> Wire for AckRecord<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.accepted.encode(w);
+        w.usize(self.destination);
+        w.u64(self.ts);
+        w.u64(self.round);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AckRecord {
+            accepted: Wire::decode(r)?,
+            destination: r.usize()?,
+            ts: r.u64()?,
+            round: r.u64()?,
+        })
+    }
 }
 
 /// GWTS wire messages.
@@ -121,6 +142,58 @@ impl<V: Value> WireMessage for GwtsMsg<V> {
     }
 }
 
+impl<V: Value> Wire for GwtsMsg<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GwtsMsg::Disc(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            GwtsMsg::AckReq {
+                proposed,
+                ts,
+                round,
+            } => {
+                w.u8(1);
+                proposed.encode(w);
+                w.u64(*ts);
+                w.u64(*round);
+            }
+            GwtsMsg::Ack(m) => {
+                w.u8(2);
+                m.encode(w);
+            }
+            GwtsMsg::Nack {
+                accepted,
+                ts,
+                round,
+            } => {
+                w.u8(3);
+                accepted.encode(w);
+                w.u64(*ts);
+                w.u64(*round);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(GwtsMsg::Disc(Wire::decode(r)?)),
+            1 => Ok(GwtsMsg::AckReq {
+                proposed: Wire::decode(r)?,
+                ts: r.u64()?,
+                round: r.u64()?,
+            }),
+            2 => Ok(GwtsMsg::Ack(Wire::decode(r)?)),
+            3 => Ok(GwtsMsg::Nack {
+                accepted: Wire::decode(r)?,
+                ts: r.u64()?,
+                round: r.u64()?,
+            }),
+            _ => Err(CodecError::Invalid("gwts msg tag")),
+        }
+    }
+}
+
 /// Proposer phase within the current round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GwtsState {
@@ -131,6 +204,24 @@ pub enum GwtsState {
     /// Finished `max_rounds` rounds (simulation-only terminal state; the
     /// real protocol never stops).
     Done,
+}
+
+impl Wire for GwtsState {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            GwtsState::Disclosing => 0,
+            GwtsState::Proposing => 1,
+            GwtsState::Done => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(GwtsState::Disclosing),
+            1 => Ok(GwtsState::Proposing),
+            2 => Ok(GwtsState::Done),
+            _ => Err(CodecError::Invalid("gwts state tag")),
+        }
+    }
 }
 
 /// A correct GWTS participant (proposer + acceptor co-located).
@@ -177,6 +268,9 @@ pub struct GwtsProcess<V: Value> {
     delta_tx: DeltaSender<V>,
     /// Acceptor-side delta bases.
     delta_rx: DeltaReceiver<V>,
+    /// Set by [`GwtsProcess::from_snapshot`]: the next `on_start` is a
+    /// recovery boot.
+    recovered: bool,
 
     /// The decision sequence `Dec_i`.
     pub decisions: Vec<ValueSet<V>>,
@@ -221,6 +315,7 @@ impl<V: Value> GwtsProcess<V> {
             decided_set: ValueSet::new(),
             delta_tx: DeltaSender::new(true),
             delta_rx: DeltaReceiver::new(),
+            recovered: false,
             decisions: Vec::new(),
             decision_depths: Vec::new(),
             refinements: BTreeMap::new(),
@@ -526,8 +621,107 @@ impl<V: Value> GwtsProcess<V> {
     }
 }
 
+/// The durable half of a [`GwtsProcess`]: everything both roles need to
+/// stay safe across a restart — both rbcast engines (no re-echo, no
+/// re-delivery), the public ack history, the Local Stability floor
+/// `decided_set`, and the full decision sequence. Volatile and absent:
+/// the delta watermarks (fresh trackers ride the gap→`Full` fallback).
+impl<V: Value> Wire for GwtsProcess<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.usize(self.me);
+        self.input_schedule.encode(w);
+        w.u64(self.max_rounds);
+        self.state.encode(w);
+        w.u64(self.round);
+        w.u64(self.ts);
+        self.rb_disc.encode(w);
+        self.rb_ack.encode(w);
+        w.u64(self.next_ack_tag);
+        self.batches.encode(w);
+        self.svs_all.encode(w);
+        self.counters.encode(w);
+        self.proposed_set.encode(w);
+        self.accepted_set.encode(w);
+        w.u64(self.safe_r);
+        self.ack_history.encode(w);
+        self.waiting.encode(w);
+        self.pending_acks.encode(w);
+        self.decided_set.encode(w);
+        self.delta_tx.enabled().encode(w);
+        self.decisions.encode(w);
+        self.decision_depths.encode(w);
+        self.refinements.encode(w);
+        self.all_inputs.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(GwtsProcess {
+            config: Wire::decode(r)?,
+            me: r.usize()?,
+            input_schedule: Wire::decode(r)?,
+            max_rounds: r.u64()?,
+            state: Wire::decode(r)?,
+            round: r.u64()?,
+            ts: r.u64()?,
+            rb_disc: Wire::decode(r)?,
+            rb_ack: Wire::decode(r)?,
+            next_ack_tag: r.u64()?,
+            batches: Wire::decode(r)?,
+            svs_all: Wire::decode(r)?,
+            counters: Wire::decode(r)?,
+            proposed_set: Wire::decode(r)?,
+            accepted_set: Wire::decode(r)?,
+            safe_r: r.u64()?,
+            ack_history: Wire::decode(r)?,
+            waiting: Wire::decode(r)?,
+            pending_acks: Wire::decode(r)?,
+            decided_set: Wire::decode(r)?,
+            delta_tx: DeltaSender::new(bool::decode(r)?),
+            delta_rx: DeltaReceiver::new(),
+            recovered: true,
+            decisions: Wire::decode(r)?,
+            decision_depths: Wire::decode(r)?,
+            refinements: Wire::decode(r)?,
+            all_inputs: Wire::decode(r)?,
+        })
+    }
+}
+
+impl<V: Value> GwtsProcess<V> {
+    /// Serializes the durable state as a checksummed snapshot frame
+    /// ([`GWTS_SNAPSHOT_KIND`]).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        encode_frame(GWTS_SNAPSHOT_KIND, self)
+    }
+
+    /// Reconstructs a process from [`Self::snapshot_bytes`] output. The
+    /// next `on_start` re-announces (current-`ts` ack request) instead
+    /// of starting round 0.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, CodecError> {
+        decode_frame(GWTS_SNAPSHOT_KIND, bytes)
+    }
+}
+
 impl<V: Value> Process<GwtsMsg<V>> for GwtsProcess<V> {
     fn on_start(&mut self, ctx: &mut Context<GwtsMsg<V>>) {
+        if self.recovered {
+            // Recovery boot: when mid-proposal, re-issue the ack request
+            // at the current timestamp — in-flight acks were swept with
+            // the crash, and acceptors that already hold this proposal
+            // will publicly re-ack it (fresh rbcast instances), letting
+            // the quorum re-form. A process recovered mid-*disclosure*
+            // sends nothing: its own init survived the crash (outbound
+            // traffic is not dropped), and what it lost — inbound
+            // echo/ready traffic — cannot be re-requested under plain
+            // Bracha broadcast. It may stall until the next round's
+            // traffic arrives; see `crate::recovery` for why that is
+            // absorbed within the crash budget.
+            self.recovered = false;
+            if self.state == GwtsState::Proposing {
+                self.send_ack_req(ctx);
+            }
+            return;
+        }
         self.start_round(0, ctx);
     }
 
@@ -574,6 +768,10 @@ impl<V: Value> Process<GwtsMsg<V>> for GwtsProcess<V> {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.snapshot_bytes())
     }
 }
 

@@ -6,7 +6,7 @@
 use crate::config::SystemConfig;
 use crate::gsbs::{GsbsMsg, GsbsProcess};
 use crate::gwts::{GwtsMsg, GwtsProcess};
-use crate::linearize::{OP_DECIDE, OP_PROPOSE, OP_REFINE};
+use crate::linearize::{OP_DECIDE, OP_PROPOSE, OP_REFINE, OP_RESTART};
 use crate::sbs::{SbsMsg, SbsProcess};
 use crate::search::Observer;
 use crate::value::{SignableValue, Value};
@@ -276,9 +276,36 @@ where
     let mut proposed: BTreeSet<ProcessId> = BTreeSet::new();
     let mut decided: BTreeSet<ProcessId> = BTreeSet::new();
     let mut prop_last: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    let mut gen_seen: BTreeMap<ProcessId, u64> = BTreeMap::new();
     Box::new(move |sim, out| {
         let step = sim.metrics().delivered;
         for &i in &honest {
+            if sim.is_crashed(i) {
+                // The dead incarnation's state is frozen; nothing to observe.
+                continue;
+            }
+            let gen = sim.restarts_of(i);
+            let gseen = gen_seen.entry(i).or_insert(0);
+            if gen > *gseen {
+                *gseen = gen;
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_RESTART,
+                    ts: gen,
+                    values: Vec::new(),
+                });
+                // The diff memory described the dead incarnation: forget
+                // it so everything the restored state still claims is
+                // re-announced. Re-emitted propose/refine ops are
+                // idempotent at the checker (which resets its refine
+                // watermark at the restart op); the re-emitted decide is
+                // the rollback probe — a stale snapshot's smaller
+                // decision surfaces as `RestartRegression`.
+                proposed.remove(&i);
+                decided.remove(&i);
+                prop_last.remove(&i);
+            }
             let p = downcast_honest::<M, P>(sim, i);
             if proposed.insert(i) {
                 out.push(OpEvent {
@@ -329,9 +356,49 @@ where
     let mut inputs_seen: BTreeMap<ProcessId, usize> = BTreeMap::new();
     let mut decides_seen: BTreeMap<ProcessId, usize> = BTreeMap::new();
     let mut prop_last: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    let mut gen_seen: BTreeMap<ProcessId, u64> = BTreeMap::new();
     Box::new(move |sim, out| {
         let step = sim.metrics().delivered;
         for &i in &honest {
+            if sim.is_crashed(i) {
+                continue;
+            }
+            let gen = sim.restarts_of(i);
+            let gseen = gen_seen.entry(i).or_insert(0);
+            if gen > *gseen {
+                *gseen = gen;
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_RESTART,
+                    ts: gen,
+                    values: Vec::new(),
+                });
+                let p = downcast_honest::<M, P>(sim, i);
+                // Everything in the restored snapshot was observed (and
+                // announced) before the crash — snapshots are taken from
+                // live state the observer had already diffed — so the
+                // input watermark just re-anchors to the restored length
+                // (a genesis rejoin re-proposes through the normal path,
+                // idempotently). Decisions are re-announced, but only
+                // the *last* one: the restored sequence is a ⊆-chain
+                // whose earlier entries would read as regressions; the
+                // final entry is the durable watermark the checker
+                // compares against the pre-crash decide.
+                inputs_seen.insert(i, p.all_inputs().len());
+                prop_last.remove(&i);
+                let decisions = p.decisions();
+                if let Some(last) = decisions.last() {
+                    out.push(OpEvent {
+                        step,
+                        process: i,
+                        kind: OP_DECIDE,
+                        ts: (decisions.len() - 1) as u64,
+                        values: last.iter().map(&key).collect(),
+                    });
+                }
+                decides_seen.insert(i, decisions.len());
+            }
             let p = downcast_honest::<M, P>(sim, i);
             let inputs = p.all_inputs();
             let seen = inputs_seen.entry(i).or_insert(0);

@@ -81,6 +81,7 @@ pub mod harness;
 pub mod linearize;
 pub mod proof;
 pub mod provendelta;
+pub mod recovery;
 pub mod sbs;
 pub mod search;
 pub mod signedset;
@@ -92,6 +93,10 @@ pub mod wts;
 pub use config::SystemConfig;
 pub use proof::{Proof, ProofAck};
 pub use provendelta::{ProvenRecord, ProvenUpdate};
+pub use recovery::{
+    CorruptingStore, CrashEvent, CrashPlan, CrashTactic, DirStore, MemStore, RecoveryRun,
+    RollbackStore, SnapshotPolicy, SnapshotStore,
+};
 pub use signedset::{SignedItem, SignedSet};
 pub use value::Value;
 pub use valueset::{SetUpdate, ValueSet};

@@ -47,7 +47,7 @@
 
 use crate::valueset::ValueSet;
 use bgla_simnet::{OpEvent, ProcessId, Trace};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Op kind tag for value injections.
@@ -56,6 +56,9 @@ pub const OP_PROPOSE: &str = "propose";
 pub const OP_REFINE: &str = "refine";
 /// Op kind tag for decisions/learns.
 pub const OP_DECIDE: &str = "decide";
+/// Op kind tag for crash/restart boundaries (emitted by the recovery
+/// driver when a process reboots from a snapshot or from genesis).
+pub const OP_RESTART: &str = "restart";
 
 /// What the trace checker verifies; see the module docs.
 #[derive(Debug, Clone)]
@@ -133,6 +136,17 @@ pub enum TraceViolation {
         /// Its decide op index.
         op: usize,
     },
+    /// A process decided *less* after a restart than it had durably
+    /// decided before the crash — the restart-spanning Local Stability
+    /// defect a stale-snapshot rollback produces. Kept distinct from
+    /// [`TraceViolation::DecisionShrunk`] so recovery tests can assert
+    /// the regression was detected *across* the restart boundary.
+    RestartRegression {
+        /// Offending process.
+        process: ProcessId,
+        /// Its post-restart decide op index.
+        op: usize,
+    },
     /// A process's refinement snapshots decreased — `Proposed_set` must
     /// be cumulative.
     ProposalShrunk {
@@ -175,6 +189,11 @@ impl fmt::Display for TraceViolation {
             TraceViolation::DecisionShrunk { process, op } => {
                 write!(f, "process {process} decision sequence shrank at op #{op}")
             }
+            TraceViolation::RestartRegression { process, op } => write!(
+                f,
+                "process {process} decided less after a restart at op #{op} \
+                 (stale-snapshot rollback)"
+            ),
             TraceViolation::ProposalShrunk { process, op } => {
                 write!(f, "process {process} proposal snapshot shrank at op #{op}")
             }
@@ -320,6 +339,10 @@ pub struct OnlineChecker {
     last_decide: BTreeMap<ProcessId, (ValueSet<u64>, usize, u64)>,
     /// Per-process last refine snapshot.
     last_refine: BTreeMap<ProcessId, (ValueSet<u64>, usize)>,
+    /// Processes that restarted since their last decide. A shrink in the
+    /// next decide of such a process is a [`TraceViolation::RestartRegression`]
+    /// rather than a plain [`TraceViolation::DecisionShrunk`].
+    restarted: BTreeSet<ProcessId>,
 }
 
 impl OnlineChecker {
@@ -336,6 +359,7 @@ impl OnlineChecker {
             ended_max: Vec::new(),
             last_decide: BTreeMap::new(),
             last_refine: BTreeMap::new(),
+            restarted: BTreeSet::new(),
         }
     }
 
@@ -359,8 +383,24 @@ impl OnlineChecker {
             OP_PROPOSE => self.on_propose(ev, idx),
             OP_REFINE => self.on_refine(ev, idx),
             OP_DECIDE => self.on_decide(ev, idx),
+            OP_RESTART => {
+                self.on_restart(ev);
+                Ok(())
+            }
             _ => Ok(()), // unknown op kinds are emitter extensions
         }
+    }
+
+    /// A crash/restart boundary. Volatile refinement progress is
+    /// legitimately lost when a process reboots from a snapshot — the
+    /// durability contract covers decisions, not in-flight proposal
+    /// sets — so the refine watermark resets. Decisions, by contrast,
+    /// are exactly what snapshots make durable: `last_decide` is kept,
+    /// and the process is marked so a post-restart shrink surfaces as
+    /// [`TraceViolation::RestartRegression`].
+    fn on_restart(&mut self, ev: &OpEvent) {
+        self.last_refine.remove(&ev.process);
+        self.restarted.insert(ev.process);
     }
 
     fn on_propose(&mut self, ev: &OpEvent, _idx: usize) -> Result<(), PrefixViolation> {
@@ -404,19 +444,41 @@ impl OnlineChecker {
             .map(|&(_, _, prev_end)| prev_end)
             .unwrap_or(0);
 
-        // Local Stability: this process's own sequence must grow.
+        // Local Stability: this process's own sequence must grow — even
+        // across a restart, since decisions are the durable part of a
+        // snapshot. A shrink with an intervening restart is the
+        // rollback-specific variant.
         if let Some((prev, _, _)) = self.last_decide.get(&ev.process) {
             if !prev.is_subset(&set) {
-                return Err(self.fail(
-                    idx,
-                    ev.step,
+                let violation = if self.restarted.contains(&ev.process) {
+                    TraceViolation::RestartRegression {
+                        process: ev.process,
+                        op: idx,
+                    }
+                } else {
                     TraceViolation::DecisionShrunk {
                         process: ev.process,
                         op: idx,
-                    },
-                ));
+                    }
+                };
+                return Err(self.fail(idx, ev.step, violation));
             }
         }
+        if self
+            .last_decide
+            .get(&ev.process)
+            .is_some_and(|(prev, _, _)| *prev == set)
+        {
+            // Idempotent re-affirmation — typically a restart
+            // re-announcing its restored decision. The logical learn
+            // already happened and is on record; a fresh learn record
+            // would impose real-time constraints the original operation
+            // never had (its span would start at the first announcement
+            // and end now, "after" learns the original overlapped).
+            self.restarted.remove(&ev.process);
+            return Ok(());
+        }
+        self.restarted.remove(&ev.process);
 
         // Comparability: insert into the size-sorted chain; comparing
         // against the immediate neighbors suffices (all existing
@@ -668,6 +730,99 @@ mod tests {
             err.violation,
             TraceViolation::DecisionShrunk { process: 0, op: 2 }
         ));
+    }
+
+    #[test]
+    fn restart_allows_refine_amnesia() {
+        // Refinement progress lost to a crash is legitimate: the refine
+        // watermark resets at the restart boundary, so the post-restart
+        // snapshot may be smaller than the pre-crash one.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1, 2]),
+            op(2, 0, OP_REFINE, &[1, 2]),
+            op(4, 0, OP_RESTART, &[]),
+            op(5, 0, OP_REFINE, &[1]),
+            op(7, 0, OP_DECIDE, &[1, 2]),
+        ];
+        run(&ops, CheckerConfig::honest_system(1, 0))
+            .expect("refine amnesia after restart is fine");
+    }
+
+    #[test]
+    fn restart_does_not_excuse_decision_regression() {
+        // Decisions are the durable half of the contract: deciding less
+        // after a restart is the stale-snapshot rollback signature.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1, 2]),
+            op(3, 0, OP_DECIDE, &[1, 2]),
+            op(5, 0, OP_RESTART, &[]),
+            op(7, 0, OP_DECIDE, &[1]),
+        ];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(1, 0).without_inclusivity(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::RestartRegression { process: 0, op: 3 }
+        ));
+    }
+
+    #[test]
+    fn restart_flag_clears_after_a_good_decide() {
+        // A shrink two decides after the restart is an ordinary
+        // DecisionShrunk — the restart no longer explains it.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1, 2]),
+            op(2, 0, OP_RESTART, &[]),
+            op(4, 0, OP_DECIDE, &[1, 2]),
+            op(6, 0, OP_DECIDE, &[1]),
+        ];
+        let err = run(
+            &ops,
+            CheckerConfig::honest_system(1, 0).without_inclusivity(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.violation,
+            TraceViolation::DecisionShrunk { process: 0, op: 3 }
+        ));
+    }
+
+    #[test]
+    fn restart_reannouncement_is_not_a_fresh_learn() {
+        // p1 decides {1,2} at step 2; p0 decides {1} at step 5 (spans
+        // overlap — fine); p0 restarts and re-announces its unchanged
+        // {1} at step 9. The re-announcement is an idempotent
+        // re-affirmation: treated as a fresh learn it would "start"
+        // after p1's completed learn and be required to contain {1,2}.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(0, 1, OP_PROPOSE, &[2]),
+            op(2, 1, OP_DECIDE, &[1, 2]),
+            op(5, 0, OP_DECIDE, &[1]),
+            op(7, 0, OP_RESTART, &[]),
+            op(9, 0, OP_DECIDE, &[1]),
+        ];
+        let w = run(&ops, CheckerConfig::honest_system(2, 0)).expect("re-affirmation is a no-op");
+        w.validate().expect("witness certifies");
+    }
+
+    #[test]
+    fn restart_with_faithful_reannouncement_linearizes() {
+        // The recovery driver re-announces the restored decision after a
+        // restart; an equal re-decide is a duplicate learn, not a shrink.
+        let ops = vec![
+            op(0, 0, OP_PROPOSE, &[1]),
+            op(0, 1, OP_PROPOSE, &[2]),
+            op(4, 0, OP_DECIDE, &[1, 2]),
+            op(6, 0, OP_RESTART, &[]),
+            op(7, 0, OP_DECIDE, &[1, 2]),
+            op(9, 1, OP_DECIDE, &[1, 2]),
+        ];
+        let w = run(&ops, CheckerConfig::honest_system(2, 0)).expect("faithful recovery");
+        w.validate().expect("witness certifies");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! [`bgla_crypto::ProofCache`] memoizes full verification verdicts by
 //! id — see the caching contract in [`bgla_crypto::proofstore`].
 
+use bgla_codec::{CodecError, Reader, Wire, Writer};
 use bgla_crypto::{ProofId, ProofIdBuilder};
 use bgla_simnet::ProofSizes;
 use std::collections::HashSet;
@@ -134,6 +135,29 @@ impl<'a, A: ProofAck> IntoIterator for &'a Proof<A> {
     type IntoIter = std::slice::Iter<'a, A>;
     fn into_iter(self) -> Self::IntoIter {
         self.acks.iter()
+    }
+}
+
+/// Codec form: just the ack vector. The content address is *never* on
+/// the wire — decoding rebuilds through [`Proof::new`], which recomputes
+/// the id from the decoded acks, preserving the constructor's invariant
+/// that an id always matches its content (a snapshot, like a network
+/// peer, cannot attach a mismatched id).
+impl<A: ProofAck + Wire> Wire for Proof<A> {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.acks.len());
+        for ack in self.acks.iter() {
+            ack.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len()?;
+        let mut acks = Vec::with_capacity(n);
+        for _ in 0..n {
+            acks.push(A::decode(r)?);
+        }
+        Ok(Proof::new(acks))
     }
 }
 

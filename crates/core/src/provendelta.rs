@@ -87,6 +87,7 @@ use crate::proof::{Proof, ProofAck};
 use crate::signedset::{SignedItem, SignedSet};
 #[cfg(doc)]
 use crate::valueset::SetUpdate;
+use bgla_codec::{CodecError, Reader, Wire, Writer};
 use bgla_crypto::{ProofId, ProofResolver};
 use bgla_simnet::{ProcessId, ProofSizes, PROOF_REF_BYTES};
 use std::collections::{BTreeMap, BTreeSet};
@@ -131,6 +132,42 @@ pub enum ProvenUpdate<T: ProvenRecord> {
         /// shipped as [`PROOF_REF_BYTES`]-sized references.
         refs: Vec<ProofId>,
     },
+}
+
+/// Codec form mirrors [`SetUpdate`]'s: a tag byte, then the variant
+/// fields. Referenced proof ids travel verbatim — a reference is an
+/// opaque handle, resolved (and thereby validated) by the receiver's
+/// [`ProofResolver`], never trusted structurally.
+impl<T: ProvenRecord + Wire> Wire for ProvenUpdate<T>
+where
+    T::Ack: Wire,
+{
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ProvenUpdate::Full(set) => {
+                w.u8(0);
+                set.encode(w);
+            }
+            ProvenUpdate::Delta { base_ts, new, refs } => {
+                w.u8(1);
+                w.u64(*base_ts);
+                new.encode(w);
+                refs.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(ProvenUpdate::Full(SignedSet::decode(r)?)),
+            1 => Ok(ProvenUpdate::Delta {
+                base_ts: r.u64()?,
+                new: SignedSet::decode(r)?,
+                refs: Vec::decode(r)?,
+            }),
+            _ => Err(CodecError::Invalid("proven update tag")),
+        }
+    }
 }
 
 impl<T: ProvenRecord> ProvenUpdate<T> {

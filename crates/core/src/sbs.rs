@@ -77,6 +77,7 @@ use crate::provendelta::{
 use crate::signedset::{SignedItem, SignedSet};
 use crate::value::SignableValue;
 use crate::valueset::ValueSet;
+use bgla_codec::{decode_frame, encode_frame, CodecError, Reader, Wire, Writer};
 use bgla_crypto::{
     CachedVerifier, Keypair, Keyring, ProofCache, ProofId, ProofResolver, Signature, ToBytes,
     VerifierStats,
@@ -468,6 +469,9 @@ pub struct SbsProcess<V: SignableValue> {
     /// Ablation switch: `false` ships every proof-carrying payload as
     /// `Full` (decisions and traces are identical — only bytes differ).
     proven_deltas: bool,
+    /// Set by [`SbsProcess::from_snapshot`]: the next `on_start` is a
+    /// *recovery* boot (re-announce instead of initialize).
+    recovered: bool,
 
     /// The decision (value set), once made.
     pub decision: Option<ValueSet<V>>,
@@ -504,6 +508,7 @@ impl<V: SignableValue> SbsProcess<V> {
             delta_rx: ProvenDeltaReceiver::new(),
             resolver: ProofResolver::default(),
             proven_deltas: true,
+            recovered: false,
             decision: None,
             decision_depth: None,
             refinements: 0,
@@ -716,8 +721,316 @@ impl<V: SignableValue> SbsProcess<V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable state (crash snapshots)
+// ---------------------------------------------------------------------------
+
+/// Frame kind tag for SbS process snapshots.
+pub const SBS_SNAPSHOT_KIND: u16 = 0x0103;
+
+/// Codec form: value, signer, signature. Decoding does *not* verify the
+/// signature — snapshots are checksummed local state, and every network
+/// consumption site re-verifies through the [`CachedVerifier`] anyway.
+impl<V: SignableValue> Wire for SignedValue<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.value.encode(w);
+        w.usize(self.signer);
+        self.sig.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SignedValue {
+            value: V::decode(r)?,
+            signer: r.usize()?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for SafeAckBody<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.rcvd.encode(w);
+        self.conflicts.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SafeAckBody {
+            rcvd: Wire::decode(r)?,
+            conflicts: Wire::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for SignedSafeAck<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.body.encode(w);
+        w.usize(self.signer);
+        self.sig.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SignedSafeAck {
+            body: Wire::decode(r)?,
+            signer: r.usize()?,
+            sig: Signature::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for ProvenValue<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.sv.encode(w);
+        self.proof.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ProvenValue {
+            sv: Wire::decode(r)?,
+            proof: Wire::decode(r)?,
+        })
+    }
+}
+
+impl<V: SignableValue> Wire for SbsMsg<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SbsMsg::Init(sv) => {
+                w.u8(0);
+                sv.encode(w);
+            }
+            SbsMsg::SafeReq(set) => {
+                w.u8(1);
+                set.encode(w);
+            }
+            SbsMsg::SafeAck(ack) => {
+                w.u8(2);
+                ack.encode(w);
+            }
+            SbsMsg::AckReq { proposed, ts } => {
+                w.u8(3);
+                proposed.encode(w);
+                w.u64(*ts);
+            }
+            SbsMsg::Ack { values, ts } => {
+                w.u8(4);
+                values.encode(w);
+                w.u64(*ts);
+            }
+            SbsMsg::Nack { accepted, ts } => {
+                w.u8(5);
+                accepted.encode(w);
+                w.u64(*ts);
+            }
+            SbsMsg::Resync { ts } => {
+                w.u8(6);
+                w.u64(*ts);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(SbsMsg::Init(Wire::decode(r)?)),
+            1 => Ok(SbsMsg::SafeReq(Wire::decode(r)?)),
+            2 => Ok(SbsMsg::SafeAck(Wire::decode(r)?)),
+            3 => Ok(SbsMsg::AckReq {
+                proposed: Wire::decode(r)?,
+                ts: r.u64()?,
+            }),
+            4 => Ok(SbsMsg::Ack {
+                values: Wire::decode(r)?,
+                ts: r.u64()?,
+            }),
+            5 => Ok(SbsMsg::Nack {
+                accepted: Wire::decode(r)?,
+                ts: r.u64()?,
+            }),
+            6 => Ok(SbsMsg::Resync { ts: r.u64()? }),
+            _ => Err(CodecError::Invalid("sbs msg tag")),
+        }
+    }
+}
+
+impl Wire for SbsState {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            SbsState::Init => 0,
+            SbsState::Safetying => 1,
+            SbsState::Proposing => 2,
+            SbsState::Decided => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => SbsState::Init,
+            1 => SbsState::Safetying,
+            2 => SbsState::Proposing,
+            3 => SbsState::Decided,
+            _ => return Err(CodecError::Invalid("sbs state tag")),
+        })
+    }
+}
+
+/// Durable/volatile split for crash snapshots.
+///
+/// Durable: identity, phase, the safetying artifacts (`safety_set`,
+/// collected safe-acks, `byz` flags), both proven sets, the refinement
+/// clock, the retained [`ProofResolver`] contents (LRU-first, so
+/// re-registration reproduces eviction order), the ablation switches,
+/// and the decision record.
+///
+/// Reconstructed: key material and the verifier (the PKI is
+/// deterministic per process id), the [`ProofCache`] (verdicts are
+/// recomputed — a cold cache only costs time), the delta bookkeeping
+/// (amnesia invalidates every claim about what peers hold; fresh
+/// bookkeeping degrades to `Full` payloads until peers reply again —
+/// and the `Resync` fallback covers the peers' stale claims about
+/// *us*), and the `validator` fn pointer (configuration, re-installed
+/// by the harness).
+impl<V: SignableValue> Wire for SbsProcess<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.usize(self.me);
+        self.proposal.encode(w);
+        self.state.encode(w);
+        self.safety_set.encode(w);
+        self.safe_acks.encode(w);
+        self.safe_ack_senders.encode(w);
+        self.byz.encode(w);
+        self.proposed_set.encode(w);
+        self.ack_set.encode(w);
+        w.u64(self.ts);
+        self.safe_candidates.encode(w);
+        self.accepted_set.encode(w);
+        // Resolver contents, most-recently-used first. Ids are *not*
+        // serialized: re-registration recomputes each proof's content
+        // address, so a tampered snapshot cannot alias one proof's id
+        // to another's bytes (the checksum already catches accidents).
+        let retained: Vec<SafetyProof<V>> = self
+            .resolver
+            .entries()
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        retained.encode(w);
+        self.proof_interning.encode(w);
+        self.proven_deltas.encode(w);
+        self.decision.encode(w);
+        self.decision_depth.encode(w);
+        w.u64(self.refinements);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let config = SystemConfig::decode(r)?;
+        let me = r.usize()?;
+        let proposal = V::decode(r)?;
+        let state = SbsState::decode(r)?;
+        let safety_set = Wire::decode(r)?;
+        let safe_acks = Wire::decode(r)?;
+        let safe_ack_senders = Wire::decode(r)?;
+        let byz = Wire::decode(r)?;
+        let proposed_set = Wire::decode(r)?;
+        let ack_set = Wire::decode(r)?;
+        let ts = r.u64()?;
+        let safe_candidates = Wire::decode(r)?;
+        let accepted_set = Wire::decode(r)?;
+        let retained: Vec<SafetyProof<V>> = Wire::decode(r)?;
+        let proof_interning = bool::decode(r)?;
+        let proven_deltas = bool::decode(r)?;
+        let decision = Wire::decode(r)?;
+        let decision_depth = Wire::decode(r)?;
+        let refinements = r.u64()?;
+        let mut resolver = ProofResolver::default();
+        for proof in retained {
+            resolver.register(proof.id(), proof);
+        }
+        Ok(SbsProcess {
+            config,
+            me,
+            proposal,
+            keypair: Keypair::for_process(me),
+            verifier: CachedVerifier::new(Keyring::for_system(config.n)),
+            validator: |_| true,
+            state,
+            safety_set,
+            safe_acks,
+            safe_ack_senders,
+            byz,
+            proposed_set,
+            ack_set,
+            ts,
+            safe_candidates,
+            accepted_set,
+            proof_cache: ProofCache::default(),
+            proof_interning,
+            delta_tx: ProvenDeltaSender::new(proven_deltas),
+            delta_rx: ProvenDeltaReceiver::new(),
+            resolver,
+            proven_deltas,
+            recovered: true,
+            decision,
+            decision_depth,
+            refinements,
+        })
+    }
+}
+
+impl<V: SignableValue> SbsProcess<V> {
+    /// Serializes the durable state as a checksummed
+    /// [`SBS_SNAPSHOT_KIND`] frame.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        encode_frame(SBS_SNAPSHOT_KIND, self)
+    }
+
+    /// Rebuilds a process from [`SbsProcess::snapshot_bytes`] output.
+    /// The next `on_start` performs a recovery boot.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, CodecError> {
+        decode_frame(SBS_SNAPSHOT_KIND, bytes)
+    }
+}
+
 impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
     fn on_start(&mut self, ctx: &mut Context<SbsMsg<V>>) {
+        if self.recovered {
+            // Recovery boot: the crash swept our *inbound* traffic, so
+            // re-solicit whatever replies were in flight. Phase by
+            // phase:
+            //
+            // * `Init` — re-broadcast our signed init (idempotent at
+            //   peers: set insert). Peers broadcast *their* inits only
+            //   once, so inits lost to the crash cannot be re-requested
+            //   and the recovered process may stall here — absorbed
+            //   within the ≤ f crash budget, like GWTS's Disclosing
+            //   state (see `crate::recovery`). Survivors are
+            //   unaffected: the threshold `n − f` never needs us.
+            // * `Safetying` — restart the exchange from zero acks. The
+            //   collected acks answered the *pre-crash* `safe_req`;
+            //   keeping them would make honest re-replies trip the
+            //   duplicate-sender check and poison those peers' `byz`
+            //   flags. Ed25519 is deterministic, so re-signed acks are
+            //   byte-identical and nothing is lost but one round-trip.
+            // * `Proposing` — re-broadcast the proposal at the current
+            //   ts with a cleared ack set. Acceptors already holding a
+            //   superset simply re-ack (subset check), so the quorum
+            //   re-forms; the fresh `delta_tx` sends `Full` payloads
+            //   until replies rebuild the watermarks.
+            // * `Decided` — nothing to re-solicit; the decision is
+            //   durable and write-once.
+            self.recovered = false;
+            match self.state {
+                SbsState::Init => {
+                    let sv = SignedValue::sign(self.proposal.clone(), self.me, &self.keypair);
+                    ctx.broadcast(SbsMsg::Init(sv));
+                    self.maybe_start_safetying(ctx);
+                }
+                SbsState::Safetying => {
+                    self.safe_acks.clear();
+                    self.safe_ack_senders.clear();
+                    ctx.broadcast(SbsMsg::SafeReq(self.safety_set.clone()));
+                }
+                SbsState::Proposing => {
+                    self.ack_set.clear();
+                    self.broadcast_proposal(ctx);
+                }
+                SbsState::Decided => {}
+            }
+            return;
+        }
         let sv = SignedValue::sign(self.proposal.clone(), self.me, &self.keypair);
         self.safety_set.insert(sv.clone());
         ctx.broadcast(SbsMsg::Init(sv));
@@ -921,6 +1234,10 @@ impl<V: SignableValue> Process<SbsMsg<V>> for SbsProcess<V> {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.snapshot_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -1008,6 +1325,26 @@ mod tests {
             growth < 4.5,
             "per-proposer message growth {growth:.2} looks superlinear: {per_process:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_stable() {
+        let (n, f) = (4, 1);
+        let mut sim = sbs_system(n, f, Box::new(FifoScheduler::new()));
+        let out = sim.run(1_000_000);
+        assert!(out.quiescent);
+        for i in 0..n {
+            let p = sim.process_as::<SbsProcess<u64>>(i).unwrap();
+            let bytes = p.snapshot_bytes();
+            let q = SbsProcess::<u64>::from_snapshot(&bytes).unwrap();
+            assert_eq!(q.decision, p.decision, "p{i}");
+            assert_eq!(q.state(), p.state(), "p{i}");
+            assert_eq!(q.refinements, p.refinements, "p{i}");
+            // Re-encoding must reproduce the bytes exactly — this pins
+            // the resolver's recency ordering (entries are serialized
+            // LRU-first so re-registration reproduces eviction order).
+            assert_eq!(q.snapshot_bytes(), bytes, "p{i}: roundtrip not stable");
+        }
     }
 
     #[test]

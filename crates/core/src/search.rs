@@ -47,12 +47,16 @@ pub type ObserverFactory<'a, M> = dyn Fn() -> Observer<M> + 'a;
 /// scheduler.
 pub type SystemFactory<'a, M> = dyn FnMut(Box<dyn Scheduler>) -> Simulation<M> + 'a;
 
-fn op_priority(kind: &str) -> u8 {
+// A restart sorts before everything else in its batch: the reboot
+// happened before the restored state was observed, and the checker must
+// see the boundary before the re-announced refine/decide ops.
+pub(crate) fn op_priority(kind: &str) -> u8 {
     match kind {
-        crate::linearize::OP_PROPOSE => 0,
-        crate::linearize::OP_REFINE => 1,
-        crate::linearize::OP_DECIDE => 2,
-        _ => 3,
+        crate::linearize::OP_RESTART => 0,
+        crate::linearize::OP_PROPOSE => 1,
+        crate::linearize::OP_REFINE => 2,
+        crate::linearize::OP_DECIDE => 3,
+        _ => 4,
     }
 }
 
@@ -225,9 +229,26 @@ pub fn shrink<M: WireMessage + 'static>(
     fallback: PrefixViolation,
     budget: u64,
 ) -> (Vec<u64>, PrefixViolation, u32) {
+    shrink_with(
+        |sched, replays| violates(build, mk_observer, cfg, sched, budget, replays),
+        schedule,
+        fallback,
+    )
+}
+
+/// Schedule minimization over an arbitrary replay oracle — the shared
+/// engine behind [`shrink`] and the crash-recovery shrinker in
+/// [`crate::recovery`]. `violates` replays a candidate schedule and
+/// returns the violation it still triggers (incrementing the replay
+/// counter it is handed).
+pub(crate) fn shrink_with(
+    mut violates: impl FnMut(&[u64], &mut u32) -> Option<PrefixViolation>,
+    schedule: Vec<u64>,
+    fallback: PrefixViolation,
+) -> (Vec<u64>, PrefixViolation, u32) {
     let mut replays = 0u32;
     let mut best = schedule;
-    let mut best_v = match violates(build, mk_observer, cfg, &best, budget, &mut replays) {
+    let mut best_v = match violates(&best, &mut replays) {
         Some(v) => v,
         // The recorded schedule did not reproduce (should not happen:
         // runs are deterministic) — report the original violation.
@@ -240,7 +261,7 @@ pub fn shrink<M: WireMessage + 'static>(
     let mut hi = best.len();
     while lo < hi && replays < MAX_SHRINK_REPLAYS / 2 {
         let mid = lo + (hi - lo) / 2;
-        match violates(build, mk_observer, cfg, &best[..mid], budget, &mut replays) {
+        match violates(&best[..mid], &mut replays) {
             Some(v) => {
                 hi = mid;
                 best_v = v;
@@ -263,7 +284,7 @@ pub fn shrink<M: WireMessage + 'static>(
             let mut cand = Vec::with_capacity(best.len() - (end - i));
             cand.extend_from_slice(&best[..i]);
             cand.extend_from_slice(&best[end..]);
-            match violates(build, mk_observer, cfg, &cand, budget, &mut replays) {
+            match violates(&cand, &mut replays) {
                 Some(v) => {
                     best = cand;
                     best_v = v;

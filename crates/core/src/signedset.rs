@@ -28,6 +28,7 @@
 //! interned [`bgla_crypto::ProofId`] and its verification-cache hits —
 //! survives any number of merges.
 
+use bgla_codec::{CodecError, Reader, Wire, Writer};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -309,6 +310,35 @@ impl<'a, T: SignedItem> IntoIterator for &'a SignedSet<T> {
     type IntoIter = std::slice::Iter<'a, T>;
     fn into_iter(self) -> Self::IntoIter {
         self.items.iter()
+    }
+}
+
+/// Canonical codec form: length-prefixed elements in strictly ascending
+/// order. Decoding rejects out-of-order or duplicate elements, so every
+/// byte string has at most one decoding — the same injectivity contract
+/// as [`crate::valueset::ValueSet`]. Lives here because
+/// [`SignedSet::from_sorted`] (which trusts its input) is private.
+impl<T: SignedItem + Wire> Wire for SignedSet<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.items.len());
+        for item in self.items.iter() {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len()?;
+        let mut items: Vec<T> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let item = T::decode(r)?;
+            if let Some(prev) = items.last() {
+                if *prev >= item {
+                    return Err(CodecError::Invalid("signed set not strictly ascending"));
+                }
+            }
+            items.push(item);
+        }
+        Ok(SignedSet::from_sorted(items))
     }
 }
 

@@ -6,11 +6,15 @@
 //! sorted vector). Applications choose `V` (commands for the RSM,
 //! integers in the examples).
 
+use bgla_codec::Wire;
 use bgla_crypto::ToBytes;
 
 /// A proposable value. `Ord` keeps all collections deterministic,
-/// `wire_size` feeds the byte-complexity experiments.
-pub trait Value: Clone + Ord + std::fmt::Debug + Send + Sync + 'static {
+/// `wire_size` feeds the byte-complexity experiments, and the
+/// [`Wire`] bound gives every value a real binary encoding — which is
+/// what lets process state containing values be snapshotted durably
+/// (crash recovery) and, eventually, shipped over a real transport.
+pub trait Value: Clone + Ord + std::fmt::Debug + Send + Sync + 'static + Wire {
     /// Estimated serialized size in bytes.
     fn wire_size(&self) -> usize {
         8

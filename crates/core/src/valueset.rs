@@ -57,6 +57,7 @@
 //! ```
 
 use crate::value::Value;
+use bgla_codec::{CodecError, Reader, Wire, Writer};
 use bgla_simnet::ProcessId;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -351,6 +352,59 @@ impl<V: Value + bgla_crypto::ToBytes> bgla_crypto::ToBytes for ValueSet<V> {
     }
 }
 
+impl<V: Value> Wire for ValueSet<V> {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for v in self.iter() {
+            v.encode(w);
+        }
+    }
+    /// Decoding enforces the strict-sort invariant rather than
+    /// re-canonicalizing: a shuffled or duplicated encoding is rejected,
+    /// keeping the codec injective (required by the content-addressed
+    /// proof store) and the constructor's invariant airtight.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len()?;
+        let mut items: Vec<V> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = V::decode(r)?;
+            if let Some(prev) = items.last() {
+                if *prev >= v {
+                    return Err(CodecError::Invalid("value set not strictly ascending"));
+                }
+            }
+            items.push(v);
+        }
+        Ok(ValueSet::from_sorted(items))
+    }
+}
+
+impl<V: Value> Wire for SetUpdate<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SetUpdate::Full(set) => {
+                w.u8(0);
+                set.encode(w);
+            }
+            SetUpdate::Delta { base_ts, added } => {
+                w.u8(1);
+                w.u64(*base_ts);
+                added.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(SetUpdate::Full(ValueSet::decode(r)?)),
+            1 => Ok(SetUpdate::Delta {
+                base_ts: r.u64()?,
+                added: ValueSet::decode(r)?,
+            }),
+            _ => Err(CodecError::Invalid("set update tag")),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Delta messages
 // ---------------------------------------------------------------------------
@@ -429,6 +483,13 @@ impl<V: Value> DeltaSender<V> {
             last_replied: BTreeMap::new(),
             enabled,
         }
+    }
+
+    /// Whether delta encoding is enabled (the configuration knob, not
+    /// bookkeeping — survives crash snapshots even though watermarks
+    /// don't).
+    pub fn enabled(&self) -> bool {
+        self.enabled
     }
 
     /// Records the proposal broadcast at `ts` (call once per broadcast).
@@ -520,6 +581,39 @@ impl<V: Value> DeltaReceiver<V> {
                 self.bases.remove(&(from, *t));
             }
         }
+    }
+}
+
+/// Delta watermarks are encodable so they *can* travel (state transfer
+/// over a real transport) — but crash-recovery snapshots intentionally
+/// omit them: both sides' bookkeeping refers to what the *peer*
+/// demonstrably holds, and after an amnesiac restart those claims are
+/// stale. Recovery instead restarts delta tracking from scratch and
+/// rides the existing gap→`Full` fallback (see the module docs of
+/// [`crate::recovery`]).
+impl<V: Value> Wire for DeltaSender<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.snapshots.encode(w);
+        self.last_replied.encode(w);
+        self.enabled.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DeltaSender {
+            snapshots: Wire::decode(r)?,
+            last_replied: Wire::decode(r)?,
+            enabled: Wire::decode(r)?,
+        })
+    }
+}
+
+impl<V: Value> Wire for DeltaReceiver<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.bases.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(DeltaReceiver {
+            bases: Wire::decode(r)?,
+        })
     }
 }
 

@@ -32,9 +32,13 @@
 use crate::config::SystemConfig;
 use crate::value::Value;
 use crate::valueset::{DeltaReceiver, DeltaSender, SetUpdate, ValueSet};
+use bgla_codec::{decode_frame, encode_frame, CodecError, Reader, Wire, Writer};
 use bgla_rbcast::{RbMsg, RbcastEngine};
 use bgla_simnet::{Context, Process, ProcessId, WireMessage};
 use std::any::Any;
+
+/// Frame kind of a [`WtsProcess`] crash-recovery snapshot.
+pub const WTS_SNAPSHOT_KIND: u16 = 0x0101;
 
 /// Wire messages of WTS.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -87,6 +91,46 @@ impl<V: Value> WireMessage for WtsMsg<V> {
     }
 }
 
+impl<V: Value> Wire for WtsMsg<V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WtsMsg::Rb(m) => {
+                w.u8(0);
+                m.encode(w);
+            }
+            WtsMsg::AckReq { proposed, ts } => {
+                w.u8(1);
+                proposed.encode(w);
+                w.u64(*ts);
+            }
+            WtsMsg::Ack { ts } => {
+                w.u8(2);
+                w.u64(*ts);
+            }
+            WtsMsg::Nack { accepted, ts } => {
+                w.u8(3);
+                accepted.encode(w);
+                w.u64(*ts);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(WtsMsg::Rb(Wire::decode(r)?)),
+            1 => Ok(WtsMsg::AckReq {
+                proposed: Wire::decode(r)?,
+                ts: r.u64()?,
+            }),
+            2 => Ok(WtsMsg::Ack { ts: r.u64()? }),
+            3 => Ok(WtsMsg::Nack {
+                accepted: Wire::decode(r)?,
+                ts: r.u64()?,
+            }),
+            _ => Err(CodecError::Invalid("wts msg tag")),
+        }
+    }
+}
+
 /// Proposer phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WtsState {
@@ -96,6 +140,24 @@ pub enum WtsState {
     Proposing,
     /// Decided (terminal).
     Decided,
+}
+
+impl Wire for WtsState {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            WtsState::Disclosing => 0,
+            WtsState::Proposing => 1,
+            WtsState::Decided => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(WtsState::Disclosing),
+            1 => Ok(WtsState::Proposing),
+            2 => Ok(WtsState::Decided),
+            _ => Err(CodecError::Invalid("wts state tag")),
+        }
+    }
 }
 
 /// A correct WTS participant (proposer + acceptor).
@@ -134,6 +196,9 @@ pub struct WtsProcess<V: Value> {
     delta_tx: DeltaSender<V>,
     /// Acceptor-side delta bases (consumed proposals by proposer, ts).
     delta_rx: DeltaReceiver<V>,
+    /// Set by [`WtsProcess::from_snapshot`]: the next `on_start` is a
+    /// *recovery* boot (re-announce instead of initialize).
+    recovered: bool,
 
     /// The decision, once made (`Stability`: write-once).
     pub decision: Option<ValueSet<V>>,
@@ -164,6 +229,7 @@ impl<V: Value> WtsProcess<V> {
             waiting: Vec::new(),
             delta_tx: DeltaSender::new(true),
             delta_rx: DeltaReceiver::new(),
+            recovered: false,
             decision: None,
             decision_depth: None,
             refinements: 0,
@@ -309,6 +375,22 @@ impl<V: Value> WtsProcess<V> {
         }
     }
 
+    /// Serializes the durable state as a checksummed snapshot frame
+    /// ([`WTS_SNAPSHOT_KIND`]). See the module docs of
+    /// [`crate::recovery`] for the durable/volatile contract.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        encode_frame(WTS_SNAPSHOT_KIND, self)
+    }
+
+    /// Reconstructs a process from a snapshot produced by
+    /// [`Self::snapshot_bytes`]. Volatile state (delta watermarks, the
+    /// validator) restarts fresh; chain `.with_validator` to re-install
+    /// a predicate. The next `on_start` re-announces instead of
+    /// initializing.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, CodecError> {
+        decode_frame(WTS_SNAPSHOT_KIND, bytes)
+    }
+
     /// Re-scans the waiting buffer until no more progress is possible.
     fn drain_waiting(&mut self, ctx: &mut Context<WtsMsg<V>>) {
         loop {
@@ -330,8 +412,89 @@ impl<V: Value> WtsProcess<V> {
     }
 }
 
+/// The durable half of a [`WtsProcess`]. Volatile and therefore absent:
+/// the delta watermarks (`delta_tx`/`delta_rx` — peer-held-state claims
+/// that are stale after an amnesiac restart; fresh trackers ride the
+/// gap→`Full` fallback) and the `validator` fn pointer (configuration,
+/// re-installed by the harness).
+impl<V: Value> Wire for WtsProcess<V> {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.usize(self.me);
+        self.proposal.encode(w);
+        self.eager.encode(w);
+        self.state.encode(w);
+        self.rb.encode(w);
+        self.svs.encode(w);
+        w.usize(self.init_counter);
+        self.proposed_set.encode(w);
+        self.ack_set.encode(w);
+        w.u64(self.ts);
+        self.accepted_set.encode(w);
+        self.waiting.encode(w);
+        self.delta_tx.enabled().encode(w);
+        self.decision.encode(w);
+        self.decision_depth.encode(w);
+        w.u64(self.refinements);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let config = SystemConfig::decode(r)?;
+        let me = r.usize()?;
+        let proposal = V::decode(r)?;
+        let eager = bool::decode(r)?;
+        let state = WtsState::decode(r)?;
+        let rb = Wire::decode(r)?;
+        let svs = Wire::decode(r)?;
+        let init_counter = r.usize()?;
+        let proposed_set = Wire::decode(r)?;
+        let ack_set = Wire::decode(r)?;
+        let ts = r.u64()?;
+        let accepted_set = Wire::decode(r)?;
+        let waiting = Wire::decode(r)?;
+        let deltas = bool::decode(r)?;
+        Ok(WtsProcess {
+            config,
+            me,
+            proposal,
+            validator: |_| true,
+            eager,
+            state,
+            rb,
+            svs,
+            init_counter,
+            proposed_set,
+            ack_set,
+            ts,
+            accepted_set,
+            waiting,
+            delta_tx: DeltaSender::new(deltas),
+            delta_rx: DeltaReceiver::new(),
+            recovered: true,
+            decision: Wire::decode(r)?,
+            decision_depth: Wire::decode(r)?,
+            refinements: r.u64()?,
+        })
+    }
+}
+
 impl<V: Value> Process<WtsMsg<V>> for WtsProcess<V> {
     fn on_start(&mut self, ctx: &mut Context<WtsMsg<V>>) {
+        if self.recovered {
+            // Recovery boot. Re-announce the disclosure (peers' rb
+            // guards dedupe it; our own restored engine refuses to
+            // re-echo) and, when mid-proposal, re-issue the ack request
+            // for the current timestamp — the acks that were in flight
+            // at crash time were swept with the crash.
+            self.recovered = false;
+            for m in self.rb.broadcast(0, self.proposal.clone()) {
+                ctx.broadcast(WtsMsg::Rb(m));
+            }
+            if self.state == WtsState::Proposing {
+                self.ack_set.clear();
+                self.send_ack_req(ctx);
+            }
+            return;
+        }
         // Values Disclosure Phase: commit to the initial value.
         self.proposed_set.insert(self.proposal.clone());
         for m in self.rb.broadcast(0, self.proposal.clone()) {
@@ -384,6 +547,10 @@ impl<V: Value> Process<WtsMsg<V>> for WtsProcess<V> {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.snapshot_bytes())
     }
 }
 

@@ -1,0 +1,255 @@
+//! Property-based testing of the durable codec: round-trips for every
+//! durable type — bare payloads, framed payloads, and the four
+//! algorithm snapshots captured *mid-protocol* — plus universal
+//! rejection of truncated and bit-flipped frames. The snapshot
+//! properties drive a real simulation for a sampled number of steps so
+//! the frames cover populated rbcast engines, signed sets, proofs and
+//! delta codec state, not just genesis.
+
+use std::collections::BTreeMap;
+
+use bgla_codec::{
+    decode_frame, decode_payload, encode_frame, encode_payload, verify_frame, CodecError,
+    FRAME_OVERHEAD,
+};
+use bgla_core::gsbs::GsbsProcess;
+use bgla_core::gwts::GwtsProcess;
+use bgla_core::sbs::SbsProcess;
+use bgla_core::wts::WtsProcess;
+use bgla_core::{SetUpdate, SystemConfig, ValueSet};
+use bgla_simnet::{RandomScheduler, SimulationBuilder};
+use proptest::prelude::*;
+
+const N: usize = 4;
+const F: usize = 1;
+
+/// A frame kind reserved for the tests below (outside every snapshot
+/// kind range).
+const TEST_KIND: u16 = 0x7e57;
+
+fn vs(v: &[u64]) -> ValueSet<u64> {
+    v.iter().copied().collect()
+}
+
+/// Every prefix of a frame must be rejected by [`verify_frame`].
+fn assert_truncation_rejected(frame: &[u8], cut: usize) {
+    let cut = cut % frame.len();
+    assert!(
+        verify_frame(&frame[..cut]).is_err(),
+        "prefix of length {cut}/{} verified",
+        frame.len()
+    );
+}
+
+/// Flipping any single bit of a frame must be caught by the envelope
+/// checks before (or instead of) deserialization.
+fn assert_bitflip_rejected(frame: &[u8], pos: usize, bit: u8) {
+    let pos = pos % frame.len();
+    let mut evil = frame.to_vec();
+    evil[pos] ^= 1 << (bit % 8);
+    assert!(
+        verify_frame(&evil).is_err(),
+        "bit {} of byte {pos}/{} flipped yet the frame verified",
+        bit % 8,
+        frame.len()
+    );
+}
+
+/// Byte-stable double round-trip of a snapshot frame, plus truncation
+/// and bit-flip rejection at sampled offsets.
+fn assert_snapshot_frame_sound<T>(
+    frame: Vec<u8>,
+    restore: impl Fn(&[u8]) -> Result<T, CodecError>,
+    resnap: impl Fn(&T) -> Vec<u8>,
+    cut: usize,
+    pos: usize,
+    bit: u8,
+) {
+    let restored = restore(&frame).expect("snapshot restores");
+    assert_eq!(
+        resnap(&restored),
+        frame,
+        "snapshot double round-trip is not byte-stable"
+    );
+    assert_truncation_rejected(&frame, cut);
+    assert_bitflip_rejected(&frame, pos, bit);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bare payload round-trip for the workhorse durable type.
+    #[test]
+    fn valueset_payload_roundtrip(a: Vec<u64>) {
+        let set = vs(&a);
+        let bytes = encode_payload(&set);
+        let back: ValueSet<u64> = decode_payload(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &set);
+        prop_assert_eq!(encode_payload(&back), bytes);
+    }
+
+    /// Both `SetUpdate` variants round-trip through a frame.
+    #[test]
+    fn setupdate_frame_roundtrip(a: Vec<u64>, b: Vec<u64>, base_ts: u64, full: bool) {
+        let update: SetUpdate<u64> = if full {
+            SetUpdate::Full(vs(&a))
+        } else {
+            SetUpdate::Delta { base_ts, added: vs(&b) }
+        };
+        let frame = encode_frame(TEST_KIND, &update);
+        prop_assert_eq!(verify_frame(&frame).expect("frame verifies"), TEST_KIND);
+        let back: SetUpdate<u64> = decode_frame(TEST_KIND, &frame).expect("frame decodes");
+        prop_assert_eq!(encode_frame(TEST_KIND, &back), frame);
+    }
+
+    /// The envelope is sound for any kind tag and payload: it verifies,
+    /// reports its kind, decodes, and rejects a kind mismatch.
+    #[test]
+    fn frame_envelope_roundtrip(kind: u16, a: Vec<u64>) {
+        let set = vs(&a);
+        let frame = encode_frame(kind, &set);
+        prop_assert_eq!(frame.len(), FRAME_OVERHEAD + encode_payload(&set).len());
+        prop_assert_eq!(verify_frame(&frame).expect("frame verifies"), kind);
+        let back: ValueSet<u64> = decode_frame(kind, &frame).expect("frame decodes");
+        prop_assert_eq!(&back, &set);
+        let wrong = kind.wrapping_add(1);
+        prop_assert!(matches!(
+            decode_frame::<ValueSet<u64>>(wrong, &frame),
+            Err(CodecError::BadKind { .. })
+        ));
+    }
+
+    /// No strict prefix of a frame ever verifies.
+    #[test]
+    fn truncation_is_always_rejected(a: Vec<u64>, cut: usize) {
+        let frame = encode_frame(TEST_KIND, &vs(&a));
+        assert_truncation_rejected(&frame, cut);
+    }
+
+    /// No single-bit flip anywhere in a frame ever verifies — magic,
+    /// version, kind, length, payload and the checksum itself are all
+    /// covered.
+    #[test]
+    fn bitflip_is_always_rejected(a: Vec<u64>, pos: usize, bit: u8) {
+        let frame = encode_frame(TEST_KIND, &vs(&a));
+        assert_bitflip_rejected(&frame, pos, bit);
+    }
+
+    /// WTS snapshots taken at an arbitrary point of an arbitrary
+    /// schedule round-trip byte-stably and reject corruption.
+    #[test]
+    fn wts_mid_run_snapshots_are_sound(seed: u64, steps: u64, cut: usize, pos: usize, bit: u8) {
+        let config = SystemConfig::new(N, F);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..N {
+            b = b.add(Box::new(WtsProcess::new(i, config, seed.wrapping_add(i as u64))));
+        }
+        let mut sim = b.build();
+        sim.start();
+        for _ in 0..steps {
+            if !sim.step() {
+                break;
+            }
+        }
+        for i in 0..N {
+            let p = sim.process_as::<WtsProcess<u64>>(i).expect("plain process");
+            assert_snapshot_frame_sound(
+                p.snapshot_bytes(),
+                WtsProcess::<u64>::from_snapshot,
+                |p| p.snapshot_bytes(),
+                cut,
+                pos,
+                bit,
+            );
+        }
+    }
+
+    /// GWTS (multi-round) snapshots are sound mid-run.
+    #[test]
+    fn gwts_mid_run_snapshots_are_sound(seed: u64, steps: u64, cut: usize, pos: usize, bit: u8) {
+        let config = SystemConfig::new(N, F);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..N {
+            let schedule: BTreeMap<u64, Vec<u64>> =
+                [(0, vec![i as u64]), (1, vec![100 + i as u64])].into_iter().collect();
+            b = b.add(Box::new(GwtsProcess::new(i, config, schedule, 2)));
+        }
+        let mut sim = b.build();
+        sim.start();
+        for _ in 0..steps {
+            if !sim.step() {
+                break;
+            }
+        }
+        for i in 0..N {
+            let p = sim.process_as::<GwtsProcess<u64>>(i).expect("plain process");
+            assert_snapshot_frame_sound(
+                p.snapshot_bytes(),
+                GwtsProcess::<u64>::from_snapshot,
+                |p| p.snapshot_bytes(),
+                cut,
+                pos,
+                bit,
+            );
+        }
+    }
+
+    /// SbS snapshots (signed sets, proofs, proven-delta state) are
+    /// sound mid-run.
+    #[test]
+    fn sbs_mid_run_snapshots_are_sound(seed: u64, steps: u64, cut: usize, pos: usize, bit: u8) {
+        let config = SystemConfig::new(N, F);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..N {
+            b = b.add(Box::new(SbsProcess::new(i, config, seed.wrapping_add(i as u64))));
+        }
+        let mut sim = b.build();
+        sim.start();
+        for _ in 0..steps {
+            if !sim.step() {
+                break;
+            }
+        }
+        for i in 0..N {
+            let p = sim.process_as::<SbsProcess<u64>>(i).expect("plain process");
+            assert_snapshot_frame_sound(
+                p.snapshot_bytes(),
+                SbsProcess::<u64>::from_snapshot,
+                |p| p.snapshot_bytes(),
+                cut,
+                pos,
+                bit,
+            );
+        }
+    }
+
+    /// GSbS snapshots are sound mid-run.
+    #[test]
+    fn gsbs_mid_run_snapshots_are_sound(seed: u64, steps: u64, cut: usize, pos: usize, bit: u8) {
+        let config = SystemConfig::new(N, F);
+        let mut b = SimulationBuilder::new().scheduler(Box::new(RandomScheduler::new(seed)));
+        for i in 0..N {
+            let schedule: BTreeMap<u64, Vec<u64>> =
+                [(0, vec![i as u64]), (1, vec![100 + i as u64])].into_iter().collect();
+            b = b.add(Box::new(GsbsProcess::new(i, config, schedule, 2)));
+        }
+        let mut sim = b.build();
+        sim.start();
+        for _ in 0..steps {
+            if !sim.step() {
+                break;
+            }
+        }
+        for i in 0..N {
+            let p = sim.process_as::<GsbsProcess<u64>>(i).expect("plain process");
+            assert_snapshot_frame_sound(
+                p.snapshot_bytes(),
+                GsbsProcess::<u64>::from_snapshot,
+                |p| p.snapshot_bytes(),
+                cut,
+                pos,
+                bit,
+            );
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod scalar;
 pub mod sha512;
 pub mod sigcache;
 pub mod tobytes;
+pub mod wire;
 
 pub use ed25519::{Keypair, PublicKey, SecretKey, Signature};
 pub use hmac::hmac_sha512;

@@ -54,6 +54,16 @@ impl<K: Eq + Hash, V: Clone> LruMap<K, V> {
     pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// All entries, least-recently-used first. Re-inserting them in
+    /// this order into a fresh map reproduces the recency ordering —
+    /// which is how the proof resolver serializes itself into a
+    /// durable snapshot without disturbing eviction behavior.
+    pub(crate) fn entries_by_recency(&self) -> Vec<(&K, &V)> {
+        let mut entries: Vec<(&K, &(V, u64))> = self.map.iter().collect();
+        entries.sort_by_key(|(_, (_, tick))| *tick);
+        entries.into_iter().map(|(k, (v, _))| (k, v)).collect()
+    }
 }
 
 /// The boolean-verdict specialization the signature and proof caches

@@ -223,6 +223,22 @@ impl<P: Clone> ProofResolver<P> {
     pub fn is_empty(&self) -> bool {
         self.map.len() == 0
     }
+
+    /// All registered `(id, handle)` pairs, least-recently-used first.
+    ///
+    /// This is the resolver's durable view: a crash-recovery snapshot
+    /// serializes the pairs in this order, and re-[`register`]ing them
+    /// in the same order on restore reproduces both the contents and
+    /// the eviction (recency) ordering of the original resolver.
+    ///
+    /// [`register`]: ProofResolver::register
+    pub fn entries(&self) -> Vec<(ProofId, P)> {
+        self.map
+            .entries_by_recency()
+            .into_iter()
+            .map(|(id, p)| (*id, p.clone()))
+            .collect()
+    }
 }
 
 impl<P: Clone> Default for ProofResolver<P> {

@@ -1,0 +1,68 @@
+//! [`Wire`] codec impls for the crypto types that appear inside
+//! durable snapshots and wire messages: signatures, public keys, and
+//! proof content addresses.
+//!
+//! Signatures decode through [`Signature::from_bytes`], which is
+//! infallible by design — validity is a property checked by
+//! [`crate::ed25519::PublicKey::verify`] at use time, not a parse-time
+//! invariant. Secret keys deliberately have **no** `Wire` impl: the
+//! simulation's PKI is deterministic ([`crate::Keypair::for_process`]),
+//! so snapshots never need to persist key material and a restore
+//! re-derives it.
+
+use crate::ed25519::{PublicKey, Signature};
+use crate::proofstore::ProofId;
+use bgla_codec::{CodecError, Reader, Wire, Writer};
+
+impl Wire for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.to_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let raw: [u8; 64] = <[u8; 64]>::decode(r)?;
+        Ok(Signature::from_bytes(&raw))
+    }
+}
+
+impl Wire for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PublicKey(<[u8; 32]>::decode(r)?))
+    }
+}
+
+impl Wire for ProofId {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ProofId(<[u8; 16]>::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use bgla_codec::{decode_payload, encode_payload};
+
+    #[test]
+    fn signature_roundtrip() {
+        let sig = Keypair::for_process(3).sign(b"hello");
+        let back: Signature = decode_payload(&encode_payload(&sig)).unwrap();
+        assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn public_key_and_proof_id_roundtrip() {
+        let pk = Keypair::for_process(1).public;
+        assert_eq!(
+            decode_payload::<PublicKey>(&encode_payload(&pk)).unwrap(),
+            pk
+        );
+        let id = ProofId([7; 16]);
+        assert_eq!(decode_payload::<ProofId>(&encode_payload(&id)).unwrap(), id);
+    }
+}

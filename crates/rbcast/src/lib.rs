@@ -27,6 +27,7 @@
 // `⌊(n+f)/2⌋ + 1`); clippy's `x > y` rewrite would obscure the quorum math.
 #![allow(clippy::int_plus_one)]
 
+use bgla_codec::{CodecError, Reader, Wire, Writer};
 use bgla_simnet::ProcessId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -208,6 +209,86 @@ impl<T: Clone + Ord> RbcastEngine<T> {
     /// Whether `(origin, tag)` has been delivered here.
     pub fn has_delivered(&self, origin: ProcessId, tag: u64) -> bool {
         self.delivered.contains(&(origin, tag))
+    }
+}
+
+impl<T: Wire> Wire for RbMsg<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RbMsg::Init { tag, value } => {
+                w.u8(0);
+                w.u64(*tag);
+                value.encode(w);
+            }
+            RbMsg::Echo { origin, tag, value } => {
+                w.u8(1);
+                w.usize(*origin);
+                w.u64(*tag);
+                value.encode(w);
+            }
+            RbMsg::Ready { origin, tag, value } => {
+                w.u8(2);
+                w.usize(*origin);
+                w.u64(*tag);
+                value.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(RbMsg::Init {
+                tag: r.u64()?,
+                value: T::decode(r)?,
+            }),
+            1 => Ok(RbMsg::Echo {
+                origin: r.usize()?,
+                tag: r.u64()?,
+                value: T::decode(r)?,
+            }),
+            2 => Ok(RbMsg::Ready {
+                origin: r.usize()?,
+                tag: r.u64()?,
+                value: T::decode(r)?,
+            }),
+            _ => Err(CodecError::Invalid("rbmsg tag")),
+        }
+    }
+}
+
+/// The engine's full instance state is durable: every guard set and
+/// every echo/ready tally round-trips through the codec, so a process
+/// restored from a snapshot neither re-echoes what it already echoed
+/// (no equivocation amnesia) nor re-delivers what it already delivered
+/// (integrity across restarts). What an engine loses by crashing is
+/// only the *in-flight* messages addressed to it — the surrounding
+/// algorithm recovers those through quorum redundancy, not the codec.
+impl<T: Clone + Ord + Wire> Wire for RbcastEngine<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.n);
+        w.usize(self.f);
+        self.echoed.encode(w);
+        self.readied.encode(w);
+        self.delivered.encode(w);
+        self.echoes.encode(w);
+        self.readies.encode(w);
+        self.init_seen.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.usize()?;
+        let f = r.usize()?;
+        if n == 0 {
+            return Err(CodecError::Invalid("rbcast n == 0"));
+        }
+        Ok(RbcastEngine {
+            n,
+            f,
+            echoed: Wire::decode(r)?,
+            readied: Wire::decode(r)?,
+            delivered: Wire::decode(r)?,
+            echoes: Wire::decode(r)?,
+            readies: Wire::decode(r)?,
+            init_seen: Wire::decode(r)?,
+        })
     }
 }
 
@@ -429,6 +510,66 @@ mod tests {
     #[should_panic(expected = "n >= 3f+1")]
     fn rejects_insufficient_resilience() {
         let _ = RbcastEngine::<u64>::new(3, 1);
+    }
+
+    #[test]
+    fn engine_state_roundtrips_and_preserves_guards() {
+        use bgla_codec::{decode_payload, encode_payload};
+        let mut e: RbcastEngine<u64> = RbcastEngine::new(4, 1);
+        // Drive a partial instance: init echoed, two readies tallied.
+        let _ = e.on_message(0, RbMsg::Init { tag: 0, value: 5 });
+        for p in 0..2 {
+            let _ = e.on_message(
+                p,
+                RbMsg::Ready {
+                    origin: 0,
+                    tag: 0,
+                    value: 5,
+                },
+            );
+        }
+        let bytes = encode_payload(&e);
+        let mut back: RbcastEngine<u64> = decode_payload(&bytes).unwrap();
+        // The restored engine refuses to re-echo the same init...
+        let (out, _) = back.on_message(0, RbMsg::Init { tag: 0, value: 5 });
+        assert!(out.is_empty(), "restored engine re-echoed a seen init");
+        // ...and its ready tally continues where it left off: one more
+        // ready reaches 2f+1 = 3 and delivers exactly once.
+        let (_, dels) = back.on_message(
+            2,
+            RbMsg::Ready {
+                origin: 0,
+                tag: 0,
+                value: 5,
+            },
+        );
+        assert_eq!(dels.len(), 1);
+        assert!(back.has_delivered(0, 0));
+    }
+
+    #[test]
+    fn rb_msgs_roundtrip() {
+        use bgla_codec::{decode_payload, encode_payload};
+        let msgs = [
+            RbMsg::Init {
+                tag: 7,
+                value: 1u64,
+            },
+            RbMsg::Echo {
+                origin: 2,
+                tag: 7,
+                value: 1,
+            },
+            RbMsg::Ready {
+                origin: 2,
+                tag: 7,
+                value: 1,
+            },
+        ];
+        for m in msgs {
+            let back: RbMsg<u64> = decode_payload(&encode_payload(&m)).unwrap();
+            assert_eq!(back, m);
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! `nop` commands that modify the replicated set like any command but
 //! have no effect when the state is executed.
 
+use bgla_codec::{CodecError, Reader, Wire, Writer};
 use bgla_core::Value;
 use bgla_crypto::ToBytes;
 
@@ -59,6 +60,36 @@ impl Value for Cmd {
             Op::Put(s) => 9 + s.len(),
             Op::Nop => 1,
         }
+    }
+}
+
+impl Wire for Cmd {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.client);
+        w.u64(self.seq);
+        match &self.op {
+            Op::Add(x) => {
+                w.u8(0);
+                w.u64(*x);
+            }
+            Op::Put(s) => {
+                w.u8(1);
+                s.encode(w);
+            }
+            Op::Nop => w.u8(2),
+        }
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let client = r.u64()?;
+        let seq = r.u64()?;
+        let op = match r.u8()? {
+            0 => Op::Add(r.u64()?),
+            1 => Op::Put(String::decode(r)?),
+            2 => Op::Nop,
+            _ => return Err(CodecError::Invalid("unknown Op tag")),
+        };
+        Ok(Cmd { client, seq, op })
     }
 }
 

@@ -24,6 +24,19 @@ pub trait Process<M>: Send {
     /// Downcasting hook so harnesses can inspect concrete process state
     /// after a run (decisions, metrics, flags). Implement as `self`.
     fn as_any(&self) -> &dyn Any;
+
+    /// Serializes this process's **durable** state for crash-recovery
+    /// snapshots ([`crate::Simulation::snapshot_of`]). The default —
+    /// `None` — marks the process as not snapshottable: a crash of such
+    /// a process can only be recovered by rebuilding it from genesis.
+    ///
+    /// Implementations define their own durable/volatile split; the
+    /// engine treats the bytes as opaque. The contract is only that the
+    /// process's `from_snapshot`-style constructor accepts exactly what
+    /// this produces.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Execution context handed to a process during an event. Collects

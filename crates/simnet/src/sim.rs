@@ -66,6 +66,28 @@ impl<M> Slab<M> {
         self.live -= 1;
         env
     }
+
+    /// Drops every envelope failing `keep`; returns `(id, meta)` of the
+    /// survivors in slot order. Used by [`Simulation::crash`] to sweep a
+    /// victim's in-flight messages and re-feed the rest to the scheduler.
+    fn retain(
+        &mut self,
+        mut keep: impl FnMut(&Envelope<M>) -> bool,
+    ) -> Vec<(EnvelopeId, InFlight)> {
+        let mut kept = Vec::with_capacity(self.live);
+        for id in 0..self.slots.len() {
+            match &self.slots[id] {
+                Some(env) if !keep(env) => {
+                    self.slots[id] = None;
+                    self.free.push(id);
+                    self.live -= 1;
+                }
+                Some(env) => kept.push((id, env.meta)),
+                None => {}
+            }
+        }
+        kept
+    }
 }
 
 /// Result of a run.
@@ -124,6 +146,8 @@ impl<M: WireMessage + 'static> SimulationBuilder<M> {
         Simulation {
             depths: vec![0; n],
             events: vec![0; n],
+            crashed: vec![false; n],
+            restarts: vec![0; n],
             procs: self.procs,
             inflight: Slab::new(),
             scheduler: self.scheduler,
@@ -144,6 +168,15 @@ pub struct Simulation<M: WireMessage> {
     depths: Vec<u64>,
     /// Deliveries handled per process.
     events: Vec<u64>,
+    /// Crash flags: a crashed process receives nothing (sends addressed
+    /// to it are dropped at the wire) until [`Simulation::restart`].
+    crashed: Vec<bool>,
+    /// Restart generation per process: how many times each slot has been
+    /// rebooted via [`Simulation::restart`]. Conformance observers diff
+    /// this to notice a new incarnation and reset their per-process
+    /// state-diffing memory (the old incarnation's announcements do not
+    /// describe the restored state).
+    restarts: Vec<u64>,
     inflight: Slab<M>,
     scheduler: Box<dyn Scheduler>,
     metrics: Metrics,
@@ -214,21 +247,32 @@ impl<M: WireMessage + 'static> Simulation<M> {
         for (to, msg) in ctx.outbox.drain(..) {
             let kind = msg.kind();
             let (bytes, proofs) = msg.metered();
+            // The sender pays for the send either way (the bytes hit
+            // the wire before anyone can know the peer is down)...
             self.metrics.record_send(from, kind, bytes, proofs);
+            self.seq += 1;
+            // ...but a message to a crashed process never enters
+            // flight: it is dropped here rather than scheduled into a
+            // dead process's inbox, so delivery counts, delivered-byte
+            // traces and scheduler work are not inflated by traffic
+            // nobody will ever handle.
+            if self.crashed[to] {
+                continue;
+            }
             let meta = InFlight {
                 from,
                 to,
-                seq: self.seq,
+                seq: self.seq - 1,
                 sent_at: self.delivered,
                 kind,
             };
             let id = self.inflight.insert(Envelope { meta, msg, depth });
             self.scheduler.on_send(&meta, id);
-            self.seq += 1;
         }
     }
 
-    /// Runs `on_start` on every process (idempotent).
+    /// Runs `on_start` on every process (idempotent). Processes crashed
+    /// before the run starts never boot.
     pub fn start(&mut self) {
         if self.started {
             return;
@@ -236,12 +280,81 @@ impl<M: WireMessage + 'static> Simulation<M> {
         self.started = true;
         let n = self.n();
         for p in 0..n {
+            if self.crashed[p] {
+                continue;
+            }
             let mut ctx = Context::new(p, n);
             ctx.depth = 0;
             self.procs[p].on_start(&mut ctx);
             // Messages sent at start-up begin causal chains: depth 1.
             self.flush_outbox(p, &mut ctx, 1);
         }
+    }
+
+    /// Crash-stops process `p`: every in-flight envelope addressed to it
+    /// is dropped from the slab (a crashed process has no inbox), future
+    /// sends to it are dropped at the wire, and it receives no further
+    /// deliveries until [`Simulation::restart`]. The scheduler is reset
+    /// and re-fed the surviving envelopes in `seq` order, preserving its
+    /// documented re-feed contract.
+    ///
+    /// Crashing an already-crashed process is a no-op.
+    pub fn crash(&mut self, p: ProcessId) {
+        assert!(p < self.n(), "crash target {p} out of range");
+        if self.crashed[p] {
+            return;
+        }
+        self.crashed[p] = true;
+        let mut survivors = self.inflight.retain(|env| env.meta.to != p);
+        survivors.sort_by_key(|(_, meta)| meta.seq);
+        self.scheduler.reset();
+        for (id, meta) in &survivors {
+            self.scheduler.on_send(meta, *id);
+        }
+    }
+
+    /// Whether process `p` is currently crashed.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p]
+    }
+
+    /// Restart generation of process `p` (number of completed
+    /// [`Simulation::restart`]s of that slot).
+    pub fn restarts_of(&self, p: ProcessId) -> u64 {
+        self.restarts[p]
+    }
+
+    /// Restarts crashed process `p` as `proc` — typically rebuilt from
+    /// its latest durable snapshot (see [`Process::snapshot`]), or from
+    /// genesis when no usable snapshot exists. The recovered process is
+    /// booted through `on_start` so it can re-announce itself; messages
+    /// it sends continue the victim's causal chain (depth picks up from
+    /// the crashed incarnation's clock — wall time kept passing while it
+    /// was down).
+    ///
+    /// Panics if `p` is not crashed: replacing a live process mid-run
+    /// would silently drop protocol state.
+    pub fn restart(&mut self, p: ProcessId, proc: Box<dyn Process<M>>) {
+        assert!(self.crashed[p], "restart of live process {p}");
+        self.crashed[p] = false;
+        self.restarts[p] += 1;
+        self.procs[p] = proc;
+        if self.started {
+            let n = self.n();
+            let mut ctx = Context::new(p, n);
+            ctx.depth = self.depths[p];
+            ctx.local_events = self.events[p];
+            self.procs[p].on_start(&mut ctx);
+            self.flush_outbox(p, &mut ctx, self.depths[p] + 1);
+        }
+    }
+
+    /// The durable snapshot of process `p`, if it supports one (see
+    /// [`Process::snapshot`]). Callable while `p` is live or crashed —
+    /// though a real deployment snapshots *before* the crash, which is
+    /// what the recovery harness does.
+    pub fn snapshot_of(&self, p: ProcessId) -> Option<Vec<u8>> {
+        self.procs[p].snapshot()
     }
 
     /// Delivers exactly one message. Returns `false` when nothing is in
@@ -466,6 +579,71 @@ mod tests {
         for p in 0..n {
             assert_eq!(sim.process_as::<Gossip>(p).unwrap().got, n as u64);
         }
+    }
+
+    #[test]
+    fn crash_drops_inflight_and_future_sends() {
+        // Three gossipers; crash p2 before start. p2 never boots, and
+        // the other two processes' broadcasts to it are dropped at the
+        // wire: sends are still metered (the sender paid for them) but
+        // nothing is ever delivered into a dead inbox.
+        let mut b = SimulationBuilder::new();
+        for _ in 0..3 {
+            b = b.add(Box::new(Gossip { got: 0 }));
+        }
+        let mut sim = b.build();
+        sim.enable_trace();
+        sim.crash(2);
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.metrics().total_sent(), 6, "two live broadcasts of 3");
+        assert_eq!(out.delivered, 4, "only the four live-to-live copies");
+        assert!(
+            sim.trace().unwrap().events().iter().all(|e| e.to != 2),
+            "a delivery reached the crashed process"
+        );
+    }
+
+    #[test]
+    fn mid_run_crash_sweeps_pending_envelopes() {
+        let n = 4;
+        let mut b = SimulationBuilder::new();
+        for _ in 0..n {
+            b = b.add(Box::new(Gossip { got: 0 }));
+        }
+        let mut sim = b.build();
+        sim.start();
+        assert_eq!(sim.in_flight(), n * n);
+        sim.crash(0);
+        // p0's four pending deliveries vanished from the slab.
+        assert_eq!(sim.in_flight(), n * n - n);
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(out.delivered, (n * n - n) as u64);
+        assert_eq!(sim.process_as::<Gossip>(0).unwrap().got, 0);
+    }
+
+    #[test]
+    fn restart_boots_replacement_process() {
+        let mut b = SimulationBuilder::new();
+        for _ in 0..3 {
+            b = b.add(Box::new(Gossip { got: 0 }));
+        }
+        let mut sim = b.build();
+        sim.crash(1);
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert!(sim.is_crashed(1));
+        // Recovered replacement re-broadcasts on restart and hears only
+        // its own copy (the others' start-up traffic is long gone).
+        sim.restart(1, Box::new(Gossip { got: 0 }));
+        assert!(!sim.is_crashed(1));
+        assert_eq!(sim.in_flight(), 3);
+        let out = sim.run(10_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.process_as::<Gossip>(1).unwrap().got, 1);
+        // The survivors each heard: 2 live broadcasts + the restart one.
+        assert_eq!(sim.process_as::<Gossip>(0).unwrap().got, 3);
     }
 
     #[test]
