@@ -188,32 +188,35 @@ impl<'a> Reader<'a> {
 
     /// Consumes and returns the next `n` bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Consumes the next `N` bytes as a fixed-size array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        self.bytes(N)?.try_into().map_err(|_| CodecError::Truncated)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.bytes(1)?[0])
+        self.array().map(|[b]| b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a `u64` and narrows it to `usize`.
@@ -311,8 +314,10 @@ pub fn verify_frame(bytes: &[u8]) -> Result<u16, CodecError> {
             Err(CodecError::BadLength)
         };
     }
-    let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
-    if fnv1a64(&bytes[..bytes.len() - 8]) != sum {
+    let split = bytes.len().checked_sub(8).ok_or(CodecError::Truncated)?;
+    let mut tail = Reader::new(bytes.get(split..).ok_or(CodecError::Truncated)?);
+    let sum = tail.u64()?;
+    if fnv1a64(bytes.get(..split).ok_or(CodecError::Truncated)?) != sum {
         return Err(CodecError::BadChecksum);
     }
     Ok(kind)
@@ -328,7 +333,8 @@ pub fn decode_frame<T: Wire>(kind: u16, bytes: &[u8]) -> Result<T, CodecError> {
             found,
         });
     }
-    decode_payload(&bytes[16..bytes.len() - 8])
+    let end = bytes.len().checked_sub(8).ok_or(CodecError::Truncated)?;
+    decode_payload(bytes.get(16..end).ok_or(CodecError::Truncated)?)
 }
 
 macro_rules! wire_int {
@@ -380,7 +386,7 @@ impl<const N: usize> Wire for [u8; N] {
         w.bytes(self);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(r.bytes(N)?.try_into().unwrap())
+        r.array()
     }
 }
 

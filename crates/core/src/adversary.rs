@@ -457,6 +457,7 @@ impl<V: Value> ChaosMonkey<V> {
         let k = (self.next_u64() as usize) % (self.seen_values.len().min(4) + 1);
         for _ in 0..k {
             let idx = (self.next_u64() as usize) % self.seen_values.len();
+            // bgla-lint: allow(byzantine-panic, "index is rng % len; emptiness checked above")
             set.insert(self.seen_values[idx].clone());
         }
         set
@@ -496,6 +497,7 @@ impl<V: Value> ChaosMonkey<V> {
                         continue;
                     }
                     let idx = (self.next_u64() as usize) % self.seen_msgs.len();
+                    // bgla-lint: allow(byzantine-panic, "index is rng % len; emptiness checked above")
                     self.seen_msgs[idx].clone()
                 }
                 4 => {
@@ -506,6 +508,7 @@ impl<V: Value> ChaosMonkey<V> {
                     let idx = (self.next_u64() as usize) % self.seen_values.len();
                     WtsMsg::Rb(RbMsg::Init {
                         tag: 0,
+                        // bgla-lint: allow(byzantine-panic, "index is rng % len; emptiness checked above")
                         value: self.seen_values[idx].clone(),
                     })
                 }
@@ -518,6 +521,7 @@ impl<V: Value> ChaosMonkey<V> {
                     WtsMsg::Rb(RbMsg::Ready {
                         origin: (self.next_u64() as usize) % ctx.n,
                         tag: 0,
+                        // bgla-lint: allow(byzantine-panic, "index is rng % len; emptiness checked above")
                         value: self.seen_values[idx].clone(),
                     })
                 }

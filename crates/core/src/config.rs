@@ -18,6 +18,7 @@ impl SystemConfig {
     pub fn new(n: usize, f: usize) -> Self {
         #[allow(clippy::int_plus_one)] // paper notation: n >= 3f + 1
         {
+            // bgla-lint: allow(byzantine-panic, "precondition on locally chosen params; Wire::decode builds the struct directly and never calls new")
             assert!(
                 n >= 3 * f + 1,
                 "Byzantine LA requires n >= 3f+1 (got n={n}, f={f})"

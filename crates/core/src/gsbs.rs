@@ -59,6 +59,7 @@ use bgla_crypto::{
 };
 use bgla_simnet::{Context, Process, ProcessId, ProofSizes, WireMessage};
 use std::any::Any;
+// bgla-lint: allow(determinism, "HashSet used membership-only in all_safe; iteration order never observed")
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 const BATCH_DOMAIN: &[u8] = b"bgla-gsbs-batch:";
@@ -544,7 +545,9 @@ pub struct GsbsProcess<V: SignableValue> {
     pub input_schedule: BTreeMap<u64, Vec<V>>,
     /// Simulation horizon.
     pub max_rounds: u64,
+    // bgla-lint: allow(wire-coverage, "crypto identity is provisioning input; from_snapshot re-supplies it, keys never live in snapshots")
     keypair: Keypair,
+    // bgla-lint: allow(wire-coverage, "PKI handle re-supplied at construction and recovery; not serializable state")
     verifier: CachedVerifier,
 
     state: GsbsState,
@@ -570,14 +573,17 @@ pub struct GsbsProcess<V: SignableValue> {
     /// Acceptor: cumulative accepted proven set.
     accepted_set: SignedSet<ProvenBatch<V>>,
     /// Memoized full-proof verdicts, keyed by [`ProofId`].
+    // bgla-lint: allow(wire-coverage, "verification cache; rebuilt empty after restart, verdicts are recomputed")
     proof_cache: ProofCache,
     /// Ablation switch (see [`GsbsProcess::with_proof_interning`]).
     proof_interning: bool,
     /// Proposer-side delta bookkeeping (snapshots, reply watermarks,
     /// per-peer referenceable proof ids).
+    // bgla-lint: allow(wire-coverage, "sender watermarks are peer-relative and deliberately amnesiac across crashes; only the enabled flag is carried")
     delta_tx: ProvenDeltaSender<ProvenBatch<V>>,
     /// Acceptor-side delta bookkeeping (consumed bases, per-proposer
     /// referenceable proof ids).
+    // bgla-lint: allow(wire-coverage, "delta bases are peer-relative; a restarted process resumes in full-set mode by design")
     delta_rx: ProvenDeltaReceiver<ProvenBatch<V>>,
     /// Verified-and-retained proof handles, resolvable by id when a
     /// peer ships a reference instead of the proof.
@@ -596,6 +602,7 @@ pub struct GsbsProcess<V: SignableValue> {
     decided_set: ValueSet<V>,
     /// Set by [`GsbsProcess::from_snapshot`]: the next `on_start` is a
     /// *recovery* boot (re-announce instead of initialize).
+    // bgla-lint: allow(wire-coverage, "boot flag: decode sets it true to mark a recovered process")
     recovered: bool,
 
     /// Decision sequence.
@@ -743,6 +750,7 @@ impl<V: SignableValue> GsbsProcess<V> {
     /// tests; protocol handlers are the real callers.
     pub fn all_safe(&mut self, set: &SignedSet<ProvenBatch<V>>) -> bool {
         let quorum = self.config.quorum();
+        // bgla-lint: allow(determinism, "membership-only dedup set (insert/contains); iteration order never observed")
         let mut checked: HashSet<ProofId> = HashSet::with_capacity(set.len());
         for pb in set.iter() {
             // Pair checks — batch ↔ proof relations are never cached
@@ -1033,6 +1041,7 @@ impl<V: SignableValue> GsbsProcess<V> {
                 }
                 true
             }
+            // bgla-lint: allow(byzantine-panic, "local invariant: the buffering site only ever stores ack_req / nack")
             _ => unreachable!("only ack_req / nack are buffered"),
         }
     }
@@ -1042,6 +1051,7 @@ impl<V: SignableValue> GsbsProcess<V> {
             let mut progressed = false;
             let mut i = 0;
             while i < self.waiting.len() {
+                // bgla-lint: allow(byzantine-panic, "i < waiting.len() loop guard")
                 let (from, msg) = self.waiting[i].clone();
                 if self.try_handle(from, &msg, ctx) {
                     self.waiting.remove(i);
@@ -1596,7 +1606,9 @@ fn return_batch_conflicts<V: SignableValue>(
     let mut out = Vec::new();
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
+            // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
             if items[i].conflicts_with(&items[j]) {
+                // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
                 out.push((items[i].clone(), items[j].clone()));
             }
         }

@@ -267,9 +267,11 @@ pub struct GwtsProcess<V: Value> {
     /// Proposer-side delta bookkeeping (snapshots + reply watermarks).
     delta_tx: DeltaSender<V>,
     /// Acceptor-side delta bases.
+    // bgla-lint: allow(wire-coverage, "delta bases are peer-relative; a restarted process resumes in full-set mode by design")
     delta_rx: DeltaReceiver<V>,
     /// Set by [`GwtsProcess::from_snapshot`]: the next `on_start` is a
     /// recovery boot.
+    // bgla-lint: allow(wire-coverage, "boot flag: decode sets it true to mark a recovered process")
     recovered: bool,
 
     /// The decision sequence `Dec_i`.
@@ -547,6 +549,7 @@ impl<V: Value> GwtsProcess<V> {
                 }
                 true
             }
+            // bgla-lint: allow(byzantine-panic, "local invariant: the buffering site only ever stores ack_req / nack")
             GwtsMsg::Disc(_) | GwtsMsg::Ack(_) => unreachable!("handled eagerly"),
         }
     }
@@ -592,6 +595,7 @@ impl<V: Value> GwtsProcess<V> {
             let mut progressed = false;
             let mut i = 0;
             while i < self.waiting.len() {
+                // bgla-lint: allow(byzantine-panic, "i < waiting.len() loop guard")
                 let (from, msg) = self.waiting[i].clone();
                 if self.try_handle(from, &msg, ctx) {
                     self.waiting.remove(i);
@@ -602,6 +606,7 @@ impl<V: Value> GwtsProcess<V> {
             }
             let mut j = 0;
             while j < self.pending_acks.len() {
+                // bgla-lint: allow(byzantine-panic, "i < waiting.len() loop guard")
                 let (origin, rec) = self.pending_acks[j].clone();
                 if self.try_absorb_ack(origin, &rec) {
                     self.pending_acks.remove(j);

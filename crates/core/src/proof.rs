@@ -28,6 +28,7 @@
 use bgla_codec::{CodecError, Reader, Wire, Writer};
 use bgla_crypto::{ProofId, ProofIdBuilder};
 use bgla_simnet::ProofSizes;
+// bgla-lint: allow(determinism, "HashSet used membership-only for proof dedup; iteration order never observed")
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -47,7 +48,9 @@ pub trait ProofAck: Clone + std::fmt::Debug + Send + Sync + 'static {
 /// wire size. Clone is `O(1)`.
 pub struct Proof<A: ProofAck> {
     acks: Arc<Vec<A>>,
+    // bgla-lint: allow(wire-coverage, "content address; recomputed from the acks by Proof::new during decode")
     id: ProofId,
+    // bgla-lint: allow(wire-coverage, "derived size cache; recomputed from the acks by Proof::new during decode")
     wire: usize,
 }
 
@@ -170,6 +173,7 @@ pub fn account_proofs<'a, A: ProofAck + 'a>(
     proofs: impl Iterator<Item = &'a Proof<A>>,
 ) -> ProofSizes {
     let mut sizes = ProofSizes::default();
+    // bgla-lint: allow(determinism, "membership-only dedup set (insert); iteration order never observed")
     let mut seen: HashSet<ProofId> = HashSet::new();
     for proof in proofs {
         sizes.refs += 1;

@@ -489,6 +489,7 @@ impl<T: ProvenRecord> ProvenDeltaReceiver<T> {
             .map(|((_, t), _)| *t)
             .collect();
         if held.len() > BASE_WINDOW {
+            // bgla-lint: allow(byzantine-panic, "slice start bounded: guarded by held.len() > BASE_WINDOW")
             for t in &held[..held.len() - BASE_WINDOW] {
                 self.bases.remove(&(from, *t));
             }

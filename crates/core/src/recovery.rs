@@ -217,8 +217,12 @@ impl SnapshotStore for CorruptingStore {
     }
     fn load(&mut self, p: ProcessId) -> Option<Vec<u8>> {
         let mut bytes = self.inner.load(p)?;
-        let i = bytes.len() / 2;
-        bytes[i] ^= 0x01;
+        // An empty stored blob has no bit to flip; serve it unmangled
+        // (frame validation rejects it anyway) instead of panicking.
+        let mid = bytes.len() / 2;
+        if let Some(b) = bytes.get_mut(mid) {
+            *b ^= 0x01;
+        }
         Some(bytes)
     }
 }
@@ -790,6 +794,17 @@ mod tests {
         let served = s.load(0).unwrap();
         assert_ne!(served, frame);
         assert!(verify_frame(&served).is_err(), "bit flip must be detected");
+    }
+
+    #[test]
+    fn corrupting_store_survives_an_empty_blob() {
+        let mut s = CorruptingStore::new();
+        s.save(3, &[]);
+        // Used to panic (`bytes[0]` on an empty vec); must serve the
+        // blob instead and let frame validation reject it downstream.
+        let served = s.load(3).expect("stored blob is served");
+        assert!(served.is_empty());
+        assert!(verify_frame(&served).is_err());
     }
 
     #[test]

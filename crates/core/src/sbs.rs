@@ -84,6 +84,7 @@ use bgla_crypto::{
 };
 use bgla_simnet::{Context, Process, ProcessId, ProofSizes, WireMessage};
 use std::any::Any;
+// bgla-lint: allow(determinism, "HashSet used membership-only in all_safe; iteration order never observed")
 use std::collections::{BTreeSet, HashSet};
 
 const VALUE_DOMAIN: &[u8] = b"bgla-sbs-value:";
@@ -390,8 +391,11 @@ fn remove_conflicts<V: SignableValue>(
     let mut any = false;
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
+            // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
             if items[i].conflicts_with(&items[j]) {
+                // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
                 bad[i] = true;
+                // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
                 bad[j] = true;
                 any = true;
             }
@@ -417,7 +421,9 @@ fn return_conflicts<V: SignableValue>(
     let mut out = Vec::new();
     for i in 0..items.len() {
         for j in (i + 1)..items.len() {
+            // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
             if items[i].conflicts_with(&items[j]) {
+                // bgla-lint: allow(byzantine-panic, "i and j bounded by items.len() loop ranges")
                 out.push((items[i].clone(), items[j].clone()));
             }
         }
@@ -432,8 +438,11 @@ pub struct SbsProcess<V: SignableValue> {
     me: ProcessId,
     /// Initial value.
     pub proposal: V,
+    // bgla-lint: allow(wire-coverage, "crypto identity is provisioning input; from_snapshot re-supplies it, keys never live in snapshots")
     keypair: Keypair,
+    // bgla-lint: allow(wire-coverage, "PKI handle re-supplied at construction and recovery; not serializable state")
     verifier: CachedVerifier,
+    // bgla-lint: allow(wire-coverage, "plain fn pointer; not serializable, re-supplied at construction")
     validator: fn(&V) -> bool,
 
     state: SbsState,
@@ -453,15 +462,18 @@ pub struct SbsProcess<V: SignableValue> {
     /// Acceptor: accepted proven set.
     accepted_set: SignedSet<ProvenValue<V>>,
     /// Memoized full-proof verdicts, keyed by [`ProofId`].
+    // bgla-lint: allow(wire-coverage, "verification cache; rebuilt empty after restart, verdicts are recomputed")
     proof_cache: ProofCache,
     /// Ablation switch: `false` re-verifies every proof on every
     /// delivery (decisions are identical — only the cost differs).
     proof_interning: bool,
     /// Proposer-side delta bookkeeping (snapshots, reply watermarks,
     /// per-peer referenceable proof ids).
+    // bgla-lint: allow(wire-coverage, "sender watermarks are peer-relative and deliberately amnesiac across crashes; only the enabled flag is carried")
     delta_tx: ProvenDeltaSender<ProvenValue<V>>,
     /// Acceptor-side delta bookkeeping (consumed bases, per-proposer
     /// referenceable proof ids).
+    // bgla-lint: allow(wire-coverage, "delta bases are peer-relative; a restarted process resumes in full-set mode by design")
     delta_rx: ProvenDeltaReceiver<ProvenValue<V>>,
     /// Verified-and-retained proof handles, resolvable by id when a
     /// peer ships a reference instead of the proof.
@@ -471,6 +483,7 @@ pub struct SbsProcess<V: SignableValue> {
     proven_deltas: bool,
     /// Set by [`SbsProcess::from_snapshot`]: the next `on_start` is a
     /// *recovery* boot (re-announce instead of initialize).
+    // bgla-lint: allow(wire-coverage, "boot flag: decode sets it true to mark a recovered process")
     recovered: bool,
 
     /// The decision (value set), once made.
@@ -599,6 +612,7 @@ impl<V: SignableValue> SbsProcess<V> {
     /// tests; protocol handlers are the real callers.
     pub fn all_safe(&mut self, set: &SignedSet<ProvenValue<V>>) -> bool {
         let quorum = self.config.quorum();
+        // bgla-lint: allow(determinism, "membership-only dedup set (insert/contains); iteration order never observed")
         let mut checked: HashSet<ProofId> = HashSet::with_capacity(set.len());
         for pv in set.iter() {
             if !(self.validator)(&pv.sv.value) {

@@ -45,6 +45,7 @@ pub struct SignedSet<T: SignedItem> {
     /// Strictly-sorted, deduplicated elements.
     items: Arc<Vec<T>>,
     /// Cached `Σ wire_size(item)` (excludes the 8-byte length prefix).
+    // bgla-lint: allow(wire-coverage, "derived cache; from_sorted recomputes it when decode rebuilds the set")
     wire: usize,
 }
 
@@ -115,8 +116,10 @@ impl<T: SignedItem> SignedSet<T> {
                     Some(vec) => vec.insert(pos, v),
                     None => {
                         let mut vec = Vec::with_capacity(self.items.len() + 1);
+                        // bgla-lint: allow(byzantine-panic, "pos <= len from binary_search Err")
                         vec.extend_from_slice(&self.items[..pos]);
                         vec.push(v);
+                        // bgla-lint: allow(byzantine-panic, "pos <= len from binary_search Err")
                         vec.extend_from_slice(&self.items[pos..]);
                         self.items = Arc::new(vec);
                     }
@@ -137,9 +140,11 @@ impl<T: SignedItem> SignedSet<T> {
         let (a, b) = (&self.items[..], &other.items[..]);
         let mut j = 0;
         for x in a {
+            // bgla-lint: allow(byzantine-panic, "merge-walk cursor guarded by j < b.len()")
             while j < b.len() && b[j] < *x {
                 j += 1;
             }
+            // bgla-lint: allow(byzantine-panic, "merge-walk cursor guarded by the j == b.len() check")
             if j == b.len() || b[j] != *x {
                 return false;
             }
@@ -179,23 +184,29 @@ impl<T: SignedItem> SignedSet<T> {
         let mut out = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
+            // bgla-lint: allow(byzantine-panic, "merge cursors guarded by the while i/j < len condition")
             match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => {
+                    // bgla-lint: allow(byzantine-panic, "merge cursors guarded by the while i/j < len condition")
                     out.push(a[i].clone());
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
+                    // bgla-lint: allow(byzantine-panic, "merge cursors guarded by the while i/j < len condition")
                     out.push(b[j].clone());
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
+                    // bgla-lint: allow(byzantine-panic, "merge cursors guarded by the while i/j < len condition")
                     out.push(a[i].clone());
                     i += 1;
                     j += 1;
                 }
             }
         }
+        // bgla-lint: allow(byzantine-panic, "i and j are <= len at loop exit; suffix slicing from a cursor is in-bounds")
         out.extend_from_slice(&a[i..]);
+        // bgla-lint: allow(byzantine-panic, "i and j are <= len at loop exit; suffix slicing from a cursor is in-bounds")
         out.extend_from_slice(&b[j..]);
         let grew = out.len() > self.len();
         *self = SignedSet::from_sorted(out);
@@ -226,9 +237,11 @@ impl<T: SignedItem> SignedSet<T> {
         let mut out = Vec::new();
         let mut j = 0;
         for x in a {
+            // bgla-lint: allow(byzantine-panic, "merge-walk cursor guarded by j < b.len()")
             while j < b.len() && b[j] < *x {
                 j += 1;
             }
+            // bgla-lint: allow(byzantine-panic, "merge-walk cursor guarded by the j == b.len() check")
             if j == b.len() || b[j] != *x {
                 out.push(x.clone());
             }

@@ -169,6 +169,7 @@ pub struct WtsProcess<V: Value> {
     pub proposal: V,
     /// Application-level validity predicate ("is an element of the
     /// lattice", Alg. 1 line 10). Defaults to accepting everything.
+    // bgla-lint: allow(wire-coverage, "plain fn pointer; not serializable, re-supplied at construction")
     validator: fn(&V) -> bool,
     /// Ablation switch: propose after the *own* disclosure only instead
     /// of waiting for `n − f` (the paper notes the wait "is not strictly
@@ -195,9 +196,11 @@ pub struct WtsProcess<V: Value> {
     /// Proposer-side delta bookkeeping (snapshots + reply watermarks).
     delta_tx: DeltaSender<V>,
     /// Acceptor-side delta bases (consumed proposals by proposer, ts).
+    // bgla-lint: allow(wire-coverage, "delta bases are peer-relative; a restarted process resumes in full-set mode by design")
     delta_rx: DeltaReceiver<V>,
     /// Set by [`WtsProcess::from_snapshot`]: the next `on_start` is a
     /// *recovery* boot (re-announce instead of initialize).
+    // bgla-lint: allow(wire-coverage, "boot flag: decode sets it true to mark a recovered process")
     recovered: bool,
 
     /// The decision, once made (`Stability`: write-once).
@@ -306,6 +309,7 @@ impl<V: Value> WtsProcess<V> {
         ctx: &mut Context<WtsMsg<V>>,
     ) -> bool {
         match msg {
+            // bgla-lint: allow(byzantine-panic, "local invariant: the buffering site only ever stores ack_req / nack")
             WtsMsg::Rb(_) => unreachable!("rb messages are handled eagerly"),
             // ----- Acceptor role (Algorithm 2) -----
             WtsMsg::AckReq { proposed, ts } => {
@@ -397,6 +401,7 @@ impl<V: Value> WtsProcess<V> {
             let mut progressed = false;
             let mut i = 0;
             while i < self.waiting.len() {
+                // bgla-lint: allow(byzantine-panic, "i < waiting.len() loop guard")
                 let (from, msg) = self.waiting[i].clone();
                 if self.try_handle(from, &msg, ctx) {
                     self.waiting.remove(i);

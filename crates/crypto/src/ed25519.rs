@@ -35,7 +35,9 @@ impl Signature {
     pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
         let mut r = [0u8; 32];
         let mut s = [0u8; 32];
+        // bgla-lint: allow(byzantine-panic, "constant ranges into a fixed [u8; 64] cannot be out of bounds")
         r.copy_from_slice(&bytes[..32]);
+        // bgla-lint: allow(byzantine-panic, "constant ranges into a fixed [u8; 64] cannot be out of bounds")
         s.copy_from_slice(&bytes[32..]);
         Signature { r, s }
     }

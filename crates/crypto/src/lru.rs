@@ -3,6 +3,7 @@
 //! [`crate::proofstore::ProofResolver`] — one home for the subtle
 //! recency/eviction mechanics so the caches cannot drift apart.
 
+// bgla-lint: allow(determinism, "keyed cache: lookups only; eviction sorts by unique tick, so hash order is never observed")
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -11,6 +12,7 @@ use std::hash::Hash;
 /// a flood of distinct keys cannot grow the map without bound.
 #[derive(Debug)]
 pub(crate) struct LruMap<K: Eq + Hash, V> {
+    // bgla-lint: allow(determinism, "keyed cache: lookups only; eviction sorts by unique tick, so hash order is never observed")
     map: HashMap<K, (V, u64)>,
     tick: u64,
     cap: usize,
@@ -21,6 +23,7 @@ impl<K: Eq + Hash, V: Clone> LruMap<K, V> {
     pub(crate) fn new(cap: usize) -> Self {
         assert!(cap > 0, "cache capacity must be positive");
         LruMap {
+            // bgla-lint: allow(determinism, "keyed cache: lookups only; eviction sorts by unique tick, so hash order is never observed")
             map: HashMap::with_capacity(cap + cap / 4),
             tick: 0,
             cap,

@@ -1,0 +1,24 @@
+//! Panic paths reachable from hostile bytes: an `unwrap` directly in
+//! `decode`, and unchecked indexing in a helper `decode` calls — the
+//! transitive case. The `debug_assert!` argument is exempt (compiled
+//! out of release builds).
+
+pub struct Blob {
+    pub data: Vec<u8>,
+}
+
+fn first_byte(v: &[u8]) -> u8 {
+    v[0]
+}
+
+impl Wire for Blob {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.data);
+    }
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let head = first_byte(r.rest());
+        debug_assert!(r.rest()[0] == head);
+        let data = r.take(head as usize).unwrap();
+        Ok(Blob { data })
+    }
+}

@@ -1,0 +1,16 @@
+//! Nondeterminism sources: hash containers and wall clocks. One use
+//! is waived with a justification; the rest must be flagged.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Tracker {
+    // bgla-lint: allow(determinism, "lookup-only map; order never observed")
+    seen: HashMap<u64, u64>,
+}
+
+impl Tracker {
+    pub fn stamp() -> Instant {
+        Instant::now()
+    }
+}

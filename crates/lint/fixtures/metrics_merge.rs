@@ -1,0 +1,16 @@
+//! A `merge` that silently drops a counter: sharded aggregation loses
+//! `max_message_bytes` and every per-run figure still looks plausible.
+
+pub struct Metrics {
+    pub sent: u64,
+    pub delivered: u64,
+    pub max_message_bytes: u64,
+}
+
+impl Metrics {
+    pub fn merge(&mut self, other: &Metrics) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        // BUG: max_message_bytes is not folded.
+    }
+}

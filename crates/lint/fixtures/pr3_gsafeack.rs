@@ -1,0 +1,41 @@
+//! Minimized reproduction of the PR-3 incident: `GSafeAck`'s
+//! signable bytes fail to bind `rcvd`, so a Byzantine peer can swap
+//! the echoed records under a valid signature. The second struct is
+//! the digest-side twin: a content address that skips the signature
+//! collides across proofs whose acks differ only in `sig`.
+
+pub struct GSafeAck {
+    pub round: u64,
+    pub rcvd: Vec<u64>,
+    pub conflicts: Vec<u64>,
+    pub signer: u64,
+    pub sig: u64,
+}
+
+impl GSafeAck {
+    pub fn signable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.round.to_le_bytes());
+        // BUG: self.rcvd is never written.
+        for c in &self.conflicts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&self.signer.to_le_bytes());
+        out
+    }
+}
+
+pub struct SignedRecord {
+    pub value: u64,
+    pub signer: u64,
+    pub sig: u64,
+}
+
+impl SignedRecord {
+    pub fn digest_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.value.to_le_bytes());
+        out.extend_from_slice(&self.signer.to_le_bytes());
+        // BUG: skipping `sig` here makes two proofs whose acks differ
+        // only in signature share a content address.
+    }
+}

@@ -1,0 +1,24 @@
+//! A `Wire` impl that silently drops a field: `watermark` is restored
+//! as a default on decode and never round-trips — the crash-recovery
+//! stale-state class.
+
+pub struct Snapshot {
+    pub ts: u64,
+    pub decided: Vec<u64>,
+    pub watermark: u64,
+}
+
+impl Wire for Snapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.ts);
+        w.u64_seq(&self.decided);
+        // BUG: watermark is never written.
+    }
+    fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        Ok(Snapshot {
+            ts: r.u64()?,
+            decided: r.u64_seq()?,
+            watermark: 0,
+        })
+    }
+}

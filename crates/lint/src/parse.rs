@@ -1,0 +1,701 @@
+//! Item-level Rust parser.
+//!
+//! Walks a lexed token stream and extracts exactly what the passes
+//! need: struct definitions with named fields, `impl` blocks (inherent
+//! and trait) with their functions, and free functions — each function
+//! body kept as a token *range* into the file's stream, never an AST.
+//! `#[cfg(test)]` modules and `#[test]` functions are recorded but
+//! marked, so passes can skip test-only code (panics and ad-hoc
+//! containers are fine in tests; shipped protocol code is what the
+//! lints protect).
+//!
+//! Deliberately skipped: `trait` definitions (default bodies are not
+//! hostile-input surface here), `macro_rules!` bodies (token soup), and
+//! enum variants (the passes reason about struct fields).
+
+use crate::lexer::{TokKind, Token};
+use std::ops::Range;
+
+/// A named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field declaration.
+    pub line: u32,
+}
+
+/// A struct definition. Tuple and unit structs are recorded with an
+/// empty field list.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// True when declared inside `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+/// A function item (free or inside an impl block).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Base name of the impl self type (`GwtsProcess` for
+    /// `impl<V> Wire for GwtsProcess<V>`), `None` for free functions.
+    pub self_type: Option<String>,
+    /// Base name of the implemented trait, `None` for inherent impls
+    /// and free functions.
+    pub trait_name: Option<String>,
+    /// Token range of the body, *excluding* the outer braces.
+    pub body: Range<usize>,
+    /// True when declared inside `#[cfg(test)]` code or marked `#[test]`.
+    pub in_test: bool,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Function items.
+    pub fns: Vec<FnDef>,
+    /// Token ranges covered by `#[cfg(test)]` modules.
+    pub test_ranges: Vec<Range<usize>>,
+}
+
+/// Parses a token stream into items.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut p = Parser {
+        toks: tokens,
+        i: 0,
+        out: &mut out,
+    };
+    p.items(false, None, None);
+    out
+}
+
+struct Parser<'a, 'b> {
+    toks: &'a [Token],
+    i: usize,
+    out: &'b mut ParsedFile,
+}
+
+/// What the attributes directly before an item said.
+#[derive(Default, Clone, Copy)]
+struct Attrs {
+    cfg_test: bool,
+    test: bool,
+}
+
+impl<'a, 'b> Parser<'a, 'b> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek().map(|t| t.is_ident(s)).unwrap_or(false)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek().map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    /// Skips one balanced group opened by the delimiter at the cursor.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        debug_assert!(self.at_punct(open));
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Skips a generic parameter/argument list at `<`. Handles `->`
+    /// inside (`F: Fn() -> T`) by ignoring a `>` preceded by `-`.
+    fn skip_angles(&mut self) {
+        debug_assert!(self.at_punct('<'));
+        let mut depth = 0usize;
+        let mut prev_dash = false;
+        while let Some(t) = self.bump() {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !prev_dash {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            prev_dash = t.is_punct('-');
+        }
+    }
+
+    /// Skips tokens until a `;` at bracket depth zero (for `use`,
+    /// `const`, `type`, `static`, …). Consumes the `;`.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Collects the attributes directly before an item, skipping them.
+    fn attrs(&mut self) -> Attrs {
+        let mut a = Attrs::default();
+        loop {
+            if !self.at_punct('#') {
+                return a;
+            }
+            self.bump();
+            if self.at_punct('!') {
+                self.bump();
+            }
+            if !self.at_punct('[') {
+                return a;
+            }
+            let start = self.i;
+            self.skip_balanced('[', ']');
+            let body: Vec<&str> = self.toks[start..self.i]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if body.first() == Some(&"cfg") && body.contains(&"test") {
+                a.cfg_test = true;
+            }
+            if body.first() == Some(&"test") {
+                a.test = true;
+            }
+        }
+    }
+
+    /// Parses a sequence of items until end of input or an unmatched
+    /// closing brace (the caller's), which is consumed.
+    fn items(&mut self, in_test: bool, self_type: Option<&str>, trait_name: Option<&str>) {
+        loop {
+            let attrs = self.attrs();
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('}') {
+                self.bump();
+                return;
+            }
+            if t.kind == TokKind::Ident {
+                if t.is_ident("pub") {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                self.item_after_vis(attrs, in_test, self_type, trait_name);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn item_after_vis(
+        &mut self,
+        attrs: Attrs,
+        in_test: bool,
+        self_type: Option<&str>,
+        trait_name: Option<&str>,
+    ) {
+        // Modifiers before `fn`.
+        while self.at_ident("unsafe")
+            || self.at_ident("async")
+            || self.at_ident("const")
+                && self.toks.get(self.i + 1).map(|t| t.is_ident("fn")) == Some(true)
+            || self.at_ident("extern")
+                && self.toks.get(self.i + 1).map(|t| t.kind == TokKind::Str) == Some(true)
+            || self.at_ident("default")
+        {
+            self.bump();
+        }
+        let Some(t) = self.peek() else { return };
+        let text = t.text.clone();
+        let line = t.line;
+        match text.as_str() {
+            "struct" => {
+                self.bump();
+                self.parse_struct(line, in_test || attrs.cfg_test);
+            }
+            "enum" | "union" => {
+                self.bump();
+                self.bump(); // name
+                if self.at_punct('<') {
+                    self.skip_angles();
+                }
+                while let Some(t) = self.peek() {
+                    if t.is_punct('{') {
+                        self.skip_balanced('{', '}');
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            "impl" => {
+                self.bump();
+                self.parse_impl(in_test || attrs.cfg_test);
+            }
+            "fn" => {
+                self.bump();
+                self.parse_fn(
+                    line,
+                    in_test || attrs.cfg_test || attrs.test,
+                    self_type,
+                    trait_name,
+                );
+            }
+            "mod" => {
+                self.bump();
+                self.bump(); // name
+                if self.at_punct('{') {
+                    let test_mod = in_test || attrs.cfg_test;
+                    let start = self.i;
+                    self.bump(); // '{'
+                    self.items(test_mod, None, None);
+                    if test_mod && !in_test {
+                        self.out.test_ranges.push(start..self.i);
+                    }
+                } else {
+                    self.skip_to_semi();
+                }
+            }
+            "trait" => {
+                self.bump();
+                self.bump(); // name
+                while let Some(t) = self.peek() {
+                    if t.is_punct('{') {
+                        self.skip_balanced('{', '}');
+                        break;
+                    }
+                    if t.is_punct('<') {
+                        self.skip_angles();
+                    } else {
+                        self.bump();
+                    }
+                }
+            }
+            "macro_rules" => {
+                self.bump();
+                if self.at_punct('!') {
+                    self.bump();
+                }
+                self.bump(); // macro name
+                match self.peek().map(|t| t.text.as_str()) {
+                    Some("{") => self.skip_balanced('{', '}'),
+                    Some("(") => {
+                        self.skip_balanced('(', ')');
+                        self.skip_to_semi();
+                    }
+                    _ => {}
+                }
+            }
+            "use" | "const" | "static" | "type" | "extern" => {
+                self.bump();
+                self.skip_to_semi();
+            }
+            _ => {
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_struct(&mut self, line: u32, in_test: bool) {
+        let Some(name_tok) = self.bump() else { return };
+        let name = name_tok.text.clone();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        // Where clause or body.
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct(';') {
+                // Unit struct (possibly after a where clause).
+                self.bump();
+                self.out.structs.push(StructDef {
+                    name,
+                    line,
+                    fields: Vec::new(),
+                    in_test,
+                });
+                return;
+            }
+            if t.is_punct('(') {
+                // Tuple struct: skip fields, then the trailing `;`.
+                self.skip_balanced('(', ')');
+                self.skip_to_semi();
+                self.out.structs.push(StructDef {
+                    name,
+                    line,
+                    fields: Vec::new(),
+                    in_test,
+                });
+                return;
+            }
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        self.bump(); // '{'
+        let mut fields = Vec::new();
+        loop {
+            self.attrs();
+            let Some(t) = self.peek() else { break };
+            if t.is_punct('}') {
+                self.bump();
+                break;
+            }
+            if t.is_ident("pub") {
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_balanced('(', ')');
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                let fname = t.text.clone();
+                let fline = t.line;
+                self.bump();
+                if self.at_punct(':') {
+                    self.bump();
+                    fields.push(FieldDef {
+                        name: fname,
+                        line: fline,
+                    });
+                    // Skip the type up to a top-level `,` or the
+                    // closing `}`.
+                    let mut prev_dash = false;
+                    let mut angle = 0usize;
+                    let mut other = 0usize;
+                    while let Some(t) = self.peek() {
+                        if angle == 0 && other == 0 {
+                            if t.is_punct(',') {
+                                self.bump();
+                                break;
+                            }
+                            if t.is_punct('}') {
+                                break;
+                            }
+                        }
+                        if t.is_punct('<') {
+                            angle += 1;
+                        } else if t.is_punct('>') && !prev_dash {
+                            angle = angle.saturating_sub(1);
+                        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                            other += 1;
+                        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                            other = other.saturating_sub(1);
+                        }
+                        prev_dash = t.is_punct('-');
+                        self.bump();
+                    }
+                    continue;
+                }
+                continue;
+            }
+            self.bump();
+        }
+        self.out.structs.push(StructDef {
+            name,
+            line,
+            fields,
+            in_test,
+        });
+    }
+
+    /// Consumes a type path, returning the base name: the last
+    /// identifier seen at angle depth zero (`GwtsProcess` for
+    /// `crate::gwts::GwtsProcess<V>`). Stops at `for`, `where` or `{`
+    /// at depth zero.
+    fn parse_type_path(&mut self) -> Option<String> {
+        let mut base = None;
+        while let Some(t) = self.peek() {
+            if t.is_ident("for") || t.is_ident("where") || t.is_punct('{') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+                continue;
+            }
+            if t.is_punct('(') {
+                self.skip_balanced('(', ')');
+                continue;
+            }
+            if t.is_punct('[') {
+                self.skip_balanced('[', ']');
+                continue;
+            }
+            if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut" | "as" | "impl")
+            {
+                base = Some(t.text.clone());
+            }
+            self.bump();
+        }
+        base
+    }
+
+    fn parse_impl(&mut self, in_test: bool) {
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        let first = self.parse_type_path();
+        let (trait_name, self_type) = if self.at_ident("for") {
+            self.bump();
+            let second = self.parse_type_path();
+            (first, second)
+        } else {
+            (None, first)
+        };
+        // Skip a where clause; stop at the body.
+        while let Some(t) = self.peek() {
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+            } else {
+                self.bump();
+            }
+        }
+        if !self.at_punct('{') {
+            return;
+        }
+        self.bump();
+        self.impl_items(in_test, self_type.as_deref(), trait_name.as_deref());
+    }
+
+    /// Items inside an impl block, until its closing brace.
+    fn impl_items(&mut self, in_test: bool, self_type: Option<&str>, trait_name: Option<&str>) {
+        loop {
+            let attrs = self.attrs();
+            let Some(t) = self.peek() else { return };
+            if t.is_punct('}') {
+                self.bump();
+                return;
+            }
+            if self.at_ident("pub") {
+                self.bump();
+                if self.at_punct('(') {
+                    self.skip_balanced('(', ')');
+                }
+            }
+            while self.at_ident("unsafe")
+                || self.at_ident("async")
+                || self.at_ident("default")
+                || self.at_ident("const")
+                    && self.toks.get(self.i + 1).map(|t| t.is_ident("fn")) == Some(true)
+            {
+                self.bump();
+            }
+            let Some(t) = self.peek() else { return };
+            let text = t.text.clone();
+            let line = t.line;
+            match text.as_str() {
+                "fn" => {
+                    self.bump();
+                    self.parse_fn(
+                        line,
+                        in_test || attrs.cfg_test || attrs.test,
+                        self_type,
+                        trait_name,
+                    );
+                }
+                "const" | "type" => {
+                    self.bump();
+                    self.skip_to_semi();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_fn(
+        &mut self,
+        line: u32,
+        in_test: bool,
+        self_type: Option<&str>,
+        trait_name: Option<&str>,
+    ) {
+        let Some(name_tok) = self.bump() else { return };
+        let name = name_tok.text.clone();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        if self.at_punct('(') {
+            self.skip_balanced('(', ')');
+        }
+        // Return type / where clause, until the body or a `;`
+        // (bodyless trait-method signatures are dropped).
+        loop {
+            let Some(t) = self.peek() else { return };
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_angles();
+            } else if t.is_punct('(') {
+                self.skip_balanced('(', ')');
+            } else {
+                self.bump();
+            }
+        }
+        let body_open = self.i;
+        self.skip_balanced('{', '}');
+        self.out.fns.push(FnDef {
+            name,
+            line,
+            self_type: self_type.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            body: body_open + 1..self.i.saturating_sub(1),
+            in_test,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn struct_fields_with_generics_and_fn_types() {
+        let p = parsed(
+            "pub struct Foo<V: Ord> {\n\
+             pub a: BTreeMap<u64, Vec<V>>,\n\
+             b: fn(&V) -> bool,\n\
+             pub(crate) c: [u8; 64],\n\
+             }",
+        );
+        assert_eq!(p.structs.len(), 1);
+        let names: Vec<&str> = p.structs[0]
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(p.structs[0].fields[1].line, 3);
+    }
+
+    #[test]
+    fn trait_impl_and_inherent_impl() {
+        let p = parsed(
+            "impl<V: Value> Wire for GwtsProcess<V> {\n\
+               fn encode(&self, w: &mut Writer) { self.a.encode(w); }\n\
+               fn decode(r: &mut Reader<'_>) -> Result<Self, E> { Ok(x) }\n\
+             }\n\
+             impl Metrics { pub fn merge(&mut self, o: &Metrics) { self.x += o.x; } }",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(p.fns[0].trait_name.as_deref(), Some("Wire"));
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("GwtsProcess"));
+        assert_eq!(p.fns[2].trait_name, None);
+        assert_eq!(p.fns[2].self_type.as_deref(), Some("Metrics"));
+        assert_eq!(p.fns[2].name, "merge");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let p = parsed(
+            "fn shipped() { }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+               struct Helper { x: u64 }\n\
+               #[test]\n\
+               fn case() { panic!(\"fine in tests\") }\n\
+             }",
+        );
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+        assert!(p.structs[0].in_test);
+        assert_eq!(p.test_ranges.len(), 1);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let p = parsed("struct Digest(pub [u8; 64]);\nstruct Marker;");
+        assert_eq!(p.structs.len(), 2);
+        assert!(p.structs.iter().all(|s| s.fields.is_empty()));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let p = parsed(
+            "macro_rules! wire_int {\n\
+               ($t:ty) => { impl Wire for $t { fn encode(&self) {} } };\n\
+             }\n\
+             fn after() {}",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "after");
+    }
+
+    #[test]
+    fn fn_body_ranges_are_exact() {
+        let src = "fn f(x: u64) -> u64 { x + 1 }";
+        let toks = lex(src);
+        let p = parse(&toks);
+        let body: Vec<&str> = toks[p.fns[0].body.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, ["x", "+", "1"]);
+    }
+
+    #[test]
+    fn where_clauses_and_nested_mods() {
+        let p = parsed(
+            "impl<T> Wire for Holder<T> where T: Clone + Ord {\n\
+               fn encode(&self) { }\n\
+             }\n\
+             mod inner { pub struct S { pub f: u8 } }",
+        );
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Holder"));
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].name, "S");
+    }
+}

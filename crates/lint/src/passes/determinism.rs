@@ -1,0 +1,77 @@
+//! `determinism` — no nondeterminism sources in trace-affecting crates.
+//!
+//! **Bug class:** seed-deterministic replay, adversarial schedule
+//! search and counterexample shrinking (PRs 2/5/6) assume that given
+//! the same seed and schedule, every trace-affecting crate computes
+//! the same trace. Iterating a `HashMap`/`HashSet` visits entries in a
+//! randomized order; `Instant::now`/`SystemTime` read the wall clock;
+//! `RandomState`/`thread_rng`/`OsRng` pull OS entropy. Any of these on
+//! a trace-affecting path silently breaks replayability — the class of
+//! bug that makes a shrunk counterexample stop reproducing.
+//!
+//! **Rule:** in the crates listed in
+//! [`crate::TRACE_AFFECTING_CRATES`], no non-test code may mention the
+//! banned types/functions at all. Flagging the *mention* (import,
+//! type annotation, constructor) rather than trying to prove iteration
+//! is deliberate: proving a hash container is never iterated requires
+//! global data-flow this linter does not have, so the burden flips —
+//! each use site carries a justification.
+//!
+//! **Suppression policy:** membership-only `HashSet`/`HashMap` use
+//! (insert/contains, order never observed) is fine and waived with a
+//! reason saying exactly that; same for wall-clock deadlines in the
+//! real-thread runner, which is not part of the deterministic engine.
+
+use super::emit;
+use crate::lexer::TokKind;
+use crate::{Diagnostic, Model, TRACE_AFFECTING_CRATES};
+use std::collections::BTreeSet;
+
+/// Pass identifier.
+pub const NAME: &str = "determinism";
+
+/// Banned identifier → why it is banned.
+const BANNED: &[(&str, &str)] = &[
+    ("HashMap", "hash-order iteration is nondeterministic"),
+    ("HashSet", "hash-order iteration is nondeterministic"),
+    ("Instant", "wall-clock time varies across runs"),
+    ("SystemTime", "wall-clock time varies across runs"),
+    ("RandomState", "per-process hasher randomization"),
+    ("DefaultHasher", "hasher output is not a stable contract"),
+    ("thread_rng", "OS-seeded randomness"),
+    ("OsRng", "OS-seeded randomness"),
+    ("from_entropy", "OS-seeded randomness"),
+];
+
+/// Runs the pass.
+pub fn run(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for file in &model.files {
+        if model.scoped && !TRACE_AFFECTING_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let mut seen: BTreeSet<(u32, &str)> = BTreeSet::new();
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if tok.kind != TokKind::Ident || file.in_test_range(i) {
+                continue;
+            }
+            let Some(&(name, why)) = BANNED.iter().find(|(n, _)| *n == tok.text) else {
+                continue;
+            };
+            if seen.insert((tok.line, name)) {
+                emit(
+                    diags,
+                    file,
+                    tok.line,
+                    NAME,
+                    format!(
+                        "`{name}` in trace-affecting crate `{}`: {why} — \
+                         seeded replay and counterexample shrinking assume this \
+                         code is deterministic; use an ordered container or \
+                         suppress with proof the order/time is never observed",
+                        file.crate_name
+                    ),
+                );
+            }
+        }
+    }
+}

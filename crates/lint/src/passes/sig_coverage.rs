@@ -1,0 +1,66 @@
+//! `sig-coverage` — signature byte-coverage of signed structs.
+//!
+//! **Bug class (shipped in PR 3):** `GSafeAck::signable_bytes`
+//! serialized echoed records as signature bytes only, so its `ProofId`
+//! failed to bind the echoed batch *content* — a forged proof with
+//! swapped contents collided with an honest proof's id and inherited
+//! its cached verdict. Any field a `signable_bytes`/`digest_bytes`
+//! method fails to reference is unsigned: a Byzantine peer can mutate
+//! it freely under a valid signature.
+//!
+//! **Rule:** for every struct that has a `signable_bytes` or
+//! `digest_bytes` method (inherent or in a trait impl, same file),
+//! every named field must appear as an identifier in that method's
+//! body. The method may be an associated function whose parameters
+//! mirror the fields (the repo's `sign(…)` idiom) — parameter names
+//! count, which is exactly why the idiom keeps them field-named.
+//!
+//! **Exemption:** a field named `sig` is skipped for `signable_bytes`
+//! only — the signature over the bytes cannot cover itself. It is
+//! *not* skipped for `digest_bytes`: a proof digest must bind the
+//! signature too (that asymmetry is the PR-3 lesson).
+
+use super::{body_idents, emit};
+use crate::{Diagnostic, Model};
+
+/// Pass identifier.
+pub const NAME: &str = "sig-coverage";
+
+/// Runs the pass.
+pub fn run(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for file in &model.files {
+        for st in &file.items.structs {
+            if st.in_test || st.fields.is_empty() {
+                continue;
+            }
+            for f in &file.items.fns {
+                if f.in_test
+                    || f.self_type.as_deref() != Some(st.name.as_str())
+                    || !matches!(f.name.as_str(), "signable_bytes" | "digest_bytes")
+                {
+                    continue;
+                }
+                let idents = body_idents(file, f);
+                for fd in &st.fields {
+                    if f.name == "signable_bytes" && fd.name == "sig" {
+                        continue;
+                    }
+                    if !idents.contains(fd.name.as_str()) {
+                        emit(
+                            diags,
+                            file,
+                            fd.line,
+                            NAME,
+                            format!(
+                                "field `{}` of `{}` is not referenced in `{}` — \
+                                 an unsigned field is forgeable under a valid signature \
+                                 (the PR-3 GSafeAck bug class)",
+                                fd.name, st.name, f.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! `wire-coverage` — round-trip coverage of `Wire` impls.
+//!
+//! **Bug class:** the crash-recovery pipeline (PR 6) restores a
+//! process from `Wire`-encoded snapshots. A field the `encode` method
+//! skips is silently zeroed/defaulted on restart; a field `decode`
+//! fails to populate from the wire is silently reset. Both are the
+//! stale-state bug class the `RestartRegression` conformance rule
+//! hunts dynamically — this pass pins it statically, per field.
+//!
+//! **Rule:** for every `impl Wire for S` where `S` is a struct with
+//! named fields defined in the same file, every field must appear as
+//! an identifier in **both** the `encode` body and the `decode` body.
+//!
+//! **Suppression policy:** genuinely volatile fields (rebuilt caches,
+//! delta watermarks that restart in full-set mode, the `recovered`
+//! boot flag) are waived *at the field declaration* with the reason
+//! documenting why amnesia is safe — which turns the durable-vs-
+//! volatile contract of `bgla_core::recovery` into enforced,
+//! field-level documentation.
+
+use super::{body_idents, emit};
+use crate::parse::FnDef;
+use crate::{Diagnostic, Model};
+
+/// Pass identifier.
+pub const NAME: &str = "wire-coverage";
+
+/// Runs the pass.
+pub fn run(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for file in &model.files {
+        for st in &file.items.structs {
+            if st.in_test || st.fields.is_empty() {
+                continue;
+            }
+            let impl_fn = |name: &str| -> Option<&FnDef> {
+                file.items.fns.iter().find(|f| {
+                    !f.in_test
+                        && f.trait_name.as_deref() == Some("Wire")
+                        && f.self_type.as_deref() == Some(st.name.as_str())
+                        && f.name == name
+                })
+            };
+            let (Some(enc), Some(dec)) = (impl_fn("encode"), impl_fn("decode")) else {
+                continue;
+            };
+            let enc_idents = body_idents(file, enc);
+            let dec_idents = body_idents(file, dec);
+            for fd in &st.fields {
+                let in_enc = enc_idents.contains(fd.name.as_str());
+                let in_dec = dec_idents.contains(fd.name.as_str());
+                if in_enc && in_dec {
+                    continue;
+                }
+                let missing = if !in_enc && !in_dec {
+                    "encode and decode"
+                } else if !in_enc {
+                    "encode"
+                } else {
+                    "decode"
+                };
+                emit(
+                    diags,
+                    file,
+                    fd.line,
+                    NAME,
+                    format!(
+                        "field `{}` of `{}` does not appear in Wire::{} — \
+                         state silently lost across a snapshot round-trip \
+                         (crash-recovery stale-state class); if volatile by design, \
+                         suppress here with the reason amnesia is safe",
+                        fd.name, st.name, missing
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -110,6 +110,7 @@ pub struct RbcastEngine<T: Clone + Ord> {
 impl<T: Clone + Ord> RbcastEngine<T> {
     /// Engine for a system of `n` processes tolerating `f` Byzantine.
     pub fn new(n: usize, f: usize) -> Self {
+        // bgla-lint: allow(byzantine-panic, "precondition on locally chosen n and f; engine construction is not message-driven")
         assert!(n >= 3 * f + 1, "reliable broadcast requires n >= 3f+1");
         Self::new_unchecked(n, f)
     }

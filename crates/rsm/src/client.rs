@@ -97,6 +97,7 @@ impl WorkloadClient {
             self.phase = Phase::Done;
             return;
         }
+        // bgla-lint: allow(byzantine-panic, "next_op < script.len() checked above")
         let op = self.script[self.next_op].clone();
         self.next_op += 1;
         let (cmd, is_read) = match op {

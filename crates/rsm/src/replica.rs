@@ -108,6 +108,7 @@ impl Replica {
     fn after_inner(&mut self, ctx: &mut Context<RsmMsg>) {
         // Fresh decisions -> notify clients whose commands were included.
         while self.notified_upto < self.inner.decisions.len() {
+            // bgla-lint: allow(byzantine-panic, "while condition bounds notified_upto")
             let decision = self.inner.decisions[self.notified_upto].clone();
             self.notified_upto += 1;
             let satisfied: Vec<Cmd> = self
@@ -128,6 +129,7 @@ impl Replica {
         // committed.
         let mut i = 0;
         while i < self.pending_conf.len() {
+            // bgla-lint: allow(byzantine-panic, "while condition bounds i")
             let (client, set) = self.pending_conf[i].clone();
             if self.inner.has_committed(&set) {
                 ctx.send(client, RsmMsg::CnfRep(set));

@@ -64,6 +64,7 @@
 use crate::process::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+// bgla-lint: allow(determinism, "imported for the keyed-lookup maps below; iteration order is never observed")
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 /// Stable handle to one in-flight envelope, assigned by the simulation's
@@ -132,6 +133,7 @@ struct OrderedPool {
     /// Fenwick tree over `entries`: prefix counts of alive entries.
     fenwick: Vec<i32>,
     /// Live id -> index into `entries`.
+    // bgla-lint: allow(determinism, "keyed lookup only; entries/fenwick own every ordered walk")
     pos_of: HashMap<EnvelopeId, usize>,
     live: usize,
 }
@@ -449,12 +451,16 @@ pub struct SearchScheduler {
     /// All live ids, insertion (= seq) order.
     pool: OrderedPool,
     /// Live metadata by id.
+    // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
     meta: HashMap<EnvelopeId, InFlight>,
     /// Live ids per message kind, seq order.
+    // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
     by_kind: HashMap<&'static str, OrderedPool>,
     /// Live ids per destination, seq order.
+    // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
     by_to: HashMap<ProcessId, OrderedPool>,
     /// Live ids per sender, seq order.
+    // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
     by_from: HashMap<ProcessId, OrderedPool>,
     /// Distinct kinds seen so far, in discovery order (deterministic:
     /// `on_send` order is deterministic).
@@ -472,9 +478,13 @@ impl SearchScheduler {
         SearchScheduler {
             rng: StdRng::seed_from_u64(seed ^ 0x05EA_2C45_C4ED_u64),
             pool: OrderedPool::default(),
+            // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
             meta: HashMap::new(),
+            // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
             by_kind: HashMap::new(),
+            // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
             by_to: HashMap::new(),
+            // bgla-lint: allow(determinism, "keyed lookup only; the OrderedPools own every ordered walk")
             by_from: HashMap::new(),
             kinds_seen: Vec::new(),
             procs_seen: Vec::new(),
@@ -515,7 +525,9 @@ impl SearchScheduler {
     /// Oldest live id over every pool in `pools` except the one keyed
     /// `held`; falls back to the held pool when nothing else is live.
     fn oldest_excluding<K: std::hash::Hash + Eq + Copy>(
+        // bgla-lint: allow(determinism, "keyed lookup only; callers pick ids from the pools, never from map order")
         meta: &HashMap<EnvelopeId, InFlight>,
+        // bgla-lint: allow(determinism, "keyed lookup only; callers pick ids from the pools, never from map order")
         pools: &HashMap<K, OrderedPool>,
         held: K,
     ) -> Option<EnvelopeId> {
@@ -623,6 +635,7 @@ struct StarvingPools {
     held: BTreeMap<u64, EnvelopeId>,
     /// All live messages (needed to re-feed the inner scheduler when the
     /// starvation phase ends).
+    // bgla-lint: allow(determinism, "keyed lookup only; release order comes from the BTreeMap of held seqs")
     live: HashMap<EnvelopeId, InFlight>,
     /// Messages currently indexed by the inner scheduler.
     inner_count: usize,
@@ -636,6 +649,7 @@ impl StarvingPools {
         StarvingPools {
             inner,
             held: BTreeMap::new(),
+            // bgla-lint: allow(determinism, "keyed lookup only; release order comes from the BTreeMap of held seqs")
             live: HashMap::new(),
             inner_count: 0,
             released: false,
@@ -833,6 +847,7 @@ pub struct RecordingScheduler {
     inner: Box<dyn Scheduler>,
     trace: TraceHandle,
     /// Live id -> seq, so choices can be recorded by seq.
+    // bgla-lint: allow(determinism, "keyed lookup only; trace order follows the inner scheduler's choices")
     seqs: HashMap<EnvelopeId, u64>,
 }
 
@@ -845,6 +860,7 @@ impl RecordingScheduler {
             RecordingScheduler {
                 inner,
                 trace: trace.clone(),
+                // bgla-lint: allow(determinism, "keyed lookup only; trace order follows the inner scheduler's choices")
                 seqs: HashMap::new(),
             },
             trace,

@@ -20,6 +20,7 @@ use crate::process::{Context, Process, ProcessId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
+// bgla-lint: allow(determinism, "wall-clock deadline of the real-thread runner; not part of the deterministic simulation")
 use std::time::{Duration, Instant};
 
 /// Outcome of a threaded run.
@@ -51,6 +52,7 @@ pub fn run_threaded<M: WireMessage + 'static>(
     // a barrier would hang the whole run forever if one worker panicked
     // in `on_start`, where this degrades to the normal timeout path.
     let started = Arc::new(AtomicUsize::new(0));
+    // bgla-lint: allow(determinism, "wall-clock deadline of the real-thread runner; not part of the deterministic simulation")
     let deadline = Instant::now() + timeout;
 
     let handles: Vec<_> = procs
@@ -73,6 +75,7 @@ pub fn run_threaded<M: WireMessage + 'static>(
                 // Start barrier: only once every worker's initial sends
                 // are counted in `pending` may anyone trust a zero read.
                 started.fetch_add(1, Ordering::SeqCst);
+                // bgla-lint: allow(determinism, "wall-clock deadline of the real-thread runner; not part of the deterministic simulation")
                 while started.load(Ordering::SeqCst) < n && Instant::now() < deadline {
                     std::thread::sleep(Duration::from_micros(100));
                 }
@@ -93,6 +96,7 @@ pub fn run_threaded<M: WireMessage + 'static>(
                             pending.fetch_sub(1, Ordering::SeqCst);
                         }
                         Err(_) => {
+                            // bgla-lint: allow(determinism, "wall-clock deadline of the real-thread runner; not part of the deterministic simulation")
                             if pending.load(Ordering::SeqCst) == 0 || Instant::now() >= deadline {
                                 break;
                             }
