@@ -1,0 +1,157 @@
+//! Loopback TCP runtime benches: frame codec throughput, full WTS
+//! agreement latency over real localhost sockets (clean and under the
+//! chaos fault profile), and the **measured-vs-modeled bytes table**.
+//!
+//! Timed cases (group `net`):
+//!
+//! * `frame_roundtrip/{payload}` — `encode_frame` + `demux_frame` of a
+//!   DATA frame (`throughput_bytes` = the full frame size);
+//! * `wts_agreement/clean` — build a 4-node WTS system on loopback TCP
+//!   and run it to quiescence;
+//! * `wts_agreement/chaos` — the same run under the seeded chaos fault
+//!   profile (drops, duplicates, reorders, mid-frame resets, a healing
+//!   partition), so the cost of masking is visible next to the clean
+//!   baseline.
+//!
+//! The `net_bytes` group is not a timing measurement: each entry's
+//! `throughput_bytes` carries one cell of the bytes table —
+//! `modeled/...` is the protocol-level metering (payload bytes the
+//! simulator would charge for the same run), `measured/...` is every
+//! byte actually written to a socket (framing, acks, handshakes,
+//! retransmissions). The gap between them is the price of the real
+//! wire; under faults it widens with retransmits and reconnect
+//! handshakes. The bench panics if a run fails to quiesce, if a
+//! decision violates the LA spec, or if measured bytes ever undercut
+//! modeled bytes (framing alone makes that impossible in a sane run).
+//!
+//! `NET_BENCH_SMOKE=1` shrinks sample counts; the committed
+//! `BENCH_net.json` baseline is produced by a full run
+//! (`CRITERION_JSON=BENCH_net.json cargo bench -p bgla-bench --bench
+//! net`).
+
+use bgla_codec::encode_frame;
+use bgla_core::harness::{assert_la_spec, wts_report};
+use bgla_core::wts::WtsProcess;
+use bgla_core::SystemConfig;
+use bgla_net::{Data, FaultConfig, FaultPlan, LinkConfig, NetConfig, TcpRuntimeBuilder, FK_DATA};
+use bgla_simnet::{Metrics, Transport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeSet;
+
+const N: usize = 4;
+const F: usize = 1;
+const BUDGET: u64 = 1_000_000;
+
+fn net_cfg(faulty: bool) -> NetConfig {
+    NetConfig {
+        link: LinkConfig {
+            rto_ms: 20,
+            ..LinkConfig::default()
+        },
+        faults: if faulty {
+            FaultPlan::new(0xBE7C, FaultConfig::chaos())
+        } else {
+            FaultPlan::none()
+        },
+        seed: 0x7CB,
+        ..NetConfig::default()
+    }
+}
+
+/// Builds a 4-node WTS system on loopback, runs it to quiescence,
+/// checks the LA spec, and returns the merged metrics.
+fn wts_run(faulty: bool) -> Metrics {
+    let config = SystemConfig::new(N, F);
+    let mut b = TcpRuntimeBuilder::new(net_cfg(faulty));
+    for i in 0..N {
+        b = b.add(Box::new(WtsProcess::<u64>::new(i, config, 100 + i as u64)));
+    }
+    let mut rt = b.build().expect("bind localhost");
+    let out = rt.run_transport(BUDGET);
+    assert!(out.quiescent, "loopback WTS run must quiesce");
+    let correct: Vec<usize> = (0..N).collect();
+    let report = wts_report::<u64>(&rt, &correct);
+    let inputs: BTreeSet<u64> = (0..N).map(|i| 100 + i as u64).collect();
+    assert_la_spec(&report, &inputs, F);
+    rt.metrics_snapshot()
+}
+
+fn bench_net(c: &mut Criterion) {
+    let smoke = std::env::var("NET_BENCH_SMOKE").is_ok();
+
+    let mut g = c.benchmark_group("net");
+
+    // Agreement cases first: a group throughput declaration sticks for
+    // the rest of the group, and these rows should carry none.
+    g.sample_size(if smoke { 2 } else { 10 });
+    g.bench_with_input(BenchmarkId::new("wts_agreement", "clean"), &(), |b, _| {
+        b.iter(|| wts_run(false))
+    });
+    g.bench_with_input(BenchmarkId::new("wts_agreement", "chaos"), &(), |b, _| {
+        b.iter(|| wts_run(true))
+    });
+
+    let payload = vec![0xA5u8; 256];
+    let frame = encode_frame(
+        FK_DATA,
+        &Data {
+            seq: 7,
+            depth: 3,
+            payload: payload.clone(),
+        },
+    );
+    g.sample_size(if smoke { 10 } else { 60 });
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("frame_roundtrip", payload.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let bytes = encode_frame(
+                    FK_DATA,
+                    &Data {
+                        seq: 7,
+                        depth: 3,
+                        payload: payload.clone(),
+                    },
+                );
+                bgla_net::demux_frame(&bytes).expect("roundtrip")
+            })
+        },
+    );
+    g.finish();
+
+    // The bytes table: one representative run per profile, exported as
+    // `throughput_bytes` so the committed JSON carries the cells.
+    println!();
+    println!(
+        "{:<10} {:>14} {:>14} {:>8} {:>6} {:>6}",
+        "profile", "modeled_bytes", "measured_bytes", "retrans", "dups", "reconn"
+    );
+    let mut tbl = c.benchmark_group("net_bytes");
+    tbl.sample_size(2);
+    for (label, faulty) in [("clean", false), ("chaos", true)] {
+        let m = wts_run(faulty);
+        let modeled = m.total_bytes();
+        let measured = m.net_frame_bytes;
+        assert!(
+            measured > modeled,
+            "{label}: measured wire bytes ({measured}) must exceed modeled \
+             protocol bytes ({modeled}) — framing overhead alone guarantees it"
+        );
+        println!(
+            "{label:<10} {modeled:>14} {measured:>14} {:>8} {:>6} {:>6}",
+            m.net_retransmits, m.net_dup_frames, m.net_reconnects
+        );
+        tbl.throughput(Throughput::Bytes(modeled));
+        tbl.bench_with_input(BenchmarkId::new("modeled", label), &(), |b, _| b.iter(|| 0));
+        tbl.throughput(Throughput::Bytes(measured));
+        tbl.bench_with_input(BenchmarkId::new("measured", label), &(), |b, _| {
+            b.iter(|| 0)
+        });
+    }
+    tbl.finish();
+}
+
+criterion_group!(net, bench_net);
+criterion_main!(net);

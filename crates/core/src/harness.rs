@@ -13,7 +13,8 @@ use crate::value::{SignableValue, Value};
 use crate::valueset::ValueSet;
 use crate::wts::{WtsMsg, WtsProcess};
 use bgla_simnet::{
-    OpEvent, Process, ProcessId, Scheduler, Simulation, SimulationBuilder, WireMessage,
+    NodeObserver, OpEvent, Process, ProcessId, Scheduler, Simulation, SimulationBuilder, Transport,
+    WireMessage,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -128,27 +129,34 @@ pub struct WtsRunReport<V: Value> {
     pub max_refinements: u64,
 }
 
-/// Extracts a [`WtsRunReport`] from a finished simulation. `correct`
-/// lists the ids of correct processes.
-pub fn wts_report<V: Value>(sim: &Simulation<WtsMsg<V>>, correct: &[usize]) -> WtsRunReport<V> {
+/// Extracts a [`WtsRunReport`] from a finished run over *any* transport
+/// (a `&Simulation` or a `&TcpRuntime` both coerce). `correct` lists
+/// the ids of correct processes.
+pub fn wts_report<V: Value>(
+    transport: &dyn Transport<WtsMsg<V>>,
+    correct: &[usize],
+) -> WtsRunReport<V> {
     let mut pairs = Vec::new();
     let mut decisions = Vec::new();
     let mut decided = Vec::new();
     let mut depths = Vec::new();
     let mut max_refinements = 0;
     for &i in correct {
-        let p = sim
-            .process_as::<WtsProcess<V>>(i)
-            .expect("correct process is a WtsProcess");
-        decided.push(p.decision.is_some());
-        if let Some(d) = &p.decision {
-            pairs.push((p.proposal.clone(), d.clone()));
-            decisions.push(d.clone());
-        }
-        if let Some(depth) = p.decision_depth {
-            depths.push(depth);
-        }
-        max_refinements = max_refinements.max(p.refinements);
+        transport.with_process(i, &mut |proc_| {
+            let p = proc_
+                .as_any()
+                .downcast_ref::<WtsProcess<V>>()
+                .expect("correct process is a WtsProcess");
+            decided.push(p.decision.is_some());
+            if let Some(d) = &p.decision {
+                pairs.push((p.proposal.clone(), d.clone()));
+                decisions.push(d.clone());
+            }
+            if let Some(depth) = p.decision_depth {
+                depths.push(depth);
+            }
+            max_refinements = max_refinements.max(p.refinements);
+        });
     }
     WtsRunReport {
         pairs,
@@ -184,7 +192,11 @@ pub fn assert_la_spec<V: Value>(report: &WtsRunReport<V>, correct_inputs: &BTree
 // The four algorithms share two observation shapes — one-shot (single
 // proposal, single decision: WTS, SbS) and streaming (input stream,
 // decision sequence: GWTS, GSbS) — expressed as two small state-access
-// traits so the diffing logic exists once per shape.
+// traits so the diffing logic exists once per shape. The per-process
+// diff memory itself lives in [`OneShotDiff`]/[`StreamingDiff`], which
+// both the simulation-wide observers (with restart handling) and the
+// per-node TCP observers (`wts_node_observer` & co. — the TCP runtime
+// never restarts processes) are built from.
 
 /// One-shot algorithm state the conformance observers read.
 trait OneShotState<V: Value>: 'static {
@@ -267,15 +279,166 @@ fn downcast_honest<M: WireMessage + 'static, P: 'static>(sim: &Simulation<M>, i:
         .unwrap_or_else(|| panic!("honest process {i} is not a {}", std::any::type_name::<P>()))
 }
 
+/// Per-process diff memory for the one-shot shape: what the observer
+/// already announced about one process, and the diffing step that
+/// compares live state against it.
+#[derive(Default)]
+struct OneShotDiff {
+    proposed: bool,
+    decided: bool,
+    prop_last: Vec<u64>,
+}
+
+impl OneShotDiff {
+    /// Diffs `p` against this memory, appending one op per new
+    /// operation. `step` stamps the emitted ops (per-node observers
+    /// pass 0 — the TCP log merge assigns real steps later).
+    fn diff_ops<V: Value>(
+        &mut self,
+        p: &dyn OneShotState<V>,
+        i: ProcessId,
+        step: u64,
+        key: fn(&V) -> u64,
+        out: &mut Vec<OpEvent>,
+    ) {
+        if !self.proposed {
+            self.proposed = true;
+            out.push(OpEvent {
+                step,
+                process: i,
+                kind: OP_PROPOSE,
+                ts: 0,
+                values: vec![key(p.proposal())],
+            });
+        }
+        // Emit on ANY change of the proposed set — a transient shrink or
+        // same-length value swap is exactly what the prefix checker's
+        // `ProposalShrunk` rule exists to catch; gating on growth would
+        // hide it.
+        let prop: Vec<u64> = p.proposed_values().iter().map(&key).collect();
+        if prop != self.prop_last {
+            out.push(OpEvent {
+                step,
+                process: i,
+                kind: OP_REFINE,
+                ts: p.refinements(),
+                values: prop.clone(),
+            });
+            self.prop_last = prop;
+        }
+        if let Some(d) = p.decision() {
+            if !self.decided {
+                self.decided = true;
+                out.push(OpEvent {
+                    step,
+                    process: i,
+                    kind: OP_DECIDE,
+                    ts: 0,
+                    values: d.iter().map(&key).collect(),
+                });
+            }
+        }
+    }
+}
+
+/// Per-process diff memory for the streaming shape (watermarks into the
+/// input stream and decision sequence).
+#[derive(Default)]
+struct StreamingDiff {
+    inputs_seen: usize,
+    decides_seen: usize,
+    prop_last: Vec<u64>,
+}
+
+impl StreamingDiff {
+    /// Diffs `p` against this memory, appending one op per new
+    /// operation (see [`OneShotDiff::observe`] for the `step`
+    /// convention).
+    fn diff_ops<V: Value>(
+        &mut self,
+        p: &dyn StreamingState<V>,
+        i: ProcessId,
+        step: u64,
+        key: fn(&V) -> u64,
+        out: &mut Vec<OpEvent>,
+    ) {
+        let inputs = p.all_inputs();
+        if inputs.len() > self.inputs_seen {
+            out.push(OpEvent {
+                step,
+                process: i,
+                kind: OP_PROPOSE,
+                ts: p.round(),
+                values: inputs[self.inputs_seen..].iter().map(&key).collect(),
+            });
+            self.inputs_seen = inputs.len();
+        }
+        // Any-change emission, as in the one-shot shape: shrinks and
+        // same-length swaps must reach the checker.
+        let prop: Vec<u64> = p.proposed_values().iter().map(&key).collect();
+        if prop != self.prop_last {
+            out.push(OpEvent {
+                step,
+                process: i,
+                kind: OP_REFINE,
+                ts: p.round(),
+                values: prop.clone(),
+            });
+            self.prop_last = prop;
+        }
+        let decisions = p.decisions();
+        while self.decides_seen < decisions.len() {
+            out.push(OpEvent {
+                step,
+                process: i,
+                kind: OP_DECIDE,
+                ts: self.decides_seen as u64,
+                values: decisions[self.decides_seen].iter().map(&key).collect(),
+            });
+            self.decides_seen += 1;
+        }
+    }
+
+    /// Post-restart re-anchoring. Everything in the restored snapshot
+    /// was observed (and announced) before the crash — snapshots are
+    /// taken from live state the observer had already diffed — so the
+    /// input watermark just re-anchors to the restored length (a
+    /// genesis rejoin re-proposes through the normal path,
+    /// idempotently). Decisions are re-announced, but only the *last*
+    /// one: the restored sequence is a ⊆-chain whose earlier entries
+    /// would read as regressions; the final entry is the durable
+    /// watermark the checker compares against the pre-crash decide.
+    fn reanchor<V: Value>(
+        &mut self,
+        p: &dyn StreamingState<V>,
+        i: ProcessId,
+        step: u64,
+        key: fn(&V) -> u64,
+        out: &mut Vec<OpEvent>,
+    ) {
+        self.inputs_seen = p.all_inputs().len();
+        self.prop_last.clear();
+        let decisions = p.decisions();
+        if let Some(last) = decisions.last() {
+            out.push(OpEvent {
+                step,
+                process: i,
+                kind: OP_DECIDE,
+                ts: (decisions.len() - 1) as u64,
+                values: last.iter().map(&key).collect(),
+            });
+        }
+        self.decides_seen = decisions.len();
+    }
+}
+
 fn oneshot_observer<M, P, V>(honest: Vec<ProcessId>, key: fn(&V) -> u64) -> Observer<M>
 where
     M: WireMessage + 'static,
     P: OneShotState<V>,
     V: Value,
 {
-    let mut proposed: BTreeSet<ProcessId> = BTreeSet::new();
-    let mut decided: BTreeSet<ProcessId> = BTreeSet::new();
-    let mut prop_last: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    let mut diffs: BTreeMap<ProcessId, OneShotDiff> = BTreeMap::new();
     let mut gen_seen: BTreeMap<ProcessId, u64> = BTreeMap::new();
     Box::new(move |sim, out| {
         let step = sim.metrics().delivered;
@@ -302,47 +465,10 @@ where
                 // watermark at the restart op); the re-emitted decide is
                 // the rollback probe — a stale snapshot's smaller
                 // decision surfaces as `RestartRegression`.
-                proposed.remove(&i);
-                decided.remove(&i);
-                prop_last.remove(&i);
+                diffs.remove(&i);
             }
             let p = downcast_honest::<M, P>(sim, i);
-            if proposed.insert(i) {
-                out.push(OpEvent {
-                    step,
-                    process: i,
-                    kind: OP_PROPOSE,
-                    ts: 0,
-                    values: vec![key(p.proposal())],
-                });
-            }
-            // Emit on ANY change of the proposed set — a transient shrink or
-            // same-length value swap is exactly what the prefix checker's
-            // `ProposalShrunk` rule exists to catch; gating on growth would
-            // hide it.
-            let prop: Vec<u64> = p.proposed_values().iter().map(&key).collect();
-            let last = prop_last.entry(i).or_default();
-            if prop != *last {
-                out.push(OpEvent {
-                    step,
-                    process: i,
-                    kind: OP_REFINE,
-                    ts: p.refinements(),
-                    values: prop.clone(),
-                });
-                *last = prop;
-            }
-            if let Some(d) = p.decision() {
-                if decided.insert(i) {
-                    out.push(OpEvent {
-                        step,
-                        process: i,
-                        kind: OP_DECIDE,
-                        ts: 0,
-                        values: d.iter().map(&key).collect(),
-                    });
-                }
-            }
+            diffs.entry(i).or_default().diff_ops(p, i, step, key, out);
         }
     })
 }
@@ -353,9 +479,7 @@ where
     P: StreamingState<V>,
     V: Value,
 {
-    let mut inputs_seen: BTreeMap<ProcessId, usize> = BTreeMap::new();
-    let mut decides_seen: BTreeMap<ProcessId, usize> = BTreeMap::new();
-    let mut prop_last: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    let mut diffs: BTreeMap<ProcessId, StreamingDiff> = BTreeMap::new();
     let mut gen_seen: BTreeMap<ProcessId, u64> = BTreeMap::new();
     Box::new(move |sim, out| {
         let step = sim.metrics().delivered;
@@ -375,70 +499,43 @@ where
                     values: Vec::new(),
                 });
                 let p = downcast_honest::<M, P>(sim, i);
-                // Everything in the restored snapshot was observed (and
-                // announced) before the crash — snapshots are taken from
-                // live state the observer had already diffed — so the
-                // input watermark just re-anchors to the restored length
-                // (a genesis rejoin re-proposes through the normal path,
-                // idempotently). Decisions are re-announced, but only
-                // the *last* one: the restored sequence is a ⊆-chain
-                // whose earlier entries would read as regressions; the
-                // final entry is the durable watermark the checker
-                // compares against the pre-crash decide.
-                inputs_seen.insert(i, p.all_inputs().len());
-                prop_last.remove(&i);
-                let decisions = p.decisions();
-                if let Some(last) = decisions.last() {
-                    out.push(OpEvent {
-                        step,
-                        process: i,
-                        kind: OP_DECIDE,
-                        ts: (decisions.len() - 1) as u64,
-                        values: last.iter().map(&key).collect(),
-                    });
-                }
-                decides_seen.insert(i, decisions.len());
+                diffs.entry(i).or_default().reanchor(p, i, step, key, out);
             }
             let p = downcast_honest::<M, P>(sim, i);
-            let inputs = p.all_inputs();
-            let seen = inputs_seen.entry(i).or_insert(0);
-            if inputs.len() > *seen {
-                out.push(OpEvent {
-                    step,
-                    process: i,
-                    kind: OP_PROPOSE,
-                    ts: p.round(),
-                    values: inputs[*seen..].iter().map(&key).collect(),
-                });
-                *seen = inputs.len();
-            }
-            // Any-change emission, as in `oneshot_observer`: shrinks and
-            // same-length swaps must reach the checker.
-            let prop: Vec<u64> = p.proposed_values().iter().map(&key).collect();
-            let plast = prop_last.entry(i).or_default();
-            if prop != *plast {
-                out.push(OpEvent {
-                    step,
-                    process: i,
-                    kind: OP_REFINE,
-                    ts: p.round(),
-                    values: prop.clone(),
-                });
-                *plast = prop;
-            }
-            let decisions = p.decisions();
-            let dseen = decides_seen.entry(i).or_insert(0);
-            while *dseen < decisions.len() {
-                out.push(OpEvent {
-                    step,
-                    process: i,
-                    kind: OP_DECIDE,
-                    ts: *dseen as u64,
-                    values: decisions[*dseen].iter().map(&key).collect(),
-                });
-                *dseen += 1;
-            }
+            diffs.entry(i).or_default().diff_ops(p, i, step, key, out);
         }
+    })
+}
+
+fn oneshot_node_observer<M, P, V>(me: ProcessId, key: fn(&V) -> u64) -> NodeObserver<M>
+where
+    M: WireMessage + 'static,
+    P: OneShotState<V>,
+    V: Value,
+{
+    let mut diff = OneShotDiff::default();
+    Box::new(move |proc_, out| {
+        let p = proc_
+            .as_any()
+            .downcast_ref::<P>()
+            .unwrap_or_else(|| panic!("node {me} is not a {}", std::any::type_name::<P>()));
+        diff.diff_ops(p, me, 0, key, out);
+    })
+}
+
+fn streaming_node_observer<M, P, V>(me: ProcessId, key: fn(&V) -> u64) -> NodeObserver<M>
+where
+    M: WireMessage + 'static,
+    P: StreamingState<V>,
+    V: Value,
+{
+    let mut diff = StreamingDiff::default();
+    Box::new(move |proc_, out| {
+        let p = proc_
+            .as_any()
+            .downcast_ref::<P>()
+            .unwrap_or_else(|| panic!("node {me} is not a {}", std::any::type_name::<P>()));
+        diff.diff_ops(p, me, 0, key, out);
     })
 }
 
@@ -467,6 +564,39 @@ pub fn gsbs_observer<V: SignableValue>(
     key: fn(&V) -> u64,
 ) -> Observer<GsbsMsg<V>> {
     streaming_observer::<GsbsMsg<V>, GsbsProcess<V>, V>(honest, key)
+}
+
+// Per-node observers for real transports: same diffing as the
+// simulation-wide observers above, one process each, no restart
+// handling (the TCP runtime does not restart processes — durable
+// snapshots compose at the layer above). Emitted ops carry `step: 0`;
+// the transport's log merge assigns real steps from causal order.
+
+/// Per-node observer for one honest [`WtsProcess`] (pass to
+/// `TcpRuntimeBuilder::add_observed`).
+pub fn wts_node_observer<V: Value>(me: ProcessId, key: fn(&V) -> u64) -> NodeObserver<WtsMsg<V>> {
+    oneshot_node_observer::<WtsMsg<V>, WtsProcess<V>, V>(me, key)
+}
+
+/// Per-node observer for one honest [`SbsProcess`].
+pub fn sbs_node_observer<V: SignableValue>(
+    me: ProcessId,
+    key: fn(&V) -> u64,
+) -> NodeObserver<SbsMsg<V>> {
+    oneshot_node_observer::<SbsMsg<V>, SbsProcess<V>, V>(me, key)
+}
+
+/// Per-node observer for one honest [`GwtsProcess`].
+pub fn gwts_node_observer<V: Value>(me: ProcessId, key: fn(&V) -> u64) -> NodeObserver<GwtsMsg<V>> {
+    streaming_node_observer::<GwtsMsg<V>, GwtsProcess<V>, V>(me, key)
+}
+
+/// Per-node observer for one honest [`GsbsProcess`].
+pub fn gsbs_node_observer<V: SignableValue>(
+    me: ProcessId,
+    key: fn(&V) -> u64,
+) -> NodeObserver<GsbsMsg<V>> {
+    streaming_node_observer::<GsbsMsg<V>, GsbsProcess<V>, V>(me, key)
 }
 
 #[cfg(test)]

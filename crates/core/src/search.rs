@@ -47,10 +47,14 @@ pub type ObserverFactory<'a, M> = dyn Fn() -> Observer<M> + 'a;
 /// scheduler.
 pub type SystemFactory<'a, M> = dyn FnMut(Box<dyn Scheduler>) -> Simulation<M> + 'a;
 
-// A restart sorts before everything else in its batch: the reboot
-// happened before the restored state was observed, and the checker must
-// see the boundary before the re-announced refine/decide ops.
-pub(crate) fn op_priority(kind: &str) -> u8 {
+/// Orders op kinds that share a trace step: a restart sorts before
+/// everything else in its batch (the reboot happened before the
+/// restored state was observed, and the checker must see the boundary
+/// before the re-announced refine/decide ops), then propose < refine <
+/// decide. Public because trace producers outside the simulator — the
+/// TCP runtime's log merge — need the same tiebreak to emit
+/// checker-conformant traces.
+pub fn op_priority(kind: &str) -> u8 {
     match kind {
         crate::linearize::OP_RESTART => 0,
         crate::linearize::OP_PROPOSE => 1,

@@ -8,16 +8,17 @@
 
 use std::collections::BTreeMap;
 
+use bgla_codec::Wire;
 use bgla_codec::{
     decode_frame, decode_payload, encode_frame, encode_payload, verify_frame, CodecError,
     FRAME_OVERHEAD,
 };
-use bgla_core::gsbs::GsbsProcess;
-use bgla_core::gwts::GwtsProcess;
-use bgla_core::sbs::SbsProcess;
-use bgla_core::wts::WtsProcess;
+use bgla_core::gsbs::{GsbsMsg, GsbsProcess};
+use bgla_core::gwts::{GwtsMsg, GwtsProcess};
+use bgla_core::sbs::{SbsMsg, SbsProcess};
+use bgla_core::wts::{WtsMsg, WtsProcess};
 use bgla_core::{SetUpdate, SystemConfig, ValueSet};
-use bgla_simnet::{RandomScheduler, SimulationBuilder};
+use bgla_simnet::{Context, Process, ProcessId, RandomScheduler, SimulationBuilder, WireMessage};
 use proptest::prelude::*;
 
 const N: usize = 4;
@@ -73,6 +74,61 @@ fn assert_snapshot_frame_sound<T>(
     );
     assert_truncation_rejected(&frame, cut);
     assert_bitflip_rejected(&frame, pos, bit);
+}
+
+/// Round-trips `value` through a bare payload, then asserts that any
+/// non-empty extension of that payload is rejected as
+/// [`CodecError::TrailingBytes`] — `Wire::decode` consumes exactly one
+/// encoding, so the only way extra bytes could ever slip through is a
+/// decoder that silently over- or under-reads.
+fn assert_payload_rejects_extension<T: Wire>(value: &T, suffix: &[u8]) {
+    let bytes = encode_payload(value);
+    decode_payload::<T>(&bytes).expect("own encoding decodes");
+    let mut extended = bytes;
+    extended.extend_from_slice(suffix);
+    assert!(
+        matches!(
+            decode_payload::<T>(&extended),
+            Err(CodecError::TrailingBytes)
+        ),
+        "payload with {} trailing bytes decoded",
+        suffix.len()
+    );
+}
+
+/// Drives `procs` as an embedded system (no simulator): boots every
+/// process, then delivers each in-flight message for `rounds` rounds,
+/// collecting every protocol message that crosses the (virtual) wire.
+fn pump_messages<M: WireMessage + 'static>(
+    procs: &mut [Box<dyn Process<M>>],
+    rounds: u64,
+) -> Vec<M> {
+    let n = procs.len();
+    let mut collected = Vec::new();
+    let mut inflight: Vec<(ProcessId, ProcessId, M)> = Vec::new();
+    for (i, p) in procs.iter_mut().enumerate() {
+        let mut ctx = Context::for_embedding(i, n, 0, 0);
+        p.on_start(&mut ctx);
+        for (to, m) in ctx.take_outbox() {
+            collected.push(m.clone());
+            inflight.push((i, to, m));
+        }
+    }
+    for depth in 1..=rounds {
+        let batch = std::mem::take(&mut inflight);
+        if batch.is_empty() {
+            break;
+        }
+        for (from, to, m) in batch {
+            let mut ctx = Context::for_embedding(to, n, depth, depth);
+            procs[to].on_message(from, m, &mut ctx);
+            for (t2, m2) in ctx.take_outbox() {
+                collected.push(m2.clone());
+                inflight.push((to, t2, m2));
+            }
+        }
+    }
+    collected
 }
 
 proptest! {
@@ -251,5 +307,144 @@ proptest! {
                 bit,
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trailing-bytes rejection: roundtrip-then-extend must fail for every
+// durable type. The message enums are exercised with *real* protocol
+// messages — each algorithm is booted and pumped for a few delivery
+// rounds through an embedding context, so the battery covers populated
+// proofs, signed sets, and delta updates, not just hand-built variants.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Plain containers reject extension.
+    #[test]
+    fn extended_container_payloads_are_rejected(
+        a: Vec<u64>,
+        base_ts: u64,
+        sv: Vec<u8>,
+        suffix: Vec<u8>,
+        extra: u8,
+    ) {
+        let mut suffix = suffix;
+        suffix.push(extra); // never empty
+        let s: String = sv.iter().map(|&b| char::from(b)).collect();
+        assert_payload_rejects_extension(&vs(&a), &suffix);
+        assert_payload_rejects_extension(&SetUpdate::Full(vs(&a)), &suffix);
+        assert_payload_rejects_extension(
+            &SetUpdate::Delta { base_ts, added: vs(&a) },
+            &suffix,
+        );
+        assert_payload_rejects_extension(&s, &suffix);
+        assert_payload_rejects_extension(&Some(a.clone()), &suffix);
+    }
+
+    /// Every WTS message on a live wire rejects extension.
+    #[test]
+    fn extended_wts_messages_are_rejected(
+        rounds: u64,
+        suffix: Vec<u8>,
+        extra: u8,
+    ) {
+        let rounds = rounds % 4 + 1;
+        let mut suffix = suffix;
+        suffix.truncate(3);
+        suffix.push(extra); // never empty
+        let config = SystemConfig::new(N, F);
+        let mut procs: Vec<Box<dyn Process<WtsMsg<u64>>>> = (0..N)
+            .map(|i| Box::new(WtsProcess::new(i, config, 10 + i as u64)) as Box<_>)
+            .collect();
+        for m in pump_messages(&mut procs, rounds) {
+            assert_payload_rejects_extension(&m, &suffix);
+        }
+    }
+
+    /// Every GWTS message on a live wire rejects extension.
+    #[test]
+    fn extended_gwts_messages_are_rejected(
+        rounds: u64,
+        suffix: Vec<u8>,
+        extra: u8,
+    ) {
+        let rounds = rounds % 4 + 1;
+        let mut suffix = suffix;
+        suffix.truncate(3);
+        suffix.push(extra); // never empty
+        let config = SystemConfig::new(N, F);
+        let mut procs: Vec<Box<dyn Process<GwtsMsg<u64>>>> = (0..N)
+            .map(|i| {
+                let schedule: BTreeMap<u64, Vec<u64>> =
+                    [(0, vec![i as u64])].into_iter().collect();
+                Box::new(GwtsProcess::new(i, config, schedule, 2)) as Box<_>
+            })
+            .collect();
+        for m in pump_messages(&mut procs, rounds) {
+            assert_payload_rejects_extension(&m, &suffix);
+        }
+    }
+
+    /// Every SbS message (signed sets, proofs) rejects extension.
+    #[test]
+    fn extended_sbs_messages_are_rejected(
+        rounds: u64,
+        suffix: Vec<u8>,
+        extra: u8,
+    ) {
+        let rounds = rounds % 4 + 1;
+        let mut suffix = suffix;
+        suffix.truncate(3);
+        suffix.push(extra); // never empty
+        let config = SystemConfig::new(N, F);
+        let mut procs: Vec<Box<dyn Process<SbsMsg<u64>>>> = (0..N)
+            .map(|i| Box::new(SbsProcess::new(i, config, 10 + i as u64)) as Box<_>)
+            .collect();
+        for m in pump_messages(&mut procs, rounds) {
+            assert_payload_rejects_extension(&m, &suffix);
+        }
+    }
+
+    /// Every GSbS message rejects extension.
+    #[test]
+    fn extended_gsbs_messages_are_rejected(
+        rounds: u64,
+        suffix: Vec<u8>,
+        extra: u8,
+    ) {
+        let rounds = rounds % 4 + 1;
+        let mut suffix = suffix;
+        suffix.truncate(3);
+        suffix.push(extra); // never empty
+        let config = SystemConfig::new(N, F);
+        let mut procs: Vec<Box<dyn Process<GsbsMsg<u64>>>> = (0..N)
+            .map(|i| {
+                let schedule: BTreeMap<u64, Vec<u64>> =
+                    [(0, vec![i as u64])].into_iter().collect();
+                Box::new(GsbsProcess::new(i, config, schedule, 2)) as Box<_>
+            })
+            .collect();
+        for m in pump_messages(&mut procs, rounds) {
+            assert_payload_rejects_extension(&m, &suffix);
+        }
+    }
+
+    /// Extending a snapshot *frame* is caught by the envelope (the
+    /// length field no longer matches), before deserialization.
+    #[test]
+    fn extended_snapshot_frames_are_rejected(seed: u64, suffix: Vec<u8>, extra: u8) {
+        let mut suffix = suffix;
+        suffix.push(extra); // never empty
+        let config = SystemConfig::new(N, F);
+        let p = WtsProcess::new(0, config, seed);
+        let mut frame = p.snapshot_bytes();
+        frame.extend_from_slice(&suffix);
+        prop_assert!(matches!(
+            verify_frame(&frame),
+            Err(CodecError::BadLength)
+        ));
+        prop_assert!(WtsProcess::<u64>::from_snapshot(&frame).is_err());
     }
 }

@@ -1,0 +1,21 @@
+//! A frame kind added without its demux arm: well-formed `FK_PING`
+//! traffic from a healthy peer is rejected as unknown and the link is
+//! torn down as if the peer were corrupt.
+
+pub const FK_HELLO: u16 = 0x01;
+pub const FK_DATA: u16 = 0x02;
+pub const FK_PING: u16 = 0x03;
+
+pub enum Frame {
+    Hello,
+    Data(Vec<u8>),
+}
+
+pub fn demux_frame(kind: u16, body: &[u8]) -> Option<Frame> {
+    match kind {
+        FK_HELLO => Some(Frame::Hello),
+        FK_DATA => Some(Frame::Data(body.to_vec())),
+        // BUG: FK_PING has no arm.
+        _ => None,
+    }
+}

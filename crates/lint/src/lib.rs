@@ -15,7 +15,8 @@
 //! | `sig-coverage` | a field omitted from `signable_bytes`/`digest_bytes` is unsigned and forgeable (PR-3) |
 //! | `wire-coverage` | a field missing from `Wire::encode`/`decode` is silently lost across restart (PR-6 class) |
 //! | `determinism` | hash-order iteration / wall clocks / OS randomness in trace-affecting crates break seeded replay |
-//! | `byzantine-panic` | a panic reachable from `decode`/`from_snapshot`/`on_message` lets hostile bytes crash an honest process |
+//! | `byzantine-panic` | a panic reachable from `decode`/`from_snapshot`/`on_message`/`demux_frame` lets hostile bytes crash an honest process |
+//! | `frame-demux-coverage` | a `FK_*` frame kind without a `demux_frame` arm makes healthy peers look corrupt |
 //! | `metrics-merge-coverage` | a `Metrics` field skipped by `merge` silently vanishes from sharded aggregation |
 //!
 //! Findings print rustc-style (`file:line: pass: message`), `--json`

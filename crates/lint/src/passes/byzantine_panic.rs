@@ -3,13 +3,14 @@
 //! **Bug class:** Byzantine tolerance assumes hostile bytes can never
 //! crash an honest process. The hostile-input surfaces are
 //! `Wire::decode` (bytes off the wire or disk), `from_snapshot`
-//! (possibly rotten durable state) and `on_message` (anything a
-//! Byzantine peer sends). A reachable `unwrap`, `panic!` or unchecked
+//! (possibly rotten durable state), `on_message` (anything a
+//! Byzantine peer sends) and `demux_frame` (raw TCP frames before any
+//! validation). A reachable `unwrap`, `panic!` or unchecked
 //! index on those paths turns one malformed message into a remote
 //! crash — the cheapest possible denial of service against the quorum.
 //!
 //! **Rule:** starting from every non-test fn named `decode`,
-//! `from_snapshot` or `on_message`, the pass computes the transitive
+//! `from_snapshot`, `on_message` or `demux_frame`, the pass computes the transitive
 //! same-crate call closure (callee resolution is by name — an
 //! over-approximation, which is the right direction for a safety
 //! lint) and flags, in any reachable body:
@@ -40,7 +41,7 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const NAME: &str = "byzantine-panic";
 
 /// Function names treated as hostile-input entry points.
-const ENTRY_FNS: &[&str] = &["decode", "from_snapshot", "on_message"];
+const ENTRY_FNS: &[&str] = &["decode", "from_snapshot", "on_message", "demux_frame"];
 
 /// Macro names that panic unconditionally when hit.
 const PANIC_MACROS: &[&str] = &[

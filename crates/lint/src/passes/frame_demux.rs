@@ -1,0 +1,79 @@
+//! `frame-demux-coverage` — every frame kind must be demultiplexed.
+//!
+//! **Bug class:** the TCP runtime's wire format tags every frame with a
+//! `FK_*` kind constant and routes it through one `demux_frame`
+//! function. Adding a new frame kind without adding its match arm makes
+//! `demux_frame` return `UnknownKind` for well-formed peer traffic —
+//! the link layer then treats a healthy peer as corrupt and tears the
+//! connection down, which masquerades as a network fault and is only
+//! caught by a hung integration test.
+//!
+//! **Rule:** in any file that declares a non-test `const FK_*` frame
+//! kind, a non-test `demux_frame` function must exist in the same file
+//! and its body must mention every such constant by name.
+//!
+//! **Suppression policy:** a constant that is deliberately not
+//! demultiplexed (a reserved kind, say) is waived at its declaration
+//! with the reason it is excluded.
+
+use super::{body_idents, emit};
+use crate::lexer::TokKind;
+use crate::{Diagnostic, Model};
+
+/// Pass identifier.
+pub const NAME: &str = "frame-demux-coverage";
+
+/// Runs the pass.
+pub fn run(model: &Model, diags: &mut Vec<Diagnostic>) {
+    for file in &model.files {
+        // Consts are not parsed items, so token-scan for `const FK_*`
+        // declarations outside test ranges.
+        let mut kinds: Vec<(&str, u32)> = Vec::new();
+        for (i, pair) in file.tokens.windows(2).enumerate() {
+            if file.in_test_range(i) {
+                continue;
+            }
+            let (kw, name) = (&pair[0], &pair[1]);
+            if kw.is_ident("const") && name.kind == TokKind::Ident && name.text.starts_with("FK_") {
+                kinds.push((name.text.as_str(), name.line));
+            }
+        }
+        if kinds.is_empty() {
+            continue;
+        }
+        let demux = file
+            .items
+            .fns
+            .iter()
+            .find(|f| !f.in_test && f.name == "demux_frame");
+        let Some(demux) = demux else {
+            emit(
+                diags,
+                file,
+                kinds[0].1,
+                NAME,
+                format!(
+                    "file declares frame kind `{}` but no `demux_frame` \
+                     function — every `FK_*` kind needs a demux arm",
+                    kinds[0].0
+                ),
+            );
+            continue;
+        };
+        let idents = body_idents(file, demux);
+        for (name, line) in kinds {
+            if !idents.contains(name) {
+                emit(
+                    diags,
+                    file,
+                    line,
+                    NAME,
+                    format!(
+                        "frame kind `{name}` has no arm in `demux_frame` — \
+                         peers sending it will be torn down as corrupt"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 
 mod byzantine_panic;
 mod determinism;
+mod frame_demux;
 mod merge_coverage;
 mod sig_coverage;
 mod wire_coverage;
@@ -48,8 +49,13 @@ pub const REGISTRY: &[Pass] = &[
     },
     Pass {
         name: byzantine_panic::NAME,
-        description: "no panic paths reachable from decode/from_snapshot/on_message (hostile bytes must not crash)",
+        description: "no panic paths reachable from decode/from_snapshot/on_message/demux_frame (hostile bytes must not crash)",
         run: byzantine_panic::run,
+    },
+    Pass {
+        name: frame_demux::NAME,
+        description: "every FK_* frame kind constant must have a match arm in its file's demux_frame",
+        run: frame_demux::run,
     },
     Pass {
         name: merge_coverage::NAME,

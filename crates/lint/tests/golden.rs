@@ -84,6 +84,16 @@ fn merge_field_drop_is_flagged() {
 }
 
 #[test]
+fn missing_demux_arm_is_flagged() {
+    let expected = include_str!("../fixtures/expected/frame_demux.txt");
+    assert!(expected.contains("frame kind `FK_PING` has no arm in `demux_frame`"));
+    assert_golden("frame_demux", expected);
+    // The two handled kinds produce nothing: exactly one finding.
+    let result = lint_fixture("frame_demux");
+    assert_eq!(result.diagnostics.len(), 1);
+}
+
+#[test]
 fn clean_fixture_passes_every_pass() {
     let result = lint_fixture("clean");
     assert!(

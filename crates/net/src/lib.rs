@@ -1,0 +1,82 @@
+//! Real `std::net` TCP runtime for the BGLA protocol core.
+//!
+//! The paper (Di Luna, Anceaume, Querzoni, *Byzantine Generalized
+//! Lattice Agreement*) assumes **reliable authenticated point-to-point
+//! links**. `bgla_simnet` discharges that assumption by construction;
+//! this crate discharges it over real sockets, by *masking* the faults
+//! a TCP deployment actually exhibits. The four algorithms run
+//! unchanged — one protocol core, two runtimes, both behind
+//! [`bgla_simnet::Transport`] — and every protocol message crosses the
+//! wire through `bgla_codec`'s real framing, turning the simulator's
+//! *modeled* byte counts into *measured* bytes
+//! ([`bgla_simnet::Metrics::net_frame_bytes`]).
+//!
+//! # The reliability contract
+//!
+//! **Masked** (invisible to the protocol, beyond latency):
+//!
+//! * **Frame loss** — per-peer sequence numbers; the sender keeps
+//!   every unacknowledged frame and retransmits on ack timeout, with
+//!   exponential backoff + seeded jitter ([`link::SenderLink`]).
+//! * **Duplication** — injected duplicates and spurious
+//!   retransmissions are discarded by receive-side dedup; every copy
+//!   is acknowledged so lost ACKs self-heal ([`link::ReceiverLink`]).
+//! * **Reordering / delay** — out-of-order frames are stashed and
+//!   delivered in sequence (per link; cross-link order is unordered
+//!   exactly as in the asynchronous model).
+//! * **Connection resets, including mid-frame** — torn frames fail
+//!   the checksum, the connection dies, the dialer reconnects with
+//!   backoff and *resyncs*: a HELLO exchange tells it what the peer
+//!   has, and only the unseen tail is retransmitted.
+//! * **Partitions that heal** — while a link is cut, traffic queues
+//!   in the bounded unacked window; when it heals, retransmission and
+//!   resync drain the backlog. Decisions already reached elsewhere
+//!   propagate as soon as connectivity returns (graceful resumption).
+//!
+//! **Surfaced** (reported, not hidden — the contract's honest edge):
+//!
+//! * **Peer down past the bounded outbox horizon** — a sender buffers
+//!   at most [`link::LinkConfig::max_unacked`] messages per peer;
+//!   beyond that, new messages to the dead peer are dropped and
+//!   counted ([`bgla_simnet::Metrics::net_outbox_dropped`]). This is
+//!   deliberate: unbounded buffering would just trade a visible fault
+//!   for an invisible OOM. The protocol layer tolerates it exactly as
+//!   far as its `f`-resilience allows, which is the paper's own story
+//!   for crashed processes.
+//! * **Process crash** — this crate does not restart processes; the
+//!   durable-snapshot machinery (PR 7) exists for that and composes at
+//!   the layer above.
+//!
+//! # Determinism
+//!
+//! Real sockets and threads are not deterministic; the *fault
+//! schedule* is. [`fault::FaultPlan`] decides each frame's fate by a
+//! pure hash of `(seed, link, frame index)` — see [`fault`] for what
+//! that does and does not pin down. The pure state machines in
+//! [`link`] are fully deterministic and unit-tested with exact
+//! counter pins; whole-system tests assert masking *invariants*
+//! (everyone decides; traces pass the conformance checker; counters
+//! non-zero) rather than byte-identical schedules.
+//!
+//! This crate is intentionally **not** in `bgla-lint`'s
+//! trace-affecting set: it performs real I/O and reads real clocks by
+//! design. Its decode surfaces (`frame::demux_frame` and the
+//! `Wire::decode` impls) are held to the same hostile-input standard
+//! as the rest of the workspace by the `byzantine-panic` and
+//! `frame-demux-coverage` passes.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod frame;
+pub mod link;
+pub mod node;
+pub mod runtime;
+pub mod trace_merge;
+
+pub use fault::{FaultAction, FaultConfig, FaultPlan};
+pub use frame::{demux_frame, Ack, Data, Hello, NetFrame, FK_ACK, FK_DATA, FK_HELLO};
+pub use link::{LinkConfig, ReceiverLink, SenderLink};
+pub use node::{NetConfig, NodeSpec, SharedCounters, TcpNode};
+pub use runtime::{TcpRuntime, TcpRuntimeBuilder};
+pub use trace_merge::{merge_traces, LocalDelivery, LocalOp, NodeLog};

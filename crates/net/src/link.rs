@@ -1,0 +1,425 @@
+//! Per-directed-link reliability state machines.
+//!
+//! [`SenderLink`] and [`ReceiverLink`] are the heart of the fault
+//! masking contract: together they rebuild a reliable FIFO link on top
+//! of a wire that drops, duplicates, delays, and resets. They are
+//! deliberately **pure** — no sockets, no threads, no clocks. The
+//! caller feeds in the current time as a millisecond count and carries
+//! the returned frames to whatever wire it owns. That makes every
+//! masking path (retransmit-after-timeout, exponential backoff,
+//! dedup, resync-after-reconnect, bounded-outbox overflow) a plain
+//! function of its inputs, pinned exactly by unit tests with no
+//! real I/O or sleeps involved.
+//!
+//! The scheme is a cumulative-ack sliding window, go-back-N flavored:
+//! the sender keeps every unacknowledged [`Data`] frame; when the ack
+//! timer fires it retransmits a bounded burst from the front of the
+//! window and doubles the timeout (plus seeded jitter, so a fleet of
+//! links does not retransmit in lockstep). The receiver delivers
+//! in order, stashes out-of-order arrivals, discards duplicates, and
+//! acknowledges *every* DATA frame — duplicates included — with the
+//! cumulative next-expected sequence, so lost ACKs are repaired by the
+//! very retransmissions they failed to suppress.
+
+use crate::frame::Data;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Tuning knobs for one directed link. The defaults suit localhost
+/// tests: an aggressive first timeout, a small cap, real jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Initial retransmission timeout in ms.
+    pub rto_ms: u64,
+    /// Upper bound the exponential backoff saturates at, in ms.
+    pub rto_max_ms: u64,
+    /// Maximum seeded jitter added to each backed-off timeout, in ms.
+    pub jitter_ms: u64,
+    /// At most this many frames are retransmitted per timeout firing
+    /// (bounds the burst a long outage can trigger).
+    pub retransmit_burst: usize,
+    /// Bounded outbox horizon: the maximum number of unacknowledged
+    /// messages buffered for a peer. Beyond it the link stops masking
+    /// and *surfaces* the fault by dropping new messages (counted in
+    /// [`SenderLink::overflow_dropped`]) — the peer-down contract.
+    pub max_unacked: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            rto_ms: 40,
+            rto_max_ms: 2_000,
+            jitter_ms: 10,
+            retransmit_burst: 32,
+            max_unacked: 4_096,
+        }
+    }
+}
+
+/// Sending half of a reliable link: sequence assignment, the unacked
+/// window, the retransmission timer with exponential backoff + jitter,
+/// and reconnect resync.
+#[derive(Debug)]
+pub struct SenderLink {
+    cfg: LinkConfig,
+    rng: StdRng,
+    next_seq: u64,
+    /// Frames sent but not yet cumulatively acknowledged, seq-ascending.
+    unacked: VecDeque<Data>,
+    /// Deadline (caller-supplied ms clock) of the pending ack timer,
+    /// `None` when the window is empty.
+    rto_at: Option<u64>,
+    /// Current (backed-off) timeout span.
+    cur_rto: u64,
+    /// Total frames retransmitted on timer or resync.
+    pub retransmits: u64,
+    /// Messages dropped because the window was full (peer down past
+    /// the bounded outbox horizon) — the surfaced fault.
+    pub overflow_dropped: u64,
+    /// Resyncs performed after a reconnect.
+    pub resyncs: u64,
+}
+
+impl SenderLink {
+    /// A fresh link; `seed` drives the jitter stream (deterministic per
+    /// seed, distinct per link when the caller mixes link identity in).
+    pub fn new(cfg: LinkConfig, seed: u64) -> SenderLink {
+        SenderLink {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            rto_at: None,
+            cur_rto: cfg.rto_ms,
+            retransmits: 0,
+            overflow_dropped: 0,
+            resyncs: 0,
+        }
+    }
+
+    /// Sequence number the next enqueued message will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Unacknowledged frames currently buffered.
+    pub fn window_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Current backed-off retransmission timeout span in ms (exposed so
+    /// tests can pin backoff growth).
+    pub fn current_rto(&self) -> u64 {
+        self.cur_rto
+    }
+
+    /// Accepts one protocol message for transmission. Returns the
+    /// framed [`Data`] to put on the wire, or `None` if the peer is
+    /// down past the bounded outbox horizon — the caller counts that
+    /// as a surfaced drop and moves on.
+    pub fn enqueue(&mut self, depth: u64, payload: Vec<u8>, now_ms: u64) -> Option<Data> {
+        if self.unacked.len() >= self.cfg.max_unacked {
+            self.overflow_dropped += 1;
+            return None;
+        }
+        let frame = Data {
+            seq: self.next_seq,
+            depth,
+            payload,
+        };
+        self.next_seq += 1;
+        if self.unacked.is_empty() {
+            // Window was idle: timer restarts from the base timeout.
+            self.cur_rto = self.cfg.rto_ms;
+            self.rto_at = Some(now_ms + self.cur_rto);
+        }
+        self.unacked.push_back(frame.clone());
+        Some(frame)
+    }
+
+    /// Processes a cumulative ack: drops acknowledged frames and, on
+    /// progress, resets the backoff (the link is alive again).
+    pub fn on_ack(&mut self, cum: u64, now_ms: u64) {
+        let mut progressed = false;
+        while self.unacked.front().is_some_and(|d| d.seq < cum) {
+            self.unacked.pop_front();
+            progressed = true;
+        }
+        if self.unacked.is_empty() {
+            self.rto_at = None;
+            self.cur_rto = self.cfg.rto_ms;
+        } else if progressed {
+            self.cur_rto = self.cfg.rto_ms;
+            self.rto_at = Some(now_ms + self.cur_rto);
+        }
+    }
+
+    /// Fires the retransmission timer if due: returns a bounded burst
+    /// of frames to retransmit and backs off the timeout (doubling,
+    /// saturating at the cap, plus seeded jitter). Returns an empty
+    /// vec when the timer has not expired or nothing is outstanding.
+    pub fn retransmit_due(&mut self, now_ms: u64) -> Vec<Data> {
+        match self.rto_at {
+            Some(at) if now_ms >= at && !self.unacked.is_empty() => {
+                let burst: Vec<Data> = self
+                    .unacked
+                    .iter()
+                    .take(self.cfg.retransmit_burst)
+                    .cloned()
+                    .collect();
+                self.retransmits += burst.len() as u64;
+                self.cur_rto = (self.cur_rto * 2).min(self.cfg.rto_max_ms);
+                let jitter = if self.cfg.jitter_ms > 0 {
+                    self.rng.gen_range(0..self.cfg.jitter_ms)
+                } else {
+                    0
+                };
+                self.rto_at = Some(now_ms + self.cur_rto + jitter);
+                burst
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Resynchronizes after a reconnect, given the peer's HELLO-borne
+    /// next-expected sequence: acknowledged frames are dropped, and
+    /// the still-unseen tail is returned for immediate retransmission.
+    pub fn on_resync(&mut self, peer_expected: u64, now_ms: u64) -> Vec<Data> {
+        self.resyncs += 1;
+        self.on_ack(peer_expected, now_ms);
+        let tail: Vec<Data> = self
+            .unacked
+            .iter()
+            .take(self.cfg.retransmit_burst)
+            .cloned()
+            .collect();
+        if !tail.is_empty() {
+            self.retransmits += tail.len() as u64;
+            self.cur_rto = self.cfg.rto_ms;
+            self.rto_at = Some(now_ms + self.cur_rto);
+        }
+        tail
+    }
+}
+
+/// Receiving half of a reliable link: in-order delivery, out-of-order
+/// stashing, duplicate discard, cumulative ack generation.
+#[derive(Debug, Default)]
+pub struct ReceiverLink {
+    /// Next sequence number to deliver.
+    expected: u64,
+    /// Out-of-order arrivals waiting for the gap to fill.
+    stash: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// Duplicate DATA frames discarded.
+    pub dups: u64,
+}
+
+impl ReceiverLink {
+    /// A fresh receiver expecting sequence 0.
+    pub fn new() -> ReceiverLink {
+        ReceiverLink::default()
+    }
+
+    /// Next sequence this receiver expects — the cumulative ack value,
+    /// and what a HELLO reply advertises for resync.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Processes one DATA frame. Returns the newly deliverable
+    /// `(depth, payload)` messages in order (empty for duplicates and
+    /// gap-leaving arrivals). The caller acks with [`Self::expected`]
+    /// afterwards regardless.
+    pub fn on_data(&mut self, frame: Data) -> Vec<(u64, Vec<u8>)> {
+        if frame.seq < self.expected || self.stash.contains_key(&frame.seq) {
+            self.dups += 1;
+            return Vec::new();
+        }
+        self.stash.insert(frame.seq, (frame.depth, frame.payload));
+        let mut out = Vec::new();
+        while let Some(msg) = self.stash.remove(&self.expected) {
+            out.push(msg);
+            self.expected += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LinkConfig {
+        LinkConfig {
+            rto_ms: 40,
+            rto_max_ms: 2_000,
+            jitter_ms: 0, // deterministic timers for exact pins
+            retransmit_burst: 32,
+            max_unacked: 4,
+        }
+    }
+
+    fn payload(b: u8) -> Vec<u8> {
+        vec![b; 3]
+    }
+
+    #[test]
+    fn in_order_flow_never_retransmits() {
+        let mut tx = SenderLink::new(cfg(), 1);
+        let mut rx = ReceiverLink::new();
+        for i in 0..3u8 {
+            let f = tx.enqueue(1, payload(i), 10).unwrap();
+            let delivered = rx.on_data(f);
+            assert_eq!(delivered.len(), 1);
+            tx.on_ack(rx.expected(), 11);
+        }
+        assert_eq!(tx.retransmits, 0);
+        assert_eq!(tx.window_len(), 0);
+        assert_eq!(rx.dups, 0);
+        // Timer disarmed: far-future poll retransmits nothing.
+        assert!(tx.retransmit_due(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn lost_frame_is_retransmitted_with_exponential_backoff() {
+        let mut tx = SenderLink::new(cfg(), 2);
+        let f0 = tx.enqueue(1, payload(0), 0).unwrap();
+        // The wire eats f0. Before the timeout: nothing.
+        assert!(tx.retransmit_due(39).is_empty());
+        // At 40 ms the timer fires, retransmitting f0, and the timeout
+        // doubles: 40 -> 80 -> 160 -> 320.
+        let r1 = tx.retransmit_due(40);
+        assert_eq!(r1, vec![f0.clone()]);
+        assert_eq!(tx.current_rto(), 80);
+        assert!(tx.retransmit_due(119).is_empty());
+        let r2 = tx.retransmit_due(120);
+        assert_eq!(r2, vec![f0.clone()]);
+        assert_eq!(tx.current_rto(), 160);
+        let r3 = tx.retransmit_due(280);
+        assert_eq!(r3, vec![f0]);
+        assert_eq!(tx.current_rto(), 320);
+        assert_eq!(tx.retransmits, 3);
+        // An ack finally lands: window empties, backoff resets.
+        tx.on_ack(1, 300);
+        assert_eq!(tx.window_len(), 0);
+        assert_eq!(tx.current_rto(), 40);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let mut tx = SenderLink::new(cfg(), 3);
+        tx.enqueue(1, payload(0), 0).unwrap();
+        let mut now = 0;
+        for _ in 0..12 {
+            now += tx.current_rto();
+            tx.retransmit_due(now);
+        }
+        assert_eq!(tx.current_rto(), 2_000);
+    }
+
+    #[test]
+    fn jitter_desynchronizes_timers_but_is_seed_stable() {
+        let mk = |seed| {
+            let mut c = cfg();
+            c.jitter_ms = 10;
+            let mut tx = SenderLink::new(c, seed);
+            tx.enqueue(1, payload(0), 0).unwrap();
+            tx.retransmit_due(40);
+            tx.rto_at.unwrap()
+        };
+        // Same seed, same jittered deadline; the stream is the contract.
+        assert_eq!(mk(7), mk(7));
+        let deadline = mk(7);
+        assert!((120..130).contains(&deadline), "40 + 80 + jitter in [0,10)");
+    }
+
+    #[test]
+    fn receiver_dedups_and_reorders() {
+        let mut tx = SenderLink::new(cfg(), 4);
+        let f0 = tx.enqueue(5, payload(0), 0).unwrap();
+        let f1 = tx.enqueue(5, payload(1), 0).unwrap();
+        let f2 = tx.enqueue(5, payload(2), 0).unwrap();
+        let mut rx = ReceiverLink::new();
+        // f1 arrives early: stashed, nothing deliverable.
+        assert!(rx.on_data(f1.clone()).is_empty());
+        assert_eq!(rx.expected(), 0);
+        // A duplicate of the stashed frame: counted, still nothing.
+        assert!(rx.on_data(f1.clone()).is_empty());
+        assert_eq!(rx.dups, 1);
+        // f0 fills the gap: both deliver, in order.
+        let got = rx.on_data(f0.clone());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, payload(0));
+        assert_eq!(got[1].1, payload(1));
+        assert_eq!(rx.expected(), 2);
+        // Stale retransmissions of delivered frames are dup-dropped.
+        assert!(rx.on_data(f0).is_empty());
+        assert!(rx.on_data(f1).is_empty());
+        assert_eq!(rx.dups, 3);
+        // The tail still flows.
+        assert_eq!(rx.on_data(f2).len(), 1);
+        assert_eq!(rx.expected(), 3);
+    }
+
+    #[test]
+    fn bounded_outbox_surfaces_peer_down() {
+        let mut tx = SenderLink::new(cfg(), 5);
+        for i in 0..4u8 {
+            assert!(tx.enqueue(1, payload(i), 0).is_some());
+        }
+        // Window full (max_unacked = 4): the masking stops.
+        assert!(tx.enqueue(1, payload(9), 0).is_none());
+        assert!(tx.enqueue(1, payload(9), 0).is_none());
+        assert_eq!(tx.overflow_dropped, 2);
+        // Sequence numbers were NOT consumed by the drops.
+        assert_eq!(tx.next_seq(), 4);
+        // Peer comes back: the window drains and sending resumes.
+        tx.on_ack(4, 100);
+        assert!(tx.enqueue(1, payload(10), 100).is_some());
+    }
+
+    #[test]
+    fn resync_after_reconnect_retransmits_exactly_the_unseen_tail() {
+        let mut tx = SenderLink::new(cfg(), 6);
+        let _f0 = tx.enqueue(1, payload(0), 0).unwrap();
+        let f1 = tx.enqueue(1, payload(1), 0).unwrap();
+        let f2 = tx.enqueue(1, payload(2), 0).unwrap();
+        // Connection dies; peer's HELLO on reconnect says expected = 1
+        // (it had received f0 before the reset).
+        let tail = tx.on_resync(1, 50);
+        assert_eq!(tail, vec![f1, f2]);
+        assert_eq!(tx.resyncs, 1);
+        assert_eq!(tx.retransmits, 2);
+        assert_eq!(tx.window_len(), 2);
+        // Backoff restarted at base after resync.
+        assert_eq!(tx.current_rto(), 40);
+    }
+
+    #[test]
+    fn ack_of_everything_on_resync_retransmits_nothing() {
+        let mut tx = SenderLink::new(cfg(), 7);
+        tx.enqueue(1, payload(0), 0).unwrap();
+        let tail = tx.on_resync(1, 10);
+        assert!(tail.is_empty());
+        assert_eq!(tx.retransmits, 0);
+        assert!(tx.retransmit_due(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn retransmit_burst_is_bounded() {
+        let mut c = cfg();
+        c.max_unacked = 100;
+        c.retransmit_burst = 8;
+        let mut tx = SenderLink::new(c, 8);
+        for i in 0..20 {
+            tx.enqueue(1, payload(i as u8), 0).unwrap();
+        }
+        let burst = tx.retransmit_due(40);
+        assert_eq!(burst.len(), 8);
+        assert_eq!(burst[0].seq, 0);
+        assert_eq!(tx.retransmits, 8);
+    }
+}

@@ -52,6 +52,7 @@ pub mod scheduler;
 pub mod sim;
 pub mod threaded;
 pub mod trace;
+pub mod transport;
 
 pub use metrics::{Metrics, ProofSizes, WireMessage, PROOF_REF_BYTES};
 pub use process::{Context, Process, ProcessId};
@@ -62,3 +63,4 @@ pub use scheduler::{
 };
 pub use sim::{RunOutcome, Simulation, SimulationBuilder};
 pub use trace::{OpEvent, Trace, TraceEntry, TraceEvent};
+pub use transport::{NodeObserver, Transport};

@@ -126,10 +126,34 @@ pub struct Metrics {
     pub proof_ref_bytes: u64,
     /// Proof bytes a flat per-value encoding would have paid.
     pub proof_bytes_flat: u64,
+    /// Transport frames written to a real wire (DATA/ACK/HELLO), first
+    /// transmissions and retransmissions alike. Zero under the
+    /// simulator, which has no frame layer.
+    pub net_frames: u64,
+    /// *Measured* bytes written to a real wire: the serialized frame
+    /// sizes, including codec framing overhead — the ground truth the
+    /// modeled [`WireMessage::wire_size`] figures are compared against.
+    pub net_frame_bytes: u64,
+    /// DATA frames retransmitted after an ack timeout (the masking path
+    /// for dropped or reset frames).
+    pub net_retransmits: u64,
+    /// Duplicate DATA frames discarded by receive-side dedup (injected
+    /// duplicates and spurious retransmissions).
+    pub net_dup_frames: u64,
+    /// Connection (re)establishments after a reset or partition —
+    /// counts the backoff/resync masking path, not the first dial.
+    pub net_reconnects: u64,
+    /// Protocol messages dropped because a peer stayed down past the
+    /// bounded outbox horizon — the one fault the transport *surfaces*
+    /// instead of masking (see `bgla_net`'s reliability contract).
+    pub net_outbox_dropped: u64,
 }
 
 impl Metrics {
-    pub(crate) fn new(n: usize) -> Self {
+    /// Zeroed accounting for an `n`-process system. Public so real
+    /// transports (which meter their own sends) can build one; the
+    /// simulator builds its own.
+    pub fn new(n: usize) -> Self {
         Metrics {
             sent_by: vec![0; n],
             bytes_by: vec![0; n],
@@ -143,10 +167,20 @@ impl Metrics {
             proof_bytes_interned: 0,
             proof_ref_bytes: 0,
             proof_bytes_flat: 0,
+            net_frames: 0,
+            net_frame_bytes: 0,
+            net_retransmits: 0,
+            net_dup_frames: 0,
+            net_reconnects: 0,
+            net_outbox_dropped: 0,
         }
     }
 
-    pub(crate) fn record_send(
+    /// Accounts one protocol-message send. The simulator calls this on
+    /// every outbound message; a real transport calls it too (public
+    /// for that reason), so modeled per-kind counters stay comparable
+    /// across runtimes.
+    pub fn record_send(
         &mut self,
         from: ProcessId,
         kind: &'static str,
@@ -220,6 +254,12 @@ impl Metrics {
         self.proof_bytes_interned += other.proof_bytes_interned;
         self.proof_ref_bytes += other.proof_ref_bytes;
         self.proof_bytes_flat += other.proof_bytes_flat;
+        self.net_frames += other.net_frames;
+        self.net_frame_bytes += other.net_frame_bytes;
+        self.net_retransmits += other.net_retransmits;
+        self.net_dup_frames += other.net_dup_frames;
+        self.net_reconnects += other.net_reconnects;
+        self.net_outbox_dropped += other.net_outbox_dropped;
     }
 }
 

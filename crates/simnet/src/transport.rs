@@ -1,0 +1,161 @@
+//! The runtime abstraction: one protocol core, two runtimes.
+//!
+//! The four algorithms are written as [`Process`] state machines; what
+//! *drives* them is pluggable. [`Transport`] is the common surface a
+//! driver exposes so harness code (reports, spec batteries, demos)
+//! runs unchanged over either runtime:
+//!
+//! * [`crate::Simulation`] — the deterministic discrete-event
+//!   simulator: the measurement instrument, single-threaded, with
+//!   modeled delivery order chosen by a [`crate::Scheduler`].
+//! * `bgla_net::TcpRuntime` — real `std::net` TCP over localhost (or a
+//!   LAN), one event thread per node, reliable links *reconstructed*
+//!   on top of a faulty wire by retransmission, acknowledgment and
+//!   deduplication.
+//!
+//! The trait is deliberately small: construction is runtime-specific
+//! (a simulation wants a scheduler, a TCP runtime wants socket
+//! addresses), so the shared surface is *running* and *inspecting* —
+//! exactly what the report builders and conformance harnesses need.
+//!
+//! Process access is closure-based ([`Transport::with_process`])
+//! rather than reference-returning: a TCP runtime's processes live
+//! behind locks on their event threads, so a borrow cannot be handed
+//! out, only a visit.
+
+use crate::metrics::{Metrics, WireMessage};
+use crate::process::{Process, ProcessId};
+use crate::sim::{RunOutcome, Simulation};
+use crate::trace::OpEvent;
+
+/// A per-node state-diffing observer, the runtime-agnostic sibling of
+/// `bgla_core`'s simulation-wide observers: called with one process
+/// after its boot and after every delivery it handles, it pushes one
+/// [`OpEvent`] per newly observed protocol operation (`step` is filled
+/// in by the runtime; observers leave it zero). `Send` because a TCP
+/// runtime invokes it on the node's event thread.
+pub type NodeObserver<M> = Box<dyn FnMut(&dyn Process<M>, &mut Vec<OpEvent>) + Send>;
+
+/// A runtime that can drive a set of [`Process`]es to quiescence and
+/// let a harness inspect them. See the module docs for the two
+/// implementations.
+pub trait Transport<M: WireMessage> {
+    /// Number of processes this runtime drives.
+    fn node_count(&self) -> usize;
+
+    /// Visits process `p`'s current state. The visit is atomic with
+    /// respect to the process's event handling (a TCP runtime holds
+    /// the node lock for the duration), so observed state is always a
+    /// consistent event boundary.
+    fn with_process(&self, p: ProcessId, f: &mut dyn FnMut(&dyn Process<M>));
+
+    /// A snapshot of the accumulated metrics — for a multi-node
+    /// runtime, the merge over every node's accounting.
+    fn metrics_snapshot(&self) -> Metrics;
+
+    /// Drives the system until quiescence (no protocol message is
+    /// buffered, in flight, or unprocessed anywhere) or until `budget`
+    /// deliveries have been performed.
+    fn run_transport(&mut self, budget: u64) -> RunOutcome;
+
+    /// Drives the system until `pred` holds for **every** process,
+    /// quiescence, or the budget. Returns the outcome and whether the
+    /// predicate was satisfied. Used by harnesses that wait for a
+    /// protocol milestone ("every correct process decided") that
+    /// arrives before quiescence.
+    fn run_until_all(
+        &mut self,
+        budget: u64,
+        pred: &mut dyn FnMut(ProcessId, &dyn Process<M>) -> bool,
+    ) -> (RunOutcome, bool);
+}
+
+impl<M: WireMessage + 'static> Transport<M> for Simulation<M> {
+    fn node_count(&self) -> usize {
+        self.n()
+    }
+
+    fn with_process(&self, p: ProcessId, f: &mut dyn FnMut(&dyn Process<M>)) {
+        f(self.process(p));
+    }
+
+    fn metrics_snapshot(&self) -> Metrics {
+        self.metrics().clone()
+    }
+
+    fn run_transport(&mut self, budget: u64) -> RunOutcome {
+        self.run(budget)
+    }
+
+    fn run_until_all(
+        &mut self,
+        budget: u64,
+        pred: &mut dyn FnMut(ProcessId, &dyn Process<M>) -> bool,
+    ) -> (RunOutcome, bool) {
+        self.run_until(budget, |sim| (0..sim.n()).all(|p| pred(p, sim.process(p))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Context;
+    use crate::sim::SimulationBuilder;
+    use std::any::Any;
+
+    struct Counter {
+        got: u64,
+    }
+    impl Process<u64> for Counter {
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            ctx.broadcast(1);
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: u64, _ctx: &mut Context<u64>) {
+            self.got += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn drive(t: &mut dyn Transport<u64>) -> (RunOutcome, u64) {
+        let out = t.run_transport(10_000);
+        let mut total = 0;
+        for p in 0..t.node_count() {
+            t.with_process(p, &mut |proc_| {
+                total += proc_.as_any().downcast_ref::<Counter>().unwrap().got;
+            });
+        }
+        (out, total)
+    }
+
+    #[test]
+    fn simulation_runs_behind_the_trait() {
+        let n = 4;
+        let mut b = SimulationBuilder::new();
+        for _ in 0..n {
+            b = b.add(Box::new(Counter { got: 0 }));
+        }
+        let mut sim = b.build();
+        let (out, total) = drive(&mut sim);
+        assert!(out.quiescent);
+        assert_eq!(total, (n * n) as u64);
+        assert_eq!(
+            Transport::<u64>::metrics_snapshot(&sim).total_sent(),
+            (n * n) as u64
+        );
+    }
+
+    #[test]
+    fn run_until_all_stops_at_the_milestone() {
+        let mut b = SimulationBuilder::new();
+        for _ in 0..3 {
+            b = b.add(Box::new(Counter { got: 0 }));
+        }
+        let mut sim = b.build();
+        let (_, sat) = sim.run_until_all(10_000, &mut |_, proc_| {
+            proc_.as_any().downcast_ref::<Counter>().unwrap().got >= 1
+        });
+        assert!(sat);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`rbcast`] — Byzantine reliable broadcast.
 //! * [`core`] — the agreement algorithms + spec checkers + adversaries.
 //! * [`rsm`] — the replicated state machine of Section 7.
+//! * [`codec`] — the durable wire codec (frames, checksums).
+//! * [`net`] — the real TCP runtime with fault-masking reliable links.
 //!
 //! ## Quickstart
 //!
@@ -39,9 +41,11 @@
 //! }
 //! ```
 
+pub use bgla_codec as codec;
 pub use bgla_core as core;
 pub use bgla_crypto as crypto;
 pub use bgla_lattice as lattice;
+pub use bgla_net as net;
 pub use bgla_rbcast as rbcast;
 pub use bgla_rsm as rsm;
 pub use bgla_simnet as simnet;
