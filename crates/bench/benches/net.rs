@@ -24,19 +24,33 @@
 //! decision violates the LA spec, or if measured bytes ever undercut
 //! modeled bytes (framing alone makes that impossible in a sane run).
 //!
-//! `NET_BENCH_SMOKE=1` shrinks sample counts; the committed
-//! `BENCH_net.json` baseline is produced by a full run
+//! The `net_sweep` group is the scale experiment: every algorithm
+//! (WTS, SbS, GWTS, GSbS) run honestly to quiescence on loopback,
+//! each row's `throughput_bytes` carrying the measured wire bytes of
+//! that run — how the real-wire cost of agreement grows with system
+//! size, per algorithm, in one table. WTS climbs the full ladder
+//! n ∈ {4, 8, 16, 32, 48}; the signature and streaming algorithms
+//! stop at n = 16 (the cap is printed, not silent): their wire bytes
+//! grow ≳ n³ — O(n²) messages each shipping O(n)-signature proofs —
+//! so sbs/16 already moves ~280 MB through loopback and n = 32 cannot
+//! finish inside any reasonable deadline on a small box.
+//!
+//! `NET_BENCH_SMOKE=1` shrinks sample counts and truncates the sweep;
+//! the committed `BENCH_net.json` baseline is produced by a full run
 //! (`CRITERION_JSON=BENCH_net.json cargo bench -p bgla-bench --bench
 //! net`).
 
 use bgla_codec::encode_frame;
+use bgla_core::gsbs::GsbsProcess;
+use bgla_core::gwts::GwtsProcess;
 use bgla_core::harness::{assert_la_spec, wts_report};
+use bgla_core::sbs::SbsProcess;
 use bgla_core::wts::WtsProcess;
 use bgla_core::SystemConfig;
 use bgla_net::{Data, FaultConfig, FaultPlan, LinkConfig, NetConfig, TcpRuntimeBuilder, FK_DATA};
 use bgla_simnet::{Metrics, Transport};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 const N: usize = 4;
 const F: usize = 1;
@@ -151,6 +165,157 @@ fn bench_net(c: &mut Criterion) {
         });
     }
     tbl.finish();
+
+    // The scale sweep: measured wire bytes per algorithm per system
+    // size, honest runs on one poller pool. Per-algorithm ladders: the
+    // sizes are capped where the algorithm's traffic growth makes a
+    // single run exceed minutes of wall clock, and the cap is printed
+    // so no one mistakes a short ladder for full coverage.
+    let full: &[usize] = if smoke { &[4, 8] } else { &[4, 8, 16, 32, 48] };
+    let heavy: &[usize] = if smoke { &[4, 8] } else { &[4, 8, 16] };
+    println!();
+    if !smoke {
+        println!(
+            "net_sweep: sbs/gwts/gsbs ladders stop at n = 16 — their wire \
+             bytes grow ≳ n³ (O(n²) messages × O(n)-signature proofs), so \
+             n = 32 cannot finish in a bounded run; wts carries 32 and 48"
+        );
+    }
+    println!(
+        "{:<6} {:>4} {:>14} {:>14} {:>10}",
+        "algo", "n", "modeled_bytes", "measured_bytes", "delivered"
+    );
+    let mut sweep = c.benchmark_group("net_sweep");
+    sweep.sample_size(2);
+    for (algo, sizes, run) in [
+        ("wts", full, sweep_wts as fn(usize) -> Metrics),
+        ("sbs", heavy, sweep_sbs),
+        ("gwts", heavy, sweep_gwts),
+        ("gsbs", heavy, sweep_gsbs),
+    ] {
+        for &n in sizes {
+            let m = run(n);
+            let modeled = m.total_bytes();
+            let measured = m.net_frame_bytes;
+            assert!(
+                measured > modeled,
+                "{algo}/{n}: measured bytes must exceed modeled bytes"
+            );
+            println!(
+                "{algo:<6} {n:>4} {modeled:>14} {measured:>14} {:>10}",
+                m.delivered
+            );
+            sweep.throughput(Throughput::Bytes(measured));
+            sweep.bench_with_input(BenchmarkId::new(algo, n), &(), |b, _| b.iter(|| 0));
+        }
+    }
+    sweep.finish();
+}
+
+/// Clean transport config for a sweep run at system size `n`.
+fn sweep_cfg(n: usize) -> NetConfig {
+    NetConfig {
+        seed: 0x57EE ^ n as u64,
+        deadline_ms: 120_000,
+        ..NetConfig::default()
+    }
+}
+
+/// Largest f with n > 3f.
+fn sweep_f(n: usize) -> usize {
+    (n - 1) / 3
+}
+
+fn sweep_wts(n: usize) -> Metrics {
+    let config = SystemConfig::new(n, sweep_f(n));
+    let mut b = TcpRuntimeBuilder::new(sweep_cfg(n));
+    for i in 0..n {
+        b = b.add(Box::new(WtsProcess::<u64>::new(i, config, 100 + i as u64)));
+    }
+    let mut rt = b.build().expect("bind localhost");
+    assert!(rt.run_transport(BUDGET).quiescent, "wts/{n} must quiesce");
+    for i in 0..n {
+        rt.with_process(i, &mut |p| {
+            let w = p.as_any().downcast_ref::<WtsProcess<u64>>().unwrap();
+            assert!(w.decision.is_some(), "wts/{n}: node {i} did not decide");
+        });
+    }
+    rt.metrics_snapshot()
+}
+
+fn sweep_sbs(n: usize) -> Metrics {
+    let config = SystemConfig::new(n, sweep_f(n));
+    let mut b = TcpRuntimeBuilder::new(sweep_cfg(n));
+    for i in 0..n {
+        b = b.add(Box::new(SbsProcess::<u64>::new(i, config, 100 + i as u64)));
+    }
+    let mut rt = b.build().expect("bind localhost");
+    assert!(rt.run_transport(BUDGET).quiescent, "sbs/{n} must quiesce");
+    for i in 0..n {
+        rt.with_process(i, &mut |p| {
+            let s = p.as_any().downcast_ref::<SbsProcess<u64>>().unwrap();
+            assert!(s.decision.is_some(), "sbs/{n}: node {i} did not decide");
+        });
+    }
+    rt.metrics_snapshot()
+}
+
+/// One round of inputs, two drain rounds — the streaming shape the
+/// conformance suite uses, scaled by n.
+fn sweep_schedule(i: usize) -> BTreeMap<u64, Vec<u64>> {
+    let mut schedule = BTreeMap::new();
+    schedule.insert(0, vec![100 + i as u64]);
+    schedule
+}
+
+fn sweep_gwts(n: usize) -> Metrics {
+    let config = SystemConfig::new(n, sweep_f(n));
+    let mut b = TcpRuntimeBuilder::new(sweep_cfg(n));
+    for i in 0..n {
+        b = b.add(Box::new(GwtsProcess::<u64>::new(
+            i,
+            config,
+            sweep_schedule(i),
+            3,
+        )));
+    }
+    let mut rt = b.build().expect("bind localhost");
+    assert!(rt.run_transport(BUDGET).quiescent, "gwts/{n} must quiesce");
+    for i in 0..n {
+        rt.with_process(i, &mut |p| {
+            let g = p.as_any().downcast_ref::<GwtsProcess<u64>>().unwrap();
+            assert!(
+                !g.decisions.is_empty(),
+                "gwts/{n}: node {i} never decided a round"
+            );
+        });
+    }
+    rt.metrics_snapshot()
+}
+
+fn sweep_gsbs(n: usize) -> Metrics {
+    let config = SystemConfig::new(n, sweep_f(n));
+    let mut b = TcpRuntimeBuilder::new(sweep_cfg(n));
+    for i in 0..n {
+        b = b.add(Box::new(GsbsProcess::<u64>::new(
+            i,
+            config,
+            sweep_schedule(i),
+            3,
+        )));
+    }
+    let mut rt = b.build().expect("bind localhost");
+    assert!(rt.run_transport(BUDGET).quiescent, "gsbs/{n} must quiesce");
+    for i in 0..n {
+        rt.with_process(i, &mut |p| {
+            let g = p.as_any().downcast_ref::<GsbsProcess<u64>>().unwrap();
+            assert!(
+                !g.decisions.is_empty(),
+                "gsbs/{n}: node {i} never decided a round"
+            );
+        });
+    }
+    rt.metrics_snapshot()
 }
 
 criterion_group!(net, bench_net);

@@ -23,7 +23,9 @@
 
 use bgla_core::wts::WtsProcess;
 use bgla_core::SystemConfig;
-use bgla_net::{FaultConfig, FaultPlan, LinkConfig, NetConfig, NodeSpec, SharedCounters, TcpNode};
+use bgla_net::{
+    FaultConfig, FaultPlan, LinkConfig, NetConfig, NodeSpec, PollerPool, SharedCounters, TcpNode,
+};
 use std::collections::BTreeSet;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
@@ -243,7 +245,8 @@ fn child(dir: &Path, me: usize, faulty: bool) {
         peers,
     };
     let shared = Arc::new(SharedCounters::default());
-    let mut node = TcpNode::spawn(spec, cfg, shared.clone()).expect("spawn node threads");
+    let pool = PollerPool::new(cfg.resolved_poller_threads());
+    let mut node = TcpNode::spawn(spec, cfg, shared.clone(), &pool).expect("spawn node threads");
     shared.go.store(true, Ordering::SeqCst);
 
     // Poll for the local decision, then publish it.
@@ -278,6 +281,7 @@ fn child(dir: &Path, me: usize, faulty: bool) {
     std::thread::sleep(Duration::from_millis(200));
     shared.stop.store(true, Ordering::SeqCst);
     node.join();
+    pool.shutdown();
 }
 
 /// Writes `name` atomically (tmp + rename) so readers never observe a

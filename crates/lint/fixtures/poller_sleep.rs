@@ -1,0 +1,31 @@
+//! Known-bad fixture for `poller-nonblocking`: a poller-path file
+//! that blocks its shard two ways — a sleep inside a service step and
+//! a socket flipped back to blocking mode. The `(true)` setup call and
+//! the test-module sleep must NOT be flagged.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+pub fn service_connection(stream: &mut TcpStream) {
+    stream.set_nonblocking(true).unwrap();
+    // BAD: a sleeping poller thread freezes every connection on its
+    // shard.
+    std::thread::sleep(Duration::from_millis(2));
+    let mut buf = [0u8; 1024];
+    let _ = std::io::Read::read(stream, &mut buf);
+}
+
+pub fn hand_off_for_blocking_read(stream: &mut TcpStream) {
+    // BAD: the next read on this socket parks a pool thread for as
+    // long as the peer stays quiet.
+    stream.set_nonblocking(false).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_may_sleep() {
+        // Fine: test code owns its thread.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

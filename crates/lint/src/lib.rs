@@ -18,6 +18,7 @@
 //! | `byzantine-panic` | a panic reachable from `decode`/`from_snapshot`/`on_message`/`demux_frame` lets hostile bytes crash an honest process |
 //! | `frame-demux-coverage` | a `FK_*` frame kind without a `demux_frame` arm makes healthy peers look corrupt |
 //! | `metrics-merge-coverage` | a `Metrics` field skipped by `merge` silently vanishes from sharded aggregation |
+//! | `poller-nonblocking` | a blocking call (`sleep`, `set_nonblocking(false)`) in poller code freezes every connection on that shard |
 //!
 //! Findings print rustc-style (`file:line: pass: message`), `--json`
 //! emits a machine-readable array, and any *unsuppressed* finding makes

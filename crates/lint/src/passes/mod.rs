@@ -12,6 +12,7 @@ mod byzantine_panic;
 mod determinism;
 mod frame_demux;
 mod merge_coverage;
+mod poller_nonblocking;
 mod sig_coverage;
 mod wire_coverage;
 
@@ -61,6 +62,11 @@ pub const REGISTRY: &[Pass] = &[
         name: merge_coverage::NAME,
         description: "every field of a struct with an inherent merge() must be folded by it (metrics aggregation)",
         run: merge_coverage::run,
+    },
+    Pass {
+        name: poller_nonblocking::NAME,
+        description: "no sleep or set_nonblocking(false) in poller code (one blocking call freezes a whole shard)",
+        run: poller_nonblocking::run,
     },
 ];
 

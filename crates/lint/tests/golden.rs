@@ -94,6 +94,18 @@ fn missing_demux_arm_is_flagged() {
 }
 
 #[test]
+fn poller_blocking_calls_are_flagged() {
+    let expected = include_str!("../fixtures/expected/poller_sleep.txt");
+    assert!(expected.contains("`sleep` in poller code"));
+    assert!(expected.contains("`set_nonblocking(false)` in poller code"));
+    assert_golden("poller_sleep", expected);
+    // The `(true)` setup call and the test-module sleep are exempt:
+    // exactly two findings, both in non-test code.
+    let result = lint_fixture("poller_sleep");
+    assert_eq!(result.diagnostics.len(), 2);
+}
+
+#[test]
 fn clean_fixture_passes_every_pass() {
     let result = lint_fixture("clean");
     assert!(

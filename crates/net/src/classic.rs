@@ -1,0 +1,964 @@
+//! The PR-8 **thread-per-link** TCP runtime, preserved for
+//! differential testing against the event-driven poller runtime
+//! (mirroring the `bgla_bench::classic` pattern: the superseded
+//! implementation stays compiled and pinned, so every behavioral
+//! claim about its replacement is checkable, not archaeological).
+//!
+//! Thread anatomy per node: one event thread, one listener thread, a
+//! writer + ack-reader thread per peer, and a detached reader thread
+//! per accepted connection — ~3·n·(n−1) threads for an n-node system,
+//! which is exactly the scaling wall the poller runtime removes. The
+//! wire protocol (HELLO/DATA/ACK frames, cumulative acks, resync on
+//! reconnect) and the fault injector are identical to the poller
+//! runtime's, which is what makes the differential test meaningful.
+//!
+//! Shared pieces ([`NetConfig`], [`SharedCounters`], [`NodeSpec`], the
+//! link state machines, frames, fault plans, trace merging) live in
+//! their own modules; this module is only the blocking thread
+//! orchestration. Quiescence detection uses the generation-stamped
+//! counter protocol from [`crate::counters`] — the 2 ms
+//! sleep-and-recheck beat this runtime shipped with was a latent race
+//! and is fixed here too.
+
+use crate::config::NetConfig;
+use crate::counters::SharedCounters;
+use crate::fault::{FaultAction, FaultPlan};
+use crate::frame::{drain_frames, Ack, Data, Hello, NetFrame, FK_ACK, FK_DATA, FK_HELLO};
+use crate::link::{ReceiverLink, SenderLink};
+use crate::node::NodeSpec;
+use crate::trace_merge::{merge_traces, LocalDelivery, LocalOp, NodeLog};
+use bgla_codec::{decode_payload, encode_frame, encode_payload, Wire};
+use bgla_simnet::{
+    Context, Metrics, NodeObserver, Process, ProcessId, RunOutcome, Trace, Transport, WireMessage,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, riding through poisoning: a panicked peer thread
+/// must not cascade into every other thread of the runtime.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn now_ms(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+fn is_read_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Node-wide measured wire accounting (every byte actually written to
+/// a socket, framing included).
+#[derive(Debug, Default)]
+struct NodeStats {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+fn write_counted(stream: &mut TcpStream, bytes: &[u8], stats: &NodeStats) -> std::io::Result<()> {
+    stream.write_all(bytes)?;
+    stats.frames.fetch_add(1, Ordering::Relaxed);
+    stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Sending side of one directed link, shared between the event thread
+/// (enqueue), the writer thread (retransmit, resync), and the
+/// ack-reader thread (acks).
+#[derive(Debug)]
+struct OutLink {
+    sender: Mutex<SenderLink>,
+    reconnects: AtomicU64,
+}
+
+/// State guarded by the node lock: the process plus everything the
+/// event thread updates per delivery.
+struct NodeCore<M> {
+    proc: Box<dyn Process<M>>,
+    observer: Option<NodeObserver<M>>,
+    depth: u64,
+    local_events: u64,
+    log: NodeLog,
+    metrics: Metrics,
+}
+
+fn observe<M>(core: &mut NodeCore<M>, after: Option<usize>) {
+    let NodeCore {
+        proc,
+        observer,
+        log,
+        ..
+    } = core;
+    if let Some(obs) = observer {
+        let mut evs = Vec::new();
+        obs(proc.as_ref(), &mut evs);
+        for ev in evs {
+            log.ops.push(LocalOp {
+                after_delivery: after,
+                ev,
+            });
+        }
+    }
+}
+
+type Inbox<M> = mpsc::Receiver<(ProcessId, u64, M)>;
+type InboxTx<M> = mpsc::Sender<(ProcessId, u64, M)>;
+type PeerLinks = Vec<Option<(Arc<OutLink>, mpsc::Sender<Data>)>>;
+
+/// Outbound fan-out state owned by the event thread.
+struct Dispatcher<M> {
+    me: ProcessId,
+    links: PeerLinks,
+    self_tx: InboxTx<M>,
+    shared: Arc<SharedCounters>,
+    epoch: Instant,
+}
+
+impl<M: WireMessage + Wire> Dispatcher<M> {
+    /// Meters, encodes, and routes one event's outbound messages.
+    /// Counts each copy into `pending` before returning (the caller
+    /// retires the incoming message afterwards — that order is the
+    /// quiescence soundness argument).
+    fn send_all(&self, core: &mut NodeCore<M>, msgs: Vec<(ProcessId, M)>, out_depth: u64) {
+        let now = now_ms(self.epoch);
+        for (to, msg) in msgs {
+            let (bytes, proofs) = msg.metered();
+            core.metrics.record_send(self.me, msg.kind(), bytes, proofs);
+            self.shared.note_enqueue();
+            if to == self.me {
+                // No socket for self-delivery, but the same codec
+                // round-trip as any other copy.
+                let payload = encode_payload(&msg);
+                match decode_payload::<M>(&payload) {
+                    Ok(m) => {
+                        let _ = self.self_tx.send((self.me, out_depth, m));
+                    }
+                    Err(_) => {
+                        // Round-tripping our own encoding cannot fail;
+                        // drop defensively rather than poison the run.
+                        self.shared.note_retired();
+                    }
+                }
+            } else if let Some((link, tx)) = self.links.get(to).and_then(|l| l.as_ref()) {
+                let payload = encode_payload(&msg);
+                let queued = lock(&link.sender).enqueue(out_depth, payload, now);
+                match queued {
+                    Some(frame) => {
+                        let _ = tx.send(frame);
+                    }
+                    None => {
+                        // Bounded outbox overflow: surfaced, not masked.
+                        self.shared.note_retired();
+                    }
+                }
+            } else {
+                // No link to this peer (absent in the address map).
+                self.shared.note_retired();
+            }
+        }
+    }
+}
+
+/// A running thread-per-link TCP node. Dropping it does *not* stop its
+/// threads — set the shared `stop` latch and call
+/// [`ClassicTcpNode::join`] (the runtime does both in its `shutdown`).
+pub struct ClassicTcpNode<M> {
+    me: ProcessId,
+    core: Arc<Mutex<NodeCore<M>>>,
+    out: Vec<Option<Arc<OutLink>>>,
+    rx_links: Arc<Vec<Mutex<ReceiverLink>>>,
+    stats: Arc<NodeStats>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<M: WireMessage + Wire + 'static> ClassicTcpNode<M> {
+    /// Spawns the node's threads. Protocol execution (`on_start`) is
+    /// held until the shared `go` latch is set, so a whole system can
+    /// be wired up before any message flows.
+    pub fn spawn(
+        spec: NodeSpec<M>,
+        cfg: NetConfig,
+        shared: Arc<SharedCounters>,
+    ) -> std::io::Result<ClassicTcpNode<M>> {
+        let NodeSpec {
+            me,
+            n,
+            proc,
+            observer,
+            listener,
+            peers,
+        } = spec;
+        listener.set_nonblocking(true)?;
+        let epoch = Instant::now();
+        let core = Arc::new(Mutex::new(NodeCore {
+            proc,
+            observer,
+            depth: 0,
+            local_events: 0,
+            log: NodeLog::default(),
+            metrics: Metrics::new(n),
+        }));
+        let stats = Arc::new(NodeStats::default());
+        let rx_links: Arc<Vec<Mutex<ReceiverLink>>> =
+            Arc::new((0..n).map(|_| Mutex::new(ReceiverLink::new())).collect());
+        let (inbox_tx, inbox_rx) = mpsc::channel::<(ProcessId, u64, M)>();
+        let mut threads = Vec::new();
+
+        // Per-peer writer threads.
+        let mut out: Vec<Option<Arc<OutLink>>> = vec![None; n];
+        let mut links: PeerLinks = Vec::with_capacity(n);
+        for (to, addr) in peers.iter().enumerate() {
+            let Some(addr) = *addr else {
+                links.push(None);
+                continue;
+            };
+            if to == me {
+                links.push(None);
+                continue;
+            }
+            // Distinct deterministic stream per directed link.
+            let link_seed = cfg
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(((me as u64) << 32) | to as u64);
+            let link = Arc::new(OutLink {
+                sender: Mutex::new(SenderLink::new(cfg.link, link_seed)),
+                reconnects: AtomicU64::new(0),
+            });
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Data>();
+            out[to] = Some(link.clone());
+            links.push(Some((link.clone(), cmd_tx)));
+            let w = WriterArgs {
+                me,
+                to,
+                addr,
+                link,
+                plan: cfg.faults,
+                seed: link_seed,
+                dial_backoff_ms: cfg.dial_backoff_ms,
+                dial_backoff_max_ms: cfg.dial_backoff_max_ms,
+                stats: stats.clone(),
+                shared: shared.clone(),
+                epoch,
+            };
+            threads.push(std::thread::spawn(move || writer_loop(w, cmd_rx)));
+        }
+
+        // Listener thread: accepts connections, one reader thread each.
+        {
+            let rx_links = rx_links.clone();
+            let inbox_tx = inbox_tx.clone();
+            let stats = stats.clone();
+            let shared = shared.clone();
+            threads.push(std::thread::spawn(move || {
+                listen_loop::<M>(listener, me, rx_links, inbox_tx, stats, shared, epoch)
+            }));
+        }
+
+        // Event thread.
+        {
+            let core = core.clone();
+            let shared2 = shared.clone();
+            let disp = Dispatcher {
+                me,
+                links,
+                self_tx: inbox_tx,
+                shared: shared.clone(),
+                epoch,
+            };
+            threads.push(std::thread::spawn(move || {
+                event_loop(me, n, core, inbox_rx, disp, shared2)
+            }));
+        }
+
+        Ok(ClassicTcpNode {
+            me,
+            core,
+            out,
+            rx_links,
+            stats,
+            threads,
+        })
+    }
+}
+
+impl<M> ClassicTcpNode<M> {
+    /// This node's process id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Visits the process state at an event boundary (holds the node
+    /// lock, so the event thread is between deliveries).
+    pub fn with_process(&self, f: &mut dyn FnMut(&dyn Process<M>)) {
+        let core = lock(&self.core);
+        f(core.proc.as_ref());
+    }
+
+    /// Snapshot of this node's accounting: modeled protocol metering
+    /// from the event thread, plus the measured frame/byte counters
+    /// and the reliability counters summed over its links.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = lock(&self.core).metrics.clone();
+        m.net_frames = self.stats.frames.load(Ordering::Relaxed);
+        m.net_frame_bytes = self.stats.bytes.load(Ordering::Relaxed);
+        for link in self.out.iter().flatten() {
+            let s = lock(&link.sender);
+            m.net_retransmits += s.retransmits;
+            m.net_outbox_dropped += s.overflow_dropped;
+            m.net_reconnects += link.reconnects.load(Ordering::Relaxed);
+        }
+        for rx in self.rx_links.iter() {
+            m.net_dup_frames += lock(rx).dups;
+        }
+        m
+    }
+
+    /// Takes the node's delivery/op log (for trace merging). Call
+    /// after the threads have stopped for a complete history.
+    pub fn take_log(&self) -> NodeLog {
+        std::mem::take(&mut lock(&self.core).log)
+    }
+
+    /// Joins this node's owned threads. The shared `stop` latch must
+    /// already be set or this blocks until it is.
+    pub fn join(&mut self) {
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn event_loop<M: WireMessage + Wire + 'static>(
+    me: ProcessId,
+    n: usize,
+    core: Arc<Mutex<NodeCore<M>>>,
+    inbox: Inbox<M>,
+    disp: Dispatcher<M>,
+    shared: Arc<SharedCounters>,
+) {
+    while !shared.go.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if shared.stop.load(Ordering::SeqCst) {
+        return;
+    }
+    {
+        let mut core = lock(&core);
+        let mut ctx = Context::for_embedding(me, n, 0, 0);
+        core.proc.on_start(&mut ctx);
+        observe(&mut core, None);
+        let msgs = ctx.take_outbox();
+        // Start-up sends begin causal chains: depth 1 (simulator rule).
+        disp.send_all(&mut core, msgs, 1);
+    }
+    // Start barrier: only once every node's initial sends are counted
+    // may anyone trust a zero `pending` read.
+    shared.started.fetch_add(1, Ordering::SeqCst);
+    loop {
+        match inbox.recv_timeout(Duration::from_millis(2)) {
+            Ok((from, depth, msg)) => {
+                let mut core = lock(&core);
+                core.depth = core.depth.max(depth);
+                core.local_events += 1;
+                let abs_depth = core.depth;
+                core.log.deliveries.push(LocalDelivery {
+                    from,
+                    kind: msg.kind(),
+                    depth: abs_depth,
+                    bytes: msg.wire_size(),
+                });
+                let after = core.log.deliveries.len() - 1;
+                let mut ctx = Context::for_embedding(me, n, core.depth, core.local_events);
+                core.proc.on_message(from, msg, &mut ctx);
+                observe(&mut core, Some(after));
+                core.metrics.delivered += 1;
+                let out_depth = core.depth + 1;
+                let msgs = ctx.take_outbox();
+                // Outgoing counted before the incoming is retired.
+                disp.send_all(&mut core, msgs, out_depth);
+                drop(core);
+                shared.delivered.fetch_add(1, Ordering::SeqCst);
+                shared.note_retired();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn listen_loop<M: WireMessage + Wire + 'static>(
+    listener: TcpListener,
+    me: ProcessId,
+    rx_links: Arc<Vec<Mutex<ReceiverLink>>>,
+    inbox_tx: InboxTx<M>,
+    stats: Arc<NodeStats>,
+    shared: Arc<SharedCounters>,
+    epoch: Instant,
+) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let rx_links = rx_links.clone();
+                let inbox_tx = inbox_tx.clone();
+                let stats = stats.clone();
+                let shared = shared.clone();
+                // Readers are detached: they exit on the stop latch
+                // (bounded by their read timeout) or connection death.
+                // This is the reader-thread leak the poller runtime
+                // fixes: a reconnect storm grows these without bound.
+                std::thread::spawn(move || {
+                    read_conn::<M>(stream, me, rx_links, inbox_tx, stats, shared, epoch)
+                });
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Handles one accepted connection: HELLO identification + resync
+/// reply, then DATA → dedup/reorder → decode → inbox, acking every
+/// DATA frame. Exits on stop, EOF, I/O error, or a corrupt frame.
+fn read_conn<M: WireMessage + Wire + 'static>(
+    mut stream: TcpStream,
+    me: ProcessId,
+    rx_links: Arc<Vec<Mutex<ReceiverLink>>>,
+    inbox_tx: InboxTx<M>,
+    stats: Arc<NodeStats>,
+    shared: Arc<SharedCounters>,
+    epoch: Instant,
+) {
+    let _ = epoch; // reserved for future receive-side timing
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut peer: Option<ProcessId> = None;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let k = match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(k) => k,
+            Err(e) if is_read_timeout(&e) => continue,
+            Err(_) => return,
+        };
+        buf.extend_from_slice(&tmp[..k]);
+        let frames = match drain_frames(&mut buf) {
+            Ok(f) => f,
+            // Torn or corrupt bytes (mid-frame reset): drop the
+            // connection; the dialer reconnects and resyncs.
+            Err(_) => return,
+        };
+        for frame in frames {
+            match frame {
+                NetFrame::Hello(h) => {
+                    let p = h.from as usize;
+                    if p >= rx_links.len() {
+                        return;
+                    }
+                    peer = Some(p);
+                    let expected = lock(&rx_links[p]).expected();
+                    let reply = encode_frame(
+                        FK_HELLO,
+                        &Hello {
+                            from: me as u64,
+                            expected,
+                        },
+                    );
+                    if write_counted(&mut stream, &reply, &stats).is_err() {
+                        return;
+                    }
+                }
+                NetFrame::Data(d) => {
+                    // DATA before HELLO is a protocol violation.
+                    let Some(p) = peer else { return };
+                    let deliverable = lock(&rx_links[p]).on_data(d);
+                    for (depth, payload) in deliverable {
+                        match decode_payload::<M>(&payload) {
+                            Ok(m) => {
+                                let _ = inbox_tx.send((p, depth, m));
+                            }
+                            Err(_) => {
+                                // Undecodable payload from an
+                                // identified peer: this copy will never
+                                // be processed; retire its pending
+                                // slot so the system can still quiesce.
+                                shared.note_retired();
+                            }
+                        }
+                    }
+                    let cum = lock(&rx_links[p]).expected();
+                    let ack = encode_frame(FK_ACK, &Ack { cum });
+                    if write_counted(&mut stream, &ack, &stats).is_err() {
+                        return;
+                    }
+                }
+                // ACKs flow accepter → dialer; one arriving here is
+                // harmless noise.
+                NetFrame::Ack(_) => {}
+            }
+        }
+    }
+}
+
+struct WriterArgs {
+    me: ProcessId,
+    to: ProcessId,
+    addr: SocketAddr,
+    link: Arc<OutLink>,
+    plan: FaultPlan,
+    seed: u64,
+    dial_backoff_ms: u64,
+    dial_backoff_max_ms: u64,
+    stats: Arc<NodeStats>,
+    shared: Arc<SharedCounters>,
+    epoch: Instant,
+}
+
+/// Owns the directed connection `me → to` for the node's lifetime:
+/// dial + handshake + resync, fault-injected DATA writes, retransmit
+/// timer, reconnect with exponential backoff + seeded jitter.
+fn writer_loop(w: WriterArgs, cmd_rx: mpsc::Receiver<Data>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x5742); // "WB": writer backoff stream
+    let mut conn: Option<TcpStream> = None;
+    let mut delayed: Option<Vec<u8>> = None;
+    let mut frame_idx: u64 = 0;
+    let mut backoff = w.dial_backoff_ms;
+    let mut ever_connected = false;
+    let mut cmds_closed = false;
+    loop {
+        if w.shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if conn.is_none() {
+            match dial(&w, ever_connected) {
+                Some((stream, tail)) => {
+                    if ever_connected {
+                        w.link.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ever_connected = true;
+                    backoff = w.dial_backoff_ms;
+                    delayed = None;
+                    conn = Some(stream);
+                    for d in tail {
+                        if !write_data(&w, &mut conn, &mut delayed, &mut frame_idx, &d) {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                None => {
+                    let jitter = rng.gen_range(0..backoff / 2 + 1);
+                    std::thread::sleep(Duration::from_millis(backoff + jitter));
+                    backoff = (backoff * 2).min(w.dial_backoff_max_ms);
+                    continue;
+                }
+            }
+        }
+        if cmds_closed {
+            std::thread::sleep(Duration::from_millis(3));
+        } else {
+            match cmd_rx.recv_timeout(Duration::from_millis(3)) {
+                Ok(d) => {
+                    write_data(&w, &mut conn, &mut delayed, &mut frame_idx, &d);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => cmds_closed = true,
+            }
+        }
+        if conn.is_some() {
+            let due = lock(&w.link.sender).retransmit_due(now_ms(w.epoch));
+            for d in due {
+                if !write_data(&w, &mut conn, &mut delayed, &mut frame_idx, &d) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Dials the peer and completes the HELLO handshake: returns the
+/// connected stream (write half; the read half is handed to a spawned
+/// ack-reader) and the resync tail to retransmit immediately.
+///
+/// On the *first* connection there is nothing to resync: every queued
+/// frame is still waiting in the command channel, unwritten, so the
+/// tail is empty and nothing is counted as a retransmission.
+fn dial(w: &WriterArgs, reconnecting: bool) -> Option<(TcpStream, Vec<Data>)> {
+    let mut stream = TcpStream::connect(w.addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let hello = encode_frame(
+        FK_HELLO,
+        &Hello {
+            from: w.me as u64,
+            expected: 0,
+        },
+    );
+    write_counted(&mut stream, &hello, &w.stats).ok()?;
+    // Await the HELLO reply carrying the peer's next-expected seq.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if w.shared.stop.load(Ordering::SeqCst) || Instant::now() >= deadline {
+            return None;
+        }
+        let k = match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(k) => k,
+            Err(e) if is_read_timeout(&e) => continue,
+            Err(_) => return None,
+        };
+        buf.extend_from_slice(&tmp[..k]);
+        let frames = drain_frames(&mut buf).ok()?;
+        let mut tail = None;
+        for frame in frames {
+            match frame {
+                NetFrame::Hello(h) if tail.is_none() => {
+                    tail = Some(if reconnecting {
+                        lock(&w.link.sender).on_resync(h.expected, now_ms(w.epoch))
+                    } else {
+                        Vec::new()
+                    });
+                }
+                NetFrame::Ack(a) => lock(&w.link.sender).on_ack(a.cum, now_ms(w.epoch)),
+                _ => {}
+            }
+        }
+        if let Some(tail) = tail {
+            // Hand the read half (plus any leftover bytes) to the
+            // ack-reader; this thread keeps the write half.
+            let read_half = stream.try_clone().ok()?;
+            let link = w.link.clone();
+            let shared = w.shared.clone();
+            let epoch = w.epoch;
+            std::thread::spawn(move || ack_reader(read_half, buf, link, shared, epoch));
+            return Some((stream, tail));
+        }
+    }
+}
+
+/// Consumes cumulative ACKs off the read half of a dialed connection.
+fn ack_reader(
+    mut stream: TcpStream,
+    mut buf: Vec<u8>,
+    link: Arc<OutLink>,
+    shared: Arc<SharedCounters>,
+    epoch: Instant,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut tmp = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let k = match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(k) => k,
+            Err(e) if is_read_timeout(&e) => continue,
+            Err(_) => return,
+        };
+        buf.extend_from_slice(&tmp[..k]);
+        let frames = match drain_frames(&mut buf) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        for frame in frames {
+            if let NetFrame::Ack(a) = frame {
+                lock(&link.sender).on_ack(a.cum, now_ms(epoch));
+            }
+        }
+    }
+}
+
+/// Writes one DATA frame through the fault injector. Returns `false`
+/// when the connection died (organically or by injected reset); the
+/// frame stays in the unacked window and the resync after reconnect
+/// recovers it.
+fn write_data(
+    w: &WriterArgs,
+    conn: &mut Option<TcpStream>,
+    delayed: &mut Option<Vec<u8>>,
+    frame_idx: &mut u64,
+    d: &Data,
+) -> bool {
+    let Some(mut stream) = conn.take() else {
+        return false;
+    };
+    let bytes = encode_frame(FK_DATA, d);
+    let idx = *frame_idx;
+    *frame_idx += 1;
+    let mut write_now: Vec<Vec<u8>> = Vec::new();
+    match w.plan.action(w.me, w.to, idx) {
+        FaultAction::Deliver => write_now.push(bytes),
+        FaultAction::Drop => {}
+        FaultAction::Duplicate => {
+            write_now.push(bytes.clone());
+            write_now.push(bytes);
+        }
+        FaultAction::Delay => {
+            // Hold this frame; a previously held one is released first
+            // so at most one frame is ever parked.
+            if let Some(prev) = delayed.take() {
+                write_now.push(prev);
+            }
+            *delayed = Some(bytes);
+        }
+        FaultAction::Reset => {
+            // Mid-frame reset: half a frame, then a hard close. The
+            // receiver sees torn bytes and drops the connection too.
+            let half = bytes.len() / 2;
+            let _ = write_counted(&mut stream, &bytes[..half], &w.stats);
+            let _ = stream.shutdown(Shutdown::Both);
+            *delayed = None;
+            return false;
+        }
+    }
+    if !write_now.is_empty() {
+        // Any held frame goes out *after* the current one: reorder.
+        if let Some(prev) = delayed.take() {
+            write_now.push(prev);
+        }
+    }
+    for b in write_now {
+        if write_counted(&mut stream, &b, &w.stats).is_err() {
+            return false;
+        }
+    }
+    *conn = Some(stream);
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: n classic nodes behind the Transport trait
+// ---------------------------------------------------------------------------
+
+/// A process plus its optional per-node op observer, as collected by
+/// the builder.
+type ObservedProcess<M> = (Box<dyn Process<M>>, Option<NodeObserver<M>>);
+
+/// A per-node predicate for [`Transport::run_until_all`]-style waits.
+type NodePred<'a, M> = &'a mut dyn FnMut(ProcessId, &dyn Process<M>) -> bool;
+
+/// Builder for the preserved thread-per-link runtime. Same surface as
+/// [`crate::TcpRuntimeBuilder`], so harnesses can be pointed at either
+/// for differential runs.
+pub struct ClassicRuntimeBuilder<M> {
+    cfg: NetConfig,
+    procs: Vec<ObservedProcess<M>>,
+}
+
+impl<M: WireMessage + Wire + 'static> ClassicRuntimeBuilder<M> {
+    /// A builder with the given transport configuration.
+    pub fn new(cfg: NetConfig) -> ClassicRuntimeBuilder<M> {
+        ClassicRuntimeBuilder {
+            cfg,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Adds a process (its id is its insertion order).
+    #[allow(clippy::should_implement_trait)] // appends a process, not arithmetic
+    pub fn add(mut self, proc: Box<dyn Process<M>>) -> Self {
+        self.procs.push((proc, None));
+        self
+    }
+
+    /// Adds a process with a per-node op observer.
+    pub fn add_observed(mut self, proc: Box<dyn Process<M>>, obs: NodeObserver<M>) -> Self {
+        self.procs.push((proc, Some(obs)));
+        self
+    }
+
+    /// Binds one localhost listener per node, distributes the address
+    /// map, and spawns every node (latched — nothing executes yet).
+    pub fn build(self) -> std::io::Result<ClassicRuntime<M>> {
+        let n = self.procs.len();
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let shared = Arc::new(SharedCounters::default());
+        let mut nodes = Vec::with_capacity(n);
+        for (me, ((proc, observer), listener)) in self.procs.into_iter().zip(listeners).enumerate()
+        {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .map(|(j, a)| if j == me { None } else { Some(*a) })
+                .collect();
+            nodes.push(ClassicTcpNode::spawn(
+                NodeSpec {
+                    me,
+                    n,
+                    proc,
+                    observer,
+                    listener,
+                    peers,
+                },
+                self.cfg,
+                shared.clone(),
+            )?);
+        }
+        Ok(ClassicRuntime {
+            nodes,
+            shared,
+            cfg: self.cfg,
+            stopped: false,
+        })
+    }
+}
+
+/// A running (or latched) thread-per-link multi-node TCP system.
+pub struct ClassicRuntime<M> {
+    nodes: Vec<ClassicTcpNode<M>>,
+    shared: Arc<SharedCounters>,
+    cfg: NetConfig,
+    stopped: bool,
+}
+
+impl<M: WireMessage + Wire + 'static> ClassicRuntime<M> {
+    fn all_satisfy(&self, pred: &mut dyn FnMut(ProcessId, &dyn Process<M>) -> bool) -> bool {
+        let mut all = true;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut ok = false;
+            node.with_process(&mut |p| ok = pred(i, p));
+            if !ok {
+                all = false;
+                break;
+            }
+        }
+        all
+    }
+
+    fn wait(&mut self, budget: u64, mut pred: Option<NodePred<'_, M>>) -> (RunOutcome, bool) {
+        self.shared.go.store(true, Ordering::SeqCst);
+        let n = self.nodes.len();
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.deadline_ms);
+        loop {
+            std::thread::sleep(Duration::from_millis(3));
+            let delivered = self.shared.delivered.load(Ordering::SeqCst);
+            if let Some(p) = pred.as_mut() {
+                if self.all_satisfy(p) {
+                    return (
+                        RunOutcome {
+                            delivered,
+                            quiescent: self.shared.confirm_quiescent(n),
+                        },
+                        true,
+                    );
+                }
+            }
+            if self.shared.confirm_quiescent(n) {
+                let delivered = self.shared.delivered.load(Ordering::SeqCst);
+                let sat = pred.as_mut().map(|p| self.all_satisfy(p)).unwrap_or(true);
+                return (
+                    RunOutcome {
+                        delivered,
+                        quiescent: true,
+                    },
+                    sat,
+                );
+            }
+            if delivered >= budget || Instant::now() >= deadline {
+                return (
+                    RunOutcome {
+                        delivered,
+                        quiescent: false,
+                    },
+                    false,
+                );
+            }
+        }
+    }
+
+    /// Stops every thread (idempotent) and waits for the nodes' owned
+    /// threads to exit.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Release event threads still latched on `go`.
+        self.shared.go.store(true, Ordering::SeqCst);
+        for node in &mut self.nodes {
+            node.join();
+        }
+    }
+
+    /// Stops the runtime and merges every node's local log into a
+    /// simulator-format [`Trace`].
+    pub fn take_trace(&mut self, op_priority: fn(&str) -> u8) -> Trace {
+        self.shutdown();
+        let logs = self.nodes.iter().map(|nd| nd.take_log()).collect();
+        merge_traces(logs, op_priority)
+    }
+}
+
+impl<M> Drop for ClassicRuntime<M> {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.stopped = true;
+            self.shared.stop.store(true, Ordering::SeqCst);
+            self.shared.go.store(true, Ordering::SeqCst);
+            for node in &mut self.nodes {
+                node.join();
+            }
+        }
+    }
+}
+
+impl<M: WireMessage + Wire + 'static> Transport<M> for ClassicRuntime<M> {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn with_process(&self, p: ProcessId, f: &mut dyn FnMut(&dyn Process<M>)) {
+        self.nodes[p].with_process(f);
+    }
+
+    fn metrics_snapshot(&self) -> Metrics {
+        let mut m = Metrics::new(self.nodes.len());
+        for node in &self.nodes {
+            m.merge(&node.metrics());
+        }
+        m
+    }
+
+    fn run_transport(&mut self, budget: u64) -> RunOutcome {
+        self.wait(budget, None).0
+    }
+
+    fn run_until_all(
+        &mut self,
+        budget: u64,
+        pred: &mut dyn FnMut(ProcessId, &dyn Process<M>) -> bool,
+    ) -> (RunOutcome, bool) {
+        self.wait(budget, Some(pred))
+    }
+}

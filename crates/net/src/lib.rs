@@ -11,6 +11,40 @@
 //! *modeled* byte counts into *measured* bytes
 //! ([`bgla_simnet::Metrics::net_frame_bytes`]).
 //!
+//! # Architecture: event-driven, fixed thread budget
+//!
+//! The runtime is event-driven. A [`poller::PollerPool`] of
+//! `min(4, cores)` threads (override:
+//! [`config::NetConfig::poller_threads`]) owns **every socket** of a
+//! runtime — listeners, inbound connections, outbound links — and
+//! drives the per-link state machines as poll-driven steps over
+//! nonblocking sockets, using an in-repo `poll(2)`-style readiness
+//! sweep (no `epoll` binding: the workspace denies `unsafe`). Each
+//! node contributes exactly one **event thread**, the only thread that
+//! touches its protocol state.
+//!
+//! **Thread budget for an n-node runtime: pool (≤ 4) + n event
+//! threads**, asserted by `tests/thread_budget.rs` — versus roughly
+//! `3·n·(n−1)` for the thread-per-link design this replaced (kept,
+//! verbatim in behavior, as [`classic`] for differential testing).
+//!
+//! Two scheduling decisions follow from the pooled design:
+//!
+//! * **Ack batching** — the receive side acknowledges once per
+//!   readiness wakeup with the cumulative next-expected sequence,
+//!   covering every DATA frame the wakeup drained, instead of one ACK
+//!   frame per DATA frame. Cumulative acks make the coarser cadence
+//!   free: any ack repairs all predecessors.
+//! * **One timer wheel** — every retransmit and redial timer of the
+//!   runtime lives in a single hashed [`wheel`] (`TimerWheel`),
+//!   expired during pool sweeps, rather than per-link timers checked
+//!   by per-link threads. Backoff + seeded jitter semantics are
+//!   unchanged ([`link::SenderLink`] still owns the arithmetic); the
+//!   wheel only decides *when someone looks*. The armed deadline is
+//!   additionally capped per link-epoch
+//!   ([`link::LinkConfig::rto_epoch_cap_ms`]) so stacked backoff
+//!   cannot stretch a healed link's quiet period into seconds.
+//!
 //! # The reliability contract
 //!
 //! **Masked** (invisible to the protocol, beyond latency):
@@ -19,8 +53,9 @@
 //!   every unacknowledged frame and retransmits on ack timeout, with
 //!   exponential backoff + seeded jitter ([`link::SenderLink`]).
 //! * **Duplication** — injected duplicates and spurious
-//!   retransmissions are discarded by receive-side dedup; every copy
-//!   is acknowledged so lost ACKs self-heal ([`link::ReceiverLink`]).
+//!   retransmissions are discarded by receive-side dedup; every
+//!   DATA-bearing wakeup is acknowledged so lost ACKs self-heal
+//!   ([`link::ReceiverLink`]).
 //! * **Reordering / delay** — out-of-order frames are stashed and
 //!   delivered in sequence (per link; cross-link order is unordered
 //!   exactly as in the asynchronous model).
@@ -47,6 +82,16 @@
 //!   durable-snapshot machinery (PR 7) exists for that and composes at
 //!   the layer above.
 //!
+//! # Quiescence
+//!
+//! "The system is done" is confirmed by a generation-stamped counter
+//! protocol ([`counters::SharedCounters::confirm_quiescent`]): enqueue
+//! *intents* and *retirements* are counted separately, and quiescence
+//! is two balanced reads bracketing an unchanged generation — sound
+//! with no sleep anywhere, unlike the time-beat heuristic the classic
+//! runtime used (a dispatcher slower than the beat could fool it; see
+//! `counters` for the regression test).
+//!
 //! # Determinism
 //!
 //! Real sockets and threads are not deterministic; the *fault
@@ -63,20 +108,30 @@
 //! design. Its decode surfaces (`frame::demux_frame` and the
 //! `Wire::decode` impls) are held to the same hostile-input standard
 //! as the rest of the workspace by the `byzantine-panic` and
-//! `frame-demux-coverage` passes.
+//! `frame-demux-coverage` passes, and the poller module is held to
+//! its nonblocking discipline by the `poller-nonblocking` pass.
 
 #![warn(missing_docs)]
 
+pub mod classic;
+pub mod config;
+pub mod counters;
 pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod node;
+pub mod poller;
 pub mod runtime;
 pub mod trace_merge;
+pub(crate) mod wheel;
 
+pub use classic::{ClassicRuntime, ClassicRuntimeBuilder, ClassicTcpNode};
+pub use config::NetConfig;
+pub use counters::SharedCounters;
 pub use fault::{FaultAction, FaultConfig, FaultPlan};
 pub use frame::{demux_frame, Ack, Data, Hello, NetFrame, FK_ACK, FK_DATA, FK_HELLO};
 pub use link::{LinkConfig, ReceiverLink, SenderLink};
-pub use node::{NetConfig, NodeSpec, SharedCounters, TcpNode};
+pub use node::{NodeSpec, TcpNode};
+pub use poller::PollerPool;
 pub use runtime::{TcpRuntime, TcpRuntimeBuilder};
 pub use trace_merge::{merge_traces, LocalDelivery, LocalOp, NodeLog};

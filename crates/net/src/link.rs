@@ -35,6 +35,14 @@ pub struct LinkConfig {
     pub rto_ms: u64,
     /// Upper bound the exponential backoff saturates at, in ms.
     pub rto_max_ms: u64,
+    /// Cap on the *effective* retransmit deadline within one
+    /// link-epoch (the stretch between reconnect/resync events), in
+    /// ms. The doubling state still climbs toward `rto_max_ms` — see
+    /// [`SenderLink::current_rto`] — but the armed deadline never
+    /// exceeds this, so an overlapping reset window and drop burst
+    /// cannot stack multi-second quiet periods: the link keeps probing
+    /// at the cap until the epoch sees ack progress.
+    pub rto_epoch_cap_ms: u64,
     /// Maximum seeded jitter added to each backed-off timeout, in ms.
     pub jitter_ms: u64,
     /// At most this many frames are retransmitted per timeout firing
@@ -52,6 +60,7 @@ impl Default for LinkConfig {
         LinkConfig {
             rto_ms: 40,
             rto_max_ms: 2_000,
+            rto_epoch_cap_ms: 150,
             jitter_ms: 10,
             retransmit_burst: 32,
             max_unacked: 4_096,
@@ -111,9 +120,23 @@ impl SenderLink {
     }
 
     /// Current backed-off retransmission timeout span in ms (exposed so
-    /// tests can pin backoff growth).
+    /// tests can pin backoff growth). This is the doubling *state*;
+    /// the armed deadline uses [`Self::effective_rto`].
     pub fn current_rto(&self) -> u64 {
         self.cur_rto
+    }
+
+    /// The timeout span actually armed: the backed-off state capped by
+    /// the per-link-epoch ceiling (`rto_epoch_cap_ms`).
+    pub fn effective_rto(&self) -> u64 {
+        self.cur_rto.min(self.cfg.rto_epoch_cap_ms)
+    }
+
+    /// Deadline (caller-clock ms) of the armed retransmit timer, or
+    /// `None` when nothing is outstanding. The poller uses this to arm
+    /// its timer wheel.
+    pub fn rto_deadline(&self) -> Option<u64> {
+        self.rto_at
     }
 
     /// Accepts one protocol message for transmission. Returns the
@@ -134,7 +157,7 @@ impl SenderLink {
         if self.unacked.is_empty() {
             // Window was idle: timer restarts from the base timeout.
             self.cur_rto = self.cfg.rto_ms;
-            self.rto_at = Some(now_ms + self.cur_rto);
+            self.rto_at = Some(now_ms + self.effective_rto());
         }
         self.unacked.push_back(frame.clone());
         Some(frame)
@@ -153,7 +176,7 @@ impl SenderLink {
             self.cur_rto = self.cfg.rto_ms;
         } else if progressed {
             self.cur_rto = self.cfg.rto_ms;
-            self.rto_at = Some(now_ms + self.cur_rto);
+            self.rto_at = Some(now_ms + self.effective_rto());
         }
     }
 
@@ -177,7 +200,7 @@ impl SenderLink {
                 } else {
                     0
                 };
-                self.rto_at = Some(now_ms + self.cur_rto + jitter);
+                self.rto_at = Some(now_ms + self.effective_rto() + jitter);
                 burst
             }
             _ => Vec::new(),
@@ -199,7 +222,7 @@ impl SenderLink {
         if !tail.is_empty() {
             self.retransmits += tail.len() as u64;
             self.cur_rto = self.cfg.rto_ms;
-            self.rto_at = Some(now_ms + self.cur_rto);
+            self.rto_at = Some(now_ms + self.effective_rto());
         }
         tail
     }
@@ -256,7 +279,8 @@ mod tests {
         LinkConfig {
             rto_ms: 40,
             rto_max_ms: 2_000,
-            jitter_ms: 0, // deterministic timers for exact pins
+            rto_epoch_cap_ms: 2_000, // cap out of the way for exact pins
+            jitter_ms: 0,            // deterministic timers for exact pins
             retransmit_burst: 32,
             max_unacked: 4,
         }
@@ -318,6 +342,33 @@ mod tests {
             tx.retransmit_due(now);
         }
         assert_eq!(tx.current_rto(), 2_000);
+    }
+
+    #[test]
+    fn epoch_cap_bounds_the_armed_deadline_while_backoff_still_climbs() {
+        let mut c = cfg();
+        c.rto_epoch_cap_ms = 150;
+        let mut tx = SenderLink::new(c, 9);
+        tx.enqueue(1, payload(0), 0).unwrap();
+        // Fire the timer repeatedly: the doubling state saturates at
+        // the big cap, but the armed deadline never drifts more than
+        // the epoch cap past "now" — the link keeps probing.
+        let mut now = 0;
+        for _ in 0..10 {
+            now = tx.rto_deadline().unwrap();
+            assert!(!tx.retransmit_due(now).is_empty());
+            let armed = tx.rto_deadline().unwrap();
+            assert!(
+                armed - now <= 150,
+                "armed span {} exceeds the epoch cap",
+                armed - now
+            );
+        }
+        assert_eq!(tx.current_rto(), 2_000, "doubling state still climbs");
+        assert_eq!(tx.effective_rto(), 150, "wire deadline stays capped");
+        // Ack progress ends the stall: backoff state resets to base.
+        tx.on_ack(1, now);
+        assert_eq!(tx.current_rto(), 40);
     }
 
     #[test]

@@ -1,153 +1,61 @@
-//! One TCP node: the event thread that owns a [`Process`], plus the
-//! socket machinery (listener, per-peer writer, per-connection reader
-//! threads) that rebuilds reliable links under it.
+//! One TCP node on the event-driven runtime: a single event thread
+//! that owns the [`Process`], with every socket of the node (listener,
+//! inbound connections, outbound links) owned by the shared
+//! [`PollerPool`] instead of dedicated threads.
 //!
 //! # Thread anatomy (per node)
 //!
-//! * **Event thread** — owns the `Box<dyn Process<M>>`. Consumes the
-//!   inbox of decoded `(from, depth, msg)` deliveries, runs
-//!   `on_message`, meters sends, encodes outbound payloads, and hands
-//!   framed [`Data`] to the per-peer writers. The only thread that
-//!   touches protocol state; [`TcpNode::with_process`] visits are
-//!   serialized against it by the node lock.
-//! * **Listener thread** — accepts inbound connections and spawns a
-//!   reader per connection. A reader demuxes frames ([`drain_frames`]),
-//!   runs receive-side dedup/reorder ([`ReceiverLink`]), decodes
-//!   protocol payloads, pushes deliveries into the inbox, and writes
-//!   cumulative ACKs (and the HELLO resync reply) back on the same
-//!   socket. Any torn or corrupt frame kills the connection; recovery
-//!   is the dialer's job.
-//! * **Writer thread per peer** — owns the directed connection
-//!   `me → to`: dials, handshakes (HELLO exchange + resync), writes
-//!   DATA frames through the fault injector, fires the retransmit
-//!   timer, and reconnects with seeded exponential backoff + jitter
-//!   after any connection death. A companion ack-reader thread owns
-//!   the read half and feeds cumulative ACKs back to the
-//!   [`SenderLink`].
+//! * **Event thread** — the only thread this module spawns. Owns the
+//!   `Box<dyn Process<M>>`, consumes the raw inbox of
+//!   `(from, depth, payload)` deliveries pushed by poller threads,
+//!   decodes, runs `on_message`, meters sends, and routes outbound
+//!   copies to the pool's per-link state machines. The only thread
+//!   that touches protocol state; [`TcpNode::with_process`] visits
+//!   are serialized against it by the node lock.
+//! * Everything else — accepting, reading, dedup/reorder, acking,
+//!   dialing, fault injection, retransmission — happens on the pool's
+//!   fixed poller threads ([`crate::poller`]). Total runtime threads
+//!   for an n-node system: pool size + n, versus roughly
+//!   `3·n·(n−1)` for the classic thread-per-link runtime.
 //!
-//! # Quiescence accounting
+//! # Serialization outside the node lock
 //!
-//! A global signed counter tracks *protocol messages* (not frames)
-//! from the moment a copy is enqueued until its delivery has been
-//! fully processed — outgoing copies are counted **before** the
-//! incoming one is marked done, so a zero really means "no protocol
-//! message anywhere" (same argument as the `bgla_simnet::threaded`
-//! runner). Retransmissions and duplicates never touch the counter:
-//! dedup guarantees exactly-once processing per counted copy. A
-//! surfaced bounded-outbox drop decrements it, since that message will
-//! never be processed. A start barrier prevents trusting a zero before
-//! every node's initial sends are registered.
+//! The classic event loop encoded every outbound payload while still
+//! holding the node lock, stretching the lock over pure CPU work and
+//! blocking `with_process` visitors for the duration. Here the loop
+//! splits each delivery into two halves: under the lock it runs the
+//! process, records the delivery log, and meters the outbound
+//! messages (metrics live in the core); after `drop(core)` it encodes
+//! payloads and hands them to the pool. The quiescence order is
+//! preserved — every outgoing copy's intent is stamped
+//! ([`SharedCounters::note_enqueue`]) before the incoming message is
+//! retired — so "pending reaches zero" still means no protocol
+//! message exists anywhere.
 //!
 //! # Causal depth over the wire
 //!
 //! Every DATA frame carries the causal depth its message would have as
 //! a simulator envelope (sender's clock + 1); a receiving node joins
-//! its clock to it exactly as the simulator does. Depths are what let
-//! [`crate::trace_merge`] linearize per-node logs into a checkable
-//! trace. Self-addressed copies skip the socket but still round-trip
-//! through the codec, so *every* protocol message is exercised by real
-//! encode/decode.
+//! its clock to it exactly as the simulator does. Self-addressed
+//! copies skip the socket but take the same encode → sink → decode
+//! path as any other copy, so *every* protocol message is exercised by
+//! real encode/decode.
 
-use crate::fault::{FaultAction, FaultPlan};
-use crate::frame::{drain_frames, Ack, Data, Hello, NetFrame, FK_ACK, FK_DATA, FK_HELLO};
-use crate::link::{LinkConfig, ReceiverLink, SenderLink};
+use crate::config::NetConfig;
+use crate::counters::SharedCounters;
+use crate::link::ReceiverLink;
+use crate::poller::{
+    enqueue_arc, lock, Entry, ListenerEntry, NodeNet, NodeStats, OutLink, PollerPool,
+};
 use crate::trace_merge::{LocalDelivery, LocalOp, NodeLog};
-use bgla_codec::{decode_payload, encode_frame, encode_payload, Wire};
+use bgla_codec::{decode_payload, encode_payload, Wire};
 use bgla_simnet::{Context, Metrics, NodeObserver, Process, ProcessId, WireMessage};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// Transport tuning for a node or a whole runtime.
-#[derive(Debug, Clone, Copy)]
-pub struct NetConfig {
-    /// Per-link reliability knobs (timeouts, window, burst).
-    pub link: LinkConfig,
-    /// Fault injection schedule ([`FaultPlan::none`] in production).
-    pub faults: FaultPlan,
-    /// Seed for the non-fault randomness: retransmit jitter and dial
-    /// backoff jitter (mixed with link identity per stream).
-    pub seed: u64,
-    /// Initial dial/reconnect backoff in ms.
-    pub dial_backoff_ms: u64,
-    /// Cap for the dial/reconnect exponential backoff in ms.
-    pub dial_backoff_max_ms: u64,
-    /// Wall-clock safety deadline for a driven run, in ms.
-    pub deadline_ms: u64,
-}
-
-impl Default for NetConfig {
-    fn default() -> Self {
-        NetConfig {
-            link: LinkConfig::default(),
-            faults: FaultPlan::none(),
-            seed: 0,
-            dial_backoff_ms: 10,
-            dial_backoff_max_ms: 500,
-            deadline_ms: 30_000,
-        }
-    }
-}
-
-/// Cross-node run coordination: the quiescence counter, start barrier,
-/// delivery count, and the go/stop latches. One instance is shared by
-/// every node of an in-process runtime; a multi-process deployment
-/// gives each process its own (and coordinates by other means).
-#[derive(Debug, Default)]
-pub struct SharedCounters {
-    /// Protocol messages enqueued but not yet fully processed.
-    pub pending: AtomicI64,
-    /// Nodes whose initial sends are registered in `pending`.
-    pub started: AtomicUsize,
-    /// Total deliveries processed across all nodes.
-    pub delivered: AtomicU64,
-    /// Release latch: event threads hold `on_start` until this is set.
-    pub go: AtomicBool,
-    /// Shutdown latch: all threads drain and exit when set.
-    pub stop: AtomicBool,
-}
-
-/// Locks a mutex, riding through poisoning: a panicked peer thread
-/// must not cascade into every other thread of the runtime.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn now_ms(epoch: Instant) -> u64 {
-    epoch.elapsed().as_millis() as u64
-}
-
-fn is_read_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
-}
-
-/// Node-wide measured wire accounting (every byte actually written to
-/// a socket, framing included).
-#[derive(Debug, Default)]
-struct NodeStats {
-    frames: AtomicU64,
-    bytes: AtomicU64,
-}
-
-fn write_counted(stream: &mut TcpStream, bytes: &[u8], stats: &NodeStats) -> std::io::Result<()> {
-    stream.write_all(bytes)?;
-    stats.frames.fetch_add(1, Ordering::Relaxed);
-    stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-    Ok(())
-}
-
-/// Sending side of one directed link, shared between the event thread
-/// (enqueue), the writer thread (retransmit, resync), and the
-/// ack-reader thread (acks).
-#[derive(Debug)]
-struct OutLink {
-    sender: Mutex<SenderLink>,
-    reconnects: AtomicU64,
-}
+use std::time::Duration;
 
 /// Everything a node needs at spawn time.
 pub struct NodeSpec<M> {
@@ -197,84 +105,83 @@ fn observe<M>(core: &mut NodeCore<M>, after: Option<usize>) {
     }
 }
 
-type Inbox<M> = mpsc::Receiver<(ProcessId, u64, M)>;
-type InboxTx<M> = mpsc::Sender<(ProcessId, u64, M)>;
-type PeerLinks = Vec<Option<(Arc<OutLink>, mpsc::Sender<Data>)>>;
+type RawInbox = mpsc::Receiver<(ProcessId, u64, Vec<u8>)>;
 
 /// Outbound fan-out state owned by the event thread.
-struct Dispatcher<M> {
+struct Dispatcher {
     me: ProcessId,
-    links: PeerLinks,
-    self_tx: InboxTx<M>,
+    links: Vec<Option<Arc<OutLink>>>,
+    self_tx: mpsc::Sender<(ProcessId, u64, Vec<u8>)>,
     shared: Arc<SharedCounters>,
-    epoch: Instant,
+    pool: PollerPool,
 }
 
-impl<M: WireMessage + Wire> Dispatcher<M> {
-    /// Meters, encodes, and routes one event's outbound messages.
-    /// Counts each copy into `pending` before returning (the caller
-    /// decrements the incoming message afterwards — that order is the
-    /// quiescence soundness argument).
-    fn send_all(&self, core: &mut NodeCore<M>, msgs: Vec<(ProcessId, M)>, out_depth: u64) {
-        let now = now_ms(self.epoch);
-        for (to, msg) in msgs {
+impl Dispatcher {
+    /// Meters one event's outbound messages into the core's metrics.
+    /// Called under the node lock; pure accounting, no serialization.
+    fn meter<M: WireMessage>(&self, core: &mut NodeCore<M>, msgs: &[(ProcessId, M)]) {
+        for (_, msg) in msgs {
             let (bytes, proofs) = msg.metered();
             core.metrics.record_send(self.me, msg.kind(), bytes, proofs);
-            self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Encodes and routes one event's outbound messages — called
+    /// *after* the node lock is dropped, so serialization never runs
+    /// under it. Stamps each copy's enqueue intent before the copy
+    /// becomes visible anywhere (the caller retires the incoming
+    /// message only after this returns — that order is the quiescence
+    /// soundness argument).
+    fn route<M: WireMessage + Wire>(&self, msgs: Vec<(ProcessId, M)>, out_depth: u64) {
+        let mut woke_pool = false;
+        for (to, msg) in msgs {
+            self.shared.note_enqueue();
+            let payload = encode_payload(&msg);
             if to == self.me {
                 // No socket for self-delivery, but the same codec
-                // round-trip as any other copy.
-                let payload = encode_payload(&msg);
-                match decode_payload::<M>(&payload) {
-                    Ok(m) => {
-                        let _ = self.self_tx.send((self.me, out_depth, m));
-                    }
-                    Err(_) => {
-                        // Round-tripping our own encoding cannot fail;
-                        // drop defensively rather than poison the run.
-                        self.shared.pending.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-            } else if let Some((link, tx)) = self.links.get(to).and_then(|l| l.as_ref()) {
-                let payload = encode_payload(&msg);
-                let queued = lock(&link.sender).enqueue(out_depth, payload, now);
-                match queued {
-                    Some(frame) => {
-                        let _ = tx.send(frame);
-                    }
-                    None => {
-                        // Bounded outbox overflow: surfaced, not masked.
-                        self.shared.pending.fetch_sub(1, Ordering::SeqCst);
-                    }
+                // round-trip as any other copy: the event loop decodes
+                // this payload exactly like a remote one.
+                let _ = self.self_tx.send((self.me, out_depth, payload));
+            } else if let Some(link) = self.links.get(to).and_then(|l| l.as_ref()) {
+                if enqueue_arc(link, self.pool.inner(), out_depth, payload) {
+                    woke_pool = true;
+                } else {
+                    // Bounded outbox overflow: surfaced, not masked.
+                    self.shared.note_retired();
                 }
             } else {
                 // No link to this peer (absent in the address map).
-                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                self.shared.note_retired();
             }
+        }
+        if woke_pool {
+            self.pool.inner().wake_all();
         }
     }
 }
 
-/// A running TCP node. Dropping it does *not* stop its threads — set
-/// the shared `stop` latch and call [`TcpNode::join`] (the runtime
-/// does both in its `shutdown`).
+/// A running TCP node on the event-driven runtime. Dropping it does
+/// *not* stop its event thread — set the shared `stop` latch and call
+/// [`TcpNode::join`] (the runtime does both in its `shutdown`).
 pub struct TcpNode<M> {
     me: ProcessId,
     core: Arc<Mutex<NodeCore<M>>>,
     out: Vec<Option<Arc<OutLink>>>,
-    rx_links: Arc<Vec<Mutex<ReceiverLink>>>,
+    net: Arc<NodeNet>,
     stats: Arc<NodeStats>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl<M: WireMessage + Wire + 'static> TcpNode<M> {
-    /// Spawns the node's threads. Protocol execution (`on_start`) is
+    /// Wires the node into the pool (listener + outbound links) and
+    /// spawns its event thread. Protocol execution (`on_start`) is
     /// held until the shared `go` latch is set, so a whole system can
     /// be wired up before any message flows.
     pub fn spawn(
         spec: NodeSpec<M>,
         cfg: NetConfig,
         shared: Arc<SharedCounters>,
+        pool: &PollerPool,
     ) -> std::io::Result<TcpNode<M>> {
         let NodeSpec {
             me,
@@ -285,7 +192,7 @@ impl<M: WireMessage + Wire + 'static> TcpNode<M> {
             peers,
         } = spec;
         listener.set_nonblocking(true)?;
-        let epoch = Instant::now();
+        let epoch = pool.inner().epoch;
         let core = Arc::new(Mutex::new(NodeCore {
             proc,
             observer,
@@ -295,21 +202,27 @@ impl<M: WireMessage + Wire + 'static> TcpNode<M> {
             metrics: Metrics::new(n),
         }));
         let stats = Arc::new(NodeStats::default());
-        let rx_links: Arc<Vec<Mutex<ReceiverLink>>> =
-            Arc::new((0..n).map(|_| Mutex::new(ReceiverLink::new())).collect());
-        let (inbox_tx, inbox_rx) = mpsc::channel::<(ProcessId, u64, M)>();
-        let mut threads = Vec::new();
+        let (inbox_tx, inbox_rx) = mpsc::channel::<(ProcessId, u64, Vec<u8>)>();
 
-        // Per-peer writer threads.
+        // Receive side: one listener entry; accepted connections become
+        // pool entries feeding the raw inbox.
+        let net = Arc::new(NodeNet {
+            me,
+            rx_links: (0..n).map(|_| Mutex::new(ReceiverLink::new())).collect(),
+            sink: inbox_tx.clone(),
+            stats: stats.clone(),
+        });
+        pool.inner()
+            .register(Entry::Listener(Arc::new(ListenerEntry {
+                listener,
+                node: net.clone(),
+            })));
+
+        // Send side: one pool-owned link state machine per peer.
         let mut out: Vec<Option<Arc<OutLink>>> = vec![None; n];
-        let mut links: PeerLinks = Vec::with_capacity(n);
         for (to, addr) in peers.iter().enumerate() {
-            let Some(addr) = *addr else {
-                links.push(None);
-                continue;
-            };
+            let Some(addr) = *addr else { continue };
             if to == me {
-                links.push(None);
                 continue;
             }
             // Distinct deterministic stream per directed link.
@@ -317,50 +230,33 @@ impl<M: WireMessage + Wire + 'static> TcpNode<M> {
                 .seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(((me as u64) << 32) | to as u64);
-            let link = Arc::new(OutLink {
-                sender: Mutex::new(SenderLink::new(cfg.link, link_seed)),
-                reconnects: AtomicU64::new(0),
-            });
-            let (cmd_tx, cmd_rx) = mpsc::channel::<Data>();
-            out[to] = Some(link.clone());
-            links.push(Some((link.clone(), cmd_tx)));
-            let w = WriterArgs {
+            let link = OutLink::new(
                 me,
                 to,
                 addr,
-                link,
-                plan: cfg.faults,
-                seed: link_seed,
-                dial_backoff_ms: cfg.dial_backoff_ms,
-                dial_backoff_max_ms: cfg.dial_backoff_max_ms,
-                stats: stats.clone(),
-                shared: shared.clone(),
+                cfg.faults,
+                cfg.link,
+                link_seed,
+                cfg.dial_backoff_ms,
+                cfg.dial_backoff_max_ms,
+                stats.clone(),
                 epoch,
-            };
-            threads.push(std::thread::spawn(move || writer_loop(w, cmd_rx)));
+            );
+            out[to] = Some(link.clone());
+            pool.inner().register(Entry::Out(link));
         }
 
-        // Listener thread: accepts connections, one reader thread each.
-        {
-            let rx_links = rx_links.clone();
-            let inbox_tx = inbox_tx.clone();
-            let stats = stats.clone();
-            let shared = shared.clone();
-            threads.push(std::thread::spawn(move || {
-                listen_loop::<M>(listener, me, rx_links, inbox_tx, stats, shared, epoch)
-            }));
-        }
-
-        // Event thread.
+        // The event thread — the node's only thread.
+        let mut threads = Vec::new();
         {
             let core = core.clone();
             let shared2 = shared.clone();
             let disp = Dispatcher {
                 me,
-                links,
+                links: out.clone(),
                 self_tx: inbox_tx,
-                shared: shared.clone(),
-                epoch,
+                shared,
+                pool: pool.clone(),
             };
             threads.push(std::thread::spawn(move || {
                 event_loop(me, n, core, inbox_rx, disp, shared2)
@@ -371,7 +267,7 @@ impl<M: WireMessage + Wire + 'static> TcpNode<M> {
             me,
             core,
             out,
-            rx_links,
+            net,
             stats,
             threads,
         })
@@ -404,7 +300,7 @@ impl<M> TcpNode<M> {
             m.net_outbox_dropped += s.overflow_dropped;
             m.net_reconnects += link.reconnects.load(Ordering::Relaxed);
         }
-        for rx in self.rx_links.iter() {
+        for rx in self.net.rx_links.iter() {
             m.net_dup_frames += lock(rx).dups;
         }
         m
@@ -416,7 +312,7 @@ impl<M> TcpNode<M> {
         std::mem::take(&mut lock(&self.core).log)
     }
 
-    /// Joins this node's owned threads. The shared `stop` latch must
+    /// Joins this node's event thread. The shared `stop` latch must
     /// already be set or this blocks until it is.
     pub fn join(&mut self) {
         for h in self.threads.drain(..) {
@@ -429,8 +325,8 @@ fn event_loop<M: WireMessage + Wire + 'static>(
     me: ProcessId,
     n: usize,
     core: Arc<Mutex<NodeCore<M>>>,
-    inbox: Inbox<M>,
-    disp: Dispatcher<M>,
+    inbox: RawInbox,
+    disp: Dispatcher,
     shared: Arc<SharedCounters>,
 ) {
     while !shared.go.load(Ordering::SeqCst) {
@@ -442,43 +338,57 @@ fn event_loop<M: WireMessage + Wire + 'static>(
     if shared.stop.load(Ordering::SeqCst) {
         return;
     }
-    {
+    let start_msgs = {
         let mut core = lock(&core);
         let mut ctx = Context::for_embedding(me, n, 0, 0);
         core.proc.on_start(&mut ctx);
         observe(&mut core, None);
         let msgs = ctx.take_outbox();
-        // Start-up sends begin causal chains: depth 1 (simulator rule).
-        disp.send_all(&mut core, msgs, 1);
-    }
+        disp.meter(&mut core, &msgs);
+        msgs
+    };
+    // Start-up sends begin causal chains: depth 1 (simulator rule).
+    // Encoded and routed outside the lock.
+    disp.route(start_msgs, 1);
     // Start barrier: only once every node's initial sends are counted
     // may anyone trust a zero `pending` read.
     shared.started.fetch_add(1, Ordering::SeqCst);
     loop {
         match inbox.recv_timeout(Duration::from_millis(2)) {
-            Ok((from, depth, msg)) => {
-                let mut core = lock(&core);
-                core.depth = core.depth.max(depth);
-                core.local_events += 1;
-                let abs_depth = core.depth;
-                core.log.deliveries.push(LocalDelivery {
-                    from,
-                    kind: msg.kind(),
-                    depth: abs_depth,
-                    bytes: msg.wire_size(),
-                });
-                let after = core.log.deliveries.len() - 1;
-                let mut ctx = Context::for_embedding(me, n, core.depth, core.local_events);
-                core.proc.on_message(from, msg, &mut ctx);
-                observe(&mut core, Some(after));
-                core.metrics.delivered += 1;
-                let out_depth = core.depth + 1;
-                let msgs = ctx.take_outbox();
-                // Outgoing counted before the incoming is marked done.
-                disp.send_all(&mut core, msgs, out_depth);
-                drop(core);
+            Ok((from, depth, payload)) => {
+                let Ok(msg) = decode_payload::<M>(&payload) else {
+                    // Undecodable payload from an identified peer:
+                    // this copy will never be processed; retire it so
+                    // the system can still quiesce.
+                    shared.note_retired();
+                    continue;
+                };
+                let (msgs, out_depth) = {
+                    let mut core = lock(&core);
+                    core.depth = core.depth.max(depth);
+                    core.local_events += 1;
+                    let abs_depth = core.depth;
+                    core.log.deliveries.push(LocalDelivery {
+                        from,
+                        kind: msg.kind(),
+                        depth: abs_depth,
+                        bytes: msg.wire_size(),
+                    });
+                    let after = core.log.deliveries.len() - 1;
+                    let mut ctx = Context::for_embedding(me, n, core.depth, core.local_events);
+                    core.proc.on_message(from, msg, &mut ctx);
+                    observe(&mut core, Some(after));
+                    core.metrics.delivered += 1;
+                    let out_depth = core.depth + 1;
+                    let msgs = ctx.take_outbox();
+                    disp.meter(&mut core, &msgs);
+                    (msgs, out_depth)
+                };
+                // Encode + hand off outside the lock; every outgoing
+                // intent is stamped before the incoming retires.
+                disp.route(msgs, out_depth);
                 shared.delivered.fetch_add(1, Ordering::SeqCst);
-                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                shared.note_retired();
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.stop.load(Ordering::SeqCst) {
@@ -488,352 +398,4 @@ fn event_loop<M: WireMessage + Wire + 'static>(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-}
-
-fn listen_loop<M: WireMessage + Wire + 'static>(
-    listener: TcpListener,
-    me: ProcessId,
-    rx_links: Arc<Vec<Mutex<ReceiverLink>>>,
-    inbox_tx: InboxTx<M>,
-    stats: Arc<NodeStats>,
-    shared: Arc<SharedCounters>,
-    epoch: Instant,
-) {
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let rx_links = rx_links.clone();
-                let inbox_tx = inbox_tx.clone();
-                let stats = stats.clone();
-                let shared = shared.clone();
-                // Readers are detached: they exit on the stop latch
-                // (bounded by their read timeout) or connection death.
-                std::thread::spawn(move || {
-                    read_conn::<M>(stream, me, rx_links, inbox_tx, stats, shared, epoch)
-                });
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-}
-
-/// Handles one accepted connection: HELLO identification + resync
-/// reply, then DATA → dedup/reorder → decode → inbox, acking every
-/// DATA frame. Exits on stop, EOF, I/O error, or a corrupt frame.
-fn read_conn<M: WireMessage + Wire + 'static>(
-    mut stream: TcpStream,
-    me: ProcessId,
-    rx_links: Arc<Vec<Mutex<ReceiverLink>>>,
-    inbox_tx: InboxTx<M>,
-    stats: Arc<NodeStats>,
-    shared: Arc<SharedCounters>,
-    epoch: Instant,
-) {
-    let _ = epoch; // reserved for future receive-side timing
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut tmp = [0u8; 16 * 1024];
-    let mut peer: Option<ProcessId> = None;
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let k = match stream.read(&mut tmp) {
-            Ok(0) => return,
-            Ok(k) => k,
-            Err(e) if is_read_timeout(&e) => continue,
-            Err(_) => return,
-        };
-        buf.extend_from_slice(&tmp[..k]);
-        let frames = match drain_frames(&mut buf) {
-            Ok(f) => f,
-            // Torn or corrupt bytes (mid-frame reset): drop the
-            // connection; the dialer reconnects and resyncs.
-            Err(_) => return,
-        };
-        for frame in frames {
-            match frame {
-                NetFrame::Hello(h) => {
-                    let p = h.from as usize;
-                    if p >= rx_links.len() {
-                        return;
-                    }
-                    peer = Some(p);
-                    let expected = lock(&rx_links[p]).expected();
-                    let reply = encode_frame(
-                        FK_HELLO,
-                        &Hello {
-                            from: me as u64,
-                            expected,
-                        },
-                    );
-                    if write_counted(&mut stream, &reply, &stats).is_err() {
-                        return;
-                    }
-                }
-                NetFrame::Data(d) => {
-                    // DATA before HELLO is a protocol violation.
-                    let Some(p) = peer else { return };
-                    let deliverable = lock(&rx_links[p]).on_data(d);
-                    for (depth, payload) in deliverable {
-                        match decode_payload::<M>(&payload) {
-                            Ok(m) => {
-                                let _ = inbox_tx.send((p, depth, m));
-                            }
-                            Err(_) => {
-                                // Undecodable payload from an
-                                // identified peer: this copy will never
-                                // be processed; release its pending
-                                // slot so the system can still quiesce.
-                                shared.pending.fetch_sub(1, Ordering::SeqCst);
-                            }
-                        }
-                    }
-                    let cum = lock(&rx_links[p]).expected();
-                    let ack = encode_frame(FK_ACK, &Ack { cum });
-                    if write_counted(&mut stream, &ack, &stats).is_err() {
-                        return;
-                    }
-                }
-                // ACKs flow accepter → dialer; one arriving here is
-                // harmless noise.
-                NetFrame::Ack(_) => {}
-            }
-        }
-    }
-}
-
-struct WriterArgs {
-    me: ProcessId,
-    to: ProcessId,
-    addr: SocketAddr,
-    link: Arc<OutLink>,
-    plan: FaultPlan,
-    seed: u64,
-    dial_backoff_ms: u64,
-    dial_backoff_max_ms: u64,
-    stats: Arc<NodeStats>,
-    shared: Arc<SharedCounters>,
-    epoch: Instant,
-}
-
-/// Owns the directed connection `me → to` for the node's lifetime:
-/// dial + handshake + resync, fault-injected DATA writes, retransmit
-/// timer, reconnect with exponential backoff + seeded jitter.
-fn writer_loop(w: WriterArgs, cmd_rx: mpsc::Receiver<Data>) {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(w.seed ^ 0x5742); // "WB": writer backoff stream
-    let mut conn: Option<TcpStream> = None;
-    let mut delayed: Option<Vec<u8>> = None;
-    let mut frame_idx: u64 = 0;
-    let mut backoff = w.dial_backoff_ms;
-    let mut ever_connected = false;
-    let mut cmds_closed = false;
-    loop {
-        if w.shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        if conn.is_none() {
-            match dial(&w, ever_connected) {
-                Some((stream, tail)) => {
-                    if ever_connected {
-                        w.link.reconnects.fetch_add(1, Ordering::Relaxed);
-                    }
-                    ever_connected = true;
-                    backoff = w.dial_backoff_ms;
-                    delayed = None;
-                    conn = Some(stream);
-                    for d in tail {
-                        if !write_data(&w, &mut conn, &mut delayed, &mut frame_idx, &d) {
-                            break;
-                        }
-                    }
-                    continue;
-                }
-                None => {
-                    let jitter = rng.gen_range(0..backoff / 2 + 1);
-                    std::thread::sleep(Duration::from_millis(backoff + jitter));
-                    backoff = (backoff * 2).min(w.dial_backoff_max_ms);
-                    continue;
-                }
-            }
-        }
-        if cmds_closed {
-            std::thread::sleep(Duration::from_millis(3));
-        } else {
-            match cmd_rx.recv_timeout(Duration::from_millis(3)) {
-                Ok(d) => {
-                    write_data(&w, &mut conn, &mut delayed, &mut frame_idx, &d);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => cmds_closed = true,
-            }
-        }
-        if conn.is_some() {
-            let due = lock(&w.link.sender).retransmit_due(now_ms(w.epoch));
-            for d in due {
-                if !write_data(&w, &mut conn, &mut delayed, &mut frame_idx, &d) {
-                    break;
-                }
-            }
-        }
-    }
-}
-
-/// Dials the peer and completes the HELLO handshake: returns the
-/// connected stream (write half; the read half is handed to a spawned
-/// ack-reader) and the resync tail to retransmit immediately.
-///
-/// On the *first* connection there is nothing to resync: every queued
-/// frame is still waiting in the command channel, unwritten, so the
-/// tail is empty and nothing is counted as a retransmission.
-fn dial(w: &WriterArgs, reconnecting: bool) -> Option<(TcpStream, Vec<Data>)> {
-    let mut stream = TcpStream::connect(w.addr).ok()?;
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let hello = encode_frame(
-        FK_HELLO,
-        &Hello {
-            from: w.me as u64,
-            expected: 0,
-        },
-    );
-    write_counted(&mut stream, &hello, &w.stats).ok()?;
-    // Await the HELLO reply carrying the peer's next-expected seq.
-    let mut buf: Vec<u8> = Vec::new();
-    let mut tmp = [0u8; 4096];
-    let deadline = Instant::now() + Duration::from_secs(2);
-    loop {
-        if w.shared.stop.load(Ordering::SeqCst) || Instant::now() >= deadline {
-            return None;
-        }
-        let k = match stream.read(&mut tmp) {
-            Ok(0) => return None,
-            Ok(k) => k,
-            Err(e) if is_read_timeout(&e) => continue,
-            Err(_) => return None,
-        };
-        buf.extend_from_slice(&tmp[..k]);
-        let frames = drain_frames(&mut buf).ok()?;
-        let mut tail = None;
-        for frame in frames {
-            match frame {
-                NetFrame::Hello(h) if tail.is_none() => {
-                    tail = Some(if reconnecting {
-                        lock(&w.link.sender).on_resync(h.expected, now_ms(w.epoch))
-                    } else {
-                        Vec::new()
-                    });
-                }
-                NetFrame::Ack(a) => lock(&w.link.sender).on_ack(a.cum, now_ms(w.epoch)),
-                _ => {}
-            }
-        }
-        if let Some(tail) = tail {
-            // Hand the read half (plus any leftover bytes) to the
-            // ack-reader; this thread keeps the write half.
-            let read_half = stream.try_clone().ok()?;
-            let link = w.link.clone();
-            let shared = w.shared.clone();
-            let epoch = w.epoch;
-            std::thread::spawn(move || ack_reader(read_half, buf, link, shared, epoch));
-            return Some((stream, tail));
-        }
-    }
-}
-
-/// Consumes cumulative ACKs off the read half of a dialed connection.
-fn ack_reader(
-    mut stream: TcpStream,
-    mut buf: Vec<u8>,
-    link: Arc<OutLink>,
-    shared: Arc<SharedCounters>,
-    epoch: Instant,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let mut tmp = [0u8; 4096];
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let k = match stream.read(&mut tmp) {
-            Ok(0) => return,
-            Ok(k) => k,
-            Err(e) if is_read_timeout(&e) => continue,
-            Err(_) => return,
-        };
-        buf.extend_from_slice(&tmp[..k]);
-        let frames = match drain_frames(&mut buf) {
-            Ok(f) => f,
-            Err(_) => return,
-        };
-        for frame in frames {
-            if let NetFrame::Ack(a) = frame {
-                lock(&link.sender).on_ack(a.cum, now_ms(epoch));
-            }
-        }
-    }
-}
-
-/// Writes one DATA frame through the fault injector. Returns `false`
-/// when the connection died (organically or by injected reset); the
-/// frame stays in the unacked window and the resync after reconnect
-/// recovers it.
-fn write_data(
-    w: &WriterArgs,
-    conn: &mut Option<TcpStream>,
-    delayed: &mut Option<Vec<u8>>,
-    frame_idx: &mut u64,
-    d: &Data,
-) -> bool {
-    let Some(mut stream) = conn.take() else {
-        return false;
-    };
-    let bytes = encode_frame(FK_DATA, d);
-    let idx = *frame_idx;
-    *frame_idx += 1;
-    let mut write_now: Vec<Vec<u8>> = Vec::new();
-    match w.plan.action(w.me, w.to, idx) {
-        FaultAction::Deliver => write_now.push(bytes),
-        FaultAction::Drop => {}
-        FaultAction::Duplicate => {
-            write_now.push(bytes.clone());
-            write_now.push(bytes);
-        }
-        FaultAction::Delay => {
-            // Hold this frame; a previously held one is released first
-            // so at most one frame is ever parked.
-            if let Some(prev) = delayed.take() {
-                write_now.push(prev);
-            }
-            *delayed = Some(bytes);
-        }
-        FaultAction::Reset => {
-            // Mid-frame reset: half a frame, then a hard close. The
-            // receiver sees torn bytes and drops the connection too.
-            let half = bytes.len() / 2;
-            let _ = write_counted(&mut stream, &bytes[..half], &w.stats);
-            let _ = stream.shutdown(Shutdown::Both);
-            *delayed = None;
-            return false;
-        }
-    }
-    if !write_now.is_empty() {
-        // Any held frame goes out *after* the current one: reorder.
-        if let Some(prev) = delayed.take() {
-            write_now.push(prev);
-        }
-    }
-    for b in write_now {
-        if write_counted(&mut stream, &b, &w.stats).is_err() {
-            return false;
-        }
-    }
-    *conn = Some(stream);
-    true
 }

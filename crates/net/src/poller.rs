@@ -1,0 +1,939 @@
+//! The event-driven core: a fixed pool of poller threads owning every
+//! socket of a runtime, driving per-link state machines as
+//! poll-driven steps.
+//!
+//! # Readiness loop
+//!
+//! There is no `epoll` here by design: the workspace denies `unsafe`
+//! and the environment is offline, so the readiness loop is a
+//! `poll(2)`-style sweep written in-repo. Every socket is
+//! nonblocking; each poller thread repeatedly sweeps the entries
+//! registered to its shard, attempting nonblocking reads/accepts and
+//! flushing pending writes. When a sweep makes no progress the thread
+//! parks (`park_timeout`, bounded by the timer wheel's next deadline
+//! and a short idle beat) — never a blocking sleep — and event threads
+//! `unpark` it the moment they enqueue outbound work. Remote bytes
+//! with no local wakeup are picked up by the bounded idle beat.
+//!
+//! # What a sweep does per entry
+//!
+//! * **Listener** — nonblocking `accept`; accepted sockets are made
+//!   nonblocking and registered with the pool (no thread is ever
+//!   spawned per connection — that was the classic runtime's reader
+//!   leak).
+//! * **Inbound connection** — drain available bytes, demux frames,
+//!   run HELLO identification and receive-side dedup/reorder, push
+//!   raw deliveries to the owning node's event thread, then write
+//!   **one** cumulative ACK covering everything the wakeup delivered
+//!   (ack batching: one ACK per readiness wakeup, not per DATA frame).
+//! * **Outbound link** — dial/redial when due, drain HELLO replies and
+//!   cumulative ACKs, move enqueued frames through the fault injector
+//!   into the write buffer, and flush as far as the socket allows.
+//!
+//! # One timer wheel
+//!
+//! All retransmit and redial timers of the runtime live in a single
+//! hashed [`TimerWheel`]. Sweeps never poll `retransmit_due` per link;
+//! a timer fires only when the wheel expires its entry, and whichever
+//! poller thread swept the wheel services it. Cancellation is lazy:
+//! a fired key re-checks the link's armed deadline and re-schedules if
+//! it moved. The invariant that keeps retransmission alive: whenever a
+//! sender window is (or becomes) non-empty, at least one wheel entry
+//! covering it exists — armed at enqueue (empty→non-empty), at ack
+//! progress, at resync, and re-armed at every firing.
+//!
+//! # Locking
+//!
+//! Each connection's I/O state sits behind its own mutex so any poller
+//! thread (a sweep or a wheel firing) can service it. The ordering
+//! rule: an `io` lock may nest the pure link-state locks
+//! (`SenderLink` / `ReceiverLink`) and the wheel, but **nothing holds
+//! a link-state lock while taking an `io` lock** — the event thread
+//! enqueues in two disjoint critical sections (assign a sequence
+//! number, then queue the frame), which is what makes the nesting
+//! one-directional and deadlock-free.
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::frame::{drain_frames, Ack, Data, Hello, NetFrame, FK_ACK, FK_DATA, FK_HELLO};
+use crate::link::{LinkConfig, ReceiverLink, SenderLink};
+use crate::wheel::TimerWheel;
+use bgla_codec::encode_frame;
+use bgla_simnet::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Idle park beat in ms: the upper bound on how stale a sweep can be
+/// when only remote bytes (no local wakeup) are pending.
+const IDLE_BEAT_MS: u64 = 1;
+/// Blocking budget for one dial attempt (localhost connects resolve
+/// immediately; this only bounds pathological SYN loss).
+const CONNECT_TIMEOUT_MS: u64 = 50;
+/// Timer wheel shape: 8 ms buckets, 256 of them (a ~2 s lap, matching
+/// the largest default backoff cap).
+const WHEEL_GRANULARITY_MS: u64 = 8;
+const WHEEL_SLOTS: usize = 256;
+
+/// Locks a mutex, riding through poisoning: a panicked thread must not
+/// cascade into every poller of the runtime.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub(crate) fn now_ms(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Node-wide measured wire accounting (every byte actually handed to
+/// a socket buffer, framing included).
+#[derive(Debug, Default)]
+pub(crate) struct NodeStats {
+    pub frames: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+/// Counts one frame into the node's measured-bytes accounting and
+/// appends it to a connection's write buffer.
+fn buffer_counted(wbuf: &mut Vec<u8>, bytes: &[u8], stats: &NodeStats) {
+    wbuf.extend_from_slice(bytes);
+    stats.frames.fetch_add(1, Ordering::Relaxed);
+    stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+}
+
+/// Raw (undecoded) delivery channel into a node's event thread:
+/// `(from, depth, payload)`. Decoding happens on the event thread so
+/// poller threads stay payload-agnostic.
+pub(crate) type RawInboxTx = mpsc::Sender<(ProcessId, u64, Vec<u8>)>;
+
+/// Receive-side state one node shares with the pool: the listener and
+/// every inbound connection reference it.
+pub(crate) struct NodeNet {
+    pub me: ProcessId,
+    pub rx_links: Vec<Mutex<ReceiverLink>>,
+    pub sink: RawInboxTx,
+    pub stats: Arc<NodeStats>,
+}
+
+/// What a sweep learned about one entry.
+enum Sweep {
+    /// Bytes moved or state advanced.
+    Progress,
+    /// Nothing to do right now.
+    Idle,
+    /// The entry is finished; drop it from the shard.
+    Dead,
+}
+
+// ---------------------------------------------------------------------------
+// Outbound link (dialer side of `me → to`)
+// ---------------------------------------------------------------------------
+
+/// Connection state of an outbound link.
+enum OutState {
+    /// No socket; `next_dial_at` gates the next attempt.
+    Down,
+    /// Live socket. `helloed` flips when the peer's HELLO reply (with
+    /// its next-expected sequence) has been processed; DATA flows only
+    /// after that.
+    Up {
+        stream: TcpStream,
+        rbuf: Vec<u8>,
+        helloed: bool,
+        /// Whether this socket replaced an earlier one (drives resync
+        /// vs fresh-start on the HELLO reply).
+        was_reconnect: bool,
+    },
+}
+
+/// I/O-side state of an outbound link, serviced by whichever poller
+/// thread gets there first.
+struct OutIo {
+    state: OutState,
+    /// Frames enqueued (new sends, resync tails, retransmit bursts)
+    /// not yet pushed through the fault injector.
+    queue: VecDeque<Data>,
+    /// Bytes accepted by the injector, not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// The fault injector's parked frame (Delay action).
+    delayed: Option<Vec<u8>>,
+    /// Write-attempt index driving the deterministic fault schedule.
+    frame_idx: u64,
+    /// Seeded jitter stream for the dial backoff.
+    rng: StdRng,
+    backoff_ms: u64,
+    next_dial_at: u64,
+    ever_connected: bool,
+}
+
+/// The sending side of one directed link `me → to`, owned by the pool.
+pub(crate) struct OutLink {
+    pub me: ProcessId,
+    pub to: ProcessId,
+    addr: SocketAddr,
+    plan: FaultPlan,
+    link_cfg: LinkConfig,
+    dial_backoff_ms: u64,
+    dial_backoff_max_ms: u64,
+    stats: Arc<NodeStats>,
+    epoch: Instant,
+    pub sender: Mutex<SenderLink>,
+    pub reconnects: AtomicU64,
+    /// Whether a live `Rto` wheel entry exists for this link. Keeps
+    /// the wheel at **at most one** entry per link: arming is a no-op
+    /// while an entry is live (the live entry lazily re-arms itself at
+    /// the moved deadline), and a firing clears the flag first so any
+    /// concurrent arm can take over.
+    rto_live: AtomicBool,
+    io: Mutex<OutIo>,
+}
+
+impl OutLink {
+    /// Builds the link in the `Down` state with an immediate dial.
+    #[allow(clippy::too_many_arguments)] // spawn-time plumbing, called once per link
+    pub(crate) fn new(
+        me: ProcessId,
+        to: ProcessId,
+        addr: SocketAddr,
+        plan: FaultPlan,
+        link_cfg: LinkConfig,
+        link_seed: u64,
+        dial_backoff_ms: u64,
+        dial_backoff_max_ms: u64,
+        stats: Arc<NodeStats>,
+        epoch: Instant,
+    ) -> Arc<OutLink> {
+        Arc::new(OutLink {
+            me,
+            to,
+            addr,
+            plan,
+            link_cfg,
+            dial_backoff_ms,
+            dial_backoff_max_ms,
+            stats,
+            epoch,
+            sender: Mutex::new(SenderLink::new(link_cfg, link_seed)),
+            reconnects: AtomicU64::new(0),
+            rto_live: AtomicBool::new(false),
+            io: Mutex::new(OutIo {
+                state: OutState::Down,
+                queue: VecDeque::new(),
+                wbuf: Vec::new(),
+                delayed: None,
+                frame_idx: 0,
+                rng: StdRng::seed_from_u64(link_seed ^ 0x5742), // "WB": backoff stream
+                backoff_ms: dial_backoff_ms,
+                next_dial_at: 0,
+                ever_connected: false,
+            }),
+        })
+    }
+}
+
+/// Event-thread entry point: assign a sequence number (arming the
+/// wheel when the window just went non-empty), then queue the frame
+/// for the next sweep. Returns `false` on bounded-outbox overflow
+/// (the caller surfaces the drop). Two disjoint critical sections —
+/// never `sender` nested around `io` (see the module-level locking
+/// rule). Takes an `Arc` handle so the wheel key can be derived.
+pub(crate) fn enqueue_arc(
+    link: &Arc<OutLink>,
+    pool: &PoolInner,
+    depth: u64,
+    payload: Vec<u8>,
+) -> bool {
+    let now = now_ms(link.epoch);
+    let (frame, arm) = {
+        let mut s = lock(&link.sender);
+        let frame = s.enqueue(depth, payload, now);
+        (frame, s.rto_deadline())
+    };
+    let Some(frame) = frame else { return false };
+    lock(&link.io).queue.push_back(frame);
+    if let Some(at) = arm {
+        schedule_rto(link, pool, at);
+    }
+    true
+}
+
+/// Arms the link's retransmit timer unless an entry is already live on
+/// the wheel. This is what bounds the wheel to one `Rto` entry per
+/// link: lazy cancellation means a fired entry re-checks and re-arms,
+/// so a second entry would double every firing forever.
+fn schedule_rto(link: &Arc<OutLink>, pool: &PoolInner, at: u64) {
+    if !link.rto_live.swap(true, Ordering::AcqRel) {
+        pool.schedule(at, TimerKey::Rto(Arc::downgrade(link)));
+    }
+}
+
+/// Transitions an outbound link's connection to `Down` after a death:
+/// buffered socket bytes are discarded (unacked frames survive in the
+/// sender window and resync recovers them), and a redial is armed.
+fn out_conn_died(link: &Arc<OutLink>, io: &mut OutIo, pool: &PoolInner, now: u64) {
+    if let OutState::Up { stream, .. } = &io.state {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    io.state = OutState::Down;
+    // Queued frames are copies out of the sender window; the resync
+    // after reconnect regenerates exactly the unacked tail in order.
+    // Keeping them would bury the window head (the one frame the
+    // receiver is waiting on) behind an ever-growing run of stale
+    // duplicates — under reset-heavy plans that is a livelock.
+    io.queue.clear();
+    io.wbuf.clear();
+    io.delayed = None;
+    io.next_dial_at = now;
+    pool.schedule(now, TimerKey::Redial(Arc::downgrade(link)));
+}
+
+/// One poll-driven step of the outbound link state machine: dial if
+/// due, drain HELLO/ACK frames, move queued DATA through the fault
+/// injector, flush. Never blocks beyond the bounded connect attempt.
+fn out_service(link: &Arc<OutLink>, pool: &PoolInner) -> Sweep {
+    let mut io_guard = lock(&link.io);
+    // Reborrow: disjoint field borrows through the guard's deref.
+    let io = &mut *io_guard;
+    let now = now_ms(link.epoch);
+    let mut progress = false;
+
+    // Dial when down and due.
+    if matches!(io.state, OutState::Down) {
+        if now < io.next_dial_at {
+            return Sweep::Idle;
+        }
+        match TcpStream::connect_timeout(&link.addr, Duration::from_millis(CONNECT_TIMEOUT_MS)) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(true);
+                let was_reconnect = io.ever_connected;
+                if was_reconnect {
+                    link.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                io.ever_connected = true;
+                io.backoff_ms = link.dial_backoff_ms;
+                io.delayed = None;
+                io.wbuf.clear();
+                let hello = encode_frame(
+                    FK_HELLO,
+                    &Hello {
+                        from: link.me as u64,
+                        expected: 0,
+                    },
+                );
+                buffer_counted(&mut io.wbuf, &hello, &link.stats);
+                io.state = OutState::Up {
+                    stream,
+                    rbuf: Vec::new(),
+                    helloed: false,
+                    was_reconnect,
+                };
+                progress = true;
+            }
+            Err(_) => {
+                let jitter = io.rng.gen_range(0..io.backoff_ms / 2 + 1);
+                io.next_dial_at = now + io.backoff_ms + jitter;
+                io.backoff_ms = (io.backoff_ms * 2).min(link.dial_backoff_max_ms);
+                pool.schedule(io.next_dial_at, TimerKey::Redial(Arc::downgrade(link)));
+                return Sweep::Idle;
+            }
+        }
+    }
+
+    // Drain the read side: HELLO replies and cumulative ACKs.
+    let mut died = false;
+    let mut frames = Vec::new();
+    if let OutState::Up { stream, rbuf, .. } = &mut io.state {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match stream.read(&mut tmp) {
+                Ok(0) => {
+                    died = true;
+                    break;
+                }
+                Ok(k) => {
+                    rbuf.extend_from_slice(&tmp[..k]);
+                    progress = true;
+                }
+                Err(e) if would_block(&e) => break,
+                Err(_) => {
+                    died = true;
+                    break;
+                }
+            }
+        }
+        if !died {
+            match drain_frames(rbuf) {
+                Ok(f) => frames = f,
+                Err(_) => died = true,
+            }
+        }
+    }
+    if died {
+        out_conn_died(link, io, pool, now);
+        return Sweep::Progress;
+    }
+    for frame in frames {
+        match frame {
+            NetFrame::Hello(h) => {
+                if let OutState::Up {
+                    helloed,
+                    was_reconnect,
+                    ..
+                } = &mut io.state
+                {
+                    if !*helloed {
+                        *helloed = true;
+                        let resync = *was_reconnect;
+                        let (tail, arm) = {
+                            let mut s = lock(&link.sender);
+                            let tail = if resync {
+                                s.on_resync(h.expected, now)
+                            } else {
+                                Vec::new()
+                            };
+                            (tail, s.rto_deadline())
+                        };
+                        if resync {
+                            // The tail *is* the whole unacked window;
+                            // anything still queued is a duplicate.
+                            io.queue.clear();
+                        }
+                        io.queue.extend(tail);
+                        if let Some(at) = arm {
+                            schedule_rto(link, pool, at);
+                        }
+                        progress = true;
+                    }
+                }
+            }
+            NetFrame::Ack(a) => {
+                let arm = {
+                    let mut s = lock(&link.sender);
+                    s.on_ack(a.cum, now);
+                    s.rto_deadline()
+                };
+                // Ack progress moves the deadline; the live entry
+                // lazily re-arms itself there, so this only fires when
+                // no entry is live at all.
+                if let Some(at) = arm {
+                    schedule_rto(link, pool, at);
+                }
+                progress = true;
+            }
+            // DATA flows accepter-ward; one arriving here is noise.
+            NetFrame::Data(_) => {}
+        }
+    }
+
+    // Move queued frames through the fault injector once handshaken.
+    if matches!(io.state, OutState::Up { helloed: true, .. }) {
+        while let Some(d) = io.queue.pop_front() {
+            progress = true;
+            if !inject_frame(link, io, &d) {
+                out_conn_died(link, io, pool, now);
+                return Sweep::Progress;
+            }
+        }
+    }
+
+    // Flush as far as the socket allows.
+    if !io.wbuf.is_empty() {
+        if let OutState::Up { stream, .. } = &mut io.state {
+            let mut written = 0;
+            let mut dead = false;
+            while written < io.wbuf.len() {
+                match stream.write(&io.wbuf[written..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        written += k;
+                        progress = true;
+                    }
+                    Err(e) if would_block(&e) => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            io.wbuf.drain(..written);
+            if dead {
+                out_conn_died(link, io, pool, now);
+                return Sweep::Progress;
+            }
+        }
+    }
+
+    if progress {
+        Sweep::Progress
+    } else {
+        Sweep::Idle
+    }
+}
+
+/// Runs one DATA frame through the deterministic fault injector,
+/// buffering whatever survives. Returns `false` when the injected
+/// action killed the connection (mid-frame reset).
+fn inject_frame(link: &OutLink, io: &mut OutIo, d: &Data) -> bool {
+    let bytes = encode_frame(FK_DATA, d);
+    let idx = io.frame_idx;
+    io.frame_idx += 1;
+    let mut write_now: Vec<Vec<u8>> = Vec::new();
+    match link.plan.action(link.me, link.to, idx) {
+        FaultAction::Deliver => write_now.push(bytes),
+        FaultAction::Drop => {}
+        FaultAction::Duplicate => {
+            write_now.push(bytes.clone());
+            write_now.push(bytes);
+        }
+        FaultAction::Delay => {
+            // Hold this frame; a previously held one is released first
+            // so at most one frame is ever parked.
+            if let Some(prev) = io.delayed.take() {
+                write_now.push(prev);
+            }
+            io.delayed = Some(bytes);
+        }
+        FaultAction::Reset => {
+            // Mid-frame reset: half a frame, then a hard close. The
+            // receiver sees torn bytes and drops the connection too.
+            let half = bytes.len() / 2;
+            let torn = bytes[..half].to_vec();
+            buffer_counted(&mut io.wbuf, &torn, &link.stats);
+            if let OutState::Up { stream, .. } = &mut io.state {
+                let _ = stream.write_all(&io.wbuf);
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            io.wbuf.clear();
+            io.delayed = None;
+            return false;
+        }
+    }
+    if !write_now.is_empty() {
+        // Any held frame goes out *after* the current one: reorder.
+        if let Some(prev) = io.delayed.take() {
+            write_now.push(prev);
+        }
+    }
+    for b in write_now {
+        buffer_counted(&mut io.wbuf, &b, &link.stats);
+    }
+    true
+}
+
+/// A retransmit timer fired for this link: lazily re-check the armed
+/// deadline, retransmit what is due, re-arm, flush.
+fn out_fire_rto(link: &Arc<OutLink>, pool: &PoolInner) -> bool {
+    // This entry is spent; clear the flag *first* so a concurrent arm
+    // (or our own re-arm below) creates the next one.
+    link.rto_live.store(false, Ordering::Release);
+    let now = now_ms(link.epoch);
+    let connected = {
+        let io = lock(&link.io);
+        matches!(io.state, OutState::Up { helloed: true, .. })
+    };
+    let (burst, rearm) = {
+        let mut s = lock(&link.sender);
+        if s.window_len() == 0 {
+            // Everything acked since this entry was scheduled: done.
+            return false;
+        }
+        if !connected {
+            // Down: the resync after reconnect recovers the window;
+            // keep a probe entry alive so the invariant holds.
+            drop(s);
+            schedule_rto(link, pool, now + link.link_cfg.rto_ms);
+            return false;
+        }
+        match s.rto_deadline() {
+            None => return false,
+            Some(at) if now < at => {
+                // Stale entry (the deadline moved): re-arm, no fire.
+                drop(s);
+                schedule_rto(link, pool, at);
+                return false;
+            }
+            Some(_) => {
+                let burst = s.retransmit_due(now);
+                (burst, s.rto_deadline())
+            }
+        }
+    };
+    if let Some(at) = rearm {
+        schedule_rto(link, pool, at);
+    }
+    if burst.is_empty() {
+        return false;
+    }
+    lock(&link.io).queue.extend(burst);
+    // Push the burst to the wire immediately rather than waiting for
+    // the next sweep.
+    matches!(out_service(link, pool), Sweep::Progress)
+}
+
+// ---------------------------------------------------------------------------
+// Inbound connection (accepter side)
+// ---------------------------------------------------------------------------
+
+/// One accepted connection, owned by the pool (never by a thread).
+pub(crate) struct InConn {
+    node: Arc<NodeNet>,
+    io: Mutex<InIo>,
+}
+
+struct InIo {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    peer: Option<ProcessId>,
+}
+
+/// One poll-driven step of an inbound connection: drain bytes, demux,
+/// identify (HELLO) or deliver (DATA), then write one batched
+/// cumulative ACK per peer touched by this wakeup.
+fn in_service(conn: &InConn) -> Sweep {
+    let mut io_guard = lock(&conn.io);
+    // Reborrow: disjoint field borrows through the guard's deref.
+    let io = &mut *io_guard;
+    let mut progress = false;
+    let mut died = false;
+    let mut tmp = [0u8; 16 * 1024];
+    loop {
+        match io.stream.read(&mut tmp) {
+            Ok(0) => {
+                died = true;
+                break;
+            }
+            Ok(k) => {
+                io.rbuf.extend_from_slice(&tmp[..k]);
+                progress = true;
+            }
+            Err(e) if would_block(&e) => break,
+            Err(_) => {
+                died = true;
+                break;
+            }
+        }
+    }
+    let frames = if died {
+        Vec::new()
+    } else {
+        match drain_frames(&mut io.rbuf) {
+            Ok(f) => f,
+            // Torn or corrupt bytes (mid-frame reset): drop the
+            // connection; the dialer reconnects and resyncs.
+            Err(_) => {
+                died = true;
+                Vec::new()
+            }
+        }
+    };
+    let mut data_seen = false;
+    for frame in frames {
+        match frame {
+            NetFrame::Hello(h) => {
+                let p = h.from as usize;
+                if p >= conn.node.rx_links.len() {
+                    died = true;
+                    break;
+                }
+                io.peer = Some(p);
+                let expected = lock(&conn.node.rx_links[p]).expected();
+                let reply = encode_frame(
+                    FK_HELLO,
+                    &Hello {
+                        from: conn.node.me as u64,
+                        expected,
+                    },
+                );
+                let InIo { wbuf, .. } = &mut *io;
+                buffer_counted(wbuf, &reply, &conn.node.stats);
+            }
+            NetFrame::Data(d) => {
+                // DATA before HELLO is a protocol violation.
+                let Some(p) = io.peer else {
+                    died = true;
+                    break;
+                };
+                data_seen = true;
+                let deliverable = lock(&conn.node.rx_links[p]).on_data(d);
+                for (depth, payload) in deliverable {
+                    let _ = conn.node.sink.send((p, depth, payload));
+                }
+            }
+            // ACKs flow accepter → dialer; one arriving here is noise.
+            NetFrame::Ack(_) => {}
+        }
+    }
+    // Ack batching: one cumulative ACK per readiness wakeup that
+    // carried DATA, covering every frame the batch delivered — not
+    // one ACK per frame. Duplicates still refresh the cumulative
+    // value, so lost ACKs are repaired by the retransmissions they
+    // failed to suppress.
+    if data_seen {
+        if let Some(p) = io.peer {
+            let cum = lock(&conn.node.rx_links[p]).expected();
+            let ack = encode_frame(FK_ACK, &Ack { cum });
+            let InIo { wbuf, .. } = &mut *io;
+            buffer_counted(wbuf, &ack, &conn.node.stats);
+        }
+    }
+    // Flush replies/acks.
+    if !io.wbuf.is_empty() && !died {
+        let mut written = 0;
+        while written < io.wbuf.len() {
+            match io.stream.write(&io.wbuf[written..]) {
+                Ok(0) => {
+                    died = true;
+                    break;
+                }
+                Ok(k) => {
+                    written += k;
+                    progress = true;
+                }
+                Err(e) if would_block(&e) => break,
+                Err(_) => {
+                    died = true;
+                    break;
+                }
+            }
+        }
+        io.wbuf.drain(..written);
+    }
+    if died {
+        let _ = io.stream.shutdown(Shutdown::Both);
+        return Sweep::Dead;
+    }
+    if progress {
+        Sweep::Progress
+    } else {
+        Sweep::Idle
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A listening socket registered with the pool: accepted connections
+/// become [`InConn`] entries instead of threads.
+pub(crate) struct ListenerEntry {
+    pub listener: TcpListener,
+    pub node: Arc<NodeNet>,
+}
+
+/// Everything a poller thread can own and sweep.
+pub(crate) enum Entry {
+    Listener(Arc<ListenerEntry>),
+    Out(Arc<OutLink>),
+    In(Arc<InConn>),
+}
+
+/// A wheel key: which link, which timer. Weak so a torn-down runtime's
+/// links die with it and stale entries fizzle.
+pub(crate) enum TimerKey {
+    Rto(Weak<OutLink>),
+    Redial(Weak<OutLink>),
+}
+
+/// One poller thread's work queue and wake handle.
+struct Shard {
+    incoming: Mutex<Vec<Entry>>,
+    handle: Mutex<Option<std::thread::Thread>>,
+    kicked: AtomicBool,
+}
+
+/// Shared pool state: shards, the single timer wheel, the clock epoch.
+pub(crate) struct PoolInner {
+    shards: Vec<Shard>,
+    wheel: Mutex<TimerWheel<TimerKey>>,
+    pub epoch: Instant,
+    stop: AtomicBool,
+    next_shard: AtomicUsize,
+}
+
+impl PoolInner {
+    /// Registers an entry with the least-recently-assigned shard.
+    pub(crate) fn register(&self, entry: Entry) {
+        let i = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        lock(&self.shards[i].incoming).push(entry);
+        self.wake_shard(i);
+    }
+
+    /// Schedules a timer on the single wheel.
+    pub(crate) fn schedule(&self, deadline_ms: u64, key: TimerKey) {
+        lock(&self.wheel).schedule(deadline_ms, key);
+    }
+
+    fn wake_shard(&self, i: usize) {
+        let shard = &self.shards[i];
+        shard.kicked.store(true, Ordering::SeqCst);
+        if let Some(t) = lock(&shard.handle).as_ref() {
+            t.unpark();
+        }
+    }
+
+    /// Wakes every poller thread (event threads call this after
+    /// enqueueing outbound frames; with at most four shards this is
+    /// cheaper than tracking link→shard assignments).
+    pub(crate) fn wake_all(&self) {
+        for i in 0..self.shards.len() {
+            self.wake_shard(i);
+        }
+    }
+}
+
+/// A fixed pool of poller threads owning all sockets of a runtime.
+/// Clone-able handle; [`PollerPool::shutdown`] stops and joins the
+/// workers (idempotent).
+#[derive(Clone)]
+pub struct PollerPool {
+    inner: Arc<PoolInner>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl PollerPool {
+    /// Spawns `threads` poller threads (clamped to at least one).
+    pub fn new(threads: usize) -> PollerPool {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            shards: (0..threads)
+                .map(|_| Shard {
+                    incoming: Mutex::new(Vec::new()),
+                    handle: Mutex::new(None),
+                    kicked: AtomicBool::new(false),
+                })
+                .collect(),
+            wheel: Mutex::new(TimerWheel::new(WHEEL_GRANULARITY_MS, WHEEL_SLOTS)),
+            epoch: Instant::now(),
+            stop: AtomicBool::new(false),
+            next_shard: AtomicUsize::new(0),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker(inner, i))
+            })
+            .collect();
+        PollerPool {
+            inner,
+            workers: Arc::new(Mutex::new(workers)),
+        }
+    }
+
+    /// Number of poller threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<PoolInner> {
+        &self.inner
+    }
+
+    /// Stops and joins the poller threads (idempotent). Entries (and
+    /// their sockets) are dropped by the exiting workers.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.wake_all();
+        for h in lock(&self.workers).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The readiness loop: sweep owned entries, fire the wheel, park when
+/// idle (bounded by the wheel's next deadline and the idle beat).
+fn worker(inner: Arc<PoolInner>, shard_idx: usize) {
+    let shard = &inner.shards[shard_idx];
+    *lock(&shard.handle) = Some(std::thread::current());
+    let mut entries: Vec<Entry> = Vec::new();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        shard.kicked.store(false, Ordering::SeqCst);
+        {
+            let mut q = lock(&shard.incoming);
+            entries.append(&mut q);
+        }
+        let mut progress = false;
+        entries.retain(|entry| match sweep_entry(entry, &inner) {
+            Sweep::Dead => false,
+            Sweep::Progress => {
+                progress = true;
+                true
+            }
+            Sweep::Idle => true,
+        });
+        // Fire the single wheel: whichever shard sweeps first gets the
+        // due timers; the io mutexes make cross-shard servicing safe.
+        let now = now_ms(inner.epoch);
+        let due = lock(&inner.wheel).expire(now);
+        for key in due {
+            let fired = match key {
+                TimerKey::Rto(weak) => weak
+                    .upgrade()
+                    .map(|l| out_fire_rto(&l, &inner))
+                    .unwrap_or(false),
+                TimerKey::Redial(weak) => weak
+                    .upgrade()
+                    .map(|l| matches!(out_service(&l, &inner), Sweep::Progress))
+                    .unwrap_or(false),
+            };
+            progress |= fired;
+        }
+        if progress || shard.kicked.load(Ordering::SeqCst) {
+            continue;
+        }
+        // Idle: park until the next timer, the idle beat, or a wake.
+        let now = now_ms(inner.epoch);
+        let mut wait = IDLE_BEAT_MS;
+        if let Some(d) = lock(&inner.wheel).next_deadline() {
+            wait = wait.min(d.saturating_sub(now).max(1));
+        }
+        std::thread::park_timeout(Duration::from_millis(wait));
+    }
+}
+
+/// Sweeps one entry; listener accepts register new inbound entries.
+fn sweep_entry(entry: &Entry, inner: &PoolInner) -> Sweep {
+    match entry {
+        Entry::Listener(l) => {
+            let mut any = false;
+            while let Ok((stream, _)) = l.listener.accept() {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(true);
+                inner.register(Entry::In(Arc::new(InConn {
+                    node: l.node.clone(),
+                    io: Mutex::new(InIo {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        peer: None,
+                    }),
+                })));
+                any = true;
+            }
+            if any {
+                Sweep::Progress
+            } else {
+                Sweep::Idle
+            }
+        }
+        Entry::Out(link) => out_service(link, inner),
+        Entry::In(conn) => in_service(conn),
+    }
+}

@@ -5,23 +5,34 @@
 //!
 //! Construction wires everything up with protocol execution latched:
 //! listeners are bound on ephemeral localhost ports, each node learns
-//! every peer's address, threads spawn, and nothing runs `on_start`
-//! until the first `run_*` call releases the shared `go` latch — so a
-//! freshly built runtime is inert, like a freshly built `Simulation`.
+//! every peer's address, one [`PollerPool`] spawns to own every socket
+//! of the system, and nothing runs `on_start` until the first `run_*`
+//! call releases the shared `go` latch — so a freshly built runtime is
+//! inert, like a freshly built `Simulation`.
+//!
+//! The thread budget is fixed at build time: the pool's
+//! `min(4, cores)` poller threads (override via
+//! [`NetConfig::poller_threads`]) plus one event thread per node —
+//! versus roughly `3·n·(n−1)` threads for the classic runtime kept in
+//! [`crate::classic`].
 //!
 //! # Quiescence vs budget
 //!
-//! [`Transport::run_transport`] returns when the system quiesces (the
-//! cross-node pending counter holds at zero after the start barrier),
-//! when `budget` deliveries have happened, or at the wall-clock safety
+//! [`Transport::run_transport`] returns when the system quiesces, when
+//! `budget` deliveries have happened, or at the wall-clock safety
 //! deadline. Unlike the simulator, hitting the budget does not *pause*
 //! the system — threads keep running until [`TcpRuntime::shutdown`] —
-//! so a budget return is a sampling point, not a freeze. Quiescent
-//! returns are exact in the same sense as the threaded runner's: zero
-//! pending means no protocol message is buffered, in flight, or
-//! unprocessed anywhere.
+//! so a budget return is a sampling point, not a freeze. Quiescence is
+//! confirmed by the generation-stamped protocol
+//! ([`SharedCounters::confirm_quiescent`]): two balanced reads of the
+//! intent/retirement counters bracketing an unchanged generation,
+//! sound without any sleep — not the racy "zero, wait 2 ms, still
+//! zero" beat the thread-per-link runtime used.
 
-use crate::node::{NetConfig, NodeSpec, SharedCounters, TcpNode};
+use crate::config::NetConfig;
+use crate::counters::SharedCounters;
+use crate::node::{NodeSpec, TcpNode};
+use crate::poller::PollerPool;
 use crate::trace_merge::merge_traces;
 use bgla_codec::Wire;
 use bgla_simnet::{
@@ -70,7 +81,8 @@ impl<M: WireMessage + Wire + 'static> TcpRuntimeBuilder<M> {
     }
 
     /// Binds one localhost listener per node, distributes the address
-    /// map, and spawns every node (latched — nothing executes yet).
+    /// map, spawns the poller pool, and wires every node into it
+    /// (latched — nothing executes yet).
     pub fn build(self) -> std::io::Result<TcpRuntime<M>> {
         let n = self.procs.len();
         let mut listeners = Vec::with_capacity(n);
@@ -81,6 +93,7 @@ impl<M: WireMessage + Wire + 'static> TcpRuntimeBuilder<M> {
             listeners.push(l);
         }
         let shared = Arc::new(SharedCounters::default());
+        let pool = PollerPool::new(self.cfg.resolved_poller_threads());
         let mut nodes = Vec::with_capacity(n);
         for (me, ((proc, observer), listener)) in self.procs.into_iter().zip(listeners).enumerate()
         {
@@ -100,11 +113,13 @@ impl<M: WireMessage + Wire + 'static> TcpRuntimeBuilder<M> {
                 },
                 self.cfg,
                 shared.clone(),
+                &pool,
             )?);
         }
         Ok(TcpRuntime {
             nodes,
             shared,
+            pool,
             cfg: self.cfg,
             stopped: false,
         })
@@ -116,14 +131,16 @@ impl<M: WireMessage + Wire + 'static> TcpRuntimeBuilder<M> {
 pub struct TcpRuntime<M> {
     nodes: Vec<TcpNode<M>>,
     shared: Arc<SharedCounters>,
+    pool: PollerPool,
     cfg: NetConfig,
     stopped: bool,
 }
 
 impl<M: WireMessage + Wire + 'static> TcpRuntime<M> {
-    fn quiet(&self) -> bool {
-        self.shared.started.load(Ordering::SeqCst) == self.nodes.len()
-            && self.shared.pending.load(Ordering::SeqCst) == 0
+    /// The poller pool driving this runtime's sockets (exposed so
+    /// tests can assert the thread budget).
+    pub fn poller_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     fn all_satisfy(&self, pred: &mut dyn FnMut(ProcessId, &dyn Process<M>) -> bool) -> bool {
@@ -141,6 +158,7 @@ impl<M: WireMessage + Wire + 'static> TcpRuntime<M> {
 
     fn wait(&mut self, budget: u64, mut pred: Option<NodePred<'_, M>>) -> (RunOutcome, bool) {
         self.shared.go.store(true, Ordering::SeqCst);
+        let n = self.nodes.len();
         let deadline = Instant::now() + Duration::from_millis(self.cfg.deadline_ms);
         loop {
             std::thread::sleep(Duration::from_millis(3));
@@ -150,28 +168,22 @@ impl<M: WireMessage + Wire + 'static> TcpRuntime<M> {
                     return (
                         RunOutcome {
                             delivered,
-                            quiescent: self.quiet(),
+                            quiescent: self.shared.confirm_quiescent(n),
                         },
                         true,
                     );
                 }
             }
-            if self.quiet() {
-                // The counter is sound (outgoing counted before
-                // incoming cleared), but give in-flight inbox pushes a
-                // beat and confirm the zero holds.
-                std::thread::sleep(Duration::from_millis(2));
-                if self.quiet() {
-                    let delivered = self.shared.delivered.load(Ordering::SeqCst);
-                    let sat = pred.as_mut().map(|p| self.all_satisfy(p)).unwrap_or(true);
-                    return (
-                        RunOutcome {
-                            delivered,
-                            quiescent: true,
-                        },
-                        sat,
-                    );
-                }
+            if self.shared.confirm_quiescent(n) {
+                let delivered = self.shared.delivered.load(Ordering::SeqCst);
+                let sat = pred.as_mut().map(|p| self.all_satisfy(p)).unwrap_or(true);
+                return (
+                    RunOutcome {
+                        delivered,
+                        quiescent: true,
+                    },
+                    sat,
+                );
             }
             if delivered >= budget || Instant::now() >= deadline {
                 return (
@@ -185,8 +197,8 @@ impl<M: WireMessage + Wire + 'static> TcpRuntime<M> {
         }
     }
 
-    /// Stops every thread (idempotent) and waits for the nodes' owned
-    /// threads to exit.
+    /// Stops every thread (idempotent): the stop latch drains the
+    /// event threads, then the poller pool is joined.
     pub fn shutdown(&mut self) {
         if self.stopped {
             return;
@@ -198,6 +210,7 @@ impl<M: WireMessage + Wire + 'static> TcpRuntime<M> {
         for node in &mut self.nodes {
             node.join();
         }
+        self.pool.shutdown();
     }
 
     /// Stops the runtime and merges every node's local log into a
@@ -220,6 +233,7 @@ impl<M> Drop for TcpRuntime<M> {
             for node in &mut self.nodes {
                 node.join();
             }
+            self.pool.shutdown();
         }
     }
 }

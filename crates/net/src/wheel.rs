@@ -1,0 +1,143 @@
+//! A hashed timer wheel: every retransmit and redial timer of a
+//! runtime coalesced into one structure, fired by whichever poller
+//! thread sweeps it next.
+//!
+//! Entries are `(absolute deadline ms, key)` pairs hashed into a slot
+//! by `deadline / granularity % slots`. [`TimerWheel::expire`] sweeps
+//! the slots between the last sweep horizon and `now`, returning due
+//! keys and leaving future entries (same slot, later lap) in place.
+//! Cancellation is lazy: the owner of a fired key re-checks its own
+//! state (a stale entry is re-armed or dropped there), so schedules
+//! are cheap appends and nothing ever searches the wheel.
+
+/// A hashed timer wheel over caller-supplied millisecond deadlines.
+#[derive(Debug)]
+pub(crate) struct TimerWheel<K> {
+    granularity_ms: u64,
+    slots: Vec<Vec<(u64, K)>>,
+    /// Everything with a deadline `< horizon` has been handed out.
+    horizon: u64,
+    len: usize,
+}
+
+impl<K> TimerWheel<K> {
+    /// A wheel of `slots` buckets, each `granularity_ms` wide.
+    pub fn new(granularity_ms: u64, slots: usize) -> TimerWheel<K> {
+        TimerWheel {
+            granularity_ms: granularity_ms.max(1),
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            horizon: 0,
+            len: 0,
+        }
+    }
+
+    /// Live entries (due-but-unswept included).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn slot_of(&self, deadline: u64) -> usize {
+        ((deadline / self.granularity_ms) % self.slots.len() as u64) as usize
+    }
+
+    /// Schedules `key` to fire at `deadline_ms`. Deadlines already
+    /// behind the sweep horizon land in the current slot and come out
+    /// on the next sweep.
+    pub fn schedule(&mut self, deadline_ms: u64, key: K) {
+        let effective = deadline_ms.max(self.horizon);
+        let slot = self.slot_of(effective);
+        self.slots[slot].push((deadline_ms, key));
+        self.len += 1;
+    }
+
+    /// Sweeps every slot between the previous horizon and `now_ms`
+    /// inclusive, returning the keys whose deadlines have passed.
+    pub fn expire(&mut self, now_ms: u64) -> Vec<K> {
+        if now_ms < self.horizon {
+            return Vec::new();
+        }
+        let nslots = self.slots.len() as u64;
+        let from_tick = self.horizon / self.granularity_ms;
+        let to_tick = now_ms / self.granularity_ms;
+        // A lap or more elapsed: every slot is due a sweep.
+        let ticks = (to_tick - from_tick + 1).min(nslots);
+        let mut due = Vec::new();
+        for t in from_tick..from_tick + ticks {
+            let slot = (t % nslots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].0 <= now_ms {
+                    due.push(bucket.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.len -= due.len();
+        self.horizon = now_ms + 1;
+        due
+    }
+
+    /// Earliest scheduled deadline, if any (for park timeouts).
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.iter().map(|(d, _)| *d))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_and_after_the_deadline_only() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(8, 32);
+        w.schedule(100, 1);
+        w.schedule(50, 2);
+        assert_eq!(w.len(), 2);
+        assert!(w.expire(49).is_empty());
+        assert_eq!(w.expire(60), vec![2]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_deadline(), Some(100));
+        assert_eq!(w.expire(100), vec![1]);
+        assert!(w.expire(10_000).is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn same_slot_different_lap_stays_put() {
+        // 8 ms × 4 slots = a 32 ms lap: 10 and 42 hash to one slot.
+        let mut w: TimerWheel<u32> = TimerWheel::new(8, 4);
+        w.schedule(10, 1);
+        w.schedule(42, 2);
+        assert_eq!(w.expire(12), vec![1]);
+        assert!(w.expire(30).is_empty(), "next lap's entry must wait");
+        assert_eq!(w.expire(42), vec![2]);
+    }
+
+    #[test]
+    fn past_deadlines_surface_on_the_next_sweep() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(8, 32);
+        assert!(w.expire(500).is_empty());
+        // Scheduled behind the horizon: comes out immediately next
+        // sweep instead of waiting a full lap.
+        w.schedule(100, 7);
+        assert_eq!(w.expire(501), vec![7]);
+    }
+
+    #[test]
+    fn long_idle_gap_sweeps_every_slot_once() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(8, 8);
+        for i in 0..20u32 {
+            w.schedule(i as u64 * 7, i);
+        }
+        let mut got = w.expire(1_000_000);
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

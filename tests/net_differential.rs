@@ -1,0 +1,339 @@
+//! Classic vs event-driven runtime differential: the thread-per-link
+//! runtime ([`bgla::net::ClassicRuntime`]) and the poller-pool runtime
+//! ([`bgla::net::TcpRuntime`]) are two implementations of one
+//! reliable-link contract, so under the *same* seeded fault schedule
+//! every algorithm must produce the same schedule-independent
+//! outcomes on both: the union of decisions (forced by inclusivity +
+//! non-triviality in honest quiescent runs), and a merged trace that
+//! passes the unchanged prefix checker.
+//!
+//! Per-delivery interleavings legitimately differ — real concurrency
+//! is a scheduler — so the comparison is at the decision/conformance
+//! level, exactly like the simulator-vs-TCP differential in
+//! `net_conformance.rs`.
+//!
+//! The `NET_SWEEP`-gated test at the bottom is the scale probe: n = 32
+//! honest WTS nodes over one poller pool, everyone decides. CI runs it
+//! in its own step beside `NET_SMOKE`.
+
+use bgla::core::gsbs::GsbsProcess;
+use bgla::core::gwts::GwtsProcess;
+use bgla::core::harness::{
+    gsbs_node_observer, gwts_node_observer, sbs_node_observer, wts_node_observer,
+};
+use bgla::core::linearize::{check_trace, CheckerConfig};
+use bgla::core::sbs::SbsProcess;
+use bgla::core::search::op_priority;
+use bgla::core::wts::WtsProcess;
+use bgla::core::SystemConfig;
+use bgla::net::{
+    ClassicRuntimeBuilder, FaultConfig, FaultPlan, LinkConfig, NetConfig, TcpRuntimeBuilder,
+};
+use bgla::simnet::{Trace, Transport};
+use std::collections::{BTreeMap, BTreeSet};
+
+const N: usize = 4;
+const F: usize = 1;
+const BUDGET: u64 = 1_000_000;
+
+fn ident(v: &u64) -> u64 {
+    *v
+}
+
+/// One shared transport config: both runtimes get the *same* fault
+/// schedule and link seeds, so masking work differs only by runtime
+/// architecture.
+fn shared_cfg(fault_seed: u64, seed: u64) -> NetConfig {
+    NetConfig {
+        faults: FaultPlan::new(fault_seed, FaultConfig::chaos()),
+        link: LinkConfig {
+            rto_ms: 20,
+            ..LinkConfig::default()
+        },
+        seed,
+        ..NetConfig::default()
+    }
+}
+
+/// Runs a transport to quiescence and returns its merged trace.
+fn drive<M, T>(rt: &mut T, label: &str, take: impl FnOnce(&mut T) -> Trace) -> Trace
+where
+    M: bgla::simnet::WireMessage + bgla::codec::Wire + 'static,
+    T: Transport<M>,
+{
+    let out = rt.run_transport(BUDGET);
+    assert!(
+        out.quiescent,
+        "{label}: did not quiesce (delivered {})",
+        out.delivered
+    );
+    take(rt)
+}
+
+fn conforms(trace: &Trace, label: &str) {
+    let witness = check_trace(trace, &CheckerConfig::honest_system(N, F))
+        .unwrap_or_else(|v| panic!("{label}: violation: {v}"));
+    witness.validate().expect("witness validates");
+}
+
+// ---------------------------------------------------------------------------
+// Per-algorithm decision extraction (over the shared Transport trait)
+// ---------------------------------------------------------------------------
+
+fn wts_union<T: Transport<bgla::core::wts::WtsMsg<u64>>>(rt: &T) -> BTreeSet<u64> {
+    let mut u = BTreeSet::new();
+    for i in 0..N {
+        rt.with_process(i, &mut |p| {
+            let w = p.as_any().downcast_ref::<WtsProcess<u64>>().unwrap();
+            u.extend(w.decision.as_ref().expect("wts decides").iter().copied());
+        });
+    }
+    u
+}
+
+fn sbs_union<T: Transport<bgla::core::sbs::SbsMsg<u64>>>(rt: &T) -> BTreeSet<u64> {
+    let mut u = BTreeSet::new();
+    for i in 0..N {
+        rt.with_process(i, &mut |p| {
+            let s = p.as_any().downcast_ref::<SbsProcess<u64>>().unwrap();
+            u.extend(s.decision.as_ref().expect("sbs decides").iter().copied());
+        });
+    }
+    u
+}
+
+fn gwts_union<T: Transport<bgla::core::gwts::GwtsMsg<u64>>>(rt: &T) -> BTreeSet<u64> {
+    let mut u = BTreeSet::new();
+    for i in 0..N {
+        rt.with_process(i, &mut |p| {
+            let g = p.as_any().downcast_ref::<GwtsProcess<u64>>().unwrap();
+            u.extend(g.decisions.last().expect("gwts decides").iter().copied());
+        });
+    }
+    u
+}
+
+fn gsbs_union<T: Transport<bgla::core::gsbs::GsbsMsg<u64>>>(rt: &T) -> BTreeSet<u64> {
+    let mut u = BTreeSet::new();
+    for i in 0..N {
+        rt.with_process(i, &mut |p| {
+            let g = p.as_any().downcast_ref::<GsbsProcess<u64>>().unwrap();
+            u.extend(g.decisions.last().expect("gsbs decides").iter().copied());
+        });
+    }
+    u
+}
+
+fn round0_schedule(i: usize) -> BTreeMap<u64, Vec<u64>> {
+    let mut schedule = BTreeMap::new();
+    schedule.insert(0, vec![100 + i as u64, 200 + i as u64]);
+    schedule
+}
+
+// ---------------------------------------------------------------------------
+// The four differentials
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wts_decisions_agree_between_classic_and_poller_runtimes() {
+    let config = SystemConfig::new(N, F);
+    let inputs: BTreeSet<u64> = (0..N).map(|i| 10 + i as u64).collect();
+
+    let mut classic = {
+        let mut b = ClassicRuntimeBuilder::new(shared_cfg(0xD1FF, 0x11));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(WtsProcess::new(i, config, 10 + i as u64)),
+                wts_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let classic_trace = drive(&mut classic, "wts/classic", |rt| rt.take_trace(op_priority));
+    let classic_union = wts_union(&classic);
+
+    let mut poller = {
+        let mut b = TcpRuntimeBuilder::new(shared_cfg(0xD1FF, 0x11));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(WtsProcess::new(i, config, 10 + i as u64)),
+                wts_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let poller_trace = drive(&mut poller, "wts/poller", |rt| rt.take_trace(op_priority));
+    let poller_union = wts_union(&poller);
+
+    assert_eq!(classic_union, inputs);
+    assert_eq!(poller_union, classic_union, "decision-level differential");
+    conforms(&classic_trace, "wts/classic");
+    conforms(&poller_trace, "wts/poller");
+}
+
+#[test]
+fn sbs_decisions_agree_between_classic_and_poller_runtimes() {
+    let config = SystemConfig::new(N, F);
+    let inputs: BTreeSet<u64> = (0..N).map(|i| 10 + i as u64).collect();
+
+    let mut classic = {
+        let mut b = ClassicRuntimeBuilder::new(shared_cfg(0xD1FE, 0x13));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(SbsProcess::new(i, config, 10 + i as u64)),
+                sbs_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let classic_trace = drive(&mut classic, "sbs/classic", |rt| rt.take_trace(op_priority));
+    let classic_union = sbs_union(&classic);
+
+    let mut poller = {
+        let mut b = TcpRuntimeBuilder::new(shared_cfg(0xD1FE, 0x13));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(SbsProcess::new(i, config, 10 + i as u64)),
+                sbs_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let poller_trace = drive(&mut poller, "sbs/poller", |rt| rt.take_trace(op_priority));
+    let poller_union = sbs_union(&poller);
+
+    assert_eq!(classic_union, inputs);
+    assert_eq!(poller_union, classic_union, "decision-level differential");
+    conforms(&classic_trace, "sbs/classic");
+    conforms(&poller_trace, "sbs/poller");
+}
+
+#[test]
+fn gwts_decisions_agree_between_classic_and_poller_runtimes() {
+    let config = SystemConfig::new(N, F);
+    let rounds = 3u64;
+    let inputs: BTreeSet<u64> = (0..N)
+        .flat_map(|i| [100 + i as u64, 200 + i as u64])
+        .collect();
+
+    let mut classic = {
+        let mut b = ClassicRuntimeBuilder::new(shared_cfg(0xD1FD, 0x17));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(GwtsProcess::new(i, config, round0_schedule(i), rounds)),
+                gwts_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let classic_trace = drive(&mut classic, "gwts/classic", |rt| {
+        rt.take_trace(op_priority)
+    });
+    let classic_union = gwts_union(&classic);
+
+    let mut poller = {
+        let mut b = TcpRuntimeBuilder::new(shared_cfg(0xD1FD, 0x17));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(GwtsProcess::new(i, config, round0_schedule(i), rounds)),
+                gwts_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let poller_trace = drive(&mut poller, "gwts/poller", |rt| rt.take_trace(op_priority));
+    let poller_union = gwts_union(&poller);
+
+    assert_eq!(classic_union, inputs);
+    assert_eq!(poller_union, classic_union, "decision-level differential");
+    conforms(&classic_trace, "gwts/classic");
+    conforms(&poller_trace, "gwts/poller");
+}
+
+#[test]
+fn gsbs_decisions_agree_between_classic_and_poller_runtimes() {
+    let config = SystemConfig::new(N, F);
+    let rounds = 3u64;
+    let inputs: BTreeSet<u64> = (0..N)
+        .flat_map(|i| [100 + i as u64, 200 + i as u64])
+        .collect();
+
+    let mut classic = {
+        let mut b = ClassicRuntimeBuilder::new(shared_cfg(0xD1FC, 0x19));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(GsbsProcess::new(i, config, round0_schedule(i), rounds)),
+                gsbs_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let classic_trace = drive(&mut classic, "gsbs/classic", |rt| {
+        rt.take_trace(op_priority)
+    });
+    let classic_union = gsbs_union(&classic);
+
+    let mut poller = {
+        let mut b = TcpRuntimeBuilder::new(shared_cfg(0xD1FC, 0x19));
+        for i in 0..N {
+            b = b.add_observed(
+                Box::new(GsbsProcess::new(i, config, round0_schedule(i), rounds)),
+                gsbs_node_observer(i, ident),
+            );
+        }
+        b.build().expect("bind localhost")
+    };
+    let poller_trace = drive(&mut poller, "gsbs/poller", |rt| rt.take_trace(op_priority));
+    let poller_union = gsbs_union(&poller);
+
+    assert_eq!(classic_union, inputs);
+    assert_eq!(poller_union, classic_union, "decision-level differential");
+    conforms(&classic_trace, "gsbs/classic");
+    conforms(&poller_trace, "gsbs/poller");
+}
+
+// ---------------------------------------------------------------------------
+// Scale probe (gated: NET_SWEEP=1)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn net_sweep_thirty_two_honest_wts_nodes_decide_over_one_pool() {
+    if std::env::var("NET_SWEEP").is_err() {
+        eprintln!("net_sweep: NET_SWEEP unset, skipping the 32-node scale probe");
+        return;
+    }
+    let n = 32;
+    let f = 10; // n > 3f still holds: 32 > 30
+    let config = SystemConfig::new(n, f);
+    let cfg = NetConfig {
+        seed: 0x5EEE,
+        deadline_ms: 120_000,
+        ..NetConfig::default()
+    };
+    let mut b = TcpRuntimeBuilder::new(cfg);
+    for i in 0..n {
+        b = b.add(Box::new(WtsProcess::new(i, config, 10 + i as u64)));
+    }
+    let mut rt = b.build().expect("bind localhost");
+    let out = rt.run_transport(10_000_000);
+    assert!(
+        out.quiescent,
+        "32-node honest run must quiesce (delivered {})",
+        out.delivered
+    );
+    let inputs: BTreeSet<u64> = (0..n).map(|i| 10 + i as u64).collect();
+    let mut union = BTreeSet::new();
+    for i in 0..n {
+        rt.with_process(i, &mut |p| {
+            let w = p.as_any().downcast_ref::<WtsProcess<u64>>().unwrap();
+            let d = w.decision.as_ref().expect("every node decides");
+            assert!(
+                d.contains(&(10 + i as u64)),
+                "node {i} decision misses its own input"
+            );
+            union.extend(d.iter().copied());
+        });
+    }
+    assert_eq!(union, inputs);
+    rt.shutdown();
+}
